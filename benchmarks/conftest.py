@@ -1,0 +1,46 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every ``test_figNN_*`` benchmark regenerates the corresponding artifact of
+the paper (table, credential, or architecture scenario), asserts that its
+*shape* matches what the paper reports — who is authorised, what the
+translation produces, which layer decides — and times the regeneration with
+pytest-benchmark.  The paper itself reports no performance numbers, so the
+timings characterise this reproduction (recorded in EXPERIMENTS.md).
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.core.scenarios import salaries_policy
+from repro.crypto import Keystore
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def fig1() -> RBACPolicy:
+    return salaries_policy()
+
+
+@pytest.fixture
+def keystore() -> Keystore:
+    ks = Keystore()
+    for name in ("KWebCom", "Kbob", "Kalice", "Kclaire", "Kfred", "Kdave",
+                 "Kelaine", "Kmaster"):
+        ks.create(name)
+    return ks
+
+
+def synthetic_policy(n_domains: int, n_roles: int, n_types: int,
+                     n_perms: int, n_users: int) -> RBACPolicy:
+    """A deterministic policy of configurable size for scaling sweeps."""
+    policy = RBACPolicy(f"synthetic-{n_domains}x{n_roles}x{n_users}")
+    for d in range(n_domains):
+        for r in range(n_roles):
+            for t in range(n_types):
+                for p in range(n_perms):
+                    policy.grant(f"Dom{d}", f"role{r}", f"Type{t}", f"perm{p}")
+    for u in range(n_users):
+        policy.assign(f"User{u}", f"Dom{u % n_domains}",
+                      f"role{u % n_roles}")
+    return policy

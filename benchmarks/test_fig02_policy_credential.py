@@ -1,0 +1,43 @@
+"""Figure 2: the policy credential allowing manager Bob to read/write.
+
+Artifact: the credential text, and the decisions the paper's Example 1
+narrates for it.
+"""
+
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.credential import Credential
+
+FIG2 = """
+Authorizer: POLICY
+licensees: "Kbob"
+Conditions: app_domain=="SalariesDB" &&
+            (oper=="read" || oper=="write");
+"""
+
+
+def build_and_query(keystore):
+    credential = Credential.from_text(FIG2)
+    checker = ComplianceChecker([credential], keystore=keystore)
+    decisions = {
+        oper: checker.query({"app_domain": "SalariesDB", "oper": oper},
+                            ["Kbob"])
+        for oper in ("read", "write", "delete")
+    }
+    return credential, decisions
+
+
+def test_fig02_policy_credential(benchmark, keystore):
+    credential, decisions = benchmark(build_and_query, keystore)
+
+    assert credential.is_policy
+    assert credential.principals() == {"Kbob"}
+    assert decisions == {"read": "true", "write": "true", "delete": "false"}
+
+    # Nobody else is trusted.
+    checker = ComplianceChecker([credential], keystore=keystore)
+    assert checker.query({"app_domain": "SalariesDB", "oper": "read"},
+                         ["Kalice"]) == "false"
+
+    print("\n=== Figure 2 (regenerated) ===")
+    print(credential.to_text())
+    print("decisions:", decisions)

@@ -1,0 +1,42 @@
+"""Figure 4: Bob delegates write access to clerk Alice.
+
+Artifact: the signed delegation credential and the chain decisions of the
+paper's Example 2 — Alice may write (delegated) but not read.
+"""
+
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.credential import Credential
+
+FIG2 = ('Authorizer: POLICY\nLicensees: "Kbob"\n'
+        'Conditions: app_domain=="SalariesDB" && '
+        '(oper=="read" || oper=="write");')
+
+
+def build_chain(keystore):
+    policy = Credential.from_text(FIG2)
+    fig4 = Credential.build(
+        authorizer="Kbob",
+        licensees='"Kalice"',
+        conditions='app_domain=="SalariesDB" && oper=="write"',
+    ).sign(keystore.pair("Kbob").private)
+    checker = ComplianceChecker([policy, fig4], keystore=keystore)
+    decisions = {
+        (key, oper): checker.query(
+            {"app_domain": "SalariesDB", "oper": oper}, [key])
+        for key in ("Kbob", "Kalice") for oper in ("read", "write")
+    }
+    return fig4, decisions
+
+
+def test_fig04_delegation(benchmark, keystore):
+    fig4, decisions = benchmark(build_chain, keystore)
+
+    assert fig4.verify(keystore)
+    assert decisions[("Kalice", "write")] == "true"   # delegated
+    assert decisions[("Kalice", "read")] == "false"   # never delegated
+    assert decisions[("Kbob", "read")] == "true"      # Bob keeps his own
+    assert decisions[("Kbob", "write")] == "true"
+
+    print("\n=== Figure 4 (regenerated) ===")
+    print(fig4.to_text())
+    print("decisions:", {f"{k}/{o}": v for (k, o), v in decisions.items()})

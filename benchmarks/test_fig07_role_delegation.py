@@ -1,0 +1,51 @@
+"""Figure 7: Claire delegates her role membership to Fred.
+
+Artifact: the delegation credential and the end-to-end chain decision, in
+both readings of the Figure-6/Figure-7 inconsistency (see DESIGN.md):
+
+- literal chain (Claire holds Finance/Manager, delegates Sales/Manager):
+  Fred gains **nothing** — the compliance checker enforces delegation
+  monotonicity;
+- corrected chain (Claire holds Sales/Manager): Fred becomes an effective
+  Sales Manager.
+"""
+
+from repro.core.decentralisation import DelegationService
+from repro.keynote.api import KeyNoteSession
+
+
+def run_both_readings(keystore):
+    # Literal: Figure 6 as printed.
+    literal = DelegationService(KeyNoteSession(keystore=keystore), keystore,
+                                "KWebCom")
+    literal.admit_administrator()
+    literal.grant_role("Kclaire", "Finance", "Manager")
+    fig7_literal = literal.delegate_role("Kclaire", "Kfred", "Sales",
+                                         "Manager")
+    literal_result = literal.holds_role("Kfred", "Sales", "Manager")
+
+    # Corrected: Figure 1's table.
+    corrected = DelegationService(KeyNoteSession(keystore=keystore),
+                                  keystore, "KWebCom")
+    corrected.admit_administrator()
+    corrected.grant_role("Kclaire", "Sales", "Manager")
+    fig7_corrected = corrected.delegate_role("Kclaire", "Kfred", "Sales",
+                                             "Manager")
+    corrected_result = corrected.holds_role("Kfred", "Sales", "Manager")
+    return fig7_literal, literal_result, fig7_corrected, corrected_result
+
+
+def test_fig07_role_delegation(benchmark, keystore):
+    (fig7_literal, literal_result,
+     fig7_corrected, corrected_result) = benchmark(run_both_readings,
+                                                   keystore)
+
+    assert fig7_literal.verify(keystore)
+    assert literal_result is False       # Claire never held Sales/Manager
+    assert corrected_result is True      # now the chain closes
+    assert 'Domain=="Sales" && Role=="Manager"' in fig7_corrected.to_text()
+
+    print("\n=== Figure 7 (regenerated) ===")
+    print(fig7_corrected.to_text())
+    print(f"literal reading:   Fred holds Sales/Manager = {literal_result}")
+    print(f"corrected reading: Fred holds Sales/Manager = {corrected_result}")

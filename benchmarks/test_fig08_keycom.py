@@ -1,0 +1,65 @@
+"""Figure 8: the decentralised middleware architecture (KeyCOM).
+
+Artifact: the full Figure-8 flow — a user registered only in Domain B
+presents KeyNote credentials to Domain A's KeyCOM service, which validates
+them and updates the COM+ catalogue; an invalid request is rejected.
+"""
+
+from repro.crypto import Keystore
+from repro.keynote.api import KeyNoteSession
+from repro.keynote.credential import Credential
+from repro.middleware.complus import ComPlusCatalogue
+from repro.os_sec.windows import WindowsSecurity
+from repro.translate.to_keynote import membership_conditions
+from repro.webcom.keycom import KeyComService, PolicyUpdateRequest
+
+
+def run_figure8():
+    keystore = Keystore()
+    for name in ("KWebCom", "KuserB", "Kmallory"):
+        keystore.create(name)
+
+    windows = WindowsSecurity()
+    windows.add_domain("DomainA")
+    catalogue = ComPlusCatalogue("server-a", windows)
+    catalogue.create_application("Payroll", nt_domain="DomainA")
+    catalogue.register_component("Payroll", "SalariesDB")
+    catalogue.declare_role("Payroll", "Clerk")
+    catalogue.grant_permission("Payroll", "Clerk", "SalariesDB", "Access")
+
+    session = KeyNoteSession(keystore=keystore)
+    session.add_policy('Authorizer: POLICY\nLicensees: "KWebCom"\n'
+                       'Conditions: app_domain=="WebCom";')
+    keycom = KeyComService(catalogue, session)
+
+    membership = Credential.build(
+        authorizer="KWebCom", licensees='"KuserB"',
+        conditions=membership_conditions("DomainA", "Clerk"),
+    ).sign(keystore.pair("KWebCom").private)
+
+    accepted = keycom.submit_quietly(PolicyUpdateRequest(
+        user="userB", user_key="KuserB", domain="DomainA", role="Clerk",
+        credentials=(membership,)))
+    forged = Credential.build(
+        authorizer="Kmallory", licensees='"Kmallory"',
+        conditions=membership_conditions("DomainA", "Clerk"),
+    ).sign(keystore.pair("Kmallory").private)
+    rejected = keycom.submit_quietly(PolicyUpdateRequest(
+        user="mallory", user_key="Kmallory", domain="DomainA", role="Clerk",
+        credentials=(forged,)))
+    return catalogue, accepted, rejected
+
+
+def test_fig08_keycom(benchmark):
+    catalogue, accepted, rejected = benchmark(run_figure8)
+
+    assert accepted is True
+    assert rejected is False
+    # The Domain-B user now uses Domain A's component; Mallory does not.
+    assert catalogue.invoke("DomainA\\userB", "SalariesDB", "Access")
+    assert not catalogue.invoke("DomainA\\mallory", "SalariesDB", "Access")
+
+    print("\n=== Figure 8 (regenerated) ===")
+    print("KeyCOM accepted the credential-backed update for userB;")
+    print("the self-signed request was rejected; the COM+ catalogue now")
+    print("mediates userB's Access to SalariesDB in Domain A.")

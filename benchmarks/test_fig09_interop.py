@@ -1,0 +1,98 @@
+"""Figure 9: interoperating security policies across four systems.
+
+Artifact: the full pipeline the figure depicts —
+
+    Y (COM/Windows, legacy policy)
+      -> KeyNote credentials
+      -> W enforces them with no middleware at all
+      -> Z's COM+ catalogue is updated through KeyCOM
+      -> X (replacement EJB) is configured from the same credentials
+
+with the decision tables of all systems agreeing at the end.
+"""
+
+from repro.core.framework import HeterogeneousSecurityFramework
+from repro.core.scenarios import build_figure9_network
+from repro.keynote.compliance import ComplianceChecker
+from repro.translate.common import action_attributes
+from repro.translate.from_keynote import comprehend_credentials
+from repro.translate.migrate import DomainMapping, translate_policy
+from repro.translate.to_keynote import encode_full
+from repro.webcom.keycom import PolicyUpdateRequest
+
+PROBES = [  # (nt_user, key, domain, role)
+    ("Finance\\Alice", "Kalice", "Finance", "Clerk"),
+    ("Finance\\Bob", "Kbob", "Finance", "Manager"),
+    ("Sales\\Claire", "Kclaire", "Sales", "Manager"),
+    ("Sales\\Dave", "Kdave", "Sales", "Assistant"),
+    ("Sales\\Elaine", "Kelaine", "Sales", "Manager"),
+]
+
+
+def run_pipeline():
+    framework = HeterogeneousSecurityFramework(admin_key="KWebCom")
+    net = build_figure9_network()
+    framework.register_middleware(net.system_y, {"Finance", "Sales"})
+    framework.register_middleware(net.system_z, {"Finance", "Sales"})
+    framework.register_middleware(net.system_x, {"hostx:ejb1/Finance",
+                                                 "hostx:ejb1/Sales"})
+
+    # Y -> credentials
+    legacy = net.system_y.extract_rbac()
+    policy_cred, memberships = encode_full(legacy, "KWebCom",
+                                           framework.keystore)
+
+    # W enforcement (pure KeyNote)
+    w_checker = ComplianceChecker([policy_cred] + memberships,
+                                  keystore=framework.keystore)
+
+    # Z catalogue update via KeyCOM
+    grants_only = legacy.copy("grants")
+    for assignment in list(grants_only.assignments):
+        grants_only.unassign(assignment.user, assignment.domain,
+                             assignment.role)
+    net.system_z.apply_rbac(grants_only)
+    framework.session.add_policy(policy_cred)
+    keycom = framework.keycom(net.system_z.name)
+    applied = sum(
+        keycom.submit_quietly(PolicyUpdateRequest(
+            user=a.user, user_key=framework.user_key(a.user),
+            domain=a.domain, role=a.role, credentials=tuple(memberships)))
+        for a in legacy.sorted_assignments())
+
+    # X configuration (legacy migration through the credentials)
+    comprehended = comprehend_credentials([policy_cred] + memberships,
+                                          keystore=framework.keystore)
+    translated, _report = translate_policy(
+        comprehended,
+        DomainMapping(explicit={"Finance": "hostx:ejb1/Finance",
+                                "Sales": "hostx:ejb1/Sales"}))
+    net.system_x.apply_rbac(translated)
+    return net, w_checker, comprehended, legacy, applied
+
+
+def test_fig09_interop(benchmark):
+    net, w_checker, comprehended, legacy, applied = benchmark(run_pipeline)
+
+    assert applied == 5
+    assert comprehended == legacy  # exact credential round-trip
+
+    rows = []
+    for nt_user, key, domain, role in PROBES:
+        plain_user = nt_user.split("\\")[1]
+        for permission in ("Access", "Launch"):
+            y = net.system_y.invoke(nt_user, "SalariesDB", permission)
+            w = w_checker.query(
+                action_attributes(domain, role, "SalariesDB", permission),
+                [key]) == "true"
+            z = net.system_z.invoke(nt_user, "SalariesDB", permission)
+            x = net.system_x.invoke(plain_user, "SalariesDB", permission)
+            rows.append((nt_user, permission, y, w, z, x))
+            # The whole point of Figure 9: all four systems agree.
+            assert y == w == z == x, (nt_user, permission, y, w, z, x)
+
+    print("\n=== Figure 9 (regenerated): decision agreement ===")
+    print(f"{'principal':16s} {'perm':7s} Y     W     Z     X")
+    for nt_user, permission, y, w, z, x in rows:
+        print(f"{nt_user:16s} {permission:7s} "
+              f"{str(y):5s} {str(w):5s} {str(z):5s} {str(x):5s}")

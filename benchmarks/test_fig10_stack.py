@@ -1,0 +1,108 @@
+"""Figure 10: the stacked security architecture.
+
+Artifact: all 16 layer configurations mediating the same request set, with
+the full stack's per-layer decision trace, plus the stack-overhead ablation
+(single layer vs full stack) called out in DESIGN.md.
+"""
+
+import itertools
+
+from repro.crypto import Keystore
+from repro.keynote.api import KeyNoteSession
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.unixlike import UnixSecurity
+from repro.webcom.stack import AuthorisationStack, Layer, MediationRequest
+
+
+def build_parts():
+    osec = UnixSecurity()
+    osec.add_user("alice", groups=["finance"])
+    osec.create_object("SalariesDB", owner="alice", group="finance",
+                       mode=0o640)
+    ejb = EJBServer(host="h", server_name="s")
+    ejb.deploy_container("C")
+    ejb.deploy_bean("C", "SalariesDB", methods=("read", "write"))
+    ejb.declare_role("C", "Clerk")
+    ejb.add_method_permission("C", "SalariesDB", "Clerk", "read")
+    ejb.add_user("alice")
+    ejb.assign_role("C", "Clerk", "alice")
+    keystore = Keystore()
+    keystore.create("Kalice")
+    tm = KeyNoteSession(keystore=keystore)
+    tm.add_policy('Authorizer: POLICY\nLicensees: "Kalice"\n'
+                  'Conditions: op=="read";')
+    app = lambda request: request.operation != "write"  # noqa: E731
+    return osec, ejb, tm, app
+
+
+def mediate_all_configurations():
+    osec, ejb, tm, app = build_parts()
+    allow_request = MediationRequest(user="alice", user_key="Kalice",
+                                     object_type="SalariesDB",
+                                     operation="read")
+    deny_request = MediationRequest(user="alice", user_key="Kalice",
+                                    object_type="SalariesDB",
+                                    operation="write", os_access="write")
+    outcomes = {}
+    for include in itertools.product([False, True], repeat=4):
+        stack = AuthorisationStack(require_some_layer=False)
+        if include[0]:
+            stack.plug_os(osec)
+        if include[1]:
+            stack.plug_middleware(ejb)
+        if include[2]:
+            stack.plug_trust_management(tm)
+        if include[3]:
+            stack.plug_application(app)
+        outcomes[include] = (stack.mediate(allow_request),
+                             stack.mediate(deny_request))
+    return outcomes
+
+
+def test_fig10_stack(benchmark):
+    outcomes = benchmark(mediate_all_configurations)
+
+    assert len(outcomes) == 16
+    for include, (allow_decision, deny_decision) in outcomes.items():
+        # 'read' passes every layer, so every configuration allows it.
+        assert allow_decision.allowed
+        assert len(allow_decision.decisions) == sum(include)
+        # 'write' is denied by the middleware, TM and application layers;
+        # the OS alone allows it (alice owns the object), so only
+        # configurations with at least one of the higher layers deny.
+        higher_layers_present = any(include[1:])
+        assert deny_decision.allowed == (not higher_layers_present)
+
+    full = outcomes[(True, True, True, True)][0]
+    assert [d.layer for d in full.decisions] == [
+        Layer.APPLICATION, Layer.TRUST_MANAGEMENT, Layer.MIDDLEWARE,
+        Layer.OS]
+
+    print("\n=== Figure 10 (regenerated): 16 stack configurations ===")
+    print("OS  MW  TM  APP | read   write")
+    for include, (a, d) in sorted(outcomes.items()):
+        flags = "   ".join("x" if flag else "." for flag in include)
+        print(f"{flags}  | {'allow' if a.allowed else 'deny ':5s}  "
+              f"{'allow' if d.allowed else 'deny'}")
+
+
+def test_fig10_single_layer_ablation(benchmark):
+    """Ablation: middleware-only mediation (the legacy configuration)."""
+    osec, ejb, tm, app = build_parts()
+    stack = AuthorisationStack().plug_middleware(ejb)
+    request = MediationRequest(user="alice", user_key="Kalice",
+                               object_type="SalariesDB", operation="read")
+    decision = benchmark(stack.mediate, request)
+    assert decision.allowed
+
+
+def test_fig10_full_stack_ablation(benchmark):
+    """Ablation: the full four-layer stack on the same request."""
+    osec, ejb, tm, app = build_parts()
+    stack = (AuthorisationStack().plug_os(osec).plug_middleware(ejb)
+             .plug_trust_management(tm).plug_application(app))
+    request = MediationRequest(user="alice", user_key="Kalice",
+                               object_type="SalariesDB", operation="read")
+    decision = benchmark(stack.mediate, request)
+    assert decision.allowed
+    assert len(decision.decisions) == 4

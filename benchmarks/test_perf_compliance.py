@@ -1,0 +1,96 @@
+"""Perf-1: KeyNote compliance-checker throughput and scaling.
+
+The paper reports no performance numbers; these benches characterise the
+reproduction and back the DESIGN.md ablation: memoised vs naive
+delegation-graph search on a diamond-heavy credential set where the naive
+search revisits principals exponentially often.
+"""
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.credential import Credential
+
+
+def build_chain(keystore: Keystore, depth: int) -> list[Credential]:
+    """A linear delegation chain of the given depth."""
+    names = [f"Kchain{i}" for i in range(depth + 1)]
+    for name in names:
+        keystore.create(name)
+    assertions = [Credential.build("POLICY", f'"{names[0]}"', 'x=="1"')]
+    for a, b in zip(names, names[1:]):
+        assertions.append(
+            Credential.build(a, f'"{b}"', 'x=="1"').sign(
+                keystore.pair(a).private))
+    return assertions
+
+
+def build_diamond_lattice(keystore: Keystore, layers: int,
+                          width: int) -> tuple[list[Credential], str]:
+    """A layered lattice: every key of layer i delegates to every key of
+    layer i+1 — the worst case for non-memoised search."""
+    grid = [[f"Kl{i}w{j}" for j in range(width)] for i in range(layers)]
+    for row in grid:
+        for name in row:
+            keystore.create(name)
+    assertions = [
+        Credential.build("POLICY",
+                         " || ".join(f'"{n}"' for n in grid[0]), "true")]
+    for upper, lower in zip(grid, grid[1:]):
+        for issuer in upper:
+            licensees = " || ".join(f'"{n}"' for n in lower)
+            assertions.append(
+                Credential.build(issuer, licensees, "true").sign(
+                    keystore.pair(issuer).private))
+    return assertions, grid[-1][0]
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32])
+def test_perf_chain_depth(benchmark, depth):
+    keystore = Keystore()
+    assertions = build_chain(keystore, depth)
+    checker = ComplianceChecker(assertions, keystore=keystore)
+    leaf = f"Kchain{depth}"
+    result = benchmark(checker.query, {"x": "1"}, [leaf])
+    assert result == "true"
+
+
+@pytest.mark.parametrize("n_credentials", [10, 100, 400])
+def test_perf_credential_count(benchmark, n_credentials):
+    """Many irrelevant credentials must not slow the relevant chain much
+    (the checker indexes by authorizer)."""
+    keystore = Keystore()
+    assertions = build_chain(keystore, 4)
+    for i in range(n_credentials):
+        keystore.create(f"Knoise{i}")
+        keystore.create(f"Knoise{i}b")
+        assertions.append(Credential.build(
+            f"Knoise{i}", f'"Knoise{i}b"', 'y=="9"').sign(
+                keystore.pair(f"Knoise{i}").private))
+    checker = ComplianceChecker(assertions, keystore=keystore)
+    result = benchmark(checker.query, {"x": "1"}, ["Kchain4"])
+    assert result == "true"
+
+
+@pytest.mark.parametrize("memoise", [True, False],
+                         ids=["memoised", "naive"])
+def test_perf_memoisation_ablation(benchmark, memoise):
+    """DESIGN.md ablation: the lattice makes the naive search revisit every
+    principal once per path; memoisation collapses that."""
+    keystore = Keystore()
+    assertions, leaf = build_diamond_lattice(keystore, layers=5, width=4)
+    checker = ComplianceChecker(assertions, keystore=keystore,
+                                memoise=memoise)
+    result = benchmark(checker.query, {}, [leaf])
+    assert result == "true"
+
+
+def test_memoisation_agrees_with_naive():
+    """Correctness side of the ablation (not timed)."""
+    keystore = Keystore()
+    assertions, leaf = build_diamond_lattice(keystore, layers=4, width=3)
+    memo = ComplianceChecker(assertions, keystore=keystore, memoise=True)
+    naive = ComplianceChecker(assertions, keystore=keystore, memoise=False)
+    for authorizer in ([leaf], ["Kl3w1"], ["Kl0w0"], ["Kl2w2", "Kl3w0"]):
+        assert memo.query({}, authorizer) == naive.query({}, authorizer)

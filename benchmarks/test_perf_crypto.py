@@ -1,0 +1,52 @@
+"""Perf-4: signature substrate throughput (sign / verify / keygen)."""
+
+import pytest
+
+from repro.crypto import KeyPair
+from repro.crypto.keys import PublicKey, Signature
+
+MESSAGE = b"KeyNote-Version: 2\nAuthorizer: POLICY\n" * 4
+
+
+def test_perf_keygen(benchmark):
+    counter = iter(range(10**9))
+    pair = benchmark(lambda: KeyPair.generate(f"seed-{next(counter)}"))
+    assert pair.public.y > 0
+
+
+def test_perf_sign(benchmark):
+    pair = KeyPair.generate("signer")
+    signature = benchmark(pair.sign, MESSAGE)
+    assert pair.public.verify(MESSAGE, signature)
+
+
+def test_perf_verify(benchmark):
+    pair = KeyPair.generate("signer")
+    signature = pair.sign(MESSAGE)
+    result = benchmark(pair.public.verify, MESSAGE, signature)
+    assert result
+
+
+def test_perf_verify_rejects(benchmark):
+    pair = KeyPair.generate("signer")
+    signature = pair.sign(MESSAGE)
+    result = benchmark(pair.public.verify, MESSAGE + b"x", signature)
+    assert not result
+
+
+def test_perf_key_round_trip(benchmark):
+    pair = KeyPair.generate("codec")
+    encoded = pair.public.encode()
+
+    def round_trip():
+        return PublicKey.decode(encoded)
+
+    decoded = benchmark(round_trip)
+    assert decoded == pair.public
+
+
+def test_perf_signature_codec(benchmark):
+    pair = KeyPair.generate("codec")
+    encoded = pair.sign(MESSAGE).encode()
+    decoded = benchmark(Signature.decode, encoded)
+    assert pair.public.verify(MESSAGE, decoded)

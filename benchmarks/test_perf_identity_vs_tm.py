@@ -1,0 +1,52 @@
+"""Perf-6: the identity-certificate baseline vs trust management.
+
+Section 3 argues the conventional pipeline (validate cert -> extract name ->
+database lookup) is cumbersome and ambiguity-prone where trust management
+submits credentials directly to the compliance checker.  This bench times
+both pipelines on equivalent Salaries decisions.
+"""
+
+from repro.crypto import KeyPair, Keystore
+from repro.identity.authz import AuthorisationDatabase, IdentityAuthoriser
+from repro.identity.certs import CertificateAuthority
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.credential import Credential
+
+
+def test_perf_identity_pipeline(benchmark):
+    ca = CertificateAuthority("AcmeCA")
+    db = AuthorisationDatabase()
+    db.grant("Bob", "SalariesDB", "read")
+    authoriser = IdentityAuthoriser(ca, db)
+    cert = ca.issue("Bob", KeyPair.generate("bob").public.encode())
+
+    decision = benchmark(authoriser.authorise, cert, "SalariesDB", "read")
+    assert decision.allowed
+
+
+def test_perf_trust_management_pipeline(benchmark):
+    keystore = Keystore()
+    keystore.create("Kbob")
+    policy = Credential.build(
+        "POLICY", '"Kbob"',
+        'app_domain=="SalariesDB" && oper=="read"')
+    checker = ComplianceChecker([policy], keystore=keystore)
+
+    result = benchmark(checker.query,
+                       {"app_domain": "SalariesDB", "oper": "read"}, ["Kbob"])
+    assert result == "true"
+
+
+def test_perf_identity_pipeline_with_crowded_ca(benchmark):
+    """Name ambiguity scanning scales with the CA's issuance volume —
+    a cost trust management simply doesn't have."""
+    ca = CertificateAuthority("BigCA")
+    db = AuthorisationDatabase()
+    db.grant("Bob", "SalariesDB", "read")
+    authoriser = IdentityAuthoriser(ca, db)
+    for i in range(500):
+        ca.issue(f"Employee {i}", KeyPair.generate(f"e{i}").public.encode())
+    cert = ca.issue("Bob", KeyPair.generate("bob").public.encode())
+
+    decision = benchmark(authoriser.authorise, cert, "SalariesDB", "read")
+    assert decision.allowed

@@ -1,0 +1,71 @@
+"""Perf-7: imprecise delegation ([13]) — cost and recall ablation.
+
+Exact compliance checking vs the similarity-relaxed checker, on queries whose
+attribute values are near-misses of the credential vocabulary.
+"""
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.credential import Credential
+from repro.translate.imprecise import ImpreciseChecker
+
+
+def build(keystore):
+    policy = Credential.build(
+        "POLICY", '"Kbob"',
+        'app_domain=="WebCom" && Domain=="Finance" && Role=="Manager" '
+        '&& Permission=="read"')
+    return [policy]
+
+
+EXACT_ATTRS = {"app_domain": "WebCom", "Domain": "Finance",
+               "Role": "Manager", "Permission": "read"}
+NEAR_ATTRS = {"app_domain": "WebCom", "Domain": "FinanceDept",
+              "Role": "Manager", "Permission": "read"}
+
+
+def test_perf_exact_checker_on_near_miss(benchmark):
+    """Baseline: the strict checker simply denies the near-miss."""
+    keystore = Keystore()
+    keystore.create("Kbob")
+    checker = ComplianceChecker(build(keystore), keystore=keystore)
+    result = benchmark(checker.query, NEAR_ATTRS, ["Kbob"])
+    assert result == "false"  # zero recall on near-misses
+
+
+def test_perf_imprecise_checker_exact_path(benchmark):
+    """The relaxed checker costs nothing extra when the match is exact."""
+    keystore = Keystore()
+    keystore.create("Kbob")
+    checker = ImpreciseChecker(build(keystore), keystore=keystore)
+    result = benchmark(checker.query, EXACT_ATTRS, ["Kbob"])
+    assert result.authorized
+    assert result.similarity == 1.0
+
+
+def test_perf_imprecise_checker_near_miss(benchmark):
+    """The relaxed checker recovers the near-miss, at a measurable cost."""
+    keystore = Keystore()
+    keystore.create("Kbob")
+    checker = ImpreciseChecker(build(keystore), keystore=keystore)
+    result = benchmark(checker.query, NEAR_ATTRS, ["Kbob"])
+    assert result.authorized
+    assert result.substitutions == {"Domain": "Finance"}
+
+
+@pytest.mark.parametrize("vocab_size", [4, 32], ids=lambda n: f"vocab{n}")
+def test_perf_imprecise_vocabulary_scaling(benchmark, vocab_size):
+    """Cost grows with the harvested vocabulary (candidate scan)."""
+    keystore = Keystore()
+    keystore.create("Kbob")
+    assertions = build(keystore)
+    for i in range(vocab_size):
+        assertions.append(Credential.build(
+            "POLICY", '"Kbob"',
+            f'app_domain=="WebCom" && Domain=="Dept{i:02d}" '
+            f'&& Role=="Manager" && Permission=="read"'))
+    checker = ImpreciseChecker(assertions, keystore=keystore)
+    result = benchmark(checker.query, NEAR_ATTRS, ["Kbob"])
+    assert result.authorized

@@ -1,0 +1,97 @@
+"""Perf-8: organisation-scale sweeps.
+
+A deployment far larger than the paper's running example: hundreds of users
+across tens of domains, pushed through the full configure -> comprehend ->
+consistency cycle, plus selection-policy and fault-rate scheduling sweeps.
+"""
+
+import pytest
+
+from benchmarks.conftest import synthetic_policy
+from repro.core.framework import HeterogeneousSecurityFramework
+from repro.middleware.ejb import EJBServer
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.patterns import fan_out_in
+
+
+def test_perf_configure_large_org(benchmark):
+    """configure() over a 20-domain, 200-user policy on one EJB estate."""
+    policy = synthetic_policy(n_domains=4, n_roles=5, n_types=3, n_perms=2,
+                              n_users=200)
+    # Readdress domains into one server's scheme.
+    server = EJBServer(host="big", server_name="e")
+    readdressed = type(policy)("big")
+    for grant in policy.grants:
+        readdressed.grant(f"big:e/{grant.domain}", grant.role,
+                          grant.object_type, grant.permission)
+    for assignment in policy.assignments:
+        readdressed.assign(assignment.user, f"big:e/{assignment.domain}",
+                           assignment.role)
+
+    def configure():
+        framework = HeterogeneousSecurityFramework()
+        fresh = EJBServer(host="big", server_name="e")
+        framework.register_middleware(
+            fresh, {f"big:e/Dom{d}" for d in range(4)})
+        report = framework.configure(readdressed)
+        return framework, fresh, report
+
+    framework, fresh, report = benchmark(configure)
+    assert report.is_consistent()
+    assert fresh.invoke("User0", "Type0", "perm0")
+
+
+def test_perf_consistency_check_large_org(benchmark):
+    policy = synthetic_policy(n_domains=4, n_roles=5, n_types=3, n_perms=2,
+                              n_users=200)
+    readdressed = type(policy)("big")
+    for grant in policy.grants:
+        readdressed.grant(f"big:e/{grant.domain}", grant.role,
+                          grant.object_type, grant.permission)
+    for assignment in policy.assignments:
+        readdressed.assign(assignment.user, f"big:e/{assignment.domain}",
+                           assignment.role)
+    framework = HeterogeneousSecurityFramework()
+    server = EJBServer(host="big", server_name="e")
+    framework.register_middleware(server,
+                                  {f"big:e/Dom{d}" for d in range(4)})
+    framework.configure(readdressed)
+    report = benchmark(framework.check_consistency)
+    assert report.is_consistent()
+
+
+@pytest.mark.parametrize("policy_name", ["first", "least-loaded",
+                                         "round-robin"])
+def test_perf_selection_policies(benchmark, policy_name):
+    """DESIGN ablation companion: placement policy cost on a wide fan-out."""
+    net = SimulatedNetwork()
+    master = WebComMaster("m", net, selection_policy=policy_name)
+    ops = {"work": lambda v: v + 1, "join": lambda *vs: sum(vs)}
+    for i in range(6):
+        WebComClient(f"c{i}", net, ops).register_with("m")
+    net.run_until_quiet()
+    graph = fan_out_in("f", "work", "join", width=12)
+    result = benchmark(master.run_graph, graph, {"x": 1})
+    assert result == 24
+
+
+@pytest.mark.parametrize("crash_fraction", [0.0, 0.5],
+                         ids=["healthy", "half-crashed"])
+def test_perf_scheduling_under_faults(benchmark, crash_fraction):
+    """Throughput under client failures: rescheduling costs, not deadlock."""
+    ops = {"work": lambda v: v + 1, "join": lambda *vs: sum(vs)}
+
+    def run():
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net, max_attempts=8)
+        n_clients = 8
+        for i in range(n_clients):
+            WebComClient(f"c{i}", net, ops).register_with("m")
+        net.run_until_quiet()
+        for i in range(int(n_clients * crash_fraction)):
+            net.crash(f"c{i}")
+        graph = fan_out_in("f", "work", "join", width=8)
+        return master.run_graph(graph, {"x": 1})
+
+    assert benchmark(run) == 16

@@ -1,0 +1,82 @@
+"""Perf-3: secure scheduler throughput.
+
+Sweeps condensed-graph width and client count through the full Secure WebCom
+path (network messages + two-sided TM mediation per node), and compares
+secured against unsecured scheduling — the overhead the Figure-3
+architecture buys its interoperability with.
+"""
+
+import pytest
+
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.secure import SecureWebComEnvironment
+
+OPS = {"work": lambda v: v + 1, "join": lambda *vs: sum(vs)}
+
+
+def fanout_graph(width: int) -> CondensedGraph:
+    g = CondensedGraph(f"fanout-{width}")
+    g.add_node("join", operator="join", arity=width)
+    for i in range(width):
+        node = f"w{i:03d}"
+        g.add_node(node, operator="work", arity=1)
+        g.connect(node, "join", i)
+        g.entry("x", node, 0)
+    g.set_exit("join")
+    return g
+
+
+def build_secure(n_clients: int):
+    env = SecureWebComEnvironment()
+    net = SimulatedNetwork(clock=env.clock)
+    env.create_key("Kmaster")
+    master = WebComMaster("master", net, key_name="Kmaster",
+                          scheduler_filter=env.master_filter())
+    keys = []
+    for i in range(n_clients):
+        key = env.create_key(f"Kc{i}")
+        keys.append(key)
+        client = WebComClient(f"c{i}", net, OPS, key_name=key,
+                              authoriser=env.client_authoriser(f"c{i}"))
+        env.client_trusts_master(f"c{i}", "Kmaster")
+        client.register_with("master")
+    net.run_until_quiet()
+    env.trust_clients_for_operations(keys, list(OPS))
+    return master
+
+
+def build_plain(n_clients: int):
+    net = SimulatedNetwork()
+    master = WebComMaster("master", net)
+    for i in range(n_clients):
+        client = WebComClient(f"c{i}", net, OPS)
+        client.register_with("master")
+    net.run_until_quiet()
+    return master
+
+
+@pytest.mark.parametrize("width", [4, 16], ids=lambda w: f"width{w}")
+def test_perf_secure_scheduling(benchmark, width):
+    master = build_secure(n_clients=4)
+    graph = fanout_graph(width)
+    result = benchmark(master.run_graph, graph, {"x": 1})
+    assert result == 2 * width
+
+
+@pytest.mark.parametrize("width", [4, 16], ids=lambda w: f"width{w}")
+def test_perf_plain_scheduling_ablation(benchmark, width):
+    """Baseline: the same graph without any security mediation."""
+    master = build_plain(n_clients=4)
+    graph = fanout_graph(width)
+    result = benchmark(master.run_graph, graph, {"x": 1})
+    assert result == 2 * width
+
+
+@pytest.mark.parametrize("n_clients", [1, 8], ids=lambda n: f"clients{n}")
+def test_perf_client_pool_size(benchmark, n_clients):
+    master = build_secure(n_clients=n_clients)
+    graph = fanout_graph(8)
+    result = benchmark(master.run_graph, graph, {"x": 1})
+    assert result == 16

@@ -1,0 +1,84 @@
+"""Perf-5: SPKI chain discovery / reduction scaling, and KeyNote-vs-SPKI
+backend comparison on the paper's Salaries scenario."""
+
+import pytest
+
+from repro.core.scenarios import salaries_policy
+from repro.crypto import Keystore
+from repro.keynote.compliance import ComplianceChecker
+from repro.spki.cert import AuthCert
+from repro.spki.chain import CertStore, reduce_chain
+from repro.spki.sexp import parse_sexp
+from repro.translate.common import action_attributes
+from repro.translate.to_keynote import encode_full
+from repro.translate.to_spki import spki_policy_certificates, spki_request_tag
+
+TAG = parse_sexp("(salaries (* set read write))")
+
+
+def build_chain_store(depth: int) -> tuple[CertStore, Keystore, str]:
+    keystore = Keystore()
+    names = [f"Kc{i}" for i in range(depth + 1)]
+    for name in names:
+        keystore.create(name)
+    store = CertStore(keystore)
+    for a, b in zip(names, names[1:]):
+        cert = AuthCert(issuer=a, subject=b, tag=TAG, delegate=True).sign(
+            keystore.pair(a).private)
+        store.add_auth(cert)
+    return store, keystore, names[-1]
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32], ids=lambda d: f"depth{d}")
+def test_perf_chain_discovery(benchmark, depth):
+    store, _keystore, leaf = build_chain_store(depth)
+    chain = benchmark(store.find_chain, "Kc0", leaf,
+                      parse_sexp("(salaries read)"))
+    assert chain is not None
+    assert len(chain) == depth
+
+
+def test_perf_chain_reduction(benchmark):
+    store, _keystore, leaf = build_chain_store(16)
+    chain = store.find_chain("Kc0", leaf, parse_sexp("(salaries read)"))
+    reduced = benchmark(reduce_chain, chain)
+    assert reduced.subject == leaf
+
+
+def test_perf_spki_backend_salaries(benchmark):
+    """The Salaries access matrix through the SPKI backend."""
+    keystore = Keystore()
+    policy = salaries_policy()
+    auth_certs, name_certs = spki_policy_certificates(policy, "KWebCom",
+                                                      keystore)
+    store = CertStore(keystore)
+    for cert in auth_certs:
+        store.add_auth(cert)
+
+    def query_matrix():
+        return [store.is_authorised(
+                    "Kself", "Kbob",
+                    spki_request_tag("Finance", "Manager", "SalariesDB",
+                                     perm))
+                for perm in ("read", "write")]
+
+    results = benchmark(query_matrix)
+    assert results == [True, True]
+
+
+def test_perf_keynote_backend_salaries(benchmark):
+    """The same matrix through KeyNote, for the backend comparison."""
+    keystore = Keystore()
+    policy = salaries_policy()
+    policy_cred, memberships = encode_full(policy, "KWebCom", keystore)
+    checker = ComplianceChecker([policy_cred] + memberships,
+                                keystore=keystore)
+
+    def query_matrix():
+        return [checker.query(
+                    action_attributes("Finance", "Manager", "SalariesDB",
+                                      perm), ["Kbob"]) == "true"
+                for perm in ("read", "write")]
+
+    results = benchmark(query_matrix)
+    assert results == [True, True]

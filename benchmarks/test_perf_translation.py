@@ -1,0 +1,96 @@
+"""Perf-2: policy translation scaling and the similarity-migration ablation.
+
+Sweeps the RBAC -> KeyNote -> RBAC round-trip over growing policy sizes, and
+compares similarity-based permission mapping against the strict-name
+fallback on a vocabulary full of near-misses.
+"""
+
+import pytest
+
+from benchmarks.conftest import synthetic_policy
+from repro.crypto import Keystore
+from repro.middleware.complus import COM_PERMISSIONS
+from repro.translate.from_keynote import comprehend_credentials
+from repro.translate.migrate import DomainMapping, translate_policy
+from repro.translate.similarity import match_vocabulary
+from repro.translate.to_keynote import encode_full
+
+
+@pytest.mark.parametrize("scale", [1, 4, 8], ids=lambda s: f"scale{s}")
+def test_perf_round_trip_scaling(benchmark, scale):
+    policy = synthetic_policy(n_domains=scale, n_roles=scale, n_types=2,
+                              n_perms=2, n_users=scale * 4)
+
+    def round_trip():
+        keystore = Keystore()
+        policy_cred, memberships = encode_full(policy, "KAdmin", keystore)
+        return comprehend_credentials([policy_cred] + memberships,
+                                      keystore=keystore)
+
+    recovered = benchmark(round_trip)
+    assert recovered.grants == policy.grants
+
+
+@pytest.mark.parametrize("n_users", [10, 50], ids=lambda n: f"users{n}")
+def test_perf_membership_issuance(benchmark, n_users):
+    policy = synthetic_policy(n_domains=2, n_roles=3, n_types=1, n_perms=1,
+                              n_users=n_users)
+
+    def issue():
+        keystore = Keystore()
+        return encode_full(policy, "KAdmin", keystore)[1]
+
+    memberships = benchmark(issue)
+    assert len(memberships) == n_users
+
+
+def test_perf_similarity_migration(benchmark):
+    """Similarity-based mapping onto COM's closed vocabulary."""
+    policy = synthetic_policy(n_domains=2, n_roles=2, n_types=2, n_perms=1,
+                              n_users=4)
+    # Overwrite the synthetic permissions with realistic near-misses.
+    source = policy.copy("near-miss")
+    for grant in list(source.grants):
+        source.revoke_grant(grant.domain, grant.role, grant.object_type,
+                            grant.permission)
+    for domain in ("Dom0", "Dom1"):
+        for role, perm in (("role0", "read"), ("role0", "execute"),
+                           ("role1", "run_as"), ("role1", "update")):
+            source.grant(domain, role, "Type0", perm)
+
+    def migrate():
+        return translate_policy(source, DomainMapping.identity(),
+                                target_permissions=COM_PERMISSIONS)
+
+    translated, report = benchmark(migrate)
+    assert report.dropped == ()
+    assert set(report.vocabulary_map) == {"read", "execute", "run_as",
+                                          "update"}
+    assert {g.permission for g in translated.grants} <= set(COM_PERMISSIONS)
+
+
+def test_perf_strict_name_ablation(benchmark):
+    """Ablation: strict-name migration drops every near-miss the similarity
+    metric would have saved."""
+    source = synthetic_policy(n_domains=1, n_roles=1, n_types=1, n_perms=1,
+                              n_users=1)
+    source.revoke_grant("Dom0", "role0", "Type0", "perm0")
+    for perm in ("read", "execute", "run_as", "update"):
+        source.grant("Dom0", "role0", "Type0", perm)
+
+    def migrate_strict():
+        # threshold 1.0 ~ exact names only
+        return translate_policy(source, DomainMapping.identity(),
+                                target_permissions=COM_PERMISSIONS,
+                                similarity_threshold=1.01)
+
+    _translated, report = benchmark(migrate_strict)
+    assert len(report.dropped) == 4  # everything lost without similarity
+
+
+@pytest.mark.parametrize("size", [8, 32], ids=lambda s: f"vocab{s}")
+def test_perf_vocabulary_matching(benchmark, size):
+    sources = [f"perm_{i}_read" for i in range(size)]
+    targets = [f"perm{i}Read" for i in range(size)]
+    mapping = benchmark(match_vocabulary, sources, targets)
+    assert len(mapping) == size

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Imprecise delegation with similarity measures (reference [13]).
+
+Two organisations merge their policies: credentials were written for the
+``Finance`` domain, but requests arrive spelled ``FinanceDept`` /
+``finance``.  The strict compliance checker denies every near-miss; the
+similarity-relaxed checker recovers them with a quantified evidence score,
+and a similarity floor keeps sensitive operations strict.
+
+Also prints the administrative reports (effective permissions, delegation
+graph) the comprehension service produces.
+
+Run:  python examples/imprecise_delegation.py
+"""
+
+from repro import Keystore, salaries_policy
+from repro.report import delegation_graph_dot, effective_permissions_report
+from repro.translate.imprecise import ImpreciseChecker
+from repro.translate.to_keynote import encode_full
+
+
+def main() -> None:
+    keystore = Keystore()
+    policy = salaries_policy()
+    policy_cred, memberships = encode_full(policy, "KWebCom", keystore)
+    assertions = [policy_cred] + memberships
+
+    checker = ImpreciseChecker(assertions, keystore=keystore, threshold=0.7)
+
+    requests = [
+        # (description, attributes)
+        ("exact", {"app_domain": "WebCom", "Domain": "Finance",
+                   "Role": "Manager", "ObjectType": "SalariesDB",
+                   "Permission": "read"}),
+        ("misspelt domain", {"app_domain": "WebCom", "Domain": "FinanceDept",
+                             "Role": "Manager", "ObjectType": "SalariesDB",
+                             "Permission": "read"}),
+        ("lowercase + plural", {"app_domain": "WebCom", "Domain": "finance",
+                                "Role": "Managers",
+                                "ObjectType": "SalariesDB",
+                                "Permission": "read"}),
+        ("wrong permission", {"app_domain": "WebCom", "Domain": "Finance",
+                              "Role": "Manager", "ObjectType": "SalariesDB",
+                              "Permission": "delete"}),
+    ]
+
+    print("=== Imprecise compliance checking (Kbob requesting) ===")
+    for label, attributes in requests:
+        result = checker.query(attributes, ["Kbob"])
+        verdict = "ALLOWED" if result.authorized else "denied"
+        subs = (f" via {dict(result.substitutions)}"
+                if result.substitutions else "")
+        print(f"  {label:22s} -> {verdict:7s} "
+              f"similarity={result.similarity:.2f}{subs}")
+
+    print("\n=== Similarity floors for sensitive actions ===")
+    near = requests[1][1]
+    for floor in (0.5, 0.99):
+        result = checker.query_with_floor(near, ["Kbob"], floor)
+        print(f"  floor={floor:4.2f}: "
+              f"{'ALLOWED' if result.authorized else 'denied'} "
+              f"(evidence {result.similarity:.2f})")
+
+    print("\n=== Effective permissions (comprehension report) ===")
+    print(effective_permissions_report(policy))
+
+    print("\n=== Delegation graph (Graphviz DOT) ===")
+    print(delegation_graph_dot(assertions))
+
+
+if __name__ == "__main__":
+    main()

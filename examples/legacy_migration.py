@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""The Figure-9 interoperation pipeline.
+
+Four systems:  X = EJB over Unix,  Y = COM+ over Windows (carrying the legacy
+Salaries policy),  Z = KeyNote + COM+ over Windows,  W = KeyNote over Windows
+with no middleware.  The script drives the three translations the paper
+narrates:
+
+1. Y's COM policy  ->  KeyNote credentials,
+2. those credentials enforce the policy on W (no middleware at all), and
+   update Z's COM+ catalogue through its KeyCOM service,
+3. the same credentials configure the replacement EJB system X
+   (legacy migration), with a per-domain mapping.
+
+Run:  python examples/legacy_migration.py
+"""
+
+from repro import HeterogeneousSecurityFramework, build_figure9_network
+from repro.keynote.compliance import ComplianceChecker
+from repro.translate.common import action_attributes
+from repro.translate.from_keynote import comprehend_credentials
+from repro.translate.migrate import DomainMapping, translate_policy
+from repro.translate.to_keynote import encode_full
+from repro.webcom.keycom import PolicyUpdateRequest
+
+
+def main() -> None:
+    framework = HeterogeneousSecurityFramework(admin_key="KWebCom")
+    net = build_figure9_network()
+    framework.register_middleware(net.system_y, {"Finance", "Sales"})
+    framework.register_middleware(net.system_z, {"Finance", "Sales"})
+    framework.register_middleware(net.system_x, {"hostx:ejb1/Finance",
+                                                 "hostx:ejb1/Sales"})
+
+    print("=== Step 1: translate Y's legacy COM policy to KeyNote ===")
+    legacy = net.system_y.extract_rbac()
+    print(f"Y's policy: {len(legacy.grants)} grants, "
+          f"{len(legacy.assignments)} assignments")
+    policy_cred, memberships = encode_full(legacy, "KWebCom",
+                                           framework.keystore)
+    print(f"-> 1 POLICY credential + {len(memberships)} membership "
+          "credentials\n")
+
+    print("=== Step 2a: W (no middleware) enforces the policy via KeyNote ===")
+    w_checker = ComplianceChecker([policy_cred] + memberships,
+                                  keystore=framework.keystore)
+    probes = [("Kalice", "Finance", "Clerk", "Access"),
+              ("Kbob", "Finance", "Manager", "Launch"),
+              ("Kdave", "Sales", "Assistant", "Access")]
+    for key, domain, role, perm in probes:
+        value = w_checker.query(
+            action_attributes(domain, role, "SalariesDB", perm), [key])
+        print(f"  W: {key:8s} {domain}/{role:<9s} {perm:<7s} -> {value}")
+
+    print("\n=== Step 2b: the credentials update Z's COM+ catalogue ===")
+    grants_only = legacy.copy("grants")
+    for assignment in list(grants_only.assignments):
+        grants_only.unassign(assignment.user, assignment.domain,
+                             assignment.role)
+    net.system_z.apply_rbac(grants_only)          # application structure
+    framework.session.add_policy(policy_cred)      # local trust root
+    keycom = framework.keycom(net.system_z.name)
+    for assignment in legacy.sorted_assignments():
+        request = PolicyUpdateRequest(
+            user=assignment.user,
+            user_key=framework.user_key(assignment.user),
+            domain=assignment.domain, role=assignment.role,
+            credentials=tuple(memberships))
+        ok = keycom.submit_quietly(request)
+        print(f"  KeyCOM(Z): install {assignment.user:7s} into "
+              f"{assignment.domain}/{assignment.role:<9s} -> "
+              f"{'applied' if ok else 'REJECTED'}")
+    print("  Z now mediates:",
+          "Alice/Access:", net.system_z.invoke("Finance\\Alice", "SalariesDB",
+                                               "Access"),
+          " Dave/Access:", net.system_z.invoke("Sales\\Dave", "SalariesDB",
+                                               "Access"))
+
+    print("\n=== Step 3: legacy migration Y -> X (replacement EJB) ===")
+    comprehended = comprehend_credentials([policy_cred] + memberships,
+                                          keystore=framework.keystore)
+    assert comprehended == legacy, "credential round-trip must be exact"
+    mapping = DomainMapping(explicit={
+        "Finance": "hostx:ejb1/Finance",
+        "Sales": "hostx:ejb1/Sales",
+    })
+    translated, report = translate_policy(comprehended, mapping)
+    net.system_x.apply_rbac(translated)
+    print(f"  migration report: {report.summary()}")
+    print(f"  domain map: {dict(report.domain_map)}")
+    for user, perm, expect in (("Alice", "Access", True),
+                               ("Bob", "Launch", True),
+                               ("Claire", "Launch", False),
+                               ("Dave", "Access", False)):
+        got = net.system_x.invoke(user, "SalariesDB", perm)
+        marker = "OK" if got == expect else "MISMATCH"
+        print(f"  X: {user:7s} {perm:<7s} -> {got}  [{marker}]")
+
+    print("\nPipeline complete: one policy, four systems, "
+          "three security technologies.")
+
+
+if __name__ == "__main__":
+    main()

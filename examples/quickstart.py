@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Examples 1 and 2 (Figures 2 and 4).
+
+A Salaries application trusts finance manager Bob's key for read/write
+access; Bob delegates write access to clerk Alice by signing a credential.
+The KeyNote compliance checker answers every request.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Credential, KeyNoteSession, Keystore
+
+
+def main() -> None:
+    keystore = Keystore()
+    keystore.create("Kbob")
+    keystore.create("Kalice")
+
+    session = KeyNoteSession(keystore=keystore)
+
+    # Figure 2: the local policy trusts Kbob for reads and writes.
+    policy = session.add_policy("""
+        Authorizer: POLICY
+        Licensees: "Kbob"
+        Conditions: app_domain=="SalariesDB" &&
+                    (oper=="read" || oper=="write");
+    """)
+    print("Policy credential (Figure 2):")
+    print(policy.to_text())
+
+    # Figure 4: Bob delegates write access to Alice, signing the credential.
+    delegation = Credential.build(
+        authorizer="Kbob",
+        licensees='"Kalice"',
+        conditions='app_domain=="SalariesDB" && oper=="write"',
+    ).signed_by(keystore)
+    session.add_credential(delegation)
+    print("Delegation credential (Figure 4):")
+    print(delegation.to_text())
+
+    # Example 2: the application queries KeyNote for each request.
+    requests = [
+        ("Kbob", "read"), ("Kbob", "write"), ("Kbob", "delete"),
+        ("Kalice", "write"), ("Kalice", "read"),
+    ]
+    print("Decisions:")
+    for key, oper in requests:
+        result = session.query({"app_domain": "SalariesDB", "oper": oper},
+                               authorizers=[key])
+        verdict = "ALLOWED" if result else "denied"
+        print(f"  {key:8s} {oper:6s} -> {verdict} "
+              f"(compliance value: {result.compliance_value})")
+
+    assert session.query({"app_domain": "SalariesDB", "oper": "write"},
+                         ["Kalice"]).authorized
+    assert not session.query({"app_domain": "SalariesDB", "oper": "read"},
+                             ["Kalice"]).authorized
+    print("\nQuickstart OK: delegation grants exactly what Bob signed away.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Secure heterogeneous application development (Section 6, Figure 11).
+
+Builds a payroll-report workflow as a condensed graph whose nodes are
+middleware components served by two different technologies (EJB and CORBA),
+interrogates the middleware to build the IDE's component palette, lets the
+"programmer" pick (domain, role, user) placements — one full, one partial —
+and executes the graph across Secure WebCom clients under trust-management
+mediation in both directions.
+
+Run:  python examples/secure_workflow.py
+"""
+
+from repro import (
+    CondensedGraph,
+    Credential,
+    SecureWebComEnvironment,
+    SimulatedNetwork,
+    WebComClient,
+    WebComIDE,
+    WebComMaster,
+)
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.ejb import EJBServer
+from repro.middleware.registry import MiddlewareRegistry
+from repro.webcom.ide import PlacementSpec
+
+
+def build_middleware() -> MiddlewareRegistry:
+    registry = MiddlewareRegistry()
+
+    ejb = EJBServer(host="hostx", server_name="ejb1")
+    ejb.deploy_container("Payroll")
+    ejb.deploy_bean("Payroll", "SalariesDB", methods=("read", "write"))
+    ejb.declare_role("Payroll", "Clerk")
+    ejb.declare_role("Payroll", "Manager")
+    ejb.add_method_permission("Payroll", "SalariesDB", "Manager", "read")
+    ejb.add_method_permission("Payroll", "SalariesDB", "Clerk", "write")
+    for user in ("alice", "bob"):
+        ejb.add_user(user)
+    ejb.assign_role("Payroll", "Clerk", "alice")
+    ejb.assign_role("Payroll", "Manager", "bob")
+    registry.register(ejb)
+
+    orb = CorbaOrb(machine="hosty", orb_name="orb1")
+    orb.register_interface("ReportGen", operations=("render",))
+    orb.declare_role("Analyst")
+    orb.grant_right("Analyst", "ReportGen", "render")
+    orb.assign_role("Analyst", "carol")
+    registry.register(orb)
+    return registry
+
+
+def main() -> None:
+    registry = build_middleware()
+    ide = WebComIDE(registry)
+
+    print("=== IDE interrogation: the component palette (Figure 11) ===")
+    palette = ide.interrogate()
+    for entry in palette:
+        print(f"  {entry.component.component_id}")
+        for combo in entry.combinations:
+            print(f"      {combo.domain}/{combo.role} "
+                  f"user={combo.user} op={combo.operation}")
+
+    # The programmer places the read step on any Payroll Manager (partial
+    # specification) and the render step on Carol specifically (full).
+    read_spec = PlacementSpec("hostx:ejb1/Payroll", "Manager")
+    render_spec = PlacementSpec("hosty/orb1", "Analyst", "carol")
+    ide.check_placement("hostx:ejb1/Payroll#SalariesDB", read_spec,
+                        operation="read")
+    ide.check_placement("hosty/orb1#ReportGen", render_spec,
+                        operation="render")
+    reader = ide.resolve_user("hostx:ejb1/Payroll#SalariesDB", read_spec,
+                              operation="read")
+    print(f"\nPlacements valid: read -> {read_spec} (resolved user "
+          f"{reader!r}), render -> {render_spec}")
+
+    # Build the workflow graph: read salaries, then render the report.
+    graph = CondensedGraph("payroll-report")
+    graph.add_node("read", operator="SalariesDB.read", arity=1,
+                   placement=read_spec)
+    graph.add_node("render", operator="ReportGen.render", arity=1,
+                   placement=render_spec)
+    graph.connect("read", "render", 0)
+    graph.entry("period", "read", 0)
+    graph.set_exit("render")
+
+    # Stand up Secure WebCom: one master, one client per middleware user.
+    env = SecureWebComEnvironment()
+    net = SimulatedNetwork(clock=env.clock)
+    env.create_key("Kmaster")
+    master = WebComMaster("master", net, key_name="Kmaster",
+                          scheduler_filter=env.master_filter(),
+                          audit=env.audit)
+
+    salaries = {"2026-06": ["alice: 4200", "bob: 5100"]}
+
+    def read_op(period):
+        return salaries[period]
+
+    def render_op(rows):
+        return "PAYROLL REPORT\n" + "\n".join(f"  {row}" for row in rows)
+
+    clients = {
+        "bob-node": ("Kbobnode", "bob", {"SalariesDB.read": read_op}),
+        "carol-node": ("Kcarolnode", "carol",
+                       {"ReportGen.render": render_op}),
+    }
+    for client_id, (key, user, ops) in clients.items():
+        env.create_key(key)
+        client = WebComClient(client_id, net, ops, key_name=key, user=user,
+                              authoriser=env.client_authoriser(client_id),
+                              audit=env.audit)
+        env.client_trusts_master(client_id, "Kmaster")
+        client.register_with("master")
+    net.run_until_quiet()
+
+    # Master-side trust: placements are enforced through role-membership
+    # credentials signed by the WebCom administration key — the same
+    # Figure-6 shape the framework's translation layer produces.
+    admin = env.create_key("KWebComAdmin")
+    env.master_session.add_policy(
+        f'Authorizer: POLICY\nLicensees: "{admin}"\n'
+        'Conditions: app_domain=="WebCom";')
+    for client_key, domain, role in (
+            ("Kbobnode", "hostx:ejb1/Payroll", "Manager"),
+            ("Kcarolnode", "hosty/orb1", "Analyst")):
+        membership = Credential.build(
+            admin, f'"{client_key}"',
+            f'app_domain=="WebCom" && Domain=="{domain}" && Role=="{role}"',
+        ).sign(env.keystore.pair(admin).private)
+        env.master_session.add_credential(membership)
+
+    print("\n=== Executing the workflow across Secure WebCom ===")
+    report = master.run_graph(graph, {"period": "2026-06"})
+    print(report)
+    print("\nSchedule:", master.schedule_log)
+    allowed = len(env.audit.find(category="keynote.query", outcome="allow"))
+    print(f"Trust-management queries answered 'allow': {allowed}")
+
+
+if __name__ == "__main__":
+    main()

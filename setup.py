@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package available)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""Reproduction of *A Framework for Heterogeneous Middleware Security*
+(Foley, Quillinan, O'Connor, Mulcahy, Morrison — IPPS 2004).
+
+Secure WebCom coordinates middleware components across CORBA, EJB and
+COM+/.NET, using the KeyNote trust-management system (with SPKI/SDSI as an
+alternative) to give heterogeneous middleware a single, interoperable view of
+RBAC authorisation.  This package rebuilds the whole system in Python:
+
+- :mod:`repro.crypto` — Schnorr signatures and the PKI,
+- :mod:`repro.rbac` — the Section-2 extended RBAC model,
+- :mod:`repro.keynote` — the RFC-2704 trust-management engine,
+- :mod:`repro.spki` — SPKI/SDSI certificates and chain reduction,
+- :mod:`repro.os_sec` — simulated Unix and Windows security (L0),
+- :mod:`repro.middleware` — CORBA / EJB / COM+ simulators (L1),
+- :mod:`repro.translate` — the bidirectional policy translations,
+- :mod:`repro.webcom` — condensed graphs, the metacomputer, Secure WebCom,
+  KeyCOM, stacked authorisation and the IDE analysis,
+- :mod:`repro.core` — the framework facade and the paper's scenarios.
+
+Quickstart::
+
+    from repro import HeterogeneousSecurityFramework, salaries_policy
+
+    framework = HeterogeneousSecurityFramework()
+    framework.configure(salaries_policy())
+    assert framework.check_access_by_key(
+        "Kbob", "Finance", "Manager", "SalariesDB", "read")
+"""
+
+from repro.core.framework import HeterogeneousSecurityFramework
+from repro.core.scenarios import build_figure9_network, salaries_policy
+from repro.crypto import KeyPair, Keystore
+from repro.keynote import Credential, KeyNoteSession
+from repro.rbac import RBACPolicy
+from repro.webcom import (
+    AuthorisationStack,
+    CondensedGraph,
+    GraphEngine,
+    SecureWebComEnvironment,
+    SimulatedNetwork,
+    WebComClient,
+    WebComIDE,
+    WebComMaster,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthorisationStack",
+    "CondensedGraph",
+    "Credential",
+    "GraphEngine",
+    "HeterogeneousSecurityFramework",
+    "KeyNoteSession",
+    "KeyPair",
+    "Keystore",
+    "RBACPolicy",
+    "SecureWebComEnvironment",
+    "SimulatedNetwork",
+    "WebComClient",
+    "WebComIDE",
+    "WebComMaster",
+    "build_figure9_network",
+    "salaries_policy",
+    "__version__",
+]

@@ -1,0 +1,180 @@
+"""Command-line interface to the framework's policy services.
+
+Subcommands mirror the paper's Section-4 services over policy files:
+
+- ``tables``      — render a policy's Figure-1 style relation tables;
+- ``encode``      — Policy Configuration input: policy JSON -> KeyNote
+  credentials (the Figure-5 POLICY plus Figure-6 memberships);
+- ``comprehend``  — Policy Comprehension: credentials -> policy JSON;
+- ``query``       — run one KeyNote query against a credential file;
+- ``check``       — RBAC access decision against a policy file;
+- ``demo``        — run the built-in Salaries scenario end to end.
+
+Usage examples::
+
+    python -m repro.cli tables --policy salaries.json
+    python -m repro.cli encode --policy salaries.json --admin KWebCom
+    python -m repro.cli query --credentials creds.kn \\
+        --authorizer Kbob --attr app_domain=SalariesDB --attr oper=read
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.scenarios import salaries_policy
+from repro.crypto.keystore import Keystore
+from repro.keynote.api import KeyNoteSession
+from repro.keynote.parser import parse_credentials
+from repro.rbac.serialize import policy_from_json, policy_to_json
+from repro.translate.from_keynote import comprehend_credentials
+from repro.translate.to_keynote import encode_full
+
+
+def _load_policy(path: str):
+    if path == "-":
+        return policy_from_json(sys.stdin.read())
+    return policy_from_json(Path(path).read_text())
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    print("HasPermission:")
+    print(policy.has_permission_table())
+    print("\nUserAssignment:")
+    print(policy.user_assignment_table())
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    keystore = Keystore()
+    policy_cred, memberships = encode_full(policy, args.admin, keystore)
+    print(policy_cred.to_text())
+    for credential in memberships:
+        print(credential.to_text())
+    return 0
+
+
+def _cmd_comprehend(args: argparse.Namespace) -> int:
+    text = (sys.stdin.read() if args.credentials == "-"
+            else Path(args.credentials).read_text())
+    credentials = parse_credentials(text)
+    policy = comprehend_credentials(credentials, keystore=None,
+                                    verify_signatures=False,
+                                    name=args.name)
+    print(policy_to_json(policy))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    text = (sys.stdin.read() if args.credentials == "-"
+            else Path(args.credentials).read_text())
+    session = KeyNoteSession(keystore=None, verify_signatures=False)
+    for credential in parse_credentials(text):
+        if credential.is_policy:
+            session.add_policy(credential)
+        else:
+            session.add_credential(credential)
+    attributes = {}
+    for pair in args.attr or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            print(f"error: --attr needs name=value, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+        attributes[key] = value
+    result = session.query(attributes, [args.authorizer])
+    print(result.compliance_value)
+    return 0 if result.authorized else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    allowed = policy.check_access(args.user, args.object_type,
+                                  args.permission)
+    print("allow" if allowed else "deny")
+    return 0 if allowed else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    policy = salaries_policy()
+    if args.emit_policy:
+        print(policy_to_json(policy))
+        return 0
+    keystore = Keystore()
+    policy_cred, memberships = encode_full(policy, "KWebCom", keystore)
+    recovered = comprehend_credentials([policy_cred] + memberships,
+                                       keystore=keystore)
+    exact = recovered == policy
+    print("Salaries scenario:")
+    print(f"  relations: {len(policy.grants)} grants, "
+          f"{len(policy.assignments)} assignments")
+    print(f"  credentials: 1 POLICY + {len(memberships)} memberships")
+    print(f"  round-trip exact: {exact}")
+    return 0 if exact else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous middleware security framework "
+                    "(Foley et al., IPPS 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="render relation tables")
+    p_tables.add_argument("--policy", required=True,
+                          help="policy JSON file ('-' for stdin)")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_encode = sub.add_parser("encode",
+                              help="policy JSON -> KeyNote credentials")
+    p_encode.add_argument("--policy", required=True)
+    p_encode.add_argument("--admin", default="KWebCom",
+                          help="administration key name")
+    p_encode.set_defaults(func=_cmd_encode)
+
+    p_compr = sub.add_parser("comprehend",
+                             help="KeyNote credentials -> policy JSON")
+    p_compr.add_argument("--credentials", required=True,
+                         help="credential file ('-' for stdin)")
+    p_compr.add_argument("--name", default="comprehended")
+    p_compr.set_defaults(func=_cmd_comprehend)
+
+    p_query = sub.add_parser("query", help="one KeyNote query")
+    p_query.add_argument("--credentials", required=True)
+    p_query.add_argument("--authorizer", required=True)
+    p_query.add_argument("--attr", action="append",
+                         help="action attribute name=value (repeatable)")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_check = sub.add_parser("check", help="RBAC access decision")
+    p_check.add_argument("--policy", required=True)
+    p_check.add_argument("--user", required=True)
+    p_check.add_argument("--object-type", required=True)
+    p_check.add_argument("--permission", required=True)
+    p_check.set_defaults(func=_cmd_check)
+
+    p_demo = sub.add_parser("demo", help="built-in Salaries scenario")
+    p_demo.add_argument("--emit-policy", action="store_true",
+                        help="print the Figure-1 policy as JSON and exit")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

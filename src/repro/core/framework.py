@@ -1,0 +1,196 @@
+"""The heterogeneous middleware security framework (the paper's system).
+
+One :class:`HeterogeneousSecurityFramework` instance represents a Secure
+WebCom environment's security fabric: the PKI, the trust-management session,
+the registered middleware, and the five policy services of Section 4 as
+methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keystore import Keystore
+from repro.core.decentralisation import DelegationService
+from repro.errors import ConstraintViolationError
+from repro.keynote.api import KeyNoteSession
+from repro.keynote.credential import Credential
+from repro.middleware.base import Middleware
+from repro.middleware.registry import MiddlewareRegistry
+from repro.rbac.constraints import ConstraintSet, SoDConstraint
+from repro.rbac.diff import PolicyDelta, merge_policies
+from repro.rbac.policy import RBACPolicy
+from repro.translate.consistency import ConsistencyReport
+from repro.translate.from_keynote import comprehend_credentials
+from repro.translate.migrate import DomainMapping, MigrationReport, migrate_policy
+from repro.translate.propagate import PropagationEngine
+from repro.translate.to_keynote import encode_full
+from repro.util.clock import SimulatedClock
+from repro.util.events import AuditLog
+from repro.webcom.keycom import KeyComService
+
+
+@dataclass(frozen=True)
+class ComprehensionResult:
+    """Output of the comprehension service: the unified view, its credential
+    encoding, and cross-system divergences."""
+
+    policy: RBACPolicy
+    policy_credential: Credential
+    membership_credentials: tuple[Credential, ...]
+    conflicts: tuple[str, ...]
+
+
+class HeterogeneousSecurityFramework:
+    """Facade over the whole security fabric.
+
+    :param admin_key: name of the WebCom administration key (``KWebCom`` in
+        the paper's figures).
+    """
+
+    def __init__(self, admin_key: str = "KWebCom",
+                 audit: AuditLog | None = None,
+                 clock: SimulatedClock | None = None) -> None:
+        self.audit = audit or AuditLog()
+        self.clock = clock or SimulatedClock()
+        self.keystore = Keystore()
+        self.admin_key = admin_key
+        self.keystore.create(admin_key)
+        self.session = KeyNoteSession(keystore=self.keystore,
+                                      audit=self.audit, clock=self.clock)
+        self.registry = MiddlewareRegistry()
+        self.global_policy = RBACPolicy("global")
+        self.propagation = PropagationEngine(self.global_policy,
+                                             audit=self.audit)
+        self.delegation = DelegationService(self.session, self.keystore,
+                                            admin_key)
+        self.delegation.admit_administrator()
+        self._keycom: dict[str, KeyComService] = {}
+        #: global invariants checked on every maintenance change
+        self.constraints = ConstraintSet()
+
+    # -- registration -----------------------------------------------------------
+
+    def register_middleware(self, middleware: Middleware,
+                            domains: set[str]) -> KeyComService:
+        """Register a middleware as responsible for ``domains``; returns its
+        KeyCOM administration service (Figure 8)."""
+        self.registry.register(middleware)
+        self.propagation.register(middleware, domains)
+        service = KeyComService(middleware, self.session, audit=self.audit)
+        self._keycom[middleware.name] = service
+        return service
+
+    def keycom(self, middleware_name: str) -> KeyComService:
+        """The KeyCOM service of one registered middleware."""
+        return self._keycom[middleware_name]
+
+    # -- Policy Configuration (4.1) --------------------------------------------------
+
+    def configure(self, policy: RBACPolicy) -> ConsistencyReport:
+        """Commission a global policy: install it as the authoritative
+        trust-management state, encode it as credentials, and push the
+        relevant slice into every middleware."""
+        self.propagation.set_policy(policy.copy("global"))
+        self.global_policy = self.propagation.global_policy
+        self._refresh_credentials()
+        self.propagation.push_all()
+        return self.propagation.check()
+
+    def _refresh_credentials(self) -> None:
+        """Re-derive the credential encoding from the global policy."""
+        self.session.clear_credentials()
+        _policy_cred, memberships = encode_full(
+            self.global_policy, self.admin_key, self.keystore)
+        for credential in memberships:
+            self.session.add_credential(credential)
+
+    # -- Policy Comprehension (4.2) -----------------------------------------------------
+
+    def comprehend(self) -> ComprehensionResult:
+        """Synthesise every middleware's native policy into one RBAC view and
+        encode it as KeyNote credentials."""
+        merged, conflicts = merge_policies(
+            "comprehended", self.registry.extract_all())
+        policy_cred, memberships = encode_full(
+            merged, self.admin_key, self.keystore)
+        return ComprehensionResult(
+            policy=merged,
+            policy_credential=policy_cred,
+            membership_credentials=tuple(memberships),
+            conflicts=tuple(str(c) for c in conflicts))
+
+    def comprehend_from_credentials(self,
+                                    credentials: list[Credential],
+                                    ) -> RBACPolicy:
+        """The inverse direction: read an RBAC view out of credentials."""
+        return comprehend_credentials(credentials, keystore=self.keystore)
+
+    # -- Policy Migration (4.3) -----------------------------------------------------------
+
+    def migrate(self, source_name: str, target_name: str,
+                mapping: DomainMapping,
+                target_permissions: "tuple[str, ...] | None" = None,
+                ) -> MigrationReport:
+        """Migrate one registered middleware's policy onto another."""
+        source = self.registry.get(source_name)
+        target = self.registry.get(target_name)
+        return migrate_policy(source, target, mapping,
+                              target_permissions=target_permissions)
+
+    # -- Policy Maintenance (4.4) ------------------------------------------------------------
+
+    def add_constraint(self, constraint: SoDConstraint) -> None:
+        """Register a global separation-of-duty invariant.
+
+        :raises ConstraintViolationError: if the *current* policy already
+            violates it (a constraint must start satisfied to be meaningful).
+        """
+        violations = constraint.violations(self.global_policy)
+        if violations:
+            raise ConstraintViolationError(
+                f"{constraint} already violated by {violations}")
+        self.constraints.add(constraint)
+
+    def apply_change(self, delta: PolicyDelta) -> ConsistencyReport:
+        """Change the trust-management policy and propagate down the stack
+        (the paper's recommended direction for changes).
+
+        Global SoD constraints are checked *before* anything propagates; a
+        violating delta is rejected atomically.
+
+        :raises ConstraintViolationError: if the delta would violate a
+            registered constraint (nothing is applied).
+        """
+        candidate = delta.apply_to(self.global_policy.copy("candidate"))
+        violations = self.constraints.check(candidate)
+        if violations:
+            raise ConstraintViolationError(
+                f"change rejected; would violate {violations}")
+        report = self.propagation.apply_delta(delta)
+        self._refresh_credentials()
+        return report
+
+    def check_consistency(self, strict: bool = False) -> ConsistencyReport:
+        """Re-verify that every middleware matches the global policy."""
+        return self.propagation.check(strict=strict)
+
+    # -- Policy Decentralisation (4.5) ------------------------------------------------------------
+
+    def user_key(self, user: str) -> str:
+        """The key-name convention for a user (``Kclaire`` for Claire)."""
+        return f"K{user.lower()}"
+
+    def check_access_by_key(self, user_key: str, domain: str, role: str,
+                            object_type: str, permission: str) -> bool:
+        """The end-to-end authorisation decision through the credential
+        chain: is the key authorised to exercise the permission under the
+        given (domain, role)?"""
+        from repro.translate.common import action_attributes
+
+        policy_cred, _ = encode_full(self.global_policy, self.admin_key,
+                                     self.keystore)
+        attrs = action_attributes(domain, role, object_type, permission)
+        result = self.session.query(attrs, [user_key],
+                                    extra_credentials=[policy_cred])
+        return bool(result)

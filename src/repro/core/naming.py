@@ -1,0 +1,107 @@
+"""A global naming service — the paper's stated limitation, implemented.
+
+"The system as outlined above has some limitations: in order to maintain a
+coherent security policy, we must have the ability to name objects in the
+entire system in a consistent and reliable fashion."  (Section 7)
+
+Each middleware names objects locally (an EJB bean name, a CORBA repository
+id, a COM prog-id).  The :class:`GlobalNameService` binds those local names
+to global names so the translation and consistency layers can unify object
+types across systems — e.g. EJB's ``SalariesBean`` and COM's
+``Payroll.Salaries`` both meaning the global ``SalariesDB``.
+
+``canonicalise_policy`` rewrites an extracted policy's object types into
+global names, which makes :func:`repro.translate.consistency.check_consistency`
+meaningful across heterogeneous systems that would otherwise trivially
+diverge on spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TranslationError
+from repro.rbac.policy import RBACPolicy
+
+
+@dataclass(frozen=True)
+class NameBinding:
+    """One binding: (system, local name) <-> global name."""
+
+    system: str
+    local_name: str
+    global_name: str
+
+
+class GlobalNameService:
+    """Bidirectional (system, local) <-> global object-name registry."""
+
+    def __init__(self) -> None:
+        self._to_global: dict[tuple[str, str], str] = {}
+        self._to_local: dict[tuple[str, str], str] = {}
+
+    def bind(self, system: str, local_name: str, global_name: str) -> NameBinding:
+        """Bind a local name to a global name.
+
+        :raises TranslationError: if either side is already bound
+            differently (bindings must stay functional both ways per
+            system — that's the "consistent and reliable" requirement).
+        """
+        forward_key = (system, local_name)
+        backward_key = (system, global_name)
+        existing = self._to_global.get(forward_key)
+        if existing is not None and existing != global_name:
+            raise TranslationError(
+                f"{system}:{local_name} already bound to {existing!r}")
+        reverse = self._to_local.get(backward_key)
+        if reverse is not None and reverse != local_name:
+            raise TranslationError(
+                f"{global_name!r} already names {system}:{reverse}")
+        self._to_global[forward_key] = global_name
+        self._to_local[backward_key] = local_name
+        return NameBinding(system, local_name, global_name)
+
+    def to_global(self, system: str, local_name: str) -> str:
+        """Resolve a local name (identity if unbound)."""
+        return self._to_global.get((system, local_name), local_name)
+
+    def to_local(self, system: str, global_name: str) -> str:
+        """Resolve a global name into a system's local name (identity if
+        unbound)."""
+        return self._to_local.get((system, global_name), global_name)
+
+    def is_bound(self, system: str, local_name: str) -> bool:
+        """True if the local name has an explicit binding."""
+        return (system, local_name) in self._to_global
+
+    def bindings(self) -> list[NameBinding]:
+        """All bindings, sorted for display."""
+        return sorted(
+            (NameBinding(system, local, global_name)
+             for (system, local), global_name in self._to_global.items()),
+            key=lambda b: (b.system, b.local_name))
+
+    # -- policy rewriting -------------------------------------------------------
+
+    def canonicalise_policy(self, policy: RBACPolicy,
+                            system: str) -> RBACPolicy:
+        """Rewrite a policy's object types from local to global names."""
+        canonical = RBACPolicy(f"{policy.name}@global")
+        for grant in policy.grants:
+            canonical.grant(grant.domain, grant.role,
+                            self.to_global(system, grant.object_type),
+                            grant.permission)
+        for assignment in policy.assignments:
+            canonical.add_assignment(assignment)
+        return canonical
+
+    def localise_policy(self, policy: RBACPolicy, system: str) -> RBACPolicy:
+        """Rewrite a policy's object types from global to local names."""
+        local = RBACPolicy(f"{policy.name}@{system}")
+        for grant in policy.grants:
+            local.grant(grant.domain, grant.role,
+                        self.to_local(system, grant.object_type),
+                        grant.permission)
+        for assignment in policy.assignments:
+            local.add_assignment(assignment)
+        return local

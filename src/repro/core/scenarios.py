@@ -1,0 +1,124 @@
+"""The paper's running examples, buildable on demand.
+
+- :func:`salaries_policy` — the Figure-1 RBAC relations for the Salaries
+  Database.
+- :func:`build_figure9_network` — the four interoperating systems of
+  Figure 9: X (EJB over Unix), Y (COM over Windows), Z (KeyNote + COM over
+  Windows) and W (KeyNote over Windows, no middleware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.middleware.complus import ComPlusCatalogue
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.unixlike import UnixSecurity
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.policy import RBACPolicy
+
+
+def salaries_policy() -> RBACPolicy:
+    """The Figure-1 policy, exactly as the paper's tables read."""
+    return RBACPolicy.from_relations(
+        "salaries",
+        grants=[
+            ("Finance", "Clerk", "SalariesDB", "write"),
+            ("Finance", "Manager", "SalariesDB", "read"),
+            ("Finance", "Manager", "SalariesDB", "write"),
+            ("Sales", "Manager", "SalariesDB", "read"),
+            # Figure 1 lists "no access" for Sales/Assistant: the absence of
+            # a grant *is* the encoding, so no row is added for Dave's role.
+        ],
+        assignments=[
+            ("Alice", "Finance", "Clerk"),
+            ("Bob", "Finance", "Manager"),
+            ("Claire", "Sales", "Manager"),
+            ("Dave", "Sales", "Assistant"),
+            ("Elaine", "Sales", "Manager"),
+        ],
+    )
+
+
+@dataclass
+class Figure9Network:
+    """The four systems of Figure 9 plus their OS substrates."""
+
+    #: X: EJB middleware over a Unix-like OS — M(E), OS(U)
+    system_x: EJBServer
+    x_os: UnixSecurity
+    #: Y: COM middleware over Windows — M(COM), OS(W)
+    system_y: ComPlusCatalogue
+    y_os: WindowsSecurity
+    #: Z: KeyNote + COM over Windows — T(KN), M(COM), OS(W)
+    system_z: ComPlusCatalogue
+    z_os: WindowsSecurity
+    #: W: KeyNote over Windows, no middleware — T(KN), OS(W)
+    w_os: WindowsSecurity
+
+
+def build_figure9_network() -> Figure9Network:
+    """Construct the Figure-9 systems with Y carrying the legacy COM policy.
+
+    Y's COM+ catalogue holds the Salaries policy natively (the "legacy"
+    configuration the narrative translates outward); X and Z start empty and
+    are configured through the framework's services; W has no middleware at
+    all — its authorisation is KeyNote + OS only.
+    """
+    # --- X: EJB over Unix ---------------------------------------------------
+    x_os = UnixSecurity()
+    for user in ("alice", "bob", "claire", "dave", "elaine"):
+        x_os.add_user(user, groups=["staff"])
+    x_os.create_object("/srv/salaries.db", owner="bob", group="staff",
+                       mode=0o660)
+    system_x = EJBServer(host="hostx", server_name="ejb1")
+
+    # --- Y: COM over Windows, carrying the legacy policy ----------------------
+    y_os = WindowsSecurity()
+    for nt_domain in ("Finance", "Sales"):
+        y_os.add_domain(nt_domain)
+    for nt_domain, user in (("Finance", "Alice"), ("Finance", "Bob"),
+                            ("Sales", "Claire"), ("Sales", "Dave"),
+                            ("Sales", "Elaine")):
+        y_os.add_user(nt_domain, user)
+    system_y = ComPlusCatalogue("machine-y", y_os)
+    for nt_domain in ("Finance", "Sales"):
+        system_y.create_application(f"Salaries-{nt_domain}",
+                                    nt_domain=nt_domain)
+        system_y.register_component(f"Salaries-{nt_domain}", "SalariesDB")
+    # The legacy COM policy mirrors Figure 1, with COM's permission
+    # vocabulary: read->Access is the interpretation the paper's similarity
+    # translation produces, but natively Y simply grants Access/Launch.
+    system_y.declare_role("Salaries-Finance", "Clerk")
+    system_y.declare_role("Salaries-Finance", "Manager")
+    system_y.declare_role("Salaries-Sales", "Manager")
+    system_y.declare_role("Salaries-Sales", "Assistant")
+    system_y.grant_permission("Salaries-Finance", "Clerk", "SalariesDB",
+                              "Access")
+    system_y.grant_permission("Salaries-Finance", "Manager", "SalariesDB",
+                              "Access")
+    system_y.grant_permission("Salaries-Finance", "Manager", "SalariesDB",
+                              "Launch")
+    system_y.grant_permission("Salaries-Sales", "Manager", "SalariesDB",
+                              "Access")
+    system_y.add_role_member("Salaries-Finance", "Clerk", "Finance", "Alice")
+    system_y.add_role_member("Salaries-Finance", "Manager", "Finance", "Bob")
+    system_y.add_role_member("Salaries-Sales", "Manager", "Sales", "Claire")
+    system_y.add_role_member("Salaries-Sales", "Assistant", "Sales", "Dave")
+    system_y.add_role_member("Salaries-Sales", "Manager", "Sales", "Elaine")
+
+    # --- Z: KeyNote + COM over Windows (starts empty) ---------------------------
+    z_os = WindowsSecurity()
+    z_os.add_domain("Finance")
+    z_os.add_domain("Sales")
+    system_z = ComPlusCatalogue("machine-z", z_os)
+
+    # --- W: KeyNote over Windows, no middleware ----------------------------------
+    w_os = WindowsSecurity()
+    w_os.add_domain("Sales")
+    w_os.add_user("Sales", "Claire")
+
+    return Figure9Network(system_x=system_x, x_os=x_os,
+                          system_y=system_y, y_os=y_os,
+                          system_z=system_z, z_os=z_os,
+                          w_os=w_os)

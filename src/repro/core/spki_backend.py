@@ -1,0 +1,101 @@
+"""An SPKI/SDSI backend for the decentralisation service (footnote 1).
+
+"Secure WebCom includes support for SPKI/SDSI.  While we use KeyNote in this
+paper, our results are applicable to SPKI/SDSI."
+
+:class:`SPKIDelegationService` exposes the same surface as the KeyNote-backed
+:class:`~repro.core.decentralisation.DelegationService` — ``grant_role``,
+``delegate_role``, ``holds_role``, ``revoke`` — but implements it with SPKI
+authorisation certificates, role tags and 5-tuple chain search.  The tests
+replay the Figure-6/7 scenarios through both backends and assert identical
+decisions.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keystore import Keystore
+from repro.spki.cert import AuthCert, NameCert, Validity
+from repro.spki.chain import CertStore
+from repro.translate.to_spki import spki_role_tag
+
+
+class SPKIDelegationService:
+    """Role membership and delegation over SPKI certificates.
+
+    The administration key is the verifier's trust root (the SPKI "self"),
+    so no separate admit step is needed: chains start at ``admin_key``.
+    """
+
+    def __init__(self, keystore: Keystore, admin_key: str,
+                 validity: Validity = Validity()) -> None:
+        self.keystore = keystore
+        self.admin_key = admin_key
+        self.validity = validity
+        keystore.create(admin_key)
+        self.store = CertStore(keystore)
+
+    def grant_role(self, user_key: str, domain: str, role: str,
+                   delegatable: bool = True) -> AuthCert:
+        """Administration-signed membership (the Figure-6 analogue).
+
+        :param delegatable: SPKI makes onward delegation explicit via the
+            propagate bit; KeyNote makes it implicit.  Default True to match
+            the KeyNote backend's semantics.
+        """
+        self.keystore.create(user_key)
+        cert = AuthCert(
+            issuer=self.admin_key, subject=user_key,
+            tag=spki_role_tag(domain, role), delegate=delegatable,
+            validity=self.validity,
+        ).sign(self.keystore.pair(self.admin_key).private)
+        self.store.add_auth(cert)
+        # Record the SDSI name too, for auditing parity with role tables.
+        name = NameCert(issuer=self.admin_key, name=f"{domain}/{role}",
+                        subject=user_key, validity=self.validity,
+                        ).sign(self.keystore.pair(self.admin_key).private)
+        self.store.add_name(name)
+        return cert
+
+    def delegate_role(self, from_key: str, to_key: str, domain: str,
+                      role: str, delegatable: bool = False) -> AuthCert:
+        """User-to-user delegation (the Figure-7 analogue).
+
+        Always issuable; only *effective* if ``from_key`` holds the role
+        with the propagate bit — exactly KeyNote's monotonicity, made
+        syntactic.
+        """
+        self.keystore.create(to_key)
+        cert = AuthCert(
+            issuer=from_key, subject=to_key,
+            tag=spki_role_tag(domain, role), delegate=delegatable,
+            validity=self.validity,
+        ).sign(self.keystore.pair(from_key).private)
+        self.store.add_auth(cert)
+        return cert
+
+    def holds_role(self, user_key: str, domain: str, role: str,
+                   at_time: float = 0.0) -> bool:
+        """Chain search from the administration root."""
+        return self.store.is_authorised(self.admin_key, user_key,
+                                        spki_role_tag(domain, role),
+                                        at_time=at_time)
+
+    def revoke(self, cert: AuthCert) -> bool:
+        """Remove a certificate from the store (revocation-by-removal,
+        matching the KeyNote backend).  Returns True if present."""
+        certs = self.store.auth_certs
+        if cert not in certs:
+            return False
+        names = self.store.name_certs
+        self.store = CertStore(self.keystore)
+        for other in certs:
+            if other != cert:
+                self.store.add_auth(other)
+        for name in names:
+            self.store.add_name(name)
+        return True
+
+    def members_of(self, domain: str, role: str) -> set[str]:
+        """Users named into the role by the administration key (SDSI
+        names; direct grants only, like a role table)."""
+        return self.store.resolve_name(self.admin_key, f"{domain}/{role}")

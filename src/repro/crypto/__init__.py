@@ -1,0 +1,34 @@
+"""Cryptographic substrate.
+
+The paper's trust-management layer rests on public-key signatures (KeyNote
+credentials are signed, SPKI certificates are signed).  The original system
+used an OpenSSL-backed KeyNote toolkit; this reproduction implements a real
+Schnorr signature scheme over a prime-order subgroup in pure Python
+(:mod:`hashlib` only), with deterministic keypair derivation so tests and
+benchmarks are reproducible.
+
+Public API::
+
+    from repro.crypto import KeyPair, Keystore, SchnorrGroup
+
+    kp = KeyPair.generate(seed="alice")
+    sig = kp.sign(b"message")
+    assert kp.public.verify(b"message", sig)
+"""
+
+from repro.crypto.group import DEFAULT_GROUP, SchnorrGroup
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, Signature
+from repro.crypto.keystore import Keystore
+from repro.crypto.prime import is_probable_prime, next_prime
+
+__all__ = [
+    "DEFAULT_GROUP",
+    "KeyPair",
+    "Keystore",
+    "PrivateKey",
+    "PublicKey",
+    "SchnorrGroup",
+    "Signature",
+    "is_probable_prime",
+    "next_prime",
+]

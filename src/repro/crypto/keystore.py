@@ -1,0 +1,98 @@
+"""A simple PKI: named keys and lookup in both directions.
+
+The paper's figures use symbolic key names (``Kbob``, ``Kalice``,
+``KWebCom``).  The keystore maps those names to real key pairs and lets
+credentials be written with symbolic names while being signed with real keys.
+It plays the role of the "System PKI" box in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.errors import UnknownKeyError
+
+
+class Keystore:
+    """Registry of named key pairs.
+
+    >>> ks = Keystore()
+    >>> kp = ks.create("Kbob")
+    >>> ks.public("Kbob") == kp.public
+    True
+    """
+
+    def __init__(self) -> None:
+        self._pairs: dict[str, KeyPair] = {}
+        self._by_encoding: dict[str, str] = {}
+
+    def create(self, name: str, seed: str | None = None) -> KeyPair:
+        """Create (or return the existing) key pair for ``name``.
+
+        :param seed: optional explicit derivation seed; defaults to the name.
+        """
+        if name in self._pairs:
+            return self._pairs[name]
+        pair = KeyPair.generate(seed if seed is not None else name)
+        self._pairs[name] = pair
+        self._by_encoding[pair.public.encode()] = name
+        return pair
+
+    def add(self, name: str, pair: KeyPair) -> None:
+        """Register an externally created pair under ``name``."""
+        self._pairs[name] = pair
+        self._by_encoding[pair.public.encode()] = name
+
+    def pair(self, name: str) -> KeyPair:
+        """Return the key pair for ``name``.
+
+        :raises UnknownKeyError: if no such name is registered.
+        """
+        try:
+            return self._pairs[name]
+        except KeyError:
+            raise UnknownKeyError(f"no key named {name!r}") from None
+
+    def public(self, name: str) -> PublicKey:
+        """Return the public key for ``name``."""
+        return self.pair(name).public
+
+    def name_of(self, key: PublicKey | str) -> str:
+        """Reverse lookup: the symbolic name of a public key.
+
+        :raises UnknownKeyError: if the key is not registered.
+        """
+        encoding = key.encode() if isinstance(key, PublicKey) else key
+        try:
+            return self._by_encoding[encoding]
+        except KeyError:
+            raise UnknownKeyError("public key is not registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pairs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def resolve(self, symbol: str) -> str:
+        """Map a symbolic name to its encoded public key (identity for
+        already-encoded keys)."""
+        if PublicKey.looks_like_key(symbol):
+            return symbol
+        return self.public(symbol).encode()
+
+    def symbol_table(self) -> Mapping[str, str]:
+        """Return {symbolic name -> encoded public key} for all entries."""
+        return {name: pair.public.encode() for name, pair in self._pairs.items()}
+
+    def display(self, encoded: str) -> str:
+        """Best-effort pretty name for an encoded key (falls back to a
+        truncated encoding)."""
+        name = self._by_encoding.get(encoded)
+        if name is not None:
+            return name
+        return encoded[:24] + "..." if len(encoded) > 27 else encoded

@@ -1,0 +1,137 @@
+"""Primality testing and prime search (Miller-Rabin).
+
+Used to generate Schnorr group parameters.  The default group shipped in
+:mod:`repro.crypto.group` was produced with these routines; the functions stay
+public so tests can regenerate parameters and verify them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+# Deterministic witness set: for n < 3.3e24 these witnesses make Miller-Rabin
+# exact, and for larger n they give an error bound far below 2^-80 when
+# combined with the derived witnesses added in is_probable_prime.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _miller_rabin_round(n: int, d: int, r: int, a: int) -> bool:
+    """One Miller-Rabin round; True means 'probably prime' for witness a."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def _derived_witnesses(n: int, count: int) -> list[int]:
+    """Deterministically derive extra witnesses from n itself."""
+    witnesses: list[int] = []
+    counter = 0
+    while len(witnesses) < count:
+        h = hashlib.sha256(f"mr-witness:{n}:{counter}".encode()).digest()
+        a = int.from_bytes(h, "big") % (n - 3) + 2
+        witnesses.append(a)
+        counter += 1
+    return witnesses
+
+
+def is_probable_prime(n: int, extra_rounds: int = 8) -> bool:
+    """Return True if ``n`` is (probably) prime.
+
+    Deterministic for n < 3.3e24 via fixed witnesses; beyond that, additional
+    witnesses derived from ``n`` push the error probability below 2^-100.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        if not _miller_rabin_round(n, d, r, a % n):
+            return False
+    if n.bit_length() > 82:
+        for a in _derived_witnesses(n, extra_rounds):
+            if not _miller_rabin_round(n, d, r, a):
+                return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def find_schnorr_parameters(q_bits: int, p_bits: int, seed: str) -> tuple[int, int, int]:
+    """Find Schnorr group parameters (p, q, g) deterministically from ``seed``.
+
+    ``q`` is a ``q_bits`` prime, ``p = k*q + 1`` is a ``p_bits`` prime, and
+    ``g`` generates the order-``q`` subgroup of Z_p^*.
+
+    This is slow for large sizes; the library ships a precomputed default
+    group and only calls this in tests.
+    """
+    if q_bits >= p_bits:
+        raise ValueError("q_bits must be smaller than p_bits")
+
+    def stream(tag: str, counter: int, bits: int) -> int:
+        out = b""
+        block = 0
+        while len(out) * 8 < bits:
+            out += hashlib.sha256(f"{seed}:{tag}:{counter}:{block}".encode()).digest()
+            block += 1
+        val = int.from_bytes(out, "big") >> (len(out) * 8 - bits)
+        return val | (1 << (bits - 1)) | 1  # force top bit and oddness
+
+    counter = 0
+    while True:
+        q = stream("q", counter, q_bits)
+        counter += 1
+        if not is_probable_prime(q):
+            continue
+        # Search for k such that p = k*q + 1 is prime with the right size.
+        k_lo = (1 << (p_bits - 1)) // q + 1
+        k_hi = ((1 << p_bits) - 1) // q
+        for dk in range(4096):
+            k = k_lo + dk
+            if k > k_hi:
+                break
+            p = k * q + 1
+            if p.bit_length() != p_bits:
+                continue
+            if is_probable_prime(p):
+                g = _find_generator(p, q)
+                if g is not None:
+                    return p, q, g
+        # else: try a new q
+
+
+def _find_generator(p: int, q: int) -> int | None:
+    """Find a generator of the order-q subgroup of Z_p^*."""
+    k = (p - 1) // q
+    for h in range(2, 200):
+        g = pow(h, k, p)
+        if g not in (0, 1) and pow(g, q, p) == 1:
+            return g
+    return None

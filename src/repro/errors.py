@@ -1,0 +1,198 @@
+"""Exception hierarchy for the heterogeneous middleware security framework.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch framework failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A signature failed verification."""
+
+
+class KeyFormatError(CryptoError):
+    """A key string could not be decoded."""
+
+
+class UnknownKeyError(CryptoError):
+    """A key identifier was not found in the keystore."""
+
+
+# ---------------------------------------------------------------------------
+# RBAC
+# ---------------------------------------------------------------------------
+
+
+class RBACError(ReproError):
+    """Base class for RBAC policy errors."""
+
+
+class UnknownRoleError(RBACError):
+    """Referenced a (domain, role) pair that is not in the policy."""
+
+
+class ConstraintViolationError(RBACError):
+    """An operation would violate a separation-of-duty constraint."""
+
+
+class SessionError(RBACError):
+    """Illegal session operation (e.g. activating an unassigned role)."""
+
+
+class HierarchyError(RBACError):
+    """Illegal role-hierarchy operation (e.g. introducing a cycle)."""
+
+
+# ---------------------------------------------------------------------------
+# KeyNote / trust management
+# ---------------------------------------------------------------------------
+
+
+class KeyNoteError(ReproError):
+    """Base class for KeyNote errors."""
+
+
+class KeyNoteSyntaxError(KeyNoteError):
+    """A credential or expression failed to parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.line:
+            return f"{base} (line {self.line}, column {self.column})"
+        return base
+
+
+class KeyNoteEvalError(KeyNoteError):
+    """A condition expression could not be evaluated."""
+
+
+class CredentialError(KeyNoteError):
+    """A credential is structurally invalid (missing fields, bad signature)."""
+
+
+class ComplianceError(KeyNoteError):
+    """The compliance checker was invoked with an inconsistent query."""
+
+
+# ---------------------------------------------------------------------------
+# SPKI/SDSI
+# ---------------------------------------------------------------------------
+
+
+class SPKIError(ReproError):
+    """Base class for SPKI/SDSI errors."""
+
+
+class SExpressionError(SPKIError):
+    """An S-expression failed to parse or print."""
+
+
+class TagError(SPKIError):
+    """A tag is malformed or an intersection is undefined."""
+
+
+class ChainError(SPKIError):
+    """Certificate chain discovery or reduction failed."""
+
+
+# ---------------------------------------------------------------------------
+# OS security
+# ---------------------------------------------------------------------------
+
+
+class OSSecurityError(ReproError):
+    """Base class for simulated OS security errors."""
+
+
+class UnknownPrincipalError(OSSecurityError):
+    """A user, group or SID is not registered with the OS."""
+
+
+# ---------------------------------------------------------------------------
+# Middleware
+# ---------------------------------------------------------------------------
+
+
+class MiddlewareError(ReproError):
+    """Base class for middleware simulator errors."""
+
+
+class UnknownComponentError(MiddlewareError):
+    """A component/bean/object reference does not exist."""
+
+
+class DeploymentError(MiddlewareError):
+    """A deployment descriptor or catalogue entry is invalid."""
+
+
+class AccessDeniedError(MiddlewareError):
+    """An invocation was denied by the middleware security policy."""
+
+
+# ---------------------------------------------------------------------------
+# Translation
+# ---------------------------------------------------------------------------
+
+
+class TranslationError(ReproError):
+    """Base class for policy translation errors."""
+
+
+class ComprehensionError(TranslationError):
+    """A KeyNote policy could not be comprehended into RBAC relations."""
+
+
+class MigrationError(TranslationError):
+    """A policy could not be migrated to the target middleware."""
+
+
+class InconsistentPolicyError(TranslationError):
+    """Cross-system policy consistency check failed."""
+
+
+# ---------------------------------------------------------------------------
+# WebCom
+# ---------------------------------------------------------------------------
+
+
+class WebComError(ReproError):
+    """Base class for WebCom errors."""
+
+
+class GraphError(WebComError):
+    """A condensed graph is malformed (dangling ports, bad arity)."""
+
+
+class SchedulingError(WebComError):
+    """The scheduler could not place an operation."""
+
+
+class AuthorisationError(WebComError):
+    """A scheduling or execution request was refused by security mediation."""
+
+
+class NetworkError(WebComError):
+    """Simulated network failure (partition, dropped peer)."""
+
+
+class KeyComError(WebComError):
+    """The KeyCOM administration service rejected an update request."""

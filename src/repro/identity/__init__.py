@@ -1,0 +1,28 @@
+"""Identity-based authorisation — the baseline Section 3 argues against.
+
+"Conventional secure applications verify that certificates have not been
+revoked, and are signed by a recognised and trustworthy source.  The names
+are then extracted from the certificates and a database is queried to
+determine if the requested action is authorised.  This is cumbersome and
+aspects, such as the database lookup, are outside of the scope of the
+certificate system.  Furthermore, there is the problem of determining the
+correct identity of an individual: there may be more than one John Smith in a
+particular organisation."
+
+This package implements that conventional pipeline so the reproduction can
+*compare* it with trust management: X.509-style identity certificates issued
+by CAs, a revocation list, name extraction, and a server-side authorisation
+database keyed by names.  The ambiguous-name failure mode (two John Smiths)
+is reproducible in tests, and the benchmark suite compares the decision
+pipelines.
+"""
+
+from repro.identity.authz import AuthorisationDatabase, IdentityAuthoriser
+from repro.identity.certs import CertificateAuthority, IdentityCertificate
+
+__all__ = [
+    "AuthorisationDatabase",
+    "CertificateAuthority",
+    "IdentityAuthoriser",
+    "IdentityCertificate",
+]

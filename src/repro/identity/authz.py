@@ -1,0 +1,96 @@
+"""The conventional authorisation pipeline over identity certificates.
+
+certificate -> validate -> extract *name* -> look the name up in a
+server-side authorisation database.  The database is exactly the coupling
+trust management removes: it lives with the application, must be kept in
+sync, and is keyed by human names — hence the two-John-Smiths ambiguity the
+paper cites from [10].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CredentialError
+from repro.identity.certs import CertificateAuthority, IdentityCertificate
+
+
+class AuthorisationDatabase:
+    """name -> {(object_type, operation)} — the server-side lookup table."""
+
+    def __init__(self) -> None:
+        self._rights: dict[str, set[tuple[str, str]]] = {}
+
+    def grant(self, name: str, object_type: str, operation: str) -> None:
+        """Record that ``name`` may perform ``operation``."""
+        self._rights.setdefault(name, set()).add((object_type, operation))
+
+    def revoke(self, name: str, object_type: str, operation: str) -> bool:
+        """Remove a right; True if it was present."""
+        rights = self._rights.get(name, set())
+        try:
+            rights.remove((object_type, operation))
+            return True
+        except KeyError:
+            return False
+
+    def lookup(self, name: str, object_type: str, operation: str) -> bool:
+        """The database query the paper calls 'outside the scope of the
+        certificate system'."""
+        return (object_type, operation) in self._rights.get(name, set())
+
+    def names(self) -> set[str]:
+        """All names with at least one right."""
+        return set(self._rights)
+
+
+@dataclass(frozen=True)
+class IdentityDecision:
+    """Outcome plus the hazard flags the paper warns about."""
+
+    allowed: bool
+    subject_name: str
+    ambiguous: bool  # same name bound to a different key by the same CA
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class IdentityAuthoriser:
+    """Runs the conventional pipeline end to end."""
+
+    def __init__(self, ca: CertificateAuthority,
+                 database: AuthorisationDatabase) -> None:
+        self.ca = ca
+        self.database = database
+
+    def authorise(self, cert: IdentityCertificate, object_type: str,
+                  operation: str, at_time: float = 0.0) -> IdentityDecision:
+        """Validate the certificate, extract the name, query the database.
+
+        :raises CredentialError: if certificate validation fails (expired,
+            revoked, bad signature) — the pipeline can't even reach the
+            database then.
+        """
+        self.ca.validate(cert, at_time)
+        name = cert.subject_name
+        # The John-Smith hazard: does this CA bind the same name to another
+        # key?  The decision below cannot tell the two holders apart.
+        ambiguous = any(
+            other.subject_name == name and other.subject_key != cert.subject_key
+            and not self.ca.is_revoked(other.serial)
+            for other in self.ca.issued)
+        allowed = self.database.lookup(name, object_type, operation)
+        return IdentityDecision(allowed=allowed, subject_name=name,
+                                ambiguous=ambiguous)
+
+    def authorise_quietly(self, cert: IdentityCertificate, object_type: str,
+                          operation: str,
+                          at_time: float = 0.0) -> IdentityDecision:
+        """Like :meth:`authorise`, mapping validation failure to a deny."""
+        try:
+            return self.authorise(cert, object_type, operation, at_time)
+        except CredentialError:
+            return IdentityDecision(allowed=False,
+                                    subject_name=cert.subject_name,
+                                    ambiguous=False)

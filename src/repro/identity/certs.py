@@ -1,0 +1,110 @@
+"""X.509-style identity certificates: binding *names* to public keys.
+
+Deliberately minimal — just enough of the X.509 model (issuer CA, subject
+distinguished name, validity, revocation by serial) to run the conventional
+authorisation pipeline the paper contrasts with trust management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.crypto.keys import PrivateKey, PublicKey, Signature
+from repro.errors import CredentialError
+
+
+@dataclass(frozen=True)
+class IdentityCertificate:
+    """An identity certificate: CA ``issuer`` binds ``subject_name`` to
+    ``subject_key``."""
+
+    serial: int
+    issuer: str
+    subject_name: str
+    subject_key: str  # encoded public key
+    not_before: float = 0.0
+    not_after: float = float("inf")
+    signature: str = ""
+
+    def canonical_bytes(self) -> bytes:
+        return (f"cert|{self.serial}|{self.issuer}|{self.subject_name}|"
+                f"{self.subject_key}|{self.not_before}|{self.not_after}"
+                ).encode("utf-8")
+
+    def sign(self, ca_private: PrivateKey) -> "IdentityCertificate":
+        """Return a CA-signed copy."""
+        return replace(self, signature=ca_private.sign(
+            self.canonical_bytes()).encode())
+
+    def verify(self, ca_public: PublicKey) -> bool:
+        """Verify the CA's signature."""
+        if not self.signature:
+            return False
+        try:
+            return ca_public.verify(self.canonical_bytes(),
+                                    Signature.decode(self.signature))
+        except Exception:
+            return False
+
+    def valid_at(self, timestamp: float) -> bool:
+        """True inside the validity window."""
+        return self.not_before <= timestamp <= self.not_after
+
+
+class CertificateAuthority:
+    """A CA issuing and revoking identity certificates."""
+
+    def __init__(self, name: str, key_seed: str | None = None) -> None:
+        from repro.crypto.keys import KeyPair
+
+        self.name = name
+        self._pair = KeyPair.generate(key_seed or f"ca:{name}")
+        self._serial = 0
+        self._revoked: set[int] = set()
+        self.issued: list[IdentityCertificate] = []
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The CA's verification key."""
+        return self._pair.public
+
+    def issue(self, subject_name: str, subject_key: str,
+              not_before: float = 0.0,
+              not_after: float = float("inf")) -> IdentityCertificate:
+        """Issue a certificate binding ``subject_name`` to ``subject_key``.
+
+        Note the X.509 hazard the paper highlights: nothing stops two
+        different people from holding certificates with the *same* subject
+        name.
+        """
+        self._serial += 1
+        cert = IdentityCertificate(
+            serial=self._serial, issuer=self.name,
+            subject_name=subject_name, subject_key=subject_key,
+            not_before=not_before, not_after=not_after,
+        ).sign(self._pair.private)
+        self.issued.append(cert)
+        return cert
+
+    def revoke(self, serial: int) -> None:
+        """Add a serial to the revocation list."""
+        self._revoked.add(serial)
+
+    def is_revoked(self, serial: int) -> bool:
+        """CRL check."""
+        return serial in self._revoked
+
+    def validate(self, cert: IdentityCertificate, at_time: float = 0.0) -> None:
+        """Full conventional validation: signature, validity, CRL.
+
+        :raises CredentialError: on any failure.
+        """
+        if cert.issuer != self.name:
+            raise CredentialError(f"certificate issued by {cert.issuer!r}, "
+                                  f"not {self.name!r}")
+        if not cert.verify(self.public_key):
+            raise CredentialError("bad CA signature")
+        if not cert.valid_at(at_time):
+            raise CredentialError("certificate outside validity window")
+        if self.is_revoked(cert.serial):
+            raise CredentialError("certificate revoked")

@@ -1,0 +1,52 @@
+"""KeyNote trust management (RFC 2704 reimplementation).
+
+The paper (Section 3) uses KeyNote as its trust-management layer: credentials
+bind *abilities* to public keys, and a compliance checker decides whether a
+set of credentials authorises a request.  This package reimplements the
+KeyNote engine the original system linked against:
+
+- the credential notation (``Authorizer`` / ``Licensees`` / ``Conditions`` /
+  ``Local-Constants`` / ``Comment`` / ``Signature`` fields),
+- the C-like condition expression language (string, numeric and regex tests,
+  ``&&``/``||``/``!``, ``->`` clause values),
+- licensee expressions including ``k-of(...)`` thresholds,
+- ordered compliance-value sets (beyond the default ``{false, true}``),
+- signature creation/verification over canonical credential bytes, and
+- the delegation-graph compliance checker.
+
+Quickstart (the paper's Example 1)::
+
+    from repro.crypto import Keystore
+    from repro.keynote import Credential, KeyNoteSession
+
+    ks = Keystore()
+    ks.create("Kbob")
+    session = KeyNoteSession(keystore=ks)
+    session.add_policy('''
+        Authorizer: POLICY
+        Licensees: "Kbob"
+        Conditions: app_domain=="SalariesDB" &&
+                    (oper=="read" || oper=="write");
+    ''')
+    assert session.query({"app_domain": "SalariesDB", "oper": "read"},
+                         authorizers=["Kbob"])
+"""
+
+from repro.keynote.api import KeyNoteSession, QueryResult
+from repro.keynote.compliance import ComplianceChecker, evaluate_query
+from repro.keynote.credential import POLICY_PRINCIPAL, Credential
+from repro.keynote.parser import parse_credential, parse_credentials
+from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
+
+__all__ = [
+    "ComplianceChecker",
+    "ComplianceValueSet",
+    "Credential",
+    "DEFAULT_VALUE_SET",
+    "KeyNoteSession",
+    "POLICY_PRINCIPAL",
+    "QueryResult",
+    "evaluate_query",
+    "parse_credential",
+    "parse_credentials",
+]

@@ -1,0 +1,171 @@
+"""Session-style KeyNote API.
+
+Mirrors the C toolkit's ``kn_init`` / ``kn_add_assertion`` / ``kn_do_query``
+interface the paper's applications call: a session accumulates policy
+assertions and credentials, then answers queries.  Decisions are optionally
+recorded to an :class:`~repro.util.events.AuditLog` — the "TM queries" arrow
+of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.crypto.keystore import Keystore
+from repro.errors import CredentialError
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.credential import Credential
+from repro.keynote.parser import parse_credentials
+from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
+from repro.util.clock import SimulatedClock
+from repro.util.events import AuditLog
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of one trust-management query."""
+
+    compliance_value: str
+    authorized: bool
+    attributes: Mapping[str, str]
+    authorizers: tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.authorized
+
+
+class KeyNoteSession:
+    """A long-lived KeyNote evaluation context.
+
+    >>> from repro.crypto import Keystore
+    >>> ks = Keystore(); _ = ks.create("Kbob")
+    >>> session = KeyNoteSession(keystore=ks)
+    >>> _ = session.add_policy('Authorizer: POLICY\\nLicensees: "Kbob"\\n'
+    ...                        'Conditions: app_domain=="db";')
+    >>> bool(session.query({"app_domain": "db"}, authorizers=["Kbob"]))
+    True
+    """
+
+    def __init__(self, keystore: Keystore | None = None,
+                 values: ComplianceValueSet = DEFAULT_VALUE_SET,
+                 audit: AuditLog | None = None,
+                 clock: SimulatedClock | None = None,
+                 verify_signatures: bool = True) -> None:
+        self.keystore = keystore
+        self.values = values
+        self.audit = audit
+        self.clock = clock or SimulatedClock()
+        self.verify_signatures = verify_signatures
+        self._policies: list[Credential] = []
+        self._credentials: list[Credential] = []
+        self._checker: ComplianceChecker | None = None
+
+    # -- assertion management ------------------------------------------------
+
+    def add_policy(self, source: str | Credential) -> Credential:
+        """Add a local policy assertion.
+
+        :raises CredentialError: if the assertion is not a POLICY assertion.
+        """
+        credential = self._coerce(source)
+        if not credential.is_policy:
+            raise CredentialError(
+                "add_policy requires an 'Authorizer: POLICY' assertion")
+        self._policies.append(credential)
+        self._checker = None
+        return credential
+
+    def add_credential(self, source: str | Credential) -> Credential:
+        """Add a signed credential supplied by a requester or a PKI.
+
+        :raises CredentialError: if a POLICY assertion is smuggled in.
+        """
+        credential = self._coerce(source)
+        if credential.is_policy:
+            raise CredentialError(
+                "POLICY assertions must be added with add_policy")
+        self._credentials.append(credential)
+        self._checker = None
+        return credential
+
+    def add_credentials(self, text: str) -> list[Credential]:
+        """Parse and add several credentials from one blob."""
+        added = [self.add_credential(c) for c in parse_credentials(text)]
+        return added
+
+    @staticmethod
+    def _coerce(source: str | Credential) -> Credential:
+        if isinstance(source, Credential):
+            return source
+        return Credential.from_text(source)
+
+    @property
+    def policies(self) -> list[Credential]:
+        """The policy assertions added so far."""
+        return list(self._policies)
+
+    @property
+    def credentials(self) -> list[Credential]:
+        """The signed credentials added so far."""
+        return list(self._credentials)
+
+    def clear_credentials(self) -> None:
+        """Drop signed credentials (policies stay)."""
+        self._credentials.clear()
+        self._checker = None
+
+    # -- queries -----------------------------------------------------------------
+
+    def _checker_instance(self) -> ComplianceChecker:
+        if self._checker is None:
+            self._checker = ComplianceChecker(
+                assertions=self._policies + self._credentials,
+                keystore=self.keystore,
+                verify_signatures=self.verify_signatures)
+        return self._checker
+
+    def query(self, attributes: Mapping[str, str],
+              authorizers: Iterable[str],
+              extra_credentials: Iterable[Credential] = (),
+              threshold: str | None = None) -> QueryResult:
+        """Evaluate a request.
+
+        :param attributes: action attribute set.
+        :param authorizers: key(s) making the request.
+        :param extra_credentials: per-request credentials presented alongside
+            the request (not retained in the session).
+        :param threshold: minimum compliance value counted as authorised
+            (defaults to the value set's maximum).
+        """
+        extras = list(extra_credentials)
+        if extras:
+            checker = ComplianceChecker(
+                assertions=self._policies + self._credentials + extras,
+                keystore=self.keystore,
+                verify_signatures=self.verify_signatures)
+        else:
+            checker = self._checker_instance()
+        authorizer_tuple = tuple(authorizers)
+        # The current simulated time is always available to conditions as
+        # `_cur_time`, so credentials can carry expiry tests like
+        # `_cur_time < 1000` without any revocation machinery (the KeyNote
+        # idiom for time-limited delegation).
+        if "_cur_time" not in attributes:
+            attributes = {**attributes, "_cur_time": repr(self.clock.now())}
+        value = checker.query(attributes, authorizer_tuple, self.values)
+        target = threshold if threshold is not None else self.values.maximum
+        result = QueryResult(
+            compliance_value=value,
+            authorized=self.values.at_least(value, target),
+            attributes=dict(attributes),
+            authorizers=authorizer_tuple,
+        )
+        if self.audit is not None:
+            self.audit.record(
+                self.clock.now(), "keynote.query",
+                subject=",".join(authorizer_tuple),
+                outcome="allow" if result.authorized else "deny",
+                compliance_value=value,
+                attributes=dict(attributes))
+        return result

@@ -1,0 +1,175 @@
+"""The KeyNote compliance checker (RFC 2704 section 5).
+
+Given an *action attribute set*, the *action authorizers* (the keys that made
+the request) and a set of assertions (policy + signed credentials), compute
+the request's compliance value: the most-trusted value the POLICY principal
+can be shown to assign to the requesters.
+
+Semantics.  The value of an assertion ``(A, L, C)`` for a given request is::
+
+    val(A, L, C) = meet( C(action attributes),
+                         L evaluated over principal values )
+
+where a principal ``k``'s value is ``_MAX_TRUST`` if ``k`` is one of the
+action authorizers, and otherwise the join over all assertions authored by
+``k`` of their values (delegation).  The request's compliance value is the
+join over all POLICY assertions of their values.  The computation is a
+monotone fixpoint over a finite lattice; we evaluate it by memoised
+depth-first search where principals on the current path evaluate to
+``_MIN_TRUST`` (cycles cannot raise trust — delegation loops grant nothing).
+
+Both a memoised checker and a deliberately naive exponential-path variant are
+provided; the DESIGN.md ablation compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.crypto.keystore import Keystore
+from repro.errors import ComplianceError, CredentialError
+from repro.keynote.credential import Credential
+from repro.keynote.eval import ConditionEvaluator
+from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
+
+
+@dataclass
+class ComplianceChecker:
+    """Evaluates queries against a fixed set of assertions.
+
+    :param assertions: policy assertions and signed credentials.
+    :param keystore: used to resolve symbolic principals when verifying
+        signatures; optional if all principals are encoded keys.
+    :param verify_signatures: if True (default), signed credentials with
+        missing/invalid signatures are rejected.
+    :param strict: if True, a bad signature raises
+        :class:`~repro.errors.CredentialError`; if False (RFC behaviour) the
+        assertion is silently discarded.
+    :param memoise: disable only for the ablation benchmark.
+    """
+
+    assertions: Sequence[Credential]
+    keystore: Keystore | None = None
+    verify_signatures: bool = True
+    strict: bool = False
+    memoise: bool = True
+    _by_authorizer: dict[str, list[Credential]] = field(init=False, repr=False)
+    _discarded: list[Credential] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_authorizer = {}
+        self._discarded = []
+        for assertion in self.assertions:
+            if self.verify_signatures and not assertion.verify(self.keystore):
+                if self.strict:
+                    raise CredentialError(
+                        f"invalid signature on credential by "
+                        f"{assertion.authorizer!r}")
+                self._discarded.append(assertion)
+                continue
+            key = self._canonical(assertion.authorizer)
+            self._by_authorizer.setdefault(key, []).append(assertion)
+
+    @property
+    def discarded(self) -> list[Credential]:
+        """Assertions dropped for bad signatures (non-strict mode)."""
+        return list(self._discarded)
+
+    def _canonical(self, principal: str) -> str:
+        """Canonical principal id: symbolic names resolve to encoded keys when
+        a keystore knows them, so "Kbob" and the encoded key unify."""
+        if principal.upper() == "POLICY":
+            return "POLICY"
+        if self.keystore is not None and principal in self.keystore:
+            return self.keystore.public(principal).encode()
+        return principal
+
+    def query(self, attributes: Mapping[str, str],
+              authorizers: Iterable[str],
+              values: ComplianceValueSet = DEFAULT_VALUE_SET) -> str:
+        """Return the compliance value of a request.
+
+        :param attributes: the action attribute set.
+        :param authorizers: the key(s) that made the request.
+        :param values: the ordered compliance-value set to evaluate against.
+        """
+        requesters = {self._canonical(a) for a in authorizers}
+        if not requesters:
+            raise ComplianceError("a query needs at least one action authorizer")
+        evaluator = ConditionEvaluator(attributes, values)
+        memo: dict[str, str] = {}
+        in_progress: set[str] = set()
+        # Values computed while a cycle-break assumption was live may be
+        # under-approximations; `tainted` tracks that so they are never
+        # memoised (a cached under-approximation could wrongly deny a later
+        # sub-query).  A maximum value is always safe to cache: monotonicity
+        # means the true value can only be >= the computed one.
+        tainted_flag = [False]
+
+        def principal_value(principal: str) -> str:
+            if principal in requesters:
+                return values.maximum
+            if self.memoise and principal in memo:
+                return memo[principal]
+            if principal in in_progress:
+                tainted_flag[0] = True
+                return values.minimum  # delegation cycles grant nothing
+            outer_taint = tainted_flag[0]
+            tainted_flag[0] = False
+            in_progress.add(principal)
+            try:
+                result = values.minimum
+                for assertion in self._by_authorizer.get(principal, ()):
+                    result = values.join([result,
+                                          assertion_value(assertion)])
+                    if result == values.maximum:
+                        break
+            finally:
+                in_progress.discard(principal)
+            subtree_tainted = tainted_flag[0]
+            if self.memoise and (not subtree_tainted
+                                 or result == values.maximum):
+                memo[principal] = result
+            tainted_flag[0] = outer_taint or subtree_tainted
+            return result
+
+        def assertion_value(assertion: Credential) -> str:
+            conditions_value = evaluator.program_value(assertion.conditions)
+            if conditions_value == values.minimum:
+                return values.minimum
+            licensee_value = assertion.licensees.value(
+                lambda key: licensee_principal_value(key), values)
+            return values.meet([conditions_value, licensee_value])
+
+        def licensee_principal_value(principal: str) -> str:
+            canonical = self._canonical(principal)
+            if canonical in requesters:
+                return values.maximum
+            # Delegation: the licensee's own assertions must carry trust
+            # onward to the requesters.
+            return principal_value(canonical)
+
+        return principal_value("POLICY")
+
+    def authorises(self, attributes: Mapping[str, str],
+                   authorizers: Iterable[str],
+                   values: ComplianceValueSet = DEFAULT_VALUE_SET,
+                   threshold: str | None = None) -> bool:
+        """Boolean convenience: True if the compliance value reaches
+        ``threshold`` (default: the maximum value)."""
+        target = threshold if threshold is not None else values.maximum
+        return values.at_least(self.query(attributes, authorizers, values),
+                               target)
+
+
+def evaluate_query(assertions: Sequence[Credential],
+                   attributes: Mapping[str, str],
+                   authorizers: Iterable[str],
+                   keystore: Keystore | None = None,
+                   values: ComplianceValueSet = DEFAULT_VALUE_SET,
+                   verify_signatures: bool = True) -> str:
+    """One-shot query without building a checker explicitly."""
+    checker = ComplianceChecker(assertions=list(assertions), keystore=keystore,
+                                verify_signatures=verify_signatures)
+    return checker.query(attributes, authorizers, values)

@@ -1,0 +1,214 @@
+"""KeyNote credentials: assertions binding authorisation to keys.
+
+Two kinds (RFC 2704):
+
+- **Policy assertions** — ``Authorizer: POLICY``; unsigned; they are the
+  local root of trust (Figure 2 / Figure 5 of the paper).
+- **Signed credentials** — the authorizer is a public key and the credential
+  carries a signature over its canonical bytes (Figures 4, 6, 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.crypto.keys import PrivateKey, PublicKey, Signature
+from repro.crypto.keystore import Keystore
+from repro.errors import CredentialError, KeyNoteSyntaxError
+from repro.keynote.ast import ConditionsProgram
+from repro.keynote.licensees import LicenseeExpr, licensees_to_text, parse_licensees
+from repro.keynote.parser import (
+    parse_conditions,
+    parse_local_constants,
+    split_fields,
+)
+
+POLICY_PRINCIPAL = "POLICY"
+KEYNOTE_VERSION = "2"
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A parsed KeyNote assertion.
+
+    ``authorizer`` and the licensee principals are either symbolic names
+    (``"Kbob"``) or encoded public keys; symbolic names are resolved through a
+    :class:`~repro.crypto.keystore.Keystore` at signing/verification time.
+    """
+
+    authorizer: str
+    licensees: LicenseeExpr
+    conditions: ConditionsProgram
+    conditions_text: str
+    licensees_text: str
+    comment: str = ""
+    local_constants: dict[str, str] = field(default_factory=dict, compare=False)
+    signature: str = ""
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, authorizer: str, licensees: str, conditions: str,
+              comment: str = "",
+              local_constants: dict[str, str] | None = None) -> "Credential":
+        """Build an (unsigned) credential from field bodies.
+
+        :raises KeyNoteSyntaxError: if licensees or conditions are malformed.
+        """
+        constants = dict(local_constants or {})
+        return cls(
+            authorizer=authorizer,
+            licensees=parse_licensees(licensees, constants),
+            conditions=parse_conditions(conditions, constants),
+            conditions_text=" ".join(conditions.split()),
+            licensees_text=" ".join(licensees.split()),
+            comment=comment,
+            local_constants=constants,
+        )
+
+    @classmethod
+    def from_text(cls, text: str) -> "Credential":
+        """Parse the textual credential form.
+
+        :raises KeyNoteSyntaxError: on malformed input.
+        """
+        fields = split_fields(text)
+        if "authorizer" not in fields:
+            raise KeyNoteSyntaxError("credential has no Authorizer field")
+        if "licensees" not in fields:
+            raise KeyNoteSyntaxError("credential has no Licensees field")
+        version = fields.get("keynote-version", KEYNOTE_VERSION).strip().strip('"')
+        if version != KEYNOTE_VERSION:
+            raise KeyNoteSyntaxError(f"unsupported KeyNote version {version!r}")
+        constants = parse_local_constants(fields["local-constants"]) \
+            if "local-constants" in fields else {}
+        authorizer = fields["authorizer"].strip()
+        if authorizer.startswith('"') and authorizer.endswith('"'):
+            authorizer = authorizer[1:-1]
+        if authorizer in constants:
+            authorizer = constants[authorizer]
+        conditions_text = fields.get("conditions", "true").rstrip()
+        if conditions_text.endswith(";"):
+            conditions_text = conditions_text[:-1]
+        if not conditions_text.strip():
+            conditions_text = "true"
+        credential = cls.build(
+            authorizer=authorizer,
+            licensees=fields["licensees"],
+            conditions=conditions_text,
+            comment=fields.get("comment", ""),
+            local_constants=constants,
+        )
+        signature = fields.get("signature", "").strip().strip('"')
+        if signature and signature != "...":
+            credential = replace(credential, signature=signature)
+        return credential
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def is_policy(self) -> bool:
+        """True for local policy assertions (``Authorizer: POLICY``)."""
+        return self.authorizer.upper() == POLICY_PRINCIPAL
+
+    def principals(self) -> frozenset[str]:
+        """All principals named in the Licensees field."""
+        return self.licensees.principals()
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_text(self, include_signature: bool = True) -> str:
+        """Serialise to the RFC-2704 textual form."""
+        lines = [f"KeyNote-Version: {KEYNOTE_VERSION}"]
+        if self.comment:
+            lines.append(f"Comment: {self.comment}")
+        if self.local_constants:
+            bindings = " ".join(f'{k} = "{v}"'
+                                for k, v in sorted(self.local_constants.items()))
+            lines.append(f"Local-Constants: {bindings}")
+        authorizer = (POLICY_PRINCIPAL if self.is_policy
+                      else f'"{self.authorizer}"')
+        lines.append(f"Authorizer: {authorizer}")
+        lines.append(f"Licensees: {licensees_to_text(self.licensees)}")
+        lines.append(f"Conditions: {self.conditions_text};")
+        if include_signature and self.signature:
+            lines.append(f'Signature: "{self.signature}"')
+        return "\n".join(lines) + "\n"
+
+    def canonical_bytes(self) -> bytes:
+        """The bytes covered by the signature: every field except Signature,
+        with symbolic principals left as-is (the signature binds the text the
+        authorizer actually uttered)."""
+        return self.to_text(include_signature=False).encode("utf-8")
+
+    # -- signing ----------------------------------------------------------------
+
+    def sign(self, private_key: PrivateKey) -> "Credential":
+        """Return a signed copy of this credential.
+
+        :raises CredentialError: when signing a POLICY assertion (policy
+            assertions are locally trusted and never signed, RFC 2704 s4.6.6).
+        """
+        if self.is_policy:
+            raise CredentialError("policy assertions are not signed")
+        signature = private_key.sign(self.canonical_bytes())
+        return replace(self, signature=signature.encode())
+
+    def signed_by(self, keystore: Keystore) -> "Credential":
+        """Sign using the keystore entry for this credential's authorizer.
+
+        :raises UnknownKeyError: if the authorizer is not in the keystore.
+        """
+        return self.sign(keystore.pair(keystore_name(self.authorizer, keystore)).private)
+
+    def verify(self, keystore: Keystore | None = None) -> bool:
+        """Verify the signature.
+
+        Policy assertions are vacuously valid.  For signed credentials the
+        authorizer must be an encoded key, or resolvable through the
+        keystore.
+        """
+        if self.is_policy:
+            return True
+        if not self.signature:
+            return False
+        try:
+            public = _resolve_public(self.authorizer, keystore)
+            signature = Signature.decode(self.signature)
+        except Exception:
+            return False
+        return public.verify(self.canonical_bytes(), signature)
+
+    def verify_or_raise(self, keystore: Keystore | None = None) -> None:
+        """Like :meth:`verify` but raising.
+
+        :raises CredentialError: if the credential is unsigned or invalid.
+        """
+        if self.is_policy:
+            return
+        if not self.signature:
+            raise CredentialError(
+                f"credential by {self.authorizer!r} is unsigned")
+        if not self.verify(keystore):
+            raise CredentialError(
+                f"signature on credential by {self.authorizer!r} is invalid")
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def keystore_name(principal: str, keystore: Keystore) -> str:
+    """Map a principal (symbolic or encoded) to its keystore name."""
+    if PublicKey.looks_like_key(principal):
+        return keystore.name_of(principal)
+    return principal
+
+
+def _resolve_public(principal: str, keystore: Keystore | None) -> PublicKey:
+    """Resolve a principal string to a public key."""
+    if PublicKey.looks_like_key(principal):
+        return PublicKey.decode(principal)
+    if keystore is None:
+        raise CredentialError(
+            f"cannot resolve symbolic principal {principal!r} without a keystore")
+    return keystore.public(principal)

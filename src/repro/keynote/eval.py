@@ -1,0 +1,240 @@
+"""Evaluator for KeyNote condition expressions.
+
+Semantics follow RFC 2704:
+
+- Action attributes are strings; referencing an absent attribute yields the
+  empty string.
+- Comparisons are numeric when *both* operands are numeric (literals or
+  strings that parse as numbers), otherwise lexicographic string comparisons.
+- ``~=`` matches the left operand against a regular expression.
+- Arithmetic on a non-numeric operand makes the enclosing *test* evaluate to
+  false rather than aborting the whole query (RFC 2704 section 5: "a test
+  with an invalid operand fails").
+- A Conditions program evaluates to a compliance value: the join of the
+  values of all clauses whose tests hold (``_MIN_TRUST`` when none do).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Union
+
+from repro.errors import KeyNoteEvalError
+from repro.keynote.ast import (
+    Attribute,
+    Binary,
+    Clause,
+    ConditionsProgram,
+    Deref,
+    Expr,
+    NumberLit,
+    StringLit,
+    Unary,
+)
+from repro.keynote.values import ComplianceValueSet
+
+Value = Union[str, float]
+
+
+class _SoftFailure(Exception):
+    """Raised when a test's operand is invalid; the test becomes false."""
+
+
+def _as_number(value: Value) -> float:
+    """Coerce to float or raise :class:`_SoftFailure`."""
+    if isinstance(value, float):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise _SoftFailure(f"non-numeric operand {value!r}") from None
+
+
+def _as_string(value: Value) -> str:
+    """Render a value as the string KeyNote would see."""
+    if isinstance(value, float):
+        # Integral floats print without a trailing .0, matching KeyNote's
+        # integer/float duality.
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return value
+
+
+def _is_numeric(value: Value) -> bool:
+    if isinstance(value, float):
+        return True
+    try:
+        float(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+_BOOL_OPS = {"&&", "||"}
+_COMPARE_OPS = {"==", "!=", "<", ">", "<=", ">="}
+_ARITH_OPS = {"+", "-", "*", "/", "%", "^"}
+
+
+class ConditionEvaluator:
+    """Evaluates expressions and Conditions programs against an action
+    attribute set."""
+
+    def __init__(self, attributes: Mapping[str, str],
+                 values: ComplianceValueSet) -> None:
+        self._attributes = attributes
+        self._values = values
+
+    # -- public entry points -------------------------------------------------
+
+    def program_value(self, program: ConditionsProgram) -> str:
+        """Compliance value of a full Conditions field."""
+        result = self._values.minimum
+        for clause in program.clauses:
+            clause_value = self._clause_value(clause)
+            result = self._values.join([result, clause_value])
+        return result
+
+    def test(self, expr: Expr) -> bool:
+        """Evaluate ``expr`` as a boolean test (soft failures are False)."""
+        try:
+            return self._truth(expr)
+        except _SoftFailure:
+            return False
+
+    # -- clauses ---------------------------------------------------------------
+
+    def _clause_value(self, clause: Clause) -> str:
+        if not self.test(clause.test):
+            return self._values.minimum
+        if clause.value is None:
+            return self._values.maximum
+        if isinstance(clause.value, ConditionsProgram):
+            return self.program_value(clause.value)
+        return self._values.resolve(clause.value)
+
+    # -- expression evaluation ---------------------------------------------------
+
+    def _truth(self, expr: Expr) -> bool:
+        """Boolean interpretation used inside &&, ||, !."""
+        if isinstance(expr, Binary) and expr.op in _BOOL_OPS:
+            if expr.op == "&&":
+                # Short-circuit; soft failure in either side fails the test.
+                return self._truth(expr.left) and self._truth(expr.right)
+            left = self._protected_truth(expr.left)
+            return left or self._truth(expr.right)
+        if isinstance(expr, Unary) and expr.op == "!":
+            return not self._truth(expr.operand)
+        if isinstance(expr, Binary) and expr.op in _COMPARE_OPS | {"~="}:
+            return self._compare(expr)
+        # A bare value is true iff it is the string "true" or a nonzero
+        # number — mirrors KeyNote's treatment of bare tests.
+        value = self._value(expr)
+        if _is_numeric(value):
+            return _as_number(value) != 0.0
+        return value == "true"
+
+    def _protected_truth(self, expr: Expr) -> bool:
+        """Truth where a soft failure means False (for || short-circuit)."""
+        try:
+            return self._truth(expr)
+        except _SoftFailure:
+            return False
+
+    def _compare(self, expr: Binary) -> bool:
+        if expr.op == "~=":
+            subject = _as_string(self._value(expr.left))
+            pattern = _as_string(self._value(expr.right))
+            try:
+                return re.search(pattern, subject) is not None
+            except re.error as exc:
+                raise KeyNoteEvalError(f"bad regular expression {pattern!r}: {exc}")
+        left = self._value(expr.left)
+        right = self._value(expr.right)
+        left_numeric, right_numeric = _is_numeric(left), _is_numeric(right)
+        if left_numeric and right_numeric:
+            return _NUMERIC_COMPARISONS[expr.op](_as_number(left),
+                                                 _as_number(right))
+        if left_numeric != right_numeric:
+            # Mixed numeric/non-numeric context: the test fails (RFC 2704's
+            # invalid-operand rule), except that (in)equality against a
+            # non-numeric string is still a meaningful string test.
+            if expr.op == "==":
+                return False
+            if expr.op == "!=":
+                return True
+            raise _SoftFailure(
+                f"ordered comparison between {left!r} and {right!r}")
+        lstr, rstr = _as_string(left), _as_string(right)
+        return _STRING_COMPARISONS[expr.op](lstr, rstr)
+
+    def _value(self, expr: Expr) -> Value:
+        if isinstance(expr, StringLit):
+            return expr.value
+        if isinstance(expr, NumberLit):
+            return float(expr.literal)
+        if isinstance(expr, Attribute):
+            return self._attributes.get(expr.name, "")
+        if isinstance(expr, Deref):
+            name = _as_string(self._value(expr.inner))
+            return self._attributes.get(name, "")
+        if isinstance(expr, Unary):
+            if expr.op == "-":
+                return -_as_number(self._value(expr.operand))
+            if expr.op == "!":
+                return "true" if not self._truth(expr.operand) else "false"
+            raise KeyNoteEvalError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Binary):
+            if expr.op == ".":
+                return (_as_string(self._value(expr.left))
+                        + _as_string(self._value(expr.right)))
+            if expr.op in _ARITH_OPS:
+                left = _as_number(self._value(expr.left))
+                right = _as_number(self._value(expr.right))
+                return self._arith(expr.op, left, right)
+            if expr.op in _COMPARE_OPS | {"~="} | _BOOL_OPS:
+                return "true" if self._truth(expr) else "false"
+            raise KeyNoteEvalError(f"unknown operator {expr.op!r}")
+        raise KeyNoteEvalError(f"cannot evaluate {expr!r}")
+
+    @staticmethod
+    def _arith(op: str, left: float, right: float) -> float:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise _SoftFailure("division by zero")
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise _SoftFailure("modulo by zero")
+            return left % right
+        if op == "^":
+            try:
+                return float(left ** right)
+            except (OverflowError, ZeroDivisionError) as exc:
+                raise _SoftFailure(str(exc)) from None
+        raise KeyNoteEvalError(f"unknown arithmetic operator {op!r}")
+
+
+_NUMERIC_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+_STRING_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}

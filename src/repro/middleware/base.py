@@ -1,0 +1,103 @@
+"""The common middleware interface.
+
+Every simulator exposes the same four capabilities the framework needs:
+invocation mediation, component interrogation (for the IDE palette of
+Figure 11), RBAC extraction (comprehension) and RBAC application
+(configuration).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@dataclass(frozen=True)
+class MiddlewareComponent:
+    """A schedulable middleware component, as interrogated by the IDE.
+
+    :param component_id: globally unique id (used by condensed-graph nodes).
+    :param object_type: the RBAC object type the component maps to.
+    :param operations: invocable operations (methods / COM verbs).
+    :param middleware: name of the owning middleware instance.
+    """
+
+    component_id: str
+    object_type: str
+    operations: tuple[str, ...]
+    middleware: str
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """A middleware invocation request: ``user`` calls ``operation`` on the
+    component with ``object_type``."""
+
+    user: str
+    object_type: str
+    operation: str
+
+
+class Middleware(abc.ABC):
+    """Base class for the middleware simulators."""
+
+    #: technology label: "ejb", "corba" or "complus"
+    kind: str = "abstract"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- mediation ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def check_invocation(self, invocation: Invocation) -> bool:
+        """Mediate an invocation against the native security policy."""
+
+    def invoke(self, user: str, object_type: str, operation: str) -> bool:
+        """Convenience wrapper over :meth:`check_invocation`."""
+        return self.check_invocation(Invocation(user, object_type, operation))
+
+    # -- interrogation ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def components(self) -> list[MiddlewareComponent]:
+        """All deployable components (the IDE's component palette)."""
+
+    # -- RBAC interpretation (Section 2) ------------------------------------------
+
+    @abc.abstractmethod
+    def extract_rbac(self) -> RBACPolicy:
+        """Interpret the native policy in the extended RBAC model."""
+
+    @abc.abstractmethod
+    def apply_grant(self, grant: Grant) -> None:
+        """Install one HasPermission fact into the native store."""
+
+    @abc.abstractmethod
+    def apply_assignment(self, assignment: Assignment) -> None:
+        """Install one UserAssignment fact into the native store."""
+
+    def remove_assignment(self, assignment: Assignment) -> bool:
+        """Remove one UserAssignment fact from the native store.
+
+        Returns True if it was present.  Subclasses override; the default
+        (no revocation support) returns False so propagation surfaces the
+        residue through the consistency report instead of failing.
+        """
+        return False
+
+    def apply_rbac(self, policy: RBACPolicy) -> None:
+        """Install a whole RBAC policy (grants before assignments so roles
+        exist when users join them)."""
+        for grant in policy.sorted_grants():
+            self.apply_grant(grant)
+        for assignment in policy.sorted_assignments():
+            self.apply_assignment(assignment)
+
+    # -- identity -----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,296 @@
+"""A COM+/.NET catalogue simulator over the simulated Windows OS.
+
+COM+ applications are registered in a catalogue; each application hosts
+components (CLSIDs) and declares *roles*; role members are Windows
+principals.  The paper reads the COM model as an extension of Windows
+security: *"COM's RBAC model ... provides Windows NT Domains, roles unique
+to each domain, and permissions.  For the purposes of this paper, COM
+permissions are Launch, Access, RunAs."*  So::
+
+    Domain      = Windows NT domain
+    Role        = COM+ application role (scoped to its NT domain here)
+    ObjectType  = component prog-id
+    Permission  = Launch | Access | RunAs
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeploymentError, UnknownComponentError
+from repro.middleware.base import Invocation, Middleware, MiddlewareComponent
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+from repro.util.ids import stable_digest
+
+COM_PERMISSIONS = ("Launch", "Access", "RunAs")
+
+
+@dataclass
+class ComComponent:
+    """A COM component registered in the catalogue."""
+
+    prog_id: str
+    clsid: str
+
+
+@dataclass
+class ComApplication:
+    """A COM+ application: components plus role-based security settings."""
+
+    name: str
+    nt_domain: str
+    components: dict[str, ComComponent] = field(default_factory=dict)
+    #: role -> component prog_id -> granted permissions
+    role_permissions: dict[str, dict[str, set[str]]] = field(default_factory=dict)
+    #: role -> member principals ("DOMAIN\\user")
+    role_members: dict[str, set[str]] = field(default_factory=dict)
+    #: the identity server processes run as (None = launching user)
+    run_as_identity: "str | None" = None
+
+
+class ComPlusCatalogue(Middleware):
+    """The COM+ catalogue of one Windows machine.
+
+    >>> from repro.os_sec.windows import WindowsSecurity
+    >>> osec = WindowsSecurity(); osec.add_domain("FINANCE")
+    >>> _ = osec.add_user("FINANCE", "alice")
+    >>> cat = ComPlusCatalogue("machine-y", osec)
+    >>> cat.create_application("Payroll", nt_domain="FINANCE")
+    >>> _ = cat.register_component("Payroll", "SalariesDB")
+    >>> cat.declare_role("Payroll", "Clerk")
+    >>> cat.grant_permission("Payroll", "Clerk", "SalariesDB", "Access")
+    >>> cat.add_role_member("Payroll", "Clerk", "FINANCE", "alice")
+    >>> cat.invoke("FINANCE\\\\alice", "SalariesDB", "Access")
+    True
+    """
+
+    kind = "complus"
+
+    def __init__(self, machine: str, windows: WindowsSecurity) -> None:
+        super().__init__(machine)
+        self.machine = machine
+        self.windows = windows
+        self._applications: dict[str, ComApplication] = {}
+
+    # -- catalogue administration ------------------------------------------------
+
+    def create_application(self, name: str, nt_domain: str) -> None:
+        """Register a COM+ application bound to an NT domain.
+
+        :raises DeploymentError: if the application exists or the NT domain
+            is not known to Windows.
+        """
+        if name in self._applications:
+            raise DeploymentError(f"application {name!r} already registered")
+        if nt_domain not in self.windows.domains():
+            raise DeploymentError(f"unknown NT domain {nt_domain!r}")
+        self._applications[name] = ComApplication(name=name,
+                                                  nt_domain=nt_domain)
+
+    def register_component(self, application: str,
+                           prog_id: str) -> ComComponent:
+        """Register a component (assigns a deterministic CLSID)."""
+        app = self._application(application)
+        if prog_id in app.components:
+            raise DeploymentError(f"component {prog_id!r} already registered")
+        clsid = "{" + stable_digest("clsid", self.machine, application,
+                                    prog_id, length=32) + "}"
+        component = ComComponent(prog_id=prog_id, clsid=clsid)
+        app.components[prog_id] = component
+        return component
+
+    def declare_role(self, application: str, role: str) -> None:
+        """Declare an application role."""
+        app = self._application(application)
+        app.role_permissions.setdefault(role, {})
+        app.role_members.setdefault(role, set())
+
+    def grant_permission(self, application: str, role: str, prog_id: str,
+                         permission: str) -> None:
+        """Grant Launch/Access/RunAs on a component to a role.
+
+        :raises DeploymentError: for unknown roles/components/permissions.
+        """
+        app = self._application(application)
+        if role not in app.role_permissions:
+            raise DeploymentError(f"role {role!r} not declared in "
+                                  f"application {application!r}")
+        if prog_id not in app.components:
+            raise UnknownComponentError(
+                f"no component {prog_id!r} in application {application!r}")
+        if permission not in COM_PERMISSIONS:
+            raise DeploymentError(
+                f"COM permission must be one of {COM_PERMISSIONS}, "
+                f"got {permission!r}")
+        app.role_permissions[role].setdefault(prog_id, set()).add(permission)
+
+    def add_role_member(self, application: str, role: str, nt_domain: str,
+                        user: str) -> None:
+        """Add a Windows principal to an application role.
+
+        :raises DeploymentError: for role/domain mismatches.
+        :raises UnknownPrincipalError: for unknown Windows users.
+        """
+        app = self._application(application)
+        if role not in app.role_members:
+            raise DeploymentError(f"role {role!r} not declared in "
+                                  f"application {application!r}")
+        self.windows.sid_of(nt_domain, user)  # validates the principal
+        app.role_members[role].add(f"{nt_domain}\\{user}")
+
+    def remove_role_member(self, application: str, role: str, nt_domain: str,
+                           user: str) -> bool:
+        """Remove a principal from a role; True if present."""
+        app = self._application(application)
+        principal = f"{nt_domain}\\{user}"
+        members = app.role_members.get(role, set())
+        if principal in members:
+            members.remove(principal)
+            return True
+        return False
+
+    def set_run_as(self, application: str, nt_domain: str,
+                   user: str) -> None:
+        """Configure the application's RunAs identity (the principal server
+        processes execute as, the third COM permission's subject).
+
+        :raises UnknownPrincipalError: for unknown Windows principals.
+        """
+        app = self._application(application)
+        self.windows.sid_of(nt_domain, user)  # validates
+        app.run_as_identity = f"{nt_domain}\\{user}"
+
+    def effective_identity(self, application: str, launcher: str) -> str:
+        """The identity a launched server runs as: the configured RunAs
+        identity, or the launching user (COM's "interactive user" default).
+
+        A caller is only *entitled* to that identity if it holds the RunAs
+        permission on some component of the application; callers check that
+        via :meth:`check_invocation` before launching.
+        """
+        app = self._application(application)
+        return app.run_as_identity or launcher
+
+    def applications(self) -> list[str]:
+        """Registered application names, sorted."""
+        return sorted(self._applications)
+
+    def _application(self, name: str) -> ComApplication:
+        try:
+            return self._applications[name]
+        except KeyError:
+            raise UnknownComponentError(
+                f"no COM+ application named {name!r}") from None
+
+    def application_of_domain(self, nt_domain: str) -> ComApplication:
+        """The application bound to an NT domain (creating one on demand for
+        RBAC application is the caller's job).
+
+        :raises UnknownComponentError: if no application uses the domain.
+        """
+        for app in self._applications.values():
+            if app.nt_domain == nt_domain:
+                return app
+        raise UnknownComponentError(
+            f"no application bound to NT domain {nt_domain!r}")
+
+    # -- Middleware interface -------------------------------------------------------
+
+    def check_invocation(self, invocation: Invocation) -> bool:
+        for app in self._applications.values():
+            if invocation.object_type not in app.components:
+                continue
+            for role, perms in app.role_permissions.items():
+                if invocation.operation not in perms.get(
+                        invocation.object_type, ()):
+                    continue
+                if invocation.user in app.role_members.get(role, ()):
+                    return True
+        return False
+
+    def components(self) -> list[MiddlewareComponent]:
+        result = []
+        for app in sorted(self._applications.values(), key=lambda a: a.name):
+            for comp in sorted(app.components.values(),
+                               key=lambda c: c.prog_id):
+                result.append(MiddlewareComponent(
+                    component_id=f"{self.machine}/{app.name}#{comp.prog_id}",
+                    object_type=comp.prog_id,
+                    operations=COM_PERMISSIONS,
+                    middleware=self.name))
+        return result
+
+    def extract_rbac(self) -> RBACPolicy:
+        """Section-2 interpretation.  Role members are ``DOMAIN\\user``; the
+        RBAC user keeps just the user part (the NT domain becomes the RBAC
+        domain)."""
+        policy = RBACPolicy(name=f"complus:{self.name}")
+        for app in self._applications.values():
+            for role, perms in app.role_permissions.items():
+                for prog_id, permissions in perms.items():
+                    for permission in sorted(permissions):
+                        policy.grant(app.nt_domain, role, prog_id, permission)
+            for role, members in app.role_members.items():
+                for principal in sorted(members):
+                    domain, _, user = principal.partition("\\")
+                    policy.assign(user, app.nt_domain, role)
+        return policy
+
+    def apply_grant(self, grant: Grant) -> None:
+        if grant.domain not in self.windows.domains():
+            self.windows.add_domain(grant.domain)
+        try:
+            app = self.application_of_domain(grant.domain)
+        except UnknownComponentError:
+            self.create_application(f"app-{grant.domain}",
+                                    nt_domain=grant.domain)
+            app = self.application_of_domain(grant.domain)
+        if grant.object_type not in app.components:
+            self.register_component(app.name, grant.object_type)
+        if grant.role not in app.role_permissions:
+            self.declare_role(app.name, grant.role)
+        permission = grant.permission if grant.permission in COM_PERMISSIONS \
+            else _nearest_com_permission(grant.permission)
+        self.grant_permission(app.name, grant.role, grant.object_type,
+                              permission)
+
+    def apply_assignment(self, assignment: Assignment) -> None:
+        if assignment.domain not in self.windows.domains():
+            self.windows.add_domain(assignment.domain)
+        try:
+            app = self.application_of_domain(assignment.domain)
+        except UnknownComponentError:
+            self.create_application(f"app-{assignment.domain}",
+                                    nt_domain=assignment.domain)
+            app = self.application_of_domain(assignment.domain)
+        if assignment.role not in app.role_members:
+            self.declare_role(app.name, assignment.role)
+        if not self.windows.has_user(f"{assignment.domain}\\{assignment.user}"):
+            self.windows.add_user(assignment.domain, assignment.user)
+        self.add_role_member(app.name, assignment.role, assignment.domain,
+                             assignment.user)
+
+    def remove_assignment(self, assignment: Assignment) -> bool:
+        try:
+            app = self.application_of_domain(assignment.domain)
+        except UnknownComponentError:
+            return False
+        return self.remove_role_member(app.name, assignment.role,
+                                       assignment.domain, assignment.user)
+
+
+def _nearest_com_permission(permission: str) -> str:
+    """Map a foreign permission name onto COM's Launch/Access/RunAs.
+
+    Policy migration between middleware "does not consist of a simple
+    one-to-one mapping" (Section 4.3); read-like permissions become Access,
+    execute-like become Launch, impersonation-like become RunAs.  The
+    similarity layer (:mod:`repro.translate.similarity`) offers the richer
+    metric-based mapping; this is the deterministic fallback.
+    """
+    lowered = permission.lower()
+    if any(word in lowered for word in ("exec", "launch", "start", "run")):
+        return "Launch" if "run" not in lowered else "RunAs"
+    return "Access"

@@ -1,0 +1,261 @@
+"""A CORBA ORB simulator with CORBASec-style access policy.
+
+The simulator models an ORB server on a machine, serving object interfaces
+(IDL-ish: an interface name plus operations).  Security follows the
+CORBASec *required rights* idea flattened to the paper's reading: roles are
+granted rights to invoke specific methods on objects of a given interface.
+
+The paper's RBAC interpretation: *"We consider a Domain to be the name of
+the machine and the Corba ORB server name ... Roles are unique to each
+Domain, and Users can be members of one or many roles.  Permissions relate
+to the method calls on objects of the given object type."*  So::
+
+    Domain      = machine/orb-server
+    Role        = access-policy role
+    ObjectType  = interface (repository id short name)
+    Permission  = operation name
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeploymentError, UnknownComponentError
+from repro.middleware.base import Invocation, Middleware, MiddlewareComponent
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+from repro.util.ids import stable_digest
+
+
+@dataclass
+class CorbaInterface:
+    """A served object interface."""
+
+    name: str
+    operations: tuple[str, ...]
+
+    @property
+    def repository_id(self) -> str:
+        """An IDL-style repository id, e.g. ``IDL:SalariesDB:1.0``."""
+        return f"IDL:{self.name}:1.0"
+
+
+@dataclass
+class ObjectReference:
+    """A (simulated) interoperable object reference."""
+
+    ior: str
+    interface: str
+
+
+@dataclass
+class _AccessPolicy:
+    """role -> interface -> granted operations"""
+
+    required_rights: dict[str, dict[str, set[str]]] = field(default_factory=dict)
+    role_members: dict[str, set[str]] = field(default_factory=dict)
+
+
+class CorbaOrb(Middleware):
+    """An ORB server with interfaces, object references and an access policy.
+
+    >>> orb = CorbaOrb(machine="hosty", orb_name="orb1")
+    >>> orb.register_interface("SalariesDB", operations=("read", "write"))
+    >>> ref = orb.bind_object("SalariesDB")
+    >>> orb.declare_role("Manager")
+    >>> orb.grant_right("Manager", "SalariesDB", "read")
+    >>> orb.assign_role("Manager", "Claire")
+    >>> orb.invoke("Claire", "SalariesDB", "read")
+    True
+    """
+
+    kind = "corba"
+
+    def __init__(self, machine: str, orb_name: str) -> None:
+        super().__init__(f"{machine}/{orb_name}")
+        self.machine = machine
+        self.orb_name = orb_name
+        self._interfaces: dict[str, CorbaInterface] = {}
+        self._objects: dict[str, ObjectReference] = {}
+        self._policy = _AccessPolicy()
+        self._users: set[str] = set()
+        self._corbasec = None  # optional CorbaSecPolicy (rights model)
+
+    # -- CORBASec mode -----------------------------------------------------------
+
+    def attach_corbasec(self, policy) -> None:
+        """Switch mediation to a CORBASec required-rights policy.
+
+        While attached, invocations are decided by rights satisfaction and
+        ``extract_rbac`` flattens the rights model into the common format.
+        The plain role->operation policy is ignored (one mediation authority
+        per ORB, as CORBASec replaces rather than augments it).
+        """
+        self._corbasec = policy
+
+    def detach_corbasec(self) -> None:
+        """Return to the plain role->operation access policy."""
+        self._corbasec = None
+
+    @property
+    def corbasec(self):
+        """The attached CORBASec policy, or None."""
+        return self._corbasec
+
+    # -- interfaces and objects ----------------------------------------------
+
+    def register_interface(self, name: str,
+                           operations: tuple[str, ...]) -> None:
+        """Register an interface (the IDL contract)."""
+        if name in self._interfaces:
+            raise DeploymentError(f"interface {name!r} already registered")
+        if not operations:
+            raise DeploymentError(f"interface {name!r} has no operations")
+        self._interfaces[name] = CorbaInterface(name=name, operations=operations)
+
+    def bind_object(self, interface: str) -> ObjectReference:
+        """Create an object reference for an interface.
+
+        :raises UnknownComponentError: for unregistered interfaces.
+        """
+        if interface not in self._interfaces:
+            raise UnknownComponentError(f"unknown interface {interface!r}")
+        ior = "IOR:" + stable_digest(self.name, interface,
+                                     str(len(self._objects)), length=24)
+        ref = ObjectReference(ior=ior, interface=interface)
+        self._objects[ior] = ref
+        return ref
+
+    def resolve(self, ior: str) -> ObjectReference:
+        """Look up an object reference.
+
+        :raises UnknownComponentError: for dangling IORs.
+        """
+        try:
+            return self._objects[ior]
+        except KeyError:
+            raise UnknownComponentError(f"dangling IOR {ior!r}") from None
+
+    def interfaces(self) -> list[CorbaInterface]:
+        """All registered interfaces, sorted."""
+        return sorted(self._interfaces.values(), key=lambda i: i.name)
+
+    # -- access policy ----------------------------------------------------------
+
+    def declare_role(self, role: str) -> None:
+        """Declare a role in the ORB's access policy."""
+        self._policy.required_rights.setdefault(role, {})
+        self._policy.role_members.setdefault(role, set())
+
+    def grant_right(self, role: str, interface: str, operation: str) -> None:
+        """Grant a role the right to an operation on an interface.
+
+        :raises DeploymentError: for undeclared roles or unknown operations.
+        """
+        if role not in self._policy.required_rights:
+            raise DeploymentError(f"role {role!r} not declared")
+        iface = self._interfaces.get(interface)
+        if iface is None:
+            raise UnknownComponentError(f"unknown interface {interface!r}")
+        if operation not in iface.operations:
+            raise DeploymentError(
+                f"interface {interface!r} has no operation {operation!r}")
+        self._policy.required_rights[role].setdefault(interface, set()).add(
+            operation)
+
+    def assign_role(self, role: str, user: str) -> None:
+        """Add a user to a role (users are implicitly registered)."""
+        if role not in self._policy.role_members:
+            raise DeploymentError(f"role {role!r} not declared")
+        self._users.add(user)
+        self._policy.role_members[role].add(user)
+
+    def users(self) -> frozenset[str]:
+        """Users known to the ORB's access policy."""
+        return frozenset(self._users)
+
+    @property
+    def domain(self) -> str:
+        """The single RBAC domain this ORB constitutes (machine/orb-name)."""
+        return self.name
+
+    # -- Middleware interface ------------------------------------------------------
+
+    def check_invocation(self, invocation: Invocation) -> bool:
+        if self._corbasec is not None:
+            return self._corbasec.access_allowed(
+                invocation.user, invocation.object_type, invocation.operation)
+        for role, rights in self._policy.required_rights.items():
+            if invocation.operation in rights.get(invocation.object_type, ()):
+                if invocation.user in self._policy.role_members.get(role, ()):
+                    return True
+        return False
+
+    def components(self) -> list[MiddlewareComponent]:
+        return [MiddlewareComponent(
+                    component_id=f"{self.name}#{iface.name}",
+                    object_type=iface.name,
+                    operations=iface.operations,
+                    middleware=self.name)
+                for iface in self.interfaces()]
+
+    def extract_rbac(self) -> RBACPolicy:
+        if self._corbasec is not None:
+            return self._extract_corbasec_rbac()
+        policy = RBACPolicy(name=f"corba:{self.name}")
+        for role, rights in self._policy.required_rights.items():
+            for interface, operations in rights.items():
+                for operation in sorted(operations):
+                    policy.grant(self.domain, role, interface, operation)
+        for role, members in self._policy.role_members.items():
+            for user in sorted(members):
+                policy.assign(user, self.domain, role)
+        return policy
+
+    def _extract_corbasec_rbac(self) -> RBACPolicy:
+        """Flatten the rights model: a role is granted an operation iff its
+        granted rights satisfy the operation's required rights."""
+        policy = RBACPolicy(name=f"corba:{self.name}")
+        for interface in self._interfaces.values():
+            for operation in interface.operations:
+                for role in self._corbasec.roles():
+                    if self._corbasec.role_can_invoke(role, interface.name,
+                                                      operation):
+                        policy.grant(self.domain, role, interface.name,
+                                     operation)
+        for role in self._corbasec.roles():
+            for user in sorted(self._corbasec.members_of(role)):
+                policy.assign(user, self.domain, role)
+        return policy
+
+    def apply_grant(self, grant: Grant) -> None:
+        if grant.domain != self.domain:
+            raise UnknownComponentError(
+                f"domain {grant.domain!r} does not address ORB {self.name!r}")
+        if grant.object_type not in self._interfaces:
+            self.register_interface(grant.object_type,
+                                    operations=(grant.permission,))
+        iface = self._interfaces[grant.object_type]
+        if grant.permission not in iface.operations:
+            iface.operations = iface.operations + (grant.permission,)
+        if grant.role not in self._policy.required_rights:
+            self.declare_role(grant.role)
+        self.grant_right(grant.role, grant.object_type, grant.permission)
+
+    def apply_assignment(self, assignment: Assignment) -> None:
+        if assignment.domain != self.domain:
+            raise UnknownComponentError(
+                f"domain {assignment.domain!r} does not address ORB "
+                f"{self.name!r}")
+        if assignment.role not in self._policy.role_members:
+            self.declare_role(assignment.role)
+        self.assign_role(assignment.role, assignment.user)
+
+    def remove_assignment(self, assignment: Assignment) -> bool:
+        if assignment.domain != self.domain:
+            return False
+        members = self._policy.role_members.get(assignment.role)
+        if members and assignment.user in members:
+            members.remove(assignment.user)
+            return True
+        return False

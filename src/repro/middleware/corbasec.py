@@ -1,0 +1,173 @@
+"""CORBASec-style access control: required rights vs granted rights.
+
+The CORBA Security Service ([2], Blakley's *CORBA Security*) mediates at the
+granularity of *rights*, not operations: every (interface, operation) pair
+carries a set of **required rights** from the standard rights family
+``corba:{get, set, manage, use}`` plus a combinator (``all``: every right is
+needed; ``any``: one suffices), and principals hold **granted rights**
+through their role attributes.  An invocation is allowed when the caller's
+granted rights satisfy the operation's required rights.
+
+:class:`CorbaSecPolicy` implements that model and plugs into
+:class:`~repro.middleware.corba.CorbaOrb` via ``attach_corbasec``; the orb's
+``extract_rbac`` then flattens rights back to the paper's common format (an
+operation is granted to a role iff the role's rights satisfy the operation's
+requirement), so the translation pipeline is oblivious to which mediation
+mode the ORB runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import DeploymentError
+from repro.util.text import format_table
+
+#: the standard CORBA rights family
+RIGHTS_FAMILY = ("get", "set", "manage", "use")
+
+
+@dataclass(frozen=True)
+class RequiredRights:
+    """The rights an operation demands, with its combinator."""
+
+    rights: frozenset[str]
+    combinator: str = "all"  # "all" | "any"
+
+    def __post_init__(self) -> None:
+        unknown = self.rights - set(RIGHTS_FAMILY)
+        if unknown:
+            raise DeploymentError(
+                f"unknown rights {sorted(unknown)}; the corba family is "
+                f"{RIGHTS_FAMILY}")
+        if self.combinator not in ("all", "any"):
+            raise DeploymentError(
+                f"combinator must be 'all' or 'any', got {self.combinator!r}")
+        if not self.rights:
+            raise DeploymentError("an operation must require some right")
+
+    def satisfied_by(self, granted: frozenset[str]) -> bool:
+        """Does a granted-rights set meet this requirement?"""
+        if self.combinator == "all":
+            return self.rights <= granted
+        return bool(self.rights & granted)
+
+
+class CorbaSecPolicy:
+    """Required-rights table + per-role granted rights + role members."""
+
+    def __init__(self) -> None:
+        self._required: dict[tuple[str, str], RequiredRights] = {}
+        self._granted: dict[str, set[str]] = {}
+        self._members: dict[str, set[str]] = {}
+
+    # -- required rights -------------------------------------------------------
+
+    def set_required(self, interface: str, operation: str,
+                     rights: Iterable[str], combinator: str = "all") -> None:
+        """Declare the rights an operation requires."""
+        self._required[(interface, operation)] = RequiredRights(
+            frozenset(rights), combinator)
+
+    def required_for(self, interface: str,
+                     operation: str) -> RequiredRights | None:
+        """The requirement for an operation (None = not protected)."""
+        return self._required.get((interface, operation))
+
+    # -- granted rights -----------------------------------------------------------
+
+    def declare_role(self, role: str) -> None:
+        """Declare a role attribute."""
+        self._granted.setdefault(role, set())
+        self._members.setdefault(role, set())
+
+    def grant_rights(self, role: str, rights: Iterable[str]) -> None:
+        """Grant rights to a role.
+
+        :raises DeploymentError: for undeclared roles or unknown rights.
+        """
+        if role not in self._granted:
+            raise DeploymentError(f"role {role!r} not declared")
+        rights = set(rights)
+        unknown = rights - set(RIGHTS_FAMILY)
+        if unknown:
+            raise DeploymentError(f"unknown rights {sorted(unknown)}")
+        self._granted[role] |= rights
+
+    def assign_role(self, role: str, user: str) -> None:
+        """Put a user into a role.
+
+        :raises DeploymentError: for undeclared roles.
+        """
+        if role not in self._members:
+            raise DeploymentError(f"role {role!r} not declared")
+        self._members[role].add(user)
+
+    def remove_member(self, role: str, user: str) -> bool:
+        """Remove a user from a role; True if present."""
+        members = self._members.get(role, set())
+        if user in members:
+            members.remove(user)
+            return True
+        return False
+
+    def granted_to_user(self, user: str) -> frozenset[str]:
+        """Union of rights over all the user's roles."""
+        rights: set[str] = set()
+        for role, members in self._members.items():
+            if user in members:
+                rights |= self._granted[role]
+        return frozenset(rights)
+
+    def roles(self) -> list[str]:
+        """Declared roles, sorted."""
+        return sorted(self._granted)
+
+    def members_of(self, role: str) -> frozenset[str]:
+        """Users in a role."""
+        return frozenset(self._members.get(role, frozenset()))
+
+    def rights_of(self, role: str) -> frozenset[str]:
+        """Rights granted to a role."""
+        return frozenset(self._granted.get(role, frozenset()))
+
+    # -- decisions -----------------------------------------------------------------
+
+    def access_allowed(self, user: str, interface: str,
+                       operation: str) -> bool:
+        """The CORBASec access decision.
+
+        Operations with no required-rights entry are *closed* (denied) —
+        fail-safe defaults.
+        """
+        required = self._required.get((interface, operation))
+        if required is None:
+            return False
+        return required.satisfied_by(self.granted_to_user(user))
+
+    def role_can_invoke(self, role: str, interface: str,
+                        operation: str) -> bool:
+        """Would a member of ``role`` (alone) be allowed?"""
+        required = self._required.get((interface, operation))
+        if required is None:
+            return False
+        return required.satisfied_by(self.rights_of(role))
+
+    # -- presentation -----------------------------------------------------------------
+
+    def required_rights_table(self) -> str:
+        """Render the RequiredRights table, as CORBASec documentation
+        presents it."""
+        return format_table(
+            ["Interface", "Operation", "Rights", "Combinator"],
+            [(iface, op, ",".join(sorted(req.rights)), req.combinator)
+             for (iface, op), req in sorted(self._required.items())])
+
+    def granted_rights_table(self) -> str:
+        """Render the per-role granted rights."""
+        return format_table(
+            ["Role", "Granted rights", "Members"],
+            [(role, ",".join(sorted(self._granted[role])),
+              ",".join(sorted(self._members[role])))
+             for role in self.roles()])

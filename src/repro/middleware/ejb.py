@@ -1,0 +1,299 @@
+"""An Enterprise JavaBeans server simulator.
+
+Shapes match the J2EE model the paper describes: beans live in containers
+(named by JNDI names) on a server on a host; deployment descriptors declare
+security roles and method-permissions; users are managed per server and may
+hold roles in any container.
+
+The paper's RBAC interpretation: *"The combination of host, EJB server, and
+the relevant bean container JNDI name provide the domains of the policy.
+Roles are bean specific on each server.  Users exist globally in each EJB
+server ... Permissions represent method calls that a role is permitted to
+make on an EJB object."*  So::
+
+    Domain      = host:server/jndi
+    Role        = descriptor security-role
+    ObjectType  = bean name
+    Permission  = method name
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeploymentError, UnknownComponentError
+from repro.middleware.base import Invocation, Middleware, MiddlewareComponent
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@dataclass
+class Bean:
+    """A deployed enterprise bean."""
+
+    name: str
+    methods: tuple[str, ...]
+    #: method-permission entries: role -> set of methods
+    method_permissions: dict[str, set[str]] = field(default_factory=dict)
+    #: <exclude-list>: methods no principal may call (J2EE descriptors)
+    excluded: set[str] = field(default_factory=set)
+    #: <unchecked/> method-permissions: methods open to any principal
+    unchecked: set[str] = field(default_factory=set)
+
+
+@dataclass
+class BeanContainer:
+    """A bean container, addressed by its JNDI name."""
+
+    jndi_name: str
+    beans: dict[str, Bean] = field(default_factory=dict)
+    #: security-role declarations for this container's descriptors
+    roles: set[str] = field(default_factory=set)
+    #: role memberships: role -> set of users
+    role_members: dict[str, set[str]] = field(default_factory=dict)
+
+
+class EJBServer(Middleware):
+    """An EJB server on a host, holding containers, beans and users.
+
+    >>> server = EJBServer(host="hostx", server_name="ejb1")
+    >>> server.deploy_container("Payroll")
+    >>> server.deploy_bean("Payroll", "SalariesDB", methods=("read", "write"))
+    >>> server.declare_role("Payroll", "Clerk")
+    >>> server.add_method_permission("Payroll", "SalariesDB", "Clerk", "write")
+    >>> server.add_user("Alice")
+    >>> server.assign_role("Payroll", "Clerk", "Alice")
+    >>> server.invoke("Alice", "SalariesDB", "write")
+    True
+    >>> server.invoke("Alice", "SalariesDB", "read")
+    False
+    """
+
+    kind = "ejb"
+
+    def __init__(self, host: str, server_name: str) -> None:
+        super().__init__(f"{host}:{server_name}")
+        self.host = host
+        self.server_name = server_name
+        self._containers: dict[str, BeanContainer] = {}
+        self._users: set[str] = set()
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy_container(self, jndi_name: str) -> None:
+        """Create a bean container addressed by ``jndi_name``."""
+        if jndi_name in self._containers:
+            raise DeploymentError(f"container {jndi_name!r} already deployed")
+        self._containers[jndi_name] = BeanContainer(jndi_name=jndi_name)
+
+    def deploy_bean(self, jndi_name: str, bean_name: str,
+                    methods: tuple[str, ...]) -> None:
+        """Deploy a bean with its business methods into a container."""
+        container = self._container(jndi_name)
+        if bean_name in container.beans:
+            raise DeploymentError(f"bean {bean_name!r} already deployed")
+        if not methods:
+            raise DeploymentError(f"bean {bean_name!r} declares no methods")
+        container.beans[bean_name] = Bean(name=bean_name, methods=methods)
+
+    def declare_role(self, jndi_name: str, role: str) -> None:
+        """Declare a security-role in a container's descriptor."""
+        container = self._container(jndi_name)
+        container.roles.add(role)
+        container.role_members.setdefault(role, set())
+
+    def add_method_permission(self, jndi_name: str, bean_name: str,
+                              role: str, method: str) -> None:
+        """Add a ``<method-permission>`` descriptor entry.
+
+        :raises DeploymentError: for unknown roles, beans or methods.
+        """
+        container = self._container(jndi_name)
+        if role not in container.roles:
+            raise DeploymentError(
+                f"role {role!r} not declared in container {jndi_name!r}")
+        bean = self._bean(jndi_name, bean_name)
+        if method not in bean.methods:
+            raise DeploymentError(
+                f"bean {bean_name!r} has no method {method!r}")
+        bean.method_permissions.setdefault(role, set()).add(method)
+
+    def add_exclude(self, jndi_name: str, bean_name: str,
+                    method: str) -> None:
+        """Add a method to the bean's ``<exclude-list>``: denied to all,
+        overriding any method-permission.
+
+        :raises DeploymentError: for unknown beans or methods.
+        """
+        bean = self._bean(jndi_name, bean_name)
+        if method not in bean.methods:
+            raise DeploymentError(
+                f"bean {bean_name!r} has no method {method!r}")
+        bean.excluded.add(method)
+
+    def add_unchecked(self, jndi_name: str, bean_name: str,
+                      method: str) -> None:
+        """Mark a method ``<unchecked/>``: open to any principal (unless
+        excluded).
+
+        :raises DeploymentError: for unknown beans or methods.
+        """
+        bean = self._bean(jndi_name, bean_name)
+        if method not in bean.methods:
+            raise DeploymentError(
+                f"bean {bean_name!r} has no method {method!r}")
+        bean.unchecked.add(method)
+
+    # -- principals -----------------------------------------------------------------
+
+    def add_user(self, user: str) -> None:
+        """Register a user with this server (users are server-global)."""
+        self._users.add(user)
+
+    def users(self) -> frozenset[str]:
+        """Users managed by this server."""
+        return frozenset(self._users)
+
+    def assign_role(self, jndi_name: str, role: str, user: str) -> None:
+        """Put a server user into a container role.
+
+        :raises DeploymentError: for unknown users or roles.
+        """
+        if user not in self._users:
+            raise DeploymentError(f"user {user!r} is not registered "
+                                  f"with server {self.name!r}")
+        container = self._container(jndi_name)
+        if role not in container.roles:
+            raise DeploymentError(
+                f"role {role!r} not declared in container {jndi_name!r}")
+        container.role_members[role].add(user)
+
+    def unassign_role(self, jndi_name: str, role: str, user: str) -> bool:
+        """Remove a role membership; True if it existed."""
+        container = self._container(jndi_name)
+        members = container.role_members.get(role, set())
+        if user in members:
+            members.remove(user)
+            return True
+        return False
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _container(self, jndi_name: str) -> BeanContainer:
+        try:
+            return self._containers[jndi_name]
+        except KeyError:
+            raise UnknownComponentError(
+                f"no container with JNDI name {jndi_name!r}") from None
+
+    def _bean(self, jndi_name: str, bean_name: str) -> Bean:
+        container = self._container(jndi_name)
+        try:
+            return container.beans[bean_name]
+        except KeyError:
+            raise UnknownComponentError(
+                f"no bean {bean_name!r} in container {jndi_name!r}") from None
+
+    def domain_of(self, jndi_name: str) -> str:
+        """The RBAC domain string for a container (host:server/jndi)."""
+        return f"{self.host}:{self.server_name}/{jndi_name}"
+
+    def container_of_domain(self, domain: str) -> str:
+        """Inverse of :meth:`domain_of`.
+
+        :raises UnknownComponentError: if the domain does not address this
+            server.
+        """
+        prefix = f"{self.host}:{self.server_name}/"
+        if not domain.startswith(prefix):
+            raise UnknownComponentError(
+                f"domain {domain!r} does not address server {self.name!r}")
+        return domain[len(prefix):]
+
+    # -- Middleware interface -----------------------------------------------------------
+
+    def check_invocation(self, invocation: Invocation) -> bool:
+        for container in self._containers.values():
+            bean = container.beans.get(invocation.object_type)
+            if bean is None:
+                continue
+            if invocation.operation in bean.excluded:
+                continue  # <exclude-list> dominates everything
+            if invocation.operation in bean.unchecked:
+                return True
+            for role, methods in bean.method_permissions.items():
+                if invocation.operation not in methods:
+                    continue
+                if invocation.user in container.role_members.get(role, ()):
+                    return True
+        return False
+
+    def components(self) -> list[MiddlewareComponent]:
+        result = []
+        for container in sorted(self._containers.values(),
+                                key=lambda c: c.jndi_name):
+            for bean in sorted(container.beans.values(), key=lambda b: b.name):
+                result.append(MiddlewareComponent(
+                    component_id=f"{self.domain_of(container.jndi_name)}"
+                                 f"#{bean.name}",
+                    object_type=bean.name,
+                    operations=bean.methods,
+                    middleware=self.name))
+        return result
+
+    def extract_rbac(self) -> RBACPolicy:
+        """Section-2 interpretation of the deployment descriptors.
+
+        ``<exclude-list>`` entries suppress the corresponding grants (the
+        effective policy is what matters); ``<unchecked/>`` methods have no
+        RBAC reading (they name no role) and are omitted — a caveat the
+        migration report surfaces when such descriptors exist.
+        """
+        policy = RBACPolicy(name=f"ejb:{self.name}")
+        for container in self._containers.values():
+            domain = self.domain_of(container.jndi_name)
+            for bean in container.beans.values():
+                for role, methods in bean.method_permissions.items():
+                    for method in sorted(methods):
+                        if method in bean.excluded:
+                            continue
+                        policy.grant(domain, role, bean.name, method)
+            for role, members in container.role_members.items():
+                for user in sorted(members):
+                    policy.assign(user, domain, role)
+        return policy
+
+    def apply_grant(self, grant: Grant) -> None:
+        jndi = self.container_of_domain(grant.domain)
+        if jndi not in self._containers:
+            self.deploy_container(jndi)
+        container = self._containers[jndi]
+        if grant.object_type not in container.beans:
+            self.deploy_bean(jndi, grant.object_type,
+                             methods=(grant.permission,))
+        bean = container.beans[grant.object_type]
+        if grant.permission not in bean.methods:
+            bean.methods = bean.methods + (grant.permission,)
+        if grant.role not in container.roles:
+            self.declare_role(jndi, grant.role)
+        self.add_method_permission(jndi, grant.object_type, grant.role,
+                                   grant.permission)
+
+    def apply_assignment(self, assignment: Assignment) -> None:
+        jndi = self.container_of_domain(assignment.domain)
+        if jndi not in self._containers:
+            self.deploy_container(jndi)
+        if assignment.role not in self._containers[jndi].roles:
+            self.declare_role(jndi, assignment.role)
+        if assignment.user not in self._users:
+            self.add_user(assignment.user)
+        self.assign_role(jndi, assignment.role, assignment.user)
+
+    def remove_assignment(self, assignment: Assignment) -> bool:
+        try:
+            jndi = self.container_of_domain(assignment.domain)
+        except UnknownComponentError:
+            return False
+        if jndi not in self._containers:
+            return False
+        return self.unassign_role(jndi, assignment.role, assignment.user)

@@ -1,0 +1,71 @@
+"""A registry of middleware instances across the network.
+
+The framework (and the IDE's interrogation step) needs to enumerate every
+middleware in the environment, find which one serves a component, and gather
+all native policies for comprehension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import UnknownComponentError
+from repro.middleware.base import Middleware, MiddlewareComponent
+from repro.rbac.policy import RBACPolicy
+
+
+class MiddlewareRegistry:
+    """Name-indexed collection of middleware instances."""
+
+    def __init__(self) -> None:
+        self._instances: dict[str, Middleware] = {}
+
+    def register(self, middleware: Middleware) -> None:
+        """Add a middleware instance (name must be unique)."""
+        if middleware.name in self._instances:
+            raise ValueError(f"middleware {middleware.name!r} already registered")
+        self._instances[middleware.name] = middleware
+
+    def get(self, name: str) -> Middleware:
+        """Look up by name.
+
+        :raises UnknownComponentError: if absent.
+        """
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise UnknownComponentError(
+                f"no middleware named {name!r}") from None
+
+    def __iter__(self) -> Iterator[Middleware]:
+        for name in sorted(self._instances):
+            yield self._instances[name]
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances
+
+    def all_components(self) -> list[MiddlewareComponent]:
+        """Every deployable component across all middleware (the palette)."""
+        components: list[MiddlewareComponent] = []
+        for middleware in self:
+            components.extend(middleware.components())
+        return components
+
+    def find_component(self, component_id: str) -> tuple[Middleware,
+                                                          MiddlewareComponent]:
+        """Locate a component by id.
+
+        :raises UnknownComponentError: if no middleware serves it.
+        """
+        for middleware in self:
+            for component in middleware.components():
+                if component.component_id == component_id:
+                    return middleware, component
+        raise UnknownComponentError(f"no component {component_id!r}")
+
+    def extract_all(self) -> list[RBACPolicy]:
+        """Native policies of every middleware, interpreted as RBAC."""
+        return [m.extract_rbac() for m in self]

@@ -1,0 +1,34 @@
+"""The OS security interface mediated by the L0 layer."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """An OS-level access request: ``user`` wants ``access`` on ``obj``."""
+
+    user: str
+    obj: str
+    access: str  # "read" | "write" | "execute"
+
+
+class OperatingSystemSecurity(abc.ABC):
+    """What the stacked-authorisation layer needs from an OS substrate."""
+
+    #: short platform label, e.g. "unix" or "windows"
+    platform: str = "abstract"
+
+    @abc.abstractmethod
+    def has_user(self, user: str) -> bool:
+        """True if ``user`` is a known OS principal."""
+
+    @abc.abstractmethod
+    def check_access(self, request: AccessRequest) -> bool:
+        """Mediate an access request against the OS policy."""
+
+    def check(self, user: str, obj: str, access: str) -> bool:
+        """Convenience wrapper over :meth:`check_access`."""
+        return self.check_access(AccessRequest(user, obj, access))

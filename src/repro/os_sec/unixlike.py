@@ -1,0 +1,110 @@
+"""A Unix-like security model: users, groups, and rwx mode bits.
+
+Objects carry an owner, a group and a 9-bit mode (owner/group/other × rwx).
+This is the ``OS(U)`` box of Figure 9 — the substrate under the EJB system X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownPrincipalError
+from repro.os_sec.base import AccessRequest, OperatingSystemSecurity
+
+_ACCESS_BIT = {"read": 4, "write": 2, "execute": 1}
+
+
+@dataclass
+class _UnixObject:
+    owner: str
+    group: str
+    mode: int  # e.g. 0o640
+
+
+class UnixSecurity(OperatingSystemSecurity):
+    """Users, groups and per-object mode bits.
+
+    >>> osec = UnixSecurity()
+    >>> osec.add_user("alice", groups=["finance"])
+    >>> osec.create_object("/db/salaries", owner="alice", group="finance",
+    ...                    mode=0o640)
+    >>> osec.check("alice", "/db/salaries", "write")
+    True
+    """
+
+    platform = "unix"
+
+    def __init__(self) -> None:
+        self._groups_of: dict[str, set[str]] = {}
+        self._objects: dict[str, _UnixObject] = {}
+
+    # -- principals -----------------------------------------------------------
+
+    def add_user(self, user: str, groups: list[str] | None = None) -> None:
+        """Register a user with group memberships (primary group implied)."""
+        self._groups_of.setdefault(user, set()).update(groups or ())
+
+    def add_to_group(self, user: str, group: str) -> None:
+        """Add an existing user to a group.
+
+        :raises UnknownPrincipalError: if the user is unknown.
+        """
+        self._require_user(user)
+        self._groups_of[user].add(group)
+
+    def has_user(self, user: str) -> bool:
+        return user in self._groups_of
+
+    def groups_of(self, user: str) -> frozenset[str]:
+        """Groups the user belongs to."""
+        self._require_user(user)
+        return frozenset(self._groups_of[user])
+
+    def _require_user(self, user: str) -> None:
+        if user not in self._groups_of:
+            raise UnknownPrincipalError(f"unknown user {user!r}")
+
+    # -- objects ------------------------------------------------------------------
+
+    def create_object(self, name: str, owner: str, group: str,
+                      mode: int = 0o644) -> None:
+        """Create an object with owner, group and mode bits.
+
+        :raises UnknownPrincipalError: if the owner is unknown.
+        :raises ValueError: for modes outside 0..0o777.
+        """
+        self._require_user(owner)
+        if not 0 <= mode <= 0o777:
+            raise ValueError(f"mode out of range: {oct(mode)}")
+        self._objects[name] = _UnixObject(owner=owner, group=group, mode=mode)
+
+    def chmod(self, name: str, mode: int) -> None:
+        """Change an object's mode bits.
+
+        :raises KeyError: if the object does not exist.
+        """
+        if not 0 <= mode <= 0o777:
+            raise ValueError(f"mode out of range: {oct(mode)}")
+        self._objects[name].mode = mode
+
+    def has_object(self, name: str) -> bool:
+        """True if the object exists."""
+        return name in self._objects
+
+    # -- mediation --------------------------------------------------------------------
+
+    def check_access(self, request: AccessRequest) -> bool:
+        """Standard Unix algorithm: owner bits, else group bits, else other."""
+        obj = self._objects.get(request.obj)
+        if obj is None or request.user not in self._groups_of:
+            return False
+        bit = _ACCESS_BIT.get(request.access)
+        if bit is None:
+            return False
+        if request.user == obj.owner:
+            shift = 6
+        elif obj.group in self._groups_of[request.user]:
+            shift = 3
+        else:
+            shift = 0
+        return bool((obj.mode >> shift) & bit)

@@ -1,0 +1,190 @@
+"""A Windows NT-like security model: domains, SIDs, groups and DACLs.
+
+The COM+ RBAC interpretation in the paper's Section 2 "is an extension of the
+Windows security model and provides Windows NT Domains, roles unique to each
+domain, and permissions" — so this module provides NT domains with per-domain
+users and groups, stable SIDs, and discretionary ACLs whose entries allow or
+deny access rights; deny ACEs take precedence, as on real NT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownPrincipalError
+from repro.os_sec.base import AccessRequest, OperatingSystemSecurity
+from repro.util.ids import stable_digest
+
+
+@dataclass(frozen=True)
+class AccessControlEntry:
+    """One ACE: allow or deny ``rights`` to ``sid``."""
+
+    sid: str
+    rights: frozenset[str]
+    allow: bool = True
+
+
+@dataclass
+class _SecurityDescriptor:
+    owner_sid: str
+    dacl: list[AccessControlEntry] = field(default_factory=list)
+
+
+class WindowsSecurity(OperatingSystemSecurity):
+    """NT domains with users, groups and ACL-protected objects.
+
+    Principals are written ``DOMAIN\\name``; each gets a stable SID.
+
+    >>> osec = WindowsSecurity()
+    >>> osec.add_domain("DOMA")
+    >>> _ = osec.add_user("DOMA", "alice")
+    >>> sid = osec.sid_of("DOMA", "alice")
+    >>> osec.create_object("registry/key", owner=("DOMA", "alice"))
+    >>> osec.allow("registry/key", sid, {"read"})
+    >>> osec.check("DOMA\\\\alice", "registry/key", "read")
+    True
+    """
+
+    platform = "windows"
+
+    #: well-known group every authenticated principal belongs to
+    EVERYONE_SID = "S-1-1-0"
+
+    def __init__(self) -> None:
+        self._domains: set[str] = set()
+        self._users: dict[tuple[str, str], str] = {}  # (domain, user) -> SID
+        self._groups: dict[tuple[str, str], str] = {}
+        self._members: dict[str, set[str]] = {}  # group SID -> member SIDs
+        self._objects: dict[str, _SecurityDescriptor] = {}
+
+    # -- domains and principals -------------------------------------------------
+
+    def add_domain(self, domain: str) -> None:
+        """Register an NT domain."""
+        self._domains.add(domain)
+
+    def domains(self) -> frozenset[str]:
+        """All registered domains."""
+        return frozenset(self._domains)
+
+    def _require_domain(self, domain: str) -> None:
+        if domain not in self._domains:
+            raise UnknownPrincipalError(f"unknown NT domain {domain!r}")
+
+    def add_user(self, domain: str, user: str) -> str:
+        """Register a user in a domain and return its SID."""
+        self._require_domain(domain)
+        sid = "S-1-5-" + stable_digest("user", domain, user, length=12)
+        self._users[(domain, user)] = sid
+        return sid
+
+    def add_group(self, domain: str, group: str) -> str:
+        """Register a group in a domain and return its SID."""
+        self._require_domain(domain)
+        sid = "S-1-5-32-" + stable_digest("group", domain, group, length=12)
+        self._groups[(domain, group)] = sid
+        self._members.setdefault(sid, set())
+        return sid
+
+    def add_member(self, domain: str, group: str, member_domain: str,
+                   member_user: str) -> None:
+        """Add a user to a group (cross-domain membership allowed).
+
+        :raises UnknownPrincipalError: if either principal is unknown.
+        """
+        group_sid = self.group_sid(domain, group)
+        member_sid = self.sid_of(member_domain, member_user)
+        self._members[group_sid].add(member_sid)
+
+    def sid_of(self, domain: str, user: str) -> str:
+        """SID of a user.
+
+        :raises UnknownPrincipalError: if unknown.
+        """
+        try:
+            return self._users[(domain, user)]
+        except KeyError:
+            raise UnknownPrincipalError(
+                f"unknown user {domain}\\{user}") from None
+
+    def group_sid(self, domain: str, group: str) -> str:
+        """SID of a group.
+
+        :raises UnknownPrincipalError: if unknown.
+        """
+        try:
+            return self._groups[(domain, group)]
+        except KeyError:
+            raise UnknownPrincipalError(
+                f"unknown group {domain}\\{group}") from None
+
+    def has_user(self, user: str) -> bool:
+        domain, _, name = user.partition("\\")
+        return (domain, name) in self._users
+
+    def token_sids(self, domain: str, user: str) -> frozenset[str]:
+        """The access token: the user's SID, group SIDs, and Everyone."""
+        sid = self.sid_of(domain, user)
+        sids = {sid, self.EVERYONE_SID}
+        changed = True
+        while changed:
+            changed = False
+            for group_sid, members in self._members.items():
+                if group_sid not in sids and members & sids:
+                    sids.add(group_sid)
+                    changed = True
+        return frozenset(sids)
+
+    def users_in_domain(self, domain: str) -> set[str]:
+        """User names registered in a domain."""
+        return {user for (dom, user) in self._users if dom == domain}
+
+    # -- objects and ACLs ----------------------------------------------------------
+
+    def create_object(self, name: str, owner: tuple[str, str]) -> None:
+        """Create an ACL-protected object owned by (domain, user)."""
+        owner_sid = self.sid_of(*owner)
+        self._objects[name] = _SecurityDescriptor(owner_sid=owner_sid)
+
+    def has_object(self, name: str) -> bool:
+        """True if the object exists."""
+        return name in self._objects
+
+    def allow(self, name: str, sid: str, rights: set[str]) -> None:
+        """Append an allow ACE."""
+        self._objects[name].dacl.append(
+            AccessControlEntry(sid=sid, rights=frozenset(rights), allow=True))
+
+    def deny(self, name: str, sid: str, rights: set[str]) -> None:
+        """Append a deny ACE (denies dominate, as on NT)."""
+        self._objects[name].dacl.append(
+            AccessControlEntry(sid=sid, rights=frozenset(rights), allow=False))
+
+    def dacl_of(self, name: str) -> list[AccessControlEntry]:
+        """The object's DACL (copy)."""
+        return list(self._objects[name].dacl)
+
+    # -- mediation -------------------------------------------------------------------
+
+    def check_access(self, request: AccessRequest) -> bool:
+        """NT access check: owner always allowed; deny ACEs dominate;
+        otherwise any matching allow ACE grants."""
+        descriptor = self._objects.get(request.obj)
+        if descriptor is None:
+            return False
+        domain, _, user = request.user.partition("\\")
+        try:
+            token = self.token_sids(domain, user)
+        except UnknownPrincipalError:
+            return False
+        if descriptor.owner_sid in token:
+            return True
+        allowed = False
+        for ace in descriptor.dacl:
+            if ace.sid not in token or request.access not in ace.rights:
+                continue
+            if not ace.allow:
+                return False
+            allowed = True
+        return allowed

@@ -1,0 +1,44 @@
+"""The paper's extended RBAC model (Section 2).
+
+RBAC extended with ``Domain`` and ``ObjectType``::
+
+    HasPermission  ⊆ Domain × Role × ObjectType × Permission
+    UserAssignment ⊆ User × Domain × Role
+
+where ``HasPermission(d, r, t, p)`` means role ``r`` in domain ``d`` holds
+permission ``p`` on objects of type ``t``, and ``UserAssignment(u, d, r)``
+means user ``u`` is assigned to the domain-role pair ``(d, r)``.
+
+This package also provides the standard RBAC machinery the paper's middleware
+substrates rely on: role hierarchies, sessions, separation-of-duty
+constraints, and policy diff/merge for maintenance.
+"""
+
+from repro.rbac.constraints import SoDConstraint
+from repro.rbac.diff import PolicyDelta, diff_policies, merge_policies
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.model import (
+    Assignment,
+    DomainRole,
+    Grant,
+    ObjectType,
+    Permission,
+)
+from repro.rbac.policy import RBACPolicy
+from repro.rbac.sessions import Session, SessionManager
+
+__all__ = [
+    "Assignment",
+    "DomainRole",
+    "Grant",
+    "ObjectType",
+    "Permission",
+    "PolicyDelta",
+    "RBACPolicy",
+    "RoleHierarchy",
+    "Session",
+    "SessionManager",
+    "SoDConstraint",
+    "diff_policies",
+    "merge_policies",
+]

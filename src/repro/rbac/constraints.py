@@ -1,0 +1,94 @@
+"""Separation-of-duty constraints (RBAC2).
+
+A static constraint limits how many of a conflicting role set one *user* may
+be assigned to; a dynamic constraint limits how many may be *activated* in a
+single session.  The paper's middleware models don't expose SoD, but the
+framework's maintenance service (Section 4.4) uses static constraints as
+global invariants to check after propagating policy changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.rbac.model import DomainRole
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rbac.policy import RBACPolicy
+
+
+@dataclass(frozen=True)
+class SoDConstraint:
+    """At most ``cardinality`` of ``roles`` may be held/activated together.
+
+    :param name: identifier for error messages.
+    :param roles: the conflicting role set.
+    :param cardinality: maximum number of conflicting roles permitted
+        simultaneously (default 1, i.e. mutual exclusion).
+    :param dynamic: if True the constraint applies to session activation;
+        otherwise to user assignment.
+    """
+
+    name: str
+    roles: frozenset[DomainRole]
+    cardinality: int = 1
+    dynamic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise ValueError("cardinality must be at least 1")
+        if len(self.roles) < 2:
+            raise ValueError("a SoD constraint needs at least two roles")
+
+    @classmethod
+    def exclusive(cls, name: str, roles: Iterable[tuple[str, str]],
+                  *, dynamic: bool = False) -> "SoDConstraint":
+        """Convenience constructor from (domain, role) tuples."""
+        return cls(name=name,
+                   roles=frozenset(DomainRole(d, r) for d, r in roles),
+                   dynamic=dynamic)
+
+    def permits(self, held: Iterable[DomainRole]) -> bool:
+        """True if holding/activating ``held`` satisfies this constraint."""
+        overlap = self.roles & set(held)
+        return len(overlap) <= self.cardinality
+
+    def violations(self, policy: "RBACPolicy") -> list[str]:
+        """Users whose *assignments* violate this (static) constraint."""
+        if self.dynamic:
+            return []
+        bad = []
+        for user in sorted(policy.users()):
+            if not self.permits(policy.roles_of(user)):
+                bad.append(user)
+        return bad
+
+    def __str__(self) -> str:
+        kind = "dynamic" if self.dynamic else "static"
+        roles = ", ".join(sorted(str(r) for r in self.roles))
+        return f"SoD[{self.name}; {kind}; <= {self.cardinality} of {{{roles}}}]"
+
+
+@dataclass
+class ConstraintSet:
+    """A named collection of constraints checked as a unit."""
+
+    constraints: list[SoDConstraint] = field(default_factory=list)
+
+    def add(self, constraint: SoDConstraint) -> None:
+        """Append a constraint."""
+        self.constraints.append(constraint)
+
+    def check(self, policy: "RBACPolicy") -> dict[str, list[str]]:
+        """Return {constraint name -> violating users} for static violations."""
+        report: dict[str, list[str]] = {}
+        for constraint in self.constraints:
+            bad = constraint.violations(policy)
+            if bad:
+                report[constraint.name] = bad
+        return report
+
+    def dynamic_constraints(self) -> tuple[SoDConstraint, ...]:
+        """The subset enforced at session-activation time."""
+        return tuple(c for c in self.constraints if c.dynamic)

@@ -1,0 +1,118 @@
+"""Policy diff and merge.
+
+Policy Maintenance (Section 4.4) needs to know *what changed* between two
+policy states so the change can be propagated to every other system, and to
+merge policies when synthesising a global view (Policy Comprehension,
+Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@dataclass(frozen=True)
+class PolicyDelta:
+    """The difference between two policies, as four fact sets."""
+
+    added_grants: frozenset[Grant] = frozenset()
+    removed_grants: frozenset[Grant] = frozenset()
+    added_assignments: frozenset[Assignment] = frozenset()
+    removed_assignments: frozenset[Assignment] = frozenset()
+
+    def is_empty(self) -> bool:
+        """True if the policies were identical."""
+        return not (self.added_grants or self.removed_grants
+                    or self.added_assignments or self.removed_assignments)
+
+    def __len__(self) -> int:
+        return (len(self.added_grants) + len(self.removed_grants)
+                + len(self.added_assignments) + len(self.removed_assignments))
+
+    def inverse(self) -> "PolicyDelta":
+        """The delta that undoes this one."""
+        return PolicyDelta(
+            added_grants=self.removed_grants,
+            removed_grants=self.added_grants,
+            added_assignments=self.removed_assignments,
+            removed_assignments=self.added_assignments,
+        )
+
+    def apply_to(self, policy: RBACPolicy) -> RBACPolicy:
+        """Apply this delta to ``policy`` in place and return it."""
+        for g in self.removed_grants:
+            policy.revoke_grant(g.domain, g.role, g.object_type, g.permission)
+        for g in self.added_grants:
+            policy.add_grant(g)
+        for a in self.removed_assignments:
+            policy.unassign(a.user, a.domain, a.role)
+        for a in self.added_assignments:
+            policy.add_assignment(a)
+        return policy
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (f"+{len(self.added_grants)}g -{len(self.removed_grants)}g "
+                f"+{len(self.added_assignments)}a -{len(self.removed_assignments)}a")
+
+
+def diff_policies(old: RBACPolicy, new: RBACPolicy) -> PolicyDelta:
+    """Compute the delta that transforms ``old`` into ``new``."""
+    return PolicyDelta(
+        added_grants=frozenset(new.grants - old.grants),
+        removed_grants=frozenset(old.grants - new.grants),
+        added_assignments=frozenset(new.assignments - old.assignments),
+        removed_assignments=frozenset(old.assignments - new.assignments),
+    )
+
+
+@dataclass
+class MergeConflict:
+    """Facts present in some sources and explicitly revoked in none — merge is
+    union-based, so conflicts here are *divergences* worth flagging: the same
+    (domain, role, object_type) granted different permission sets."""
+
+    key: tuple[str, str, str]
+    permissions_by_source: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{src}={sorted(perms)}"
+                          for src, perms in sorted(self.permissions_by_source.items()))
+        domain, role, obj = self.key
+        return f"{domain}/{role} on {obj}: {parts}"
+
+
+def merge_policies(name: str, sources: Iterable[RBACPolicy],
+                   ) -> tuple[RBACPolicy, list[MergeConflict]]:
+    """Union-merge several policies into a global view.
+
+    Returns the merged policy plus a list of divergences (same domain/role and
+    object type, different permission sets across sources).  The merged policy
+    contains the union — comprehension favours completeness; the conflict list
+    lets an administrator tighten afterwards.
+    """
+    merged = RBACPolicy(name)
+    sources = list(sources)
+    for policy in sources:
+        for g in policy.grants:
+            merged.add_grant(g)
+        for a in policy.assignments:
+            merged.add_assignment(a)
+
+    conflicts: list[MergeConflict] = []
+    keys = {(g.domain, g.role, g.object_type) for g in merged.grants}
+    for key in sorted(keys):
+        per_source: dict[str, frozenset[str]] = {}
+        for policy in sources:
+            perms = frozenset(g.permission for g in policy.grants
+                              if (g.domain, g.role, g.object_type) == key)
+            if perms:
+                per_source[policy.name] = perms
+        if len(set(per_source.values())) > 1:
+            conflicts.append(MergeConflict(key=key,
+                                           permissions_by_source=per_source))
+    return merged, conflicts

@@ -1,0 +1,103 @@
+"""Role hierarchies (RBAC1).
+
+A senior role inherits the permissions of its juniors, and a member of a
+senior role is implicitly a member of the juniors.  The paper's middleware
+models are flat, but hierarchies are part of the standard RBAC machinery
+([26]) that the framework's comprehension layer can target, and the COM+
+simulator uses a small hierarchy for its built-in Administrators role.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import HierarchyError
+from repro.rbac.model import DomainRole
+
+
+class RoleHierarchy:
+    """A DAG over :class:`DomainRole` where edges point senior → junior."""
+
+    def __init__(self) -> None:
+        self._juniors: dict[DomainRole, set[DomainRole]] = {}
+
+    def add_inheritance(self, senior: DomainRole, junior: DomainRole) -> None:
+        """Declare that ``senior`` inherits from (dominates) ``junior``.
+
+        :raises HierarchyError: if the edge would create a cycle or a
+            self-loop.
+        """
+        if senior == junior:
+            raise HierarchyError(f"role {senior} cannot inherit from itself")
+        if senior in self.juniors(junior) or senior == junior:
+            raise HierarchyError(
+                f"edge {senior} -> {junior} would create a cycle")
+        self._juniors.setdefault(senior, set()).add(junior)
+
+    def remove_inheritance(self, senior: DomainRole, junior: DomainRole) -> bool:
+        """Remove a direct edge; return True if it existed."""
+        juniors = self._juniors.get(senior)
+        if juniors and junior in juniors:
+            juniors.remove(junior)
+            if not juniors:
+                del self._juniors[senior]
+            return True
+        return False
+
+    def direct_juniors(self, role: DomainRole) -> frozenset[DomainRole]:
+        """Roles directly dominated by ``role``."""
+        return frozenset(self._juniors.get(role, frozenset()))
+
+    def juniors(self, role: DomainRole) -> set[DomainRole]:
+        """Transitive closure of roles dominated by ``role`` (exclusive)."""
+        seen: set[DomainRole] = set()
+        stack = list(self._juniors.get(role, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._juniors.get(current, ()))
+        return seen
+
+    def seniors(self, role: DomainRole) -> set[DomainRole]:
+        """Transitive closure of roles that dominate ``role`` (exclusive)."""
+        result: set[DomainRole] = set()
+        changed = True
+        while changed:
+            changed = False
+            for senior, juniors in self._juniors.items():
+                if senior in result:
+                    continue
+                if juniors & (result | {role}):
+                    result.add(senior)
+                    changed = True
+        return result
+
+    def dominates(self, senior: DomainRole, junior: DomainRole) -> bool:
+        """True if ``senior`` equals or transitively dominates ``junior``."""
+        return senior == junior or junior in self.juniors(senior)
+
+    def edges(self) -> Iterable[tuple[DomainRole, DomainRole]]:
+        """All direct (senior, junior) edges in deterministic order."""
+        for senior in sorted(self._juniors):
+            for junior in sorted(self._juniors[senior]):
+                yield senior, junior
+
+    def is_empty(self) -> bool:
+        """True if no inheritance edges exist."""
+        return not self._juniors
+
+    def copy(self) -> "RoleHierarchy":
+        """Deep copy."""
+        other = RoleHierarchy()
+        other._juniors = {k: set(v) for k, v in self._juniors.items()}
+        return other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoleHierarchy):
+            return NotImplemented
+        return self._juniors == other._juniors
+
+    def __repr__(self) -> str:
+        return f"RoleHierarchy(edges={sum(len(v) for v in self._juniors.values())})"

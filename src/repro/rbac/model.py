@@ -1,0 +1,101 @@
+"""Value types for the extended RBAC model.
+
+Domains, roles, users, object types and permissions are plain strings in the
+paper; here the *composite* facts are typed:
+
+- :class:`DomainRole` — a role qualified by its domain (the paper: "the same
+  role name may be present in different domains").
+- :class:`Grant` — one row of the ``HasPermission`` relation.
+- :class:`Assignment` — one row of the ``UserAssignment`` relation.
+
+All are frozen, hashable and totally ordered so relations behave as sets with
+deterministic iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+# Simple string domains keep parity with the paper's notation.
+ObjectType = NewType("ObjectType", str)
+Permission = NewType("Permission", str)
+
+
+def _require_nonempty(label: str, value: str) -> None:
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"{label} must be a non-empty string, got {value!r}")
+
+
+@dataclass(frozen=True, order=True)
+class DomainRole:
+    """A role qualified by its domain, e.g. ``Finance/Manager``."""
+
+    domain: str
+    role: str
+
+    def __post_init__(self) -> None:
+        _require_nonempty("domain", self.domain)
+        _require_nonempty("role", self.role)
+
+    def __str__(self) -> str:
+        return f"{self.domain}/{self.role}"
+
+    @classmethod
+    def parse(cls, text: str) -> "DomainRole":
+        """Parse ``"Domain/Role"`` notation.
+
+        :raises ValueError: if the text has no ``/`` separator.
+        """
+        domain, sep, role = text.partition("/")
+        if not sep:
+            raise ValueError(f"expected 'Domain/Role', got {text!r}")
+        return cls(domain=domain, role=role)
+
+
+@dataclass(frozen=True, order=True)
+class Grant:
+    """One ``HasPermission`` fact: (domain, role) holds ``permission`` on
+    objects of type ``object_type``."""
+
+    domain: str
+    role: str
+    object_type: str
+    permission: str
+
+    def __post_init__(self) -> None:
+        _require_nonempty("domain", self.domain)
+        _require_nonempty("role", self.role)
+        _require_nonempty("object_type", self.object_type)
+        _require_nonempty("permission", self.permission)
+
+    @property
+    def domain_role(self) -> DomainRole:
+        """The (domain, role) pair this grant attaches to."""
+        return DomainRole(self.domain, self.role)
+
+    def __str__(self) -> str:
+        return (f"{self.domain}/{self.role} may {self.permission} "
+                f"on {self.object_type}")
+
+
+@dataclass(frozen=True, order=True)
+class Assignment:
+    """One ``UserAssignment`` fact: ``user`` is a member of (domain, role)."""
+
+    user: str
+    domain: str
+    role: str
+
+    def __post_init__(self) -> None:
+        _require_nonempty("user", self.user)
+        _require_nonempty("domain", self.domain)
+        _require_nonempty("role", self.role)
+
+    @property
+    def domain_role(self) -> DomainRole:
+        """The (domain, role) pair this assignment attaches to."""
+        return DomainRole(self.domain, self.role)
+
+    def __str__(self) -> str:
+        return f"{self.user} in {self.domain}/{self.role}"

@@ -1,0 +1,75 @@
+"""RBAC policy serialisation (JSON).
+
+Policies travel between administration tools, the CLI and the tests; the
+JSON form is stable, sorted and round-trip exact, including role-hierarchy
+edges.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.model import DomainRole
+from repro.rbac.policy import RBACPolicy
+
+FORMAT_VERSION = 1
+
+
+def policy_to_dict(policy: RBACPolicy) -> dict[str, Any]:
+    """Serialise to a plain dict (stable ordering)."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": policy.name,
+        "has_permission": [
+            {"domain": g.domain, "role": g.role,
+             "object_type": g.object_type, "permission": g.permission}
+            for g in policy.sorted_grants()],
+        "user_assignment": [
+            {"user": a.user, "domain": a.domain, "role": a.role}
+            for a in policy.sorted_assignments()],
+        "hierarchy": [
+            {"senior": str(senior), "junior": str(junior)}
+            for senior, junior in policy.hierarchy.edges()],
+    }
+
+
+def policy_from_dict(data: dict[str, Any]) -> RBACPolicy:
+    """Inverse of :func:`policy_to_dict`.
+
+    :raises ValueError: on unknown format versions or malformed entries.
+    """
+    version = data.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported policy format version {version}")
+    hierarchy = RoleHierarchy()
+    for edge in data.get("hierarchy", []):
+        hierarchy.add_inheritance(DomainRole.parse(edge["senior"]),
+                                  DomainRole.parse(edge["junior"]))
+    policy = RBACPolicy(data.get("name", "policy"), hierarchy=hierarchy)
+    for row in data.get("has_permission", []):
+        policy.grant(row["domain"], row["role"], row["object_type"],
+                     row["permission"])
+    for row in data.get("user_assignment", []):
+        policy.assign(row["user"], row["domain"], row["role"])
+    return policy
+
+
+def policy_to_json(policy: RBACPolicy, indent: int = 2) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(policy_to_dict(policy), indent=indent, sort_keys=True)
+
+
+def policy_from_json(text: str) -> RBACPolicy:
+    """Parse a JSON string back into a policy.
+
+    :raises ValueError: on malformed JSON or unsupported formats.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed policy JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError("policy JSON must be an object")
+    return policy_from_dict(data)

@@ -1,0 +1,134 @@
+"""RBAC sessions (RBAC96): users activate subsets of their roles.
+
+The WebCom scheduler uses sessions to model the (domain, role, user) execution
+context a component is scheduled under (Section 6): a client executes a
+component inside a session that has activated exactly the roles the IDE's
+placement specification names.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConstraintViolationError, SessionError
+from repro.rbac.constraints import SoDConstraint
+from repro.rbac.model import DomainRole
+from repro.rbac.policy import RBACPolicy
+
+
+class Session:
+    """A user's session with a set of activated roles."""
+
+    def __init__(self, session_id: str, user: str, policy: RBACPolicy,
+                 constraints: tuple[SoDConstraint, ...] = ()) -> None:
+        self.session_id = session_id
+        self.user = user
+        self._policy = policy
+        self._constraints = constraints
+        self._active: set[DomainRole] = set()
+        self._closed = False
+
+    @property
+    def active_roles(self) -> frozenset[DomainRole]:
+        """Roles currently activated in this session."""
+        return frozenset(self._active)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionError(f"session {self.session_id} is closed")
+
+    def activate(self, domain: str, role: str) -> None:
+        """Activate a role the user is assigned to.
+
+        :raises SessionError: if the user lacks the assignment or the session
+            is closed.
+        :raises ConstraintViolationError: if activation would violate a
+            dynamic separation-of-duty constraint.
+        """
+        self._require_open()
+        dr = DomainRole(domain, role)
+        if dr not in self._policy.roles_of(self.user):
+            raise SessionError(
+                f"user {self.user!r} is not assigned to {dr}")
+        candidate = self._active | {dr}
+        for constraint in self._constraints:
+            if constraint.dynamic and not constraint.permits(candidate):
+                raise ConstraintViolationError(
+                    f"activating {dr} violates {constraint}")
+        self._active.add(dr)
+
+    def deactivate(self, domain: str, role: str) -> None:
+        """Deactivate a role (no-op if not active)."""
+        self._require_open()
+        self._active.discard(DomainRole(domain, role))
+
+    def check_access(self, object_type: str, permission: str) -> bool:
+        """Decision over *activated* roles only (least privilege)."""
+        self._require_open()
+        active = set(self._active)
+        for dr in list(active):
+            active |= self._policy.hierarchy.juniors(dr)
+        return any(g.domain_role in active
+                   and g.object_type == object_type
+                   and g.permission == permission
+                   for g in self._policy.grants)
+
+    def close(self) -> None:
+        """Terminate the session; further operations raise."""
+        self._active.clear()
+        self._closed = True
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"active={sorted(map(str, self._active))}"
+        return f"Session({self.session_id!r}, user={self.user!r}, {state})"
+
+
+class SessionManager:
+    """Creates and tracks sessions against one policy."""
+
+    def __init__(self, policy: RBACPolicy,
+                 constraints: tuple[SoDConstraint, ...] = ()) -> None:
+        self.policy = policy
+        self.constraints = constraints
+        self._sessions: dict[str, Session] = {}
+        self._counter = 0
+
+    def open_session(self, user: str,
+                     roles: tuple[tuple[str, str], ...] = ()) -> Session:
+        """Open a session for ``user``, optionally activating roles.
+
+        :raises SessionError: if any requested role is not assigned.
+        """
+        self._counter += 1
+        session = Session(f"sess-{self._counter}", user, self.policy,
+                          self.constraints)
+        for domain, role in roles:
+            session.activate(domain, role)
+        self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """Look up a session by id.
+
+        :raises SessionError: if unknown.
+        """
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    def close_all(self, user: str | None = None) -> int:
+        """Close all sessions (optionally only those of ``user``)."""
+        count = 0
+        for session in self._sessions.values():
+            if not session.closed and (user is None or session.user == user):
+                session.close()
+                count += 1
+        return count
+
+    def open_sessions(self) -> list[Session]:
+        """All sessions that are still open."""
+        return [s for s in self._sessions.values() if not s.closed]

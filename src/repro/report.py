@@ -1,0 +1,98 @@
+"""Administrative reports over policies and credential graphs.
+
+Policy Comprehension (Section 4.2) "promotes ease of understanding of the
+current state of the overall system security configuration"; these helpers
+render that understanding:
+
+- :func:`effective_permissions` / :func:`effective_permissions_report` —
+  the user-by-user expansion of an RBAC policy (who can actually do what,
+  through which role);
+- :func:`delegation_graph` / :func:`delegation_graph_dot` — the KeyNote
+  delegation graph as a :mod:`networkx` digraph and as Graphviz DOT text
+  for documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.keynote.credential import Credential
+from repro.keynote.licensees import licensees_to_text
+from repro.rbac.policy import RBACPolicy
+from repro.util.text import format_table
+
+
+@dataclass(frozen=True)
+class EffectivePermission:
+    """One row of the expansion: user -> permission, with provenance."""
+
+    user: str
+    domain: str
+    role: str
+    object_type: str
+    permission: str
+
+
+def effective_permissions(policy: RBACPolicy) -> list[EffectivePermission]:
+    """Join UserAssignment with HasPermission (hierarchy-aware)."""
+    rows: list[EffectivePermission] = []
+    for user in sorted(policy.users()):
+        for domain_role in sorted(policy.roles_of(user)):
+            for grant in sorted(policy.permissions_of(domain_role.domain,
+                                                      domain_role.role)):
+                rows.append(EffectivePermission(
+                    user=user, domain=domain_role.domain,
+                    role=domain_role.role,
+                    object_type=grant.object_type,
+                    permission=grant.permission))
+    return rows
+
+
+def effective_permissions_report(policy: RBACPolicy) -> str:
+    """The expansion rendered as a table."""
+    return format_table(
+        ["User", "Via role", "ObjectType", "Permission"],
+        [(row.user, f"{row.domain}/{row.role}", row.object_type,
+          row.permission)
+         for row in effective_permissions(policy)])
+
+
+def delegation_graph(credentials: list[Credential]) -> "nx.DiGraph":
+    """The delegation digraph: authorizer -> licensee principals.
+
+    Edges carry the credential's conditions text; POLICY is the root node.
+    """
+    graph = nx.DiGraph()
+    for credential in credentials:
+        source = "POLICY" if credential.is_policy else credential.authorizer
+        graph.add_node(source)
+        for principal in sorted(credential.principals()):
+            graph.add_edge(source, principal,
+                           conditions=credential.conditions_text,
+                           licensees=licensees_to_text(credential.licensees))
+    return graph
+
+
+def delegation_paths(credentials: list[Credential], target: str,
+                     ) -> list[list[str]]:
+    """All simple delegation paths from POLICY to ``target``."""
+    graph = delegation_graph(credentials)
+    if "POLICY" not in graph or target not in graph:
+        return []
+    return [list(path) for path in
+            nx.all_simple_paths(graph, "POLICY", target)]
+
+
+def delegation_graph_dot(credentials: list[Credential]) -> str:
+    """Graphviz DOT text for the delegation graph."""
+    graph = delegation_graph(credentials)
+    lines = ["digraph delegation {", '    rankdir=LR;',
+             '    "POLICY" [shape=box];']
+    for source, dest, data in sorted(graph.edges(data=True)):
+        conditions = data.get("conditions", "").replace('"', '\\"')
+        lines.append(f'    "{source}" -> "{dest}" '
+                     f'[label="{conditions[:60]}"];')
+    lines.append("}")
+    return "\n".join(lines)

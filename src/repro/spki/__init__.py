@@ -1,0 +1,32 @@
+"""SPKI/SDSI trust management (RFC 2693).
+
+The paper (footnote 1) notes that Secure WebCom also supports SPKI/SDSI and
+that its results carry over.  This package implements the SPKI machinery the
+framework needs: S-expressions, authorisation tags with the standard
+intersection algebra, authorisation and name certificates, and 5-tuple chain
+reduction.
+
+The translation layer (:mod:`repro.translate`) can target SPKI certificates
+as an alternative to KeyNote credentials, and the test suite replays the
+paper's Salaries scenario through both.
+"""
+
+from repro.spki.cert import AuthCert, NameCert, Validity
+from repro.spki.chain import CertStore, FiveTuple, reduce_chain
+from repro.spki.sexp import SExp, parse_sexp, sexp_to_text
+from repro.spki.tags import Tag, intersect_tags, tag_implies
+
+__all__ = [
+    "AuthCert",
+    "CertStore",
+    "FiveTuple",
+    "NameCert",
+    "SExp",
+    "Tag",
+    "Validity",
+    "intersect_tags",
+    "parse_sexp",
+    "reduce_chain",
+    "sexp_to_text",
+    "tag_implies",
+]

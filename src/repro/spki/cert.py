@@ -1,0 +1,174 @@
+"""SPKI certificates: authorisation certs and SDSI name certs (RFC 2693).
+
+An authorisation cert is the 5-tuple ``(issuer, subject, delegate, tag,
+validity)``: the issuer grants the subject the permissions denoted by the
+tag, optionally with the right to delegate onward.  A name cert binds a
+local name in the issuer's namespace to a subject key (SDSI linked names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.crypto.keys import PrivateKey, Signature
+from repro.crypto.keystore import Keystore
+from repro.errors import ChainError
+from repro.spki.sexp import SExp, parse_sexp, sexp_to_text
+from repro.spki.tags import Tag
+
+
+@dataclass(frozen=True)
+class Validity:
+    """A validity window in simulated time; None bounds are open."""
+
+    not_before: float | None = None
+    not_after: float | None = None
+
+    def contains(self, timestamp: float) -> bool:
+        """True if ``timestamp`` falls inside the window."""
+        if self.not_before is not None and timestamp < self.not_before:
+            return False
+        if self.not_after is not None and timestamp > self.not_after:
+            return False
+        return True
+
+    def intersect(self, other: "Validity") -> "Validity":
+        """The overlap of two windows (used in 5-tuple reduction)."""
+        nb = (self.not_before if other.not_before is None
+              else other.not_before if self.not_before is None
+              else max(self.not_before, other.not_before))
+        na = (self.not_after if other.not_after is None
+              else other.not_after if self.not_after is None
+              else min(self.not_after, other.not_after))
+        return Validity(nb, na)
+
+    def is_empty(self) -> bool:
+        """True if the window contains no instants."""
+        return (self.not_before is not None and self.not_after is not None
+                and self.not_before > self.not_after)
+
+
+#: A window covering all of time.
+ALWAYS = Validity()
+
+
+@dataclass(frozen=True)
+class AuthCert:
+    """An SPKI authorisation certificate.
+
+    :param issuer: principal granting the authority.
+    :param subject: principal (or resolved name) receiving it.
+    :param tag: the permission set granted.
+    :param delegate: True if the subject may delegate onward.
+    :param validity: validity window.
+    :param signature: encoded signature over the canonical bytes.
+    """
+
+    issuer: str
+    subject: str
+    tag: Tag
+    delegate: bool = False
+    validity: Validity = Validity()
+    signature: str = ""
+
+    def canonical_bytes(self) -> bytes:
+        body = (
+            "(cert"
+            f" (issuer {sexp_to_text(self.issuer)})"
+            f" (subject {sexp_to_text(self.subject)})"
+            + (" (propagate)" if self.delegate else "")
+            + f" (tag {sexp_to_text(self.tag)})"
+            + self._validity_text()
+            + ")"
+        )
+        return body.encode("utf-8")
+
+    def _validity_text(self) -> str:
+        parts = []
+        if self.validity.not_before is not None:
+            parts.append(f"(not-before {self.validity.not_before})")
+        if self.validity.not_after is not None:
+            parts.append(f"(not-after {self.validity.not_after})")
+        return (" " + " ".join(parts)) if parts else ""
+
+    def sign(self, private_key: PrivateKey) -> "AuthCert":
+        """Return a signed copy."""
+        return replace(self, signature=private_key.sign(self.canonical_bytes()).encode())
+
+    def verify(self, keystore: Keystore) -> bool:
+        """Verify the issuer's signature via the keystore."""
+        if not self.signature:
+            return False
+        try:
+            public = keystore.public(self.issuer) if self.issuer in keystore \
+                else None
+            if public is None:
+                from repro.crypto.keys import PublicKey
+
+                public = PublicKey.decode(self.issuer)
+            return public.verify(self.canonical_bytes(),
+                                 Signature.decode(self.signature))
+        except Exception:
+            return False
+
+    def to_text(self) -> str:
+        """Human-readable serialisation (canonical body + signature)."""
+        text = self.canonical_bytes().decode("utf-8")
+        if self.signature:
+            text += f"\n(signature {sexp_to_text(self.signature)})"
+        return text
+
+    @classmethod
+    def tag_from_text(cls, text: str) -> Tag:
+        """Parse a tag S-expression from text."""
+        return parse_sexp(text)
+
+
+@dataclass(frozen=True)
+class NameCert:
+    """An SDSI name certificate: ``issuer``'s local ``name`` is ``subject``.
+
+    Subjects may themselves be names (``key: name``) forming linked names;
+    resolution is in :class:`repro.spki.chain.CertStore`.
+    """
+
+    issuer: str
+    name: str
+    subject: str
+    validity: Validity = Validity()
+    signature: str = ""
+
+    def canonical_bytes(self) -> bytes:
+        return (
+            f"(cert (issuer (name {sexp_to_text(self.issuer)} "
+            f"{sexp_to_text(self.name)})) "
+            f"(subject {sexp_to_text(self.subject)}))"
+        ).encode("utf-8")
+
+    def sign(self, private_key: PrivateKey) -> "NameCert":
+        """Return a signed copy."""
+        return replace(self, signature=private_key.sign(self.canonical_bytes()).encode())
+
+    def verify(self, keystore: Keystore) -> bool:
+        """Verify the issuer's signature."""
+        if not self.signature:
+            return False
+        try:
+            return keystore.public(self.issuer).verify(
+                self.canonical_bytes(), Signature.decode(self.signature))
+        except Exception:
+            return False
+
+    def full_name(self) -> str:
+        """The ``issuer's name`` spelled as text."""
+        return f"{self.issuer}'s {self.name}"
+
+
+def require_subject_key(subject: SExp) -> str:
+    """Assert a subject is a bare key (after name resolution).
+
+    :raises ChainError: if it is still a compound name.
+    """
+    if not isinstance(subject, str):
+        raise ChainError(f"subject is not a key: {sexp_to_text(subject)}")
+    return subject

@@ -1,0 +1,173 @@
+"""SPKI certificate chain discovery and 5-tuple reduction (RFC 2693 s6.4).
+
+The reduction rule composes two auth certs ``(I1, S1, d1, T1, V1)`` and
+``(I2, S2, d2, T2, V2)`` when ``S1 == I2`` and ``d1`` is true, yielding
+``(I1, S2, d2, T1 ∩ T2, V1 ∩ V2)``.  A request from key ``K`` for tag ``T``
+at time ``t`` is authorised by a store when some chain starting at the
+verifier's ACL entry reduces to a tuple whose subject is ``K``, whose tag
+implies ``T`` and whose validity contains ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.crypto.keystore import Keystore
+from repro.errors import ChainError
+from repro.spki.cert import AuthCert, NameCert, Validity
+from repro.spki.tags import Tag, intersect_tags, tag_implies
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The reduced form of a chain of auth certs."""
+
+    issuer: str
+    subject: str
+    delegate: bool
+    tag: Tag
+    validity: Validity
+
+    @classmethod
+    def from_cert(cls, cert: AuthCert) -> "FiveTuple":
+        return cls(cert.issuer, cert.subject, cert.delegate, cert.tag,
+                   cert.validity)
+
+    def compose(self, other: "FiveTuple") -> Optional["FiveTuple"]:
+        """Reduce ``self`` then ``other``, or None if composition fails."""
+        if self.subject != other.issuer or not self.delegate:
+            return None
+        tag = intersect_tags(self.tag, other.tag)
+        if tag is None:
+            return None
+        validity = self.validity.intersect(other.validity)
+        if validity.is_empty():
+            return None
+        return FiveTuple(self.issuer, other.subject, other.delegate, tag,
+                         validity)
+
+
+def reduce_chain(certs: Iterable[AuthCert]) -> FiveTuple:
+    """Reduce an explicit chain (in issuer-to-subject order) to one tuple.
+
+    :raises ChainError: if adjacent certificates do not compose.
+    """
+    tuples = [FiveTuple.from_cert(c) for c in certs]
+    if not tuples:
+        raise ChainError("cannot reduce an empty chain")
+    result = tuples[0]
+    for nxt in tuples[1:]:
+        composed = result.compose(nxt)
+        if composed is None:
+            raise ChainError(
+                f"chain breaks between {result.subject!r} and {nxt.issuer!r}")
+        result = composed
+    return result
+
+
+class CertStore:
+    """A collection of certs supporting name resolution and chain search."""
+
+    def __init__(self, keystore: Keystore | None = None,
+                 verify_signatures: bool = True) -> None:
+        self._keystore = keystore
+        self._verify = verify_signatures and keystore is not None
+        self._auth_certs: list[AuthCert] = []
+        self._name_certs: list[NameCert] = []
+
+    # -- population ----------------------------------------------------------
+
+    def add_auth(self, cert: AuthCert) -> bool:
+        """Add an auth cert; returns False (and skips) on bad signature."""
+        if self._verify and not cert.verify(self._keystore):
+            return False
+        self._auth_certs.append(cert)
+        return True
+
+    def add_name(self, cert: NameCert) -> bool:
+        """Add a name cert; returns False (and skips) on bad signature."""
+        if self._verify and not cert.verify(self._keystore):
+            return False
+        self._name_certs.append(cert)
+        return True
+
+    @property
+    def auth_certs(self) -> list[AuthCert]:
+        return list(self._auth_certs)
+
+    @property
+    def name_certs(self) -> list[NameCert]:
+        return list(self._name_certs)
+
+    # -- SDSI name resolution --------------------------------------------------
+
+    def resolve_name(self, issuer: str, name: str,
+                     _seen: frozenset | None = None) -> set[str]:
+        """All keys that ``issuer``'s local ``name`` resolves to.
+
+        Linked names (a name cert whose subject is another name, written
+        ``"key: name"``) are followed transitively; cycles resolve to
+        nothing.
+        """
+        seen = _seen or frozenset()
+        if (issuer, name) in seen:
+            return set()
+        seen = seen | {(issuer, name)}
+        keys: set[str] = set()
+        for cert in self._name_certs:
+            if cert.issuer != issuer or cert.name != name:
+                continue
+            subject = cert.subject
+            if ": " in subject:
+                next_issuer, next_name = subject.split(": ", 1)
+                keys |= self.resolve_name(next_issuer, next_name, seen)
+            else:
+                keys.add(subject)
+        return keys
+
+    def _subjects_of(self, cert: AuthCert) -> set[str]:
+        """Concrete keys a cert's subject denotes (resolving names)."""
+        if ": " in cert.subject:
+            issuer, name = cert.subject.split(": ", 1)
+            return self.resolve_name(issuer, name)
+        return {cert.subject}
+
+    # -- chain search ------------------------------------------------------------
+
+    def find_chain(self, root: str, requester: str, tag: Tag,
+                   at_time: float = 0.0) -> Optional[list[AuthCert]]:
+        """Find a cert chain from ``root`` authorising ``requester`` for
+        ``tag`` at ``at_time``; None if no chain exists.
+
+        Depth-first over the delegation graph, tracking the accumulated tag
+        intersection so dead branches prune early.
+        """
+
+        def search(issuer: str, needed: Tag,
+                   path: tuple[AuthCert, ...],
+                   visited: frozenset[str]) -> Optional[list[AuthCert]]:
+            for cert in self._auth_certs:
+                if cert.issuer != issuer:
+                    continue
+                if not cert.validity.contains(at_time):
+                    continue
+                remaining = intersect_tags(cert.tag, needed)
+                if remaining is None or not tag_implies(remaining, tag):
+                    continue
+                for subject in self._subjects_of(cert):
+                    if subject == requester:
+                        return list(path) + [cert]
+                    if cert.delegate and subject not in visited:
+                        found = search(subject, remaining,
+                                       path + (cert,), visited | {subject})
+                        if found is not None:
+                            return found
+            return None
+
+        return search(root, ("*",), (), frozenset({root}))
+
+    def is_authorised(self, root: str, requester: str, tag: Tag,
+                      at_time: float = 0.0) -> bool:
+        """True if a valid chain authorises the request."""
+        return self.find_chain(root, requester, tag, at_time) is not None

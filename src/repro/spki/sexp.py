@@ -1,0 +1,85 @@
+"""S-expressions: the syntax of SPKI certificates and tags (RFC 2693).
+
+An S-expression is an atom (string) or a list of S-expressions.  The textual
+form uses parentheses with whitespace separation; atoms containing special
+characters are double-quoted.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import SExpressionError
+
+SExp = Union[str, tuple]  # atoms are str; lists are tuples of SExp
+
+_SPECIAL = set('()" \t\r\n')
+
+
+def parse_sexp(text: str) -> SExp:
+    """Parse one S-expression.
+
+    :raises SExpressionError: on malformed input or trailing garbage.
+    """
+    expr, pos = _parse(text, _skip_ws(text, 0))
+    pos = _skip_ws(text, pos)
+    if pos != len(text):
+        raise SExpressionError(
+            f"trailing garbage after S-expression: {text[pos:pos + 20]!r}")
+    return expr
+
+
+def _skip_ws(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos] in " \t\r\n":
+        pos += 1
+    return pos
+
+
+def _parse(text: str, pos: int) -> tuple[SExp, int]:
+    if pos >= len(text):
+        raise SExpressionError("unexpected end of input")
+    ch = text[pos]
+    if ch == "(":
+        pos += 1
+        items: list[SExp] = []
+        while True:
+            pos = _skip_ws(text, pos)
+            if pos >= len(text):
+                raise SExpressionError("unterminated list")
+            if text[pos] == ")":
+                return tuple(items), pos + 1
+            item, pos = _parse(text, pos)
+            items.append(item)
+    if ch == ")":
+        raise SExpressionError(f"unexpected ')' at position {pos}")
+    if ch == '"':
+        pos += 1
+        chars: list[str] = []
+        while pos < len(text) and text[pos] != '"':
+            if text[pos] == "\\" and pos + 1 < len(text):
+                pos += 1
+            chars.append(text[pos])
+            pos += 1
+        if pos >= len(text):
+            raise SExpressionError("unterminated quoted atom")
+        return "".join(chars), pos + 1
+    # bare atom
+    end = pos
+    while end < len(text) and text[end] not in _SPECIAL:
+        end += 1
+    return text[pos:end], end
+
+
+def sexp_to_text(expr: SExp) -> str:
+    """Serialise an S-expression to its textual form.
+
+    :raises SExpressionError: for non-SExp values.
+    """
+    if isinstance(expr, str):
+        if not expr or any(c in _SPECIAL for c in expr) or expr.startswith('"'):
+            escaped = expr.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return expr
+    if isinstance(expr, tuple):
+        return "(" + " ".join(sexp_to_text(item) for item in expr) + ")"
+    raise SExpressionError(f"not an S-expression: {expr!r}")

@@ -1,0 +1,200 @@
+"""SPKI authorisation tags and the tag-intersection algebra (RFC 2693 s6.3).
+
+A tag denotes a *set of permissions*.  Special forms::
+
+    (*)                        the set of all permissions
+    (* set e1 e2 ...)          union of the element sets
+    (* prefix "abc")           all byte-strings starting "abc"
+    (* range numeric ge 1 le 9)  numeric interval (bounds optional)
+
+A literal list tag ``(t1 t2 ... tn)`` denotes all lists whose first n
+elements are (elementwise) in the denoted sets — longer lists are implied,
+which is what lets ``(ftp (host example.com))`` authorise the more specific
+``(ftp (host example.com) (dir /pub))``.
+
+``intersect_tags`` computes a tag denoting the intersection of two tags'
+permission sets (or None when it is empty); ``tag_implies`` answers the
+subset question used during chain reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TagError
+from repro.spki.sexp import SExp, sexp_to_text
+
+Tag = SExp
+
+STAR = ("*",)
+
+
+def _is_star(tag: Tag) -> bool:
+    return tag == STAR
+
+
+def _is_special(tag: Tag) -> bool:
+    return isinstance(tag, tuple) and len(tag) >= 1 and tag[0] == "*"
+
+
+def _special_kind(tag: Tag) -> str:
+    if tag == STAR:
+        return "all"
+    kind = tag[1]
+    if kind not in ("set", "prefix", "range"):
+        raise TagError(f"unknown *-form {kind!r} in {sexp_to_text(tag)}")
+    return kind
+
+
+def _range_bounds(tag: Tag) -> tuple[float | None, float | None,
+                                     bool, bool]:
+    """Return (low, high, low_strict, high_strict) for a range tag."""
+    if len(tag) < 3 or tag[2] != "numeric":
+        raise TagError(f"only numeric ranges are supported: {sexp_to_text(tag)}")
+    low = high = None
+    low_strict = high_strict = False
+    items = list(tag[3:])
+    while items:
+        op = items.pop(0)
+        if not items:
+            raise TagError(f"range bound {op!r} missing a value")
+        value = float(items.pop(0))
+        if op == "ge":
+            low, low_strict = value, False
+        elif op == "gt":
+            low, low_strict = value, True
+        elif op == "le":
+            high, high_strict = value, False
+        elif op == "lt":
+            high, high_strict = value, True
+        else:
+            raise TagError(f"unknown range operator {op!r}")
+    return low, high, low_strict, high_strict
+
+
+def _range_contains(tag: Tag, value: float) -> bool:
+    low, high, low_strict, high_strict = _range_bounds(tag)
+    if low is not None and (value < low or (low_strict and value == low)):
+        return False
+    if high is not None and (value > high or (high_strict and value == high)):
+        return False
+    return True
+
+
+def _ranges_intersect(a: Tag, b: Tag) -> Optional[Tag]:
+    alow, ahigh, als, ahs = _range_bounds(a)
+    blow, bhigh, bls, bhs = _range_bounds(b)
+    # Take the tighter bound on each side: for the low bound the larger
+    # value wins (strictness wins ties); for the high bound the smaller
+    # value wins (strictness wins ties).
+    if alow is None:
+        low, ls = blow, bls
+    elif blow is None:
+        low, ls = alow, als
+    else:
+        low = max(alow, blow)
+        ls = (als if alow == low else False) or (bls if blow == low else False)
+    if ahigh is None:
+        high, hs = bhigh, bhs
+    elif bhigh is None:
+        high, hs = ahigh, ahs
+    else:
+        high = min(ahigh, bhigh)
+        hs = (ahs if ahigh == high else False) or (bhs if bhigh == high else False)
+    if low is not None and high is not None:
+        if low > high or (low == high and (ls or hs)):
+            return None
+    parts: list[str] = ["*", "range", "numeric"]
+    if low is not None:
+        parts += ["gt" if ls else "ge", _fmt_num(low)]
+    if high is not None:
+        parts += ["lt" if hs else "le", _fmt_num(high)]
+    return tuple(parts)
+
+
+def _fmt_num(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def intersect_tags(a: Tag, b: Tag) -> Optional[Tag]:
+    """Intersection of two tags, or None if the permission sets are disjoint.
+
+    :raises TagError: on malformed *-forms.
+    """
+    if _is_star(a):
+        return b
+    if _is_star(b):
+        return a
+    a_special = _is_special(a)
+    b_special = _is_special(b)
+
+    if a_special and _special_kind(a) == "set":
+        results = [r for elt in a[2:] if (r := intersect_tags(elt, b)) is not None]
+        if not results:
+            return None
+        if len(results) == 1:
+            return results[0]
+        return ("*", "set", *results)
+    if b_special and _special_kind(b) == "set":
+        return intersect_tags(b, a)
+
+    if a_special and b_special:
+        kind_a, kind_b = _special_kind(a), _special_kind(b)
+        if kind_a == kind_b == "prefix":
+            pa, pb = a[2], b[2]
+            if pa.startswith(pb):
+                return a
+            if pb.startswith(pa):
+                return b
+            return None
+        if kind_a == kind_b == "range":
+            return _ranges_intersect(a, b)
+        return None  # prefix ∩ range of strings: treat as disjoint
+
+    if a_special:
+        return intersect_tags(b, a) if not b_special else None
+
+    if b_special:
+        # a is concrete (atom or list), b is a *-form: a survives iff a ∈ b.
+        kind = _special_kind(b)
+        if kind == "prefix":
+            if isinstance(a, str) and a.startswith(b[2]):
+                return a
+            return None
+        if kind == "range":
+            if isinstance(a, str):
+                try:
+                    if _range_contains(b, float(a)):
+                        return a
+                except ValueError:
+                    return None
+            return None
+        raise TagError(f"unhandled *-form {sexp_to_text(b)}")
+
+    # Both concrete.
+    if isinstance(a, str) or isinstance(b, str):
+        return a if a == b else None
+    # Both lists: elementwise intersection; the shorter list implies (*) for
+    # its missing tail, so the longer list's extra elements survive.
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    result: list[Tag] = []
+    for i, elt in enumerate(longer):
+        if i < len(shorter):
+            merged = intersect_tags(shorter[i], elt)
+            if merged is None:
+                return None
+            result.append(merged)
+        else:
+            result.append(elt)
+    return tuple(result)
+
+
+def tag_implies(granter: Tag, requested: Tag) -> bool:
+    """True if ``granter`` authorises everything ``requested`` denotes.
+
+    Implemented via intersection: granter implies requested iff their
+    intersection equals the requested set.  For the tag forms supported here
+    the syntactic check below is exact.
+    """
+    merged = intersect_tags(granter, requested)
+    return merged == requested

@@ -1,0 +1,65 @@
+"""Policy translation: the paper's core contribution mechanics.
+
+- :mod:`repro.translate.to_keynote` — encode RBAC relations as KeyNote
+  credentials (Figures 5 and 6): Policy Configuration's source format.
+- :mod:`repro.translate.from_keynote` — comprehend KeyNote credentials back
+  into RBAC relations (Section 4.2) via condition normalisation.
+- :mod:`repro.translate.to_spki` — the SPKI/SDSI alternative encoding
+  (footnote 1).
+- :mod:`repro.translate.migrate` — middleware-to-middleware migration
+  (Section 4.3) through the common format, with similarity-based vocabulary
+  mapping ([13]).
+- :mod:`repro.translate.similarity` — the similarity metrics.
+- :mod:`repro.translate.consistency` — global consistency checking
+  (Section 4.4's invariant).
+- :mod:`repro.translate.propagate` — maintenance propagation of policy
+  deltas across every registered system.
+"""
+
+from repro.translate.common import (
+    ATTR_DOMAIN,
+    ATTR_OBJECT_TYPE,
+    ATTR_PERMISSION,
+    ATTR_ROLE,
+    WEBCOM_APP_DOMAIN,
+)
+from repro.translate.consistency import ConsistencyReport, check_consistency
+from repro.translate.from_keynote import comprehend_credentials, comprehend_policy
+from repro.translate.imprecise import ImpreciseChecker, ImpreciseResult
+from repro.translate.migrate import DomainMapping, migrate_policy
+from repro.translate.propagate import PropagationEngine
+from repro.translate.similarity import (
+    best_match,
+    jaccard,
+    levenshtein,
+    name_similarity,
+    overlap,
+)
+from repro.translate.to_keynote import encode_policy, encode_user_credentials
+from repro.translate.to_spki import spki_grant_tag, spki_policy_certificates
+
+__all__ = [
+    "ATTR_DOMAIN",
+    "ATTR_OBJECT_TYPE",
+    "ATTR_PERMISSION",
+    "ATTR_ROLE",
+    "ConsistencyReport",
+    "DomainMapping",
+    "ImpreciseChecker",
+    "ImpreciseResult",
+    "PropagationEngine",
+    "WEBCOM_APP_DOMAIN",
+    "best_match",
+    "check_consistency",
+    "comprehend_credentials",
+    "comprehend_policy",
+    "encode_policy",
+    "encode_user_credentials",
+    "jaccard",
+    "levenshtein",
+    "migrate_policy",
+    "name_similarity",
+    "overlap",
+    "spki_grant_tag",
+    "spki_policy_certificates",
+]

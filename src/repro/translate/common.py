@@ -1,0 +1,42 @@
+"""Shared vocabulary of the WebCom credential encoding.
+
+Secure WebCom "uses the attributes Domain, ObjectType, Role, Permission which
+correspond to the RBAC attributes" (Section 4), with ``app_domain ==
+"WebCom"`` scoping credentials to WebCom-mediated actions.
+"""
+
+from __future__ import annotations
+
+WEBCOM_APP_DOMAIN = "WebCom"
+
+ATTR_APP_DOMAIN = "app_domain"
+ATTR_DOMAIN = "Domain"
+ATTR_ROLE = "Role"
+ATTR_OBJECT_TYPE = "ObjectType"
+ATTR_PERMISSION = "Permission"
+
+#: the four RBAC attributes of the WebCom encoding
+RBAC_ATTRIBUTES = (ATTR_DOMAIN, ATTR_ROLE, ATTR_OBJECT_TYPE, ATTR_PERMISSION)
+
+
+def action_attributes(domain: str, role: str, object_type: str,
+                      permission: str,
+                      app_domain: str = WEBCOM_APP_DOMAIN) -> dict[str, str]:
+    """The action attribute set for one mediated WebCom action."""
+    return {
+        ATTR_APP_DOMAIN: app_domain,
+        ATTR_DOMAIN: domain,
+        ATTR_ROLE: role,
+        ATTR_OBJECT_TYPE: object_type,
+        ATTR_PERMISSION: permission,
+    }
+
+
+def membership_attributes(domain: str, role: str,
+                          app_domain: str = WEBCOM_APP_DOMAIN) -> dict[str, str]:
+    """The action attribute set for a role-membership check (no object)."""
+    return {
+        ATTR_APP_DOMAIN: app_domain,
+        ATTR_DOMAIN: domain,
+        ATTR_ROLE: role,
+    }

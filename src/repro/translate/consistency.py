@@ -1,0 +1,104 @@
+"""Global policy consistency (Section 4.4).
+
+"The maintenance of a consistent global policy across the different
+heterogeneous middlewares is important for the overall security of the
+system.  Making changes to the underlying middleware security policies can
+lead to inconsistencies between the authorisation of principals on different
+systems."
+
+A *reference* policy (usually the trust-management layer's view) is compared
+against each system's extracted policy, restricted to the domains that system
+is responsible for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.middleware.base import Middleware
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@dataclass(frozen=True)
+class SystemDrift:
+    """One system's divergence from the reference policy."""
+
+    system: str
+    missing_grants: frozenset[Grant]
+    extra_grants: frozenset[Grant]
+    missing_assignments: frozenset[Assignment]
+    extra_assignments: frozenset[Assignment]
+
+    def is_consistent(self) -> bool:
+        return not (self.missing_grants or self.extra_grants
+                    or self.missing_assignments or self.extra_assignments)
+
+    def __str__(self) -> str:
+        if self.is_consistent():
+            return f"{self.system}: consistent"
+        return (f"{self.system}: -{len(self.missing_grants)}g "
+                f"+{len(self.extra_grants)}g "
+                f"-{len(self.missing_assignments)}a "
+                f"+{len(self.extra_assignments)}a")
+
+
+@dataclass
+class ConsistencyReport:
+    """Drift of every checked system."""
+
+    drifts: list[SystemDrift] = field(default_factory=list)
+
+    def is_consistent(self) -> bool:
+        """True when every system matches the reference."""
+        return all(d.is_consistent() for d in self.drifts)
+
+    def inconsistent_systems(self) -> list[str]:
+        """Names of systems that diverge."""
+        return [d.system for d in self.drifts if not d.is_consistent()]
+
+    def __str__(self) -> str:
+        return "\n".join(str(d) for d in self.drifts) or "(no systems)"
+
+
+def _restrict(policy: RBACPolicy, domains: set[str],
+              name: str) -> RBACPolicy:
+    restricted = RBACPolicy(name)
+    for grant in policy.grants:
+        if grant.domain in domains:
+            restricted.add_grant(grant)
+    for assignment in policy.assignments:
+        if assignment.domain in domains:
+            restricted.add_assignment(assignment)
+    return restricted
+
+
+def check_consistency(reference: RBACPolicy,
+                      systems: Iterable[Middleware],
+                      responsibilities: Mapping[str, set[str]] | None = None,
+                      ) -> ConsistencyReport:
+    """Compare every system's extracted policy against the reference.
+
+    :param responsibilities: system name -> domains it is responsible for;
+        defaults to the domains appearing in that system's own extraction
+        (which detects *drifted values* but not *wholly missing domains* —
+        pass explicit responsibilities to catch those too).
+    """
+    report = ConsistencyReport()
+    for system in systems:
+        extracted = system.extract_rbac()
+        if responsibilities and system.name in responsibilities:
+            domains = set(responsibilities[system.name])
+        else:
+            domains = extracted.domains()
+        want = _restrict(reference, domains, "want")
+        have = _restrict(extracted, domains, "have")
+        report.drifts.append(SystemDrift(
+            system=system.name,
+            missing_grants=frozenset(want.grants - have.grants),
+            extra_grants=frozenset(have.grants - want.grants),
+            missing_assignments=frozenset(want.assignments - have.assignments),
+            extra_assignments=frozenset(have.assignments - want.assignments),
+        ))
+    return report

@@ -1,0 +1,92 @@
+"""Disjunctive-normal-form analysis of KeyNote conditions.
+
+Policy Comprehension (Section 4.2) must read RBAC relations *out of*
+credential conditions.  The encoder emits conditions built from equality
+atoms, ``&&`` and ``||``; this module normalises any such expression into a
+set of conjuncts ``{attribute -> value}``, which the comprehension layer maps
+back to ``HasPermission`` / ``UserAssignment`` rows.
+
+Expressions outside this fragment (regex tests, arithmetic, negation) have no
+relational reading and raise :class:`~repro.errors.ComprehensionError`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ComprehensionError
+from repro.keynote.ast import Attribute, Binary, Clause, ConditionsProgram, Expr, StringLit
+
+Conjunct = Mapping[str, str]
+
+
+def conditions_to_dnf(program: ConditionsProgram) -> list[dict[str, str]]:
+    """Normalise a Conditions program to a list of equality conjuncts.
+
+    Clauses are alternatives (their values are joined), so the program's DNF
+    is the union of each clause test's DNF.  Contradictory conjuncts (same
+    attribute equated to two values) are dropped as unsatisfiable.
+
+    :raises ComprehensionError: for non-relational condition fragments.
+    """
+    conjuncts: list[dict[str, str]] = []
+    for clause in program.clauses:
+        conjuncts.extend(expr_to_dnf(clause.test))
+    return conjuncts
+
+
+def expr_to_dnf(expr: Expr) -> list[dict[str, str]]:
+    """DNF of a single expression over equality atoms.
+
+    :raises ComprehensionError: for unsupported operators.
+    """
+    raw = _walk(expr)
+    satisfiable: list[dict[str, str]] = []
+    for conjunct in raw:
+        if conjunct is not None:
+            satisfiable.append(conjunct)
+    return satisfiable
+
+
+def _walk(expr: Expr) -> list[dict[str, str] | None]:
+    if isinstance(expr, Binary):
+        if expr.op == "||":
+            return _walk(expr.left) + _walk(expr.right)
+        if expr.op == "&&":
+            result: list[dict[str, str] | None] = []
+            for left in _walk(expr.left):
+                for right in _walk(expr.right):
+                    result.append(_merge(left, right))
+            return result
+        if expr.op == "==":
+            attr, value = _equality_atom(expr)
+            return [{attr: value}]
+        raise ComprehensionError(
+            f"operator {expr.op!r} has no relational reading")
+    if isinstance(expr, StringLit) and expr.value == "true":
+        return [{}]  # the trivially-true conjunct
+    if isinstance(expr, StringLit) and expr.value == "false":
+        return []  # the empty disjunction (an empty relation grants nothing)
+    raise ComprehensionError(f"expression {expr!r} has no relational reading")
+
+
+def _equality_atom(expr: Binary) -> tuple[str, str]:
+    left, right = expr.left, expr.right
+    if isinstance(left, Attribute) and isinstance(right, StringLit):
+        return left.name, right.value
+    if isinstance(right, Attribute) and isinstance(left, StringLit):
+        return right.name, left.value
+    raise ComprehensionError(
+        "equality atoms must compare an attribute with a string literal")
+
+
+def _merge(a: dict[str, str] | None,
+           b: dict[str, str] | None) -> dict[str, str] | None:
+    if a is None or b is None:
+        return None
+    merged = dict(a)
+    for key, value in b.items():
+        if key in merged and merged[key] != value:
+            return None  # contradictory: attribute can't equal two values
+        merged[key] = value
+    return merged

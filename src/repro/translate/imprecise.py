@@ -1,0 +1,151 @@
+"""Imprecise delegation via similarity measures ([13], cited in Section 4.3).
+
+"Some interpretation of the security policies must be considered by the
+translation tools, using techniques such as similarity metrics [13]" — where
+[13] is Foley, *Supporting imprecise delegation in KeyNote using similarity
+measures* (NordSec 2001).
+
+The idea: a request whose action attributes don't *exactly* match any
+credential may still be authorised if the mismatching values are
+sufficiently similar to values the credentials do mention — e.g. a request
+for ``Domain="FinanceDept"`` against credentials written for
+``Domain="Finance"``.  The result carries a *similarity score* (1.0 for an
+exact match) so callers can require stronger evidence for more sensitive
+actions.
+
+Implementation: the attribute vocabulary is harvested from the credentials'
+condition DNF; for each query attribute the best sufficiently-similar
+credential value is a candidate substitution; the checker re-queries over the
+substitution lattice and returns the best authorised outcome with the
+minimum substitution similarity as its score.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.crypto.keystore import Keystore
+from repro.errors import ComprehensionError
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.credential import Credential
+from repro.translate.dnf import conditions_to_dnf
+from repro.translate.similarity import name_similarity
+
+
+@dataclass(frozen=True)
+class ImpreciseResult:
+    """Outcome of an imprecise query."""
+
+    authorized: bool
+    compliance_value: str
+    similarity: float
+    substitutions: Mapping[str, str]  # attribute -> credential value used
+
+    def __bool__(self) -> bool:
+        return self.authorized
+
+    def is_exact(self) -> bool:
+        """True when no substitution was needed."""
+        return not self.substitutions
+
+
+def harvest_vocabulary(assertions: Iterable[Credential],
+                       ) -> dict[str, set[str]]:
+    """Attribute -> string values mentioned across all credential
+    conditions (non-relational conditions are skipped)."""
+    vocabulary: dict[str, set[str]] = {}
+    for assertion in assertions:
+        try:
+            conjuncts = conditions_to_dnf(assertion.conditions)
+        except ComprehensionError:
+            continue
+        for conjunct in conjuncts:
+            for attribute, value in conjunct.items():
+                vocabulary.setdefault(attribute, set()).add(value)
+    return vocabulary
+
+
+class ImpreciseChecker:
+    """A compliance checker with similarity-relaxed attribute matching.
+
+    :param threshold: minimum per-attribute similarity for a substitution to
+        be considered (below it, the attribute must match exactly).
+    :param max_substitutions: cap on how many attributes may be relaxed in a
+        single query (keeps the lattice small and the semantics reviewable).
+    """
+
+    def __init__(self, assertions: Sequence[Credential],
+                 keystore: Keystore | None = None,
+                 threshold: float = 0.7,
+                 max_substitutions: int = 2,
+                 verify_signatures: bool = True) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+        self.max_substitutions = max_substitutions
+        self._checker = ComplianceChecker(
+            list(assertions), keystore=keystore,
+            verify_signatures=verify_signatures)
+        self.vocabulary = harvest_vocabulary(assertions)
+
+    def query(self, attributes: Mapping[str, str],
+              authorizers: Iterable[str]) -> ImpreciseResult:
+        """Exact query first; on denial, explore similar substitutions."""
+        authorizer_list = list(authorizers)
+        exact = self._checker.query(attributes, authorizer_list)
+        if exact != "false":
+            return ImpreciseResult(authorized=True, compliance_value=exact,
+                                   similarity=1.0, substitutions={})
+
+        options: list[list[tuple[str, str, float]]] = []
+        for attribute, value in attributes.items():
+            choices = [(attribute, value, 1.0)]
+            best_value, best_score = None, self.threshold
+            for candidate in sorted(self.vocabulary.get(attribute, ())):
+                if candidate == value:
+                    continue
+                score = name_similarity(value, candidate)
+                if score >= best_score:
+                    best_value, best_score = candidate, score
+            if best_value is not None:
+                choices.append((attribute, best_value, best_score))
+            options.append(choices)
+
+        best: ImpreciseResult | None = None
+        for combo in itertools.product(*options):
+            substitutions = {attr: val for attr, val, score in combo
+                             if score < 1.0}
+            if not substitutions:
+                continue  # the exact query already failed
+            if len(substitutions) > self.max_substitutions:
+                continue
+            candidate_attrs = {attr: val for attr, val, _score in combo}
+            value = self._checker.query(candidate_attrs, authorizer_list)
+            if value == "false":
+                continue
+            similarity = min(score for _a, _v, score in combo)
+            result = ImpreciseResult(authorized=True,
+                                     compliance_value=value,
+                                     similarity=similarity,
+                                     substitutions=substitutions)
+            if best is None or result.similarity > best.similarity:
+                best = result
+        if best is not None:
+            return best
+        return ImpreciseResult(authorized=False, compliance_value="false",
+                               similarity=0.0, substitutions={})
+
+    def query_with_floor(self, attributes: Mapping[str, str],
+                         authorizers: Iterable[str],
+                         similarity_floor: float) -> ImpreciseResult:
+        """Authorise only if the evidence reaches ``similarity_floor`` —
+        sensitive actions demand near-exact delegation."""
+        result = self.query(attributes, authorizers)
+        if result.authorized and result.similarity < similarity_floor:
+            return ImpreciseResult(authorized=False,
+                                   compliance_value="false",
+                                   similarity=result.similarity,
+                                   substitutions=result.substitutions)
+        return result

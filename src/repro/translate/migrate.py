@@ -1,0 +1,136 @@
+"""Policy Migration (Section 4.3): middleware → middleware.
+
+"Migration of existing policies from one middleware system to another ...
+allows, for example, a new system to be configured with the same policy as an
+existing system" — e.g. the paper's legacy-COM-to-EJB example in Figure 9.
+
+The pipeline is: extract the source's RBAC interpretation → map domains into
+the target's addressing scheme → (optionally) map role/object/permission
+vocabulary with similarity metrics → apply to the target's native store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import MigrationError
+from repro.middleware.base import Middleware
+from repro.rbac.policy import RBACPolicy
+from repro.translate.similarity import best_match
+
+
+@dataclass
+class DomainMapping:
+    """How source domains become target domains.
+
+    Middleware address their domains differently (EJB: ``host:server/jndi``,
+    CORBA: ``machine/orb``, COM+: NT domain), so migration needs an explicit
+    or rule-based mapping.
+
+    :param explicit: exact source-domain -> target-domain entries.
+    :param default: fallback callable for unmapped domains; None means
+        unmapped domains are an error.
+    """
+
+    explicit: dict[str, str] = field(default_factory=dict)
+    default: Callable[[str], str] | None = None
+
+    def map(self, domain: str) -> str:
+        """Map one source domain.
+
+        :raises MigrationError: if no mapping covers it.
+        """
+        if domain in self.explicit:
+            return self.explicit[domain]
+        if self.default is not None:
+            return self.default(domain)
+        raise MigrationError(f"no domain mapping for {domain!r}")
+
+    @classmethod
+    def to_single(cls, target_domain: str) -> "DomainMapping":
+        """Collapse every source domain onto one target domain."""
+        return cls(default=lambda _d: target_domain)
+
+    @classmethod
+    def identity(cls) -> "DomainMapping":
+        """Keep domains unchanged (same-technology migration)."""
+        return cls(default=lambda d: d)
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What a migration did, for the administrator's review."""
+
+    migrated_grants: int
+    migrated_assignments: int
+    domain_map: Mapping[str, str]
+    vocabulary_map: Mapping[str, str]
+    dropped: tuple[str, ...]
+
+    def summary(self) -> str:
+        return (f"{self.migrated_grants} grants, "
+                f"{self.migrated_assignments} assignments migrated; "
+                f"{len(self.dropped)} facts dropped")
+
+
+def translate_policy(source_policy: RBACPolicy, mapping: DomainMapping,
+                     target_permissions: "tuple[str, ...] | None" = None,
+                     similarity_threshold: float = 0.5,
+                     name: str = "migrated") -> tuple[RBACPolicy,
+                                                      MigrationReport]:
+    """Rewrite a policy into a target addressing scheme and vocabulary.
+
+    :param target_permissions: the target's closed permission vocabulary
+        (e.g. COM's Launch/Access/RunAs); when given, source permissions are
+        mapped by similarity and unmappable ones dropped (and reported).
+    """
+    result = RBACPolicy(name)
+    domain_map: dict[str, str] = {}
+    vocab_map: dict[str, str] = {}
+    dropped: list[str] = []
+
+    for grant in source_policy.sorted_grants():
+        target_domain = mapping.map(grant.domain)
+        domain_map[grant.domain] = target_domain
+        permission = grant.permission
+        if target_permissions is not None and permission not in target_permissions:
+            matched = vocab_map.get(permission) or best_match(
+                permission, target_permissions, similarity_threshold)
+            if matched is None:
+                dropped.append(str(grant))
+                continue
+            vocab_map[permission] = matched
+            permission = matched
+        result.grant(target_domain, grant.role, grant.object_type, permission)
+
+    for assignment in source_policy.sorted_assignments():
+        target_domain = mapping.map(assignment.domain)
+        domain_map[assignment.domain] = target_domain
+        result.assign(assignment.user, target_domain, assignment.role)
+
+    report = MigrationReport(
+        migrated_grants=len(result.grants),
+        migrated_assignments=len(result.assignments),
+        domain_map=domain_map,
+        vocabulary_map=vocab_map,
+        dropped=tuple(dropped),
+    )
+    return result, report
+
+
+def migrate_policy(source: Middleware, target: Middleware,
+                   mapping: DomainMapping,
+                   target_permissions: "tuple[str, ...] | None" = None,
+                   similarity_threshold: float = 0.5) -> MigrationReport:
+    """End-to-end migration: extract from ``source``, translate, apply to
+    ``target``.
+
+    :raises MigrationError: if a domain cannot be mapped.
+    """
+    source_policy = source.extract_rbac()
+    translated, report = translate_policy(
+        source_policy, mapping, target_permissions, similarity_threshold,
+        name=f"migrated:{source.name}->{target.name}")
+    target.apply_rbac(translated)
+    return report

@@ -1,0 +1,127 @@
+"""Policy Maintenance (Section 4.4): propagating changes across systems.
+
+The paper recommends *"changing the trust management policy to reflect
+required changes in the system.  This enables the changes to be propagated
+down the security stack where necessary, while maintaining the consistency of
+the overall security policy."*
+
+The :class:`PropagationEngine` holds the authoritative global policy, accepts
+deltas (or whole new policies), pushes the relevant facts into every
+registered middleware, and re-checks consistency afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import InconsistentPolicyError
+from repro.middleware.base import Middleware
+from repro.rbac.diff import PolicyDelta, diff_policies
+from repro.rbac.policy import RBACPolicy
+from repro.translate.consistency import ConsistencyReport, check_consistency
+from repro.util.events import AuditLog
+
+
+class PropagationEngine:
+    """Coordinates the global policy and its middleware replicas.
+
+    :param global_policy: the authoritative trust-management-level policy.
+    :param audit: optional audit log for propagation events.
+    """
+
+    def __init__(self, global_policy: RBACPolicy,
+                 audit: AuditLog | None = None) -> None:
+        self.global_policy = global_policy
+        self.audit = audit
+        #: system name -> (middleware, domains it is responsible for)
+        self._systems: dict[str, tuple[Middleware, set[str]]] = {}
+        #: listeners called with each applied delta (e.g. to refresh KeyNote)
+        self._listeners: list[Callable[[PolicyDelta], None]] = []
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, middleware: Middleware, domains: set[str]) -> None:
+        """Register a middleware as responsible for ``domains``."""
+        self._systems[middleware.name] = (middleware, set(domains))
+
+    def subscribe(self, listener: Callable[[PolicyDelta], None]) -> None:
+        """Be notified of every applied delta."""
+        self._listeners.append(listener)
+
+    def responsibilities(self) -> Mapping[str, set[str]]:
+        """system name -> responsible domains."""
+        return {name: set(domains)
+                for name, (_m, domains) in self._systems.items()}
+
+    # -- initial configuration ----------------------------------------------------
+
+    def push_all(self) -> None:
+        """Install the relevant slice of the global policy everywhere
+        (Policy Configuration for a fresh deployment)."""
+        for name, (middleware, domains) in self._systems.items():
+            slice_ = RBACPolicy(f"slice:{name}")
+            for grant in self.global_policy.grants:
+                if grant.domain in domains:
+                    slice_.add_grant(grant)
+            for assignment in self.global_policy.assignments:
+                if assignment.domain in domains:
+                    slice_.add_assignment(assignment)
+            middleware.apply_rbac(slice_)
+            self._record("propagate.push", name, "ok",
+                         facts=len(slice_))
+
+    # -- change application ----------------------------------------------------------
+
+    def apply_delta(self, delta: PolicyDelta) -> ConsistencyReport:
+        """Apply a change to the global policy and propagate it down.
+
+        Removals are propagated where the middleware supports them (role
+        unassignment); structural removals (grants) are applied to stores
+        that expose the hooks, otherwise surfaced through the consistency
+        report.
+        """
+        delta.apply_to(self.global_policy)
+        for name, (middleware, domains) in self._systems.items():
+            touched = 0
+            for grant in delta.added_grants:
+                if grant.domain in domains:
+                    middleware.apply_grant(grant)
+                    touched += 1
+            for assignment in delta.added_assignments:
+                if assignment.domain in domains:
+                    middleware.apply_assignment(assignment)
+                    touched += 1
+            for assignment in delta.removed_assignments:
+                if assignment.domain in domains:
+                    if middleware.remove_assignment(assignment):
+                        touched += 1
+            if touched:
+                self._record("propagate.delta", name, "ok", facts=touched)
+        for listener in self._listeners:
+            listener(delta)
+        return self.check()
+
+    def set_policy(self, new_policy: RBACPolicy) -> ConsistencyReport:
+        """Replace the global policy, propagating the computed delta."""
+        delta = diff_policies(self.global_policy, new_policy)
+        return self.apply_delta(delta)
+
+    # -- verification ---------------------------------------------------------------------
+
+    def check(self, strict: bool = False) -> ConsistencyReport:
+        """Re-check global consistency.
+
+        :param strict: raise :class:`InconsistentPolicyError` on drift.
+        """
+        report = check_consistency(
+            self.global_policy,
+            [middleware for middleware, _d in self._systems.values()],
+            responsibilities=self.responsibilities())
+        if strict and not report.is_consistent():
+            raise InconsistentPolicyError(str(report))
+        return report
+
+    def _record(self, category: str, subject: str, outcome: str,
+                **detail) -> None:
+        if self.audit is not None:
+            self.audit.record(0.0, category, subject, outcome, **detail)

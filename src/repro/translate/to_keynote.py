@@ -1,0 +1,136 @@
+"""Encoding middleware RBAC policies as KeyNote credentials (Section 4.2).
+
+Two artefacts, exactly as the paper describes:
+
+- ``encode_policy`` — *"The HasPermission table ... is encoded as [a] KeyNote
+  Policy credential"* (Figure 5): a single POLICY assertion licensing the
+  WebCom administration key for every granted (Domain, Role, ObjectType,
+  Permission) combination.
+- ``encode_user_credentials`` — *"For each user (public key) in the
+  UserAssignment table, a credential is generated, and signed by the WebCom
+  key, authorising the user to be a member of the corresponding roles"*
+  (Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keystore import Keystore
+from repro.keynote.credential import Credential
+from repro.rbac.policy import RBACPolicy
+from repro.translate.common import (
+    ATTR_APP_DOMAIN,
+    ATTR_DOMAIN,
+    ATTR_OBJECT_TYPE,
+    ATTR_PERMISSION,
+    ATTR_ROLE,
+    WEBCOM_APP_DOMAIN,
+)
+
+
+def _eq(attribute: str, value: str) -> str:
+    return f'{attribute}=="{value}"'
+
+
+def grant_conditions(policy: RBACPolicy,
+                     app_domain: str = WEBCOM_APP_DOMAIN) -> str:
+    """The Conditions text encoding a HasPermission relation, Figure-5 style.
+
+    Grants sharing (domain, role, object type) are grouped so their
+    permissions compress into a disjunction, matching the figure's
+    ``(Permission=="read"||Permission=="write")`` shape.
+    """
+    grouped: dict[tuple[str, str, str], list[str]] = {}
+    for grant in policy.sorted_grants():
+        key = (grant.domain, grant.role, grant.object_type)
+        grouped.setdefault(key, []).append(grant.permission)
+
+    alternatives: list[str] = []
+    for (domain, role, object_type), permissions in sorted(grouped.items()):
+        perm_terms = [_eq(ATTR_PERMISSION, p) for p in sorted(set(permissions))]
+        perms = perm_terms[0] if len(perm_terms) == 1 \
+            else "(" + " || ".join(perm_terms) + ")"
+        alternatives.append(
+            "(" + " && ".join([
+                _eq(ATTR_DOMAIN, domain),
+                _eq(ATTR_ROLE, role),
+                _eq(ATTR_OBJECT_TYPE, object_type),
+                perms,
+            ]) + ")")
+    if not alternatives:
+        # An empty relation grants nothing.
+        body = "false"
+    elif len(alternatives) == 1:
+        body = alternatives[0]
+    else:
+        body = "(" + " || ".join(alternatives) + ")"
+    return f'{_eq(ATTR_APP_DOMAIN, app_domain)} && {body}'
+
+
+def encode_policy(policy: RBACPolicy, admin_key: str,
+                  app_domain: str = WEBCOM_APP_DOMAIN,
+                  comment: str = "") -> Credential:
+    """Encode the HasPermission relation as the Figure-5 POLICY credential.
+
+    :param admin_key: the WebCom administration key (symbolic or encoded)
+        licensed to administer rights under this policy.
+    """
+    return Credential.build(
+        authorizer="POLICY",
+        licensees=f'"{admin_key}"',
+        conditions=grant_conditions(policy, app_domain),
+        comment=comment or f"HasPermission relation of {policy.name!r}",
+    )
+
+
+def membership_conditions(domain: str, role: str,
+                          app_domain: str = WEBCOM_APP_DOMAIN) -> str:
+    """Conditions text for one role membership (Figure 6)."""
+    return " && ".join([
+        _eq(ATTR_APP_DOMAIN, app_domain),
+        _eq(ATTR_DOMAIN, domain),
+        _eq(ATTR_ROLE, role),
+    ])
+
+
+def encode_user_credentials(policy: RBACPolicy, admin_key: str,
+                            keystore: Keystore,
+                            user_key: "dict[str, str] | None" = None,
+                            app_domain: str = WEBCOM_APP_DOMAIN,
+                            sign: bool = True) -> list[Credential]:
+    """Encode the UserAssignment relation as signed role-membership
+    credentials (Figure 6), one per (user, domain, role) row.
+
+    :param admin_key: authorizer of every credential (the WebCom key).
+    :param keystore: resolves/signs; user keys are created on demand.
+    :param user_key: optional explicit user -> key-name mapping; defaults to
+        ``K<user>`` (the paper's ``Kclaire`` convention).
+    :param sign: set False to produce unsigned credentials (for display).
+    """
+    mapping = user_key or {}
+    credentials: list[Credential] = []
+    for assignment in policy.sorted_assignments():
+        key_name = mapping.get(assignment.user, f"K{assignment.user.lower()}")
+        keystore.create(key_name)
+        credential = Credential.build(
+            authorizer=admin_key,
+            licensees=f'"{key_name}"',
+            conditions=membership_conditions(assignment.domain,
+                                             assignment.role, app_domain),
+            comment=(f"{assignment.user} is authorised to be a "
+                     f"{assignment.role} in the {assignment.domain} domain"),
+        )
+        if sign:
+            credential = credential.sign(keystore.pair(admin_key).private)
+        credentials.append(credential)
+    return credentials
+
+
+def encode_full(policy: RBACPolicy, admin_key: str, keystore: Keystore,
+                app_domain: str = WEBCOM_APP_DOMAIN,
+                ) -> tuple[Credential, list[Credential]]:
+    """Both halves of the encoding: the Figure-5 POLICY credential and the
+    Figure-6 membership credentials."""
+    keystore.create(admin_key)
+    return (encode_policy(policy, admin_key, app_domain),
+            encode_user_credentials(policy, admin_key, keystore,
+                                    app_domain=app_domain))

@@ -1,0 +1,88 @@
+"""SPKI/SDSI encoding of RBAC policies (footnote 1 of the paper).
+
+The KeyNote encoding of Section 4 carries over to SPKI: each
+``HasPermission`` row becomes a tag, and role memberships become auth certs
+from the WebCom key whose tag covers everything the (domain, role) pair may
+do.  Tag shape::
+
+    (webcom (domain D) (role R) (object T) (perm P))
+
+Role-membership certs grant ``(webcom (domain D) (role R))`` — which, by
+SPKI's list-prefix rule, implies every longer tag for that domain and role.
+The intersection with the policy's granted rows then reproduces exactly the
+KeyNote chain semantics.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keystore import Keystore
+from repro.rbac.policy import RBACPolicy
+from repro.spki.cert import AuthCert, NameCert, Validity
+from repro.spki.tags import Tag
+
+
+def spki_grant_tag(domain: str, role: str, object_type: str,
+                   permission: str) -> Tag:
+    """The tag for one HasPermission row."""
+    return ("webcom", ("domain", domain), ("role", role),
+            ("object", object_type), ("perm", permission))
+
+
+def spki_role_tag(domain: str, role: str) -> Tag:
+    """The tag covering everything a (domain, role) pair may do."""
+    return ("webcom", ("domain", domain), ("role", role))
+
+
+def spki_request_tag(domain: str, role: str, object_type: str,
+                     permission: str) -> Tag:
+    """The tag a requester presents for one action (same shape as grants)."""
+    return spki_grant_tag(domain, role, object_type, permission)
+
+
+def spki_policy_certificates(policy: RBACPolicy, admin_key: str,
+                             keystore: Keystore,
+                             root_key: str = "Kself",
+                             validity: Validity = Validity(),
+                             ) -> tuple[list[AuthCert], list[NameCert]]:
+    """Encode a whole RBAC policy as SPKI certificates.
+
+    Returns (auth_certs, name_certs):
+
+    - the verifier's root key grants the admin key each HasPermission row
+      (with the delegate bit, so the admin can pass them to role members);
+    - the admin key grants each assigned user key the rows their roles hold
+      (SPKI tags have no variables, so role membership expands against the
+      grant table — the classic RBAC-in-SPKI construction [18]);
+    - name certs record the role memberships for SDSI-style auditing.
+    """
+    keystore.create(root_key)
+    keystore.create(admin_key)
+    root_private = keystore.pair(root_key).private
+    admin_private = keystore.pair(admin_key).private
+
+    auth_certs: list[AuthCert] = []
+    name_certs: list[NameCert] = []
+
+    grants_by_role: dict[tuple[str, str], list[Tag]] = {}
+    for grant in policy.sorted_grants():
+        tag = spki_grant_tag(grant.domain, grant.role, grant.object_type,
+                             grant.permission)
+        grants_by_role.setdefault((grant.domain, grant.role), []).append(tag)
+        auth_certs.append(AuthCert(
+            issuer=root_key, subject=admin_key, tag=tag, delegate=True,
+            validity=validity).sign(root_private))
+
+    for assignment in policy.sorted_assignments():
+        user_key = f"K{assignment.user.lower()}"
+        keystore.create(user_key)
+        name_certs.append(NameCert(
+            issuer=admin_key,
+            name=f"{assignment.domain}/{assignment.role}",
+            subject=user_key,
+            validity=validity).sign(admin_private))
+        for tag in grants_by_role.get((assignment.domain, assignment.role),
+                                      ()):
+            auth_certs.append(AuthCert(
+                issuer=admin_key, subject=user_key, tag=tag, delegate=False,
+                validity=validity).sign(admin_private))
+    return auth_certs, name_certs

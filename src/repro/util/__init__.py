@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic ids, simulated clock, audit log, text helpers."""
+
+from repro.util.clock import SimulatedClock
+from repro.util.events import AuditLog, AuditRecord
+from repro.util.ids import IdGenerator, stable_digest
+from repro.util.text import format_table, indent_block, quote, unquote
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "IdGenerator",
+    "SimulatedClock",
+    "format_table",
+    "indent_block",
+    "quote",
+    "stable_digest",
+    "unquote",
+]

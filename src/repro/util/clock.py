@@ -1,0 +1,43 @@
+"""A simulated clock.
+
+Certificate validity periods and network latency need a notion of time that is
+fully controlled by the tests, so nothing in the framework reads the wall
+clock.  Time is a float number of simulated seconds since epoch zero.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """Monotonic simulated time source.
+
+    >>> clock = SimulatedClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(5.0)
+    5.0
+    >>> clock.now()
+    5.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before epoch zero")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now

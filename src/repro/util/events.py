@@ -1,0 +1,87 @@
+"""Audit trail.
+
+Every security decision in the framework (trust-management queries, middleware
+access checks, KeyCOM updates, scheduling decisions) can be recorded in an
+:class:`AuditLog`.  The log is append-only and queryable, which the
+integration tests and the Figure-9 benchmark use to assert *which* layer made
+each decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """A single audit event.
+
+    :param timestamp: simulated time of the event.
+    :param category: event family, e.g. ``"keynote.query"`` or ``"keycom.update"``.
+    :param subject: principal or key the event concerns.
+    :param outcome: short outcome string, e.g. ``"allow"`` / ``"deny"``.
+    :param detail: free-form structured payload.
+    """
+
+    timestamp: float
+    category: str
+    subject: str
+    outcome: str
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def matches(self, *, category: str | None = None, subject: str | None = None,
+                outcome: str | None = None) -> bool:
+        """Return True if the record matches every given filter."""
+        if category is not None and self.category != category:
+            return False
+        if subject is not None and self.subject != subject:
+            return False
+        if outcome is not None and self.outcome != outcome:
+            return False
+        return True
+
+
+class AuditLog:
+    """Append-only audit log with simple filtering."""
+
+    def __init__(self) -> None:
+        self._records: list[AuditRecord] = []
+        self._listeners: list[Callable[[AuditRecord], None]] = []
+
+    def record(self, timestamp: float, category: str, subject: str, outcome: str,
+               **detail: Any) -> AuditRecord:
+        """Append a record and notify listeners."""
+        rec = AuditRecord(timestamp=timestamp, category=category,
+                          subject=subject, outcome=outcome, detail=detail)
+        self._records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+        return rec
+
+    def subscribe(self, listener: Callable[[AuditRecord], None]) -> None:
+        """Register a callback invoked for every new record."""
+        self._listeners.append(listener)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def find(self, *, category: str | None = None, subject: str | None = None,
+             outcome: str | None = None) -> list[AuditRecord]:
+        """Return all records matching the given filters."""
+        return [r for r in self._records
+                if r.matches(category=category, subject=subject, outcome=outcome)]
+
+    def last(self, *, category: str | None = None) -> AuditRecord | None:
+        """Return the most recent record (optionally of a category)."""
+        for rec in reversed(self._records):
+            if category is None or rec.category == category:
+                return rec
+        return None
+
+    def clear(self) -> None:
+        """Drop all records (listeners stay subscribed)."""
+        self._records.clear()

@@ -1,0 +1,63 @@
+"""Deterministic identifier generation.
+
+The simulators need stable, reproducible identifiers (message ids, SIDs,
+object references).  Random UUIDs would make test output nondeterministic, so
+ids come from per-prefix counters, and content-addressed digests come from
+SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import DefaultDict
+
+
+def stable_digest(*parts: str, length: int = 16) -> str:
+    """Return a stable hex digest of ``parts``.
+
+    Parts are length-prefixed before hashing so that ``("ab", "c")`` and
+    ``("a", "bc")`` never collide.
+
+    :param parts: strings to hash.
+    :param length: number of hex characters to keep (max 64).
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        data = part.encode("utf-8")
+        h.update(str(len(data)).encode("ascii"))
+        h.update(b":")
+        h.update(data)
+    return h.hexdigest()[:length]
+
+
+class IdGenerator:
+    """Per-prefix monotonic id generator.
+
+    >>> gen = IdGenerator()
+    >>> gen.next("msg")
+    'msg-1'
+    >>> gen.next("msg")
+    'msg-2'
+    >>> gen.next("node")
+    'node-1'
+    """
+
+    def __init__(self) -> None:
+        self._counters: DefaultDict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix``."""
+        self._counters[prefix] += 1
+        return f"{prefix}-{self._counters[prefix]}"
+
+    def peek(self, prefix: str) -> int:
+        """Return how many ids have been issued for ``prefix``."""
+        return self._counters[prefix]
+
+    def reset(self, prefix: str | None = None) -> None:
+        """Reset one prefix counter, or all of them."""
+        if prefix is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(prefix, None)

@@ -1,0 +1,67 @@
+"""Text helpers used by credential serialisation and table printing."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def quote(value: str) -> str:
+    """Quote a string for the KeyNote credential syntax.
+
+    Backslashes and double quotes are escaped; everything else passes through.
+    """
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def unquote(text: str) -> str:
+    """Inverse of :func:`quote`.
+
+    :raises ValueError: if the text is not a well-formed quoted string.
+    """
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise ValueError(f"not a quoted string: {text!r}")
+    body = text[1:-1]
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise ValueError(f"dangling escape in {text!r}")
+            out.append(body[i + 1])
+            i += 2
+        elif ch == '"':
+            raise ValueError(f"unescaped quote in {text!r}")
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def indent_block(text: str, prefix: str = "    ") -> str:
+    """Indent every non-empty line of ``text`` with ``prefix``."""
+    return "\n".join(prefix + line if line else line for line in text.splitlines())
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table like the RBAC relation tables in Figure 1.
+
+    >>> print(format_table(["Domain", "Role"], [("Finance", "Clerk")]))
+    Domain  | Role
+    --------+------
+    Finance | Clerk
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt(headers), sep]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

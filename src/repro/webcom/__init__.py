@@ -1,0 +1,54 @@
+"""WebCom: the distributed metacomputing substrate and Secure WebCom on top.
+
+WebCom applications are condensed graphs [21] whose nodes are middleware
+components; a master schedules fireable nodes to clients across a (simulated)
+network, and Secure WebCom mediates every scheduling decision through the
+trust-management layer in both directions (Figure 3).
+
+Modules:
+
+- :mod:`repro.webcom.graph` — condensed graphs: nodes, ports, condensation.
+- :mod:`repro.webcom.engine` — the graph execution engine
+  (availability-, coercion- and control-driven firing).
+- :mod:`repro.webcom.network` — deterministic simulated network with latency
+  and fault injection.
+- :mod:`repro.webcom.node` — WebCom masters and clients.
+- :mod:`repro.webcom.secure` — the KeyNote handshake of Figure 3.
+- :mod:`repro.webcom.keycom` — the KeyCOM administration service (Figure 8).
+- :mod:`repro.webcom.stack` — stacked authorisation L0-L3 (Figure 10).
+- :mod:`repro.webcom.ide` — IDE interrogation and placement (Figure 11).
+"""
+
+from repro.webcom.engine import EvaluationMode, GraphEngine
+from repro.webcom.failover import MasterGroup
+from repro.webcom.graph import CondensedGraph, GraphNode
+from repro.webcom.ide import ComponentPalette, PlacementSpec, WebComIDE
+from repro.webcom.keycom import KeyComService, PolicyUpdateRequest
+from repro.webcom.network import Message, SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.secure import SecureWebComEnvironment
+from repro.webcom.stack import AuthorisationStack, Layer, MediationRequest
+from repro.webcom.workflow import WorkflowGuard, WorkflowPolicy
+
+__all__ = [
+    "AuthorisationStack",
+    "ComponentPalette",
+    "CondensedGraph",
+    "EvaluationMode",
+    "GraphEngine",
+    "GraphNode",
+    "KeyComService",
+    "Layer",
+    "MasterGroup",
+    "MediationRequest",
+    "Message",
+    "PlacementSpec",
+    "PolicyUpdateRequest",
+    "SecureWebComEnvironment",
+    "SimulatedNetwork",
+    "WebComClient",
+    "WebComIDE",
+    "WebComMaster",
+    "WorkflowGuard",
+    "WorkflowPolicy",
+]

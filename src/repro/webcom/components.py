@@ -1,0 +1,60 @@
+"""Bridging middleware components into WebCom client operations.
+
+A WebCom client's operation table usually holds plain callables; this module
+builds those callables from *middleware components*, so that executing a
+graph node actually invokes the middleware — and the middleware's own L1
+security mediation runs on the client, under the client's user identity.
+A denied invocation raises :class:`~repro.errors.AccessDeniedError`, which
+the client reports back to the master as a remote error (the master then
+tries the next authorised client, mirroring WebCom's fault handling).
+
+Operation names follow the IDE convention ``ObjectType.operation``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import AccessDeniedError
+from repro.middleware.base import Middleware
+
+#: implementation table: (object_type, operation) -> business logic
+Implementations = Mapping[tuple[str, str], Callable[..., Any]]
+
+
+def middleware_operations(middleware: Middleware, user: str,
+                          implementations: Implementations,
+                          ) -> dict[str, Callable[..., Any]]:
+    """Build a client operation table from middleware components.
+
+    :param middleware: the local middleware whose policy mediates calls.
+    :param user: the principal client-side executions run as.
+    :param implementations: business logic per (object_type, operation);
+        only pairs the middleware actually serves are exported.
+    :raises KeyError: if an implementation references an unknown component.
+    """
+    served = {(component.object_type, operation)
+              for component in middleware.components()
+              for operation in component.operations}
+    table: dict[str, Callable[..., Any]] = {}
+    for (object_type, operation), logic in implementations.items():
+        if (object_type, operation) not in served:
+            raise KeyError(
+                f"middleware {middleware.name!r} does not serve "
+                f"{object_type}.{operation}")
+        table[f"{object_type}.{operation}"] = _guarded(
+            middleware, user, object_type, operation, logic)
+    return table
+
+
+def _guarded(middleware: Middleware, user: str, object_type: str,
+             operation: str, logic: Callable[..., Any]) -> Callable[..., Any]:
+    def call(*args: Any) -> Any:
+        if not middleware.invoke(user, object_type, operation):
+            raise AccessDeniedError(
+                f"{middleware.name}: {user!r} may not {operation} "
+                f"on {object_type}")
+        return logic(*args)
+
+    call.__name__ = f"{object_type}.{operation}"
+    return call

@@ -1,0 +1,152 @@
+"""The condensed-graph execution engine.
+
+Implements Morrison's three firing disciplines [21]:
+
+- **availability-driven** (eager): every node whose operands are all present
+  fires;
+- **coercion-driven** (lazy): only nodes the exit transitively demands fire;
+- **control-driven**: like eager, but nodes fire one at a time in a
+  deterministic sequence (for components with side effects).
+
+Executing an operator is delegated to an *executor* callable — in plain use
+a local function table, in Secure WebCom the master's scheduler, which is how
+the security mediation gets between "fireable" and "fired".  Condensed nodes
+evaporate into a nested engine run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import GraphError, SchedulingError
+from repro.webcom.graph import CondensedGraph, GraphNode
+
+#: executor(node, args) -> result
+Executor = Callable[[GraphNode, tuple], Any]
+
+
+class EvaluationMode(enum.Enum):
+    """The firing discipline."""
+
+    AVAILABILITY = "availability"  # eager dataflow
+    COERCION = "coercion"          # lazy, demand-driven from the exit
+    CONTROL = "control"            # sequential, deterministic order
+
+
+@dataclass
+class ExecutionTrace:
+    """What an engine run did (for tests, benchmarks and the IDE)."""
+
+    fired: list[str] = field(default_factory=list)
+    results: dict[str, Any] = field(default_factory=dict)
+
+    def fired_count(self) -> int:
+        return len(self.fired)
+
+
+class GraphEngine:
+    """Executes one condensed graph to completion.
+
+    >>> g = CondensedGraph("inc")
+    >>> _ = g.add_node("n", operator="inc", arity=1)
+    >>> g.entry("x", "n", 0)
+    >>> g.set_exit("n")
+    >>> engine = GraphEngine(g, executor=lambda node, args: args[0] + 1)
+    >>> engine.run({"x": 41})
+    42
+    """
+
+    def __init__(self, graph: CondensedGraph, executor: Executor,
+                 mode: EvaluationMode = EvaluationMode.AVAILABILITY) -> None:
+        graph.validate()
+        self.graph = graph
+        self.executor = executor
+        self.mode = mode
+        self.trace = ExecutionTrace()
+
+    def run(self, inputs: Mapping[str, Any]) -> Any:
+        """Execute the graph on ``inputs`` and return the exit node's result.
+
+        :raises GraphError: if inputs don't match the declared entries, or
+            execution stalls before the exit fires.
+        """
+        declared = set(self.graph.entries)
+        provided = set(inputs)
+        if declared != provided:
+            raise GraphError(
+                f"graph {self.graph.name!r} expects inputs {sorted(declared)}, "
+                f"got {sorted(provided)}")
+
+        operands: dict[str, dict[int, Any]] = {
+            node_id: {} for node_id in self.graph.nodes}
+        for name, refs in self.graph.entries.items():
+            for ref in refs:
+                operands[ref.node_id][ref.port] = inputs[name]
+
+        fired: set[str] = set()
+        needed = (self.graph.needed_for_exit()
+                  if self.mode is EvaluationMode.COERCION
+                  else set(self.graph.nodes))
+        exit_id = self.graph.exit_node
+
+        while exit_id not in fired:
+            fireable = sorted(
+                node_id for node_id, node in self.graph.nodes.items()
+                if node_id not in fired
+                and node_id in needed
+                and len(operands[node_id]) == node.arity)
+            if not fireable:
+                stalled = sorted(set(needed) - fired)
+                raise GraphError(
+                    f"execution stalled; unfired needed nodes: {stalled}")
+            if self.mode is EvaluationMode.CONTROL:
+                fireable = fireable[:1]  # strictly one at a time
+            for node_id in fireable:
+                node = self.graph.node(node_id)
+                args = tuple(operands[node_id][port]
+                             for port in range(node.arity))
+                result = self._fire(node, args)
+                fired.add(node_id)
+                self.trace.fired.append(node_id)
+                self.trace.results[node_id] = result
+                for dest in node.destinations:
+                    operands[dest.node_id][dest.port] = result
+        return self.trace.results[exit_id]
+
+    def _fire(self, node: GraphNode, args: tuple) -> Any:
+        if node.is_condensed:
+            # Condensation: the node evaporates into a nested run.  The
+            # subgraph's entries bind positionally in sorted-name order.
+            subgraph: CondensedGraph = node.operator  # type: ignore[assignment]
+            names = sorted(subgraph.entries)
+            if len(names) != len(args):
+                raise GraphError(
+                    f"condensed node {node.node_id!r}: {len(args)} operands "
+                    f"for {len(names)} subgraph entries")
+            nested = GraphEngine(subgraph, self.executor, self.mode)
+            result = nested.run(dict(zip(names, args)))
+            self.trace.fired.extend(
+                f"{node.node_id}/{inner}" for inner in nested.trace.fired)
+            return result
+        return self.executor(node, args)
+
+
+def function_table_executor(table: Mapping[str, Callable[..., Any]],
+                            ) -> Executor:
+    """An executor backed by a local function table (no middleware).
+
+    :raises SchedulingError: at fire time for unknown operators.
+    """
+
+    def execute(node: GraphNode, args: tuple) -> Any:
+        operator = node.operator
+        assert isinstance(operator, str)
+        fn = table.get(operator)
+        if fn is None:
+            raise SchedulingError(f"no implementation for operator "
+                                  f"{operator!r} (node {node.node_id!r})")
+        return fn(*args)
+
+    return execute

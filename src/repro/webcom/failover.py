@@ -1,0 +1,75 @@
+"""Master failover.
+
+Secure WebCom is "a distributed secure and fault-tolerant architecture"; the
+client side of fault tolerance (rescheduling around crashed clients) lives in
+:class:`~repro.webcom.node.WebComMaster`.  This module adds the master side:
+a :class:`MasterGroup` of redundant masters that clients register with, where
+graph execution fails over to the next healthy master when the active one is
+unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SchedulingError, WebComError
+from repro.webcom.engine import EvaluationMode
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+
+
+class MasterGroup:
+    """An ordered group of redundant masters.
+
+    :param masters: priority order; the first healthy one is active.
+    :param network: used to detect crashed masters.
+    """
+
+    def __init__(self, masters: Sequence[WebComMaster],
+                 network: SimulatedNetwork) -> None:
+        if not masters:
+            raise WebComError("a master group needs at least one master")
+        self.masters = list(masters)
+        self.network = network
+        self.failovers: list[str] = []
+
+    def active_master(self) -> WebComMaster:
+        """The highest-priority master that is not crashed.
+
+        :raises WebComError: if every master is down.
+        """
+        for master in self.masters:
+            if not self.network.is_crashed(master.master_id):
+                return master
+        raise WebComError("no healthy master in the group")
+
+    def register_client(self, client: WebComClient) -> None:
+        """Register a client with *every* master so a standby already knows
+        the pool when it takes over."""
+        for master in self.masters:
+            client.register_with(master.master_id)
+        self.network.run_until_quiet()
+
+    def run_graph(self, graph: CondensedGraph, inputs: Mapping[str, Any],
+                  mode: EvaluationMode = EvaluationMode.AVAILABILITY) -> Any:
+        """Execute a graph, failing over to the next master on loss.
+
+        Re-execution restarts the graph from its inputs (operations are
+        assumed idempotent, as in WebCom's own re-scheduling model).
+
+        :raises SchedulingError: when no master can complete the graph.
+        """
+        last_error: Exception | None = None
+        for master in self.masters:
+            if self.network.is_crashed(master.master_id):
+                continue
+            try:
+                return master.run_graph(graph, inputs, mode)
+            except (SchedulingError, WebComError) as exc:
+                last_error = exc
+                self.failovers.append(master.master_id)
+                continue
+        raise SchedulingError(
+            f"graph {graph.name!r} failed on every master in the group"
+            ) from last_error

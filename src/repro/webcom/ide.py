@@ -1,0 +1,193 @@
+"""The WebCom IDE's security-aware development support (Section 6, Fig 11).
+
+"To incorporate the existing middleware components as part of a WebCom
+application, the middleware services need to be interrogated ... and make
+them available to application developers through the use of a component
+palette.  ...the middleware interrogation process also extracts security
+policy information related to the middleware components.  The IDE analyses
+the middleware component currently highlighted, and determines which
+combinations of domain, role and user is suitably authorised (holds
+permissions) to execute the selected component."
+
+The GUI is presentation; this module reproduces the computation: palette
+construction, per-component authorised-combination analysis, and placement
+specifications (full or partial) that the scheduler enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError, UnknownComponentError
+from repro.middleware.base import MiddlewareComponent
+from repro.middleware.registry import MiddlewareRegistry
+from repro.rbac.diff import merge_policies
+from repro.rbac.policy import RBACPolicy
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """A (domain, role[, user]) execution constraint for one graph node.
+
+    "A partial specification is also supported, for example, allowing the
+    programmer to specify a domain and role for a given component, in which
+    case it will be scheduled to any authorised user in the specified domain
+    and role."
+    """
+
+    domain: str
+    role: str
+    user: str | None = None
+
+    def is_partial(self) -> bool:
+        """True when the user is left to the scheduler."""
+        return self.user is None
+
+    def __str__(self) -> str:
+        user = self.user if self.user is not None else "*"
+        return f"{self.domain}/{self.role}:{user}"
+
+
+@dataclass(frozen=True)
+class AuthorisedCombination:
+    """One (domain, role, user, operation) tuple that may run a component."""
+
+    domain: str
+    role: str
+    user: str
+    operation: str
+
+
+@dataclass(frozen=True)
+class PaletteEntry:
+    """A palette item: a component plus its security analysis."""
+
+    component: MiddlewareComponent
+    combinations: tuple[AuthorisedCombination, ...]
+
+    def users(self) -> set[str]:
+        """Users that can execute the component at all."""
+        return {c.user for c in self.combinations}
+
+    def domain_roles(self) -> set[tuple[str, str]]:
+        """(domain, role) pairs holding any permission on the component."""
+        return {(c.domain, c.role) for c in self.combinations}
+
+
+class ComponentPalette:
+    """The palette shown in Figure 11, computed from interrogation."""
+
+    def __init__(self, entries: list[PaletteEntry]) -> None:
+        self._entries = {e.component.component_id: e for e in entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        for key in sorted(self._entries):
+            yield self._entries[key]
+
+    def entry(self, component_id: str) -> PaletteEntry:
+        """Look up a palette entry.
+
+        :raises UnknownComponentError: if absent.
+        """
+        try:
+            return self._entries[component_id]
+        except KeyError:
+            raise UnknownComponentError(
+                f"component {component_id!r} is not on the palette") from None
+
+
+class WebComIDE:
+    """Interrogation + analysis + placement validation."""
+
+    def __init__(self, registry: MiddlewareRegistry) -> None:
+        self.registry = registry
+
+    # -- interrogation ---------------------------------------------------------
+
+    def global_policy(self) -> RBACPolicy:
+        """The merged RBAC view of every middleware (comprehension)."""
+        merged, _conflicts = merge_policies(
+            "ide-global", self.registry.extract_all())
+        return merged
+
+    def interrogate(self) -> ComponentPalette:
+        """Build the component palette with security analysis."""
+        policy = self.global_policy()
+        entries = []
+        for component in self.registry.all_components():
+            entries.append(PaletteEntry(
+                component=component,
+                combinations=tuple(self._analyse(component, policy))))
+        return ComponentPalette(entries)
+
+    def _analyse(self, component: MiddlewareComponent,
+                 policy: RBACPolicy) -> list[AuthorisedCombination]:
+        combos: list[AuthorisedCombination] = []
+        for grant in policy.sorted_grants():
+            if grant.object_type != component.object_type:
+                continue
+            for user in sorted(policy.members_of(grant.domain, grant.role)):
+                combos.append(AuthorisedCombination(
+                    domain=grant.domain, role=grant.role, user=user,
+                    operation=grant.permission))
+        return combos
+
+    # -- placement -------------------------------------------------------------------
+
+    def valid_placements(self, component_id: str,
+                         operation: str | None = None) -> list[PlacementSpec]:
+        """Every full placement spec authorised for a component."""
+        entry = self.interrogate().entry(component_id)
+        specs = []
+        seen = set()
+        for combo in entry.combinations:
+            if operation is not None and combo.operation != operation:
+                continue
+            key = (combo.domain, combo.role, combo.user)
+            if key not in seen:
+                seen.add(key)
+                specs.append(PlacementSpec(domain=combo.domain,
+                                           role=combo.role, user=combo.user))
+        return specs
+
+    def check_placement(self, component_id: str, spec: PlacementSpec,
+                        operation: str | None = None) -> None:
+        """Validate a (possibly partial) placement against the analysis.
+
+        :raises SchedulingError: when no authorised combination matches.
+        """
+        entry = self.interrogate().entry(component_id)
+        for combo in entry.combinations:
+            if operation is not None and combo.operation != operation:
+                continue
+            if combo.domain != spec.domain or combo.role != spec.role:
+                continue
+            if spec.user is None or combo.user == spec.user:
+                return
+        raise SchedulingError(
+            f"no authorised combination matches placement {spec} for "
+            f"component {component_id!r}")
+
+    def resolve_user(self, component_id: str, spec: PlacementSpec,
+                     operation: str | None = None) -> str:
+        """Resolve a partial spec to a concrete authorised user
+        (deterministically the first in sorted order).
+
+        :raises SchedulingError: when nothing matches.
+        """
+        if spec.user is not None:
+            self.check_placement(component_id, spec, operation)
+            return spec.user
+        entry = self.interrogate().entry(component_id)
+        users = sorted(
+            combo.user for combo in entry.combinations
+            if combo.domain == spec.domain and combo.role == spec.role
+            and (operation is None or combo.operation == operation))
+        if not users:
+            raise SchedulingError(
+                f"no authorised user for placement {spec} on "
+                f"component {component_id!r}")
+        return users[0]

@@ -1,0 +1,100 @@
+"""The KeyCOM administration service (Figure 8).
+
+"On each WebCom environment a secure automated administration service accepts
+KeyNote credentials and updates the local middleware security policy
+configuration to reflect the authorisations granted by the credentials. ...
+The KeyCOM service of WebCom accepts a policy update request (plus KeyNote
+credentials) and if valid it updates the security policy in the COM Catalogue
+with the equivalent authorisation.  KeyCOM acts, in effect, as an automated
+Windows/COM administrator."
+
+The service holds the local trust root (the WebCom administration key's
+POLICY assertion).  A request asks to install a (user, domain, role)
+membership; the presented credentials must *prove* the membership — i.e. the
+compliance checker must authorise the user's key for the role's attributes —
+before the middleware store is touched.  This is how a user registered only
+in Domain B (Figure 8) gets integrated into Domain A's COM+ policy without a
+human administrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KeyComError
+from repro.keynote.api import KeyNoteSession
+from repro.keynote.credential import Credential
+from repro.middleware.base import Middleware
+from repro.rbac.model import Assignment
+from repro.translate.common import membership_attributes
+from repro.util.events import AuditLog
+
+
+@dataclass(frozen=True)
+class PolicyUpdateRequest:
+    """A decentralised policy update: install ``user`` into (domain, role).
+
+    :param user: the middleware-level user name to install.
+    :param user_key: the public key (name or encoded) proving the request.
+    :param domain: target RBAC domain (an NT domain for COM+).
+    :param role: target role.
+    :param credentials: the KeyNote credentials presented as proof.
+    """
+
+    user: str
+    user_key: str
+    domain: str
+    role: str
+    credentials: tuple[Credential, ...]
+
+
+class KeyComService:
+    """Accepts credential-backed policy update requests for one middleware.
+
+    :param middleware: the local store to administer (COM+ in the paper; any
+        :class:`~repro.middleware.base.Middleware` here).
+    :param session: the trust-management session holding the local POLICY
+        assertions (the root of what this environment accepts).
+    """
+
+    def __init__(self, middleware: Middleware, session: KeyNoteSession,
+                 audit: AuditLog | None = None) -> None:
+        self.middleware = middleware
+        self.session = session
+        self.audit = audit
+        self.processed: list[tuple[PolicyUpdateRequest, bool]] = []
+
+    def submit(self, request: PolicyUpdateRequest) -> bool:
+        """Validate and apply one update request.
+
+        Returns True if the middleware policy was updated.
+
+        :raises KeyComError: if the credentials do not authorise the
+            requested membership (invalid requests are *rejected*, not
+            silently dropped — the caller is a remote client).
+        """
+        attributes = membership_attributes(request.domain, request.role)
+        result = self.session.query(attributes, [request.user_key],
+                                    extra_credentials=list(request.credentials))
+        authorised = bool(result)
+        self.processed.append((request, authorised))
+        if self.audit is not None:
+            self.audit.record(
+                self.session.clock.now(), "keycom.update",
+                subject=request.user_key,
+                outcome="allow" if authorised else "deny",
+                user=request.user, domain=request.domain, role=request.role)
+        if not authorised:
+            raise KeyComError(
+                f"credentials do not authorise {request.user!r} for "
+                f"{request.domain}/{request.role}")
+        self.middleware.apply_assignment(Assignment(
+            user=request.user, domain=request.domain, role=request.role))
+        return True
+
+    def submit_quietly(self, request: PolicyUpdateRequest) -> bool:
+        """Like :meth:`submit` but returning False instead of raising."""
+        try:
+            return self.submit(request)
+        except KeyComError:
+            return False

@@ -1,0 +1,170 @@
+"""A deterministic simulated network.
+
+WebCom masters and clients exchange messages through this fabric.  Messages
+carry a simulated latency; delivery is in (arrival time, sequence) order, so
+runs are fully reproducible.  Faults: peers can crash (drop all traffic) and
+links can be partitioned.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import NetworkError
+from repro.util.clock import SimulatedClock
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Mapping[str, Any]
+    sent_at: float
+    arrives_at: float
+    seq: int
+
+    def __lt__(self, other: "Message") -> bool:
+        return (self.arrives_at, self.seq) < (other.arrives_at, other.seq)
+
+
+Handler = Callable[[Message], None]
+
+
+class SimulatedNetwork:
+    """Message fabric with latency, crashes and partitions."""
+
+    def __init__(self, clock: SimulatedClock | None = None,
+                 default_latency: float = 1.0) -> None:
+        self.clock = clock or SimulatedClock()
+        self.default_latency = default_latency
+        self._handlers: dict[str, Handler] = {}
+        self._queue: list[Message] = []
+        self._seq = 0
+        self._crashed: set[str] = set()
+        self._partitions: set[frozenset[str]] = set()
+        self._link_latency: dict[frozenset[str], float] = {}
+        self.delivered: list[Message] = []
+        self.dropped: list[Message] = []
+
+    # -- membership ---------------------------------------------------------
+
+    def attach(self, peer_id: str, handler: Handler) -> None:
+        """Register a peer and its message handler.
+
+        :raises NetworkError: for duplicate ids.
+        """
+        if peer_id in self._handlers:
+            raise NetworkError(f"peer {peer_id!r} already attached")
+        self._handlers[peer_id] = handler
+
+    def peers(self) -> frozenset[str]:
+        """Attached peer ids."""
+        return frozenset(self._handlers)
+
+    # -- faults -----------------------------------------------------------------
+
+    def crash(self, peer_id: str) -> None:
+        """Crash a peer: queued and future traffic to/from it is dropped."""
+        self._crashed.add(peer_id)
+
+    def recover(self, peer_id: str) -> None:
+        """Recover a crashed peer."""
+        self._crashed.discard(peer_id)
+
+    def is_crashed(self, peer_id: str) -> bool:
+        """True if the peer is currently down."""
+        return peer_id in self._crashed
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between two peers (both directions)."""
+        self._partitions.add(frozenset({a, b}))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore a cut link."""
+        self._partitions.discard(frozenset({a, b}))
+
+    def _link_down(self, a: str, b: str) -> bool:
+        return frozenset({a, b}) in self._partitions
+
+    def set_link_latency(self, a: str, b: str, latency: float) -> None:
+        """Override the latency of one (bidirectional) link.
+
+        :raises NetworkError: for negative latencies.
+        """
+        if latency < 0:
+            raise NetworkError("latency cannot be negative")
+        self._link_latency[frozenset({a, b})] = latency
+
+    def latency_between(self, a: str, b: str) -> float:
+        """The effective latency of a link."""
+        return self._link_latency.get(frozenset({a, b}),
+                                      self.default_latency)
+
+    # -- traffic ------------------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, kind: str,
+             payload: Mapping[str, Any] | None = None,
+             latency: float | None = None) -> Message:
+        """Enqueue a message (it is delivered by :meth:`step` /
+        :meth:`run_until_quiet`).
+
+        :raises NetworkError: for unknown peers.
+        """
+        if sender not in self._handlers:
+            raise NetworkError(f"unknown sender {sender!r}")
+        if recipient not in self._handlers:
+            raise NetworkError(f"unknown recipient {recipient!r}")
+        self._seq += 1
+        lat = (self.latency_between(sender, recipient)
+               if latency is None else latency)
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind,
+            payload=dict(payload or {}),
+            sent_at=self.clock.now(),
+            arrives_at=self.clock.now() + lat,
+            seq=self._seq)
+        heapq.heappush(self._queue, message)
+        return message
+
+    def pending(self) -> int:
+        """Messages still in flight."""
+        return len(self._queue)
+
+    def step(self) -> Message | None:
+        """Deliver the next message (advancing the clock to its arrival).
+
+        Returns the delivered message, or None if the queue is empty.
+        Messages to/from crashed peers or across partitions are dropped
+        (recorded in :attr:`dropped`).
+        """
+        while self._queue:
+            message = heapq.heappop(self._queue)
+            self.clock.advance_to(message.arrives_at)
+            if (message.sender in self._crashed
+                    or message.recipient in self._crashed
+                    or self._link_down(message.sender, message.recipient)):
+                self.dropped.append(message)
+                continue
+            self.delivered.append(message)
+            self._handlers[message.recipient](message)
+            return message
+        return None
+
+    def run_until_quiet(self, max_messages: int = 100_000) -> int:
+        """Deliver until the queue drains; returns messages delivered.
+
+        :raises NetworkError: if ``max_messages`` is exceeded (runaway
+            protocol loop).
+        """
+        count = 0
+        while self._queue:
+            if self.step() is not None:
+                count += 1
+            if count > max_messages:
+                raise NetworkError("message budget exceeded; protocol loop?")
+        return count

@@ -1,0 +1,263 @@
+"""WebCom masters and clients.
+
+The master coordinates condensed-graph execution: fireable nodes are
+scheduled to clients over the simulated network; clients execute the
+operation (a local function or a middleware component invocation) and return
+the result.  Authorisation hooks — the Figure 3 handshake — are injected by
+:mod:`repro.webcom.secure`; the base classes here run unsecured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import AuthorisationError, SchedulingError
+from repro.util.events import AuditLog
+from repro.webcom.engine import EvaluationMode, GraphEngine
+from repro.webcom.graph import CondensedGraph, GraphNode
+from repro.webcom.network import Message, SimulatedNetwork
+
+#: client-side operation implementation
+Operation = Callable[..., Any]
+
+
+@dataclass
+class ClientInfo:
+    """What the master knows about a registered client."""
+
+    client_id: str
+    key_name: str
+    operations: frozenset[str]
+    user: str
+    alive: bool = True
+    executed: int = 0
+
+
+class WebComClient:
+    """A WebCom client: executes operations scheduled to it.
+
+    :param client_id: network peer id.
+    :param network: the fabric to attach to.
+    :param operations: op name -> implementation.
+    :param key_name: the client's public-key name (used by Secure WebCom).
+    :param user: the principal client-side executions run as.
+    :param authoriser: optional hook ``(master_key, op, context) -> bool``;
+        refusing makes the client reply ``denied`` (the client-side TM check
+        of Figure 3).
+    """
+
+    def __init__(self, client_id: str, network: SimulatedNetwork,
+                 operations: Mapping[str, Operation],
+                 key_name: str = "", user: str = "",
+                 authoriser: "Callable[[str, str, Mapping], bool] | None" = None,
+                 audit: AuditLog | None = None) -> None:
+        self.client_id = client_id
+        self.network = network
+        self.operations = dict(operations)
+        self.key_name = key_name or f"K{client_id}"
+        self.user = user or client_id
+        self.authoriser = authoriser
+        self.audit = audit
+        self.executed: list[str] = []
+        network.attach(client_id, self._handle)
+
+    def register_with(self, master_id: str) -> None:
+        """Announce this client (and its capabilities) to a master."""
+        self.network.send(self.client_id, master_id, "register", {
+            "key_name": self.key_name,
+            "operations": sorted(self.operations),
+            "user": self.user,
+        })
+
+    def _handle(self, message: Message) -> None:
+        if message.kind != "execute":
+            return
+        request_id = message.payload["request_id"]
+        op = message.payload["op"]
+        args = tuple(message.payload["args"])
+        context = message.payload.get("context", {})
+        master_key = message.payload.get("master_key", "")
+        if self.authoriser is not None and not self.authoriser(
+                master_key, op, context):
+            self._audit("webcom.client.check", op, "deny")
+            self._reply(message.sender, request_id, status="denied")
+            return
+        self._audit("webcom.client.check", op, "allow")
+        fn = self.operations.get(op)
+        if fn is None:
+            self._reply(message.sender, request_id, status="unknown-op")
+            return
+        try:
+            value = fn(*args)
+        except Exception as exc:  # deliberate: remote errors must not kill
+            self._reply(message.sender, request_id, status="error",
+                        error=repr(exc))
+            return
+        self.executed.append(op)
+        self._reply(message.sender, request_id, status="ok", value=value)
+
+    def _reply(self, master_id: str, request_id: str, **payload: Any) -> None:
+        self.network.send(self.client_id, master_id, "result",
+                          {"request_id": request_id, **payload})
+
+    def _audit(self, category: str, op: str, outcome: str) -> None:
+        if self.audit is not None:
+            self.audit.record(self.network.clock.now(), category,
+                              subject=self.client_id, outcome=outcome, op=op)
+
+
+class WebComMaster:
+    """A WebCom master: schedules graph nodes to registered clients.
+
+    :param scheduler_filter: optional hook
+        ``(node, context, candidates) -> candidates`` applied before
+        selection — Secure WebCom's master-side TM check plugs in here.
+    """
+
+    #: placement orders: try candidates in sorted id order, spread load to
+    #: the least-busy client first, or rotate round-robin.
+    SELECTION_POLICIES = ("first", "least-loaded", "round-robin")
+
+    def __init__(self, master_id: str, network: SimulatedNetwork,
+                 key_name: str = "",
+                 scheduler_filter: "Callable[[GraphNode, Mapping, list[ClientInfo]], list[ClientInfo]] | None" = None,
+                 audit: AuditLog | None = None,
+                 max_attempts: int = 3,
+                 selection_policy: str = "first") -> None:
+        if selection_policy not in self.SELECTION_POLICIES:
+            raise SchedulingError(
+                f"unknown selection policy {selection_policy!r}; "
+                f"choose from {self.SELECTION_POLICIES}")
+        self.master_id = master_id
+        self.network = network
+        self.key_name = key_name or f"K{master_id}"
+        self.scheduler_filter = scheduler_filter
+        self.audit = audit
+        self.max_attempts = max_attempts
+        self.selection_policy = selection_policy
+        self.clients: dict[str, ClientInfo] = {}
+        self._results: dict[str, dict[str, Any]] = {}
+        self._request_seq = 0
+        self._rr_counter = 0
+        self.schedule_log: list[tuple[str, str]] = []  # (node_id, client_id)
+        network.attach(master_id, self._handle)
+
+    # -- message handling ------------------------------------------------------
+
+    def _handle(self, message: Message) -> None:
+        if message.kind == "register":
+            payload = message.payload
+            self.clients[message.sender] = ClientInfo(
+                client_id=message.sender,
+                key_name=payload["key_name"],
+                operations=frozenset(payload["operations"]),
+                user=payload["user"])
+        elif message.kind == "result":
+            self._results[message.payload["request_id"]] = dict(message.payload)
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def eligible_clients(self, op: str) -> list[ClientInfo]:
+        """Alive clients advertising ``op``, deterministic order."""
+        return [info for _cid, info in sorted(self.clients.items())
+                if info.alive and op in info.operations]
+
+    def _next_request_id(self) -> str:
+        self._request_seq += 1
+        return f"{self.master_id}-req-{self._request_seq}"
+
+    def execute_remote(self, node: GraphNode, args: tuple,
+                       context: Mapping[str, Any] | None = None) -> Any:
+        """Schedule one operation, with fault-tolerant rescheduling.
+
+        Tries eligible clients in order (skipping ones that fail or are
+        partitioned) up to ``max_attempts`` placements.
+
+        :raises SchedulingError: when no client can run the operation.
+        :raises AuthorisationError: when a client refuses the request.
+        """
+        op = node.operator_name
+        context = dict(context or {})
+        candidates = self.eligible_clients(op)
+        if self.scheduler_filter is not None:
+            candidates = self.scheduler_filter(node, context, candidates)
+        candidates = self._order_candidates(candidates)
+        if not candidates:
+            self._audit("webcom.schedule", node.node_id, "no-candidate", op=op)
+            raise SchedulingError(
+                f"no authorised client for operation {op!r} "
+                f"(node {node.node_id!r})")
+        attempts = 0
+        last_denied = False
+        for info in candidates:
+            if attempts >= self.max_attempts:
+                break
+            attempts += 1
+            request_id = self._next_request_id()
+            self.network.send(self.master_id, info.client_id, "execute", {
+                "request_id": request_id,
+                "op": op,
+                "args": list(args),
+                "context": context,
+                "master_key": self.key_name,
+            })
+            self.network.run_until_quiet()
+            result = self._results.pop(request_id, None)
+            if result is None:
+                # Lost to a crash or partition: mark dead, try the next.
+                info.alive = False
+                self._audit("webcom.schedule", node.node_id, "lost",
+                            client=info.client_id, op=op)
+                continue
+            if result["status"] == "denied":
+                last_denied = True
+                self._audit("webcom.schedule", node.node_id, "denied",
+                            client=info.client_id, op=op)
+                continue
+            if result["status"] != "ok":
+                self._audit("webcom.schedule", node.node_id, "error",
+                            client=info.client_id, op=op,
+                            error=result.get("error", result["status"]))
+                continue
+            info.executed += 1
+            self.schedule_log.append((node.node_id, info.client_id))
+            self._audit("webcom.schedule", node.node_id, "ok",
+                        client=info.client_id, op=op)
+            return result["value"]
+        if last_denied:
+            raise AuthorisationError(
+                f"every candidate client refused operation {op!r}")
+        raise SchedulingError(
+            f"operation {op!r} failed on all candidate clients")
+
+    def run_graph(self, graph: CondensedGraph, inputs: Mapping[str, Any],
+                  mode: EvaluationMode = EvaluationMode.AVAILABILITY) -> Any:
+        """Execute a condensed graph across the client pool."""
+
+        def executor(node: GraphNode, args: tuple) -> Any:
+            context = {"args": args}
+            if node.placement is not None:
+                context["placement"] = node.placement
+            return self.execute_remote(node, args, context)
+
+        return GraphEngine(graph, executor, mode).run(inputs)
+
+    def _order_candidates(self,
+                          candidates: list[ClientInfo]) -> list[ClientInfo]:
+        """Apply the configured selection policy to the surviving
+        candidates."""
+        if self.selection_policy == "least-loaded":
+            return sorted(candidates,
+                          key=lambda info: (info.executed, info.client_id))
+        if self.selection_policy == "round-robin" and candidates:
+            self._rr_counter += 1
+            offset = self._rr_counter % len(candidates)
+            return candidates[offset:] + candidates[:offset]
+        return candidates  # "first": already in sorted id order
+
+    def _audit(self, category: str, subject: str, outcome: str,
+               **detail: Any) -> None:
+        if self.audit is not None:
+            self.audit.record(self.network.clock.now(), category, subject,
+                              outcome, **detail)

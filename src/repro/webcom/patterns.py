@@ -1,0 +1,94 @@
+"""Reusable condensed-graph builders.
+
+The WebCom IDE lets developers compose applications from standard dataflow
+shapes; these constructors build the common ones programmatically (pipeline,
+fan-out/fan-in, map-reduce) with validated wiring.  The benchmark suite uses
+them as workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.webcom.graph import CondensedGraph
+
+
+def pipeline(name: str, operators: Sequence[str],
+             entry_name: str = "x") -> CondensedGraph:
+    """A linear chain: each stage feeds the next.
+
+    :raises GraphError: for an empty stage list.
+    """
+    if not operators:
+        raise GraphError("a pipeline needs at least one stage")
+    graph = CondensedGraph(name)
+    previous = None
+    for i, operator in enumerate(operators):
+        node_id = f"stage{i:03d}"
+        graph.add_node(node_id, operator=operator, arity=1)
+        if previous is None:
+            graph.entry(entry_name, node_id, 0)
+        else:
+            graph.connect(previous, node_id, 0)
+        previous = node_id
+    graph.set_exit(previous)
+    return graph
+
+
+def fan_out_in(name: str, worker_op: str, join_op: str, width: int,
+               entry_name: str = "x") -> CondensedGraph:
+    """``width`` parallel workers over the same input, joined by one node.
+
+    :raises GraphError: for width < 1.
+    """
+    if width < 1:
+        raise GraphError("fan-out width must be at least 1")
+    graph = CondensedGraph(name)
+    graph.add_node("join", operator=join_op, arity=width)
+    for i in range(width):
+        node_id = f"worker{i:03d}"
+        graph.add_node(node_id, operator=worker_op, arity=1)
+        graph.entry(entry_name, node_id, 0)
+        graph.connect(node_id, "join", i)
+    graph.set_exit("join")
+    return graph
+
+
+def map_reduce(name: str, map_op: str, reduce_op: str,
+               partitions: int) -> CondensedGraph:
+    """One mapper per partition (each with its own entry), one reducer.
+
+    Entries are named ``part000``, ``part001``, ... so callers provide one
+    input per partition.
+
+    :raises GraphError: for partitions < 1.
+    """
+    if partitions < 1:
+        raise GraphError("map-reduce needs at least one partition")
+    graph = CondensedGraph(name)
+    graph.add_node("reduce", operator=reduce_op, arity=partitions)
+    for i in range(partitions):
+        node_id = f"map{i:03d}"
+        graph.add_node(node_id, operator=map_op, arity=1)
+        graph.entry(f"part{i:03d}", node_id, 0)
+        graph.connect(node_id, "reduce", i)
+    graph.set_exit("reduce")
+    return graph
+
+
+def diamond(name: str, split_op: str, left_op: str, right_op: str,
+            join_op: str, entry_name: str = "x") -> CondensedGraph:
+    """The classic diamond: split feeding two branches that re-join."""
+    graph = CondensedGraph(name)
+    graph.add_node("split", operator=split_op, arity=1)
+    graph.add_node("left", operator=left_op, arity=1)
+    graph.add_node("right", operator=right_op, arity=1)
+    graph.add_node("join", operator=join_op, arity=2)
+    graph.entry(entry_name, "split", 0)
+    graph.connect("split", "left", 0)
+    graph.connect("split", "right", 0)
+    graph.connect("left", "join", 0)
+    graph.connect("right", "join", 1)
+    graph.set_exit("join")
+    return graph

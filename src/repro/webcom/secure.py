@@ -1,0 +1,151 @@
+"""Secure WebCom: the Figure-3 architecture.
+
+"The WebCom master authenticates its clients and uses their credentials to
+determine what operations it may schedule to them.  Each WebCom client has a
+trust management architecture ... authenticating the master and using the
+master's credentials to determine whether it is authorised to schedule the
+operation."
+
+:class:`SecureWebComEnvironment` owns the keystore (the "System PKI" box),
+one KeyNote session for the master side and one per client, and builds the
+hooks the plain master/client classes accept:
+
+- the master's *scheduler filter* keeps only candidate clients whose keys
+  the master's trust-management state authorises for the operation (and the
+  IDE placement, if any);
+- each client's *authoriser* admits only masters its own policy trusts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.crypto.keystore import Keystore
+from repro.keynote.api import KeyNoteSession
+from repro.translate.common import (
+    ATTR_APP_DOMAIN,
+    ATTR_DOMAIN,
+    ATTR_ROLE,
+    WEBCOM_APP_DOMAIN,
+)
+from repro.util.clock import SimulatedClock
+from repro.util.events import AuditLog
+from repro.webcom.graph import GraphNode
+from repro.webcom.node import ClientInfo
+
+ATTR_OPERATION = "op"
+
+
+class SecureWebComEnvironment:
+    """Keys, trust-management sessions and mediation hooks for one WebCom
+    deployment."""
+
+    def __init__(self, audit: AuditLog | None = None,
+                 clock: SimulatedClock | None = None) -> None:
+        self.keystore = Keystore()
+        self.audit = audit or AuditLog()
+        self.clock = clock or SimulatedClock()
+        self.master_session = KeyNoteSession(
+            keystore=self.keystore, audit=self.audit, clock=self.clock)
+        self._client_sessions: dict[str, KeyNoteSession] = {}
+
+    # -- key management -------------------------------------------------------
+
+    def create_key(self, name: str) -> str:
+        """Create (or fetch) a named key; returns the name."""
+        self.keystore.create(name)
+        return name
+
+    # -- sessions ------------------------------------------------------------------
+
+    def client_session(self, client_id: str) -> KeyNoteSession:
+        """The (lazily created) trust-management session of one client."""
+        if client_id not in self._client_sessions:
+            self._client_sessions[client_id] = KeyNoteSession(
+                keystore=self.keystore, audit=self.audit, clock=self.clock)
+        return self._client_sessions[client_id]
+
+    # -- policy helpers ----------------------------------------------------------------
+
+    def trust_clients_for_operations(self, client_keys: list[str],
+                                     operations: list[str]) -> None:
+        """Master-side policy: the listed client keys may be scheduled the
+        listed operations."""
+        keys = " || ".join(f'"{k}"' for k in sorted(client_keys))
+        ops = " || ".join(f'{ATTR_OPERATION}=="{op}"'
+                          for op in sorted(operations))
+        self.master_session.add_policy(
+            f"Authorizer: POLICY\n"
+            f"Licensees: {keys}\n"
+            f"Conditions: {ATTR_APP_DOMAIN}==\"{WEBCOM_APP_DOMAIN}\" "
+            f"&& ({ops});")
+
+    def client_trusts_master(self, client_id: str, master_key: str,
+                             operations: "list[str] | None" = None) -> None:
+        """Client-side policy: this client accepts scheduling requests from
+        ``master_key`` (optionally only for some operations)."""
+        conditions = f'{ATTR_APP_DOMAIN}=="{WEBCOM_APP_DOMAIN}"'
+        if operations:
+            ops = " || ".join(f'{ATTR_OPERATION}=="{op}"'
+                              for op in sorted(operations))
+            conditions += f" && ({ops})"
+        self.client_session(client_id).add_policy(
+            f"Authorizer: POLICY\n"
+            f"Licensees: \"{master_key}\"\n"
+            f"Conditions: {conditions};")
+
+    # -- mediation hooks -------------------------------------------------------------------
+
+    def master_filter(self, attribute_extractor=None):
+        """The master's scheduler filter: TM check per candidate client.
+
+        When the node carries a :class:`~repro.webcom.ide.PlacementSpec`, the
+        query also asserts the placement's Domain/Role (so only clients whose
+        keys hold the role membership survive) and, when the spec names a
+        user, candidates running as other users are excluded.
+
+        :param attribute_extractor: optional hook ``(node, context) -> dict``
+            contributing extra action attributes — this implements the
+            paper's stated future work of mediating on "the environment of
+            the component, its inputs, and so forth".  Extracted attributes
+            cannot override the built-in ones (op/app_domain/placement).
+        """
+
+        def filter_(node: GraphNode, context: Mapping,
+                    candidates: list[ClientInfo]) -> list[ClientInfo]:
+            placement = context.get("placement")
+            authorised: list[ClientInfo] = []
+            for info in candidates:
+                if placement is not None:
+                    user = getattr(placement, "user", None)
+                    if user is not None and info.user != user:
+                        continue
+                attributes = {}
+                if attribute_extractor is not None:
+                    attributes.update(attribute_extractor(node, context))
+                attributes[ATTR_APP_DOMAIN] = WEBCOM_APP_DOMAIN
+                attributes[ATTR_OPERATION] = node.operator_name
+                if placement is not None:
+                    attributes[ATTR_DOMAIN] = placement.domain
+                    attributes[ATTR_ROLE] = placement.role
+                if self.master_session.query(attributes, [info.key_name]):
+                    authorised.append(info)
+            return authorised
+
+        return filter_
+
+    def client_authoriser(self, client_id: str):
+        """The client's authoriser: TM check on the requesting master."""
+
+        session = self.client_session(client_id)
+
+        def authorise(master_key: str, op: str, _context: Mapping) -> bool:
+            if not master_key:
+                return False
+            attributes = {
+                ATTR_APP_DOMAIN: WEBCOM_APP_DOMAIN,
+                ATTR_OPERATION: op,
+            }
+            return bool(session.query(attributes, [master_key]))
+
+        return authorise

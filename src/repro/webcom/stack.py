@@ -1,0 +1,206 @@
+"""Stacked authorisation (Section 5, Figure 10).
+
+The WebCom security architecture is a stack of pluggable mediation layers::
+
+    L3  Application security   (workflow rules encoded in the graph)
+    L2  Trust management       (KeyNote / SPKI)
+    L1  Middleware security    (CORBA / EJB / COM+)
+    L0  OS security            (Unix / Windows)
+
+"These stacked layers of secure WebCom are 'pluggable' ...; for example, in
+the absence of CORBASec support for a particular ORB, a WebCom environment
+could be configured so that authorisation is based only on a combination of
+KeyNote (trust management) and underlying operating system policy."
+
+A request is authorised when **every configured layer** allows it; absent
+layers are skipped.  Each layer sees the request through its own lens (OS
+object access, middleware invocation, TM query, application predicate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import AuthorisationError
+from repro.keynote.api import KeyNoteSession
+from repro.middleware.base import Invocation, Middleware
+from repro.os_sec.base import OperatingSystemSecurity
+from repro.util.events import AuditLog
+
+
+class Layer(enum.IntEnum):
+    """The four layers of Figure 10."""
+
+    OS = 0
+    MIDDLEWARE = 1
+    TRUST_MANAGEMENT = 2
+    APPLICATION = 3
+
+
+@dataclass(frozen=True)
+class MediationRequest:
+    """One request as seen by the whole stack.
+
+    :param user: OS/middleware-level principal.
+    :param user_key: trust-management principal (public key name).
+    :param object_type: middleware object type / RBAC object type.
+    :param operation: operation / permission requested.
+    :param os_object: the OS-level object the operation touches (optional;
+        defaults to the object type).
+    :param os_access: the OS access kind implied (default "read").
+    :param attributes: extra TM action attributes.
+    """
+
+    user: str
+    user_key: str
+    object_type: str
+    operation: str
+    os_object: str = ""
+    os_access: str = "read"
+    attributes: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LayerDecision:
+    """One layer's verdict."""
+
+    layer: Layer
+    allowed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class StackDecision:
+    """The stack's combined verdict with the per-layer trace."""
+
+    allowed: bool
+    decisions: tuple[LayerDecision, ...]
+
+    def layer(self, layer: Layer) -> LayerDecision | None:
+        """The verdict of one layer, or None if it was not configured."""
+        for decision in self.decisions:
+            if decision.layer == layer:
+                return decision
+        return None
+
+    def deciding_layer(self) -> Layer | None:
+        """The first layer that denied (None when allowed)."""
+        for decision in self.decisions:
+            if not decision.allowed:
+                return decision.layer
+        return None
+
+
+#: application-layer predicate (L3): request -> allowed
+AppPredicate = Callable[[MediationRequest], bool]
+
+
+class AuthorisationStack:
+    """A configurable stack of mediation layers.
+
+    Layers are plugged with :meth:`plug_os`, :meth:`plug_middleware`,
+    :meth:`plug_trust_management` and :meth:`plug_application`; any subset
+    may be present.  Mediation is top-down (L3 → L0), matching the paper's
+    stack diagram: higher layers can veto before lower layers are consulted,
+    and the decision trace records the order.
+    """
+
+    def __init__(self, audit: AuditLog | None = None,
+                 require_some_layer: bool = True) -> None:
+        self.audit = audit
+        self.require_some_layer = require_some_layer
+        self._os: OperatingSystemSecurity | None = None
+        self._middleware: Middleware | None = None
+        self._tm: KeyNoteSession | None = None
+        self._app: AppPredicate | None = None
+
+    # -- plugging -------------------------------------------------------------
+
+    def plug_os(self, os_security: OperatingSystemSecurity) -> "AuthorisationStack":
+        """Configure L0."""
+        self._os = os_security
+        return self
+
+    def plug_middleware(self, middleware: Middleware) -> "AuthorisationStack":
+        """Configure L1."""
+        self._middleware = middleware
+        return self
+
+    def plug_trust_management(self, session: KeyNoteSession,
+                              ) -> "AuthorisationStack":
+        """Configure L2."""
+        self._tm = session
+        return self
+
+    def plug_application(self, predicate: AppPredicate) -> "AuthorisationStack":
+        """Configure L3."""
+        self._app = predicate
+        return self
+
+    def configured_layers(self) -> tuple[Layer, ...]:
+        """Which layers are present, lowest first."""
+        layers = []
+        if self._os is not None:
+            layers.append(Layer.OS)
+        if self._middleware is not None:
+            layers.append(Layer.MIDDLEWARE)
+        if self._tm is not None:
+            layers.append(Layer.TRUST_MANAGEMENT)
+        if self._app is not None:
+            layers.append(Layer.APPLICATION)
+        return tuple(layers)
+
+    # -- mediation -----------------------------------------------------------------
+
+    def mediate(self, request: MediationRequest) -> StackDecision:
+        """Run the request down the stack.
+
+        :raises AuthorisationError: if no layer is configured and
+            ``require_some_layer`` is set (an empty stack silently allowing
+            everything is almost certainly a misconfiguration).
+        """
+        if self.require_some_layer and not self.configured_layers():
+            raise AuthorisationError("no mediation layer is configured")
+        decisions: list[LayerDecision] = []
+        allowed = True
+
+        def note(layer: Layer, ok: bool, detail: str) -> bool:
+            decisions.append(LayerDecision(layer, ok, detail))
+            return ok
+
+        if self._app is not None:
+            allowed = note(Layer.APPLICATION, self._app(request),
+                           "application predicate")
+        if allowed and self._tm is not None:
+            attributes = dict(request.attributes)
+            attributes.setdefault("op", request.operation)
+            result = self._tm.query(attributes, [request.user_key])
+            allowed = note(Layer.TRUST_MANAGEMENT, bool(result),
+                           f"compliance={result.compliance_value}")
+        if allowed and self._middleware is not None:
+            ok = self._middleware.check_invocation(Invocation(
+                user=request.user, object_type=request.object_type,
+                operation=request.operation))
+            allowed = note(Layer.MIDDLEWARE, ok,
+                           f"middleware={self._middleware.name}")
+        if allowed and self._os is not None:
+            os_object = request.os_object or request.object_type
+            ok = self._os.check(request.user, os_object, request.os_access)
+            allowed = note(Layer.OS, ok, f"os={self._os.platform}")
+
+        decision = StackDecision(allowed=allowed, decisions=tuple(decisions))
+        if self.audit is not None:
+            self.audit.record(
+                0.0, "stack.mediate", subject=request.user,
+                outcome="allow" if allowed else "deny",
+                operation=request.operation,
+                layers=[d.layer.name for d in decisions],
+                denied_by=(decision.deciding_layer().name
+                           if decision.deciding_layer() is not None else None))
+        return decision
+
+    def check(self, request: MediationRequest) -> bool:
+        """Boolean convenience over :meth:`mediate`."""
+        return self.mediate(request).allowed

@@ -1,0 +1,207 @@
+"""Application-level workflow security — the L3 layer of Figure 10.
+
+"Note that the Level 3 security corresponds to mechanisms encoded within the
+condensed graph that is used to coordinate the application components.  It is
+used to implement application level workflow security, for example [12]."
+
+The paper defers L3 to [12] (Foley & Morrison, *Computational paradigms and
+protection*); this module implements its core mechanism: security constraints
+attached to the condensed graph itself and enforced by the scheduler —
+
+- **separation of duty**: two graph nodes must not execute under the same
+  user (the classic initiate/approve split);
+- **binding of duty**: a set of nodes must all execute under the same user;
+- **node restrictions**: a node may only run as one of an allowed user set.
+
+A :class:`WorkflowPolicy` compiles into a scheduler filter that composes with
+Secure WebCom's trust-management filter, so L3 and L2 mediate together just
+as the stack diagram shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import AuthorisationError
+from repro.webcom.graph import GraphNode
+from repro.webcom.node import ClientInfo
+
+SchedulerFilter = Callable[[GraphNode, Mapping, list], list]
+
+
+@dataclass(frozen=True)
+class SeparationOfDuty:
+    """No two of ``nodes`` may execute under the same user."""
+
+    name: str
+    nodes: frozenset[str]
+
+    def permits(self, node_id: str, user: str,
+                history: Mapping[str, str]) -> bool:
+        if node_id not in self.nodes:
+            return True
+        return all(history.get(other) != user
+                   for other in self.nodes if other != node_id)
+
+
+@dataclass(frozen=True)
+class BindingOfDuty:
+    """All of ``nodes`` must execute under the same user."""
+
+    name: str
+    nodes: frozenset[str]
+
+    def permits(self, node_id: str, user: str,
+                history: Mapping[str, str]) -> bool:
+        if node_id not in self.nodes:
+            return True
+        return all(history[other] == user
+                   for other in self.nodes if other in history)
+
+
+@dataclass(frozen=True)
+class UserRestriction:
+    """``node`` may only execute as one of ``allowed_users``."""
+
+    name: str
+    node: str
+    allowed_users: frozenset[str]
+
+    def permits(self, node_id: str, user: str,
+                _history: Mapping[str, str]) -> bool:
+        if node_id != self.node:
+            return True
+        return user in self.allowed_users
+
+
+Constraint = "SeparationOfDuty | BindingOfDuty | UserRestriction"
+
+
+@dataclass
+class WorkflowPolicy:
+    """The L3 policy: constraints encoded alongside the condensed graph."""
+
+    constraints: list = field(default_factory=list)
+
+    def separate(self, name: str, *nodes: str) -> "WorkflowPolicy":
+        """Add a separation-of-duty constraint over ``nodes``."""
+        if len(nodes) < 2:
+            raise ValueError("separation of duty needs at least two nodes")
+        self.constraints.append(SeparationOfDuty(name, frozenset(nodes)))
+        return self
+
+    def bind(self, name: str, *nodes: str) -> "WorkflowPolicy":
+        """Add a binding-of-duty constraint over ``nodes``."""
+        if len(nodes) < 2:
+            raise ValueError("binding of duty needs at least two nodes")
+        self.constraints.append(BindingOfDuty(name, frozenset(nodes)))
+        return self
+
+    def restrict(self, name: str, node: str,
+                 *allowed_users: str) -> "WorkflowPolicy":
+        """Restrict ``node`` to the given users."""
+        if not allowed_users:
+            raise ValueError("a user restriction needs at least one user")
+        self.constraints.append(
+            UserRestriction(name, node, frozenset(allowed_users)))
+        return self
+
+    def permits(self, node_id: str, user: str,
+                history: Mapping[str, str]) -> bool:
+        """Would executing ``node_id`` as ``user`` satisfy every
+        constraint, given the users who executed earlier nodes?"""
+        return all(c.permits(node_id, user, history)
+                   for c in self.constraints)
+
+    def violations(self, history: Mapping[str, str]) -> list[str]:
+        """Constraint names violated by a *complete* execution history."""
+        violated = []
+        for constraint in self.constraints:
+            for node_id, user in history.items():
+                others = {k: v for k, v in history.items() if k != node_id}
+                if not constraint.permits(node_id, user, others):
+                    violated.append(constraint.name)
+                    break
+        return violated
+
+
+class WorkflowGuard:
+    """Compiles a :class:`WorkflowPolicy` into scheduler machinery.
+
+    Use :meth:`filter` as (part of) the master's ``scheduler_filter`` and
+    :meth:`record` after each placement; :meth:`verify` re-checks the whole
+    history at the end (defence in depth against filter bypasses).
+    """
+
+    def __init__(self, policy: WorkflowPolicy) -> None:
+        self.policy = policy
+        self.history: dict[str, str] = {}
+
+    def filter(self, node: GraphNode, _context: Mapping,
+               candidates: list[ClientInfo]) -> list[ClientInfo]:
+        """Keep only candidates whose user satisfies the L3 constraints."""
+        return [info for info in candidates
+                if self.policy.permits(node.node_id, info.user, self.history)]
+
+    def record(self, node_id: str, user: str) -> None:
+        """Record who executed a node (call from the schedule log)."""
+        self.history[node_id] = user
+
+    def verify(self) -> None:
+        """Check the completed history.
+
+        :raises AuthorisationError: if any constraint was violated.
+        """
+        violated = self.policy.violations(self.history)
+        if violated:
+            raise AuthorisationError(
+                f"workflow constraints violated: {violated}")
+
+    def reset(self) -> None:
+        """Clear the history for a fresh run."""
+        self.history.clear()
+
+
+def compose_filters(*filters: SchedulerFilter) -> SchedulerFilter:
+    """Chain scheduler filters: each narrows the previous one's survivors —
+    this is how L3 (workflow) composes with L2 (trust management)."""
+
+    def combined(node: GraphNode, context: Mapping,
+                 candidates: list) -> list:
+        for fltr in filters:
+            candidates = fltr(node, context, candidates)
+            if not candidates:
+                break
+        return candidates
+
+    return combined
+
+
+def run_guarded(master, guard: WorkflowGuard, graph, inputs,
+                client_users: Mapping[str, str] | None = None):
+    """Run a graph with L3 recording + final verification.
+
+    :param client_users: client id -> user override; defaults to the users
+        the master learned at registration.
+    """
+    users = dict(client_users or
+                 {cid: info.user for cid, info in master.clients.items()})
+    before = len(master.schedule_log)
+
+    original_execute = master.execute_remote
+
+    def recording_execute(node, args, context=None):
+        result = original_execute(node, args, context)
+        node_id, client_id = master.schedule_log[-1]
+        guard.record(node_id, users.get(client_id, client_id))
+        return result
+
+    master.execute_remote = recording_execute
+    try:
+        result = master.run_graph(graph, inputs)
+    finally:
+        master.execute_remote = original_execute
+    assert len(master.schedule_log) > before
+    guard.verify()
+    return result

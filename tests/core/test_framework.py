@@ -1,0 +1,235 @@
+"""Tests for the framework facade and its five policy services."""
+
+import pytest
+
+from repro.core.framework import HeterogeneousSecurityFramework
+from repro.core.scenarios import salaries_policy
+from repro.errors import KeyComError
+from repro.middleware.complus import COM_PERMISSIONS, ComPlusCatalogue
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.diff import PolicyDelta
+from repro.rbac.model import Assignment, Grant
+from repro.translate.migrate import DomainMapping
+from repro.webcom.keycom import PolicyUpdateRequest
+
+
+@pytest.fixture
+def framework() -> HeterogeneousSecurityFramework:
+    return HeterogeneousSecurityFramework()
+
+
+@pytest.fixture
+def ejb() -> EJBServer:
+    return EJBServer(host="hostx", server_name="ejb1")
+
+
+EJB_DOMAIN = "hostx:ejb1/Payroll"
+
+
+def ejb_policy():
+    """The salaries policy addressed to the EJB server's domain scheme."""
+    source = salaries_policy()
+    remapped = type(source)("ejb-salaries")
+    for grant in source.grants:
+        remapped.grant(EJB_DOMAIN, grant.role, grant.object_type,
+                       grant.permission)
+    for assignment in source.assignments:
+        remapped.assign(assignment.user, EJB_DOMAIN, assignment.role)
+    return remapped
+
+
+class TestConfiguration:
+    def test_configure_pushes_to_middleware(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        report = framework.configure(ejb_policy())
+        assert report.is_consistent()
+        assert ejb.invoke("Alice", "SalariesDB", "write")
+        assert not ejb.invoke("Alice", "SalariesDB", "read")
+        assert ejb.invoke("Bob", "SalariesDB", "read")
+
+    def test_configure_issues_credentials(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        # Memberships became KeyNote credentials automatically.
+        assert framework.delegation.holds_role("Kalice", EJB_DOMAIN, "Clerk")
+        assert not framework.delegation.holds_role("Kalice", EJB_DOMAIN,
+                                                   "Manager")
+
+
+class TestComprehension:
+    def test_comprehend_middleware_policies(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        result = framework.comprehend()
+        assert result.policy == ejb_policy()
+        assert result.conflicts == ()
+        assert result.policy_credential.is_policy
+        assert len(result.membership_credentials) == 5
+
+    def test_comprehension_round_trip(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        result = framework.comprehend()
+        recovered = framework.comprehend_from_credentials(
+            [result.policy_credential, *result.membership_credentials])
+        assert recovered == result.policy
+
+
+class TestMigration:
+    def test_migrate_between_registered_middleware(self, framework, ejb):
+        windows = WindowsSecurity()
+        com = ComPlusCatalogue("machine-z", windows)
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.register_middleware(com, {"Finance", "Sales"})
+        framework.configure(ejb_policy())
+        report = framework.migrate(
+            ejb.name, com.name,
+            DomainMapping.to_single("Finance"),
+            target_permissions=COM_PERMISSIONS)
+        assert report.migrated_grants > 0
+        assert com.invoke("Finance\\Alice", "SalariesDB", "Access")
+
+
+class TestMaintenance:
+    def test_apply_change_propagates_and_reissues_credentials(self, framework,
+                                                              ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        delta = PolicyDelta(added_assignments=frozenset(
+            {Assignment("Fred", EJB_DOMAIN, "Manager")}))
+        report = framework.apply_change(delta)
+        assert report.is_consistent()
+        assert ejb.invoke("Fred", "SalariesDB", "read")
+        assert framework.delegation.holds_role("Kfred", EJB_DOMAIN, "Manager")
+
+    def test_consistency_detects_out_of_band_change(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        # Someone edits the middleware policy behind the framework's back.
+        ejb.unassign_role("Payroll", "Clerk", "Alice")
+        report = framework.check_consistency()
+        assert not report.is_consistent()
+        assert ejb.name in report.inconsistent_systems()
+
+
+class TestDecentralisation:
+    def test_delegation_chain(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        # Claire delegates her Manager role to Fred — but Claire holds
+        # Sales... here EJB_DOMAIN/Manager is held by Bob; use Bob.
+        framework.delegation.delegate_role("Kbob", "Kfred", EJB_DOMAIN,
+                                           "Manager")
+        assert framework.delegation.holds_role("Kfred", EJB_DOMAIN, "Manager")
+
+    def test_delegation_of_unheld_role_ineffective(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        # Dave (Assistant) delegates Manager: the chain must not grant it.
+        framework.delegation.delegate_role("Kdave", "Kfred", EJB_DOMAIN,
+                                           "Manager")
+        assert not framework.delegation.holds_role("Kfred", EJB_DOMAIN,
+                                                   "Manager")
+
+    def test_keycom_round_trip(self, framework, ejb):
+        service = framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        credential = framework.delegation.grant_role("Kfred", EJB_DOMAIN,
+                                                     "Clerk")
+        request = PolicyUpdateRequest(
+            user="Fred", user_key="Kfred", domain=EJB_DOMAIN, role="Clerk",
+            credentials=(credential,))
+        assert service.submit(request)
+        assert ejb.invoke("Fred", "SalariesDB", "write")
+
+    def test_keycom_rejects_unproven_request(self, framework, ejb):
+        service = framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        request = PolicyUpdateRequest(
+            user="Mallory", user_key="Kmallory", domain=EJB_DOMAIN,
+            role="Manager", credentials=())
+        framework.keystore.create("Kmallory")
+        with pytest.raises(KeyComError):
+            service.submit(request)
+        assert not ejb.invoke("Mallory", "SalariesDB", "read")
+
+
+class TestGlobalConstraints:
+    def _framework(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        return framework
+
+    def test_violating_change_rejected_atomically(self, framework, ejb):
+        from repro.errors import ConstraintViolationError
+        from repro.rbac.constraints import SoDConstraint
+
+        fw = self._framework(framework, ejb)
+        fw.add_constraint(SoDConstraint.exclusive(
+            "clerk-manager", [(EJB_DOMAIN, "Clerk"), (EJB_DOMAIN, "Manager")]))
+        delta = PolicyDelta(added_assignments=frozenset(
+            {Assignment("Alice", EJB_DOMAIN, "Manager")}))  # Alice is Clerk
+        with pytest.raises(ConstraintViolationError):
+            fw.apply_change(delta)
+        # Nothing leaked into the middleware or the global policy.
+        assert not ejb.invoke("Alice", "SalariesDB", "read")
+        assert Assignment("Alice", EJB_DOMAIN, "Manager") \
+            not in fw.global_policy.assignments
+
+    def test_conforming_change_applies(self, framework, ejb):
+        from repro.rbac.constraints import SoDConstraint
+
+        fw = self._framework(framework, ejb)
+        fw.add_constraint(SoDConstraint.exclusive(
+            "clerk-manager", [(EJB_DOMAIN, "Clerk"), (EJB_DOMAIN, "Manager")]))
+        delta = PolicyDelta(added_assignments=frozenset(
+            {Assignment("Gina", EJB_DOMAIN, "Manager")}))
+        assert fw.apply_change(delta).is_consistent()
+        assert ejb.invoke("Gina", "SalariesDB", "read")
+
+    def test_pre_violated_constraint_rejected_at_registration(self, framework,
+                                                              ejb):
+        from repro.errors import ConstraintViolationError
+        from repro.rbac.constraints import SoDConstraint
+
+        fw = self._framework(framework, ejb)
+        fw.global_policy.assign("Alice", EJB_DOMAIN, "Manager")
+        with pytest.raises(ConstraintViolationError):
+            fw.add_constraint(SoDConstraint.exclusive(
+                "clerk-manager",
+                [(EJB_DOMAIN, "Clerk"), (EJB_DOMAIN, "Manager")]))
+
+
+class TestAccessDecisions:
+    def test_figure1_matrix_through_credentials(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        matrix = [
+            ("Kalice", "Clerk", "write", True),
+            ("Kalice", "Clerk", "read", False),
+            ("Kbob", "Manager", "read", True),
+            ("Kbob", "Manager", "write", True),
+            ("Kdave", "Assistant", "read", False),
+        ]
+        for key, role, permission, expected in matrix:
+            got = framework.check_access_by_key(
+                key, EJB_DOMAIN, role, "SalariesDB", permission)
+            assert got == expected, (key, role, permission)
+
+    def test_role_membership_does_not_bypass_grants(self, framework, ejb):
+        """Holding a role never grants an action the HasPermission table
+        doesn't list (the admin-root guard in DelegationService)."""
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        framework.configure(ejb_policy())
+        assert framework.delegation.holds_role("Kdave", EJB_DOMAIN,
+                                               "Assistant")
+        assert not framework.check_access_by_key(
+            "Kdave", EJB_DOMAIN, "Assistant", "SalariesDB", "read")
+
+    def test_keycom_lookup(self, framework, ejb):
+        framework.register_middleware(ejb, {EJB_DOMAIN})
+        assert framework.keycom(ejb.name).middleware is ejb
+
+    def test_user_key_convention(self, framework):
+        assert framework.user_key("Claire") == "Kclaire"

@@ -1,0 +1,92 @@
+"""Tests for the global naming service (the Section-7 limitation)."""
+
+import pytest
+
+from repro.core.naming import GlobalNameService
+from repro.errors import TranslationError
+from repro.middleware.complus import ComPlusCatalogue
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.model import Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def names() -> GlobalNameService:
+    service = GlobalNameService()
+    service.bind("ejb-x", "SalariesBean", "SalariesDB")
+    service.bind("com-y", "Payroll.Salaries", "SalariesDB")
+    return service
+
+
+class TestBindings:
+    def test_resolution_both_ways(self, names):
+        assert names.to_global("ejb-x", "SalariesBean") == "SalariesDB"
+        assert names.to_local("ejb-x", "SalariesDB") == "SalariesBean"
+        assert names.to_local("com-y", "SalariesDB") == "Payroll.Salaries"
+
+    def test_unbound_names_pass_through(self, names):
+        assert names.to_global("ejb-x", "OtherBean") == "OtherBean"
+        assert names.to_local("ejb-x", "OtherDB") == "OtherDB"
+
+    def test_is_bound(self, names):
+        assert names.is_bound("ejb-x", "SalariesBean")
+        assert not names.is_bound("ejb-x", "Nope")
+
+    def test_rebinding_same_is_idempotent(self, names):
+        names.bind("ejb-x", "SalariesBean", "SalariesDB")
+
+    def test_conflicting_forward_binding_rejected(self, names):
+        with pytest.raises(TranslationError):
+            names.bind("ejb-x", "SalariesBean", "OtherDB")
+
+    def test_conflicting_reverse_binding_rejected(self, names):
+        with pytest.raises(TranslationError):
+            names.bind("ejb-x", "AnotherBean", "SalariesDB")
+
+    def test_same_local_name_in_different_systems(self, names):
+        # Systems have independent namespaces.
+        names.bind("corba-z", "SalariesBean", "SomethingElse")
+        assert names.to_global("corba-z", "SalariesBean") == "SomethingElse"
+
+    def test_bindings_listing_sorted(self, names):
+        listing = names.bindings()
+        assert [(b.system, b.local_name) for b in listing] == [
+            ("com-y", "Payroll.Salaries"), ("ejb-x", "SalariesBean")]
+
+
+class TestPolicyRewriting:
+    def test_canonicalise_and_localise_round_trip(self, names):
+        policy = RBACPolicy.from_relations(
+            "p", grants=[("D", "R", "SalariesBean", "read")],
+            assignments=[("u", "D", "R")])
+        canonical = names.canonicalise_policy(policy, "ejb-x")
+        assert Grant("D", "R", "SalariesDB", "read") in canonical.grants
+        back = names.localise_policy(canonical, "ejb-x")
+        assert Grant("D", "R", "SalariesBean", "read") in back.grants
+        assert back.assignments == policy.assignments
+
+    def test_cross_system_unification(self, names):
+        """The point of the service: two systems' extractions unify once
+        canonicalised, so consistency checks compare like with like."""
+        ejb = EJBServer(host="h", server_name="s")
+        ejb.deploy_container("C")
+        ejb.deploy_bean("C", "SalariesBean", methods=("read",))
+        ejb.declare_role("C", "Clerk")
+        ejb.add_method_permission("C", "SalariesBean", "Clerk", "read")
+
+        windows = WindowsSecurity()
+        windows.add_domain("h:s/C")  # same RBAC domain, COM-side
+        com = ComPlusCatalogue("m", windows)
+        com.create_application("Pay", nt_domain="h:s/C")
+        com.register_component("Pay", "Payroll.Salaries")
+        com.declare_role("Pay", "Clerk")
+        com.grant_permission("Pay", "Clerk", "Payroll.Salaries", "Access")
+
+        names2 = GlobalNameService()
+        names2.bind(ejb.name, "SalariesBean", "SalariesDB")
+        names2.bind(com.name, "Payroll.Salaries", "SalariesDB")
+        ejb_view = names2.canonicalise_policy(ejb.extract_rbac(), ejb.name)
+        com_view = names2.canonicalise_policy(com.extract_rbac(), com.name)
+        assert {g.object_type for g in ejb_view.grants} == {"SalariesDB"}
+        assert {g.object_type for g in com_view.grants} == {"SalariesDB"}

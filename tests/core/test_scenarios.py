@@ -1,0 +1,58 @@
+"""Tests for the canonical paper scenarios."""
+
+from repro.core.scenarios import build_figure9_network, salaries_policy
+from repro.rbac.model import Assignment, Grant
+
+
+class TestSalariesPolicy:
+    def test_figure1_tables(self):
+        policy = salaries_policy()
+        assert len(policy.grants) == 4
+        assert len(policy.assignments) == 5
+        assert Grant("Finance", "Manager", "SalariesDB", "write") in policy.grants
+        assert Assignment("Dave", "Sales", "Assistant") in policy.assignments
+        # "no access" row: Sales/Assistant has no grant at all.
+        assert not any(g.role == "Assistant" for g in policy.grants)
+
+    def test_fresh_instance_each_call(self):
+        a = salaries_policy()
+        b = salaries_policy()
+        assert a == b
+        a.grant("X", "Y", "Z", "w")
+        assert a != b
+
+
+class TestFigure9Network:
+    def test_system_shapes(self):
+        net = build_figure9_network()
+        assert net.system_x.kind == "ejb"
+        assert net.system_y.kind == "complus"
+        assert net.system_z.kind == "complus"
+        assert net.x_os.platform == "unix"
+        assert net.y_os.platform == "windows"
+
+    def test_y_carries_legacy_policy(self):
+        net = build_figure9_network()
+        assert net.system_y.invoke("Finance\\Alice", "SalariesDB", "Access")
+        assert net.system_y.invoke("Finance\\Bob", "SalariesDB", "Launch")
+        assert not net.system_y.invoke("Sales\\Dave", "SalariesDB", "Access")
+        assert not net.system_y.invoke("Sales\\Claire", "SalariesDB",
+                                       "Launch")
+
+    def test_x_and_z_start_empty(self):
+        net = build_figure9_network()
+        assert net.system_x.extract_rbac().is_empty()
+        assert net.system_z.extract_rbac().is_empty()
+
+    def test_y_extraction_mirrors_figure1_shape(self):
+        net = build_figure9_network()
+        policy = net.system_y.extract_rbac()
+        assert policy.domains() == {"Finance", "Sales"}
+        assert policy.users() == {"Alice", "Bob", "Claire", "Dave", "Elaine"}
+        # COM's vocabulary: Access plays read, Launch plays write.
+        assert Grant("Finance", "Clerk", "SalariesDB", "Access") in policy.grants
+
+    def test_x_os_configured(self):
+        net = build_figure9_network()
+        assert net.x_os.check("bob", "/srv/salaries.db", "write")
+        assert net.x_os.check("alice", "/srv/salaries.db", "read")

@@ -1,0 +1,110 @@
+"""Tests for the SPKI delegation backend and backend agreement (footnote 1)."""
+
+import pytest
+
+from repro.core.decentralisation import DelegationService
+from repro.core.spki_backend import SPKIDelegationService
+from repro.crypto import Keystore
+from repro.keynote.api import KeyNoteSession
+from repro.spki.cert import Validity
+
+
+@pytest.fixture
+def spki() -> SPKIDelegationService:
+    return SPKIDelegationService(Keystore(), "KWebCom")
+
+
+class TestSPKIBackend:
+    def test_grant_and_check(self, spki):
+        spki.grant_role("Kclaire", "Sales", "Manager")
+        assert spki.holds_role("Kclaire", "Sales", "Manager")
+        assert not spki.holds_role("Kclaire", "Finance", "Manager")
+
+    def test_delegation_chain(self, spki):
+        spki.grant_role("Kclaire", "Sales", "Manager")
+        spki.delegate_role("Kclaire", "Kfred", "Sales", "Manager")
+        assert spki.holds_role("Kfred", "Sales", "Manager")
+
+    def test_figure67_literal_chain_dead(self, spki):
+        spki.grant_role("Kclaire", "Finance", "Manager")
+        spki.delegate_role("Kclaire", "Kfred", "Sales", "Manager")
+        assert not spki.holds_role("Kfred", "Sales", "Manager")
+
+    def test_propagate_bit_gates_redelegation(self, spki):
+        spki.grant_role("Kclaire", "Sales", "Manager")
+        spki.delegate_role("Kclaire", "Kfred", "Sales", "Manager",
+                           delegatable=False)
+        spki.delegate_role("Kfred", "Kgina", "Sales", "Manager")
+        assert spki.holds_role("Kfred", "Sales", "Manager")
+        # Fred's cert has no propagate bit, so Gina's chain is dead.
+        assert not spki.holds_role("Kgina", "Sales", "Manager")
+
+    def test_revocation(self, spki):
+        grant = spki.grant_role("Kclaire", "Sales", "Manager")
+        delegation = spki.delegate_role("Kclaire", "Kfred", "Sales",
+                                        "Manager")
+        assert spki.revoke(delegation)
+        assert not spki.holds_role("Kfred", "Sales", "Manager")
+        assert spki.holds_role("Kclaire", "Sales", "Manager")
+        assert spki.revoke(grant)
+        assert not spki.holds_role("Kclaire", "Sales", "Manager")
+        assert not spki.revoke(grant)
+
+    def test_validity_expiry(self):
+        spki = SPKIDelegationService(Keystore(), "KWebCom",
+                                     validity=Validity(0.0, 100.0))
+        spki.grant_role("Kclaire", "Sales", "Manager")
+        assert spki.holds_role("Kclaire", "Sales", "Manager", at_time=50.0)
+        assert not spki.holds_role("Kclaire", "Sales", "Manager",
+                                   at_time=150.0)
+
+    def test_members_of_name_audit(self, spki):
+        spki.grant_role("Kclaire", "Sales", "Manager")
+        spki.grant_role("Kelaine", "Sales", "Manager")
+        assert spki.members_of("Sales", "Manager") == {"Kclaire", "Kelaine"}
+
+
+class TestBackendAgreement:
+    """The footnote-1 claim, executed: KeyNote and SPKI backends answer the
+    same delegation scenarios identically."""
+
+    SCENARIOS = [
+        # (grants, delegations, queries)
+        ([("Kclaire", "Sales", "Manager")],
+         [("Kclaire", "Kfred", "Sales", "Manager")],
+         [("Kfred", "Sales", "Manager", True),
+          ("Kfred", "Finance", "Manager", False)]),
+        ([("Kclaire", "Finance", "Manager")],
+         [("Kclaire", "Kfred", "Sales", "Manager")],
+         [("Kfred", "Sales", "Manager", False),
+          ("Kclaire", "Finance", "Manager", True)]),
+        ([("Ka", "D", "R"), ("Kb", "D", "R")],
+         [("Ka", "Kc", "D", "R"), ("Kc", "Kd", "D", "R")],
+         [("Kc", "D", "R", True), ("Kd", "D", "R", True)]),
+        ([],
+         [("Kx", "Ky", "D", "R")],
+         [("Ky", "D", "R", False)]),
+    ]
+
+    @pytest.mark.parametrize("grants,delegations,queries", SCENARIOS)
+    def test_backends_agree(self, grants, delegations, queries):
+        keystore_kn = Keystore()
+        keynote = DelegationService(KeyNoteSession(keystore=keystore_kn),
+                                    keystore_kn, "KWebCom")
+        keynote.admit_administrator()
+        spki = SPKIDelegationService(Keystore(), "KWebCom")
+
+        for user_key, domain, role in grants:
+            keynote.grant_role(user_key, domain, role)
+            spki.grant_role(user_key, domain, role)
+        for from_key, to_key, domain, role in delegations:
+            # Make sure the issuer key exists in both keystores even when
+            # it was never granted anything.
+            keystore_kn.create(from_key)
+            spki.keystore.create(from_key)
+            keynote.delegate_role(from_key, to_key, domain, role)
+            spki.delegate_role(from_key, to_key, domain, role,
+                               delegatable=True)
+        for user_key, domain, role, expected in queries:
+            assert keynote.holds_role(user_key, domain, role) == expected
+            assert spki.holds_role(user_key, domain, role) == expected

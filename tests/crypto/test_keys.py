@@ -1,0 +1,120 @@
+"""Tests for Schnorr keys and signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.group import DEFAULT_GROUP
+from repro.crypto.keys import KeyPair, PublicKey, Signature
+from repro.errors import InvalidSignatureError, KeyFormatError
+
+
+class TestDefaultGroup:
+    def test_parameters_validate(self):
+        DEFAULT_GROUP.validate()
+
+    def test_contains_generator(self):
+        assert DEFAULT_GROUP.contains(DEFAULT_GROUP.g)
+
+    def test_rejects_non_member(self):
+        assert not DEFAULT_GROUP.contains(0)
+        assert not DEFAULT_GROUP.contains(DEFAULT_GROUP.p)
+
+    def test_hash_to_exponent_in_range(self):
+        e = DEFAULT_GROUP.hash_to_exponent(b"x", b"y")
+        assert 0 <= e < DEFAULT_GROUP.q
+
+
+class TestKeyPair:
+    def test_deterministic_generation(self):
+        assert KeyPair.generate("alice") == KeyPair.generate("alice")
+
+    def test_different_seeds_differ(self):
+        assert KeyPair.generate("alice") != KeyPair.generate("bob")
+
+    def test_public_matches_private(self):
+        kp = KeyPair.generate("alice")
+        assert kp.private.public() == kp.public
+
+    def test_public_key_is_group_member(self):
+        kp = KeyPair.generate("alice")
+        assert DEFAULT_GROUP.contains(kp.public.y)
+
+
+class TestSignatures:
+    def test_sign_verify(self):
+        kp = KeyPair.generate("alice")
+        sig = kp.sign(b"message")
+        assert kp.public.verify(b"message", sig)
+
+    def test_wrong_message_rejected(self):
+        kp = KeyPair.generate("alice")
+        sig = kp.sign(b"message")
+        assert not kp.public.verify(b"other", sig)
+
+    def test_wrong_key_rejected(self):
+        sig = KeyPair.generate("alice").sign(b"m")
+        assert not KeyPair.generate("bob").public.verify(b"m", sig)
+
+    def test_tampered_signature_rejected(self):
+        kp = KeyPair.generate("alice")
+        sig = kp.sign(b"m")
+        bad = Signature(e=sig.e, s=(sig.s + 1) % DEFAULT_GROUP.q)
+        assert not kp.public.verify(b"m", bad)
+
+    def test_out_of_range_signature_rejected(self):
+        kp = KeyPair.generate("alice")
+        bad = Signature(e=DEFAULT_GROUP.q, s=0)
+        assert not kp.public.verify(b"m", bad)
+
+    def test_deterministic_signing(self):
+        kp = KeyPair.generate("alice")
+        assert kp.sign(b"m") == kp.sign(b"m")
+
+    def test_verify_or_raise(self):
+        kp = KeyPair.generate("alice")
+        sig = kp.sign(b"m")
+        kp.public.verify_or_raise(b"m", sig)  # no raise
+        with pytest.raises(InvalidSignatureError):
+            kp.public.verify_or_raise(b"x", sig)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_round_trip_any_message(self, message):
+        kp = KeyPair.generate("prop")
+        assert kp.public.verify(message, kp.sign(message))
+
+
+class TestEncoding:
+    def test_public_key_round_trip(self):
+        kp = KeyPair.generate("alice")
+        assert PublicKey.decode(kp.public.encode()) == kp.public
+
+    def test_signature_round_trip(self):
+        sig = KeyPair.generate("alice").sign(b"m")
+        assert Signature.decode(sig.encode()) == sig
+
+    def test_key_prefix_detection(self):
+        kp = KeyPair.generate("alice")
+        assert PublicKey.looks_like_key(kp.public.encode())
+        assert not PublicKey.looks_like_key("Kbob")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(KeyFormatError):
+            PublicKey.decode("not-a-key")
+        with pytest.raises(KeyFormatError):
+            PublicKey.decode("kn-schnorr-hex:zzzz")
+        with pytest.raises(KeyFormatError):
+            Signature.decode("sig-schnorr-sha256-hex:short")
+
+    def test_decode_rejects_non_group_element(self):
+        # y = p is not a group member even though it parses as hex.
+        width = (DEFAULT_GROUP.p.bit_length() + 3) // 4
+        bogus = f"kn-schnorr-hex:{DEFAULT_GROUP.p:0{width}x}"
+        with pytest.raises(KeyFormatError):
+            PublicKey.decode(bogus)
+
+    def test_fingerprint_stable_and_short(self):
+        kp = KeyPair.generate("alice")
+        assert kp.public.fingerprint() == kp.public.fingerprint()
+        assert len(kp.public.fingerprint(8)) == 8

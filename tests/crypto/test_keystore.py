@@ -1,0 +1,75 @@
+"""Tests for the keystore (System PKI of Figure 3)."""
+
+import pytest
+
+from repro.crypto import KeyPair, Keystore
+from repro.errors import UnknownKeyError
+
+
+class TestKeystore:
+    def test_create_and_lookup(self):
+        ks = Keystore()
+        pair = ks.create("Kbob")
+        assert ks.pair("Kbob") is pair
+        assert ks.public("Kbob") == pair.public
+
+    def test_create_is_idempotent(self):
+        ks = Keystore()
+        assert ks.create("Kbob") is ks.create("Kbob")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownKeyError):
+            Keystore().pair("nope")
+
+    def test_reverse_lookup(self):
+        ks = Keystore()
+        ks.create("Kbob")
+        assert ks.name_of(ks.public("Kbob")) == "Kbob"
+        assert ks.name_of(ks.public("Kbob").encode()) == "Kbob"
+
+    def test_reverse_lookup_unknown_raises(self):
+        ks = Keystore()
+        foreign = KeyPair.generate("foreign")
+        with pytest.raises(UnknownKeyError):
+            ks.name_of(foreign.public)
+
+    def test_add_external_pair(self):
+        ks = Keystore()
+        pair = KeyPair.generate("ext")
+        ks.add("Kext", pair)
+        assert ks.pair("Kext") is pair
+
+    def test_contains_iter_len(self):
+        ks = Keystore()
+        ks.create("Ka")
+        ks.create("Kb")
+        assert "Ka" in ks
+        assert "Kc" not in ks
+        assert sorted(ks) == ["Ka", "Kb"]
+        assert len(ks) == 2
+
+    def test_resolve_symbol_vs_encoded(self):
+        ks = Keystore()
+        ks.create("Kbob")
+        encoded = ks.public("Kbob").encode()
+        assert ks.resolve("Kbob") == encoded
+        assert ks.resolve(encoded) == encoded
+
+    def test_symbol_table(self):
+        ks = Keystore()
+        ks.create("Ka")
+        table = ks.symbol_table()
+        assert set(table) == {"Ka"}
+        assert table["Ka"].startswith("kn-schnorr-hex:")
+
+    def test_display_known_and_unknown(self):
+        ks = Keystore()
+        ks.create("Ka")
+        assert ks.display(ks.public("Ka").encode()) == "Ka"
+        assert ks.display("kn-schnorr-hex:" + "ab" * 40).endswith("...")
+        assert ks.display("short") == "short"
+
+    def test_custom_seed(self):
+        ks = Keystore()
+        pair = ks.create("Kname", seed="other-seed")
+        assert pair == KeyPair.generate("other-seed")

@@ -1,0 +1,74 @@
+"""Tests for primality testing and parameter generation."""
+
+import pytest
+
+from repro.crypto.prime import find_schnorr_parameters, is_probable_prime, next_prime
+
+
+class TestIsProbablePrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 149):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 21, 25, 100, 1001):
+            assert not is_probable_prime(n)
+
+    def test_negative(self):
+        assert not is_probable_prime(-7)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes that fool weak tests.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_probable_prime(n)
+
+    def test_known_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1)
+
+    def test_known_large_composite(self):
+        # 2^128 + 1 is composite (factor 59649589127497217).
+        assert not is_probable_prime(2**128 + 1)
+
+    def test_product_of_large_primes(self):
+        p, q = 2**61 - 1, 2**89 - 1
+        assert not is_probable_prime(p * q)
+
+
+class TestNextPrime:
+    def test_from_small(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(3) == 5
+        assert next_prime(13) == 17
+
+    def test_from_even(self):
+        assert next_prime(8) == 11
+        assert next_prime(90) == 97
+
+    def test_result_is_prime_and_greater(self):
+        for n in (10**6, 10**9):
+            p = next_prime(n)
+            assert p > n
+            assert is_probable_prime(p)
+
+
+class TestFindSchnorrParameters:
+    def test_deterministic(self):
+        a = find_schnorr_parameters(40, 128, "seed-1")
+        b = find_schnorr_parameters(40, 128, "seed-1")
+        assert a == b
+
+    def test_parameters_valid(self):
+        p, q, g = find_schnorr_parameters(40, 128, "seed-2")
+        assert is_probable_prime(p)
+        assert is_probable_prime(q)
+        assert (p - 1) % q == 0
+        assert pow(g, q, p) == 1
+        assert g != 1
+        assert p.bit_length() == 128
+        assert q.bit_length() == 40
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            find_schnorr_parameters(128, 128, "x")

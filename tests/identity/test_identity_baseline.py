@@ -1,0 +1,141 @@
+"""Tests for the identity-based baseline and its contrast with trust
+management (Section 3)."""
+
+import pytest
+
+from repro.crypto import KeyPair, Keystore
+from repro.errors import CredentialError
+from repro.identity.authz import AuthorisationDatabase, IdentityAuthoriser
+from repro.identity.certs import CertificateAuthority
+from repro.keynote.api import KeyNoteSession
+
+
+@pytest.fixture
+def ca() -> CertificateAuthority:
+    return CertificateAuthority("AcmeCA")
+
+
+@pytest.fixture
+def pipeline(ca):
+    db = AuthorisationDatabase()
+    db.grant("John Smith", "SalariesDB", "read")
+    return IdentityAuthoriser(ca, db), db
+
+
+class TestCertificates:
+    def test_issue_and_verify(self, ca):
+        key = KeyPair.generate("john").public.encode()
+        cert = ca.issue("John Smith", key)
+        assert cert.verify(ca.public_key)
+
+    def test_forged_certificate_rejected(self, ca):
+        key = KeyPair.generate("john").public.encode()
+        cert = ca.issue("John Smith", key)
+        forged = type(cert)(serial=cert.serial, issuer=cert.issuer,
+                            subject_name="Jane Doe",
+                            subject_key=cert.subject_key,
+                            signature=cert.signature)
+        assert not forged.verify(ca.public_key)
+
+    def test_validity_window(self, ca):
+        key = KeyPair.generate("john").public.encode()
+        cert = ca.issue("John Smith", key, not_before=10.0, not_after=20.0)
+        assert cert.valid_at(15.0)
+        assert not cert.valid_at(5.0)
+        with pytest.raises(CredentialError):
+            ca.validate(cert, at_time=25.0)
+
+    def test_revocation(self, ca):
+        key = KeyPair.generate("john").public.encode()
+        cert = ca.issue("John Smith", key)
+        ca.validate(cert)
+        ca.revoke(cert.serial)
+        with pytest.raises(CredentialError):
+            ca.validate(cert)
+
+    def test_wrong_ca_rejected(self, ca):
+        other = CertificateAuthority("OtherCA")
+        key = KeyPair.generate("john").public.encode()
+        cert = other.issue("John Smith", key)
+        with pytest.raises(CredentialError):
+            ca.validate(cert)
+
+
+class TestDatabase:
+    def test_grant_lookup_revoke(self):
+        db = AuthorisationDatabase()
+        db.grant("n", "T", "op")
+        assert db.lookup("n", "T", "op")
+        assert db.revoke("n", "T", "op")
+        assert not db.lookup("n", "T", "op")
+        assert not db.revoke("n", "T", "op")
+
+    def test_names(self):
+        db = AuthorisationDatabase()
+        db.grant("a", "T", "op")
+        assert db.names() == {"a"}
+
+
+class TestPipeline:
+    def test_allowed_decision(self, ca, pipeline):
+        authoriser, _db = pipeline
+        key = KeyPair.generate("john").public.encode()
+        cert = ca.issue("John Smith", key)
+        decision = authoriser.authorise(cert, "SalariesDB", "read")
+        assert decision.allowed
+        assert not decision.ambiguous
+
+    def test_unlisted_name_denied(self, ca, pipeline):
+        authoriser, _db = pipeline
+        key = KeyPair.generate("mallory").public.encode()
+        cert = ca.issue("Mallory", key)
+        assert not authoriser.authorise(cert, "SalariesDB", "read")
+
+    def test_revoked_cannot_reach_database(self, ca, pipeline):
+        authoriser, _db = pipeline
+        key = KeyPair.generate("john").public.encode()
+        cert = ca.issue("John Smith", key)
+        ca.revoke(cert.serial)
+        with pytest.raises(CredentialError):
+            authoriser.authorise(cert, "SalariesDB", "read")
+        assert not authoriser.authorise_quietly(cert, "SalariesDB", "read")
+
+    def test_john_smith_ambiguity(self, ca, pipeline):
+        """The paper's [10] hazard: two John Smiths, one database row —
+        the wrong John Smith gets the right."""
+        authoriser, _db = pipeline
+        hr_john = ca.issue("John Smith", KeyPair.generate("john-hr")
+                           .public.encode())
+        intern_john = ca.issue("John Smith", KeyPair.generate("john-intern")
+                               .public.encode())
+        for cert in (hr_john, intern_john):
+            decision = authoriser.authorise(cert, "SalariesDB", "read")
+            # Both are allowed — the system cannot tell them apart...
+            assert decision.allowed
+            # ...but the pipeline at least *flags* the ambiguity.
+            assert decision.ambiguous
+
+    def test_trust_management_has_no_ambiguity(self, pipeline):
+        """Contrast: KeyNote binds the *key*, so the two John Smiths are
+        distinct principals and only the intended one is authorised."""
+        keystore = Keystore()
+        keystore.create("Kjohn_hr")
+        keystore.create("Kjohn_intern")
+        session = KeyNoteSession(keystore=keystore)
+        session.add_policy(
+            'Authorizer: POLICY\nLicensees: "Kjohn_hr"\n'
+            'Conditions: app_domain=="SalariesDB" && oper=="read";')
+        attrs = {"app_domain": "SalariesDB", "oper": "read"}
+        assert session.query(attrs, ["Kjohn_hr"])
+        assert not session.query(attrs, ["Kjohn_intern"])
+
+    def test_database_change_flips_decision_without_new_certificate(
+            self, ca, pipeline):
+        """The coupling the paper criticises: authority lives in the
+        database, not the certificate."""
+        authoriser, db = pipeline
+        cert = ca.issue("John Smith",
+                        KeyPair.generate("john").public.encode())
+        assert authoriser.authorise(cert, "SalariesDB", "read")
+        db.revoke("John Smith", "SalariesDB", "read")
+        assert not authoriser.authorise(cert, "SalariesDB", "read")

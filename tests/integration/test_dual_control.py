@@ -1,0 +1,109 @@
+"""Dual control and graded approval — KeyNote expressiveness the RBAC layer
+cannot encode, exercised end to end.
+
+Two scenarios beyond plain RBAC:
+
+- **joint authorisation** (``k-of`` licensees): large payments need any two
+  of the three managers to request *together*;
+- **graded compliance values**: a three-valued set where medium-risk actions
+  are approved-with-logging rather than flatly allowed/denied.
+"""
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.keynote.api import KeyNoteSession
+from repro.keynote.credential import Credential
+from repro.keynote.values import ComplianceValueSet
+
+
+@pytest.fixture
+def keystore() -> Keystore:
+    ks = Keystore()
+    for name in ("Kmgr1", "Kmgr2", "Kmgr3", "Kclerk", "Kdeputy"):
+        ks.create(name)
+    return ks
+
+
+class TestJointAuthorisation:
+    @pytest.fixture
+    def session(self, keystore) -> KeyNoteSession:
+        s = KeyNoteSession(keystore=keystore)
+        s.add_policy('''
+            Authorizer: POLICY
+            Licensees: 2-of("Kmgr1", "Kmgr2", "Kmgr3")
+            Conditions: app_domain=="Payments" && amount > 10000;
+        ''')
+        s.add_policy('''
+            Authorizer: POLICY
+            Licensees: "Kmgr1" || "Kmgr2" || "Kmgr3" || "Kclerk"
+            Conditions: app_domain=="Payments" && amount <= 10000;
+        ''')
+        return s
+
+    def test_small_payment_single_signer(self, session):
+        attrs = {"app_domain": "Payments", "amount": "500"}
+        assert session.query(attrs, ["Kclerk"])
+        assert session.query(attrs, ["Kmgr2"])
+
+    def test_large_payment_needs_two_managers(self, session):
+        attrs = {"app_domain": "Payments", "amount": "50000"}
+        assert not session.query(attrs, ["Kmgr1"])
+        assert not session.query(attrs, ["Kclerk", "Kmgr1"])
+        assert session.query(attrs, ["Kmgr1", "Kmgr3"])
+        assert session.query(attrs, ["Kmgr1", "Kmgr2", "Kmgr3"])
+
+    def test_delegated_co_signature(self, session, keystore):
+        """A manager can delegate their half of the dual control; the
+        threshold is then met by (requesting manager, delegate)."""
+        deputy_cred = Credential.build(
+            "Kmgr2", '"Kdeputy"',
+            'app_domain=="Payments"').signed_by(keystore)
+        session.add_credential(deputy_cred)
+        attrs = {"app_domain": "Payments", "amount": "50000"}
+        assert session.query(attrs, ["Kmgr1", "Kdeputy"])
+        # The deputy alone is still only one voice.
+        assert not session.query(attrs, ["Kdeputy"])
+
+
+class TestGradedApproval:
+    VALUES = ComplianceValueSet(("deny", "approve_with_log", "approve"))
+
+    @pytest.fixture
+    def session(self, keystore) -> KeyNoteSession:
+        s = KeyNoteSession(keystore=keystore, values=self.VALUES)
+        # `->` values attach at clause level (clauses separated by `;`),
+        # exactly as RFC 2704's grammar has it.
+        s.add_policy('''
+            Authorizer: POLICY
+            Licensees: "Kclerk"
+            Conditions: app_domain=="Payments" && amount <= 1000
+                            -> "approve";
+                        app_domain=="Payments" && amount <= 10000
+                            -> "approve_with_log";
+        ''')
+        return s
+
+    def test_small_amount_fully_approved(self, session):
+        result = session.query({"app_domain": "Payments", "amount": "100"},
+                               ["Kclerk"])
+        assert result.compliance_value == "approve"
+        assert result.authorized
+
+    def test_medium_amount_needs_logging(self, session):
+        result = session.query({"app_domain": "Payments", "amount": "5000"},
+                               ["Kclerk"])
+        assert result.compliance_value == "approve_with_log"
+        # Against the default (maximum) threshold this is NOT authorised...
+        assert not result.authorized
+
+    def test_medium_amount_with_explicit_threshold(self, session):
+        result = session.query({"app_domain": "Payments", "amount": "5000"},
+                               ["Kclerk"], threshold="approve_with_log")
+        assert result.authorized
+
+    def test_large_amount_denied(self, session):
+        result = session.query({"app_domain": "Payments", "amount": "50000"},
+                               ["Kclerk"], threshold="approve_with_log")
+        assert result.compliance_value == "deny"
+        assert not result.authorized

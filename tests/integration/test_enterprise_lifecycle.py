@@ -1,0 +1,163 @@
+"""A full enterprise lifecycle across the whole framework.
+
+One scenario, end to end: commission a three-technology deployment, verify
+the access matrix everywhere, hire/promote/delegate/revoke through the
+trust-management layer, migrate a subsystem, and run a secure workflow over
+the result — asserting global consistency after every phase.  This is the
+"downstream user" test: it touches only the public API.
+"""
+
+import pytest
+
+from repro import HeterogeneousSecurityFramework
+from repro.middleware.complus import ComPlusCatalogue
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.diff import PolicyDelta
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+from repro.translate.migrate import DomainMapping
+from repro.webcom.keycom import PolicyUpdateRequest
+
+EJB_DOMAIN = "apps:ejb1/Payroll"
+ORB_DOMAIN = "apps/orb1"
+NT_DOMAIN = "CORP"
+
+
+@pytest.fixture
+def enterprise():
+    framework = HeterogeneousSecurityFramework(admin_key="KWebCom")
+    ejb = EJBServer(host="apps", server_name="ejb1")
+    orb = CorbaOrb(machine="apps", orb_name="orb1")
+    com = ComPlusCatalogue("legacy-box", WindowsSecurity())
+    framework.register_middleware(ejb, {EJB_DOMAIN})
+    framework.register_middleware(orb, {ORB_DOMAIN})
+    framework.register_middleware(com, {NT_DOMAIN})
+
+    policy = RBACPolicy("corp")
+    # Payroll (EJB): clerks write, managers read+write.
+    policy.grant(EJB_DOMAIN, "Clerk", "SalariesDB", "write")
+    policy.grant(EJB_DOMAIN, "Manager", "SalariesDB", "read")
+    policy.grant(EJB_DOMAIN, "Manager", "SalariesDB", "write")
+    # Reporting (CORBA): analysts render.
+    policy.grant(ORB_DOMAIN, "Analyst", "ReportGen", "render")
+    # Legacy archive (COM+): archivists access.
+    policy.grant(NT_DOMAIN, "Archivist", "DocStore", "Access")
+    policy.assign("ada", EJB_DOMAIN, "Clerk")
+    policy.assign("mel", EJB_DOMAIN, "Manager")
+    policy.assign("rio", ORB_DOMAIN, "Analyst")
+    policy.assign("sol", NT_DOMAIN, "Archivist")
+
+    report = framework.configure(policy)
+    assert report.is_consistent()
+    return framework, ejb, orb, com
+
+
+class TestCommissioning:
+    def test_every_technology_mediates(self, enterprise):
+        framework, ejb, orb, com = enterprise
+        assert ejb.invoke("ada", "SalariesDB", "write")
+        assert not ejb.invoke("ada", "SalariesDB", "read")
+        assert orb.invoke("rio", "ReportGen", "render")
+        assert com.invoke("CORP\\sol", "DocStore", "Access")
+        assert not com.invoke("CORP\\ada", "DocStore", "Access")
+
+    def test_credential_layer_agrees(self, enterprise):
+        framework, *_ = enterprise
+        assert framework.check_access_by_key(
+            "Kmel", EJB_DOMAIN, "Manager", "SalariesDB", "read")
+        assert not framework.check_access_by_key(
+            "Kada", EJB_DOMAIN, "Clerk", "SalariesDB", "read")
+
+    def test_comprehension_synthesises_global_view(self, enterprise):
+        framework, *_ = enterprise
+        result = framework.comprehend()
+        assert result.policy == framework.global_policy
+        assert result.conflicts == ()
+
+
+class TestPersonnelChanges:
+    def test_hire_via_keycom(self, enterprise):
+        framework, ejb, *_ = enterprise
+        credential = framework.delegation.grant_role("Knew", EJB_DOMAIN,
+                                                     "Clerk")
+        assert framework.keycom(ejb.name).submit(PolicyUpdateRequest(
+            user="newbie", user_key="Knew", domain=EJB_DOMAIN, role="Clerk",
+            credentials=(credential,)))
+        assert ejb.invoke("newbie", "SalariesDB", "write")
+
+    def test_promotion_via_maintenance(self, enterprise):
+        framework, ejb, *_ = enterprise
+        delta = PolicyDelta(
+            added_assignments=frozenset(
+                {Assignment("ada", EJB_DOMAIN, "Manager")}),
+            removed_assignments=frozenset(
+                {Assignment("ada", EJB_DOMAIN, "Clerk")}))
+        report = framework.apply_change(delta)
+        assert report.is_consistent()
+        assert ejb.invoke("ada", "SalariesDB", "read")
+        assert framework.delegation.holds_role("Kada", EJB_DOMAIN, "Manager")
+        assert not framework.delegation.holds_role("Kada", EJB_DOMAIN,
+                                                   "Clerk")
+
+    def test_delegation_and_offboarding(self, enterprise):
+        framework, *_ = enterprise
+        delegation = framework.delegation.delegate_role(
+            "Kmel", "Ktemp", EJB_DOMAIN, "Manager")
+        assert framework.delegation.holds_role("Ktemp", EJB_DOMAIN,
+                                               "Manager")
+        assert framework.delegation.revoke(delegation)
+        assert not framework.delegation.holds_role("Ktemp", EJB_DOMAIN,
+                                                   "Manager")
+
+    def test_new_grant_propagates_to_one_system_only(self, enterprise):
+        framework, ejb, orb, com = enterprise
+        delta = PolicyDelta(added_grants=frozenset(
+            {Grant(ORB_DOMAIN, "Analyst", "ReportGen", "export")}))
+        framework.apply_change(delta)
+        assert orb.invoke("rio", "ReportGen", "export")
+        assert not ejb.invoke("rio", "ReportGen", "export")
+
+
+class TestSubsystemMigration:
+    def test_legacy_com_archive_moves_to_ejb(self, enterprise):
+        framework, ejb, _orb, com = enterprise
+        report = framework.migrate(
+            com.name, ejb.name,
+            DomainMapping(explicit={NT_DOMAIN: f"apps:ejb1/{NT_DOMAIN}"}))
+        assert report.migrated_grants == 1
+        assert ejb.invoke("sol", "DocStore", "Access")
+        # The legacy system keeps working until decommissioned.
+        assert com.invoke("CORP\\sol", "DocStore", "Access")
+
+
+class TestSecureWorkflowOverTheEstate:
+    def test_payroll_report_workflow(self, enterprise):
+        framework, ejb, orb, _com = enterprise
+        from repro.webcom.components import middleware_operations
+        from repro.webcom.graph import CondensedGraph
+        from repro.webcom.network import SimulatedNetwork
+        from repro.webcom.node import WebComClient, WebComMaster
+
+        net = SimulatedNetwork()
+        master = WebComMaster("master", net)
+        mel_ops = middleware_operations(
+            ejb, "mel", {("SalariesDB", "read"): lambda: [4200, 5100]})
+        rio_ops = middleware_operations(
+            orb, "rio", {("ReportGen", "render"):
+                         lambda rows: f"total={sum(rows)}"})
+        WebComClient("mel-node", net, mel_ops, user="mel").register_with(
+            "master")
+        WebComClient("rio-node", net, rio_ops, user="rio").register_with(
+            "master")
+        net.run_until_quiet()
+
+        graph = CondensedGraph("payroll-report")
+        graph.add_node("read", operator="SalariesDB.read", arity=0)
+        graph.add_node("render", operator="ReportGen.render", arity=1)
+        graph.connect("read", "render", 0)
+        graph.set_exit("render")
+        assert master.run_graph(graph, {}) == "total=9300"
+        assert master.schedule_log == [("read", "mel-node"),
+                                       ("render", "rio-node")]

@@ -1,0 +1,75 @@
+"""The Figure-6 / Figure-7 delegation chains, both readings.
+
+The paper's figures are mutually inconsistent: Figure 6 makes Claire a
+Manager in *Finance*, Figure 1's table and Figure 7's delegation both say
+*Sales*.  DESIGN.md commits to reproducing both readings:
+
+- literal: Fig-6 (Finance) + Fig-7 (Claire delegates Sales/Manager) — the
+  chain must grant Fred **nothing**, because Claire cannot delegate a role
+  she was not granted (delegation monotonicity);
+- corrected: Claire granted Sales/Manager — Fred's delegation is effective.
+"""
+
+import pytest
+
+from repro.core.decentralisation import DelegationService
+from repro.crypto import Keystore
+from repro.keynote.api import KeyNoteSession
+
+
+@pytest.fixture
+def service():
+    keystore = Keystore()
+    session = KeyNoteSession(keystore=keystore)
+    service = DelegationService(session, keystore, "KWebCom")
+    service.admit_administrator()
+    return service
+
+
+class TestLiteralReading:
+    def test_fred_gets_nothing(self, service):
+        # Figure 6 as printed: Claire is Manager in Finance.
+        service.grant_role("Kclaire", "Finance", "Manager")
+        # Figure 7 as printed: Claire delegates Sales/Manager to Fred.
+        service.delegate_role("Kclaire", "Kfred", "Sales", "Manager")
+        assert service.holds_role("Kclaire", "Finance", "Manager")
+        # Claire never held Sales/Manager, so Fred's chain is dead.
+        assert not service.holds_role("Kfred", "Sales", "Manager")
+        # And the delegation certainly granted nothing else.
+        assert not service.holds_role("Kfred", "Finance", "Manager")
+
+
+class TestCorrectedReading:
+    def test_fred_becomes_sales_manager(self, service):
+        service.grant_role("Kclaire", "Sales", "Manager")
+        service.delegate_role("Kclaire", "Kfred", "Sales", "Manager")
+        assert service.holds_role("Kfred", "Sales", "Manager")
+
+    def test_delegation_cannot_widen(self, service):
+        service.grant_role("Kclaire", "Sales", "Manager")
+        service.delegate_role("Kclaire", "Kfred", "Sales", "Manager")
+        # Fred's authority is bounded by Claire's.
+        assert not service.holds_role("Kfred", "Finance", "Manager")
+
+    def test_second_level_delegation(self, service):
+        service.grant_role("Kclaire", "Sales", "Manager")
+        service.delegate_role("Kclaire", "Kfred", "Sales", "Manager")
+        service.delegate_role("Kfred", "Kgina", "Sales", "Manager")
+        assert service.holds_role("Kgina", "Sales", "Manager")
+
+    def test_revocation_kills_downstream(self, service):
+        service.grant_role("Kclaire", "Sales", "Manager")
+        claire_to_fred = service.delegate_role("Kclaire", "Kfred", "Sales",
+                                               "Manager")
+        service.delegate_role("Kfred", "Kgina", "Sales", "Manager")
+        assert service.revoke(claire_to_fred)
+        assert not service.holds_role("Kfred", "Sales", "Manager")
+        assert not service.holds_role("Kgina", "Sales", "Manager")
+        # Claire herself is unaffected.
+        assert service.holds_role("Kclaire", "Sales", "Manager")
+
+    def test_revoke_missing_credential(self, service):
+        service.grant_role("Kclaire", "Sales", "Manager")
+        cred = service.delegate_role("Kclaire", "Kfred", "Sales", "Manager")
+        assert service.revoke(cred)
+        assert not service.revoke(cred)

@@ -1,0 +1,183 @@
+"""End-to-end reproduction of the Figure-9 interoperation narrative.
+
+"A WebCom client running on Windows with COM middleware security policy
+inter-operates with the server.  If required, the KeyNote RBAC credentials
+held by users of System W can be used to update the COM+ catalogue of System
+Z.  On the other hand, the COM middleware RBAC policy on System Y can be
+translated to equivalent KeyNote credentials and these, in turn, used by
+System W which does not have a middleware security mechanism.  In addition,
+if System Y was a legacy system under migration to System X, then the KeyNote
+credentials generated from the legacy COM policy can be used to automatically
+configure the replacement EJB RBAC policy."
+"""
+
+import pytest
+
+from repro.core.framework import HeterogeneousSecurityFramework
+from repro.core.scenarios import build_figure9_network
+from repro.keynote.compliance import ComplianceChecker
+from repro.translate.common import action_attributes
+from repro.translate.from_keynote import comprehend_credentials
+from repro.translate.migrate import DomainMapping, translate_policy
+from repro.translate.to_keynote import encode_full
+from repro.webcom.keycom import KeyComService, PolicyUpdateRequest
+
+
+@pytest.fixture
+def world():
+    framework = HeterogeneousSecurityFramework()
+    net = build_figure9_network()
+    framework.register_middleware(net.system_y, {"Finance", "Sales"})
+    framework.register_middleware(net.system_z, {"Finance", "Sales"})
+    framework.register_middleware(net.system_x,
+                                  {"hostx:ejb1/Salaries"})
+    return framework, net
+
+
+class TestYToKeyNote:
+    """System Y's COM policy becomes KeyNote credentials."""
+
+    def test_translation(self, world):
+        framework, net = world
+        legacy = net.system_y.extract_rbac()
+        policy_cred, memberships = encode_full(
+            legacy, framework.admin_key, framework.keystore)
+        assert len(memberships) == 5
+        # The credentials reproduce Y's decisions exactly.
+        checker = ComplianceChecker([policy_cred] + memberships,
+                                    keystore=framework.keystore)
+        assert checker.query(
+            action_attributes("Finance", "Clerk", "SalariesDB", "Access"),
+            ["Kalice"]) == "true"
+        assert checker.query(
+            action_attributes("Finance", "Clerk", "SalariesDB", "Launch"),
+            ["Kalice"]) == "false"
+
+
+class TestWEnforcement:
+    """System W (no middleware) enforces Y's policy via KeyNote alone."""
+
+    def test_w_decisions_match_y(self, world):
+        framework, net = world
+        legacy = net.system_y.extract_rbac()
+        policy_cred, memberships = encode_full(
+            legacy, framework.admin_key, framework.keystore)
+        w_checker = ComplianceChecker([policy_cred] + memberships,
+                                      keystore=framework.keystore)
+        for domain, role, user, key in [
+            ("Finance", "Clerk", "Finance\\Alice", "Kalice"),
+            ("Finance", "Manager", "Finance\\Bob", "Kbob"),
+            ("Sales", "Manager", "Sales\\Claire", "Kclaire"),
+            ("Sales", "Assistant", "Sales\\Dave", "Kdave"),
+        ]:
+            for permission in ("Access", "Launch"):
+                y_says = net.system_y.invoke(user, "SalariesDB", permission)
+                w_says = w_checker.query(
+                    action_attributes(domain, role, "SalariesDB", permission),
+                    [key]) == "true"
+                assert y_says == w_says, (user, permission)
+
+
+class TestZCatalogueUpdate:
+    """W's KeyNote credentials update Z's COM+ catalogue (via KeyCOM)."""
+
+    def test_credentials_configure_z(self, world):
+        framework, net = world
+        # Z needs the application structure before memberships land.
+        legacy = net.system_y.extract_rbac()
+        grants_only = legacy.copy("grants")
+        for assignment in list(grants_only.assignments):
+            grants_only.unassign(assignment.user, assignment.domain,
+                                 assignment.role)
+        net.system_z.apply_rbac(grants_only)
+
+        policy_cred, memberships = encode_full(
+            legacy, framework.admin_key, framework.keystore)
+        framework.session.add_policy(policy_cred)
+        keycom = framework.keycom(net.system_z.name)
+        applied = 0
+        for assignment in legacy.sorted_assignments():
+            user_key = framework.user_key(assignment.user)
+            request = PolicyUpdateRequest(
+                user=assignment.user, user_key=user_key,
+                domain=assignment.domain, role=assignment.role,
+                credentials=tuple(memberships))
+            assert keycom.submit(request)
+            applied += 1
+        assert applied == 5
+        assert net.system_z.invoke("Finance\\Alice", "SalariesDB", "Access")
+        assert not net.system_z.invoke("Sales\\Dave", "SalariesDB", "Access")
+
+    def test_z_rejects_forged_update(self, world):
+        framework, net = world
+        keycom = framework.keycom(net.system_z.name)
+        framework.keystore.create("Kmallory")
+        request = PolicyUpdateRequest(
+            user="Mallory", user_key="Kmallory", domain="Finance",
+            role="Manager", credentials=())
+        assert not keycom.submit_quietly(request)
+
+
+class TestLegacyMigrationToX:
+    """Y (legacy COM) migrates to X (replacement EJB) via the credentials."""
+
+    def test_migration_preserves_decisions(self, world):
+        framework, net = world
+        legacy = net.system_y.extract_rbac()
+        # Via the credential round-trip, as the paper narrates: COM policy ->
+        # KeyNote credentials -> comprehended RBAC -> EJB configuration.
+        policy_cred, memberships = encode_full(
+            legacy, framework.admin_key, framework.keystore)
+        comprehended = comprehend_credentials(
+            [policy_cred] + memberships, keystore=framework.keystore)
+        assert comprehended == legacy
+
+        mapping = DomainMapping(default=lambda d: "hostx:ejb1/Salaries")
+        translated, report = translate_policy(comprehended, mapping)
+        net.system_x.apply_rbac(translated)
+        assert report.migrated_assignments == 5
+
+        # X now answers like Y (modulo the domain collapse: X merges the two
+        # NT domains into one container, so same-named roles unify).
+        assert net.system_x.invoke("Alice", "SalariesDB", "Access")
+        assert net.system_x.invoke("Bob", "SalariesDB", "Launch")
+        assert not net.system_x.invoke("Dave", "SalariesDB", "Access")
+
+    def test_domain_collapse_merges_roles(self, world):
+        """Collapsing both NT domains into one EJB container unifies the two
+        Manager roles — exactly the 'not a simple one-to-one mapping'
+        caveat of Section 4.3."""
+        framework, net = world
+        legacy = net.system_y.extract_rbac()
+        mapping = DomainMapping(default=lambda d: "hostx:ejb1/Salaries")
+        translated, _report = translate_policy(legacy, mapping)
+        net.system_x.apply_rbac(translated)
+        # Sales Manager Claire gains Finance Manager's Launch right after
+        # the collapse; a per-domain mapping avoids this.
+        assert net.system_x.invoke("Claire", "SalariesDB", "Launch")
+
+    def test_per_domain_mapping_preserves_separation(self, world):
+        framework, net = world
+        legacy = net.system_y.extract_rbac()
+        mapping = DomainMapping(explicit={
+            "Finance": "hostx:ejb1/Finance",
+            "Sales": "hostx:ejb1/Sales",
+        })
+        translated, _report = translate_policy(legacy, mapping)
+        net.system_x.apply_rbac(translated)
+        assert net.system_x.invoke("Claire", "SalariesDB", "Access")
+        assert not net.system_x.invoke("Claire", "SalariesDB", "Launch")
+
+
+class TestGlobalConsistency:
+    def test_full_pipeline_is_consistent(self, world):
+        framework, net = world
+        legacy = net.system_y.extract_rbac()
+        # Configure the global policy from Y's legacy state; Z mirrors it.
+        framework.configure(legacy)
+        report = framework.check_consistency()
+        inconsistent = report.inconsistent_systems()
+        # X is responsible for a domain the global policy doesn't cover;
+        # Y and Z must both match.
+        assert net.system_y.name not in inconsistent
+        assert net.system_z.name not in inconsistent

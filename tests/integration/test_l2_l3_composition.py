@@ -1,0 +1,76 @@
+"""L3 (workflow) composed with L2 (trust management) in one scheduler —
+the stacked architecture applied to the *scheduling* path rather than the
+invocation path."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.secure import SecureWebComEnvironment
+from repro.webcom.workflow import (
+    WorkflowGuard,
+    WorkflowPolicy,
+    compose_filters,
+    run_guarded,
+)
+
+OPS = {"initiate": lambda v: v, "approve": lambda v: v}
+
+
+def payment_graph():
+    g = CondensedGraph("payment")
+    g.add_node("initiate", operator="initiate", arity=1)
+    g.add_node("approve", operator="approve", arity=1)
+    g.connect("initiate", "approve", 0)
+    g.entry("amount", "initiate", 0)
+    g.set_exit("approve")
+    return g
+
+
+@pytest.fixture
+def world():
+    env = SecureWebComEnvironment()
+    net = SimulatedNetwork(clock=env.clock)
+    env.create_key("Kmaster")
+    guard = WorkflowGuard(WorkflowPolicy().separate(
+        "init-approve", "initiate", "approve"))
+    master = WebComMaster(
+        "master", net, key_name="Kmaster",
+        scheduler_filter=compose_filters(env.master_filter(), guard.filter),
+        audit=env.audit)
+    keys = []
+    for cid, user in (("node-a", "ana"), ("node-b", "ben")):
+        key = env.create_key(f"K{user}")
+        keys.append(key)
+        client = WebComClient(cid, net, OPS, key_name=key, user=user,
+                              authoriser=env.client_authoriser(cid))
+        env.client_trusts_master(cid, "Kmaster")
+        client.register_with("master")
+    net.run_until_quiet()
+    return env, net, master, guard, keys
+
+
+class TestComposedMediation:
+    def test_both_layers_satisfied(self, world):
+        env, _net, master, guard, keys = world
+        env.trust_clients_for_operations(keys, ["initiate", "approve"])
+        result = run_guarded(master, guard, payment_graph(), {"amount": 10})
+        assert result == 10
+        # L3 forced two different users; L2 checked every candidate.
+        assert guard.history["initiate"] != guard.history["approve"]
+        assert env.audit.find(category="keynote.query")
+
+    def test_l2_narrows_until_l3_unsatisfiable(self, world):
+        env, _net, master, guard, keys = world
+        # Only one key is trusted at L2, but L3 demands two distinct users.
+        env.trust_clients_for_operations([keys[0]], ["initiate", "approve"])
+        with pytest.raises(SchedulingError):
+            run_guarded(master, guard, payment_graph(), {"amount": 10})
+
+    def test_l2_denies_everything(self, world):
+        _env, _net, master, guard, _keys = world
+        # No master-side policy at all: L2 filters every candidate out.
+        with pytest.raises(SchedulingError):
+            run_guarded(master, guard, payment_graph(), {"amount": 10})

@@ -1,0 +1,84 @@
+"""Maintenance in the paper's recommended direction (Section 4.4): revoke at
+the trust-management level and propagate the removal down the stack, across
+every middleware technology at once."""
+
+import pytest
+
+from repro.core.framework import HeterogeneousSecurityFramework
+from repro.middleware.complus import ComPlusCatalogue
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.diff import PolicyDelta
+from repro.rbac.model import Assignment
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def world():
+    framework = HeterogeneousSecurityFramework()
+    ejb = EJBServer(host="h", server_name="s")
+    orb = CorbaOrb(machine="m", orb_name="o")
+    com = ComPlusCatalogue("mz", WindowsSecurity())
+    framework.register_middleware(ejb, {"h:s/C"})
+    framework.register_middleware(orb, {"m/o"})
+    framework.register_middleware(com, {"NTDOM"})
+
+    policy = RBACPolicy("global")
+    for domain in ("h:s/C", "m/o", "NTDOM"):
+        policy.grant(domain, "Operator", "Widget", "Access")
+        policy.assign("olive", domain, "Operator")
+    framework.configure(policy)
+    return framework, ejb, orb, com
+
+
+class TestRevocationPropagation:
+    def test_initial_state(self, world):
+        framework, ejb, orb, com = world
+        assert ejb.invoke("olive", "Widget", "Access")
+        assert orb.invoke("olive", "Widget", "Access")
+        assert com.invoke("NTDOM\\olive", "Widget", "Access")
+        assert framework.check_consistency().is_consistent()
+
+    def test_revoke_everywhere(self, world):
+        framework, ejb, orb, com = world
+        delta = PolicyDelta(removed_assignments=frozenset({
+            Assignment("olive", "h:s/C", "Operator"),
+            Assignment("olive", "m/o", "Operator"),
+            Assignment("olive", "NTDOM", "Operator"),
+        }))
+        report = framework.apply_change(delta)
+        assert report.is_consistent()
+        assert not ejb.invoke("olive", "Widget", "Access")
+        assert not orb.invoke("olive", "Widget", "Access")
+        assert not com.invoke("NTDOM\\olive", "Widget", "Access")
+        # The credential layer was re-derived too.
+        assert not framework.delegation.holds_role("Kolive", "h:s/C",
+                                                   "Operator")
+
+    def test_partial_revocation(self, world):
+        framework, ejb, orb, com = world
+        delta = PolicyDelta(removed_assignments=frozenset({
+            Assignment("olive", "m/o", "Operator")}))
+        report = framework.apply_change(delta)
+        assert report.is_consistent()
+        assert not orb.invoke("olive", "Widget", "Access")
+        # The other systems keep their assignments.
+        assert ejb.invoke("olive", "Widget", "Access")
+        assert com.invoke("NTDOM\\olive", "Widget", "Access")
+
+    def test_remove_assignment_returns_presence(self, world):
+        _framework, ejb, orb, com = world
+        gone = Assignment("nobody", "h:s/C", "Operator")
+        assert ejb.remove_assignment(gone) is False
+        assert orb.remove_assignment(
+            Assignment("nobody", "m/o", "Operator")) is False
+        assert com.remove_assignment(
+            Assignment("nobody", "NTDOM", "Operator")) is False
+
+    def test_foreign_domain_removals_are_noops(self, world):
+        _framework, ejb, orb, com = world
+        foreign = Assignment("olive", "elsewhere", "Operator")
+        assert ejb.remove_assignment(foreign) is False
+        assert orb.remove_assignment(foreign) is False
+        assert com.remove_assignment(foreign) is False

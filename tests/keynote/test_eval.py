@@ -1,0 +1,212 @@
+"""Tests for the condition expression evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNoteEvalError, KeyNoteSyntaxError
+from repro.keynote.eval import ConditionEvaluator
+from repro.keynote.parser import parse_conditions, parse_expression
+from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
+
+
+def check(text: str, attributes: dict[str, str] | None = None) -> bool:
+    evaluator = ConditionEvaluator(attributes or {}, DEFAULT_VALUE_SET)
+    return evaluator.test(parse_expression(text))
+
+
+def value_of(text: str, attributes: dict[str, str] | None = None,
+             values: ComplianceValueSet = DEFAULT_VALUE_SET) -> str:
+    evaluator = ConditionEvaluator(attributes or {}, values)
+    return evaluator.program_value(parse_conditions(text))
+
+
+class TestStringComparisons:
+    def test_equality(self):
+        assert check('app_domain == "db"', {"app_domain": "db"})
+        assert not check('app_domain == "db"', {"app_domain": "other"})
+
+    def test_inequality(self):
+        assert check('"a" != "b"')
+
+    def test_lexicographic_order(self):
+        assert check('"abc" < "abd"')
+        assert check('"b" >= "a"')
+
+    def test_missing_attribute_is_empty_string(self):
+        assert check('missing == ""')
+        assert not check('missing == "x"')
+
+    def test_regex_match(self):
+        assert check('name ~= "^fin.*ce$"', {"name": "finance"})
+        assert not check('name ~= "^x"', {"name": "finance"})
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(KeyNoteEvalError):
+            check('name ~= "("', {"name": "x"})
+
+    def test_string_concatenation(self):
+        assert check('(a . b) == "helloworld"',
+                     {"a": "hello", "b": "world"})
+
+
+class TestNumericComparisons:
+    def test_numeric_equality_across_formats(self):
+        # "1" and "1.0" are numerically equal even though string-unequal.
+        assert check('a == 1', {"a": "1.0"})
+        assert check("1 == 1.0")
+
+    def test_relational(self):
+        assert check("2 < 10")
+        # String comparison would say "2" > "10"; numeric context must win.
+        assert check('a < b', {"a": "2", "b": "10"})
+
+    def test_arithmetic(self):
+        assert check("1 + 2 * 3 == 7")
+        assert check("(1 + 2) * 3 == 9")
+        assert check("10 % 3 == 1")
+        assert check("2 ^ 3 == 8")
+        assert check("7 / 2 == 3.5")
+
+    def test_power_right_associative(self):
+        assert check("2 ^ 3 ^ 2 == 512")
+
+    def test_unary_minus(self):
+        assert check("-3 < 0")
+        assert check("- (2 + 1) == -3")
+
+    def test_non_numeric_operand_fails_test(self):
+        # RFC 2704: an invalid operand makes the test false, not an error.
+        assert not check('a + 1 == 2', {"a": "not-a-number"})
+
+    def test_mixed_ordered_comparison_fails_test(self):
+        # `amount <= 1000` with a missing/non-numeric amount must deny, not
+        # fall back to a lexicographic accident.
+        assert not check("amount <= 1000", {})
+        assert not check("amount <= 1000", {"amount": "lots"})
+        assert check("amount <= 1000", {"amount": "500"})
+
+    def test_mixed_equality_is_a_string_test(self):
+        assert not check('a == 1', {"a": "one"})
+        assert check('a != 1', {"a": "one"})
+
+    def test_division_by_zero_fails_test(self):
+        assert not check("1 / 0 == 0")
+        assert not check("1 % 0 == 0")
+
+
+class TestBooleanStructure:
+    def test_and_or_not(self):
+        attrs = {"x": "1", "y": "2"}
+        assert check('x == "1" && y == "2"', attrs)
+        assert not check('x == "1" && y == "3"', attrs)
+        assert check('x == "9" || y == "2"', attrs)
+        assert check('!(x == "9")', attrs)
+
+    def test_precedence_and_binds_tighter(self):
+        # a || b && c  ==  a || (b && c)
+        assert check('"1"=="1" || "1"=="2" && "1"=="3"')
+
+    def test_soft_failure_in_or_left(self):
+        # Left operand fails numerically; right rescues the disjunction.
+        assert check('(z + 1 == 2) || "a" == "a"', {"z": "nan-ish?"})
+
+    def test_soft_failure_in_and_poisons(self):
+        assert not check('(z + 1 == 2) && "a" == "a"', {"z": "bad"})
+
+    def test_bare_numeric_truthiness(self):
+        assert check("1")
+        assert not check("0")
+
+    def test_bare_true_string(self):
+        assert check('"true"')
+        assert not check('"yes"')
+
+
+class TestDollarDeref:
+    def test_indirect_attribute(self):
+        attrs = {"ptr": "target", "target": "v"}
+        assert check('$ptr == "v"', attrs)
+
+    def test_nested_deref(self):
+        attrs = {"a": "b", "b": "c", "c": "x"}
+        assert check('$$a == "x"', attrs)
+
+
+class TestConditionsPrograms:
+    def test_single_clause_boolean(self):
+        assert value_of('app_domain == "db"', {"app_domain": "db"}) == "true"
+        assert value_of('app_domain == "db"', {"app_domain": "x"}) == "false"
+
+    def test_clause_with_arrow_value(self):
+        tri = ComplianceValueSet(("reject", "log", "approve"))
+        text = 'risk == "low" -> "approve"; risk == "high" -> "log"'
+        assert value_of(text, {"risk": "low"}, tri) == "approve"
+        assert value_of(text, {"risk": "high"}, tri) == "log"
+        assert value_of(text, {"risk": "other"}, tri) == "reject"
+
+    def test_multiple_true_clauses_take_join(self):
+        tri = ComplianceValueSet(("reject", "log", "approve"))
+        text = 'x == "1" -> "log"; x == "1" -> "approve"'
+        assert value_of(text, {"x": "1"}, tri) == "approve"
+
+    def test_nested_braces(self):
+        tri = ComplianceValueSet(("reject", "log", "approve"))
+        text = 'x == "1" -> { y == "2" -> "approve"; y != "2" -> "log" }'
+        assert value_of(text, {"x": "1", "y": "2"}, tri) == "approve"
+        assert value_of(text, {"x": "1", "y": "9"}, tri) == "log"
+        assert value_of(text, {"x": "0", "y": "2"}, tri) == "reject"
+
+    def test_max_trust_alias_in_arrow(self):
+        assert value_of('x == "1" -> _MAX_TRUST', {"x": "1"}) == "true"
+
+    def test_trailing_semicolon_allowed(self):
+        assert value_of('x == "1";', {"x": "1"}) == "true"
+
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_conditions("")
+
+
+class TestParserErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_expression('"a" == "b" extra ,')
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_expression('("a" == "b"')
+
+    def test_missing_operand(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_expression('"a" ==')
+
+    def test_bad_arrow_value(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_conditions('x == "1" -> 42')
+
+
+class TestLocalConstantSubstitution:
+    def test_constant_becomes_string(self):
+        expr = parse_expression('K == "val"', constants={"K": "val"})
+        evaluator = ConditionEvaluator({}, DEFAULT_VALUE_SET)
+        assert evaluator.test(expr)
+
+
+class TestEvaluatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_numeric_comparison_matches_python(self, a, b):
+        assert check(f"{a} < {b}") == (a < b)
+        assert check(f"{a} == {b}") == (a == b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="abc", max_size=5),
+           st.text(alphabet="abc", max_size=5))
+    def test_string_equality_matches_python(self, a, b):
+        assert check(f'"{a}" == "{b}"') == (a == b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-20, 20), st.integers(-20, 20), st.integers(-20, 20))
+    def test_arithmetic_matches_python(self, a, b, c):
+        assert check(f"{a} + {b} * {c} == {a + b * c}")

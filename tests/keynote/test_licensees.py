@@ -1,0 +1,148 @@
+"""Tests for licensee expressions (keys, &&, ||, k-of thresholds)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNoteSyntaxError
+from repro.keynote.licensees import (
+    AllOf,
+    AnyOf,
+    Principal,
+    Threshold,
+    licensees_to_text,
+    parse_licensees,
+)
+from repro.keynote.values import DEFAULT_VALUE_SET
+
+MAX, MIN = "true", "false"
+
+
+def evaluate(expr_text: str, trusted: set[str]) -> str:
+    expr = parse_licensees(expr_text)
+    return expr.value(lambda k: MAX if k in trusted else MIN,
+                      DEFAULT_VALUE_SET)
+
+
+class TestParsing:
+    def test_single_key(self):
+        expr = parse_licensees('"Kbob"')
+        assert expr == Principal("Kbob")
+
+    def test_disjunction(self):
+        expr = parse_licensees('"Ka" || "Kb"')
+        assert isinstance(expr, AnyOf)
+        assert expr.principals() == {"Ka", "Kb"}
+
+    def test_conjunction(self):
+        expr = parse_licensees('"Ka" && "Kb"')
+        assert isinstance(expr, AllOf)
+
+    def test_precedence_and_over_or(self):
+        expr = parse_licensees('"Ka" || "Kb" && "Kc"')
+        assert isinstance(expr, AnyOf)
+        assert isinstance(expr.parts[1], AllOf)
+
+    def test_parentheses(self):
+        expr = parse_licensees('("Ka" || "Kb") && "Kc"')
+        assert isinstance(expr, AllOf)
+
+    def test_threshold(self):
+        expr = parse_licensees('2-of("Ka", "Kb", "Kc")')
+        assert isinstance(expr, Threshold)
+        assert expr.k == 2
+        assert expr.principals() == {"Ka", "Kb", "Kc"}
+
+    def test_threshold_k_bounds(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_licensees('4-of("Ka", "Kb")')
+
+    def test_local_constant_resolution(self):
+        expr = parse_licensees("ALICE", constants={"ALICE": "kn-key-of-alice"})
+        assert expr == Principal("kn-key-of-alice")
+
+    def test_bare_identifier_kept_as_principal(self):
+        assert parse_licensees("Kbob") == Principal("Kbob")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_licensees('"Ka" "Kb"')
+
+    def test_empty_rejected(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            parse_licensees("")
+
+
+class TestEvaluation:
+    def test_single_key(self):
+        assert evaluate('"Ka"', {"Ka"}) == MAX
+        assert evaluate('"Ka"', set()) == MIN
+
+    def test_disjunction_any_suffices(self):
+        assert evaluate('"Ka" || "Kb"', {"Kb"}) == MAX
+        assert evaluate('"Ka" || "Kb"', set()) == MIN
+
+    def test_conjunction_all_required(self):
+        assert evaluate('"Ka" && "Kb"', {"Ka"}) == MIN
+        assert evaluate('"Ka" && "Kb"', {"Ka", "Kb"}) == MAX
+
+    def test_threshold_semantics(self):
+        expr = '2-of("Ka", "Kb", "Kc")'
+        assert evaluate(expr, {"Ka"}) == MIN
+        assert evaluate(expr, {"Ka", "Kc"}) == MAX
+        assert evaluate(expr, {"Ka", "Kb", "Kc"}) == MAX
+
+    def test_nested_structure(self):
+        expr = '("Ka" && "Kb") || 2-of("Kc", "Kd", "Ke")'
+        assert evaluate(expr, {"Ka", "Kb"}) == MAX
+        assert evaluate(expr, {"Kd", "Ke"}) == MAX
+        assert evaluate(expr, {"Ka", "Kc"}) == MIN
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        '"Ka"',
+        '("Ka" || "Kb")',
+        '("Ka" && "Kb" && "Kc")',
+        '2-of("Ka", "Kb", "Kc")',
+        '(("Ka" && "Kb") || 2-of("Kc", "Kd", "Ke"))',
+    ])
+    def test_serialise_parse_identity(self, text):
+        expr = parse_licensees(text)
+        assert parse_licensees(licensees_to_text(expr)) == expr
+
+
+# Random monotone formulas for property testing.
+keys = st.sampled_from(["K1", "K2", "K3", "K4"])
+
+
+def formulas(depth=2):
+    base = keys.map(Principal)
+    if depth == 0:
+        return base
+    sub = formulas(depth - 1)
+    return st.one_of(
+        base,
+        st.lists(sub, min_size=2, max_size=3).map(lambda p: AllOf(tuple(p))),
+        st.lists(sub, min_size=2, max_size=3).map(lambda p: AnyOf(tuple(p))),
+        st.lists(sub, min_size=2, max_size=3).map(
+            lambda p: Threshold(min(2, len(p)), tuple(p))),
+    )
+
+
+class TestMonotonicity:
+    @settings(max_examples=80, deadline=None)
+    @given(formulas(), st.sets(keys), st.sets(keys))
+    def test_adding_trusted_keys_never_lowers_value(self, expr, s1, s2):
+        smaller, larger = s1, s1 | s2
+        rank = DEFAULT_VALUE_SET.rank
+        v_small = expr.value(lambda k: MAX if k in smaller else MIN,
+                             DEFAULT_VALUE_SET)
+        v_large = expr.value(lambda k: MAX if k in larger else MIN,
+                             DEFAULT_VALUE_SET)
+        assert rank(v_large) >= rank(v_small)
+
+    @settings(max_examples=40, deadline=None)
+    @given(formulas())
+    def test_round_trip_any_formula(self, expr):
+        assert parse_licensees(licensees_to_text(expr)) == expr

@@ -1,0 +1,82 @@
+"""Tests for the expression tokenizer."""
+
+import pytest
+
+from repro.errors import KeyNoteSyntaxError
+from repro.keynote.tokens import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_empty_input_gives_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].type is TokenType.EOF
+
+    def test_string_literal(self):
+        assert kinds('"hello"') == [(TokenType.STRING, "hello")]
+
+    def test_string_with_escapes(self):
+        assert kinds(r'"a\"b\\c"') == [(TokenType.STRING, 'a"b\\c')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(KeyNoteSyntaxError):
+            tokenize('"oops')
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [(TokenType.NUMBER, "42"),
+                                    (TokenType.NUMBER, "3.14")]
+
+    def test_number_then_concat_dot(self):
+        # `1 . x`: the dot after a complete number is an operator.
+        assert kinds("1.x") == [(TokenType.NUMBER, "1"), (TokenType.OP, "."),
+                                (TokenType.IDENT, "x")]
+
+    def test_identifiers(self):
+        assert kinds("app_domain _x y2") == [
+            (TokenType.IDENT, "app_domain"),
+            (TokenType.IDENT, "_x"),
+            (TokenType.IDENT, "y2"),
+        ]
+
+    def test_multi_char_operators_greedy(self):
+        assert kinds("a==b") == [(TokenType.IDENT, "a"), (TokenType.OP, "=="),
+                                 (TokenType.IDENT, "b")]
+        assert kinds("a<=b>=c") == [
+            (TokenType.IDENT, "a"), (TokenType.OP, "<="),
+            (TokenType.IDENT, "b"), (TokenType.OP, ">="),
+            (TokenType.IDENT, "c"),
+        ]
+
+    def test_arrow_vs_minus(self):
+        assert kinds("a->b") == [(TokenType.IDENT, "a"), (TokenType.OP, "->"),
+                                 (TokenType.IDENT, "b")]
+        assert kinds("a-b") == [(TokenType.IDENT, "a"), (TokenType.OP, "-"),
+                                (TokenType.IDENT, "b")]
+
+    def test_logical_operators(self):
+        assert kinds("&& || !") == [(TokenType.OP, "&&"), (TokenType.OP, "||"),
+                                    (TokenType.OP, "!")]
+
+    def test_comment_skipped(self):
+        assert kinds("a # comment\nb") == [(TokenType.IDENT, "a"),
+                                           (TokenType.IDENT, "b")]
+
+    def test_position_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(KeyNoteSyntaxError) as err:
+            tokenize("a @ b")
+        assert "@" in str(err.value)
+
+    def test_is_op_helper(self):
+        tok = tokenize("&&")[0]
+        assert tok.is_op("&&")
+        assert tok.is_op("||", "&&")
+        assert not tok.is_op("||")

@@ -1,0 +1,167 @@
+"""Tests for the COM+ catalogue simulator."""
+
+import pytest
+
+from repro.errors import (
+    DeploymentError,
+    UnknownComponentError,
+    UnknownPrincipalError,
+)
+from repro.middleware.complus import ComPlusCatalogue, _nearest_com_permission
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def windows() -> WindowsSecurity:
+    w = WindowsSecurity()
+    w.add_domain("FINANCE")
+    w.add_user("FINANCE", "alice")
+    w.add_user("FINANCE", "bob")
+    return w
+
+
+@pytest.fixture
+def catalogue(windows) -> ComPlusCatalogue:
+    c = ComPlusCatalogue("machine-y", windows)
+    c.create_application("Payroll", nt_domain="FINANCE")
+    c.register_component("Payroll", "SalariesDB")
+    c.declare_role("Payroll", "Clerk")
+    c.declare_role("Payroll", "Manager")
+    c.grant_permission("Payroll", "Clerk", "SalariesDB", "Access")
+    c.grant_permission("Payroll", "Manager", "SalariesDB", "Access")
+    c.grant_permission("Payroll", "Manager", "SalariesDB", "Launch")
+    c.add_role_member("Payroll", "Clerk", "FINANCE", "alice")
+    c.add_role_member("Payroll", "Manager", "FINANCE", "bob")
+    return c
+
+
+class TestCatalogue:
+    def test_duplicate_application_rejected(self, catalogue):
+        with pytest.raises(DeploymentError):
+            catalogue.create_application("Payroll", nt_domain="FINANCE")
+
+    def test_application_needs_known_domain(self, catalogue):
+        with pytest.raises(DeploymentError):
+            catalogue.create_application("X", nt_domain="NOPE")
+
+    def test_clsid_deterministic_and_unique(self, catalogue, windows):
+        other = ComPlusCatalogue("machine-y", windows)
+        other.create_application("Payroll", nt_domain="FINANCE")
+        comp = other.register_component("Payroll", "SalariesDB")
+        assert comp.clsid == catalogue._application(
+            "Payroll").components["SalariesDB"].clsid
+        comp2 = other.register_component("Payroll", "OtherDB")
+        assert comp.clsid != comp2.clsid
+
+    def test_duplicate_component_rejected(self, catalogue):
+        with pytest.raises(DeploymentError):
+            catalogue.register_component("Payroll", "SalariesDB")
+
+    def test_permission_vocabulary_enforced(self, catalogue):
+        with pytest.raises(DeploymentError):
+            catalogue.grant_permission("Payroll", "Clerk", "SalariesDB",
+                                       "read")
+
+    def test_role_member_requires_windows_principal(self, catalogue):
+        with pytest.raises(UnknownPrincipalError):
+            catalogue.add_role_member("Payroll", "Clerk", "FINANCE",
+                                      "mallory")
+
+    def test_unknown_application(self, catalogue):
+        with pytest.raises(UnknownComponentError):
+            catalogue.register_component("Nope", "X")
+
+    def test_remove_role_member(self, catalogue):
+        assert catalogue.remove_role_member("Payroll", "Clerk", "FINANCE",
+                                            "alice")
+        assert not catalogue.invoke("FINANCE\\alice", "SalariesDB", "Access")
+        assert not catalogue.remove_role_member("Payroll", "Clerk", "FINANCE",
+                                                "alice")
+
+    def test_applications_sorted(self, catalogue):
+        assert catalogue.applications() == ["Payroll"]
+
+
+class TestMediation:
+    def test_clerk_access_only(self, catalogue):
+        assert catalogue.invoke("FINANCE\\alice", "SalariesDB", "Access")
+        assert not catalogue.invoke("FINANCE\\alice", "SalariesDB", "Launch")
+
+    def test_manager_launch(self, catalogue):
+        assert catalogue.invoke("FINANCE\\bob", "SalariesDB", "Launch")
+
+    def test_unknown_principal_denied(self, catalogue):
+        assert not catalogue.invoke("FINANCE\\mallory", "SalariesDB", "Access")
+
+    def test_unqualified_user_denied(self, catalogue):
+        assert not catalogue.invoke("alice", "SalariesDB", "Access")
+
+
+class TestRBACInterpretation:
+    def test_extract_uses_nt_domain(self, catalogue):
+        policy = catalogue.extract_rbac()
+        assert Grant("FINANCE", "Clerk", "SalariesDB", "Access") in policy.grants
+        assert Assignment("alice", "FINANCE", "Clerk") in policy.assignments
+
+    def test_round_trip(self, catalogue, windows):
+        policy = catalogue.extract_rbac()
+        clone = ComPlusCatalogue("machine-z", WindowsSecurity())
+        clone.apply_rbac(policy)
+        assert clone.extract_rbac() == policy
+
+    def test_apply_creates_windows_principals(self):
+        w = WindowsSecurity()
+        cat = ComPlusCatalogue("m", w)
+        cat.apply_rbac(RBACPolicy.from_relations(
+            "p", grants=[("NEWDOM", "R", "Comp", "Access")],
+            assignments=[("u", "NEWDOM", "R")]))
+        assert w.has_user("NEWDOM\\u")
+        assert cat.invoke("NEWDOM\\u", "Comp", "Access")
+
+    def test_apply_maps_foreign_permissions(self):
+        cat = ComPlusCatalogue("m", WindowsSecurity())
+        cat.apply_grant(Grant("D", "R", "Comp", "read"))
+        policy = cat.extract_rbac()
+        assert Grant("D", "R", "Comp", "Access") in policy.grants
+
+    def test_components_carry_com_permissions(self, catalogue):
+        comps = catalogue.components()
+        assert len(comps) == 1
+        assert comps[0].operations == ("Launch", "Access", "RunAs")
+
+
+class TestRunAsIdentity:
+    def test_default_is_launcher(self, catalogue):
+        assert catalogue.effective_identity("Payroll", "FINANCE\\bob") \
+            == "FINANCE\\bob"
+
+    def test_configured_run_as(self, catalogue):
+        catalogue.set_run_as("Payroll", "FINANCE", "alice")
+        assert catalogue.effective_identity("Payroll", "FINANCE\\bob") \
+            == "FINANCE\\alice"
+
+    def test_run_as_requires_known_principal(self, catalogue):
+        with pytest.raises(UnknownPrincipalError):
+            catalogue.set_run_as("Payroll", "FINANCE", "ghost")
+
+    def test_run_as_permission_gates_launch_entitlement(self, catalogue):
+        catalogue.grant_permission("Payroll", "Manager", "SalariesDB",
+                                   "RunAs")
+        assert catalogue.invoke("FINANCE\\bob", "SalariesDB", "RunAs")
+        assert not catalogue.invoke("FINANCE\\alice", "SalariesDB", "RunAs")
+
+
+class TestPermissionMapping:
+    @pytest.mark.parametrize("foreign,expected", [
+        ("read", "Access"),
+        ("write", "Access"),
+        ("execute", "Launch"),
+        ("launch_app", "Launch"),
+        ("start", "Launch"),
+        ("run_as_user", "RunAs"),
+        ("Access", "Access"),
+    ])
+    def test_nearest_mapping(self, foreign, expected):
+        assert _nearest_com_permission(foreign) == expected

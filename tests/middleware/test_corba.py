@@ -1,0 +1,111 @@
+"""Tests for the CORBA ORB simulator."""
+
+import pytest
+
+from repro.errors import DeploymentError, UnknownComponentError
+from repro.middleware.corba import CorbaOrb
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def orb() -> CorbaOrb:
+    o = CorbaOrb(machine="hosty", orb_name="orb1")
+    o.register_interface("SalariesDB", operations=("read", "write"))
+    o.declare_role("Manager")
+    o.declare_role("Clerk")
+    o.grant_right("Manager", "SalariesDB", "read")
+    o.grant_right("Clerk", "SalariesDB", "write")
+    o.assign_role("Manager", "Claire")
+    o.assign_role("Clerk", "Alice")
+    return o
+
+
+class TestInterfaces:
+    def test_repository_id(self, orb):
+        iface = orb.interfaces()[0]
+        assert iface.repository_id == "IDL:SalariesDB:1.0"
+
+    def test_duplicate_interface_rejected(self, orb):
+        with pytest.raises(DeploymentError):
+            orb.register_interface("SalariesDB", operations=("x",))
+
+    def test_interface_needs_operations(self, orb):
+        with pytest.raises(DeploymentError):
+            orb.register_interface("Empty", operations=())
+
+    def test_bind_and_resolve(self, orb):
+        ref = orb.bind_object("SalariesDB")
+        assert ref.ior.startswith("IOR:")
+        assert orb.resolve(ref.ior) is ref
+
+    def test_bind_unknown_interface(self, orb):
+        with pytest.raises(UnknownComponentError):
+            orb.bind_object("Nope")
+
+    def test_resolve_dangling_ior(self, orb):
+        with pytest.raises(UnknownComponentError):
+            orb.resolve("IOR:deadbeef")
+
+    def test_distinct_iors(self, orb):
+        assert orb.bind_object("SalariesDB").ior != orb.bind_object(
+            "SalariesDB").ior
+
+
+class TestPolicy:
+    def test_grant_requires_declared_role(self, orb):
+        with pytest.raises(DeploymentError):
+            orb.grant_right("Intern", "SalariesDB", "read")
+
+    def test_grant_requires_known_operation(self, orb):
+        with pytest.raises(DeploymentError):
+            orb.grant_right("Manager", "SalariesDB", "drop")
+
+    def test_assign_requires_declared_role(self, orb):
+        with pytest.raises(DeploymentError):
+            orb.assign_role("Intern", "X")
+
+    def test_users(self, orb):
+        assert orb.users() == {"Claire", "Alice"}
+
+
+class TestMediation:
+    def test_decisions(self, orb):
+        assert orb.invoke("Claire", "SalariesDB", "read")
+        assert not orb.invoke("Claire", "SalariesDB", "write")
+        assert orb.invoke("Alice", "SalariesDB", "write")
+        assert not orb.invoke("Mallory", "SalariesDB", "read")
+
+
+class TestRBACInterpretation:
+    def test_domain_is_machine_slash_orb(self, orb):
+        assert orb.domain == "hosty/orb1"
+
+    def test_extract(self, orb):
+        policy = orb.extract_rbac()
+        assert Grant("hosty/orb1", "Manager", "SalariesDB", "read") in policy.grants
+        assert Assignment("Claire", "hosty/orb1", "Manager") in policy.assignments
+
+    def test_round_trip(self, orb):
+        policy = orb.extract_rbac()
+        clone = CorbaOrb(machine="hosty", orb_name="orb1")
+        clone.apply_rbac(policy)
+        assert clone.extract_rbac() == policy
+
+    def test_apply_foreign_domain_rejected(self, orb):
+        with pytest.raises(UnknownComponentError):
+            orb.apply_grant(Grant("other/orb", "R", "X", "op"))
+        with pytest.raises(UnknownComponentError):
+            orb.apply_assignment(Assignment("u", "other/orb", "R"))
+
+    def test_apply_creates_interface_and_role(self):
+        fresh = CorbaOrb(machine="m", orb_name="o")
+        fresh.apply_rbac(RBACPolicy.from_relations(
+            "p", grants=[("m/o", "R", "NewIface", "op")],
+            assignments=[("u", "m/o", "R")]))
+        assert fresh.invoke("u", "NewIface", "op")
+
+    def test_components(self, orb):
+        comps = orb.components()
+        assert len(comps) == 1
+        assert comps[0].component_id == "hosty/orb1#SalariesDB"

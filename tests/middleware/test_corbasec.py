@@ -1,0 +1,139 @@
+"""Tests for the CORBASec required-rights model and its ORB integration."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.corbasec import CorbaSecPolicy, RequiredRights
+from repro.rbac.model import Grant
+
+
+@pytest.fixture
+def policy() -> CorbaSecPolicy:
+    p = CorbaSecPolicy()
+    # Standard CORBASec documentation example shapes:
+    p.set_required("SalariesDB", "read", {"get"})
+    p.set_required("SalariesDB", "write", {"get", "set"}, combinator="all")
+    p.set_required("SalariesDB", "audit", {"manage", "use"},
+                   combinator="any")
+    p.declare_role("Clerk")
+    p.declare_role("Manager")
+    p.grant_rights("Clerk", {"get"})
+    p.grant_rights("Manager", {"get", "set"})
+    p.assign_role("Clerk", "alice")
+    p.assign_role("Manager", "bob")
+    return p
+
+
+class TestRequiredRights:
+    def test_all_combinator(self):
+        req = RequiredRights(frozenset({"get", "set"}), "all")
+        assert req.satisfied_by(frozenset({"get", "set", "use"}))
+        assert not req.satisfied_by(frozenset({"get"}))
+
+    def test_any_combinator(self):
+        req = RequiredRights(frozenset({"manage", "use"}), "any")
+        assert req.satisfied_by(frozenset({"use"}))
+        assert not req.satisfied_by(frozenset({"get"}))
+
+    def test_unknown_right_rejected(self):
+        with pytest.raises(DeploymentError):
+            RequiredRights(frozenset({"fly"}))
+
+    def test_bad_combinator_rejected(self):
+        with pytest.raises(DeploymentError):
+            RequiredRights(frozenset({"get"}), "most")
+
+    def test_empty_rights_rejected(self):
+        with pytest.raises(DeploymentError):
+            RequiredRights(frozenset())
+
+
+class TestPolicyDecisions:
+    def test_clerk_reads_only(self, policy):
+        assert policy.access_allowed("alice", "SalariesDB", "read")
+        assert not policy.access_allowed("alice", "SalariesDB", "write")
+
+    def test_manager_reads_and_writes(self, policy):
+        assert policy.access_allowed("bob", "SalariesDB", "read")
+        assert policy.access_allowed("bob", "SalariesDB", "write")
+
+    def test_any_combinator_decision(self, policy):
+        policy.declare_role("Auditor")
+        policy.grant_rights("Auditor", {"use"})
+        policy.assign_role("Auditor", "carol")
+        assert policy.access_allowed("carol", "SalariesDB", "audit")
+        assert not policy.access_allowed("bob", "SalariesDB", "audit")
+
+    def test_unprotected_operation_closed(self, policy):
+        assert not policy.access_allowed("bob", "SalariesDB", "unlisted")
+
+    def test_rights_accumulate_across_roles(self, policy):
+        policy.declare_role("Setter")
+        policy.grant_rights("Setter", {"set"})
+        policy.assign_role("Setter", "alice")
+        # alice: get (Clerk) + set (Setter) => write now allowed.
+        assert policy.access_allowed("alice", "SalariesDB", "write")
+
+    def test_remove_member(self, policy):
+        assert policy.remove_member("Clerk", "alice")
+        assert not policy.access_allowed("alice", "SalariesDB", "read")
+        assert not policy.remove_member("Clerk", "alice")
+
+    def test_grant_requires_declared_role(self, policy):
+        with pytest.raises(DeploymentError):
+            policy.grant_rights("Intern", {"get"})
+        with pytest.raises(DeploymentError):
+            policy.assign_role("Intern", "x")
+        with pytest.raises(DeploymentError):
+            policy.grant_rights("Clerk", {"warp"})
+
+    def test_tables_render(self, policy):
+        assert "Combinator" in policy.required_rights_table()
+        assert "Manager" in policy.granted_rights_table()
+
+
+class TestOrbIntegration:
+    @pytest.fixture
+    def orb(self, policy) -> CorbaOrb:
+        orb = CorbaOrb(machine="m", orb_name="o")
+        orb.register_interface("SalariesDB",
+                               operations=("read", "write", "audit"))
+        orb.attach_corbasec(policy)
+        return orb
+
+    def test_mediation_uses_rights(self, orb):
+        assert orb.invoke("alice", "SalariesDB", "read")
+        assert not orb.invoke("alice", "SalariesDB", "write")
+        assert orb.invoke("bob", "SalariesDB", "write")
+
+    def test_extract_rbac_flattens_rights(self, orb):
+        policy = orb.extract_rbac()
+        assert Grant("m/o", "Clerk", "SalariesDB", "read") in policy.grants
+        assert Grant("m/o", "Manager", "SalariesDB", "write") in policy.grants
+        assert Grant("m/o", "Clerk", "SalariesDB", "write") not in policy.grants
+        assert policy.members_of("m/o", "Manager") == {"bob"}
+
+    def test_flattened_policy_matches_decisions(self, orb):
+        """The flattening is faithful: RBAC decisions == rights decisions."""
+        flattened = orb.extract_rbac()
+        for user in ("alice", "bob"):
+            for op in ("read", "write", "audit"):
+                assert (flattened.check_access(user, "SalariesDB", op)
+                        == orb.invoke(user, "SalariesDB", op)), (user, op)
+
+    def test_detach_returns_to_plain_policy(self, orb):
+        orb.detach_corbasec()
+        assert orb.corbasec is None
+        assert not orb.invoke("alice", "SalariesDB", "read")
+
+    def test_migration_from_corbasec_orb(self, orb):
+        """The Figure-9 style pipeline works from a rights-mediated ORB."""
+        from repro.middleware.ejb import EJBServer
+        from repro.translate.migrate import DomainMapping, migrate_policy
+
+        target = EJBServer(host="h", server_name="s")
+        migrate_policy(orb, target,
+                       DomainMapping(explicit={"m/o": "h:s/Payroll"}))
+        assert target.invoke("alice", "SalariesDB", "read")
+        assert not target.invoke("alice", "SalariesDB", "write")

@@ -1,0 +1,135 @@
+"""Tests for the EJB server simulator."""
+
+import pytest
+
+from repro.errors import DeploymentError, UnknownComponentError
+from repro.middleware.ejb import EJBServer
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def server() -> EJBServer:
+    s = EJBServer(host="hostx", server_name="ejb1")
+    s.deploy_container("Payroll")
+    s.deploy_bean("Payroll", "SalariesDB", methods=("read", "write"))
+    s.declare_role("Payroll", "Clerk")
+    s.declare_role("Payroll", "Manager")
+    s.add_method_permission("Payroll", "SalariesDB", "Clerk", "write")
+    s.add_method_permission("Payroll", "SalariesDB", "Manager", "read")
+    s.add_method_permission("Payroll", "SalariesDB", "Manager", "write")
+    s.add_user("Alice")
+    s.add_user("Bob")
+    s.assign_role("Payroll", "Clerk", "Alice")
+    s.assign_role("Payroll", "Manager", "Bob")
+    return s
+
+
+class TestDeployment:
+    def test_duplicate_container_rejected(self, server):
+        with pytest.raises(DeploymentError):
+            server.deploy_container("Payroll")
+
+    def test_duplicate_bean_rejected(self, server):
+        with pytest.raises(DeploymentError):
+            server.deploy_bean("Payroll", "SalariesDB", methods=("x",))
+
+    def test_bean_needs_methods(self, server):
+        with pytest.raises(DeploymentError):
+            server.deploy_bean("Payroll", "Empty", methods=())
+
+    def test_unknown_container(self, server):
+        with pytest.raises(UnknownComponentError):
+            server.deploy_bean("Nope", "B", methods=("m",))
+
+    def test_method_permission_validation(self, server):
+        with pytest.raises(DeploymentError):
+            server.add_method_permission("Payroll", "SalariesDB",
+                                         "Intern", "read")
+        with pytest.raises(DeploymentError):
+            server.add_method_permission("Payroll", "SalariesDB",
+                                         "Clerk", "no_such_method")
+        with pytest.raises(UnknownComponentError):
+            server.add_method_permission("Payroll", "NoBean", "Clerk", "read")
+
+    def test_assign_requires_registered_user(self, server):
+        with pytest.raises(DeploymentError):
+            server.assign_role("Payroll", "Clerk", "Mallory")
+
+    def test_assign_requires_declared_role(self, server):
+        with pytest.raises(DeploymentError):
+            server.assign_role("Payroll", "Intern", "Alice")
+
+
+class TestMediation:
+    def test_clerk_writes_only(self, server):
+        assert server.invoke("Alice", "SalariesDB", "write")
+        assert not server.invoke("Alice", "SalariesDB", "read")
+
+    def test_manager_reads_and_writes(self, server):
+        assert server.invoke("Bob", "SalariesDB", "read")
+        assert server.invoke("Bob", "SalariesDB", "write")
+
+    def test_unknown_user_denied(self, server):
+        assert not server.invoke("Mallory", "SalariesDB", "read")
+
+    def test_unknown_bean_denied(self, server):
+        assert not server.invoke("Bob", "NoBean", "read")
+
+    def test_unassign_revokes(self, server):
+        assert server.unassign_role("Payroll", "Clerk", "Alice")
+        assert not server.invoke("Alice", "SalariesDB", "write")
+        assert not server.unassign_role("Payroll", "Clerk", "Alice")
+
+
+class TestInterrogation:
+    def test_components_list(self, server):
+        comps = server.components()
+        assert len(comps) == 1
+        assert comps[0].object_type == "SalariesDB"
+        assert comps[0].operations == ("read", "write")
+        assert comps[0].component_id == "hostx:ejb1/Payroll#SalariesDB"
+
+    def test_domain_mapping(self, server):
+        assert server.domain_of("Payroll") == "hostx:ejb1/Payroll"
+        assert server.container_of_domain("hostx:ejb1/Payroll") == "Payroll"
+        with pytest.raises(UnknownComponentError):
+            server.container_of_domain("other:server/X")
+
+
+class TestRBACInterpretation:
+    def test_extract_rbac(self, server):
+        policy = server.extract_rbac()
+        domain = "hostx:ejb1/Payroll"
+        assert Grant(domain, "Clerk", "SalariesDB", "write") in policy.grants
+        assert Grant(domain, "Manager", "SalariesDB", "read") in policy.grants
+        assert Assignment("Alice", domain, "Clerk") in policy.assignments
+        assert len(policy.grants) == 3
+        assert len(policy.assignments) == 2
+
+    def test_extract_apply_round_trip(self, server):
+        policy = server.extract_rbac()
+        clone = EJBServer(host="hostx", server_name="ejb1")
+        clone.apply_rbac(policy)
+        assert clone.extract_rbac() == policy
+
+    def test_apply_creates_missing_structure(self):
+        fresh = EJBServer(host="h", server_name="s")
+        policy = RBACPolicy.from_relations(
+            "p",
+            grants=[("h:s/C", "R", "Obj", "op")],
+            assignments=[("u", "h:s/C", "R")])
+        fresh.apply_rbac(policy)
+        assert fresh.invoke("u", "Obj", "op")
+
+    def test_apply_foreign_domain_rejected(self):
+        fresh = EJBServer(host="h", server_name="s")
+        with pytest.raises(UnknownComponentError):
+            fresh.apply_grant(Grant("elsewhere:x/C", "R", "Obj", "op"))
+
+    def test_mediation_matches_rbac_semantics(self, server):
+        policy = server.extract_rbac()
+        for user in ("Alice", "Bob"):
+            for op in ("read", "write"):
+                assert (server.invoke(user, "SalariesDB", op)
+                        == policy.check_access(user, "SalariesDB", op))

@@ -1,0 +1,57 @@
+"""Tests for the middleware registry."""
+
+import pytest
+
+from repro.errors import UnknownComponentError
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.ejb import EJBServer
+from repro.middleware.registry import MiddlewareRegistry
+
+
+@pytest.fixture
+def registry() -> MiddlewareRegistry:
+    reg = MiddlewareRegistry()
+    ejb = EJBServer(host="hx", server_name="s1")
+    ejb.deploy_container("C")
+    ejb.deploy_bean("C", "BeanA", methods=("m1",))
+    orb = CorbaOrb(machine="hy", orb_name="o1")
+    orb.register_interface("IfaceB", operations=("op1", "op2"))
+    reg.register(ejb)
+    reg.register(orb)
+    return reg
+
+
+class TestRegistry:
+    def test_register_and_get(self, registry):
+        assert registry.get("hx:s1").kind == "ejb"
+        assert "hy/o1" in registry
+        assert len(registry) == 2
+
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register(EJBServer(host="hx", server_name="s1"))
+
+    def test_get_unknown(self, registry):
+        with pytest.raises(UnknownComponentError):
+            registry.get("nope")
+
+    def test_iteration_sorted_by_name(self, registry):
+        assert [m.name for m in registry] == ["hx:s1", "hy/o1"]
+
+    def test_all_components(self, registry):
+        ids = {c.component_id for c in registry.all_components()}
+        assert ids == {"hx:s1/C#BeanA", "hy/o1#IfaceB"}
+
+    def test_find_component(self, registry):
+        middleware, component = registry.find_component("hy/o1#IfaceB")
+        assert middleware.kind == "corba"
+        assert component.object_type == "IfaceB"
+
+    def test_find_unknown_component(self, registry):
+        with pytest.raises(UnknownComponentError):
+            registry.find_component("nope#nothing")
+
+    def test_extract_all(self, registry):
+        policies = registry.extract_all()
+        assert len(policies) == 2
+        assert {p.name for p in policies} == {"ejb:hx:s1", "corba:hy/o1"}

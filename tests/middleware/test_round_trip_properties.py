@@ -1,0 +1,101 @@
+"""Property tests: extract/apply round-trips across the middleware
+simulators, over random policies — the invariant the whole translation
+pipeline rests on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.complus import COM_PERMISSIONS, ComPlusCatalogue
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.policy import RBACPolicy
+
+_ROLES = st.sampled_from(["r1", "r2", "r3"])
+_TYPES = st.sampled_from(["T1", "T2"])
+_USERS = st.sampled_from(["u1", "u2", "u3"])
+
+
+def ejb_policies():
+    domains = st.sampled_from(["h:s/C1", "h:s/C2"])
+    grants = st.lists(st.tuples(domains, _ROLES, _TYPES,
+                                st.sampled_from(["read", "write"])),
+                      max_size=8)
+    assignments = st.lists(st.tuples(_USERS, domains, _ROLES), max_size=6)
+    return st.tuples(grants, assignments)
+
+
+def com_policies():
+    domains = st.sampled_from(["NTD1", "NTD2"])
+    grants = st.lists(st.tuples(domains, _ROLES, _TYPES,
+                                st.sampled_from(COM_PERMISSIONS)),
+                      max_size=8)
+    assignments = st.lists(st.tuples(_USERS, domains, _ROLES), max_size=6)
+    return st.tuples(grants, assignments)
+
+
+def corba_policies():
+    domains = st.just("m/o")
+    grants = st.lists(st.tuples(domains, _ROLES, _TYPES,
+                                st.sampled_from(["read", "write"])),
+                      max_size=8)
+    assignments = st.lists(st.tuples(_USERS, domains, _ROLES), max_size=6)
+    return st.tuples(grants, assignments)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ejb_policies())
+    def test_ejb_apply_extract_identity(self, relations):
+        grants, assignments = relations
+        policy = RBACPolicy.from_relations("p", grants, assignments)
+        server = EJBServer(host="h", server_name="s")
+        server.apply_rbac(policy)
+        assert server.extract_rbac() == policy
+
+    @settings(max_examples=40, deadline=None)
+    @given(com_policies())
+    def test_com_apply_extract_identity(self, relations):
+        grants, assignments = relations
+        policy = RBACPolicy.from_relations("p", grants, assignments)
+        catalogue = ComPlusCatalogue("m", WindowsSecurity())
+        catalogue.apply_rbac(policy)
+        assert catalogue.extract_rbac() == policy
+
+    @settings(max_examples=40, deadline=None)
+    @given(corba_policies())
+    def test_corba_apply_extract_identity(self, relations):
+        grants, assignments = relations
+        policy = RBACPolicy.from_relations("p", grants, assignments)
+        orb = CorbaOrb(machine="m", orb_name="o")
+        orb.apply_rbac(policy)
+        assert orb.extract_rbac() == policy
+
+    @settings(max_examples=30, deadline=None)
+    @given(ejb_policies())
+    def test_mediation_agrees_with_extraction(self, relations):
+        """For every (user, type, permission) in the vocabulary, the native
+        decision equals the RBAC reading's decision."""
+        grants, assignments = relations
+        policy = RBACPolicy.from_relations("p", grants, assignments)
+        server = EJBServer(host="h", server_name="s")
+        server.apply_rbac(policy)
+        extracted = server.extract_rbac()
+        for user in ("u1", "u2", "u3"):
+            for obj in ("T1", "T2"):
+                for perm in ("read", "write"):
+                    assert (server.invoke(user, obj, perm)
+                            == extracted.check_access(user, obj, perm))
+
+    @settings(max_examples=30, deadline=None)
+    @given(ejb_policies(), ejb_policies())
+    def test_apply_is_cumulative_union(self, first, second):
+        """Applying two policies yields the union of their relations."""
+        p1 = RBACPolicy.from_relations("a", *first)
+        p2 = RBACPolicy.from_relations("b", *second)
+        server = EJBServer(host="h", server_name="s")
+        server.apply_rbac(p1)
+        server.apply_rbac(p2)
+        merged = server.extract_rbac()
+        assert merged.grants == p1.grants | p2.grants
+        assert merged.assignments == p1.assignments | p2.assignments

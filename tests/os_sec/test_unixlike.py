@@ -1,0 +1,80 @@
+"""Tests for the Unix-like OS security substrate."""
+
+import pytest
+
+from repro.errors import UnknownPrincipalError
+from repro.os_sec.unixlike import UnixSecurity
+
+
+@pytest.fixture
+def osec() -> UnixSecurity:
+    u = UnixSecurity()
+    u.add_user("alice", groups=["finance"])
+    u.add_user("bob", groups=["finance", "managers"])
+    u.add_user("eve")
+    u.create_object("/db/salaries", owner="alice", group="finance", mode=0o640)
+    return u
+
+
+class TestPrincipals:
+    def test_has_user(self, osec):
+        assert osec.has_user("alice")
+        assert not osec.has_user("mallory")
+
+    def test_groups_of(self, osec):
+        assert osec.groups_of("bob") == {"finance", "managers"}
+
+    def test_groups_of_unknown_user(self, osec):
+        with pytest.raises(UnknownPrincipalError):
+            osec.groups_of("mallory")
+
+    def test_add_to_group(self, osec):
+        osec.add_to_group("eve", "finance")
+        assert "finance" in osec.groups_of("eve")
+
+    def test_add_to_group_unknown_user(self, osec):
+        with pytest.raises(UnknownPrincipalError):
+            osec.add_to_group("mallory", "g")
+
+
+class TestObjects:
+    def test_create_requires_known_owner(self, osec):
+        with pytest.raises(UnknownPrincipalError):
+            osec.create_object("/x", owner="mallory", group="g")
+
+    def test_mode_validation(self, osec):
+        with pytest.raises(ValueError):
+            osec.create_object("/x", owner="alice", group="g", mode=0o1000)
+        with pytest.raises(ValueError):
+            osec.chmod("/db/salaries", -1)
+
+    def test_has_object(self, osec):
+        assert osec.has_object("/db/salaries")
+        assert not osec.has_object("/nope")
+
+
+class TestAccessCheck:
+    def test_owner_bits(self, osec):
+        assert osec.check("alice", "/db/salaries", "read")
+        assert osec.check("alice", "/db/salaries", "write")
+        assert not osec.check("alice", "/db/salaries", "execute")
+
+    def test_group_bits(self, osec):
+        assert osec.check("bob", "/db/salaries", "read")
+        assert not osec.check("bob", "/db/salaries", "write")
+
+    def test_other_bits(self, osec):
+        assert not osec.check("eve", "/db/salaries", "read")
+
+    def test_chmod_changes_decision(self, osec):
+        osec.chmod("/db/salaries", 0o666)
+        assert osec.check("eve", "/db/salaries", "write")
+
+    def test_unknown_object_denied(self, osec):
+        assert not osec.check("alice", "/nope", "read")
+
+    def test_unknown_user_denied(self, osec):
+        assert not osec.check("mallory", "/db/salaries", "read")
+
+    def test_unknown_access_kind_denied(self, osec):
+        assert not osec.check("alice", "/db/salaries", "chortle")

@@ -1,0 +1,111 @@
+"""Tests for the Windows NT security substrate."""
+
+import pytest
+
+from repro.errors import UnknownPrincipalError
+from repro.os_sec.windows import WindowsSecurity
+
+
+@pytest.fixture
+def osec() -> WindowsSecurity:
+    w = WindowsSecurity()
+    w.add_domain("FINANCE")
+    w.add_domain("SALES")
+    w.add_user("FINANCE", "alice")
+    w.add_user("FINANCE", "bob")
+    w.add_user("SALES", "claire")
+    w.add_group("FINANCE", "Managers")
+    w.add_member("FINANCE", "Managers", "FINANCE", "bob")
+    w.create_object("catalogue", owner=("FINANCE", "bob"))
+    return w
+
+
+class TestPrincipals:
+    def test_sids_are_stable(self, osec):
+        assert osec.sid_of("FINANCE", "alice") == osec.sid_of("FINANCE", "alice")
+
+    def test_sids_are_distinct(self, osec):
+        assert osec.sid_of("FINANCE", "alice") != osec.sid_of("FINANCE", "bob")
+        assert (osec.sid_of("FINANCE", "alice")
+                != osec.group_sid("FINANCE", "Managers"))
+
+    def test_unknown_domain_rejected(self, osec):
+        with pytest.raises(UnknownPrincipalError):
+            osec.add_user("NOPE", "x")
+
+    def test_unknown_user_rejected(self, osec):
+        with pytest.raises(UnknownPrincipalError):
+            osec.sid_of("FINANCE", "mallory")
+
+    def test_has_user_with_principal_syntax(self, osec):
+        assert osec.has_user("FINANCE\\alice")
+        assert not osec.has_user("FINANCE\\mallory")
+        assert not osec.has_user("alice")  # needs the domain prefix
+
+    def test_users_in_domain(self, osec):
+        assert osec.users_in_domain("FINANCE") == {"alice", "bob"}
+
+    def test_cross_domain_group_membership(self, osec):
+        osec.add_member("FINANCE", "Managers", "SALES", "claire")
+        token = osec.token_sids("SALES", "claire")
+        assert osec.group_sid("FINANCE", "Managers") in token
+
+
+class TestToken:
+    def test_token_contains_user_and_everyone(self, osec):
+        token = osec.token_sids("FINANCE", "alice")
+        assert osec.sid_of("FINANCE", "alice") in token
+        assert WindowsSecurity.EVERYONE_SID in token
+
+    def test_token_contains_groups(self, osec):
+        token = osec.token_sids("FINANCE", "bob")
+        assert osec.group_sid("FINANCE", "Managers") in token
+
+    def test_nested_groups(self, osec):
+        osec.add_group("FINANCE", "Staff")
+        # Managers is a member of Staff (group nesting via member sets).
+        osec._members[osec.group_sid("FINANCE", "Staff")].add(
+            osec.group_sid("FINANCE", "Managers"))
+        token = osec.token_sids("FINANCE", "bob")
+        assert osec.group_sid("FINANCE", "Staff") in token
+
+
+class TestAccessCheck:
+    def test_owner_always_allowed(self, osec):
+        assert osec.check("FINANCE\\bob", "catalogue", "read")
+
+    def test_default_deny(self, osec):
+        assert not osec.check("FINANCE\\alice", "catalogue", "read")
+
+    def test_allow_ace(self, osec):
+        osec.allow("catalogue", osec.sid_of("FINANCE", "alice"), {"read"})
+        assert osec.check("FINANCE\\alice", "catalogue", "read")
+        assert not osec.check("FINANCE\\alice", "catalogue", "write")
+
+    def test_group_ace(self, osec):
+        osec.allow("catalogue", osec.group_sid("FINANCE", "Managers"),
+                   {"write"})
+        assert osec.check("FINANCE\\bob", "catalogue", "write")
+        assert not osec.check("FINANCE\\alice", "catalogue", "write")
+
+    def test_deny_ace_dominates(self, osec):
+        sid = osec.sid_of("FINANCE", "alice")
+        osec.allow("catalogue", sid, {"read"})
+        osec.deny("catalogue", sid, {"read"})
+        assert not osec.check("FINANCE\\alice", "catalogue", "read")
+
+    def test_everyone_ace(self, osec):
+        osec.allow("catalogue", WindowsSecurity.EVERYONE_SID, {"read"})
+        assert osec.check("SALES\\claire", "catalogue", "read")
+
+    def test_unknown_object_denied(self, osec):
+        assert not osec.check("FINANCE\\bob", "nope", "read")
+
+    def test_unknown_user_denied(self, osec):
+        assert not osec.check("FINANCE\\mallory", "catalogue", "read")
+
+    def test_dacl_inspection(self, osec):
+        osec.allow("catalogue", WindowsSecurity.EVERYONE_SID, {"read"})
+        dacl = osec.dacl_of("catalogue")
+        assert len(dacl) == 1
+        assert dacl[0].allow

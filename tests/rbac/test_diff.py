@@ -1,0 +1,113 @@
+"""Tests for policy diff/merge (the maintenance substrate)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rbac.diff import diff_policies, merge_policies
+from repro.rbac.policy import RBACPolicy
+
+
+def small_policy(grants, assignments) -> RBACPolicy:
+    return RBACPolicy.from_relations("p", grants, assignments)
+
+
+class TestDiff:
+    def test_identical_policies_empty_delta(self):
+        a = small_policy([("D", "r", "T", "read")], [("u", "D", "r")])
+        b = a.copy()
+        delta = diff_policies(a, b)
+        assert delta.is_empty()
+        assert len(delta) == 0
+
+    def test_added_and_removed(self):
+        old = small_policy([("D", "r", "T", "read")], [("u", "D", "r")])
+        new = small_policy([("D", "r", "T", "write")], [("u", "D", "r"), ("v", "D", "r")])
+        delta = diff_policies(old, new)
+        assert len(delta.added_grants) == 1
+        assert len(delta.removed_grants) == 1
+        assert len(delta.added_assignments) == 1
+        assert not delta.removed_assignments
+
+    def test_apply_transforms_old_into_new(self):
+        old = small_policy([("D", "r", "T", "read")], [("u", "D", "r")])
+        new = small_policy([("D", "r", "T", "write"), ("E", "s", "T", "read")],
+                           [("v", "E", "s")])
+        delta = diff_policies(old, new)
+        assert delta.apply_to(old.copy()) == new
+
+    def test_inverse_round_trip(self):
+        old = small_policy([("D", "r", "T", "read")], [("u", "D", "r")])
+        new = small_policy([], [("v", "D", "r")])
+        delta = diff_policies(old, new)
+        restored = delta.inverse().apply_to(delta.apply_to(old.copy()))
+        assert restored == old
+
+    def test_summary_format(self):
+        old = small_policy([], [])
+        new = small_policy([("D", "r", "T", "read")], [])
+        assert diff_policies(old, new).summary() == "+1g -0g +0a -0a"
+
+
+# Hypothesis strategies over small vocabularies so collisions happen.
+_D = st.sampled_from(["D1", "D2"])
+_R = st.sampled_from(["r1", "r2"])
+_T = st.sampled_from(["T1", "T2"])
+_P = st.sampled_from(["read", "write"])
+_U = st.sampled_from(["u1", "u2", "u3"])
+
+grants_strategy = st.lists(st.tuples(_D, _R, _T, _P), max_size=8)
+assignments_strategy = st.lists(st.tuples(_U, _D, _R), max_size=8)
+
+
+class TestDiffProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(grants_strategy, assignments_strategy, grants_strategy,
+           assignments_strategy)
+    def test_apply_diff_reaches_target(self, g1, a1, g2, a2):
+        old = small_policy(g1, a1)
+        new = small_policy(g2, a2)
+        assert diff_policies(old, new).apply_to(old.copy()) == new
+
+    @settings(max_examples=60, deadline=None)
+    @given(grants_strategy, assignments_strategy)
+    def test_self_diff_is_empty(self, g, a):
+        p = small_policy(g, a)
+        assert diff_policies(p, p.copy()).is_empty()
+
+
+class TestMerge:
+    def test_union_semantics(self):
+        a = small_policy([("D", "r", "T", "read")], [("u", "D", "r")])
+        b = small_policy([("E", "s", "T", "write")], [("v", "E", "s")])
+        merged, conflicts = merge_policies("global", [a, b])
+        assert len(merged.grants) == 2
+        assert len(merged.assignments) == 2
+        assert conflicts == []
+
+    def test_divergence_reported(self):
+        a = RBACPolicy("sysA")
+        a.grant("D", "r", "T", "read")
+        b = RBACPolicy("sysB")
+        b.grant("D", "r", "T", "read")
+        b.grant("D", "r", "T", "write")
+        merged, conflicts = merge_policies("global", [a, b])
+        assert len(conflicts) == 1
+        assert conflicts[0].key == ("D", "r", "T")
+        assert conflicts[0].permissions_by_source["sysA"] == frozenset({"read"})
+        assert "sysA" in str(conflicts[0])
+
+    def test_merge_of_nothing_is_empty(self):
+        merged, conflicts = merge_policies("global", [])
+        assert merged.is_empty()
+        assert conflicts == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(grants_strategy, assignments_strategy, grants_strategy,
+           assignments_strategy)
+    def test_merge_contains_both_sources(self, g1, a1, g2, a2):
+        a = small_policy(g1, a1)
+        b = small_policy(g2, a2)
+        merged, _ = merge_policies("global", [a, b])
+        assert a.grants <= merged.grants
+        assert b.grants <= merged.grants
+        assert a.assignments <= merged.assignments

@@ -1,0 +1,62 @@
+"""Tests for RBAC value types."""
+
+import pytest
+
+from repro.rbac.model import Assignment, DomainRole, Grant
+
+
+class TestDomainRole:
+    def test_str(self):
+        assert str(DomainRole("Finance", "Clerk")) == "Finance/Clerk"
+
+    def test_parse_round_trip(self):
+        dr = DomainRole("Finance", "Clerk")
+        assert DomainRole.parse(str(dr)) == dr
+
+    def test_parse_rejects_missing_separator(self):
+        with pytest.raises(ValueError):
+            DomainRole.parse("no-separator")
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            DomainRole("", "Clerk")
+        with pytest.raises(ValueError):
+            DomainRole("Finance", "")
+
+    def test_ordering_is_total(self):
+        roles = [DomainRole("B", "x"), DomainRole("A", "y"), DomainRole("A", "x")]
+        assert sorted(roles) == [DomainRole("A", "x"), DomainRole("A", "y"),
+                                 DomainRole("B", "x")]
+
+    def test_hashable(self):
+        assert len({DomainRole("A", "r"), DomainRole("A", "r")}) == 1
+
+
+class TestGrant:
+    def test_domain_role_property(self):
+        g = Grant("Finance", "Clerk", "SalariesDB", "write")
+        assert g.domain_role == DomainRole("Finance", "Clerk")
+
+    def test_str(self):
+        g = Grant("Finance", "Clerk", "SalariesDB", "write")
+        assert "Finance/Clerk" in str(g)
+        assert "write" in str(g)
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(ValueError):
+            Grant("Finance", "Clerk", "", "write")
+        with pytest.raises(ValueError):
+            Grant("Finance", "Clerk", "SalariesDB", "")
+
+
+class TestAssignment:
+    def test_domain_role_property(self):
+        a = Assignment("Alice", "Finance", "Clerk")
+        assert a.domain_role == DomainRole("Finance", "Clerk")
+
+    def test_str(self):
+        assert str(Assignment("Alice", "Finance", "Clerk")) == "Alice in Finance/Clerk"
+
+    def test_rejects_empty_user(self):
+        with pytest.raises(ValueError):
+            Assignment("", "Finance", "Clerk")

@@ -1,0 +1,146 @@
+"""Tests for the RBAC policy relations and decisions.
+
+The fixture mirrors the paper's Figure 1 exactly.
+"""
+
+import pytest
+
+from repro.errors import UnknownRoleError
+from repro.rbac.model import DomainRole
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def salaries() -> RBACPolicy:
+    """The Figure-1 policy: Salaries Database."""
+    return RBACPolicy.from_relations(
+        "salaries",
+        grants=[
+            ("Finance", "Clerk", "SalariesDB", "write"),
+            ("Finance", "Manager", "SalariesDB", "read"),
+            ("Finance", "Manager", "SalariesDB", "write"),
+            ("Sales", "Manager", "SalariesDB", "read"),
+        ],
+        assignments=[
+            ("Alice", "Finance", "Clerk"),
+            ("Bob", "Finance", "Manager"),
+            ("Claire", "Sales", "Manager"),
+            ("Dave", "Sales", "Assistant"),
+            ("Elaine", "Sales", "Manager"),
+        ],
+    )
+
+
+class TestRelations:
+    def test_counts(self, salaries):
+        assert len(salaries.grants) == 4
+        assert len(salaries.assignments) == 5
+        assert len(salaries) == 9
+
+    def test_vocabulary(self, salaries):
+        assert salaries.domains() == {"Finance", "Sales"}
+        assert salaries.users() == {"Alice", "Bob", "Claire", "Dave", "Elaine"}
+        assert salaries.object_types() == {"SalariesDB"}
+        assert DomainRole("Sales", "Assistant") in salaries.domain_roles()
+
+    def test_sorted_deterministic(self, salaries):
+        assert salaries.sorted_grants() == salaries.sorted_grants()
+        assert salaries.sorted_assignments() == sorted(salaries.assignments)
+
+    def test_grant_idempotent(self, salaries):
+        before = len(salaries.grants)
+        salaries.grant("Finance", "Clerk", "SalariesDB", "write")
+        assert len(salaries.grants) == before
+
+
+class TestDecisions:
+    def test_figure1_narrative(self, salaries):
+        # Clerk Alice writes but cannot read.
+        assert salaries.check_access("Alice", "SalariesDB", "write")
+        assert not salaries.check_access("Alice", "SalariesDB", "read")
+        # Finance Manager Bob reads and writes.
+        assert salaries.check_access("Bob", "SalariesDB", "read")
+        assert salaries.check_access("Bob", "SalariesDB", "write")
+        # Sales Managers Claire and Elaine read only.
+        for user in ("Claire", "Elaine"):
+            assert salaries.check_access(user, "SalariesDB", "read")
+            assert not salaries.check_access(user, "SalariesDB", "write")
+        # Assistant Dave has no access.
+        assert not salaries.check_access("Dave", "SalariesDB", "read")
+        assert not salaries.check_access("Dave", "SalariesDB", "write")
+
+    def test_unknown_user_denied(self, salaries):
+        assert not salaries.check_access("Mallory", "SalariesDB", "read")
+
+    def test_unknown_object_type_denied(self, salaries):
+        assert not salaries.check_access("Bob", "OtherDB", "read")
+
+    def test_role_has_permission(self, salaries):
+        assert salaries.role_has_permission("Finance", "Manager", "SalariesDB", "read")
+        assert not salaries.role_has_permission("Sales", "Manager", "SalariesDB", "write")
+
+    def test_authorised_users(self, salaries):
+        assert salaries.authorised_users("SalariesDB", "write") == {"Alice", "Bob"}
+        assert salaries.authorised_users("SalariesDB", "read") == {"Bob", "Claire", "Elaine"}
+
+    def test_members_and_roles(self, salaries):
+        assert salaries.members_of("Sales", "Manager") == {"Claire", "Elaine"}
+        assert salaries.roles_of("Bob") == {DomainRole("Finance", "Manager")}
+
+
+class TestMutation:
+    def test_revoke_grant(self, salaries):
+        assert salaries.revoke_grant("Finance", "Clerk", "SalariesDB", "write")
+        assert not salaries.check_access("Alice", "SalariesDB", "write")
+        assert not salaries.revoke_grant("Finance", "Clerk", "SalariesDB", "write")
+
+    def test_unassign(self, salaries):
+        assert salaries.unassign("Bob", "Finance", "Manager")
+        assert not salaries.check_access("Bob", "SalariesDB", "read")
+        assert not salaries.unassign("Bob", "Finance", "Manager")
+
+    def test_revoke_user_removes_all_assignments(self, salaries):
+        salaries.assign("Claire", "Finance", "Clerk")
+        assert salaries.revoke_user("Claire") == 2
+        assert "Claire" not in salaries.users()
+        # Grants untouched — the paper's point about RBAC administration.
+        assert len(salaries.grants) == 4
+
+    def test_require_role(self, salaries):
+        salaries.require_role("Finance", "Clerk")
+        with pytest.raises(UnknownRoleError):
+            salaries.require_role("Finance", "Intern")
+
+
+class TestCopyEquality:
+    def test_copy_is_equal_but_independent(self, salaries):
+        clone = salaries.copy()
+        assert clone == salaries
+        clone.grant("Sales", "Assistant", "SalariesDB", "read")
+        assert clone != salaries
+
+    def test_equality_ignores_name(self, salaries):
+        clone = salaries.copy(name="renamed")
+        assert clone == salaries
+
+    def test_is_empty(self):
+        assert RBACPolicy().is_empty()
+
+    def test_iteration_yields_all_facts(self, salaries):
+        assert len(list(salaries)) == 9
+
+
+class TestPresentation:
+    def test_has_permission_table_contains_rows(self, salaries):
+        table = salaries.has_permission_table()
+        assert "Finance" in table
+        assert "SalariesDB" in table
+        assert len(table.splitlines()) == 2 + 4
+
+    def test_user_assignment_table(self, salaries):
+        table = salaries.user_assignment_table()
+        assert "Elaine" in table
+        assert len(table.splitlines()) == 2 + 5
+
+    def test_repr(self, salaries):
+        assert "grants=4" in repr(salaries)

@@ -1,0 +1,80 @@
+"""Tests for RBAC policy JSON serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rbac.model import DomainRole
+from repro.rbac.policy import RBACPolicy
+from repro.rbac.serialize import (
+    policy_from_dict,
+    policy_from_json,
+    policy_to_dict,
+    policy_to_json,
+)
+
+
+def sample_policy() -> RBACPolicy:
+    policy = RBACPolicy.from_relations(
+        "sample",
+        grants=[("Finance", "Clerk", "SalariesDB", "write"),
+                ("Finance", "Manager", "SalariesDB", "read")],
+        assignments=[("Alice", "Finance", "Clerk")])
+    policy.hierarchy.add_inheritance(DomainRole("Finance", "Manager"),
+                                     DomainRole("Finance", "Clerk"))
+    return policy
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        policy = sample_policy()
+        restored = policy_from_json(policy_to_json(policy))
+        assert restored == policy
+        assert restored.name == "sample"
+        assert restored.hierarchy == policy.hierarchy
+
+    def test_hierarchy_effective_after_round_trip(self):
+        restored = policy_from_json(policy_to_json(sample_policy()))
+        # Manager inherits Clerk's write through the restored hierarchy.
+        restored.assign("Bob", "Finance", "Manager")
+        assert restored.check_access("Bob", "SalariesDB", "write")
+
+    def test_dict_round_trip(self):
+        policy = sample_policy()
+        assert policy_from_dict(policy_to_dict(policy)) == policy
+
+    def test_stable_output(self):
+        assert policy_to_json(sample_policy()) == policy_to_json(sample_policy())
+
+    def test_empty_policy(self):
+        assert policy_from_json(policy_to_json(RBACPolicy("e"))).is_empty()
+
+
+class TestErrors:
+    def test_malformed_json(self):
+        with pytest.raises(ValueError):
+            policy_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(ValueError):
+            policy_from_json("[1, 2]")
+
+    def test_unknown_format_version(self):
+        with pytest.raises(ValueError):
+            policy_from_dict({"format": 99})
+
+
+_D = st.sampled_from(["D1", "D2"])
+_R = st.sampled_from(["r1", "r2"])
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(_D, _R, st.sampled_from(["T1", "T2"]),
+                              st.sampled_from(["read", "write"])),
+                    max_size=8),
+           st.lists(st.tuples(st.sampled_from(["u1", "u2"]), _D, _R),
+                    max_size=6))
+    def test_any_policy_round_trips(self, grants, assignments):
+        policy = RBACPolicy.from_relations("p", grants, assignments)
+        assert policy_from_json(policy_to_json(policy)) == policy

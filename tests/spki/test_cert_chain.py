@@ -1,0 +1,225 @@
+"""Tests for SPKI certificates, name resolution and chain reduction."""
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.errors import ChainError
+from repro.spki.cert import ALWAYS, AuthCert, NameCert, Validity
+from repro.spki.chain import CertStore, FiveTuple, reduce_chain
+from repro.spki.sexp import parse_sexp
+
+TAG_RW = parse_sexp("(salaries (* set read write))")
+TAG_W = parse_sexp("(salaries write)")
+TAG_R = parse_sexp("(salaries read)")
+
+
+@pytest.fixture
+def keystore() -> Keystore:
+    ks = Keystore()
+    for name in ("Kroot", "Kbob", "Kalice", "Kfred"):
+        ks.create(name)
+    return ks
+
+
+def make_cert(keystore, issuer, subject, tag, delegate=False,
+              validity=ALWAYS) -> AuthCert:
+    cert = AuthCert(issuer=issuer, subject=subject, tag=tag,
+                    delegate=delegate, validity=validity)
+    return cert.sign(keystore.pair(issuer).private)
+
+
+class TestValidity:
+    def test_open_window_contains_everything(self):
+        assert ALWAYS.contains(0.0)
+        assert ALWAYS.contains(1e12)
+
+    def test_bounded_window(self):
+        v = Validity(10.0, 20.0)
+        assert not v.contains(9.9)
+        assert v.contains(10.0)
+        assert v.contains(20.0)
+        assert not v.contains(20.1)
+
+    def test_intersection(self):
+        v = Validity(10.0, 30.0).intersect(Validity(20.0, 40.0))
+        assert v == Validity(20.0, 30.0)
+
+    def test_intersection_with_open(self):
+        v = Validity(10.0, None).intersect(Validity(None, 20.0))
+        assert v == Validity(10.0, 20.0)
+
+    def test_empty_window(self):
+        assert Validity(30.0, 20.0).is_empty()
+        assert not Validity(10.0, 20.0).is_empty()
+
+
+class TestAuthCertSignatures:
+    def test_sign_and_verify(self, keystore):
+        cert = make_cert(keystore, "Kbob", "Kalice", TAG_W)
+        assert cert.verify(keystore)
+
+    def test_unsigned_fails(self, keystore):
+        cert = AuthCert("Kbob", "Kalice", TAG_W)
+        assert not cert.verify(keystore)
+
+    def test_tamper_detected(self, keystore):
+        cert = make_cert(keystore, "Kbob", "Kalice", TAG_W)
+        from dataclasses import replace
+        tampered = replace(cert, tag=TAG_RW)
+        assert not tampered.verify(keystore)
+
+    def test_to_text_round_trippable_body(self, keystore):
+        cert = make_cert(keystore, "Kbob", "Kalice", TAG_W)
+        assert "(issuer Kbob)" in cert.to_text()
+        assert "(signature" in cert.to_text()
+
+    def test_delegate_flag_in_canonical_bytes(self, keystore):
+        with_d = AuthCert("Kbob", "Kalice", TAG_W, delegate=True)
+        without = AuthCert("Kbob", "Kalice", TAG_W, delegate=False)
+        assert with_d.canonical_bytes() != without.canonical_bytes()
+
+
+class TestReduceChain:
+    def test_two_link_reduction(self, keystore):
+        c1 = make_cert(keystore, "Kroot", "Kbob", TAG_RW, delegate=True)
+        c2 = make_cert(keystore, "Kbob", "Kalice", TAG_W)
+        result = reduce_chain([c1, c2])
+        assert result.issuer == "Kroot"
+        assert result.subject == "Kalice"
+        assert result.tag == TAG_W
+        assert not result.delegate
+
+    def test_no_delegate_breaks_chain(self, keystore):
+        c1 = make_cert(keystore, "Kroot", "Kbob", TAG_RW, delegate=False)
+        c2 = make_cert(keystore, "Kbob", "Kalice", TAG_W)
+        with pytest.raises(ChainError):
+            reduce_chain([c1, c2])
+
+    def test_subject_issuer_mismatch_breaks(self, keystore):
+        c1 = make_cert(keystore, "Kroot", "Kbob", TAG_RW, delegate=True)
+        c2 = make_cert(keystore, "Kfred", "Kalice", TAG_W)
+        with pytest.raises(ChainError):
+            reduce_chain([c1, c2])
+
+    def test_disjoint_tags_break(self, keystore):
+        c1 = make_cert(keystore, "Kroot", "Kbob", TAG_R, delegate=True)
+        c2 = make_cert(keystore, "Kbob", "Kalice", TAG_W)
+        with pytest.raises(ChainError):
+            reduce_chain([c1, c2])
+
+    def test_validity_intersection(self, keystore):
+        c1 = make_cert(keystore, "Kroot", "Kbob", TAG_RW, delegate=True,
+                       validity=Validity(0.0, 100.0))
+        c2 = make_cert(keystore, "Kbob", "Kalice", TAG_W,
+                       validity=Validity(50.0, 200.0))
+        result = reduce_chain([c1, c2])
+        assert result.validity == Validity(50.0, 100.0)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainError):
+            reduce_chain([])
+
+    def test_five_tuple_compose_none_on_failure(self, keystore):
+        t1 = FiveTuple("a", "b", False, TAG_RW, ALWAYS)
+        t2 = FiveTuple("b", "c", False, TAG_W, ALWAYS)
+        assert t1.compose(t2) is None  # no delegate bit
+
+
+class TestCertStore:
+    def test_find_direct_chain(self, keystore):
+        store = CertStore(keystore)
+        assert store.add_auth(make_cert(keystore, "Kroot", "Kbob", TAG_RW))
+        chain = store.find_chain("Kroot", "Kbob", TAG_W)
+        assert chain is not None
+        assert len(chain) == 1
+
+    def test_find_delegated_chain(self, keystore):
+        store = CertStore(keystore)
+        store.add_auth(make_cert(keystore, "Kroot", "Kbob", TAG_RW,
+                                 delegate=True))
+        store.add_auth(make_cert(keystore, "Kbob", "Kalice", TAG_W))
+        chain = store.find_chain("Kroot", "Kalice", TAG_W)
+        assert chain is not None
+        assert len(chain) == 2
+        reduced = reduce_chain(chain)
+        assert reduced.subject == "Kalice"
+
+    def test_no_chain_without_delegate(self, keystore):
+        store = CertStore(keystore)
+        store.add_auth(make_cert(keystore, "Kroot", "Kbob", TAG_RW))
+        store.add_auth(make_cert(keystore, "Kbob", "Kalice", TAG_W))
+        assert store.find_chain("Kroot", "Kalice", TAG_W) is None
+
+    def test_tag_narrowing_along_chain(self, keystore):
+        store = CertStore(keystore)
+        store.add_auth(make_cert(keystore, "Kroot", "Kbob", TAG_R,
+                                 delegate=True))
+        store.add_auth(make_cert(keystore, "Kbob", "Kalice", TAG_W))
+        # Alice's write is outside what Bob can delegate.
+        assert not store.is_authorised("Kroot", "Kalice", TAG_W)
+
+    def test_expired_cert_skipped(self, keystore):
+        store = CertStore(keystore)
+        store.add_auth(make_cert(keystore, "Kroot", "Kbob", TAG_W,
+                                 validity=Validity(0.0, 10.0)))
+        assert store.is_authorised("Kroot", "Kbob", TAG_W, at_time=5.0)
+        assert not store.is_authorised("Kroot", "Kbob", TAG_W, at_time=11.0)
+
+    def test_bad_signature_rejected_at_add(self, keystore):
+        store = CertStore(keystore)
+        unsigned = AuthCert("Kroot", "Kbob", TAG_W)
+        assert not store.add_auth(unsigned)
+        assert store.auth_certs == []
+
+    def test_delegation_cycle_terminates(self, keystore):
+        store = CertStore(keystore)
+        store.add_auth(make_cert(keystore, "Kbob", "Kalice", TAG_W,
+                                 delegate=True))
+        store.add_auth(make_cert(keystore, "Kalice", "Kbob", TAG_W,
+                                 delegate=True))
+        assert not store.is_authorised("Kbob", "Kfred", TAG_W)
+
+
+class TestSDSINames:
+    def test_simple_name_resolution(self, keystore):
+        store = CertStore(keystore)
+        cert = NameCert("Kroot", "manager", "Kbob").sign(
+            keystore.pair("Kroot").private)
+        assert store.add_name(cert)
+        assert store.resolve_name("Kroot", "manager") == {"Kbob"}
+
+    def test_name_with_multiple_members(self, keystore):
+        store = CertStore(keystore)
+        for subject in ("Kbob", "Kalice"):
+            store.add_name(NameCert("Kroot", "staff", subject).sign(
+                keystore.pair("Kroot").private))
+        assert store.resolve_name("Kroot", "staff") == {"Kbob", "Kalice"}
+
+    def test_linked_names(self, keystore):
+        store = CertStore(keystore)
+        store.add_name(NameCert("Kroot", "managers", "Kbob: team").sign(
+            keystore.pair("Kroot").private))
+        store.add_name(NameCert("Kbob", "team", "Kalice").sign(
+            keystore.pair("Kbob").private))
+        assert store.resolve_name("Kroot", "managers") == {"Kalice"}
+
+    def test_name_cycle_resolves_empty(self, keystore):
+        store = CertStore(keystore)
+        store.add_name(NameCert("Kroot", "a", "Kroot: a").sign(
+            keystore.pair("Kroot").private))
+        assert store.resolve_name("Kroot", "a") == set()
+
+    def test_auth_cert_with_name_subject(self, keystore):
+        store = CertStore(keystore)
+        store.add_name(NameCert("Kroot", "managers", "Kbob").sign(
+            keystore.pair("Kroot").private))
+        store.add_auth(make_cert(keystore, "Kroot", "Kroot: managers", TAG_W))
+        assert store.is_authorised("Kroot", "Kbob", TAG_W)
+        assert not store.is_authorised("Kroot", "Kalice", TAG_W)
+
+    def test_name_cert_signature(self, keystore):
+        cert = NameCert("Kroot", "manager", "Kbob")
+        assert not cert.verify(keystore)
+        signed = cert.sign(keystore.pair("Kroot").private)
+        assert signed.verify(keystore)
+        assert signed.full_name() == "Kroot's manager"

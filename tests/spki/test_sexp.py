@@ -1,0 +1,85 @@
+"""Tests for S-expression parsing and printing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SExpressionError
+from repro.spki.sexp import parse_sexp, sexp_to_text
+
+
+class TestParse:
+    def test_bare_atom(self):
+        assert parse_sexp("hello") == "hello"
+
+    def test_quoted_atom(self):
+        assert parse_sexp('"two words"') == "two words"
+
+    def test_quoted_atom_with_escapes(self):
+        assert parse_sexp(r'"a\"b"') == 'a"b'
+
+    def test_empty_list(self):
+        assert parse_sexp("()") == ()
+
+    def test_nested_lists(self):
+        assert parse_sexp("(a (b c) d)") == ("a", ("b", "c"), "d")
+
+    def test_whitespace_tolerated(self):
+        assert parse_sexp("  ( a\n\tb )  ") == ("a", "b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SExpressionError):
+            parse_sexp("(a) b")
+
+    def test_unterminated_list(self):
+        with pytest.raises(SExpressionError):
+            parse_sexp("(a (b)")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(SExpressionError):
+            parse_sexp('"oops')
+
+    def test_stray_close_paren(self):
+        with pytest.raises(SExpressionError):
+            parse_sexp(")")
+
+    def test_empty_input(self):
+        with pytest.raises(SExpressionError):
+            parse_sexp("")
+
+
+class TestPrint:
+    def test_atom(self):
+        assert sexp_to_text("abc") == "abc"
+
+    def test_atom_needing_quotes(self):
+        assert sexp_to_text("two words") == '"two words"'
+        assert sexp_to_text("") == '""'
+        assert sexp_to_text("a(b") == '"a(b"'
+
+    def test_list(self):
+        assert sexp_to_text(("tag", ("ftp", "host"))) == "(tag (ftp host))"
+
+    def test_rejects_non_sexp(self):
+        with pytest.raises(SExpressionError):
+            sexp_to_text(42)
+
+
+# Random S-expressions for round-trip testing.
+atoms = st.text(alphabet="abcxyz09._-/ ()\"\\", min_size=0, max_size=8)
+
+
+def sexps(depth=3):
+    if depth == 0:
+        return atoms
+    return st.one_of(
+        atoms,
+        st.lists(sexps(depth - 1), max_size=4).map(tuple),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(sexps())
+    def test_parse_print_identity(self, expr):
+        assert parse_sexp(sexp_to_text(expr)) == expr

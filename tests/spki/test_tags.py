@@ -1,0 +1,200 @@
+"""Tests for the SPKI tag-intersection algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TagError
+from repro.spki.sexp import parse_sexp
+from repro.spki.tags import STAR, intersect_tags, tag_implies
+
+
+def tag(text):
+    return parse_sexp(text)
+
+
+class TestStar:
+    def test_star_is_identity(self):
+        t = tag("(ftp (host example.com))")
+        assert intersect_tags(STAR, t) == t
+        assert intersect_tags(t, STAR) == t
+
+    def test_star_with_star(self):
+        assert intersect_tags(STAR, STAR) == STAR
+
+
+class TestAtoms:
+    def test_equal_atoms(self):
+        assert intersect_tags("read", "read") == "read"
+
+    def test_different_atoms_disjoint(self):
+        assert intersect_tags("read", "write") is None
+
+    def test_atom_vs_list_disjoint(self):
+        assert intersect_tags("read", tag("(read)")) is None
+
+
+class TestLists:
+    def test_equal_lists(self):
+        t = tag("(ftp example.com)")
+        assert intersect_tags(t, t) == t
+
+    def test_shorter_list_implies_longer(self):
+        # RFC 2693: a list tag authorises lists with extra trailing fields.
+        broad = tag("(ftp (host example.com))")
+        narrow = tag("(ftp (host example.com) (dir /pub))")
+        assert intersect_tags(broad, narrow) == narrow
+        assert intersect_tags(narrow, broad) == narrow
+
+    def test_mismatched_heads_disjoint(self):
+        assert intersect_tags(tag("(ftp x)"), tag("(http x)")) is None
+
+
+class TestSets:
+    def test_set_member_selection(self):
+        s = tag("(* set read write)")
+        assert intersect_tags(s, "read") == "read"
+        assert intersect_tags("write", s) == "write"
+        assert intersect_tags(s, "delete") is None
+
+    def test_set_against_set(self):
+        a = tag("(* set read write)")
+        b = tag("(* set write delete)")
+        assert intersect_tags(a, b) == "write"
+
+    def test_set_multi_survivor(self):
+        a = tag("(* set read write delete)")
+        b = tag("(* set write delete audit)")
+        result = intersect_tags(a, b)
+        assert result == ("*", "set", "write", "delete")
+
+    def test_set_inside_list(self):
+        a = tag("(perm (* set read write))")
+        b = tag("(perm read)")
+        assert intersect_tags(a, b) == ("perm", "read")
+
+
+class TestPrefix:
+    def test_prefix_matches_atom(self):
+        p = tag('(* prefix /pub/)')
+        assert intersect_tags(p, "/pub/file") == "/pub/file"
+        assert intersect_tags(p, "/etc/passwd") is None
+
+    def test_prefix_against_prefix(self):
+        a = tag("(* prefix /pub/)")
+        b = tag("(* prefix /pub/docs/)")
+        assert intersect_tags(a, b) == b
+        assert intersect_tags(b, a) == b
+
+    def test_disjoint_prefixes(self):
+        assert intersect_tags(tag("(* prefix /a/)"), tag("(* prefix /b/)")) is None
+
+
+class TestRange:
+    def test_range_contains_number(self):
+        r = tag("(* range numeric ge 1 le 9)")
+        assert intersect_tags(r, "5") == "5"
+        assert intersect_tags(r, "1") == "1"
+        assert intersect_tags(r, "10") is None
+        assert intersect_tags(r, "abc") is None
+
+    def test_strict_bounds(self):
+        r = tag("(* range numeric gt 1 lt 9)")
+        assert intersect_tags(r, "1") is None
+        assert intersect_tags(r, "9") is None
+        assert intersect_tags(r, "2") == "2"
+
+    def test_range_intersection(self):
+        a = tag("(* range numeric ge 1 le 9)")
+        b = tag("(* range numeric ge 5 le 20)")
+        merged = intersect_tags(a, b)
+        assert intersect_tags(merged, "5") == "5"
+        assert intersect_tags(merged, "9") == "9"
+        assert intersect_tags(merged, "4") is None
+        assert intersect_tags(merged, "10") is None
+
+    def test_disjoint_ranges(self):
+        a = tag("(* range numeric le 3)")
+        b = tag("(* range numeric ge 5)")
+        assert intersect_tags(a, b) is None
+
+    def test_touching_ranges_strictness(self):
+        a = tag("(* range numeric le 5)")
+        b = tag("(* range numeric ge 5)")
+        assert intersect_tags(a, b) is not None
+        a_strict = tag("(* range numeric lt 5)")
+        assert intersect_tags(a_strict, b) is None
+
+    def test_malformed_range_rejected(self):
+        with pytest.raises(TagError):
+            intersect_tags(tag("(* range alpha ge 1)"), "2")
+        with pytest.raises(TagError):
+            intersect_tags(tag("(* range numeric ge)"), "1")
+        with pytest.raises(TagError):
+            intersect_tags(tag("(* range numeric zz 1)"), "1")
+
+    def test_unknown_star_form_rejected(self):
+        with pytest.raises(TagError):
+            intersect_tags(tag("(* bogus x)"), "y")
+
+
+class TestTagImplies:
+    def test_star_implies_everything(self):
+        assert tag_implies(STAR, tag("(ftp (host h))"))
+
+    def test_nothing_implies_star_except_star(self):
+        assert not tag_implies(tag("(ftp x)"), STAR)
+        assert tag_implies(STAR, STAR)
+
+    def test_prefix_implies_instance(self):
+        assert tag_implies(tag("(* prefix /pub/)"), "/pub/x")
+        assert not tag_implies("/pub/x", tag("(* prefix /pub/)"))
+
+    def test_list_implication(self):
+        broad = tag("(ftp (host example.com))")
+        narrow = tag("(ftp (host example.com) (dir /pub))")
+        assert tag_implies(broad, narrow)
+        assert not tag_implies(narrow, broad)
+
+
+class TestAlgebraProperties:
+    concrete = st.one_of(
+        st.sampled_from(["read", "write", "delete", "5", "7"]),
+        st.sampled_from([
+            ("perm", "read"),
+            ("perm", "write"),
+            ("ftp", ("host", "example.com")),
+            ("ftp", ("host", "example.com"), ("dir", "/pub")),
+        ]),
+    )
+    any_tag = st.one_of(
+        concrete,
+        st.just(STAR),
+        st.sampled_from([
+            ("*", "set", "read", "write"),
+            ("*", "prefix", "/pub/"),
+            ("*", "range", "numeric", "ge", "1", "le", "9"),
+        ]),
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(any_tag, any_tag)
+    def test_intersection_commutes_on_concrete_results(self, a, b):
+        ab = intersect_tags(a, b)
+        ba = intersect_tags(b, a)
+        # The representation may differ for *-forms; emptiness must agree.
+        assert (ab is None) == (ba is None)
+
+    @settings(max_examples=100, deadline=None)
+    @given(any_tag)
+    def test_idempotent_emptiness(self, a):
+        assert intersect_tags(a, a) is not None
+
+    @settings(max_examples=100, deadline=None)
+    @given(concrete, any_tag)
+    def test_intersection_implied_by_both(self, a, b):
+        # The intersection is a subset of each operand's permission set.
+        result = intersect_tags(a, b)
+        if result is not None:
+            assert tag_implies(a, result)
+            assert tag_implies(b, result)

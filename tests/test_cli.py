@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.scenarios import salaries_policy
+from repro.crypto import Keystore
+from repro.rbac.serialize import policy_from_json, policy_to_json
+from repro.translate.to_keynote import encode_full
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "salaries.json"
+    path.write_text(policy_to_json(salaries_policy()))
+    return str(path)
+
+
+@pytest.fixture
+def credentials_file(tmp_path):
+    keystore = Keystore()
+    policy_cred, memberships = encode_full(salaries_policy(), "KWebCom",
+                                           keystore)
+    blob = policy_cred.to_text() + "\n" + "\n".join(
+        c.to_text() for c in memberships)
+    path = tmp_path / "creds.kn"
+    path.write_text(blob)
+    return str(path)
+
+
+class TestTables:
+    def test_renders_tables(self, policy_file, capsys):
+        assert main(["tables", "--policy", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "HasPermission:" in out
+        assert "Finance" in out
+        assert "Elaine" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["tables", "--policy", "/nonexistent.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestEncodeComprehend:
+    def test_encode_prints_credentials(self, policy_file, capsys):
+        assert main(["encode", "--policy", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "Authorizer: POLICY" in out
+        assert 'Licensees: "KWebCom"' in out
+        assert out.count("KeyNote-Version") == 6  # 1 policy + 5 memberships
+
+    def test_comprehend_recovers_policy(self, credentials_file, capsys):
+        assert main(["comprehend", "--credentials", credentials_file]) == 0
+        out = capsys.readouterr().out
+        recovered = policy_from_json(out)
+        assert recovered == salaries_policy()
+
+    def test_encode_comprehend_pipeline(self, policy_file, tmp_path, capsys):
+        main(["encode", "--policy", policy_file])
+        creds = capsys.readouterr().out
+        path = tmp_path / "pipeline.kn"
+        path.write_text(creds)
+        assert main(["comprehend", "--credentials", str(path)]) == 0
+        recovered = policy_from_json(capsys.readouterr().out)
+        assert recovered == salaries_policy()
+
+
+class TestQuery:
+    def test_allowed_query_exits_zero(self, credentials_file, capsys):
+        code = main(["query", "--credentials", credentials_file,
+                     "--authorizer", "Kbob",
+                     "--attr", "app_domain=WebCom",
+                     "--attr", "Domain=Finance", "--attr", "Role=Manager",
+                     "--attr", "ObjectType=SalariesDB",
+                     "--attr", "Permission=read"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_denied_query_exits_one(self, credentials_file, capsys):
+        code = main(["query", "--credentials", credentials_file,
+                     "--authorizer", "Kdave",
+                     "--attr", "app_domain=WebCom",
+                     "--attr", "Domain=Sales", "--attr", "Role=Assistant",
+                     "--attr", "ObjectType=SalariesDB",
+                     "--attr", "Permission=read"])
+        assert code == 1
+        assert capsys.readouterr().out.strip() == "false"
+
+    def test_bad_attr_syntax(self, credentials_file, capsys):
+        code = main(["query", "--credentials", credentials_file,
+                     "--authorizer", "Kbob", "--attr", "no-equals-sign"])
+        assert code == 2
+
+
+class TestCheck:
+    def test_allow(self, policy_file, capsys):
+        code = main(["check", "--policy", policy_file, "--user", "Bob",
+                     "--object-type", "SalariesDB", "--permission", "read"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "allow"
+
+    def test_deny(self, policy_file, capsys):
+        code = main(["check", "--policy", policy_file, "--user", "Dave",
+                     "--object-type", "SalariesDB", "--permission", "read"])
+        assert code == 1
+        assert capsys.readouterr().out.strip() == "deny"
+
+
+class TestDemo:
+    def test_demo_round_trip(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "round-trip exact: True" in out
+
+    def test_demo_emit_policy(self, capsys):
+        assert main(["demo", "--emit-policy"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["has_permission"]) == 4

@@ -1,0 +1,86 @@
+"""Small-branch coverage: representation helpers and defensive paths."""
+
+import pytest
+
+from repro.errors import ReproError, WebComError
+from repro.rbac.policy import RBACPolicy
+from repro.translate.consistency import ConsistencyReport
+from repro.util.text import unquote
+
+
+class TestErrorHierarchy:
+    def test_every_domain_error_is_a_repro_error(self):
+        import repro.errors as errors
+
+        exception_types = [obj for obj in vars(errors).values()
+                           if isinstance(obj, type)
+                           and issubclass(obj, Exception)]
+        assert len(exception_types) > 25
+        for exc_type in exception_types:
+            assert issubclass(exc_type, ReproError)
+
+    def test_webcom_family(self):
+        from repro.errors import AuthorisationError, SchedulingError
+
+        assert issubclass(SchedulingError, WebComError)
+        assert issubclass(AuthorisationError, WebComError)
+
+    def test_syntax_error_position_rendering(self):
+        from repro.errors import KeyNoteSyntaxError
+
+        err = KeyNoteSyntaxError("boom", line=3, column=7)
+        assert "line 3" in str(err)
+        assert str(KeyNoteSyntaxError("plain")) == "plain"
+
+
+class TestPolicyDunder:
+    def test_eq_against_foreign_type(self):
+        assert RBACPolicy("p").__eq__(42) is NotImplemented
+        assert RBACPolicy("p") != 42
+
+    def test_policies_usable_as_dict_keys(self):
+        a, b = RBACPolicy("a"), RBACPolicy("b")
+        table = {a: 1, b: 2}
+        assert table[a] == 1
+
+
+class TestConsistencyReportRendering:
+    def test_empty_report(self):
+        assert str(ConsistencyReport()) == "(no systems)"
+        assert ConsistencyReport().is_consistent()
+
+
+class TestTextEdge:
+    def test_unquote_empty_quoted(self):
+        assert unquote('""') == ""
+
+    def test_unquote_too_short(self):
+        with pytest.raises(ValueError):
+            unquote('"')
+
+
+class TestPackageSurface:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.keynote as keynote
+        import repro.middleware as middleware
+        import repro.rbac as rbac
+        import repro.spki as spki
+        import repro.translate as translate
+        import repro.webcom as webcom
+
+        for module in (core, keynote, middleware, rbac, spki, translate,
+                       webcom):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)

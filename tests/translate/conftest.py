@@ -1,0 +1,34 @@
+"""Shared fixtures: the Figure-1 policy and a populated keystore."""
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.rbac.policy import RBACPolicy
+
+
+@pytest.fixture
+def fig1() -> RBACPolicy:
+    """The paper's Figure-1 Salaries Database policy."""
+    return RBACPolicy.from_relations(
+        "salaries",
+        grants=[
+            ("Finance", "Clerk", "SalariesDB", "write"),
+            ("Finance", "Manager", "SalariesDB", "read"),
+            ("Finance", "Manager", "SalariesDB", "write"),
+            ("Sales", "Manager", "SalariesDB", "read"),
+        ],
+        assignments=[
+            ("Alice", "Finance", "Clerk"),
+            ("Bob", "Finance", "Manager"),
+            ("Claire", "Sales", "Manager"),
+            ("Dave", "Sales", "Assistant"),
+            ("Elaine", "Sales", "Manager"),
+        ],
+    )
+
+
+@pytest.fixture
+def keystore() -> Keystore:
+    ks = Keystore()
+    ks.create("KWebCom")
+    return ks

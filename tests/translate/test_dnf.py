@@ -1,0 +1,75 @@
+"""Tests for the DNF normalisation used by comprehension."""
+
+import pytest
+
+from repro.errors import ComprehensionError
+from repro.keynote.parser import parse_conditions
+from repro.translate.dnf import conditions_to_dnf
+
+
+def dnf(text):
+    return conditions_to_dnf(parse_conditions(text))
+
+
+class TestDNF:
+    def test_single_atom(self):
+        assert dnf('a == "1"') == [{"a": "1"}]
+
+    def test_reversed_atom(self):
+        assert dnf('"1" == a') == [{"a": "1"}]
+
+    def test_conjunction_merges(self):
+        assert dnf('a == "1" && b == "2"') == [{"a": "1", "b": "2"}]
+
+    def test_disjunction_splits(self):
+        assert dnf('a == "1" || a == "2"') == [{"a": "1"}, {"a": "2"}]
+
+    def test_distribution(self):
+        result = dnf('a == "1" && (b == "2" || b == "3")')
+        assert result == [{"a": "1", "b": "2"}, {"a": "1", "b": "3"}]
+
+    def test_contradiction_dropped(self):
+        assert dnf('a == "1" && a == "2"') == []
+
+    def test_repeated_consistent_atom_kept(self):
+        assert dnf('a == "1" && a == "1"') == [{"a": "1"}]
+
+    def test_true_literal_is_empty_conjunct(self):
+        assert dnf("true") == [{}]
+
+    def test_true_conjunction_absorbed(self):
+        assert dnf('true && a == "1"') == [{"a": "1"}]
+
+    def test_clauses_are_alternatives(self):
+        assert dnf('a == "1"; b == "2"') == [{"a": "1"}, {"b": "2"}]
+
+    def test_figure5_shape(self):
+        text = ('app_domain == "WebCom" && ObjectType == "SalariesDB" && '
+                '((Domain=="Sales" && Role=="Manager" && Permission=="read") || '
+                '(Domain=="Finance" && Role=="Manager" && '
+                '(Permission=="read" || Permission=="write")))')
+        result = dnf(text)
+        assert {"app_domain": "WebCom", "ObjectType": "SalariesDB",
+                "Domain": "Sales", "Role": "Manager",
+                "Permission": "read"} in result
+        assert len(result) == 3
+
+    def test_regex_rejected(self):
+        with pytest.raises(ComprehensionError):
+            dnf('a ~= "x.*"')
+
+    def test_inequality_rejected(self):
+        with pytest.raises(ComprehensionError):
+            dnf('a != "1"')
+
+    def test_numeric_comparison_rejected(self):
+        with pytest.raises(ComprehensionError):
+            dnf("a < 5")
+
+    def test_attribute_to_attribute_equality_rejected(self):
+        with pytest.raises(ComprehensionError):
+            dnf("a == b")
+
+    def test_bare_attribute_rejected(self):
+        with pytest.raises(ComprehensionError):
+            dnf("a")

@@ -1,0 +1,118 @@
+"""Tests for imprecise delegation ([13])."""
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.keynote.credential import Credential
+from repro.translate.imprecise import ImpreciseChecker, harvest_vocabulary
+
+
+@pytest.fixture
+def keystore() -> Keystore:
+    ks = Keystore()
+    for name in ("Kbob", "Kalice"):
+        ks.create(name)
+    return ks
+
+
+def assertions(keystore):
+    policy = Credential.build(
+        "POLICY", '"Kbob"',
+        'app_domain=="WebCom" && Domain=="Finance" && Role=="Manager" '
+        '&& Permission=="read"')
+    delegation = Credential.build(
+        "Kbob", '"Kalice"',
+        'app_domain=="WebCom" && Domain=="Finance" && Role=="Manager" '
+        '&& Permission=="read"').signed_by(keystore)
+    return [policy, delegation]
+
+
+class TestVocabulary:
+    def test_harvest(self, keystore):
+        vocab = harvest_vocabulary(assertions(keystore))
+        assert vocab["Domain"] == {"Finance"}
+        assert vocab["Role"] == {"Manager"}
+        assert vocab["app_domain"] == {"WebCom"}
+
+    def test_non_relational_conditions_skipped(self, keystore):
+        weird = Credential.build("POLICY", '"Kbob"', 'size < 10')
+        vocab = harvest_vocabulary([weird] + assertions(keystore))
+        assert "size" not in vocab
+
+
+class TestExactMatch:
+    def test_exact_query_scores_one(self, keystore):
+        checker = ImpreciseChecker(assertions(keystore), keystore=keystore)
+        result = checker.query(
+            {"app_domain": "WebCom", "Domain": "Finance",
+             "Role": "Manager", "Permission": "read"}, ["Kbob"])
+        assert result.authorized
+        assert result.similarity == 1.0
+        assert result.is_exact()
+
+
+class TestImpreciseMatch:
+    def test_near_miss_domain_authorised_with_score(self, keystore):
+        checker = ImpreciseChecker(assertions(keystore), keystore=keystore)
+        result = checker.query(
+            {"app_domain": "WebCom", "Domain": "FinanceDept",
+             "Role": "Manager", "Permission": "read"}, ["Kbob"])
+        assert result.authorized
+        assert result.similarity < 1.0
+        assert result.substitutions == {"Domain": "Finance"}
+
+    def test_near_miss_through_delegation_chain(self, keystore):
+        checker = ImpreciseChecker(assertions(keystore), keystore=keystore)
+        result = checker.query(
+            {"app_domain": "WebCom", "Domain": "finance",
+             "Role": "Managers", "Permission": "read"}, ["Kalice"])
+        assert result.authorized
+        assert set(result.substitutions) <= {"Domain", "Role"}
+
+    def test_unrelated_values_denied(self, keystore):
+        checker = ImpreciseChecker(assertions(keystore), keystore=keystore)
+        result = checker.query(
+            {"app_domain": "WebCom", "Domain": "Zebra",
+             "Role": "Wombat", "Permission": "read"}, ["Kbob"])
+        assert not result.authorized
+        assert result.similarity == 0.0
+
+    def test_threshold_controls_relaxation(self, keystore):
+        strict = ImpreciseChecker(assertions(keystore), keystore=keystore,
+                                  threshold=0.99)
+        result = strict.query(
+            {"app_domain": "WebCom", "Domain": "FinanceDept",
+             "Role": "Manager", "Permission": "read"}, ["Kbob"])
+        assert not result.authorized
+
+    def test_max_substitutions_cap(self, keystore):
+        capped = ImpreciseChecker(assertions(keystore), keystore=keystore,
+                                  max_substitutions=1)
+        result = capped.query(
+            {"app_domain": "WebCom", "Domain": "FinanceDept",
+             "Role": "Managers", "Permission": "read"}, ["Kbob"])
+        assert not result.authorized  # would need two substitutions
+
+    def test_permission_mismatch_never_relaxed_to_grant_more(self, keystore):
+        """'read' vs 'write' are dissimilar enough that imprecision must not
+        widen authority across permissions."""
+        checker = ImpreciseChecker(assertions(keystore), keystore=keystore)
+        result = checker.query(
+            {"app_domain": "WebCom", "Domain": "Finance",
+             "Role": "Manager", "Permission": "write"}, ["Kbob"])
+        assert not result.authorized
+
+    def test_similarity_floor(self, keystore):
+        checker = ImpreciseChecker(assertions(keystore), keystore=keystore)
+        attrs = {"app_domain": "WebCom", "Domain": "FinanceDept",
+                 "Role": "Manager", "Permission": "read"}
+        relaxed = checker.query_with_floor(attrs, ["Kbob"], 0.5)
+        assert relaxed.authorized
+        strict = checker.query_with_floor(attrs, ["Kbob"], 0.99)
+        assert not strict.authorized
+        assert strict.similarity > 0  # evidence existed, just too weak
+
+    def test_threshold_validation(self, keystore):
+        with pytest.raises(ValueError):
+            ImpreciseChecker(assertions(keystore), keystore=keystore,
+                             threshold=0.0)

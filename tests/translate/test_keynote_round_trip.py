@@ -1,0 +1,178 @@
+"""Tests for RBAC ↔ KeyNote translation (Sections 4.1-4.2, Figures 5-6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import Keystore
+from repro.keynote.compliance import ComplianceChecker
+from repro.rbac.policy import RBACPolicy
+from repro.translate.common import action_attributes, membership_attributes
+from repro.translate.from_keynote import (
+    comprehend_credentials,
+    comprehend_membership,
+    comprehend_policy,
+)
+from repro.translate.to_keynote import (
+    encode_full,
+    encode_policy,
+    encode_user_credentials,
+    grant_conditions,
+    membership_conditions,
+)
+
+
+class TestFigure5Encoding:
+    def test_policy_credential_shape(self, fig1, keystore):
+        cred = encode_policy(fig1, "KWebCom")
+        assert cred.is_policy
+        assert cred.principals() == {"KWebCom"}
+        text = cred.to_text()
+        assert 'app_domain=="WebCom"' in text
+        assert 'Domain=="Finance"' in text
+        # Figure 5 compresses Manager's permissions into a disjunction.
+        assert '(Permission=="read" || Permission=="write")' in text
+
+    def test_empty_policy_grants_nothing(self, keystore):
+        cred = encode_policy(RBACPolicy("empty"), "KWebCom")
+        checker = ComplianceChecker([cred], keystore=keystore)
+        attrs = action_attributes("D", "R", "T", "p")
+        assert checker.query(attrs, ["KWebCom"]) == "false"
+
+    def test_policy_credential_admits_admin_key(self, fig1, keystore):
+        cred = encode_policy(fig1, "KWebCom")
+        checker = ComplianceChecker([cred], keystore=keystore)
+        attrs = action_attributes("Finance", "Manager", "SalariesDB", "read")
+        assert checker.query(attrs, ["KWebCom"]) == "true"
+        bad = action_attributes("Sales", "Manager", "SalariesDB", "write")
+        assert checker.query(bad, ["KWebCom"]) == "false"
+
+    def test_grant_conditions_deterministic(self, fig1):
+        assert grant_conditions(fig1) == grant_conditions(fig1)
+
+
+class TestFigure6Encoding:
+    def test_one_credential_per_assignment(self, fig1, keystore):
+        creds = encode_user_credentials(fig1, "KWebCom", keystore)
+        assert len(creds) == 5
+        assert all(c.verify(keystore) for c in creds)
+        assert all(c.authorizer == "KWebCom" for c in creds)
+
+    def test_claire_credential_matches_figure6(self, fig1, keystore):
+        creds = encode_user_credentials(fig1, "KWebCom", keystore)
+        claire = [c for c in creds if c.principals() == {"Kclaire"}]
+        assert len(claire) == 1
+        text = claire[0].to_text()
+        # Figure 1's table: Claire is Manager in Sales (Figure 6 prints
+        # Finance — a paper inconsistency noted in DESIGN.md).
+        assert 'Domain=="Sales"' in text
+        assert 'Role=="Manager"' in text
+        assert "Permission" not in text
+
+    def test_membership_conditions_shape(self):
+        text = membership_conditions("Finance", "Manager")
+        assert text == ('app_domain=="WebCom" && Domain=="Finance" '
+                        '&& Role=="Manager"')
+
+    def test_explicit_key_mapping(self, fig1, keystore):
+        creds = encode_user_credentials(
+            fig1, "KWebCom", keystore, user_key={"Alice": "Kcustom"})
+        assert any(c.principals() == {"Kcustom"} for c in creds)
+
+    def test_unsigned_option(self, fig1, keystore):
+        creds = encode_user_credentials(fig1, "KWebCom", keystore, sign=False)
+        assert all(not c.signature for c in creds)
+
+
+class TestEndToEndAuthorisation:
+    """The full Figure 3 flow: encoded policy + memberships answer the
+    Figure-1 access matrix for user keys."""
+
+    def test_paper_access_matrix(self, fig1, keystore):
+        pol, memberships = encode_full(fig1, "KWebCom", keystore)
+        checker = ComplianceChecker([pol] + memberships, keystore=keystore)
+
+        def may(user_key, domain, role, perm):
+            attrs = action_attributes(domain, role, "SalariesDB", perm)
+            return checker.query(attrs, [user_key]) == "true"
+
+        assert may("Kalice", "Finance", "Clerk", "write")
+        assert not may("Kalice", "Finance", "Clerk", "read")
+        assert may("Kbob", "Finance", "Manager", "read")
+        assert may("Kbob", "Finance", "Manager", "write")
+        assert may("Kclaire", "Sales", "Manager", "read")
+        assert not may("Kclaire", "Sales", "Manager", "write")
+        assert not may("Kdave", "Sales", "Assistant", "read")
+        # Claire cannot masquerade as a Finance Manager.
+        assert not may("Kclaire", "Finance", "Manager", "read")
+
+    def test_membership_query(self, fig1, keystore):
+        _pol, memberships = encode_full(fig1, "KWebCom", keystore)
+        # Membership checks don't involve the POLICY grant credential —
+        # they ask whether KWebCom vouches for the user's role.
+        probe = encode_policy(fig1, "KWebCom")
+        checker = ComplianceChecker([probe] + memberships, keystore=keystore)
+        attrs = membership_attributes("Sales", "Manager")
+        # Grant table requires Permission/ObjectType, so pure membership
+        # attributes do not authorise an action.
+        assert checker.query(attrs, ["Kclaire"]) == "false"
+
+
+class TestComprehension:
+    def test_round_trip_exact(self, fig1, keystore):
+        pol, memberships = encode_full(fig1, "KWebCom", keystore)
+        recovered = comprehend_credentials([pol] + memberships,
+                                           keystore=keystore)
+        assert recovered == fig1
+
+    def test_comprehend_policy_counts_rows(self, fig1, keystore):
+        pol = encode_policy(fig1, "KWebCom")
+        out = RBACPolicy("out")
+        assert comprehend_policy(pol, out) == 4
+        assert out.grants == fig1.grants
+
+    def test_comprehend_membership(self, fig1, keystore):
+        creds = encode_user_credentials(fig1, "KWebCom", keystore)
+        out = RBACPolicy("out")
+        total = sum(comprehend_membership(c, out, keystore) for c in creds)
+        assert total == 5
+        assert out.assignments == fig1.assignments
+
+    def test_foreign_app_domain_ignored(self, keystore):
+        policy = RBACPolicy.from_relations(
+            "p", grants=[("D", "R", "T", "x")], assignments=[])
+        cred = encode_policy(policy, "KWebCom", app_domain="OtherApp")
+        out = RBACPolicy("out")
+        assert comprehend_policy(cred, out) == 0
+        assert out.is_empty()
+
+    def test_unsigned_membership_skipped(self, fig1, keystore):
+        pol, memberships = encode_full(fig1, "KWebCom", keystore)
+        unsigned = encode_user_credentials(fig1, "KWebCom", keystore,
+                                           sign=False)
+        recovered = comprehend_credentials([pol] + unsigned,
+                                           keystore=keystore)
+        assert recovered.assignments == frozenset()
+        recovered2 = comprehend_credentials(
+            [pol] + unsigned, keystore=keystore, verify_signatures=False)
+        assert recovered2.assignments == fig1.assignments
+
+
+# Property: round-trip exactness over random policies.
+_D = st.sampled_from(["DomA", "DomB"])
+_R = st.sampled_from(["r1", "r2", "r3"])
+_T = st.sampled_from(["T1", "T2"])
+_P = st.sampled_from(["read", "write", "exec"])
+_U = st.sampled_from(["Uma", "Vic", "Wes"])
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(_D, _R, _T, _P), max_size=10),
+           st.lists(st.tuples(_U, _D, _R), max_size=8))
+    def test_any_policy_round_trips(self, grants, assignments):
+        policy = RBACPolicy.from_relations("p", grants, assignments)
+        ks = Keystore()
+        pol, memberships = encode_full(policy, "KWebCom", ks)
+        recovered = comprehend_credentials([pol] + memberships, keystore=ks)
+        assert recovered == policy

@@ -1,0 +1,221 @@
+"""Tests for migration, consistency checking and maintenance propagation."""
+
+import pytest
+
+from repro.errors import InconsistentPolicyError, MigrationError
+from repro.middleware.complus import ComPlusCatalogue, COM_PERMISSIONS
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.windows import WindowsSecurity
+from repro.rbac.diff import PolicyDelta, diff_policies
+from repro.rbac.model import Assignment, Grant
+from repro.rbac.policy import RBACPolicy
+from repro.translate.consistency import check_consistency
+from repro.translate.migrate import DomainMapping, migrate_policy, translate_policy
+from repro.translate.propagate import PropagationEngine
+from repro.util.events import AuditLog
+
+
+def make_com(machine="legacy-y"):
+    windows = WindowsSecurity()
+    windows.add_domain("FINANCE")
+    windows.add_user("FINANCE", "alice")
+    windows.add_user("FINANCE", "bob")
+    cat = ComPlusCatalogue(machine, windows)
+    cat.create_application("Payroll", nt_domain="FINANCE")
+    cat.register_component("Payroll", "SalariesDB")
+    cat.declare_role("Payroll", "Clerk")
+    cat.grant_permission("Payroll", "Clerk", "SalariesDB", "Access")
+    cat.add_role_member("Payroll", "Clerk", "FINANCE", "alice")
+    return cat
+
+
+class TestDomainMapping:
+    def test_explicit_mapping(self):
+        mapping = DomainMapping(explicit={"A": "B"})
+        assert mapping.map("A") == "B"
+        with pytest.raises(MigrationError):
+            mapping.map("unknown")
+
+    def test_default_function(self):
+        mapping = DomainMapping(default=lambda d: f"x/{d}")
+        assert mapping.map("A") == "x/A"
+
+    def test_to_single(self):
+        mapping = DomainMapping.to_single("one")
+        assert mapping.map("anything") == "one"
+
+    def test_identity(self):
+        assert DomainMapping.identity().map("D") == "D"
+
+
+class TestTranslatePolicy:
+    def test_vocabulary_mapping_applied(self):
+        source = RBACPolicy.from_relations(
+            "s", grants=[("D", "R", "T", "read")], assignments=[])
+        translated, report = translate_policy(
+            source, DomainMapping.identity(),
+            target_permissions=COM_PERMISSIONS)
+        assert Grant("D", "R", "T", "Access") in translated.grants
+        assert report.vocabulary_map == {"read": "Access"}
+
+    def test_unmappable_permission_dropped_and_reported(self):
+        source = RBACPolicy.from_relations(
+            "s", grants=[("D", "R", "T", "zzzqqq")], assignments=[])
+        translated, report = translate_policy(
+            source, DomainMapping.identity(),
+            target_permissions=COM_PERMISSIONS, similarity_threshold=0.9)
+        assert translated.grants == frozenset()
+        assert len(report.dropped) == 1
+        assert "dropped" in report.summary()
+
+
+class TestMigration:
+    def test_legacy_com_to_ejb(self):
+        """The Figure-9 narrative: a legacy COM policy configures the
+        replacement EJB system."""
+        legacy = make_com()
+        replacement = EJBServer(host="hostx", server_name="ejb1")
+        mapping = DomainMapping(explicit={"FINANCE": "hostx:ejb1/Payroll"})
+        report = migrate_policy(legacy, replacement, mapping)
+        assert report.migrated_grants == 1
+        assert report.migrated_assignments == 1
+        # Alice's COM Access right became an EJB method permission.
+        assert replacement.invoke("alice", "SalariesDB", "Access")
+
+    def test_ejb_to_com_uses_permission_vocabulary(self):
+        ejb = EJBServer(host="hostx", server_name="ejb1")
+        ejb.deploy_container("Payroll")
+        ejb.deploy_bean("Payroll", "SalariesDB", methods=("read", "write"))
+        ejb.declare_role("Payroll", "Clerk")
+        ejb.add_method_permission("Payroll", "SalariesDB", "Clerk", "read")
+        ejb.add_user("Alice")
+        ejb.assign_role("Payroll", "Clerk", "Alice")
+
+        target = ComPlusCatalogue("machine-z", WindowsSecurity())
+        mapping = DomainMapping.to_single("FINANCE")
+        report = migrate_policy(ejb, target, mapping,
+                                target_permissions=COM_PERMISSIONS)
+        assert report.vocabulary_map == {"read": "Access"}
+        assert target.invoke("FINANCE\\Alice", "SalariesDB", "Access")
+
+    def test_corba_identity_migration(self):
+        orb = CorbaOrb(machine="m", orb_name="o")
+        orb.register_interface("I", operations=("op",))
+        orb.declare_role("R")
+        orb.grant_right("R", "I", "op")
+        orb.assign_role("R", "u")
+        clone = CorbaOrb(machine="m", orb_name="o")
+        migrate_policy(orb, clone, DomainMapping.identity())
+        assert clone.extract_rbac() == orb.extract_rbac()
+
+
+class TestConsistency:
+    def test_consistent_systems(self):
+        com = make_com()
+        reference = com.extract_rbac()
+        report = check_consistency(reference, [com])
+        assert report.is_consistent()
+        assert report.inconsistent_systems() == []
+
+    def test_drift_detected(self):
+        com = make_com()
+        reference = com.extract_rbac()
+        com.remove_role_member("Payroll", "Clerk", "FINANCE", "alice")
+        report = check_consistency(reference, [com],
+                                   responsibilities={com.name: {"FINANCE"}})
+        assert not report.is_consistent()
+        drift = report.drifts[0]
+        assert Assignment("alice", "FINANCE", "Clerk") in drift.missing_assignments
+
+    def test_extra_facts_detected(self):
+        com = make_com()
+        reference = com.extract_rbac()
+        com.add_role_member("Payroll", "Clerk", "FINANCE", "bob")
+        report = check_consistency(reference, [com])
+        assert not report.is_consistent()
+        assert "+" in str(report)
+
+    def test_responsibilities_catch_missing_domains(self):
+        com = make_com()
+        reference = com.extract_rbac()
+        reference.grant("OTHER", "R", "T", "Access")
+        # Without explicit responsibilities the missing domain hides:
+        assert check_consistency(reference, [com]).is_consistent()
+        # With them it shows:
+        report = check_consistency(
+            reference, [com],
+            responsibilities={com.name: {"FINANCE", "OTHER"}})
+        assert not report.is_consistent()
+
+
+class TestPropagation:
+    def _engine(self):
+        com = make_com()
+        ejb = EJBServer(host="hostx", server_name="ejb1")
+        global_policy = RBACPolicy("global")
+        global_policy.grant("FINANCE", "Clerk", "SalariesDB", "Access")
+        global_policy.assign("alice", "FINANCE", "Clerk")
+        global_policy.grant("hostx:ejb1/Payroll", "Clerk", "SalariesDB",
+                            "write")
+        global_policy.assign("alice", "hostx:ejb1/Payroll", "Clerk")
+        audit = AuditLog()
+        engine = PropagationEngine(global_policy, audit=audit)
+        engine.register(com, {"FINANCE"})
+        engine.register(ejb, {"hostx:ejb1/Payroll"})
+        return engine, com, ejb, audit
+
+    def test_push_all_configures_everything(self):
+        engine, com, ejb, audit = self._engine()
+        engine.push_all()
+        assert com.invoke("FINANCE\\alice", "SalariesDB", "Access")
+        assert ejb.invoke("alice", "SalariesDB", "write")
+        assert engine.check().is_consistent()
+        assert len(audit.find(category="propagate.push")) == 2
+
+    def test_delta_propagates_to_responsible_system_only(self):
+        engine, com, ejb, _ = self._engine()
+        engine.push_all()
+        delta = PolicyDelta(
+            added_assignments=frozenset(
+                {Assignment("bob", "FINANCE", "Clerk")}))
+        report = engine.apply_delta(delta)
+        assert com.invoke("FINANCE\\bob", "SalariesDB", "Access")
+        assert not ejb.invoke("bob", "SalariesDB", "write")
+        assert report.is_consistent()
+
+    def test_set_policy_computes_delta(self):
+        engine, com, _, _ = self._engine()
+        engine.push_all()
+        new_policy = engine.global_policy.copy()
+        new_policy.assign("bob", "FINANCE", "Clerk")
+        engine.set_policy(new_policy)
+        assert com.invoke("FINANCE\\bob", "SalariesDB", "Access")
+
+    def test_listener_notified(self):
+        engine, _, _, _ = self._engine()
+        engine.push_all()
+        seen = []
+        engine.subscribe(seen.append)
+        delta = PolicyDelta(added_grants=frozenset(
+            {Grant("FINANCE", "Clerk", "SalariesDB", "Launch")}))
+        engine.apply_delta(delta)
+        assert seen == [delta]
+
+    def test_strict_check_raises_on_drift(self):
+        engine, com, _, _ = self._engine()
+        engine.push_all()
+        com.remove_role_member("Payroll", "Clerk", "FINANCE", "alice")
+        with pytest.raises(InconsistentPolicyError):
+            engine.check(strict=True)
+
+    def test_diff_then_apply_converges(self):
+        engine, com, ejb, _ = self._engine()
+        engine.push_all()
+        target = engine.global_policy.copy()
+        target.grant("FINANCE", "Manager", "SalariesDB", "Launch")
+        target.assign("bob", "FINANCE", "Manager")
+        delta = diff_policies(engine.global_policy, target)
+        report = engine.apply_delta(delta)
+        assert report.is_consistent()
+        assert com.invoke("FINANCE\\bob", "SalariesDB", "Launch")

@@ -1,0 +1,103 @@
+"""Tests for the similarity metrics ([13])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.translate.similarity import (
+    best_match,
+    jaccard,
+    levenshtein,
+    match_vocabulary,
+    name_similarity,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("a", "", 1),
+        ("", "abc", 3),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("same", "same", 0),
+    ])
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abcd", max_size=8),
+           st.text(alphabet="abcd", max_size=8))
+    def test_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abc", max_size=6),
+           st.text(alphabet="abc", max_size=6),
+           st.text(alphabet="abc", max_size=6))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abcd", max_size=8))
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+
+class TestNameSimilarity:
+    def test_case_insensitive_exact(self):
+        assert name_similarity("Manager", "manager") == 1.0
+
+    def test_separator_variants(self):
+        assert name_similarity("SalariesDB", "salaries_db") == 1.0
+
+    def test_synonyms(self):
+        assert name_similarity("read", "Access") == 1.0
+        assert name_similarity("execute", "Launch") == 1.0
+        assert name_similarity("run", "invoke") == 1.0
+
+    def test_unrelated_names_low(self):
+        assert name_similarity("Manager", "Zebra") < 0.5
+
+    def test_close_names_high(self):
+        assert name_similarity("Managers", "Manager") > 0.8
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abcXYZ_", min_size=1, max_size=10),
+           st.text(alphabet="abcXYZ_", min_size=1, max_size=10))
+    def test_bounded(self, a, b):
+        assert 0.0 <= name_similarity(a, b) <= 1.0
+
+
+class TestMatching:
+    def test_best_match_picks_closest(self):
+        assert best_match("Mangaer", ["Manager", "Clerk"]) == "Manager"
+
+    def test_best_match_none_below_threshold(self):
+        assert best_match("xyz", ["Manager", "Clerk"], threshold=0.9) is None
+
+    def test_match_vocabulary_is_injective(self):
+        mapping = match_vocabulary(["read", "reader"], ["read", "Access"])
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_match_vocabulary_com_permissions(self):
+        mapping = match_vocabulary(["execute"], ["Launch", "Access", "RunAs"])
+        assert mapping == {"execute": "Launch"}
+
+    def test_empty_inputs(self):
+        assert match_vocabulary([], ["a"]) == {}
+        assert match_vocabulary(["a"], []) == {}

@@ -1,0 +1,86 @@
+"""Tests for the SPKI encoding of RBAC policies (footnote 1)."""
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.spki.chain import CertStore
+from repro.spki.tags import tag_implies
+from repro.translate.to_spki import (
+    spki_grant_tag,
+    spki_policy_certificates,
+    spki_request_tag,
+    spki_role_tag,
+)
+
+
+@pytest.fixture
+def encoded(fig1, keystore):
+    auth_certs, name_certs = spki_policy_certificates(
+        fig1, "KWebCom", keystore, root_key="Kself")
+    store = CertStore(keystore)
+    for cert in auth_certs:
+        assert store.add_auth(cert)
+    for cert in name_certs:
+        assert store.add_name(cert)
+    return store
+
+
+class TestTags:
+    def test_role_tag_implies_grant_tag(self):
+        role = spki_role_tag("Finance", "Manager")
+        grant = spki_grant_tag("Finance", "Manager", "SalariesDB", "read")
+        assert tag_implies(role, grant)
+        assert not tag_implies(grant, role)
+
+    def test_cross_role_tags_disjoint(self):
+        a = spki_role_tag("Finance", "Manager")
+        b = spki_grant_tag("Sales", "Manager", "SalariesDB", "read")
+        assert not tag_implies(a, b)
+
+
+class TestEncodedPolicy:
+    def test_paper_access_matrix_via_spki(self, encoded):
+        def may(user_key, domain, role, perm):
+            tag = spki_request_tag(domain, role, "SalariesDB", perm)
+            return encoded.is_authorised("Kself", user_key, tag)
+
+        assert may("Kalice", "Finance", "Clerk", "write")
+        assert not may("Kalice", "Finance", "Clerk", "read")
+        assert may("Kbob", "Finance", "Manager", "read")
+        assert may("Kbob", "Finance", "Manager", "write")
+        assert may("Kclaire", "Sales", "Manager", "read")
+        assert not may("Kclaire", "Sales", "Manager", "write")
+        assert not may("Kdave", "Sales", "Assistant", "read")
+        assert not may("Kclaire", "Finance", "Manager", "read")
+
+    def test_admin_key_holds_all_grants(self, encoded, fig1):
+        for grant in fig1.grants:
+            tag = spki_grant_tag(grant.domain, grant.role, grant.object_type,
+                                 grant.permission)
+            assert encoded.is_authorised("Kself", "KWebCom", tag)
+
+    def test_name_certs_record_memberships(self, encoded):
+        assert encoded.resolve_name("KWebCom", "Sales/Manager") == {
+            "Kclaire", "Kelaine"}
+
+    def test_agreement_with_keynote_backend(self, fig1, keystore, encoded):
+        """Both trust-management backends answer the access matrix
+        identically — the paper's footnote-1 claim."""
+        from repro.keynote.compliance import ComplianceChecker
+        from repro.translate.common import action_attributes
+        from repro.translate.to_keynote import encode_full
+
+        pol, memberships = encode_full(fig1, "KWebCom", keystore)
+        checker = ComplianceChecker([pol] + memberships, keystore=keystore)
+        users = {"Kalice", "Kbob", "Kclaire", "Kdave", "Kelaine"}
+        for user in sorted(users):
+            for domain, role in {("Finance", "Clerk"), ("Finance", "Manager"),
+                                 ("Sales", "Manager"), ("Sales", "Assistant")}:
+                for perm in ("read", "write"):
+                    kn = checker.query(
+                        action_attributes(domain, role, "SalariesDB", perm),
+                        [user]) == "true"
+                    spki = encoded.is_authorised(
+                        "Kself", user,
+                        spki_request_tag(domain, role, "SalariesDB", perm))
+                    assert kn == spki, (user, domain, role, perm)

@@ -1,0 +1,51 @@
+"""Tests for deterministic id generation."""
+
+from repro.util.ids import IdGenerator, stable_digest
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("msg") == "msg-1"
+        assert gen.next("msg") == "msg-2"
+        assert gen.next("node") == "node-1"
+
+    def test_peek_does_not_advance(self):
+        gen = IdGenerator()
+        gen.next("x")
+        assert gen.peek("x") == 1
+        assert gen.peek("x") == 1
+
+    def test_peek_unknown_prefix_is_zero(self):
+        assert IdGenerator().peek("nope") == 0
+
+    def test_reset_single_prefix(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.next("b")
+        gen.reset("a")
+        assert gen.next("a") == "a-1"
+        assert gen.next("b") == "b-2"
+
+    def test_reset_all(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.next("b")
+        gen.reset()
+        assert gen.next("a") == "a-1"
+        assert gen.next("b") == "b-1"
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        assert stable_digest("a", "b") == stable_digest("a", "b")
+
+    def test_length_parameter(self):
+        assert len(stable_digest("x", length=8)) == 8
+        assert len(stable_digest("x", length=64)) == 64
+
+    def test_no_concatenation_collision(self):
+        assert stable_digest("ab", "c") != stable_digest("a", "bc")
+
+    def test_different_inputs_differ(self):
+        assert stable_digest("a") != stable_digest("b")

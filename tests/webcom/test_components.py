@@ -1,0 +1,102 @@
+"""Tests for the middleware-to-client operation bridge (L1 in the loop)."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, SchedulingError
+from repro.middleware.ejb import EJBServer
+from repro.webcom.components import middleware_operations
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+
+
+@pytest.fixture
+def ejb() -> EJBServer:
+    server = EJBServer(host="h", server_name="s")
+    server.deploy_container("C")
+    server.deploy_bean("C", "SalariesDB", methods=("read", "write"))
+    server.declare_role("C", "Manager")
+    server.add_method_permission("C", "SalariesDB", "Manager", "read")
+    server.add_user("bob")
+    server.assign_role("C", "Manager", "bob")
+    return server
+
+
+IMPLS = {
+    ("SalariesDB", "read"): lambda: ["alice: 4200"],
+    ("SalariesDB", "write"): lambda row: f"wrote {row}",
+}
+
+
+class TestOperationTable:
+    def test_builds_guarded_operations(self, ejb):
+        table = middleware_operations(ejb, "bob", IMPLS)
+        assert set(table) == {"SalariesDB.read", "SalariesDB.write"}
+        assert table["SalariesDB.read"]() == ["alice: 4200"]
+
+    def test_denied_invocation_raises(self, ejb):
+        table = middleware_operations(ejb, "bob", IMPLS)
+        # Bob's role holds only read.
+        with pytest.raises(AccessDeniedError):
+            table["SalariesDB.write"]("row")
+
+    def test_unknown_user_denied(self, ejb):
+        table = middleware_operations(ejb, "mallory", IMPLS)
+        with pytest.raises(AccessDeniedError):
+            table["SalariesDB.read"]()
+
+    def test_unserved_component_rejected(self, ejb):
+        with pytest.raises(KeyError):
+            middleware_operations(ejb, "bob",
+                                  {("NoSuchBean", "read"): lambda: None})
+
+
+class TestDistributedL1Enforcement:
+    def graph(self, op):
+        g = CondensedGraph("g")
+        g.add_node("n", operator=op, arity=0)
+        g.set_exit("n")
+        return g
+
+    def test_authorised_middleware_call_over_network(self, ejb):
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net)
+        client = WebComClient("bob-node", net,
+                              middleware_operations(ejb, "bob", IMPLS),
+                              user="bob")
+        client.register_with("m")
+        net.run_until_quiet()
+        assert master.run_graph(self.graph("SalariesDB.read"), {}) \
+            == ["alice: 4200"]
+
+    def test_middleware_denial_surfaces_as_scheduling_failure(self, ejb):
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net)
+        client = WebComClient("bob-node", net,
+                              middleware_operations(ejb, "bob", IMPLS),
+                              user="bob")
+        client.register_with("m")
+        net.run_until_quiet()
+        with pytest.raises(SchedulingError):
+            master.run_graph(self.graph("SalariesDB.write"), {})
+
+    def test_failover_to_authorised_user(self, ejb):
+        """L1 policies differ per client user: the master routes around a
+        client whose middleware denies the call."""
+        ejb.add_user("alice")  # registered but holds no role
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net)
+        alice_node = WebComClient(
+            "alice-node", net, middleware_operations(ejb, "alice", IMPLS),
+            user="alice")
+        bob_node = WebComClient(
+            "bob-node", net, middleware_operations(ejb, "bob", IMPLS),
+            user="bob")
+        alice_node.register_with("m")
+        bob_node.register_with("m")
+        net.run_until_quiet()
+        result = master.run_graph(self.graph("SalariesDB.read"), {})
+        assert result == ["alice: 4200"]
+        # alice-node was tried first (sorted order), failed on L1, and the
+        # master moved on to bob-node.
+        assert master.schedule_log == [("n", "bob-node")]

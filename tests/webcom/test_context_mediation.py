@@ -1,0 +1,93 @@
+"""Context-aware mediation — the paper's Section-7 future work, implemented.
+
+"The current system provides for making mediation decisions purely on the
+identifier of the components.  Extending this to consider the environment of
+the component, its inputs, and so forth, is a topic of ongoing research."
+
+The master's attribute extractor turns a node's *inputs* into KeyNote action
+attributes, so credentials can bound, e.g., the payment amount a client may
+be scheduled to process.
+"""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.secure import SecureWebComEnvironment
+
+
+def payment_graph():
+    g = CondensedGraph("payment")
+    g.add_node("pay", operator="pay", arity=1)
+    g.entry("amount", "pay", 0)
+    g.set_exit("pay")
+    return g
+
+
+def amount_extractor(node, context):
+    args = context.get("args", ())
+    if node.operator_name == "pay" and args:
+        return {"amount": str(args[0])}
+    return {}
+
+
+@pytest.fixture
+def world():
+    env = SecureWebComEnvironment()
+    net = SimulatedNetwork(clock=env.clock)
+    env.create_key("Kmaster")
+    master = WebComMaster(
+        "master", net, key_name="Kmaster",
+        scheduler_filter=env.master_filter(attribute_extractor=amount_extractor))
+    env.create_key("Kclerk")
+    client = WebComClient("clerk-node", net, {"pay": lambda v: f"paid {v}"},
+                          key_name="Kclerk", user="clerk",
+                          authoriser=env.client_authoriser("clerk-node"))
+    env.client_trusts_master("clerk-node", "Kmaster")
+    client.register_with("master")
+    net.run_until_quiet()
+    # The clerk's node may be scheduled payments only up to 1000.
+    env.master_session.add_policy(
+        'Authorizer: POLICY\nLicensees: "Kclerk"\n'
+        'Conditions: app_domain=="WebCom" && op=="pay" && amount <= 1000;')
+    return env, master
+
+
+class TestContextAwareMediation:
+    def test_small_payment_scheduled(self, world):
+        _env, master = world
+        assert master.run_graph(payment_graph(), {"amount": 500}) == "paid 500"
+
+    def test_boundary_payment_scheduled(self, world):
+        _env, master = world
+        assert master.run_graph(payment_graph(), {"amount": 1000}) \
+            == "paid 1000"
+
+    def test_large_payment_refused(self, world):
+        _env, master = world
+        with pytest.raises(SchedulingError):
+            master.run_graph(payment_graph(), {"amount": 5000})
+
+    def test_non_numeric_amount_refused(self, world):
+        # KeyNote soft-failure semantics: an invalid numeric operand makes
+        # the test false, so the request is denied rather than crashing.
+        _env, master = world
+        with pytest.raises(SchedulingError):
+            master.run_graph(payment_graph(), {"amount": "lots"})
+
+    def test_extractor_cannot_override_builtins(self, world):
+        env, master = world
+
+        def spoofing_extractor(node, context):
+            # Tries to masquerade as a different operation.
+            return {"op": "audit", "app_domain": "Elsewhere"}
+
+        master.scheduler_filter = env.master_filter(
+            attribute_extractor=spoofing_extractor)
+        # The built-in op/app_domain attributes win, so the pay policy
+        # still applies (and allows a small amount... but the spoof also
+        # dropped `amount`, so the numeric test fails -> denied).
+        with pytest.raises(SchedulingError):
+            master.run_graph(payment_graph(), {"amount": 10})

@@ -1,0 +1,235 @@
+"""Tests for condensed graphs and the execution engine."""
+
+import pytest
+
+from repro.errors import GraphError, SchedulingError
+from repro.webcom.engine import (
+    EvaluationMode,
+    GraphEngine,
+    function_table_executor,
+)
+from repro.webcom.graph import CondensedGraph, condense
+
+TABLE = {
+    "add": lambda a, b: a + b,
+    "double": lambda v: 2 * v,
+    "neg": lambda v: -v,
+    "const7": lambda: 7,
+}
+
+
+def calc_graph() -> CondensedGraph:
+    g = CondensedGraph("calc")
+    g.add_node("add", operator="add", arity=2)
+    g.add_node("double", operator="double", arity=1)
+    g.connect("add", "double", 0)
+    g.entry("x", "add", 0)
+    g.entry("y", "add", 1)
+    g.set_exit("double")
+    return g
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_rejected(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="add", arity=2)
+        with pytest.raises(GraphError):
+            g.add_node("a", operator="add", arity=2)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(GraphError):
+            CondensedGraph("g").add_node("a", operator="x", arity=-1)
+
+    def test_connect_validates_nodes_and_ports(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="const7", arity=0)
+        g.add_node("b", operator="double", arity=1)
+        with pytest.raises(GraphError):
+            g.connect("missing", "b", 0)
+        with pytest.raises(GraphError):
+            g.connect("a", "missing", 0)
+        with pytest.raises(GraphError):
+            g.connect("a", "b", 5)
+
+    def test_entry_validates_port(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="double", arity=1)
+        with pytest.raises(GraphError):
+            g.entry("x", "a", 3)
+
+    def test_exit_required(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="const7", arity=0)
+        with pytest.raises(GraphError):
+            g.validate()
+
+
+class TestValidation:
+    def test_valid_graph(self):
+        calc_graph().validate()
+
+    def test_unfillable_port_detected(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="add", arity=2)
+        g.entry("x", "a", 0)  # port 1 never filled
+        g.set_exit("a")
+        with pytest.raises(GraphError) as err:
+            g.validate()
+        assert "unfillable" in str(err.value)
+
+    def test_cycle_detected(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="double", arity=1)
+        g.add_node("b", operator="double", arity=1)
+        g.connect("a", "b", 0)
+        g.connect("b", "a", 0)
+        g.set_exit("b")
+        with pytest.raises(GraphError) as err:
+            g.validate()
+        assert "cycle" in str(err.value)
+
+    def test_unreachable_exit_detected(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="double", arity=1)
+        g.add_node("b", operator="const7", arity=0)
+        g.entry("x", "a", 0)
+        g.set_exit("b")
+        # b is a source with no path from the entries.
+        with pytest.raises(GraphError) as err:
+            g.validate()
+        assert "unreachable" in str(err.value)
+
+    def test_needed_for_exit(self):
+        g = calc_graph()
+        g.add_node("orphan", operator="const7", arity=0)
+        assert g.needed_for_exit() == {"add", "double"}
+
+
+class TestExecution:
+    def test_basic_run(self):
+        engine = GraphEngine(calc_graph(), function_table_executor(TABLE))
+        assert engine.run({"x": 3, "y": 4}) == 14
+
+    def test_input_mismatch_rejected(self):
+        engine = GraphEngine(calc_graph(), function_table_executor(TABLE))
+        with pytest.raises(GraphError):
+            engine.run({"x": 3})
+        with pytest.raises(GraphError):
+            engine.run({"x": 3, "y": 4, "z": 5})
+
+    def test_unknown_operator(self):
+        g = CondensedGraph("g")
+        g.add_node("a", operator="mystery", arity=0)
+        g.set_exit("a")
+        engine = GraphEngine(g, function_table_executor(TABLE))
+        with pytest.raises(SchedulingError):
+            engine.run({})
+
+    def test_trace_records_firing(self):
+        engine = GraphEngine(calc_graph(), function_table_executor(TABLE))
+        engine.run({"x": 1, "y": 2})
+        assert engine.trace.fired == ["add", "double"]
+        assert engine.trace.results == {"add": 3, "double": 6}
+        assert engine.trace.fired_count() == 2
+
+    def test_fanout_token_duplication(self):
+        # One result feeds two consumers.
+        g = CondensedGraph("fan")
+        g.add_node("src", operator="double", arity=1)
+        g.add_node("l", operator="neg", arity=1)
+        g.add_node("r", operator="double", arity=1)
+        g.add_node("join", operator="add", arity=2)
+        g.connect("src", "l", 0)
+        g.connect("src", "r", 0)
+        g.connect("l", "join", 0)
+        g.connect("r", "join", 1)
+        g.entry("x", "src", 0)
+        g.set_exit("join")
+        engine = GraphEngine(g, function_table_executor(TABLE))
+        # src=2x; l=-2x; r=4x; join=2x
+        assert engine.run({"x": 5}) == 10
+
+
+class TestEvaluationModes:
+    def lazy_graph(self):
+        # An expensive orphan branch is *fed* but not needed by the exit.
+        g = CondensedGraph("lazy")
+        g.add_node("needed", operator="double", arity=1)
+        g.add_node("wasted", operator="neg", arity=1)
+        g.entry("x", "needed", 0)
+        g.entry("x", "wasted", 0)
+        g.set_exit("needed")
+        return g
+
+    def test_availability_fires_everything(self):
+        engine = GraphEngine(self.lazy_graph(),
+                             function_table_executor(TABLE),
+                             EvaluationMode.AVAILABILITY)
+        engine.run({"x": 2})
+        assert set(engine.trace.fired) == {"needed", "wasted"}
+
+    def test_coercion_fires_only_demanded(self):
+        engine = GraphEngine(self.lazy_graph(),
+                             function_table_executor(TABLE),
+                             EvaluationMode.COERCION)
+        assert engine.run({"x": 2}) == 4
+        assert engine.trace.fired == ["needed"]
+
+    def test_control_mode_is_sequential_and_deterministic(self):
+        g = self.lazy_graph()
+        engine = GraphEngine(g, function_table_executor(TABLE),
+                             EvaluationMode.CONTROL)
+        engine.run({"x": 2})
+        # Alphabetical, one at a time.
+        assert engine.trace.fired == ["needed"]  # exit fires first -> stop
+
+    def test_all_modes_agree_on_result(self):
+        for mode in EvaluationMode:
+            engine = GraphEngine(calc_graph(),
+                                 function_table_executor(TABLE), mode)
+            assert engine.run({"x": 3, "y": 4}) == 14
+
+
+class TestCondensation:
+    def test_condensed_node_evaporates(self):
+        inner = calc_graph()  # (x + y) * 2
+        outer = CondensedGraph("outer")
+        condense("calc", inner, outer, "sub", arity=2)
+        outer.add_node("neg", operator="neg", arity=1)
+        outer.connect("sub", "neg", 0)
+        outer.entry("a", "sub", 0)
+        outer.entry("b", "sub", 1)
+        outer.set_exit("neg")
+        engine = GraphEngine(outer, function_table_executor(TABLE))
+        assert engine.run({"a": 3, "b": 4}) == -14
+        # Inner firings are traced with a path prefix.
+        assert "sub/add" in engine.trace.fired
+        assert "sub/double" in engine.trace.fired
+
+    def test_condense_arity_mismatch(self):
+        inner = calc_graph()
+        outer = CondensedGraph("outer")
+        with pytest.raises(GraphError):
+            condense("calc", inner, outer, "sub", arity=3)
+
+    def test_nested_condensation(self):
+        inner = calc_graph()
+        mid = CondensedGraph("mid")
+        condense("calc", inner, mid, "c", arity=2)
+        mid.entry("p", "c", 0)
+        mid.entry("q", "c", 1)
+        mid.set_exit("c")
+        outer = CondensedGraph("outer")
+        condense("mid", mid, outer, "m", arity=2)
+        outer.entry("a", "m", 0)
+        outer.entry("b", "m", 1)
+        outer.set_exit("m")
+        engine = GraphEngine(outer, function_table_executor(TABLE))
+        assert engine.run({"a": 1, "b": 2}) == 6
+
+    def test_operator_name_for_condensed(self):
+        inner = calc_graph()
+        outer = CondensedGraph("outer")
+        node = condense("calc", inner, outer, "sub", arity=2)
+        assert node.operator_name == "<calc>"
+        assert node.is_condensed

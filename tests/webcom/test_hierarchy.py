@@ -1,0 +1,124 @@
+"""Hierarchical WebCom: masters scheduling to masters.
+
+WebCom's metacomputing model composes: a client can serve an operation by
+being, itself, the master of a pool of workers — the network analogue of a
+condensed node evaporating into a subgraph.  The sub-master re-applies its
+own security mediation, so authority never crosses a tier implicitly.
+"""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.secure import SecureWebComEnvironment
+
+
+def chain_graph(ops, name="chain"):
+    g = CondensedGraph(name)
+    previous = None
+    for i, op in enumerate(ops):
+        node = f"n{i}"
+        g.add_node(node, operator=op, arity=1)
+        if previous:
+            g.connect(previous, node, 0)
+        previous = node
+    g.entry("x", "n0", 0)
+    g.set_exit(previous)
+    return g
+
+
+@pytest.fixture
+def tiers():
+    """A top master whose single 'client' fronts an inner worker pool."""
+    net = SimulatedNetwork()
+    inner_master = WebComMaster("inner-master", net)
+    for i in range(2):
+        worker = WebComClient(f"worker{i}", net,
+                              {"grind": lambda v: v * 2})
+        worker.register_with("inner-master")
+    net.run_until_quiet()
+
+    def fan_in(v):
+        # Serving 'bigjob' means running a whole subgraph on the inner pool.
+        return inner_master.run_graph(
+            chain_graph(["grind", "grind"], name="inner"), {"x": v})
+
+    top_master = WebComMaster("top-master", net)
+    gateway = WebComClient("gateway", net, {"bigjob": fan_in, "inc": lambda v: v + 1})
+    gateway.register_with("top-master")
+    net.run_until_quiet()
+    return net, top_master, inner_master
+
+
+class TestHierarchicalScheduling:
+    def test_two_tier_execution(self, tiers):
+        _net, top, inner = tiers
+        result = top.run_graph(chain_graph(["inc", "bigjob"], "outer"),
+                               {"x": 4})
+        assert result == 20  # (4+1) * 2 * 2
+        # Both tiers actually scheduled work.
+        assert [n for n, _c in top.schedule_log] == ["n0", "n1"]
+        assert len(inner.schedule_log) == 2
+
+    def test_inner_pool_faults_handled_per_tier(self, tiers):
+        net, top, inner = tiers
+        net.crash("worker0")
+        result = top.run_graph(chain_graph(["bigjob"], "outer"), {"x": 1})
+        assert result == 4
+        assert not inner.clients["worker0"].alive
+
+    def test_inner_pool_exhaustion_surfaces_at_top(self, tiers):
+        net, top, _inner = tiers
+        net.crash("worker0")
+        net.crash("worker1")
+        # The gateway's operation fails (inner SchedulingError propagates as
+        # a remote error), and the top master has no other candidate.
+        with pytest.raises(SchedulingError):
+            top.run_graph(chain_graph(["bigjob"], "outer"), {"x": 1})
+
+
+class TestSecureHierarchy:
+    def test_each_tier_mediates_independently(self):
+        env = SecureWebComEnvironment()
+        net = SimulatedNetwork(clock=env.clock)
+        env.create_key("Ktop")
+        env.create_key("Kmid")
+        env.create_key("Kworker")
+
+        inner_master = WebComMaster("mid-master", net, key_name="Kmid",
+                                    scheduler_filter=env.master_filter())
+        worker = WebComClient("worker", net, {"grind": lambda v: v * 3},
+                              key_name="Kworker",
+                              authoriser=env.client_authoriser("worker"),
+                              audit=env.audit)
+        env.client_trusts_master("worker", "Kmid")
+        worker.register_with("mid-master")
+
+        def fronted(v):
+            return inner_master.run_graph(chain_graph(["grind"], "inner"),
+                                          {"x": v})
+
+        top_master = WebComMaster("top-master", net, key_name="Ktop",
+                                  scheduler_filter=env.master_filter())
+        gateway = WebComClient("gateway", net, {"bigjob": fronted},
+                               key_name="Kmid",
+                               authoriser=env.client_authoriser("gateway"),
+                               audit=env.audit)
+        env.client_trusts_master("gateway", "Ktop")
+        gateway.register_with("top-master")
+        net.run_until_quiet()
+
+        # Top trusts the mid key for bigjob; mid trusts the worker for grind.
+        env.trust_clients_for_operations(["Kmid"], ["bigjob"])
+        env.trust_clients_for_operations(["Kworker"], ["grind"])
+
+        result = top_master.run_graph(chain_graph(["bigjob"], "outer"),
+                                      {"x": 2})
+        assert result == 6
+        # The worker never needed to be trusted by the *top* master —
+        # authority was mediated tier by tier.
+        allowed = env.audit.find(category="webcom.client.check",
+                                 outcome="allow")
+        assert len(allowed) == 2  # gateway check + worker check

@@ -1,0 +1,125 @@
+"""Tests for the IDE interrogation and placement analysis (Figure 11)."""
+
+import pytest
+
+from repro.errors import SchedulingError, UnknownComponentError
+from repro.middleware.corba import CorbaOrb
+from repro.middleware.ejb import EJBServer
+from repro.middleware.registry import MiddlewareRegistry
+from repro.webcom.ide import PlacementSpec, WebComIDE
+
+
+@pytest.fixture
+def ide() -> WebComIDE:
+    registry = MiddlewareRegistry()
+
+    ejb = EJBServer(host="hx", server_name="s1")
+    ejb.deploy_container("Payroll")
+    ejb.deploy_bean("Payroll", "SalariesDB", methods=("read", "write"))
+    ejb.declare_role("Payroll", "Clerk")
+    ejb.declare_role("Payroll", "Manager")
+    ejb.add_method_permission("Payroll", "SalariesDB", "Clerk", "write")
+    ejb.add_method_permission("Payroll", "SalariesDB", "Manager", "read")
+    ejb.add_user("Alice")
+    ejb.add_user("Bob")
+    ejb.assign_role("Payroll", "Clerk", "Alice")
+    ejb.assign_role("Payroll", "Manager", "Bob")
+    registry.register(ejb)
+
+    orb = CorbaOrb(machine="hy", orb_name="o1")
+    orb.register_interface("ReportGen", operations=("generate",))
+    orb.declare_role("Analyst")
+    orb.grant_right("Analyst", "ReportGen", "generate")
+    orb.assign_role("Analyst", "Carol")
+    registry.register(orb)
+
+    return WebComIDE(registry)
+
+
+EJB_DOMAIN = "hx:s1/Payroll"
+SALARIES = f"{EJB_DOMAIN}#SalariesDB"
+REPORTS = "hy/o1#ReportGen"
+
+
+class TestInterrogation:
+    def test_palette_covers_all_middleware(self, ide):
+        palette = ide.interrogate()
+        assert len(palette) == 2
+        ids = {entry.component.component_id for entry in palette}
+        assert ids == {SALARIES, REPORTS}
+
+    def test_unknown_component(self, ide):
+        with pytest.raises(UnknownComponentError):
+            ide.interrogate().entry("nope#x")
+
+    def test_global_policy_merges_middleware(self, ide):
+        policy = ide.global_policy()
+        assert policy.domains() == {EJB_DOMAIN, "hy/o1"}
+
+
+class TestCombinationAnalysis:
+    def test_authorised_combinations(self, ide):
+        entry = ide.interrogate().entry(SALARIES)
+        combos = {(c.domain, c.role, c.user, c.operation)
+                  for c in entry.combinations}
+        assert combos == {
+            (EJB_DOMAIN, "Clerk", "Alice", "write"),
+            (EJB_DOMAIN, "Manager", "Bob", "read"),
+        }
+
+    def test_entry_helpers(self, ide):
+        entry = ide.interrogate().entry(SALARIES)
+        assert entry.users() == {"Alice", "Bob"}
+        assert entry.domain_roles() == {(EJB_DOMAIN, "Clerk"),
+                                        (EJB_DOMAIN, "Manager")}
+
+    def test_cross_middleware_isolation(self, ide):
+        entry = ide.interrogate().entry(REPORTS)
+        assert entry.users() == {"Carol"}
+
+
+class TestPlacement:
+    def test_valid_placements(self, ide):
+        specs = ide.valid_placements(SALARIES)
+        assert PlacementSpec(EJB_DOMAIN, "Clerk", "Alice") in specs
+        assert PlacementSpec(EJB_DOMAIN, "Manager", "Bob") in specs
+        assert len(specs) == 2
+
+    def test_valid_placements_filtered_by_operation(self, ide):
+        specs = ide.valid_placements(SALARIES, operation="read")
+        assert specs == [PlacementSpec(EJB_DOMAIN, "Manager", "Bob")]
+
+    def test_check_full_placement(self, ide):
+        ide.check_placement(SALARIES,
+                            PlacementSpec(EJB_DOMAIN, "Clerk", "Alice"))
+        with pytest.raises(SchedulingError):
+            ide.check_placement(SALARIES,
+                                PlacementSpec(EJB_DOMAIN, "Clerk", "Bob"))
+
+    def test_check_partial_placement(self, ide):
+        # Partial spec: any authorised user in the domain/role.
+        spec = PlacementSpec(EJB_DOMAIN, "Manager")
+        assert spec.is_partial()
+        ide.check_placement(SALARIES, spec)
+        with pytest.raises(SchedulingError):
+            ide.check_placement(SALARIES, PlacementSpec(EJB_DOMAIN, "Intern"))
+
+    def test_resolve_partial_to_user(self, ide):
+        spec = PlacementSpec(EJB_DOMAIN, "Manager")
+        assert ide.resolve_user(SALARIES, spec) == "Bob"
+
+    def test_resolve_full_spec_validates(self, ide):
+        spec = PlacementSpec(EJB_DOMAIN, "Clerk", "Alice")
+        assert ide.resolve_user(SALARIES, spec) == "Alice"
+        with pytest.raises(SchedulingError):
+            ide.resolve_user(SALARIES, PlacementSpec(EJB_DOMAIN, "Clerk",
+                                                     "Mallory"))
+
+    def test_resolve_with_operation_constraint(self, ide):
+        spec = PlacementSpec(EJB_DOMAIN, "Clerk")
+        with pytest.raises(SchedulingError):
+            ide.resolve_user(SALARIES, spec, operation="read")
+
+    def test_spec_str(self):
+        assert str(PlacementSpec("D", "R", "u")) == "D/R:u"
+        assert str(PlacementSpec("D", "R")) == "D/R:*"

@@ -1,0 +1,139 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.webcom.network import SimulatedNetwork
+
+
+@pytest.fixture
+def net() -> SimulatedNetwork:
+    return SimulatedNetwork()
+
+
+def attach_recorder(net, peer_id):
+    received = []
+    net.attach(peer_id, received.append)
+    return received
+
+
+class TestMembership:
+    def test_attach_and_peers(self, net):
+        attach_recorder(net, "a")
+        assert net.peers() == {"a"}
+
+    def test_duplicate_attach_rejected(self, net):
+        attach_recorder(net, "a")
+        with pytest.raises(NetworkError):
+            net.attach("a", lambda m: None)
+
+    def test_send_requires_known_peers(self, net):
+        attach_recorder(net, "a")
+        with pytest.raises(NetworkError):
+            net.send("a", "ghost", "ping")
+        with pytest.raises(NetworkError):
+            net.send("ghost", "a", "ping")
+
+
+class TestDelivery:
+    def test_message_delivered_in_latency_order(self, net):
+        got_a = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.send("b", "a", "slow", latency=10.0)
+        net.send("b", "a", "fast", latency=1.0)
+        net.run_until_quiet()
+        assert [m.kind for m in got_a] == ["fast", "slow"]
+
+    def test_clock_advances_to_arrival(self, net):
+        attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.send("a", "b", "ping", latency=5.0)
+        net.step()
+        assert net.clock.now() == 5.0
+
+    def test_fifo_for_equal_latency(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        for i in range(5):
+            net.send("b", "a", f"m{i}")
+        net.run_until_quiet()
+        assert [m.kind for m in got] == [f"m{i}" for i in range(5)]
+
+    def test_step_empty_queue(self, net):
+        assert net.step() is None
+
+    def test_pending_count(self, net):
+        attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.send("a", "b", "x")
+        assert net.pending() == 1
+        net.run_until_quiet()
+        assert net.pending() == 0
+
+    def test_handler_can_send_replies(self, net):
+        log = []
+
+        def ponger(message):
+            log.append(message.kind)
+            if message.kind == "ping":
+                net.send("b", "a", "pong")
+
+        net.attach("b", ponger)
+        got_a = attach_recorder(net, "a")
+        net.send("a", "b", "ping")
+        net.run_until_quiet()
+        assert log == ["ping"]
+        assert [m.kind for m in got_a] == ["pong"]
+
+    def test_message_budget(self, net):
+        def flooder(message):
+            net.send("a", "a", "again")
+
+        net.attach("a", flooder)
+        net.send("a", "a", "start")
+        with pytest.raises(NetworkError):
+            net.run_until_quiet(max_messages=100)
+
+
+class TestFaults:
+    def test_crash_drops_traffic(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.crash("b")
+        net.send("a", "b", "lost")
+        net.send("b", "a", "also-lost")
+        net.run_until_quiet()
+        assert got == []
+        assert len(net.dropped) == 2
+        assert net.is_crashed("b")
+
+    def test_recover(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.crash("a")
+        net.recover("a")
+        net.send("b", "a", "hello")
+        net.run_until_quiet()
+        assert len(got) == 1
+
+    def test_crash_drops_in_flight_messages(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.send("b", "a", "in-flight")
+        net.crash("b")  # sender crashes after sending
+        net.run_until_quiet()
+        assert got == []
+
+    def test_partition_and_heal(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        attach_recorder(net, "c")
+        net.partition("a", "b")
+        net.send("b", "a", "blocked")
+        net.send("c", "a", "through")
+        net.run_until_quiet()
+        assert [m.kind for m in got] == ["through"]
+        net.heal("a", "b")
+        net.send("b", "a", "open-again")
+        net.run_until_quiet()
+        assert [m.kind for m in got] == ["through", "open-again"]

@@ -1,0 +1,169 @@
+"""Tests for WebCom master/client scheduling and the Secure WebCom
+handshake (Figure 3)."""
+
+import pytest
+
+from repro.errors import AuthorisationError, SchedulingError
+from repro.webcom.engine import EvaluationMode
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.secure import SecureWebComEnvironment
+
+OPS = {"add": lambda a, b: a + b, "double": lambda v: 2 * v}
+
+
+def calc_graph():
+    g = CondensedGraph("calc")
+    g.add_node("add", operator="add", arity=2)
+    g.add_node("double", operator="double", arity=1)
+    g.connect("add", "double", 0)
+    g.entry("x", "add", 0)
+    g.entry("y", "add", 1)
+    g.set_exit("double")
+    return g
+
+
+def plain_setup(n_clients=2):
+    net = SimulatedNetwork()
+    master = WebComMaster("master", net)
+    clients = []
+    for i in range(n_clients):
+        client = WebComClient(f"c{i}", net, OPS)
+        client.register_with("master")
+        clients.append(client)
+    net.run_until_quiet()
+    return net, master, clients
+
+
+class TestPlainScheduling:
+    def test_registration(self):
+        _net, master, _clients = plain_setup()
+        assert set(master.clients) == {"c0", "c1"}
+        assert master.clients["c0"].operations == {"add", "double"}
+
+    def test_run_graph(self):
+        _net, master, clients = plain_setup()
+        assert master.run_graph(calc_graph(), {"x": 3, "y": 4}) == 14
+        total = sum(len(c.executed) for c in clients)
+        assert total == 2
+
+    def test_deterministic_placement(self):
+        _net, master, _clients = plain_setup()
+        master.run_graph(calc_graph(), {"x": 1, "y": 2})
+        # Sorted client order; first eligible wins every time.
+        assert master.schedule_log == [("add", "c0"), ("double", "c0")]
+
+    def test_no_client_for_operation(self):
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net)
+        client = WebComClient("c", net, {"other": lambda: 1})
+        client.register_with("m")
+        net.run_until_quiet()
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+
+    def test_client_error_reported(self):
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net)
+        bad_ops = {"add": lambda a, b: 1 / 0, "double": lambda v: v}
+        client = WebComClient("c", net, bad_ops)
+        client.register_with("m")
+        net.run_until_quiet()
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+
+    def test_evaluation_mode_pass_through(self):
+        _net, master, _clients = plain_setup()
+        result = master.run_graph(calc_graph(), {"x": 3, "y": 4},
+                                  mode=EvaluationMode.COERCION)
+        assert result == 14
+
+
+class TestFaultTolerance:
+    def test_reschedule_after_crash(self):
+        net, master, clients = plain_setup(n_clients=2)
+        net.crash("c0")
+        assert master.run_graph(calc_graph(), {"x": 3, "y": 4}) == 14
+        # c0 was marked dead; all work went to c1.
+        assert not master.clients["c0"].alive
+        assert master.clients["c1"].executed == 2
+
+    def test_all_clients_dead(self):
+        net, master, _clients = plain_setup(n_clients=2)
+        net.crash("c0")
+        net.crash("c1")
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+
+    def test_partition_counts_as_loss(self):
+        net, master, clients = plain_setup(n_clients=2)
+        net.partition("master", "c0")
+        assert master.run_graph(calc_graph(), {"x": 3, "y": 4}) == 14
+        assert master.clients["c1"].executed == 2
+
+
+def secure_setup(trusted_ops=("add", "double"), client_trusts=True):
+    env = SecureWebComEnvironment()
+    net = SimulatedNetwork(clock=env.clock)
+    env.create_key("Kmaster")
+    master = WebComMaster("master", net, key_name="Kmaster",
+                          scheduler_filter=env.master_filter(),
+                          audit=env.audit)
+    env.create_key("Kc0")
+    client = WebComClient("c0", net, OPS, key_name="Kc0", user="alice",
+                          authoriser=env.client_authoriser("c0"),
+                          audit=env.audit)
+    if trusted_ops:
+        env.trust_clients_for_operations(["Kc0"], list(trusted_ops))
+    if client_trusts:
+        env.client_trusts_master("c0", "Kmaster")
+    client.register_with("master")
+    net.run_until_quiet()
+    return env, net, master, client
+
+
+class TestSecureWebCom:
+    def test_mutually_trusted_execution(self):
+        env, _net, master, _client = secure_setup()
+        assert master.run_graph(calc_graph(), {"x": 3, "y": 4}) == 14
+        # Both directions of the Figure-3 handshake were mediated.
+        assert len(env.audit.find(category="keynote.query",
+                                  outcome="allow")) >= 4
+        assert len(env.audit.find(category="webcom.client.check",
+                                  outcome="allow")) == 2
+
+    def test_master_refuses_untrusted_client(self):
+        env, _net, master, _client = secure_setup(trusted_ops=())
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+
+    def test_master_refuses_unlisted_operation(self):
+        env, _net, master, _client = secure_setup(trusted_ops=("add",))
+        # 'add' fires, then 'double' has no authorised client.
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+
+    def test_client_refuses_untrusted_master(self):
+        env, _net, master, client = secure_setup(client_trusts=False)
+        with pytest.raises(AuthorisationError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+        assert client.executed == []
+        assert len(env.audit.find(category="webcom.client.check",
+                                  outcome="deny")) >= 1
+
+    def test_client_scoped_trust(self):
+        env, _net, master, client = secure_setup(client_trusts=False)
+        env.client_trusts_master("c0", "Kmaster", operations=["add"])
+        with pytest.raises(AuthorisationError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+        # 'add' went through before 'double' was refused.
+        assert client.executed == ["add"]
+
+    def test_denied_client_does_not_execute(self):
+        env, _net, master, client = secure_setup(client_trusts=False)
+        try:
+            master.run_graph(calc_graph(), {"x": 1, "y": 2})
+        except AuthorisationError:
+            pass
+        assert client.executed == []

@@ -1,0 +1,117 @@
+"""Tests for graph patterns and master failover."""
+
+import pytest
+
+from repro.errors import GraphError, SchedulingError, WebComError
+from repro.webcom.engine import GraphEngine, function_table_executor
+from repro.webcom.failover import MasterGroup
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.patterns import diamond, fan_out_in, map_reduce, pipeline
+
+TABLE = {
+    "inc": lambda v: v + 1,
+    "double": lambda v: 2 * v,
+    "sum": lambda *vs: sum(vs),
+    "ident": lambda v: v,
+}
+
+
+class TestPatterns:
+    def test_pipeline(self):
+        graph = pipeline("p", ["inc", "inc", "double"])
+        engine = GraphEngine(graph, function_table_executor(TABLE))
+        assert engine.run({"x": 1}) == 6
+
+    def test_pipeline_validates(self):
+        with pytest.raises(GraphError):
+            pipeline("p", [])
+
+    def test_fan_out_in(self):
+        graph = fan_out_in("f", worker_op="inc", join_op="sum", width=5)
+        engine = GraphEngine(graph, function_table_executor(TABLE))
+        assert engine.run({"x": 1}) == 10  # five workers each produce 2
+
+    def test_fan_out_validates_width(self):
+        with pytest.raises(GraphError):
+            fan_out_in("f", "inc", "sum", width=0)
+
+    def test_map_reduce(self):
+        graph = map_reduce("mr", map_op="double", reduce_op="sum",
+                           partitions=3)
+        engine = GraphEngine(graph, function_table_executor(TABLE))
+        assert engine.run({"part000": 1, "part001": 2, "part002": 3}) == 12
+
+    def test_map_reduce_validates(self):
+        with pytest.raises(GraphError):
+            map_reduce("mr", "double", "sum", partitions=0)
+
+    def test_diamond(self):
+        graph = diamond("d", "ident", "inc", "double", "sum")
+        engine = GraphEngine(graph, function_table_executor(TABLE))
+        # split=3; left=4; right=6; join=10
+        assert engine.run({"x": 3}) == 10
+
+    def test_patterns_all_validate(self):
+        for graph in (pipeline("a", ["inc"]),
+                      fan_out_in("b", "inc", "sum", 3),
+                      map_reduce("c", "inc", "sum", 2),
+                      diamond("d", "ident", "inc", "double", "sum")):
+            graph.validate()
+
+
+def group_setup(n_masters=2, n_clients=2):
+    net = SimulatedNetwork()
+    masters = [WebComMaster(f"m{i}", net) for i in range(n_masters)]
+    group = MasterGroup(masters, net)
+    for i in range(n_clients):
+        client = WebComClient(f"c{i}", net, TABLE)
+        group.register_client(client)
+    return net, group, masters
+
+
+class TestMasterFailover:
+    def test_primary_runs_when_healthy(self):
+        _net, group, masters = group_setup()
+        graph = pipeline("p", ["inc", "double"])
+        assert group.run_graph(graph, {"x": 1}) == 4
+        assert group.active_master() is masters[0]
+        assert masters[0].schedule_log
+        assert not masters[1].schedule_log
+
+    def test_failover_to_standby(self):
+        net, group, masters = group_setup()
+        net.crash("m0")
+        graph = pipeline("p", ["inc", "double"])
+        assert group.run_graph(graph, {"x": 1}) == 4
+        assert group.active_master() is masters[1]
+        assert masters[1].schedule_log
+
+    def test_standby_knows_the_client_pool(self):
+        _net, group, masters = group_setup()
+        # Registration was replicated to every master up front.
+        assert set(masters[0].clients) == set(masters[1].clients) == {"c0",
+                                                                      "c1"}
+
+    def test_all_masters_down(self):
+        net, group, _masters = group_setup()
+        net.crash("m0")
+        net.crash("m1")
+        with pytest.raises(WebComError):
+            group.active_master()
+        with pytest.raises(SchedulingError):
+            group.run_graph(pipeline("p", ["inc"]), {"x": 1})
+
+    def test_failover_on_scheduling_failure(self):
+        # m0 is healthy but its whole client pool is dead; m1 must get its
+        # turn and fail the same way, surfacing one final error.
+        net, group, _masters = group_setup()
+        net.crash("c0")
+        net.crash("c1")
+        with pytest.raises(SchedulingError):
+            group.run_graph(pipeline("p", ["inc"]), {"x": 1})
+        assert group.failovers == ["m0", "m1"]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(WebComError):
+            MasterGroup([], SimulatedNetwork())

@@ -1,0 +1,130 @@
+"""Tests for master selection policies, EJB descriptor extensions, and
+per-link latency."""
+
+import pytest
+
+from repro.errors import DeploymentError, NetworkError, SchedulingError
+from repro.middleware.ejb import EJBServer
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.patterns import pipeline
+
+OPS = {"inc": lambda v: v + 1}
+
+
+def setup(selection_policy="first", n_clients=3):
+    net = SimulatedNetwork()
+    master = WebComMaster("m", net, selection_policy=selection_policy)
+    for i in range(n_clients):
+        WebComClient(f"c{i}", net, OPS).register_with("m")
+    net.run_until_quiet()
+    return net, master
+
+
+class TestSelectionPolicies:
+    def test_first_policy_pins_to_one_client(self):
+        _net, master = setup("first")
+        master.run_graph(pipeline("p", ["inc"] * 6), {"x": 0})
+        used = {c for _n, c in master.schedule_log}
+        assert used == {"c0"}
+
+    def test_least_loaded_spreads_work(self):
+        _net, master = setup("least-loaded")
+        master.run_graph(pipeline("p", ["inc"] * 6), {"x": 0})
+        counts = [master.clients[f"c{i}"].executed for i in range(3)]
+        assert counts == [2, 2, 2]
+
+    def test_round_robin_rotates(self):
+        _net, master = setup("round-robin")
+        master.run_graph(pipeline("p", ["inc"] * 6), {"x": 0})
+        used = [c for _n, c in master.schedule_log]
+        assert set(used) == {"c0", "c1", "c2"}
+        # No client runs twice in a row.
+        assert all(a != b for a, b in zip(used, used[1:]))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SchedulingError):
+            WebComMaster("m", SimulatedNetwork(), selection_policy="random")
+
+    def test_all_policies_compute_same_result(self):
+        for policy in WebComMaster.SELECTION_POLICIES:
+            _net, master = setup(policy)
+            assert master.run_graph(pipeline("p", ["inc"] * 4), {"x": 0}) == 4
+
+
+class TestEJBDescriptorExtensions:
+    @pytest.fixture
+    def server(self) -> EJBServer:
+        s = EJBServer(host="h", server_name="s")
+        s.deploy_container("C")
+        s.deploy_bean("C", "B", methods=("ping", "admin", "open"))
+        s.declare_role("C", "R")
+        s.add_method_permission("C", "B", "R", "ping")
+        s.add_method_permission("C", "B", "R", "admin")
+        s.add_user("u")
+        s.assign_role("C", "R", "u")
+        return s
+
+    def test_exclude_list_dominates(self, server):
+        assert server.invoke("u", "B", "admin")
+        server.add_exclude("C", "B", "admin")
+        assert not server.invoke("u", "B", "admin")
+        assert server.invoke("u", "B", "ping")  # untouched
+
+    def test_excluded_grants_dropped_from_extraction(self, server):
+        server.add_exclude("C", "B", "admin")
+        policy = server.extract_rbac()
+        permissions = {g.permission for g in policy.grants}
+        assert permissions == {"ping"}
+
+    def test_unchecked_open_to_all(self, server):
+        server.add_unchecked("C", "B", "open")
+        assert server.invoke("mallory", "B", "open")
+        assert not server.invoke("mallory", "B", "ping")
+
+    def test_exclude_beats_unchecked(self, server):
+        server.add_unchecked("C", "B", "open")
+        server.add_exclude("C", "B", "open")
+        assert not server.invoke("u", "B", "open")
+
+    def test_descriptor_extensions_validate_methods(self, server):
+        with pytest.raises(DeploymentError):
+            server.add_exclude("C", "B", "nope")
+        with pytest.raises(DeploymentError):
+            server.add_unchecked("C", "B", "nope")
+
+
+class TestLinkLatency:
+    def test_per_link_latency_orders_delivery(self):
+        net = SimulatedNetwork()
+        got = []
+        net.attach("a", got.append)
+        net.attach("b", lambda m: None)
+        net.attach("c", lambda m: None)
+        net.set_link_latency("b", "a", 10.0)
+        net.set_link_latency("c", "a", 1.0)
+        net.send("b", "a", "slow-link")
+        net.send("c", "a", "fast-link")
+        net.run_until_quiet()
+        assert [m.kind for m in got] == ["fast-link", "slow-link"]
+
+    def test_latency_lookup(self):
+        net = SimulatedNetwork(default_latency=2.0)
+        net.set_link_latency("a", "b", 7.0)
+        assert net.latency_between("a", "b") == 7.0
+        assert net.latency_between("b", "a") == 7.0  # bidirectional
+        assert net.latency_between("a", "c") == 2.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(NetworkError):
+            SimulatedNetwork().set_link_latency("a", "b", -1.0)
+
+    def test_explicit_send_latency_still_wins(self):
+        net = SimulatedNetwork()
+        got = []
+        net.attach("a", got.append)
+        net.attach("b", lambda m: None)
+        net.set_link_latency("b", "a", 10.0)
+        net.send("b", "a", "override", latency=0.5)
+        net.step()
+        assert net.clock.now() == 0.5

@@ -1,0 +1,63 @@
+"""Edge cases of the Secure WebCom environment."""
+
+import pytest
+
+from repro.webcom.secure import SecureWebComEnvironment
+
+
+class TestClientAuthoriser:
+    def test_empty_master_key_denied(self):
+        env = SecureWebComEnvironment()
+        env.client_trusts_master("c", "Kmaster")
+        authorise = env.client_authoriser("c")
+        assert not authorise("", "op", {})
+
+    def test_unknown_master_denied(self):
+        env = SecureWebComEnvironment()
+        env.create_key("Kmaster")
+        env.create_key("Kstranger")
+        env.client_trusts_master("c", "Kmaster")
+        authorise = env.client_authoriser("c")
+        assert authorise("Kmaster", "anything", {})
+        assert not authorise("Kstranger", "anything", {})
+
+    def test_operation_scoped_trust(self):
+        env = SecureWebComEnvironment()
+        env.create_key("Kmaster")
+        env.client_trusts_master("c", "Kmaster", operations=["safe-op"])
+        authorise = env.client_authoriser("c")
+        assert authorise("Kmaster", "safe-op", {})
+        assert not authorise("Kmaster", "scary-op", {})
+
+    def test_sessions_are_per_client(self):
+        env = SecureWebComEnvironment()
+        env.create_key("Kmaster")
+        env.client_trusts_master("c1", "Kmaster")
+        # c2 never declared trust: its session is empty.
+        assert env.client_authoriser("c1")("Kmaster", "op", {})
+        assert not env.client_authoriser("c2")("Kmaster", "op", {})
+        assert env.client_session("c1") is not env.client_session("c2")
+        assert env.client_session("c1") is env.client_session("c1")
+
+    def test_create_key_idempotent(self):
+        env = SecureWebComEnvironment()
+        assert env.create_key("K") == "K"
+        first = env.keystore.pair("K")
+        env.create_key("K")
+        assert env.keystore.pair("K") is first
+
+
+class TestMasterPolicyHelpers:
+    def test_trust_clients_builds_disjunction(self):
+        env = SecureWebComEnvironment()
+        for key in ("Ka", "Kb"):
+            env.create_key(key)
+        env.trust_clients_for_operations(["Ka", "Kb"], ["op1", "op2"])
+        for key in ("Ka", "Kb"):
+            for op in ("op1", "op2"):
+                assert env.master_session.query(
+                    {"app_domain": "WebCom", "op": op}, [key])
+        assert not env.master_session.query(
+            {"app_domain": "WebCom", "op": "op3"}, ["Ka"])
+        assert not env.master_session.query(
+            {"app_domain": "Other", "op": "op1"}, ["Ka"])

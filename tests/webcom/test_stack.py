@@ -1,0 +1,160 @@
+"""Tests for stacked authorisation (Section 5, Figure 10)."""
+
+import itertools
+
+import pytest
+
+from repro.crypto import Keystore
+from repro.errors import AuthorisationError
+from repro.keynote.api import KeyNoteSession
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.unixlike import UnixSecurity
+from repro.util.events import AuditLog
+from repro.webcom.stack import (
+    AuthorisationStack,
+    Layer,
+    MediationRequest,
+)
+
+
+@pytest.fixture
+def parts():
+    """One of everything: OS, middleware, TM session, app predicate."""
+    osec = UnixSecurity()
+    osec.add_user("alice", groups=["finance"])
+    osec.create_object("SalariesDB", owner="alice", group="finance",
+                       mode=0o600)
+
+    ejb = EJBServer(host="h", server_name="s")
+    ejb.deploy_container("C")
+    ejb.deploy_bean("C", "SalariesDB", methods=("read", "write"))
+    ejb.declare_role("C", "Clerk")
+    ejb.add_method_permission("C", "SalariesDB", "Clerk", "read")
+    ejb.add_user("alice")
+    ejb.assign_role("C", "Clerk", "alice")
+
+    keystore = Keystore()
+    keystore.create("Kalice")
+    session = KeyNoteSession(keystore=keystore)
+    session.add_policy('Authorizer: POLICY\nLicensees: "Kalice"\n'
+                       'Conditions: op=="read";')
+
+    predicate = lambda request: request.operation != "write"  # noqa: E731
+    return osec, ejb, session, predicate
+
+
+def request(op="read", access="read"):
+    return MediationRequest(user="alice", user_key="Kalice",
+                            object_type="SalariesDB", operation=op,
+                            os_access=access)
+
+
+class TestFullStack:
+    def test_all_layers_allow(self, parts):
+        osec, ejb, session, predicate = parts
+        stack = (AuthorisationStack()
+                 .plug_os(osec).plug_middleware(ejb)
+                 .plug_trust_management(session).plug_application(predicate))
+        decision = stack.mediate(request("read"))
+        assert decision.allowed
+        assert len(decision.decisions) == 4
+        assert decision.deciding_layer() is None
+
+    def test_top_down_order(self, parts):
+        osec, ejb, session, predicate = parts
+        stack = (AuthorisationStack()
+                 .plug_os(osec).plug_middleware(ejb)
+                 .plug_trust_management(session).plug_application(predicate))
+        decision = stack.mediate(request("read"))
+        layers = [d.layer for d in decision.decisions]
+        assert layers == [Layer.APPLICATION, Layer.TRUST_MANAGEMENT,
+                          Layer.MIDDLEWARE, Layer.OS]
+
+    def test_denial_short_circuits(self, parts):
+        osec, ejb, session, predicate = parts
+        stack = (AuthorisationStack()
+                 .plug_os(osec).plug_middleware(ejb)
+                 .plug_trust_management(session).plug_application(predicate))
+        decision = stack.mediate(request("write", access="write"))
+        assert not decision.allowed
+        assert decision.deciding_layer() == Layer.APPLICATION
+        assert len(decision.decisions) == 1  # lower layers never consulted
+
+    def test_each_layer_can_deny(self, parts):
+        osec, ejb, session, _predicate = parts
+        # TM denies 'write'.
+        stack = AuthorisationStack().plug_trust_management(session)
+        assert stack.mediate(request("write")).deciding_layer() == \
+            Layer.TRUST_MANAGEMENT
+        # Middleware denies 'write' (only read is granted).
+        stack = AuthorisationStack().plug_middleware(ejb)
+        assert stack.mediate(request("write")).deciding_layer() == \
+            Layer.MIDDLEWARE
+        # OS denies group access (mode 0600, bob not owner).
+        osec.add_user("bob", groups=["finance"])
+        stack = AuthorisationStack().plug_os(osec)
+        bob_request = MediationRequest(
+            user="bob", user_key="Kbob", object_type="SalariesDB",
+            operation="read")
+        assert stack.mediate(bob_request).deciding_layer() == Layer.OS
+
+
+class TestPluggability:
+    def test_empty_stack_raises(self):
+        with pytest.raises(AuthorisationError):
+            AuthorisationStack().mediate(request())
+
+    def test_empty_stack_opt_out(self):
+        stack = AuthorisationStack(require_some_layer=False)
+        assert stack.mediate(request()).allowed  # vacuous allow, explicit
+
+    def test_paper_example_tm_plus_os_only(self, parts):
+        # "in the absence of CORBASec support ... authorisation is based
+        # only on a combination of KeyNote and underlying OS policy."
+        osec, _ejb, session, _predicate = parts
+        stack = (AuthorisationStack()
+                 .plug_os(osec).plug_trust_management(session))
+        assert stack.configured_layers() == (Layer.OS,
+                                             Layer.TRUST_MANAGEMENT)
+        assert stack.check(request("read"))
+        assert not stack.check(request("write"))
+
+    def test_all_sixteen_configurations(self, parts):
+        """Every subset of layers mediates; result = AND of present layers
+        for an all-allow request."""
+        osec, ejb, session, predicate = parts
+        for include in itertools.product([False, True], repeat=4):
+            stack = AuthorisationStack(require_some_layer=False)
+            if include[0]:
+                stack.plug_os(osec)
+            if include[1]:
+                stack.plug_middleware(ejb)
+            if include[2]:
+                stack.plug_trust_management(session)
+            if include[3]:
+                stack.plug_application(predicate)
+            decision = stack.mediate(request("read"))
+            assert decision.allowed  # read passes every layer
+            assert len(decision.decisions) == sum(include)
+
+    def test_layer_lookup(self, parts):
+        _osec, _ejb, session, _predicate = parts
+        stack = AuthorisationStack().plug_trust_management(session)
+        decision = stack.mediate(request("read"))
+        assert decision.layer(Layer.TRUST_MANAGEMENT).allowed
+        assert decision.layer(Layer.OS) is None
+
+
+class TestAudit:
+    def test_decisions_audited(self, parts):
+        osec, _ejb, session, _predicate = parts
+        audit = AuditLog()
+        stack = (AuthorisationStack(audit=audit)
+                 .plug_os(osec).plug_trust_management(session))
+        stack.check(request("read"))
+        stack.check(request("write"))
+        records = audit.find(category="stack.mediate")
+        assert len(records) == 2
+        assert records[0].outcome == "allow"
+        assert records[1].outcome == "deny"
+        assert records[1].detail["denied_by"] == "TRUST_MANAGEMENT"

@@ -1,0 +1,113 @@
+"""Properties of the stacked-authorisation combinator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import Keystore
+from repro.keynote.api import KeyNoteSession
+from repro.middleware.ejb import EJBServer
+from repro.os_sec.unixlike import UnixSecurity
+from repro.webcom.stack import AuthorisationStack, MediationRequest
+
+USERS = ("alice", "bob")
+OPS = ("read", "write")
+
+
+def build_world(os_allows, mw_allows, tm_allows):
+    """Parts whose per-(user, op) decisions are given by the flag tables."""
+    osec = UnixSecurity()
+    for user in USERS:
+        osec.add_user(user)
+    # One object per (user, op) pattern is overkill; instead mediate via a
+    # permissive object and targeted deny through mode bits is clumsy — use
+    # the application predicate hooks for os/mw instead of real stores for
+    # this property, and a real TM session.
+    keystore = Keystore()
+    session = KeyNoteSession(keystore=keystore)
+    for user in USERS:
+        keystore.create(f"K{user}")
+        allowed_ops = [op for op in OPS if tm_allows.get((user, op))]
+        if allowed_ops:
+            ops = " || ".join(f'op=="{op}"' for op in allowed_ops)
+            session.add_policy(
+                f'Authorizer: POLICY\nLicensees: "K{user}"\n'
+                f'Conditions: {ops};')
+    return session
+
+
+flag_tables = st.fixed_dictionaries(
+    {(user, op): st.booleans() for user in USERS for op in OPS})
+
+
+class TestStackProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(flag_tables, flag_tables)
+    def test_adding_a_layer_never_allows_more(self, tm_allows, app_allows):
+        """Stack conjunction is monotone downwards: any stack with MORE
+        layers allows a subset of what fewer layers allow."""
+        session = build_world({}, {}, tm_allows)
+        predicate = lambda request: app_allows[  # noqa: E731
+            (request.user, request.operation)]
+
+        tm_only = AuthorisationStack().plug_trust_management(session)
+        both = (AuthorisationStack().plug_trust_management(session)
+                .plug_application(predicate))
+        for user in USERS:
+            for op in OPS:
+                request = MediationRequest(user=user, user_key=f"K{user}",
+                                           object_type="T", operation=op)
+                if both.check(request):
+                    assert tm_only.check(request)
+
+    @settings(max_examples=40, deadline=None)
+    @given(flag_tables)
+    def test_stack_equals_conjunction(self, tm_allows):
+        """The full decision is exactly the AND of the layer decisions."""
+        session = build_world({}, {}, tm_allows)
+        always = AuthorisationStack().plug_trust_management(session) \
+            .plug_application(lambda r: True)
+        never = AuthorisationStack().plug_trust_management(session) \
+            .plug_application(lambda r: False)
+        for user in USERS:
+            for op in OPS:
+                request = MediationRequest(user=user, user_key=f"K{user}",
+                                           object_type="T", operation=op)
+                assert always.check(request) == tm_allows[(user, op)]
+                assert not never.check(request)
+
+    def test_layer_order_does_not_change_outcome(self):
+        """Mediation order affects the trace, never the verdict (layers are
+        independent predicates combined by AND)."""
+        osec = UnixSecurity()
+        osec.add_user("alice")
+        osec.create_object("T", owner="alice", group="g", mode=0o600)
+        ejb = EJBServer(host="h", server_name="s")
+        ejb.deploy_container("C")
+        ejb.deploy_bean("C", "T", methods=("read",))
+        ejb.declare_role("C", "R")
+        ejb.add_method_permission("C", "T", "R", "read")
+        ejb.add_user("alice")
+        ejb.assign_role("C", "R", "alice")
+        keystore = Keystore()
+        keystore.create("Kalice")
+        session = KeyNoteSession(keystore=keystore)
+        session.add_policy('Authorizer: POLICY\nLicensees: "Kalice"\n'
+                           'Conditions: op=="read";')
+        request = MediationRequest(user="alice", user_key="Kalice",
+                                   object_type="T", operation="read")
+        # Every permutation of plugging produces the same verdict.
+        verdicts = set()
+        for order in itertools.permutations(["os", "mw", "tm"]):
+            stack = AuthorisationStack()
+            for which in order:
+                if which == "os":
+                    stack.plug_os(osec)
+                elif which == "mw":
+                    stack.plug_middleware(ejb)
+                else:
+                    stack.plug_trust_management(session)
+            verdicts.add(stack.check(request))
+        assert verdicts == {True}

@@ -1,0 +1,159 @@
+"""Tests for L3 workflow security (separation/binding of duty)."""
+
+import pytest
+
+from repro.errors import AuthorisationError, SchedulingError
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.workflow import (
+    BindingOfDuty,
+    SeparationOfDuty,
+    UserRestriction,
+    WorkflowGuard,
+    WorkflowPolicy,
+    compose_filters,
+    run_guarded,
+)
+
+OPS = {"initiate": lambda v: v, "approve": lambda v: v,
+       "archive": lambda v: v}
+
+
+def payment_graph() -> CondensedGraph:
+    g = CondensedGraph("payment")
+    g.add_node("initiate", operator="initiate", arity=1)
+    g.add_node("approve", operator="approve", arity=1)
+    g.add_node("archive", operator="archive", arity=1)
+    g.connect("initiate", "approve", 0)
+    g.connect("approve", "archive", 0)
+    g.entry("amount", "initiate", 0)
+    g.set_exit("archive")
+    return g
+
+
+class TestConstraintSemantics:
+    def test_separation_of_duty(self):
+        sod = SeparationOfDuty("init-approve",
+                               frozenset({"initiate", "approve"}))
+        assert sod.permits("approve", "bob", {"initiate": "alice"})
+        assert not sod.permits("approve", "alice", {"initiate": "alice"})
+        assert sod.permits("archive", "alice", {"initiate": "alice"})
+
+    def test_binding_of_duty(self):
+        bod = BindingOfDuty("same-user", frozenset({"a", "b"}))
+        assert bod.permits("b", "alice", {"a": "alice"})
+        assert not bod.permits("b", "bob", {"a": "alice"})
+        assert bod.permits("a", "anyone", {})  # first node unconstrained
+
+    def test_user_restriction(self):
+        restriction = UserRestriction("only-managers", "approve",
+                                      frozenset({"bob"}))
+        assert restriction.permits("approve", "bob", {})
+        assert not restriction.permits("approve", "alice", {})
+        assert restriction.permits("other", "alice", {})
+
+    def test_policy_builders_validate(self):
+        with pytest.raises(ValueError):
+            WorkflowPolicy().separate("x", "only-one")
+        with pytest.raises(ValueError):
+            WorkflowPolicy().bind("x", "only-one")
+        with pytest.raises(ValueError):
+            WorkflowPolicy().restrict("x", "node")
+
+    def test_violations_on_complete_history(self):
+        policy = WorkflowPolicy().separate("sod", "a", "b")
+        assert policy.violations({"a": "alice", "b": "alice"}) == ["sod"]
+        assert policy.violations({"a": "alice", "b": "bob"}) == []
+
+
+def distributed_setup():
+    net = SimulatedNetwork()
+    master = WebComMaster("m", net)
+    for cid, user in (("c-alice", "alice"), ("c-bob", "bob")):
+        client = WebComClient(cid, net, OPS, user=user)
+        client.register_with("m")
+    net.run_until_quiet()
+    return master
+
+
+class TestGuardedExecution:
+    def test_sod_forces_different_users(self):
+        master = distributed_setup()
+        policy = WorkflowPolicy().separate("init-approve", "initiate",
+                                           "approve")
+        guard = WorkflowGuard(policy)
+        master.scheduler_filter = guard.filter
+        result = run_guarded(master, guard, payment_graph(), {"amount": 100})
+        assert result == 100
+        assert guard.history["initiate"] != guard.history["approve"]
+
+    def test_bod_forces_same_user(self):
+        master = distributed_setup()
+        policy = WorkflowPolicy().bind("same", "initiate", "archive")
+        guard = WorkflowGuard(policy)
+        master.scheduler_filter = guard.filter
+        run_guarded(master, guard, payment_graph(), {"amount": 1})
+        assert guard.history["initiate"] == guard.history["archive"]
+
+    def test_restriction_places_on_named_user(self):
+        master = distributed_setup()
+        policy = WorkflowPolicy().restrict("approver", "approve", "bob")
+        guard = WorkflowGuard(policy)
+        master.scheduler_filter = guard.filter
+        run_guarded(master, guard, payment_graph(), {"amount": 1})
+        assert guard.history["approve"] == "bob"
+
+    def test_unsatisfiable_constraints_block_scheduling(self):
+        master = distributed_setup()
+        # approve must be carol, but no client runs as carol.
+        policy = WorkflowPolicy().restrict("approver", "approve", "carol")
+        guard = WorkflowGuard(policy)
+        master.scheduler_filter = guard.filter
+        with pytest.raises(SchedulingError):
+            run_guarded(master, guard, payment_graph(), {"amount": 1})
+
+    def test_verify_catches_bypassed_filter(self):
+        # The guard is installed for recording but NOT as the filter —
+        # verify() must still catch the violation.
+        master = distributed_setup()
+        policy = WorkflowPolicy().separate("sod", "initiate", "approve",
+                                           "archive")
+        guard = WorkflowGuard(policy)
+        # Two clients, three mutually-separated nodes: some pair collides.
+        with pytest.raises(AuthorisationError):
+            run_guarded(master, guard, payment_graph(), {"amount": 1})
+
+    def test_reset_clears_history(self):
+        guard = WorkflowGuard(WorkflowPolicy())
+        guard.record("a", "alice")
+        guard.reset()
+        assert guard.history == {}
+
+
+class TestComposition:
+    def test_compose_filters_narrows(self):
+        master = distributed_setup()
+        policy = WorkflowPolicy().restrict("r", "approve", "bob")
+        guard = WorkflowGuard(policy)
+        only_alice = lambda node, ctx, cands: [  # noqa: E731
+            c for c in cands if c.user == "alice"]
+        master.scheduler_filter = compose_filters(guard.filter, only_alice)
+        # approve needs bob (guard) AND alice (second filter): impossible.
+        with pytest.raises(SchedulingError):
+            run_guarded(master, guard, payment_graph(), {"amount": 1})
+
+    def test_compose_filters_order_short_circuits(self):
+        calls = []
+
+        def f1(node, ctx, cands):
+            calls.append("f1")
+            return []
+
+        def f2(node, ctx, cands):
+            calls.append("f2")
+            return cands
+
+        combined = compose_filters(f1, f2)
+        assert combined(None, {}, [1, 2]) == []
+        assert calls == ["f1"]  # f2 never consulted once empty
