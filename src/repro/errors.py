@@ -194,5 +194,10 @@ class NetworkError(WebComError):
     """Simulated network failure (partition, dropped peer)."""
 
 
+class FaultPlanError(WebComError):
+    """A fault-injection plan is malformed (bad probability, inverted
+    crash window)."""
+
+
 class KeyComError(WebComError):
     """The KeyCOM administration service rejected an update request."""

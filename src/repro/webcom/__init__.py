@@ -12,6 +12,8 @@ Modules:
   (availability-, coercion- and control-driven firing).
 - :mod:`repro.webcom.network` — deterministic simulated network with latency
   and fault injection.
+- :mod:`repro.webcom.faults` — seeded fault plans (drop/duplicate/reorder/
+  jitter/crash windows) for chaos testing.
 - :mod:`repro.webcom.node` — WebCom masters and clients.
 - :mod:`repro.webcom.secure` — the KeyNote handshake of Figure 3.
 - :mod:`repro.webcom.keycom` — the KeyCOM administration service (Figure 8).
@@ -20,7 +22,13 @@ Modules:
 """
 
 from repro.webcom.engine import EvaluationMode, GraphEngine
-from repro.webcom.failover import MasterGroup
+from repro.webcom.failover import GraphCheckpoint, MasterGroup
+from repro.webcom.faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
 from repro.webcom.graph import CondensedGraph, GraphNode
 from repro.webcom.ide import ComponentPalette, PlacementSpec, WebComIDE
 from repro.webcom.keycom import KeyComService, PolicyUpdateRequest
@@ -34,7 +42,12 @@ __all__ = [
     "AuthorisationStack",
     "ComponentPalette",
     "CondensedGraph",
+    "CrashWindow",
     "EvaluationMode",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "GraphCheckpoint",
     "GraphEngine",
     "GraphNode",
     "KeyComService",

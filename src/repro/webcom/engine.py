@@ -37,10 +37,16 @@ class EvaluationMode(enum.Enum):
 
 @dataclass
 class ExecutionTrace:
-    """What an engine run did (for tests, benchmarks and the IDE)."""
+    """What an engine run did (for tests, benchmarks and the IDE).
+
+    ``fired`` lists only nodes this run actually executed; nodes whose
+    results were restored from a failover checkpoint appear in ``restored``
+    instead (their values still land in ``results``).
+    """
 
     fired: list[str] = field(default_factory=list)
     results: dict[str, Any] = field(default_factory=dict)
+    restored: list[str] = field(default_factory=list)
 
     def fired_count(self) -> int:
         return len(self.fired)
@@ -66,9 +72,20 @@ class GraphEngine:
         self.mode = mode
         self.trace = ExecutionTrace()
 
-    def run(self, inputs: Mapping[str, Any]) -> Any:
+    def run(self, inputs: Mapping[str, Any], *,
+            resume_from: Mapping[str, Any] | None = None,
+            on_node_fired: "Callable[[str, Any], None] | None" = None) -> Any:
         """Execute the graph on ``inputs`` and return the exit node's result.
 
+        The trace is reset on every call, so repeated runs (e.g.
+        re-execution after failover) report the firing counts of that run
+        alone.
+
+        :param resume_from: node id -> result of nodes already completed
+            (e.g. from a failover checkpoint); they are restored instead of
+            re-fired.
+        :param on_node_fired: callback ``(node_id, result)`` invoked after
+            each live firing — checkpointing hooks in here.
         :raises GraphError: if inputs don't match the declared entries, or
             execution stalls before the exit fires.
         """
@@ -79,6 +96,7 @@ class GraphEngine:
                 f"graph {self.graph.name!r} expects inputs {sorted(declared)}, "
                 f"got {sorted(provided)}")
 
+        self.trace = ExecutionTrace()
         operands: dict[str, dict[int, Any]] = {
             node_id: {} for node_id in self.graph.nodes}
         for name, refs in self.graph.entries.items():
@@ -86,6 +104,14 @@ class GraphEngine:
                 operands[ref.node_id][ref.port] = inputs[name]
 
         fired: set[str] = set()
+        for node_id, result in dict(resume_from or {}).items():
+            if node_id not in self.graph.nodes:
+                continue
+            fired.add(node_id)
+            self.trace.restored.append(node_id)
+            self.trace.results[node_id] = result
+            for dest in self.graph.node(node_id).destinations:
+                operands[dest.node_id][dest.port] = result
         needed = (self.graph.needed_for_exit()
                   if self.mode is EvaluationMode.COERCION
                   else set(self.graph.nodes))
@@ -111,6 +137,8 @@ class GraphEngine:
                 fired.add(node_id)
                 self.trace.fired.append(node_id)
                 self.trace.results[node_id] = result
+                if on_node_fired is not None:
+                    on_node_fired(node_id, result)
                 for dest in node.destinations:
                     operands[dest.node_id][dest.port] = result
         return self.trace.results[exit_id]

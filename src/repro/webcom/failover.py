@@ -1,4 +1,4 @@
-"""Master failover.
+"""Master failover with checkpointed resume.
 
 Secure WebCom is "a distributed secure and fault-tolerant architecture"; the
 client side of fault tolerance (rescheduling around crashed clients) lives in
@@ -6,10 +6,17 @@ client side of fault tolerance (rescheduling around crashed clients) lives in
 a :class:`MasterGroup` of redundant masters that clients register with, where
 graph execution fails over to the next healthy master when the active one is
 unreachable.
+
+Failover is **checkpointed**: the active master records every completed node
+in a :class:`GraphCheckpoint` as it fires, and a standby taking over resumes
+from the last completed frontier rather than re-executing the whole graph
+from its inputs.  A secured standby re-checks KeyNote authorisation for each
+restored node before trusting its checkpointed result.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.errors import SchedulingError, WebComError
@@ -19,11 +26,32 @@ from repro.webcom.network import SimulatedNetwork
 from repro.webcom.node import WebComClient, WebComMaster
 
 
+@dataclass
+class GraphCheckpoint:
+    """The completed frontier of one graph execution.
+
+    Masters call :meth:`mark` as nodes fire; a resuming master reads
+    :attr:`completed` to skip nodes that already ran.
+    """
+
+    graph_name: str
+    completed: dict[str, Any] = field(default_factory=dict)
+
+    def mark(self, node_id: str, result: Any) -> None:
+        """Record one completed node."""
+        self.completed[node_id] = result
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+
 class MasterGroup:
     """An ordered group of redundant masters.
 
     :param masters: priority order; the first healthy one is active.
     :param network: used to detect crashed masters.
+    :ivar last_checkpoint: the :class:`GraphCheckpoint` of the most recent
+        :meth:`run_graph` call.
     """
 
     def __init__(self, masters: Sequence[WebComMaster],
@@ -33,6 +61,7 @@ class MasterGroup:
         self.masters = list(masters)
         self.network = network
         self.failovers: list[str] = []
+        self.last_checkpoint: GraphCheckpoint | None = None
 
     def active_master(self) -> WebComMaster:
         """The highest-priority master that is not crashed.
@@ -52,20 +81,26 @@ class MasterGroup:
         self.network.run_until_quiet()
 
     def run_graph(self, graph: CondensedGraph, inputs: Mapping[str, Any],
-                  mode: EvaluationMode = EvaluationMode.AVAILABILITY) -> Any:
+                  mode: EvaluationMode = EvaluationMode.AVAILABILITY,
+                  checkpoint: GraphCheckpoint | None = None) -> Any:
         """Execute a graph, failing over to the next master on loss.
 
-        Re-execution restarts the graph from its inputs (operations are
-        assumed idempotent, as in WebCom's own re-scheduling model).
+        The shared checkpoint follows the graph across masters: a standby
+        resumes from the nodes the failed master completed (re-checking
+        their authorisation when secured) instead of restarting from the
+        inputs.
 
         :raises SchedulingError: when no master can complete the graph.
         """
+        checkpoint = checkpoint or GraphCheckpoint(graph.name)
+        self.last_checkpoint = checkpoint
         last_error: Exception | None = None
         for master in self.masters:
             if self.network.is_crashed(master.master_id):
                 continue
             try:
-                return master.run_graph(graph, inputs, mode)
+                return master.run_graph(graph, inputs, mode,
+                                        checkpoint=checkpoint)
             except (SchedulingError, WebComError) as exc:
                 last_error = exc
                 self.failovers.append(master.master_id)

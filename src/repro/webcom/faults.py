@@ -1,0 +1,198 @@
+"""Seeded fault injection for the simulated network.
+
+A :class:`FaultPlan` is a declarative description of everything that may go
+wrong on the wire: per-link / per-kind message **drop**, **duplication**,
+**reordering** and latency **jitter**, plus scheduled **crash windows**
+during which a peer is down.  A :class:`FaultInjector` executes the plan
+against a :class:`~repro.webcom.network.SimulatedNetwork` using a seeded RNG,
+so every chaos schedule is fully reproducible: the same plan against the same
+protocol produces the same interleaving, byte for byte.
+
+This is the substrate the chaos harness (``tests/webcom/test_chaos.py``)
+uses to assert that Secure WebCom's scheduling protocol converges — same
+results, same allow/deny audit outcomes — under dozens of adversarial
+network schedules.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import FaultPlanError
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultPlanError(f"{name} must be a probability in [0, 1], "
+                             f"got {value}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault clause: which traffic it matches and what it does to it.
+
+    :param link: restrict to one (bidirectional) link, or None for any.
+    :param kind: restrict to one message kind (``"execute"``, ``"result"``,
+        ``"ping"``...), or None for any.
+    :param drop: probability the message is lost.
+    :param duplicate: probability a second copy is delivered.
+    :param reorder: probability the message is held back so that later
+        traffic overtakes it.
+    :param jitter: maximum extra latency (uniformly drawn in ``[0, jitter]``).
+    """
+
+    link: tuple[str, str] | None = None
+    kind: str | None = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("drop", self.drop)
+        _check_probability("duplicate", self.duplicate)
+        _check_probability("reorder", self.reorder)
+        if self.jitter < 0:
+            raise FaultPlanError(f"jitter cannot be negative, "
+                                 f"got {self.jitter}")
+
+    def matches(self, sender: str, recipient: str, kind: str) -> bool:
+        """True if this rule applies to a message."""
+        if self.link is not None and frozenset(self.link) != frozenset(
+                {sender, recipient}):
+            return False
+        if self.kind is not None and self.kind != kind:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """A scheduled downtime interval ``[start, end)`` for one peer.
+
+    Messages whose flight overlaps the window are dropped — including
+    messages *enqueued* while the peer is down whose delivery time falls
+    after recovery.
+    """
+
+    peer: str
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultPlanError("crash window cannot start before epoch zero")
+        if self.end < self.start:
+            raise FaultPlanError(
+                f"crash window for {self.peer!r} ends ({self.end}) before "
+                f"it starts ({self.start})")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded chaos schedule.
+
+    :param seed: RNG seed; two injectors built from equal plans make
+        identical decisions.
+    :param rules: fault clauses, all applied to each matching message.
+    :param crash_windows: scheduled peer downtimes.
+    :param reorder_hold: how long a reordered message is held back,
+        as a multiple of its base latency.
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+    crash_windows: tuple[CrashWindow, ...] = ()
+    reorder_hold: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.reorder_hold < 0:
+            raise FaultPlanError("reorder_hold cannot be negative")
+        object.__setattr__(self, "rules", tuple(self.rules))
+        object.__setattr__(self, "crash_windows", tuple(self.crash_windows))
+
+    @classmethod
+    def chaos(cls, seed: int, *, crash_peers: tuple[str, ...] = (),
+              max_drop: float = 0.15, max_duplicate: float = 0.25,
+              max_reorder: float = 0.2, max_jitter: float = 2.0,
+              ) -> "FaultPlan":
+        """Derive a mixed drop/dup/reorder/jitter/crash-window plan from one
+        seed — the generator the chaos harness sweeps.
+
+        Roughly every third seed also opens a bounded crash window on one of
+        ``crash_peers`` so recovery paths (heartbeat re-probe, rescheduling)
+        are exercised.
+        """
+        rng = random.Random(seed)
+        rules = (FaultRule(
+            drop=rng.uniform(0.0, max_drop),
+            duplicate=rng.uniform(0.0, max_duplicate),
+            reorder=rng.uniform(0.0, max_reorder),
+            jitter=rng.uniform(0.0, max_jitter)),)
+        windows: tuple[CrashWindow, ...] = ()
+        if crash_peers and seed % 3 == 0:
+            peer = crash_peers[seed % len(crash_peers)]
+            start = rng.uniform(1.0, 6.0)
+            windows = (CrashWindow(peer, start,
+                                   start + rng.uniform(5.0, 20.0)),)
+        return cls(seed=seed, rules=rules, crash_windows=windows)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a simulated network.
+
+    Install with :meth:`install`; the network then consults
+    :meth:`plan_delivery` for every ``send``.  Decisions are drawn from a
+    private ``random.Random(plan.seed)`` so a schedule replays exactly.
+
+    :ivar counts: how many of each fault actually fired
+        (``drop`` / ``duplicate`` / ``reorder`` / ``jitter``).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.counts: dict[str, int] = {
+            "drop": 0, "duplicate": 0, "reorder": 0, "jitter": 0}
+
+    def install(self, network) -> "FaultInjector":
+        """Wire this injector into a network and schedule the plan's crash
+        windows; returns self for chaining."""
+        for window in self.plan.crash_windows:
+            network.schedule_crash(window.peer, window.start, window.end)
+        network.fault_injector = self
+        return self
+
+    def plan_delivery(self, sender: str, recipient: str, kind: str,
+                      latency: float) -> list[float]:
+        """Decide the fate of one message.
+
+        Returns the list of effective latencies to deliver copies at —
+        empty when the message is dropped, two entries when duplicated.
+        """
+        effective = latency
+        duplicated = False
+        for rule in self.plan.rules:
+            if not rule.matches(sender, recipient, kind):
+                continue
+            if rule.drop and self._rng.random() < rule.drop:
+                self.counts["drop"] += 1
+                return []
+            if rule.duplicate and self._rng.random() < rule.duplicate:
+                self.counts["duplicate"] += 1
+                duplicated = True
+            if rule.reorder and self._rng.random() < rule.reorder:
+                self.counts["reorder"] += 1
+                effective += latency * self.plan.reorder_hold
+            if rule.jitter:
+                extra = self._rng.uniform(0.0, rule.jitter)
+                if extra:
+                    self.counts["jitter"] += 1
+                    effective += extra
+        deliveries = [effective]
+        if duplicated:
+            # The copy takes its own (slightly lagged) path.
+            deliveries.append(effective + 0.5 + self._rng.uniform(0.0, 1.0))
+        return deliveries

@@ -2,13 +2,17 @@
 
 WebCom masters and clients exchange messages through this fabric.  Messages
 carry a simulated latency; delivery is in (arrival time, sequence) order, so
-runs are fully reproducible.  Faults: peers can crash (drop all traffic) and
-links can be partitioned.
+runs are fully reproducible.  Faults: peers can crash (for an interval — all
+traffic whose flight overlaps the downtime is dropped, even if delivery
+would fall after recovery), links can be partitioned, and a
+:class:`~repro.webcom.faults.FaultInjector` can drop, duplicate, reorder and
+jitter individual messages from a seeded plan.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -36,7 +40,12 @@ Handler = Callable[[Message], None]
 
 
 class SimulatedNetwork:
-    """Message fabric with latency, crashes and partitions."""
+    """Message fabric with latency, crashes, partitions and fault injection.
+
+    :ivar fault_injector: optional
+        :class:`~repro.webcom.faults.FaultInjector` consulted on every send
+        (install via :meth:`FaultInjector.install`).
+    """
 
     def __init__(self, clock: SimulatedClock | None = None,
                  default_latency: float = 1.0) -> None:
@@ -45,9 +54,11 @@ class SimulatedNetwork:
         self._handlers: dict[str, Handler] = {}
         self._queue: list[Message] = []
         self._seq = 0
-        self._crashed: set[str] = set()
+        #: peer -> downtime intervals [start, end); end == inf while open
+        self._crash_intervals: dict[str, list[list[float]]] = {}
         self._partitions: set[frozenset[str]] = set()
         self._link_latency: dict[frozenset[str], float] = {}
+        self.fault_injector = None
         self.delivered: list[Message] = []
         self.dropped: list[Message] = []
 
@@ -69,16 +80,44 @@ class SimulatedNetwork:
     # -- faults -----------------------------------------------------------------
 
     def crash(self, peer_id: str) -> None:
-        """Crash a peer: queued and future traffic to/from it is dropped."""
-        self._crashed.add(peer_id)
+        """Crash a peer now: traffic overlapping its downtime is dropped."""
+        if not self.is_crashed(peer_id):
+            self._crash_intervals.setdefault(peer_id, []).append(
+                [self.clock.now(), math.inf])
 
     def recover(self, peer_id: str) -> None:
-        """Recover a crashed peer."""
-        self._crashed.discard(peer_id)
+        """Recover a crashed peer (closes its open downtime interval)."""
+        now = self.clock.now()
+        for interval in self._crash_intervals.get(peer_id, []):
+            if interval[0] <= now < interval[1]:
+                interval[1] = now
+
+    def schedule_crash(self, peer_id: str, start: float,
+                       end: float = math.inf) -> None:
+        """Schedule a downtime window ``[start, end)`` for a peer.
+
+        :raises NetworkError: if the window is inverted.
+        """
+        if end < start:
+            raise NetworkError(
+                f"crash window for {peer_id!r} ends before it starts")
+        self._crash_intervals.setdefault(peer_id, []).append([start, end])
 
     def is_crashed(self, peer_id: str) -> bool:
-        """True if the peer is currently down."""
-        return peer_id in self._crashed
+        """True if the peer is down at the current simulated time."""
+        now = self.clock.now()
+        return any(start <= now < end
+                   for start, end in self._crash_intervals.get(peer_id, []))
+
+    def crashed_during(self, peer_id: str, t0: float, t1: float) -> bool:
+        """True if the peer is down at any instant of ``[t0, t1]``.
+
+        This is the drop test for in-flight messages: a message sent while
+        the peer is down (or that would arrive during, or after a downtime
+        that started mid-flight) never reaches its handler.
+        """
+        return any(start <= t1 and t0 < end
+                   for start, end in self._crash_intervals.get(peer_id, []))
 
     def partition(self, a: str, b: str) -> None:
         """Cut the link between two peers (both directions)."""
@@ -111,7 +150,11 @@ class SimulatedNetwork:
              payload: Mapping[str, Any] | None = None,
              latency: float | None = None) -> Message:
         """Enqueue a message (it is delivered by :meth:`step` /
-        :meth:`run_until_quiet`).
+        :meth:`run_until` / :meth:`run_until_quiet`).
+
+        When a fault injector is installed it may drop the message outright
+        (recorded in :attr:`dropped`), duplicate it, or stretch its latency.
+        Returns the first enqueued copy (or the dropped message).
 
         :raises NetworkError: for unknown peers.
         """
@@ -119,41 +162,93 @@ class SimulatedNetwork:
             raise NetworkError(f"unknown sender {sender!r}")
         if recipient not in self._handlers:
             raise NetworkError(f"unknown recipient {recipient!r}")
-        self._seq += 1
         lat = (self.latency_between(sender, recipient)
                if latency is None else latency)
-        message = Message(
-            sender=sender, recipient=recipient, kind=kind,
-            payload=dict(payload or {}),
-            sent_at=self.clock.now(),
-            arrives_at=self.clock.now() + lat,
-            seq=self._seq)
-        heapq.heappush(self._queue, message)
-        return message
+        latencies = [lat]
+        if self.fault_injector is not None:
+            latencies = self.fault_injector.plan_delivery(
+                sender, recipient, kind, lat)
+        now = self.clock.now()
+        body = dict(payload or {})
+        if not latencies:
+            self._seq += 1
+            lost = Message(sender=sender, recipient=recipient, kind=kind,
+                           payload=body, sent_at=now, arrives_at=now + lat,
+                           seq=self._seq)
+            self.dropped.append(lost)
+            return lost
+        first: Message | None = None
+        for effective in latencies:
+            self._seq += 1
+            message = Message(
+                sender=sender, recipient=recipient, kind=kind,
+                payload=body, sent_at=now, arrives_at=now + effective,
+                seq=self._seq)
+            heapq.heappush(self._queue, message)
+            if first is None:
+                first = message
+        return first
 
     def pending(self) -> int:
         """Messages still in flight."""
         return len(self._queue)
 
+    def _pop_and_dispatch(self) -> Message | None:
+        """Pop the earliest message, advance the clock, deliver or drop it.
+
+        Returns the message if it was delivered, None if it was dropped.
+        """
+        message = heapq.heappop(self._queue)
+        self.clock.advance_to(message.arrives_at)
+        if (self.crashed_during(message.sender, message.sent_at,
+                                message.arrives_at)
+                or self.crashed_during(message.recipient, message.sent_at,
+                                       message.arrives_at)
+                or self._link_down(message.sender, message.recipient)):
+            self.dropped.append(message)
+            return None
+        self.delivered.append(message)
+        self._handlers[message.recipient](message)
+        return message
+
     def step(self) -> Message | None:
         """Deliver the next message (advancing the clock to its arrival).
 
         Returns the delivered message, or None if the queue is empty.
-        Messages to/from crashed peers or across partitions are dropped
-        (recorded in :attr:`dropped`).
+        Messages whose flight overlaps a peer's downtime, or that cross a
+        partition, are dropped (recorded in :attr:`dropped`).
         """
         while self._queue:
-            message = heapq.heappop(self._queue)
-            self.clock.advance_to(message.arrives_at)
-            if (message.sender in self._crashed
-                    or message.recipient in self._crashed
-                    or self._link_down(message.sender, message.recipient)):
-                self.dropped.append(message)
-                continue
-            self.delivered.append(message)
-            self._handlers[message.recipient](message)
-            return message
+            message = self._pop_and_dispatch()
+            if message is not None:
+                return message
         return None
+
+    def run_until(self, deadline: float,
+                  stop: Callable[[], bool] | None = None,
+                  max_messages: int = 100_000) -> int:
+        """Deliver every message due by ``deadline``; returns deliveries.
+
+        When ``stop`` is given, delivery halts as soon as it returns True
+        (the clock stays at the triggering arrival).  Otherwise the clock is
+        advanced to ``deadline`` — this is how schedulers wait out a
+        per-request timeout on the simulated clock.
+
+        :raises NetworkError: if ``max_messages`` is exceeded.
+        """
+        count = 0
+        processed = 0
+        while self._queue and self._queue[0].arrives_at <= deadline:
+            if stop is not None and stop():
+                return count
+            processed += 1
+            if processed > max_messages:
+                raise NetworkError("message budget exceeded; protocol loop?")
+            if self._pop_and_dispatch() is not None:
+                count += 1
+        if stop is None or not stop():
+            self.clock.advance_to(deadline)
+        return count
 
     def run_until_quiet(self, max_messages: int = 100_000) -> int:
         """Deliver until the queue drains; returns messages delivered.

@@ -5,6 +5,17 @@ scheduled to clients over the simulated network; clients execute the
 operation (a local function or a middleware component invocation) and return
 the result.  Authorisation hooks — the Figure 3 handshake — are injected by
 :mod:`repro.webcom.secure`; the base classes here run unsecured.
+
+Scheduling is robust against a lossy fabric:
+
+- every request carries a **deadline** on the simulated clock and is
+  **retried with exponential backoff** under the *same* request id;
+- both sides **deduplicate** by request id — a client replays its cached
+  reply instead of double-running a (possibly non-idempotent) operation,
+  and the master rejects duplicate or late replies for requests it no
+  longer has pending;
+- clients marked dead are **re-probed with heartbeats** and rejoin the
+  pool when they answer, instead of staying ``alive=False`` forever.
 """
 
 from __future__ import annotations
@@ -60,6 +71,9 @@ class WebComClient:
         self.authoriser = authoriser
         self.audit = audit
         self.executed: list[str] = []
+        #: request id -> the reply payload already sent (dedup cache)
+        self._reply_cache: dict[str, dict[str, Any]] = {}
+        self.duplicates_served = 0
         network.attach(client_id, self._handle)
 
     def register_with(self, master_id: str) -> None:
@@ -71,9 +85,25 @@ class WebComClient:
         })
 
     def _handle(self, message: Message) -> None:
+        if message.kind == "ping":
+            # Liveness probe: answer so the master can revive us.
+            self.network.send(self.client_id, message.sender, "pong", {
+                "key_name": self.key_name,
+                "operations": sorted(self.operations),
+                "user": self.user,
+            })
+            return
         if message.kind != "execute":
             return
         request_id = message.payload["request_id"]
+        cached = self._reply_cache.get(request_id)
+        if cached is not None:
+            # Duplicate (retried or network-duplicated) request: replay the
+            # recorded reply; never re-run a possibly non-idempotent op.
+            self.duplicates_served += 1
+            self.network.send(self.client_id, message.sender, "result",
+                              cached)
+            return
         op = message.payload["op"]
         args = tuple(message.payload["args"])
         context = message.payload.get("context", {})
@@ -98,8 +128,9 @@ class WebComClient:
         self._reply(message.sender, request_id, status="ok", value=value)
 
     def _reply(self, master_id: str, request_id: str, **payload: Any) -> None:
-        self.network.send(self.client_id, master_id, "result",
-                          {"request_id": request_id, **payload})
+        body = {"request_id": request_id, **payload}
+        self._reply_cache[request_id] = body
+        self.network.send(self.client_id, master_id, "result", body)
 
     def _audit(self, category: str, op: str, outcome: str) -> None:
         if self.audit is not None:
@@ -113,6 +144,12 @@ class WebComMaster:
     :param scheduler_filter: optional hook
         ``(node, context, candidates) -> candidates`` applied before
         selection — Secure WebCom's master-side TM check plugs in here.
+    :param max_attempts: distinct client placements tried per node.
+    :param request_timeout: simulated seconds to wait for the first reply.
+    :param max_retries: resends (same request id) per placement after the
+        first send; each waits ``backoff`` times longer than the last.
+    :param heartbeat_interval: how often dead clients are re-probed.
+    :param heartbeat_timeout: how long to wait for heartbeat answers.
     """
 
     #: placement orders: try candidates in sorted id order, spread load to
@@ -124,11 +161,20 @@ class WebComMaster:
                  scheduler_filter: "Callable[[GraphNode, Mapping, list[ClientInfo]], list[ClientInfo]] | None" = None,
                  audit: AuditLog | None = None,
                  max_attempts: int = 3,
-                 selection_policy: str = "first") -> None:
+                 selection_policy: str = "first",
+                 request_timeout: float = 10.0,
+                 max_retries: int = 2,
+                 backoff: float = 2.0,
+                 heartbeat_interval: float = 15.0,
+                 heartbeat_timeout: float = 5.0) -> None:
         if selection_policy not in self.SELECTION_POLICIES:
             raise SchedulingError(
                 f"unknown selection policy {selection_policy!r}; "
                 f"choose from {self.SELECTION_POLICIES}")
+        if request_timeout <= 0 or heartbeat_timeout <= 0:
+            raise SchedulingError("timeouts must be positive")
+        if backoff < 1.0:
+            raise SchedulingError("backoff factor must be >= 1")
         self.master_id = master_id
         self.network = network
         self.key_name = key_name or f"K{master_id}"
@@ -136,11 +182,22 @@ class WebComMaster:
         self.audit = audit
         self.max_attempts = max_attempts
         self.selection_policy = selection_policy
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
         self.clients: dict[str, ClientInfo] = {}
         self._results: dict[str, dict[str, Any]] = {}
+        self._pending: set[str] = set()
+        self._abandoned: set[str] = set()
         self._request_seq = 0
         self._rr_counter = 0
+        self._next_probe_at = 0.0
+        self.stale_rejected = 0
         self.schedule_log: list[tuple[str, str]] = []  # (node_id, client_id)
+        #: trace of the most recent :meth:`run_graph` (fired vs restored)
+        self.last_trace = None
         network.attach(master_id, self._handle)
 
     # -- message handling ------------------------------------------------------
@@ -154,7 +211,48 @@ class WebComMaster:
                 operations=frozenset(payload["operations"]),
                 user=payload["user"])
         elif message.kind == "result":
-            self._results[message.payload["request_id"]] = dict(message.payload)
+            request_id = message.payload["request_id"]
+            if request_id in self._pending:
+                self._pending.discard(request_id)
+                self._results[request_id] = dict(message.payload)
+            else:
+                # Duplicate of a consumed reply, or a reply that limped in
+                # after its request was abandoned: reject, don't store.
+                self.stale_rejected += 1
+        elif message.kind == "pong":
+            info = self.clients.get(message.sender)
+            if info is not None and not info.alive:
+                info.alive = True
+                self._audit("webcom.heartbeat", message.sender, "revived")
+
+    # -- liveness ------------------------------------------------------------------
+
+    def heartbeat(self) -> list[str]:
+        """Probe every dead client; returns the ids that answered (revived).
+
+        Pongs flip ``alive`` back to True so the client rejoins the pool.
+        """
+        dead = [info for _cid, info in sorted(self.clients.items())
+                if not info.alive]
+        if not dead:
+            return []
+        for info in dead:
+            self.network.send(self.master_id, info.client_id, "ping", {})
+        self.network.run_until(
+            self.network.clock.now() + self.heartbeat_timeout,
+            stop=lambda: all(info.alive for info in dead))
+        return [info.client_id for info in dead if info.alive]
+
+    def _maybe_probe(self) -> None:
+        """Periodic re-probe of dead clients, rate-limited on the sim
+        clock."""
+        if self.network.clock.now() < self._next_probe_at:
+            return
+        if all(info.alive for info in self.clients.values()):
+            return
+        self._next_probe_at = (self.network.clock.now()
+                               + self.heartbeat_interval)
+        self.heartbeat()
 
     # -- scheduling ------------------------------------------------------------------
 
@@ -171,18 +269,21 @@ class WebComMaster:
                        context: Mapping[str, Any] | None = None) -> Any:
         """Schedule one operation, with fault-tolerant rescheduling.
 
-        Tries eligible clients in order (skipping ones that fail or are
-        partitioned) up to ``max_attempts`` placements.
+        Tries eligible clients in order up to ``max_attempts`` placements;
+        each placement is retried (same request id, exponential backoff)
+        before the client is declared dead and the next one is tried.
 
         :raises SchedulingError: when no client can run the operation.
         :raises AuthorisationError: when a client refuses the request.
         """
         op = node.operator_name
         context = dict(context or {})
-        candidates = self.eligible_clients(op)
-        if self.scheduler_filter is not None:
-            candidates = self.scheduler_filter(node, context, candidates)
-        candidates = self._order_candidates(candidates)
+        self._maybe_probe()
+        candidates = self._candidates(node, op, context)
+        if not candidates and self.heartbeat():
+            # Every known provider was marked dead; a forced probe revived
+            # at least one, so rebuild the candidate list.
+            candidates = self._candidates(node, op, context)
         if not candidates:
             self._audit("webcom.schedule", node.node_id, "no-candidate", op=op)
             raise SchedulingError(
@@ -194,18 +295,10 @@ class WebComMaster:
             if attempts >= self.max_attempts:
                 break
             attempts += 1
-            request_id = self._next_request_id()
-            self.network.send(self.master_id, info.client_id, "execute", {
-                "request_id": request_id,
-                "op": op,
-                "args": list(args),
-                "context": context,
-                "master_key": self.key_name,
-            })
-            self.network.run_until_quiet()
-            result = self._results.pop(request_id, None)
+            result = self._attempt(info, op, args, context)
             if result is None:
-                # Lost to a crash or partition: mark dead, try the next.
+                # Deadline blown on every retry: mark dead (heartbeats may
+                # revive it later), try the next candidate.
                 info.alive = False
                 self._audit("webcom.schedule", node.node_id, "lost",
                             client=info.client_id, op=op)
@@ -231,9 +324,55 @@ class WebComMaster:
         raise SchedulingError(
             f"operation {op!r} failed on all candidate clients")
 
+    def _candidates(self, node: GraphNode, op: str,
+                    context: Mapping[str, Any]) -> list[ClientInfo]:
+        candidates = self.eligible_clients(op)
+        if self.scheduler_filter is not None:
+            candidates = self.scheduler_filter(node, context, candidates)
+        return self._order_candidates(candidates)
+
+    def _attempt(self, info: ClientInfo, op: str, args: tuple,
+                 context: Mapping[str, Any]) -> "dict[str, Any] | None":
+        """One placement: send, wait out the deadline, retry with backoff.
+
+        Returns the reply payload, or None when the request was abandoned.
+        """
+        request_id = self._next_request_id()
+        self._pending.add(request_id)
+        payload = {
+            "request_id": request_id,
+            "op": op,
+            "args": list(args),
+            "context": dict(context),
+            "master_key": self.key_name,
+        }
+        timeout = self.request_timeout
+        for _attempt in range(self.max_retries + 1):
+            self.network.send(self.master_id, info.client_id, "execute",
+                              payload)
+            self.network.run_until(
+                self.network.clock.now() + timeout,
+                stop=lambda: request_id in self._results)
+            result = self._results.pop(request_id, None)
+            if result is not None:
+                return result
+            timeout *= self.backoff
+        self._pending.discard(request_id)
+        self._abandoned.add(request_id)
+        return None
+
     def run_graph(self, graph: CondensedGraph, inputs: Mapping[str, Any],
-                  mode: EvaluationMode = EvaluationMode.AVAILABILITY) -> Any:
-        """Execute a condensed graph across the client pool."""
+                  mode: EvaluationMode = EvaluationMode.AVAILABILITY,
+                  checkpoint=None) -> Any:
+        """Execute a condensed graph across the client pool.
+
+        :param checkpoint: optional
+            :class:`~repro.webcom.failover.GraphCheckpoint`; completed nodes
+            are recorded as they fire, and a non-empty checkpoint resumes
+            the graph from its last completed frontier instead of the
+            inputs.  A secured master (one with a ``scheduler_filter``)
+            re-checks authorisation for every restored node first.
+        """
 
         def executor(node: GraphNode, args: tuple) -> Any:
             context = {"args": args}
@@ -241,7 +380,52 @@ class WebComMaster:
                 context["placement"] = node.placement
             return self.execute_remote(node, args, context)
 
-        return GraphEngine(graph, executor, mode).run(inputs)
+        resume = None
+        if checkpoint is not None and checkpoint.completed:
+            resume = self._authorised_resume(graph, checkpoint)
+        engine = GraphEngine(graph, executor, mode)
+        result = engine.run(inputs, resume_from=resume,
+                            on_node_fired=(checkpoint.mark
+                                           if checkpoint is not None
+                                           else None))
+        self.last_trace = engine.trace
+        return result
+
+    def _authorised_resume(self, graph: CondensedGraph,
+                           checkpoint) -> dict[str, Any]:
+        """Checkpointed results this master may reuse.
+
+        The secure variant re-runs the master-side TM check for every
+        restored node; a node whose authorisation no longer holds is
+        dropped from the resume set and re-fires through the normal
+        (mediated) scheduling path.
+        """
+        completed = {node_id: value
+                     for node_id, value in checkpoint.completed.items()
+                     if node_id in graph.nodes}
+        if self.scheduler_filter is None:
+            return completed
+        resumable: dict[str, Any] = {}
+        for node_id in sorted(completed):
+            node = graph.node(node_id)
+            if node.is_condensed:
+                # Subgraph results: every inner node passed mediation when
+                # it originally fired.
+                resumable[node_id] = completed[node_id]
+                continue
+            context: dict[str, Any] = {"resume": True}
+            if node.placement is not None:
+                context["placement"] = node.placement
+            authorised = self.scheduler_filter(
+                node, context, self.eligible_clients(node.operator_name))
+            if authorised:
+                self._audit("webcom.resume", node_id, "allow",
+                            op=node.operator_name)
+                resumable[node_id] = completed[node_id]
+            else:
+                self._audit("webcom.resume", node_id, "deny",
+                            op=node.operator_name)
+        return resumable
 
     def _order_candidates(self,
                           candidates: list[ClientInfo]) -> list[ClientInfo]:

@@ -1,0 +1,263 @@
+"""Chaos harness: Secure WebCom under seeded fault schedules.
+
+Sweeps dozens of deterministic fault plans — message drop, duplication,
+reordering, latency jitter and peer crash windows — over the Figure 3
+secure-execution workflow and asserts the outcome *converges* with the
+fault-free run: same final result, same allow/deny audit outcomes, exactly
+one recorded execution per graph node.  A separate scenario drives a
+mid-graph master failover and asserts the standby resumes from the
+checkpointed frontier instead of restarting from the inputs.
+"""
+
+import pytest
+
+from repro.errors import AuthorisationError
+from repro.webcom.failover import GraphCheckpoint, MasterGroup
+from repro.webcom.faults import CrashWindow, FaultInjector, FaultPlan, FaultRule
+from repro.webcom.graph import CondensedGraph
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.patterns import pipeline
+from repro.webcom.secure import SecureWebComEnvironment
+
+OPS = {"add": lambda a, b: a + b, "double": lambda v: 2 * v}
+
+#: seeds the convergence sweep runs — every one is a distinct schedule
+SEEDS = range(30)
+
+
+def calc_graph():
+    g = CondensedGraph("calc")
+    g.add_node("add", operator="add", arity=2)
+    g.add_node("double", operator="double", arity=1)
+    g.connect("add", "double", 0)
+    g.entry("x", "add", 0)
+    g.entry("y", "add", 1)
+    g.set_exit("double")
+    return g
+
+
+def secure_setup(plan=None, n_clients=2, client_trusts=True):
+    """The Figure 3 deployment: one secured master, a trusted client pool,
+    and (optionally) a fault plan installed on the fabric."""
+    env = SecureWebComEnvironment()
+    net = SimulatedNetwork(clock=env.clock)
+    injector = FaultInjector(plan).install(net) if plan is not None else None
+    env.create_key("Kmaster")
+    master = WebComMaster("master", net, key_name="Kmaster",
+                          scheduler_filter=env.master_filter(),
+                          audit=env.audit,
+                          max_attempts=6, heartbeat_interval=5.0)
+    clients = []
+    keys = []
+    for i in range(n_clients):
+        key = env.create_key(f"Kc{i}")
+        keys.append(key)
+        client = WebComClient(f"c{i}", net, OPS, key_name=key,
+                              user=f"user{i}",
+                              authoriser=env.client_authoriser(f"c{i}"),
+                              audit=env.audit)
+        if client_trusts:
+            env.client_trusts_master(f"c{i}", "Kmaster")
+        client.register_with("master")
+        clients.append(client)
+    env.trust_clients_for_operations(keys, list(OPS))
+    net.run_until_quiet()
+    return env, net, master, clients, injector
+
+
+def client_check_outcomes(env):
+    """The (client-visible) allow/deny decisions, as a comparable set."""
+    return {(rec.outcome, rec.detail["op"])
+            for rec in env.audit.find(category="webcom.client.check")}
+
+
+def fault_free_run():
+    env, _net, master, _clients, _inj = secure_setup(plan=None)
+    result = master.run_graph(calc_graph(), {"x": 3, "y": 4})
+    return result, client_check_outcomes(env)
+
+
+class TestChaosConvergence:
+    """Every seeded schedule must reproduce the fault-free outcome."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return fault_free_run()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_secure_workflow_converges(self, seed, baseline):
+        plan = FaultPlan.chaos(seed, crash_peers=("c1",))
+        env, net, master, _clients, injector = secure_setup(plan=plan)
+        result = master.run_graph(calc_graph(), {"x": 3, "y": 4})
+        expected_result, expected_outcomes = baseline
+        assert result == expected_result
+        # The mediation outcome converges: same allow set, no denies.
+        assert client_check_outcomes(env) == expected_outcomes
+        assert env.audit.find(category="webcom.client.check",
+                              outcome="deny") == []
+        # Exactly one recorded execution per node, faults notwithstanding.
+        assert sorted(node for node, _client in master.schedule_log) == [
+            "add", "double"]
+
+    def test_schedules_are_distinct(self):
+        # The sweep is only meaningful if the seeds generate genuinely
+        # different fault mixes.
+        plans = {FaultPlan.chaos(seed, crash_peers=("c1",)) for seed in SEEDS}
+        assert len(plans) == len(list(SEEDS))
+
+    def test_faults_actually_fired(self):
+        # Guard against a vacuous harness: across the sweep, every fault
+        # modality must have been injected at least once.
+        totals = {"drop": 0, "duplicate": 0, "reorder": 0, "jitter": 0}
+        crash_seeds = 0
+        for seed in SEEDS:
+            plan = FaultPlan.chaos(seed, crash_peers=("c1",))
+            crash_seeds += bool(plan.crash_windows)
+            _env, _net, master, _clients, injector = secure_setup(plan=plan)
+            master.run_graph(calc_graph(), {"x": 3, "y": 4})
+            for fault, count in injector.counts.items():
+                totals[fault] += count
+        assert all(count > 0 for count in totals.values()), totals
+        assert crash_seeds >= 5
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_denial_converges_under_chaos(self, seed):
+        # An untrusted master is refused under every schedule, and the
+        # denial is audited — faults must not mask a security decision.
+        plan = FaultPlan.chaos(seed)
+        env, _net, master, clients, _inj = secure_setup(
+            plan=plan, client_trusts=False)
+        with pytest.raises(AuthorisationError):
+            master.run_graph(calc_graph(), {"x": 3, "y": 4})
+        assert env.audit.find(category="webcom.client.check",
+                              outcome="deny")
+        assert all(client.executed == [] for client in clients)
+
+    def test_replay_is_deterministic(self):
+        # Same plan, same protocol: bit-identical schedule and audit.
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan.chaos(7, crash_peers=("c1",))
+            env, net, master, _clients, _inj = secure_setup(plan=plan)
+            result = master.run_graph(calc_graph(), {"x": 3, "y": 4})
+            runs.append((result, master.schedule_log,
+                         [m.kind for m in net.delivered],
+                         [(r.category, r.subject, r.outcome)
+                          for r in env.audit]))
+        assert runs[0] == runs[1]
+
+
+def group_setup(plan=None, n_masters=2, n_clients=2, ops=None):
+    net = SimulatedNetwork()
+    if plan is not None:
+        FaultInjector(plan).install(net)
+    from repro.util.events import AuditLog
+    audit = AuditLog()
+    masters = [WebComMaster(f"m{i}", net, audit=audit) for i in range(n_masters)]
+    group = MasterGroup(masters, net)
+    for i in range(n_clients):
+        client = WebComClient(f"c{i}", net, ops or {"inc": lambda v: v + 1})
+        group.register_client(client)
+    return net, group, masters, audit
+
+
+class TestCheckpointedFailover:
+    def test_mid_graph_failover_resumes_from_frontier(self):
+        # m0 dies a few node-RTTs into a five-stage pipeline; m1 must pick
+        # up from the checkpointed frontier, not the graph inputs.
+        plan = FaultPlan(seed=0, crash_windows=(CrashWindow("m0", 5.0),))
+        _net, group, masters, audit = group_setup(plan=plan)
+        graph = pipeline("p", ["inc"] * 5)
+        assert group.run_graph(graph, {"x": 0}) == 5
+        assert group.failovers == ["m0"]
+        checkpoint = group.last_checkpoint
+        assert checkpoint is not None and len(checkpoint) == 5
+        resumed = masters[1].last_trace
+        # Strictly fewer re-fires than a from-scratch restart (5 nodes).
+        assert 0 < len(resumed.fired) < 5
+        assert len(resumed.fired) + len(resumed.restored) == 5
+        # Exactly one recorded execution per node across both masters.
+        executions = sorted(rec.subject for rec in audit.find(
+            category="webcom.schedule", outcome="ok"))
+        assert executions == [f"stage{i:03d}" for i in range(5)]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_failover_converges_under_chaos(self, seed):
+        # Master crash window plus message-level chaos: the group still
+        # produces the fault-free answer with single executions.
+        plan = FaultPlan(
+            seed=seed,
+            rules=(FaultRule(drop=0.08, duplicate=0.15, reorder=0.1,
+                             jitter=1.0),),
+            crash_windows=(CrashWindow("m0", 6.0),))
+        _net, group, _masters, audit = group_setup(plan=plan)
+        graph = pipeline("p", ["inc"] * 5)
+        assert group.run_graph(graph, {"x": 0}) == 5
+        executions = sorted(rec.subject for rec in audit.find(
+            category="webcom.schedule", outcome="ok"))
+        assert executions == [f"stage{i:03d}" for i in range(5)]
+
+    def test_explicit_checkpoint_reuse(self):
+        # A caller-supplied checkpoint seeds the resume set directly.
+        _net, group, masters, _audit = group_setup()
+        graph = pipeline("p", ["inc"] * 3)
+        checkpoint = GraphCheckpoint("p", completed={"stage000": 1,
+                                                    "stage001": 2})
+        assert group.run_graph(graph, {"x": 0},
+                               checkpoint=checkpoint) == 3
+        trace = masters[0].last_trace
+        assert trace.fired == ["stage002"]
+        assert sorted(trace.restored) == ["stage000", "stage001"]
+
+
+class TestSecureResume:
+    def test_standby_rechecks_authorisation_for_restored_nodes(self):
+        env = SecureWebComEnvironment()
+        net = SimulatedNetwork(clock=env.clock)
+        env.create_key("Km")
+        master = WebComMaster("m", net, key_name="Km",
+                              scheduler_filter=env.master_filter(),
+                              audit=env.audit)
+        env.create_key("Kc")
+        client = WebComClient("c", net, OPS, key_name="Kc",
+                              authoriser=env.client_authoriser("c"),
+                              audit=env.audit)
+        env.trust_clients_for_operations(["Kc"], list(OPS))
+        env.client_trusts_master("c", "Km")
+        client.register_with("m")
+        net.run_until_quiet()
+
+        checkpoint = GraphCheckpoint("calc", completed={"add": 7})
+        assert master.run_graph(calc_graph(), {"x": 3, "y": 4},
+                                checkpoint=checkpoint) == 14
+        # The restored node's authorisation was re-queried and allowed...
+        assert env.audit.find(category="webcom.resume", outcome="allow")
+        # ...and it was not re-fired.
+        assert master.last_trace.restored == ["add"]
+        assert master.last_trace.fired == ["double"]
+
+    def test_unauthorised_checkpoint_entry_is_refired(self):
+        env = SecureWebComEnvironment()
+        net = SimulatedNetwork(clock=env.clock)
+        env.create_key("Km")
+        master = WebComMaster("m", net, key_name="Km",
+                              scheduler_filter=env.master_filter(),
+                              audit=env.audit)
+        env.create_key("Kc")
+        client = WebComClient("c", net, OPS, key_name="Kc",
+                              authoriser=env.client_authoriser("c"),
+                              audit=env.audit)
+        # Only 'double' is authorised: a checkpointed 'add' result must NOT
+        # be trusted on resume — and re-firing it fails mediation.
+        env.trust_clients_for_operations(["Kc"], ["double"])
+        env.client_trusts_master("c", "Km")
+        client.register_with("m")
+        net.run_until_quiet()
+
+        checkpoint = GraphCheckpoint("calc", completed={"add": 7})
+        from repro.errors import SchedulingError
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 3, "y": 4},
+                             checkpoint=checkpoint)
+        assert env.audit.find(category="webcom.resume", outcome="deny")

@@ -233,3 +233,52 @@ class TestCondensation:
         node = condense("calc", inner, outer, "sub", arity=2)
         assert node.operator_name == "<calc>"
         assert node.is_condensed
+
+
+class TestTraceLifecycle:
+    def test_trace_resets_between_runs(self):
+        # Satellite fix: repeated run() calls must not accumulate
+        # fired/results across runs.
+        engine = GraphEngine(calc_graph(), function_table_executor(TABLE))
+        engine.run({"x": 1, "y": 2})
+        first = engine.trace
+        engine.run({"x": 3, "y": 4})
+        assert engine.trace.fired == ["add", "double"]
+        assert engine.trace.fired_count() == 2
+        assert engine.trace.results == {"add": 7, "double": 14}
+        # The first run's trace object is untouched.
+        assert first.results == {"add": 3, "double": 6}
+
+    def test_resume_from_skips_completed_nodes(self):
+        calls = []
+
+        def spying(node, args):
+            calls.append(node.node_id)
+            return function_table_executor(TABLE)(node, args)
+
+        engine = GraphEngine(calc_graph(), spying)
+        assert engine.run({"x": 3, "y": 4},
+                          resume_from={"add": 7}) == 14
+        assert calls == ["double"]  # 'add' was never re-executed
+        assert engine.trace.restored == ["add"]
+        assert engine.trace.fired == ["double"]
+
+    def test_resume_covering_exit_short_circuits(self):
+        engine = GraphEngine(calc_graph(), function_table_executor(TABLE))
+        assert engine.run({"x": 3, "y": 4},
+                          resume_from={"add": 7, "double": 99}) == 99
+        assert engine.trace.fired == []
+
+    def test_resume_ignores_foreign_node_ids(self):
+        engine = GraphEngine(calc_graph(), function_table_executor(TABLE))
+        assert engine.run({"x": 3, "y": 4},
+                          resume_from={"ghost": 1}) == 14
+        assert engine.trace.restored == []
+
+    def test_on_node_fired_checkpoints_live_firings_only(self):
+        seen = {}
+        engine = GraphEngine(calc_graph(), function_table_executor(TABLE))
+        engine.run({"x": 3, "y": 4}, resume_from={"add": 7},
+                   on_node_fired=lambda node_id, result: seen.__setitem__(
+                       node_id, result))
+        assert seen == {"double": 14}  # restored nodes are not re-marked

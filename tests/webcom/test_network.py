@@ -124,6 +124,55 @@ class TestFaults:
         net.run_until_quiet()
         assert got == []
 
+    def test_message_sent_during_downtime_dropped_after_recovery(self, net):
+        # The satellite fix: a message enqueued while the peer is down must
+        # NOT be delivered just because the peer recovers before arrival.
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.crash("a")
+        net.send("b", "a", "doomed", latency=10.0)
+        net.clock.advance(1.0)
+        net.recover("a")  # up again long before the message arrives
+        net.run_until_quiet()
+        assert got == []
+        assert [m.kind for m in net.dropped] == ["doomed"]
+
+    def test_delivery_resumes_for_messages_sent_after_recovery(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.crash("a")
+        net.clock.advance(1.0)
+        net.recover("a")
+        net.send("b", "a", "fresh")
+        net.run_until_quiet()
+        assert [m.kind for m in got] == ["fresh"]
+
+    def test_scheduled_crash_window(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.schedule_crash("a", start=5.0, end=8.0)
+        net.send("b", "a", "before", latency=1.0)   # flight [0, 1]
+        net.send("b", "a", "overlap", latency=6.0)  # flight [0, 6]
+        net.run_until_quiet()
+        net.clock.advance_to(10.0)
+        net.send("b", "a", "after", latency=1.0)    # flight [10, 11]
+        net.run_until_quiet()
+        assert [m.kind for m in got] == ["before", "after"]
+        assert [m.kind for m in net.dropped] == ["overlap"]
+
+    def test_is_crashed_tracks_windows(self, net):
+        attach_recorder(net, "a")
+        net.schedule_crash("a", start=5.0, end=8.0)
+        assert not net.is_crashed("a")
+        net.clock.advance_to(6.0)
+        assert net.is_crashed("a")
+        net.clock.advance_to(8.0)
+        assert not net.is_crashed("a")
+
+    def test_inverted_crash_window_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.schedule_crash("a", start=5.0, end=4.0)
+
     def test_partition_and_heal(self, net):
         got = attach_recorder(net, "a")
         attach_recorder(net, "b")
@@ -137,3 +186,105 @@ class TestFaults:
         net.send("b", "a", "open-again")
         net.run_until_quiet()
         assert [m.kind for m in got] == ["through", "open-again"]
+
+
+class TestFaultInjection:
+    """Network-level behaviour of an installed FaultInjector."""
+
+    def test_drop_rule_loses_messages(self, net):
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        FaultInjector(FaultPlan(seed=1, rules=(FaultRule(drop=1.0),))
+                      ).install(net)
+        net.send("b", "a", "gone")
+        net.run_until_quiet()
+        assert got == []
+        assert [m.kind for m in net.dropped] == ["gone"]
+
+    def test_duplicate_rule_delivers_two_copies(self, net):
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        FaultInjector(FaultPlan(seed=1, rules=(FaultRule(duplicate=1.0),))
+                      ).install(net)
+        net.send("b", "a", "twice")
+        net.run_until_quiet()
+        assert [m.kind for m in got] == ["twice", "twice"]
+
+    def test_reorder_rule_overtakes(self, net):
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        injector = FaultInjector(FaultPlan(
+            seed=1, rules=(FaultRule(kind="held", reorder=1.0),))
+            ).install(net)
+        net.send("b", "a", "held")
+        net.send("b", "a", "normal")
+        net.run_until_quiet()
+        assert [m.kind for m in got] == ["normal", "held"]
+        assert injector.counts["reorder"] == 1
+
+    def test_rule_scoping_by_link_and_kind(self, net):
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        got_a = attach_recorder(net, "a")
+        got_c = attach_recorder(net, "c")
+        attach_recorder(net, "b")
+        FaultInjector(FaultPlan(seed=1, rules=(
+            FaultRule(link=("b", "a"), kind="x", drop=1.0),))).install(net)
+        net.send("b", "a", "x")   # matched: dropped
+        net.send("b", "a", "y")   # wrong kind: delivered
+        net.send("b", "c", "x")   # wrong link: delivered
+        net.run_until_quiet()
+        assert [m.kind for m in got_a] == ["y"]
+        assert [m.kind for m in got_c] == ["x"]
+
+    def test_injector_replay_is_identical(self):
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        plan = FaultPlan(seed=42, rules=(
+            FaultRule(drop=0.3, duplicate=0.3, reorder=0.3, jitter=1.0),))
+        traces = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            traces.append([injector.plan_delivery("a", "b", "m", 1.0)
+                           for _ in range(50)])
+        assert traces[0] == traces[1]
+
+    def test_invalid_plans_rejected(self):
+        from repro.errors import FaultPlanError
+        from repro.webcom.faults import CrashWindow, FaultPlan, FaultRule
+
+        with pytest.raises(FaultPlanError):
+            FaultRule(drop=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultRule(jitter=-1.0)
+        with pytest.raises(FaultPlanError):
+            CrashWindow("p", start=5.0, end=1.0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(reorder_hold=-1.0)
+
+
+class TestRunUntil:
+    def test_run_until_respects_deadline(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.send("b", "a", "early", latency=1.0)
+        net.send("b", "a", "late", latency=10.0)
+        delivered = net.run_until(5.0)
+        assert delivered == 1
+        assert [m.kind for m in got] == ["early"]
+        assert net.clock.now() == 5.0  # waited out the deadline
+        assert net.pending() == 1
+
+    def test_run_until_stop_predicate_short_circuits(self, net):
+        got = attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.send("b", "a", "answer", latency=1.0)
+        net.run_until(20.0, stop=lambda: bool(got))
+        # Stopped at the arrival, not the deadline.
+        assert net.clock.now() == 1.0

@@ -167,3 +167,170 @@ class TestSecureWebCom:
         except AuthorisationError:
             pass
         assert client.executed == []
+
+
+class TestRequestDeduplication:
+    def test_duplicate_execute_does_not_double_run(self):
+        # A network-duplicated 'execute' must not re-run a non-idempotent
+        # operation: the client replays its cached reply instead.
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        net = SimulatedNetwork()
+        FaultInjector(FaultPlan(seed=3, rules=(
+            FaultRule(kind="execute", duplicate=1.0),))).install(net)
+        master = WebComMaster("m", net)
+        counter = []
+        client = WebComClient("c", net, {
+            "bump": lambda v: counter.append(v) or len(counter)})
+        client.register_with("m")
+        net.run_until_quiet()
+        g = CondensedGraph("g")
+        g.add_node("n", operator="bump", arity=1)
+        g.entry("x", "n", 0)
+        g.set_exit("n")
+        assert master.run_graph(g, {"x": 1}) == 1
+        net.run_until_quiet()  # flush the duplicate and its replayed reply
+        assert counter == [1]  # ran exactly once
+        assert client.duplicates_served >= 1
+
+    def test_duplicate_result_rejected(self):
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        net = SimulatedNetwork()
+        FaultInjector(FaultPlan(seed=3, rules=(
+            FaultRule(kind="result", duplicate=1.0),))).install(net)
+        master = WebComMaster("m", net)
+        client = WebComClient("c", net, OPS)
+        client.register_with("m")
+        net.run_until_quiet()
+        assert master.run_graph(calc_graph(), {"x": 3, "y": 4}) == 14
+        net.run_until_quiet()
+        # One copy of each reply was consumed; every duplicate was refused.
+        assert master.stale_rejected >= 2
+        assert master._results == {}
+
+    def test_stale_reply_for_abandoned_request_rejected(self):
+        # A reply delayed past every retry deadline must not linger in the
+        # master's result buffer once the request was abandoned.
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net, max_attempts=1, max_retries=0,
+                              request_timeout=2.0)
+        client = WebComClient("c", net, OPS)
+        client.register_with("m")
+        net.run_until_quiet()
+        net.set_link_latency("m", "c", 5.0)  # RTT 10 > timeout 2
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 3, "y": 4})
+        net.run_until_quiet()  # the late reply limps in now
+        assert master.stale_rejected >= 1
+        assert master._results == {}
+        assert master._pending == set()
+
+
+class TestHeartbeatLiveness:
+    def test_dead_client_rejoins_after_recovery(self):
+        # The satellite fix: a client marked dead is re-probed and rejoins
+        # the pool instead of staying alive=False forever.
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net)
+        client = WebComClient("c0", net, OPS)
+        client.register_with("m")
+        WebComClient("c1", net, OPS).register_with("m")
+        net.run_until_quiet()
+        net.crash("c0")
+        assert master.run_graph(calc_graph(), {"x": 1, "y": 1}) == 4
+        assert not master.clients["c0"].alive
+        net.recover("c0")
+        assert master.heartbeat() == ["c0"]
+        assert master.clients["c0"].alive
+        # And it is scheduled again (sorted order puts c0 first).
+        master.run_graph(calc_graph(), {"x": 1, "y": 1})
+        assert master.clients["c0"].executed > 0
+
+    def test_forced_probe_when_pool_is_exhausted(self):
+        # Every provider is dead but one has recovered on the network: the
+        # scheduler probes before giving up and completes the graph.
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net, request_timeout=2.0, max_retries=0)
+        WebComClient("c0", net, OPS).register_with("m")
+        net.run_until_quiet()
+        net.crash("c0")
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 1})
+        assert not master.clients["c0"].alive
+        net.recover("c0")
+        # No manual revival: execute_remote's forced heartbeat rejoins c0.
+        assert master.run_graph(calc_graph(), {"x": 1, "y": 1}) == 4
+
+    def test_heartbeat_noop_when_pool_healthy(self):
+        _net, master, _clients = plain_setup()
+        assert master.heartbeat() == []
+
+    def test_crash_window_recovery_mid_run(self):
+        # A client that dies for a bounded window mid-graph comes back and
+        # serves later nodes of the same run.
+        from repro.webcom.faults import CrashWindow, FaultInjector, FaultPlan
+        from repro.webcom.patterns import pipeline
+
+        net = SimulatedNetwork()
+        FaultInjector(FaultPlan(seed=0, crash_windows=(
+            CrashWindow("c0", 2.0, 30.0),))).install(net)
+        master = WebComMaster("m", net, heartbeat_interval=5.0)
+        WebComClient("c0", net, {"inc": lambda v: v + 1}).register_with("m")
+        WebComClient("c1", net, {"inc": lambda v: v + 1}).register_with("m")
+        net.run_until_quiet()
+        assert master.run_graph(pipeline("p", ["inc"] * 6), {"x": 0}) == 6
+        # c0 died inside its window, was revived by a heartbeat after it
+        # closed, and took work again.
+        assert master.clients["c0"].alive
+        assert master.clients["c0"].executed > 0
+
+
+class TestRetryBackoff:
+    def test_retries_reuse_request_id(self):
+        # A dropped first send is retried under the same request id, so the
+        # reply matches and no client is falsely declared dead.
+        from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+
+        net = SimulatedNetwork()
+
+        class OneShotDrop:
+            """Drop only the first execute; everything else flows."""
+
+            def __init__(self):
+                self.dropped = False
+
+            def plan_delivery(self, sender, recipient, kind, latency):
+                if kind == "execute" and not self.dropped:
+                    self.dropped = True
+                    return []
+                return [latency]
+
+        master = WebComMaster("m", net)
+        client = WebComClient("c", net, OPS)
+        client.register_with("m")
+        net.run_until_quiet()
+        net.fault_injector = OneShotDrop()
+        assert master.run_graph(calc_graph(), {"x": 3, "y": 4}) == 14
+        assert master.clients["c"].alive
+        # Two request ids (one per node), not three: the retry reused one.
+        assert master._request_seq == 2
+
+    def test_backoff_stretches_waits(self):
+        net = SimulatedNetwork()
+        master = WebComMaster("m", net, max_attempts=1, max_retries=2,
+                              request_timeout=2.0, backoff=2.0)
+        WebComClient("c", net, OPS).register_with("m")
+        net.run_until_quiet()
+        net.crash("c")
+        start = net.clock.now()
+        with pytest.raises(SchedulingError):
+            master.run_graph(calc_graph(), {"x": 1, "y": 1})
+        # Waited 2 + 4 + 8 = 14 simulated seconds before abandoning.
+        assert net.clock.now() - start >= 14.0
+
+    def test_timeout_validation(self):
+        with pytest.raises(SchedulingError):
+            WebComMaster("m1", SimulatedNetwork(), request_timeout=0)
+        with pytest.raises(SchedulingError):
+            WebComMaster("m2", SimulatedNetwork(), backoff=0.5)

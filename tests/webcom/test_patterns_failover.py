@@ -115,3 +115,71 @@ class TestMasterFailover:
     def test_empty_group_rejected(self):
         with pytest.raises(WebComError):
             MasterGroup([], SimulatedNetwork())
+
+
+class TestPartitionFailover:
+    """Satellite scenario: the active master loses half its client pool to a
+    partition mid-graph; the standby completes the run from the checkpoint
+    with exactly one execution per node."""
+
+    def build(self):
+        from repro.util.events import AuditLog
+        from repro.webcom.graph import CondensedGraph
+
+        net = SimulatedNetwork()
+        audit = AuditLog()
+        masters = [WebComMaster(f"m{i}", net, audit=audit,
+                                request_timeout=2.0, max_retries=1)
+                   for i in range(2)]
+        group = MasterGroup(masters, net)
+        # c0 alone provides 'special'; c1 provides the common ops.
+        c0 = WebComClient("c0", net, dict(TABLE, special=lambda v: v * 10))
+        c1 = WebComClient("c1", net, TABLE)
+        group.register_client(c0)
+        group.register_client(c1)
+        g = CondensedGraph("mixed")
+        g.add_node("a", operator="inc", arity=1)
+        g.add_node("b", operator="double", arity=1)
+        g.add_node("c", operator="special", arity=1)
+        g.connect("a", "b", 0)
+        g.connect("b", "c", 0)
+        g.entry("x", "a", 0)
+        g.set_exit("c")
+        return net, group, masters, audit, g
+
+    def test_standby_completes_partitioned_graph(self):
+        net, group, masters, audit, graph = self.build()
+        # m0 cannot reach the half of the pool holding 'special'.
+        net.partition("m0", "c0")
+        assert group.run_graph(graph, {"x": 1}) == 40  # ((1+1)*2)*10
+        assert group.failovers == ["m0"]
+        # Exactly one successful execution per node across both masters.
+        executions = sorted(rec.subject for rec in audit.find(
+            category="webcom.schedule", outcome="ok"))
+        assert executions == ["a", "b", "c"]
+        # The standby resumed the first two nodes from the checkpoint.
+        assert sorted(masters[1].last_trace.restored) == ["a", "b"]
+        assert masters[1].last_trace.fired == ["c"]
+
+    def test_checkpoint_progress_survives_total_failure(self):
+        net, group, masters, audit, graph = self.build()
+        net.partition("m0", "c0")
+        net.partition("m1", "c0")  # nobody can reach 'special'
+        with pytest.raises(SchedulingError):
+            group.run_graph(graph, {"x": 1})
+        # The work that did complete is checkpointed for a later retry.
+        assert sorted(group.last_checkpoint.completed) == ["a", "b"]
+        net.heal("m1", "c0")
+        assert group.run_graph(graph, {"x": 1},
+                               checkpoint=group.last_checkpoint) == 40
+
+
+class TestFailoverTraceAccuracy:
+    def test_refire_counts_reset_between_runs(self):
+        # Satellite fix: repeated run_graph calls on one master must not
+        # accumulate firing counts across runs.
+        _net, group, masters = group_setup()
+        graph = pipeline("p", ["inc", "double"])
+        group.run_graph(graph, {"x": 1})
+        group.run_graph(graph, {"x": 1})
+        assert len(masters[0].last_trace.fired) == 2  # not 4
