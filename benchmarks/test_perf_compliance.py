@@ -94,3 +94,19 @@ def test_memoisation_agrees_with_naive():
     naive = ComplianceChecker(assertions, keystore=keystore, memoise=False)
     for authorizer in ([leaf], ["Kl3w1"], ["Kl0w0"], ["Kl2w2", "Kl3w0"]):
         assert memo.query({}, authorizer) == naive.query({}, authorizer)
+
+
+def test_memoisation_ablation_is_measurable():
+    """The new profile counters quantify what the timing ablation shows:
+    under memoisation the lattice's shared principals are served from the
+    memo; naive search re-walks them once per path (not timed)."""
+    keystore = Keystore()
+    assertions, leaf = build_diamond_lattice(keystore, layers=5, width=4)
+    memo = ComplianceChecker(assertions, keystore=keystore, memoise=True)
+    naive = ComplianceChecker(assertions, keystore=keystore, memoise=False)
+    assert memo.query({}, [leaf]) == naive.query({}, [leaf]) == "true"
+    assert memo.last_query_stats.memo_hits > 0
+    assert naive.last_query_stats.memo_hits == 0
+    assert naive.last_query_stats.memo_misses == 0
+    assert (naive.last_query_stats.assertions_visited
+            > memo.last_query_stats.assertions_visited)

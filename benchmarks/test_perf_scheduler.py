@@ -80,3 +80,29 @@ def test_perf_client_pool_size(benchmark, n_clients):
     graph = fanout_graph(8)
     result = benchmark(master.run_graph, graph, {"x": 1})
     assert result == 16
+
+
+@pytest.mark.parametrize("depth", [4, 16], ids=lambda d: f"depth{d}")
+def test_perf_observed_scheduling(benchmark, depth):
+    """The fully instrumented path: tracing + metrics on every decision.
+
+    Each round builds a fresh environment (the trace belongs to one run);
+    the CI artifact job exports exactly this scenario's trace and metrics.
+    """
+    from repro.webcom.scenario import run_observed_scenario
+
+    run = benchmark(run_observed_scenario, depth=depth, n_clients=4)
+    assert run.result == depth
+    metrics = run.obs.metrics
+    assert metrics.counter("master.schedule.ok").value == depth
+    assert run.obs.tracer.find("master.run_graph",
+                               run.correlation_id)
+
+
+def test_perf_observability_overhead(benchmark):
+    """Instrumentation tax: the same secure pipeline, observed, relative to
+    test_perf_secure_scheduling's bare runs (compare in the report)."""
+    from repro.webcom.scenario import run_observed_scenario
+
+    run = benchmark(run_observed_scenario, depth=8, n_clients=4)
+    assert run.result == 8

@@ -8,7 +8,10 @@ Subcommands mirror the paper's Section-4 services over policy files:
 - ``comprehend``  — Policy Comprehension: credentials -> policy JSON;
 - ``query``       — run one KeyNote query against a credential file;
 - ``check``       — RBAC access decision against a policy file;
-- ``demo``        — run the built-in Salaries scenario end to end.
+- ``demo``        — run the built-in Salaries scenario end to end;
+- ``trace``       — run an observed Secure WebCom scenario and dump the
+  correlated trace tree (or the full JSON bundle);
+- ``metrics``     — the same scenario, reporting the metrics registry.
 
 Usage examples::
 
@@ -21,6 +24,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -29,9 +33,12 @@ from repro.core.scenarios import salaries_policy
 from repro.crypto.keystore import Keystore
 from repro.keynote.api import KeyNoteSession
 from repro.keynote.parser import parse_credentials
+from repro.obs.export import export_json, metrics_to_dict, render_trace
 from repro.rbac.serialize import policy_from_json, policy_to_json
+from repro.report import metrics_report, observability_report
 from repro.translate.from_keynote import comprehend_credentials
 from repro.translate.to_keynote import encode_full
+from repro.webcom.scenario import run_observed_scenario
 
 
 def _load_policy(path: str):
@@ -118,6 +125,51 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if exact else 1
 
 
+def _emit(args: argparse.Namespace, text: str) -> None:
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
+                                faults=args.faults, seed=args.seed)
+    if args.json:
+        _emit(args, export_json(run.obs))
+    else:
+        _emit(args, render_trace(run.obs.tracer.spans, run.correlation_id))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
+                                faults=args.faults, seed=args.seed)
+    if args.json:
+        _emit(args, json.dumps(metrics_to_dict(run.obs.metrics), indent=2))
+    elif args.summary:
+        _emit(args, observability_report(run.obs))
+    else:
+        _emit(args, metrics_report(run.obs.metrics))
+    return 0
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--depth", type=int, default=4,
+                        help="pipeline depth of the observed scenario")
+    parser.add_argument("--clients", type=int, default=2,
+                        help="number of stack-mediated clients")
+    parser.add_argument("--faults", action="store_true",
+                        help="inject seeded message drops (forces retries)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="fault-plan seed (with --faults)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of the text rendering")
+    parser.add_argument("--out", default=None,
+                        help="write the output to a file instead of stdout")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--emit-policy", action="store_true",
                         help="print the Figure-1 policy as JSON and exit")
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_trace = sub.add_parser(
+        "trace", help="dump the correlated trace of one observed scenario")
+    _add_scenario_arguments(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="dump the metrics of one observed scenario")
+    _add_scenario_arguments(p_metrics)
+    p_metrics.add_argument("--summary", action="store_true",
+                           help="prepend a one-line trace summary")
+    p_metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

@@ -33,13 +33,18 @@ Quickstart (the paper's Example 1)::
 """
 
 from repro.keynote.api import KeyNoteSession, QueryResult
-from repro.keynote.compliance import ComplianceChecker, evaluate_query
+from repro.keynote.compliance import (
+    ComplianceChecker,
+    ComplianceStats,
+    evaluate_query,
+)
 from repro.keynote.credential import POLICY_PRINCIPAL, Credential
 from repro.keynote.parser import parse_credential, parse_credentials
 from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
 
 __all__ = [
     "ComplianceChecker",
+    "ComplianceStats",
     "ComplianceValueSet",
     "Credential",
     "DEFAULT_VALUE_SET",

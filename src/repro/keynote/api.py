@@ -10,7 +10,7 @@ of Figure 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.crypto.keystore import Keystore
 from repro.errors import CredentialError
@@ -20,6 +20,9 @@ from repro.keynote.parser import parse_credentials
 from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
 from repro.util.clock import SimulatedClock
 from repro.util.events import AuditLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -51,12 +54,15 @@ class KeyNoteSession:
                  values: ComplianceValueSet = DEFAULT_VALUE_SET,
                  audit: AuditLog | None = None,
                  clock: SimulatedClock | None = None,
-                 verify_signatures: bool = True) -> None:
+                 verify_signatures: bool = True,
+                 obs: "Observability | None" = None) -> None:
         self.keystore = keystore
         self.values = values
         self.audit = audit
-        self.clock = clock or SimulatedClock()
+        self.clock = clock or (obs.clock if obs is not None
+                               else SimulatedClock())
         self.verify_signatures = verify_signatures
+        self.obs = obs
         self._policies: list[Credential] = []
         self._credentials: list[Credential] = []
         self._checker: ComplianceChecker | None = None
@@ -122,7 +128,8 @@ class KeyNoteSession:
             self._checker = ComplianceChecker(
                 assertions=self._policies + self._credentials,
                 keystore=self.keystore,
-                verify_signatures=self.verify_signatures)
+                verify_signatures=self.verify_signatures,
+                metrics=self.obs.metrics if self.obs is not None else None)
         return self._checker
 
     def query(self, attributes: Mapping[str, str],
@@ -143,7 +150,8 @@ class KeyNoteSession:
             checker = ComplianceChecker(
                 assertions=self._policies + self._credentials + extras,
                 keystore=self.keystore,
-                verify_signatures=self.verify_signatures)
+                verify_signatures=self.verify_signatures,
+                metrics=self.obs.metrics if self.obs is not None else None)
         else:
             checker = self._checker_instance()
         authorizer_tuple = tuple(authorizers)
@@ -153,7 +161,15 @@ class KeyNoteSession:
         # idiom for time-limited delegation).
         if "_cur_time" not in attributes:
             attributes = {**attributes, "_cur_time": repr(self.clock.now())}
-        value = checker.query(attributes, authorizer_tuple, self.values)
+        if self.obs is not None:
+            with self.obs.tracer.span("keynote.query",
+                                      authorizers=",".join(authorizer_tuple)
+                                      ) as span:
+                value = checker.query(attributes, authorizer_tuple,
+                                      self.values)
+                span.set(compliance_value=value)
+        else:
+            value = checker.query(attributes, authorizer_tuple, self.values)
         target = threshold if threshold is not None else self.values.maximum
         result = QueryResult(
             compliance_value=value,

@@ -25,13 +25,63 @@ provided; the DESIGN.md ablation compares them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.crypto.keystore import Keystore
 from repro.errors import ComplianceError, CredentialError
 from repro.keynote.credential import Credential
 from repro.keynote.eval import ConditionEvaluator
 from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class ComplianceStats:
+    """Profiling counters for the delegation-graph search.
+
+    ``memo_hits`` / ``memo_misses`` count memo-table lookups (both stay zero
+    under ``memoise=False`` — the table is never consulted), so the
+    memoised-vs-naive ablation is directly measurable.  ``max_depth`` is the
+    deepest delegation chain the fixpoint descended; ``cycles_broken`` how
+    often a principal on the current path was cut to minimum trust.
+    """
+
+    queries: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    assertions_visited: int = 0
+    max_depth: int = 0
+    cycles_broken: int = 0
+
+    def merge(self, other: "ComplianceStats") -> None:
+        """Accumulate another stats block into this one."""
+        self.queries += other.queries
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        self.assertions_visited += other.assertions_visited
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.cycles_broken += other.cycles_broken
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.queries = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.assertions_visited = 0
+        self.max_depth = 0
+        self.cycles_broken = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "assertions_visited": self.assertions_visited,
+            "max_depth": self.max_depth,
+            "cycles_broken": self.cycles_broken,
+        }
 
 
 @dataclass
@@ -47,6 +97,13 @@ class ComplianceChecker:
         :class:`~repro.errors.CredentialError`; if False (RFC behaviour) the
         assertion is silently discarded.
     :param memoise: disable only for the ablation benchmark.
+    :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+        when set, the per-query profile (memo hits/misses, assertions
+        visited, fixpoint depth) is mirrored into ``keynote.*`` metrics.
+
+    Profiling: :attr:`stats` accumulates over the checker's lifetime and
+    :attr:`last_query_stats` holds the profile of the most recent
+    :meth:`query` alone.
     """
 
     assertions: Sequence[Credential]
@@ -54,6 +111,11 @@ class ComplianceChecker:
     verify_signatures: bool = True
     strict: bool = False
     memoise: bool = True
+    metrics: "MetricsRegistry | None" = None
+    stats: ComplianceStats = field(init=False, repr=False,
+                                   default_factory=ComplianceStats)
+    last_query_stats: "ComplianceStats | None" = field(init=False, repr=False,
+                                                       default=None)
     _by_authorizer: dict[str, list[Credential]] = field(init=False, repr=False)
     _discarded: list[Credential] = field(init=False, repr=False)
 
@@ -98,6 +160,7 @@ class ComplianceChecker:
         if not requesters:
             raise ComplianceError("a query needs at least one action authorizer")
         evaluator = ConditionEvaluator(attributes, values)
+        profile = ComplianceStats(queries=1)
         memo: dict[str, str] = {}
         in_progress: set[str] = set()
         # Values computed while a cycle-break assumption was live may be
@@ -110,17 +173,23 @@ class ComplianceChecker:
         def principal_value(principal: str) -> str:
             if principal in requesters:
                 return values.maximum
-            if self.memoise and principal in memo:
-                return memo[principal]
+            if self.memoise:
+                if principal in memo:
+                    profile.memo_hits += 1
+                    return memo[principal]
+                profile.memo_misses += 1
             if principal in in_progress:
                 tainted_flag[0] = True
+                profile.cycles_broken += 1
                 return values.minimum  # delegation cycles grant nothing
             outer_taint = tainted_flag[0]
             tainted_flag[0] = False
             in_progress.add(principal)
+            profile.max_depth = max(profile.max_depth, len(in_progress))
             try:
                 result = values.minimum
                 for assertion in self._by_authorizer.get(principal, ()):
+                    profile.assertions_visited += 1
                     result = values.join([result,
                                           assertion_value(assertion)])
                     if result == values.maximum:
@@ -150,7 +219,24 @@ class ComplianceChecker:
             # onward to the requesters.
             return principal_value(canonical)
 
-        return principal_value("POLICY")
+        try:
+            return principal_value("POLICY")
+        finally:
+            self.last_query_stats = profile
+            self.stats.merge(profile)
+            if self.metrics is not None:
+                self._record_metrics(profile)
+
+    def _record_metrics(self, profile: ComplianceStats) -> None:
+        metrics = self.metrics
+        assert metrics is not None
+        metrics.counter("keynote.queries").inc()
+        metrics.counter("keynote.memo.hit").inc(profile.memo_hits)
+        metrics.counter("keynote.memo.miss").inc(profile.memo_misses)
+        metrics.counter("keynote.assertions_visited").inc(
+            profile.assertions_visited)
+        metrics.counter("keynote.cycles_broken").inc(profile.cycles_broken)
+        metrics.histogram("keynote.fixpoint_depth").observe(profile.max_depth)
 
     def authorises(self, attributes: Mapping[str, str],
                    authorizers: Iterable[str],
@@ -168,8 +254,16 @@ def evaluate_query(assertions: Sequence[Credential],
                    authorizers: Iterable[str],
                    keystore: Keystore | None = None,
                    values: ComplianceValueSet = DEFAULT_VALUE_SET,
-                   verify_signatures: bool = True) -> str:
-    """One-shot query without building a checker explicitly."""
+                   verify_signatures: bool = True,
+                   strict: bool = False,
+                   memoise: bool = True) -> str:
+    """One-shot query without building a checker explicitly.
+
+    ``strict`` and ``memoise`` behave exactly as on
+    :class:`ComplianceChecker`, so a one-shot query is indistinguishable
+    from an explicitly built checker with the same options.
+    """
     checker = ComplianceChecker(assertions=list(assertions), keystore=keystore,
-                                verify_signatures=verify_signatures)
+                                verify_signatures=verify_signatures,
+                                strict=strict, memoise=memoise)
     return checker.query(attributes, authorizers, values)

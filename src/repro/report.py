@@ -15,13 +15,19 @@ render that understanding:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
 from repro.keynote.credential import Credential
 from repro.keynote.licensees import licensees_to_text
+from repro.obs.export import render_metrics
 from repro.rbac.policy import RBACPolicy
 from repro.util.text import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,21 @@ def delegation_paths(credentials: list[Credential], target: str,
         return []
     return [list(path) for path in
             nx.all_simple_paths(graph, "POLICY", target)]
+
+
+def metrics_report(registry: "MetricsRegistry") -> str:
+    """A run's metrics rendered as a table, one row per instrument —
+    the quantitative companion to the relation tables above."""
+    return render_metrics(registry)
+
+
+def observability_report(obs: "Observability") -> str:
+    """Metrics table plus a one-line trace summary for one observed run."""
+    correlations = obs.tracer.correlations()
+    header = (f"{len(obs.tracer.spans)} spans across "
+              f"{len(correlations)} correlated trace(s); "
+              f"simulated clock at {obs.clock.now():.2f}s")
+    return header + "\n\n" + metrics_report(obs.metrics)
 
 
 def delegation_graph_dot(credentials: list[Credential]) -> str:

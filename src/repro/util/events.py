@@ -82,6 +82,28 @@ class AuditLog:
                 return rec
         return None
 
+    def bind_metrics(self, metrics) -> None:
+        """Mirror every future record into ``audit.<category>.<outcome>``
+        counters on a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        This turns the append-only log into live rates: how many denials
+        per layer, how many scheduling losses, without re-scanning records.
+        """
+        def count(record: AuditRecord) -> None:
+            metrics.counter(f"audit.{record.category}.{record.outcome}").inc()
+
+        self.subscribe(count)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Serialise all records (for the JSON observability export)."""
+        return [{
+            "timestamp": r.timestamp,
+            "category": r.category,
+            "subject": r.subject,
+            "outcome": r.outcome,
+            "detail": dict(r.detail),
+        } for r in self._records]
+
     def clear(self) -> None:
         """Drop all records (listeners stay subscribed)."""
         self._records.clear()

@@ -19,6 +19,9 @@ Modules:
 - :mod:`repro.webcom.keycom` — the KeyCOM administration service (Figure 8).
 - :mod:`repro.webcom.stack` — stacked authorisation L0-L3 (Figure 10).
 - :mod:`repro.webcom.ide` — IDE interrogation and placement (Figure 11).
+- :mod:`repro.webcom.scenario` — a fully observed Figure-3 run (one
+  correlated trace through master, network, client and stack; the substrate
+  of ``repro trace`` / ``repro metrics``).
 """
 
 from repro.webcom.engine import EvaluationMode, GraphEngine
@@ -34,8 +37,14 @@ from repro.webcom.ide import ComponentPalette, PlacementSpec, WebComIDE
 from repro.webcom.keycom import KeyComService, PolicyUpdateRequest
 from repro.webcom.network import Message, SimulatedNetwork
 from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.scenario import ObservedRun, run_observed_scenario
 from repro.webcom.secure import SecureWebComEnvironment
-from repro.webcom.stack import AuthorisationStack, Layer, MediationRequest
+from repro.webcom.stack import (
+    AuthorisationStack,
+    FrozenAttributes,
+    Layer,
+    MediationRequest,
+)
 from repro.webcom.workflow import WorkflowGuard, WorkflowPolicy
 
 __all__ = [
@@ -47,6 +56,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
+    "FrozenAttributes",
     "GraphCheckpoint",
     "GraphEngine",
     "GraphNode",
@@ -55,6 +65,7 @@ __all__ = [
     "MasterGroup",
     "MediationRequest",
     "Message",
+    "ObservedRun",
     "PlacementSpec",
     "PolicyUpdateRequest",
     "SecureWebComEnvironment",
@@ -64,4 +75,5 @@ __all__ = [
     "WebComMaster",
     "WorkflowGuard",
     "WorkflowPolicy",
+    "run_observed_scenario",
 ]

@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.errors import GraphError, SchedulingError
 from repro.webcom.graph import CondensedGraph, GraphNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 #: executor(node, args) -> result
 Executor = Callable[[GraphNode, tuple], Any]
@@ -65,11 +68,13 @@ class GraphEngine:
     """
 
     def __init__(self, graph: CondensedGraph, executor: Executor,
-                 mode: EvaluationMode = EvaluationMode.AVAILABILITY) -> None:
+                 mode: EvaluationMode = EvaluationMode.AVAILABILITY,
+                 obs: "Observability | None" = None) -> None:
         graph.validate()
         self.graph = graph
         self.executor = executor
         self.mode = mode
+        self.obs = obs
         self.trace = ExecutionTrace()
 
     def run(self, inputs: Mapping[str, Any], *,
@@ -144,6 +149,16 @@ class GraphEngine:
         return self.trace.results[exit_id]
 
     def _fire(self, node: GraphNode, args: tuple) -> Any:
+        if self.obs is None:
+            return self._fire_inner(node, args)
+        with self.obs.tracer.span("engine.fire", node=node.node_id,
+                                  operator=node.operator_name):
+            with self.obs.metrics.time("engine.node_latency"):
+                result = self._fire_inner(node, args)
+        self.obs.metrics.counter("engine.fired").inc()
+        return result
+
+    def _fire_inner(self, node: GraphNode, args: tuple) -> Any:
         if node.is_condensed:
             # Condensation: the node evaporates into a nested run.  The
             # subgraph's entries bind positionally in sorted-name order.
@@ -153,7 +168,8 @@ class GraphEngine:
                 raise GraphError(
                     f"condensed node {node.node_id!r}: {len(args)} operands "
                     f"for {len(names)} subgraph entries")
-            nested = GraphEngine(subgraph, self.executor, self.mode)
+            nested = GraphEngine(subgraph, self.executor, self.mode,
+                                 obs=self.obs)
             result = nested.run(dict(zip(names, args)))
             self.trace.fired.extend(
                 f"{node.node_id}/{inner}" for inner in nested.trace.fired)

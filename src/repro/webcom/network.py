@@ -14,10 +14,13 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.errors import NetworkError
 from repro.util.clock import SimulatedClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -48,9 +51,12 @@ class SimulatedNetwork:
     """
 
     def __init__(self, clock: SimulatedClock | None = None,
-                 default_latency: float = 1.0) -> None:
-        self.clock = clock or SimulatedClock()
+                 default_latency: float = 1.0,
+                 obs: "Observability | None" = None) -> None:
+        self.clock = clock or (obs.clock if obs is not None
+                               else SimulatedClock())
         self.default_latency = default_latency
+        self.obs = obs
         self._handlers: dict[str, Handler] = {}
         self._queue: list[Message] = []
         self._seq = 0
@@ -176,6 +182,7 @@ class SimulatedNetwork:
                            payload=body, sent_at=now, arrives_at=now + lat,
                            seq=self._seq)
             self.dropped.append(lost)
+            self._observe(lost, delivered=False)
             return lost
         first: Message | None = None
         for effective in latencies:
@@ -206,10 +213,37 @@ class SimulatedNetwork:
                                        message.arrives_at)
                 or self._link_down(message.sender, message.recipient)):
             self.dropped.append(message)
+            self._observe(message, delivered=False)
             return None
         self.delivered.append(message)
+        self._observe(message, delivered=True)
         self._handlers[message.recipient](message)
         return message
+
+    def _observe(self, message: Message, delivered: bool) -> None:
+        """Record the message's flight as a trace span + metrics.
+
+        A span is only recorded for correlated traffic (payloads carrying a
+        ``correlation_id``); housekeeping messages (register/ping/pong)
+        still count in the metrics.
+        """
+        if self.obs is None:
+            return
+        outcome = "delivered" if delivered else "dropped"
+        self.obs.metrics.counter(f"net.{outcome}").inc()
+        self.obs.metrics.counter(f"net.{outcome}.{message.kind}").inc()
+        if delivered:
+            self.obs.metrics.histogram("net.latency").observe(
+                message.arrives_at - message.sent_at)
+        correlation_id = message.payload.get("correlation_id")
+        if correlation_id is None:
+            return
+        self.obs.tracer.record(
+            f"net.{message.kind}", message.sent_at, message.arrives_at,
+            correlation_id=correlation_id,
+            parent_id=message.payload.get("span_id"),
+            status="ok" if delivered else "dropped",
+            sender=message.sender, recipient=message.recipient)
 
     def step(self) -> Message | None:
         """Deliver the next message (advancing the clock to its arrival).

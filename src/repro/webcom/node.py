@@ -21,13 +21,16 @@ Scheduling is robust against a lossy fabric:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.errors import AuthorisationError, SchedulingError
 from repro.util.events import AuditLog
 from repro.webcom.engine import EvaluationMode, GraphEngine
 from repro.webcom.graph import CondensedGraph, GraphNode
 from repro.webcom.network import Message, SimulatedNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 #: client-side operation implementation
 Operation = Callable[..., Any]
@@ -62,7 +65,8 @@ class WebComClient:
                  operations: Mapping[str, Operation],
                  key_name: str = "", user: str = "",
                  authoriser: "Callable[[str, str, Mapping], bool] | None" = None,
-                 audit: AuditLog | None = None) -> None:
+                 audit: AuditLog | None = None,
+                 obs: "Observability | None" = None) -> None:
         self.client_id = client_id
         self.network = network
         self.operations = dict(operations)
@@ -70,6 +74,7 @@ class WebComClient:
         self.user = user or client_id
         self.authoriser = authoriser
         self.audit = audit
+        self.obs = obs
         self.executed: list[str] = []
         #: request id -> the reply payload already sent (dedup cache)
         self._reply_cache: dict[str, dict[str, Any]] = {}
@@ -95,12 +100,31 @@ class WebComClient:
             return
         if message.kind != "execute":
             return
+        if self.obs is not None:
+            # The execute payload carries the master's trace context, so the
+            # client-side span (and everything it nests — the stack
+            # mediation, the TM query) joins the master's correlation.
+            with self.obs.tracer.span(
+                    "client.execute",
+                    correlation_id=message.payload.get("correlation_id"),
+                    parent_id=message.payload.get("span_id"),
+                    client=self.client_id,
+                    op=message.payload.get("op", ""),
+                    request_id=message.payload["request_id"]) as span:
+                self._handle_execute(message, span)
+        else:
+            self._handle_execute(message, None)
+
+    def _handle_execute(self, message: Message, span) -> None:
         request_id = message.payload["request_id"]
         cached = self._reply_cache.get(request_id)
         if cached is not None:
             # Duplicate (retried or network-duplicated) request: replay the
             # recorded reply; never re-run a possibly non-idempotent op.
             self.duplicates_served += 1
+            if span is not None:
+                span.set(cached=True)
+                span.status = cached.get("status", "ok")
             self.network.send(self.client_id, message.sender, "result",
                               cached)
             return
@@ -111,16 +135,22 @@ class WebComClient:
         if self.authoriser is not None and not self.authoriser(
                 master_key, op, context):
             self._audit("webcom.client.check", op, "deny")
+            if span is not None:
+                span.status = "denied"
             self._reply(message.sender, request_id, status="denied")
             return
         self._audit("webcom.client.check", op, "allow")
         fn = self.operations.get(op)
         if fn is None:
+            if span is not None:
+                span.status = "unknown-op"
             self._reply(message.sender, request_id, status="unknown-op")
             return
         try:
             value = fn(*args)
         except Exception as exc:  # deliberate: remote errors must not kill
+            if span is not None:
+                span.status = "error"
             self._reply(message.sender, request_id, status="error",
                         error=repr(exc))
             return
@@ -129,6 +159,13 @@ class WebComClient:
 
     def _reply(self, master_id: str, request_id: str, **payload: Any) -> None:
         body = {"request_id": request_id, **payload}
+        if self.obs is not None:
+            span = self.obs.tracer.current()
+            if span is not None:
+                # Carry the trace context back so the reply's network flight
+                # parents onto this client's execute span.
+                body.setdefault("correlation_id", span.correlation_id)
+                body.setdefault("span_id", span.span_id)
         self._reply_cache[request_id] = body
         self.network.send(self.client_id, master_id, "result", body)
 
@@ -166,7 +203,8 @@ class WebComMaster:
                  max_retries: int = 2,
                  backoff: float = 2.0,
                  heartbeat_interval: float = 15.0,
-                 heartbeat_timeout: float = 5.0) -> None:
+                 heartbeat_timeout: float = 5.0,
+                 obs: "Observability | None" = None) -> None:
         if selection_policy not in self.SELECTION_POLICIES:
             raise SchedulingError(
                 f"unknown selection policy {selection_policy!r}; "
@@ -187,6 +225,9 @@ class WebComMaster:
         self.backoff = backoff
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.obs = obs
+        #: correlation id of the most recent :meth:`run_graph` trace
+        self.last_correlation_id: str | None = None
         self.clients: dict[str, ClientInfo] = {}
         self._results: dict[str, dict[str, Any]] = {}
         self._pending: set[str] = set()
@@ -276,6 +317,17 @@ class WebComMaster:
         :raises SchedulingError: when no client can run the operation.
         :raises AuthorisationError: when a client refuses the request.
         """
+        if self.obs is not None:
+            with self.obs.tracer.span("master.schedule", node=node.node_id,
+                                      op=node.operator_name) as span:
+                with self.obs.metrics.time("master.schedule_latency"):
+                    value = self._execute_remote(node, args, context)
+                span.set(outcome="ok")
+                return value
+        return self._execute_remote(node, args, context)
+
+    def _execute_remote(self, node: GraphNode, args: tuple,
+                        context: Mapping[str, Any] | None = None) -> Any:
         op = node.operator_name
         context = dict(context or {})
         self._maybe_probe()
@@ -286,6 +338,7 @@ class WebComMaster:
             candidates = self._candidates(node, op, context)
         if not candidates:
             self._audit("webcom.schedule", node.node_id, "no-candidate", op=op)
+            self._count("master.schedule.no_candidate")
             raise SchedulingError(
                 f"no authorised client for operation {op!r} "
                 f"(node {node.node_id!r})")
@@ -302,21 +355,25 @@ class WebComMaster:
                 info.alive = False
                 self._audit("webcom.schedule", node.node_id, "lost",
                             client=info.client_id, op=op)
+                self._count("master.schedule.lost")
                 continue
             if result["status"] == "denied":
                 last_denied = True
                 self._audit("webcom.schedule", node.node_id, "denied",
                             client=info.client_id, op=op)
+                self._count("master.schedule.denied")
                 continue
             if result["status"] != "ok":
                 self._audit("webcom.schedule", node.node_id, "error",
                             client=info.client_id, op=op,
                             error=result.get("error", result["status"]))
+                self._count("master.schedule.error")
                 continue
             info.executed += 1
             self.schedule_log.append((node.node_id, info.client_id))
             self._audit("webcom.schedule", node.node_id, "ok",
                         client=info.client_id, op=op)
+            self._count("master.schedule.ok")
             return result["value"]
         if last_denied:
             raise AuthorisationError(
@@ -346,8 +403,18 @@ class WebComMaster:
             "context": dict(context),
             "master_key": self.key_name,
         }
+        if self.obs is not None:
+            span = self.obs.tracer.current()
+            if span is not None:
+                # Trace context rides in the payload; retried sends reuse
+                # the same payload, so every copy (and the client-side work
+                # it triggers) stays in this correlation.
+                payload["correlation_id"] = span.correlation_id
+                payload["span_id"] = span.span_id
         timeout = self.request_timeout
-        for _attempt in range(self.max_retries + 1):
+        for attempt in range(self.max_retries + 1):
+            if attempt and self.obs is not None:
+                self.obs.metrics.counter("master.retries").inc()
             self.network.send(self.master_id, info.client_id, "execute",
                               payload)
             self.network.run_until(
@@ -383,11 +450,20 @@ class WebComMaster:
         resume = None
         if checkpoint is not None and checkpoint.completed:
             resume = self._authorised_resume(graph, checkpoint)
-        engine = GraphEngine(graph, executor, mode)
-        result = engine.run(inputs, resume_from=resume,
-                            on_node_fired=(checkpoint.mark
-                                           if checkpoint is not None
-                                           else None))
+        engine = GraphEngine(graph, executor, mode, obs=self.obs)
+        on_fired = checkpoint.mark if checkpoint is not None else None
+        if self.obs is not None:
+            # One fresh correlation per run: every schedule decision,
+            # network flight, client check and retry below shares it.
+            with self.obs.tracer.span("master.run_graph",
+                                      graph=graph.name, master=self.master_id,
+                                      mode=mode.value) as span:
+                self.last_correlation_id = span.correlation_id
+                result = engine.run(inputs, resume_from=resume,
+                                    on_node_fired=on_fired)
+        else:
+            result = engine.run(inputs, resume_from=resume,
+                                on_node_fired=on_fired)
         self.last_trace = engine.trace
         return result
 
@@ -445,3 +521,7 @@ class WebComMaster:
         if self.audit is not None:
             self.audit.record(self.network.clock.now(), category, subject,
                               outcome, **detail)
+
+    def _count(self, name: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name).inc()

@@ -22,6 +22,7 @@ from typing import Mapping
 
 from repro.crypto.keystore import Keystore
 from repro.keynote.api import KeyNoteSession
+from repro.obs import Observability
 from repro.translate.common import (
     ATTR_APP_DOMAIN,
     ATTR_DOMAIN,
@@ -32,21 +33,31 @@ from repro.util.clock import SimulatedClock
 from repro.util.events import AuditLog
 from repro.webcom.graph import GraphNode
 from repro.webcom.node import ClientInfo
+from repro.webcom.stack import AuthorisationStack, MediationRequest
 
 ATTR_OPERATION = "op"
 
 
 class SecureWebComEnvironment:
     """Keys, trust-management sessions and mediation hooks for one WebCom
-    deployment."""
+    deployment.
+
+    :param obs: optional :class:`~repro.obs.Observability`; when given, the
+        environment's clock is the observability clock and every session,
+        stack and hook built here traces into it.
+    """
 
     def __init__(self, audit: AuditLog | None = None,
-                 clock: SimulatedClock | None = None) -> None:
+                 clock: SimulatedClock | None = None,
+                 obs: Observability | None = None) -> None:
         self.keystore = Keystore()
         self.audit = audit or AuditLog()
-        self.clock = clock or SimulatedClock()
+        self.clock = clock or (obs.clock if obs is not None
+                               else SimulatedClock())
+        self.obs = obs
         self.master_session = KeyNoteSession(
-            keystore=self.keystore, audit=self.audit, clock=self.clock)
+            keystore=self.keystore, audit=self.audit, clock=self.clock,
+            obs=self.obs)
         self._client_sessions: dict[str, KeyNoteSession] = {}
 
     # -- key management -------------------------------------------------------
@@ -62,7 +73,8 @@ class SecureWebComEnvironment:
         """The (lazily created) trust-management session of one client."""
         if client_id not in self._client_sessions:
             self._client_sessions[client_id] = KeyNoteSession(
-                keystore=self.keystore, audit=self.audit, clock=self.clock)
+                keystore=self.keystore, audit=self.audit, clock=self.clock,
+                obs=self.obs)
         return self._client_sessions[client_id]
 
     # -- policy helpers ----------------------------------------------------------------
@@ -147,5 +159,44 @@ class SecureWebComEnvironment:
                 ATTR_OPERATION: op,
             }
             return bool(session.query(attributes, [master_key]))
+
+        return authorise
+
+    def client_stack(self, client_id: str) -> AuthorisationStack:
+        """An :class:`AuthorisationStack` for one client with L2 plugged.
+
+        The client's KeyNote session becomes the stack's trust-management
+        layer; callers may plug further layers (OS, middleware, application
+        predicates) onto the returned stack before wiring it into
+        :meth:`stack_authoriser`.
+        """
+        stack = AuthorisationStack(audit=self.audit, clock=self.clock,
+                                   obs=self.obs)
+        stack.plug_trust_management(self.client_session(client_id))
+        return stack
+
+    def stack_authoriser(self, client_id: str,
+                         stack: AuthorisationStack | None = None,
+                         user: str | None = None):
+        """A client authoriser that mediates through a full L0-L3 stack.
+
+        This is the Figure-10 composition of the Figure-3 handshake: the
+        scheduling request a master sends becomes a
+        :class:`MediationRequest` (the master's key as the TM principal)
+        and must pass *every* plugged layer of the client's stack, with a
+        per-layer decision trace.
+        """
+
+        mediation_stack = stack if stack is not None else self.client_stack(
+            client_id)
+
+        def authorise(master_key: str, op: str, _context: Mapping) -> bool:
+            if not master_key:
+                return False
+            request = MediationRequest(
+                user=user or client_id, user_key=master_key,
+                object_type=WEBCOM_APP_DOMAIN, operation=op,
+                attributes={ATTR_APP_DOMAIN: WEBCOM_APP_DOMAIN})
+            return mediation_stack.check(request)
 
         return authorise

@@ -21,13 +21,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
 from repro.errors import AuthorisationError
 from repro.keynote.api import KeyNoteSession
 from repro.middleware.base import Invocation, Middleware
 from repro.os_sec.base import OperatingSystemSecurity
+from repro.util.clock import SimulatedClock
 from repro.util.events import AuditLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 class Layer(enum.IntEnum):
@@ -39,9 +43,57 @@ class Layer(enum.IntEnum):
     APPLICATION = 3
 
 
+class FrozenAttributes(Mapping[str, str]):
+    """An immutable, hashable attribute mapping.
+
+    :class:`MediationRequest` is a frozen dataclass; a plain dict default
+    would make instances unhashable and let callers mutate a request after
+    mediation (invalidating its recorded decision).  The pairs are copied
+    at construction, so later mutation of the source mapping cannot leak
+    in either.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, source: "Mapping[str, str] | None" = None) -> None:
+        items = dict(source or {})
+        object.__setattr__(self, "_items",
+                           tuple(sorted(items.items())))
+
+    def __getitem__(self, key: str) -> str:
+        for name, value in self._items:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _value in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FrozenAttributes is immutable")
+
+    def __repr__(self) -> str:
+        return f"FrozenAttributes({dict(self._items)!r})"
+
+
 @dataclass(frozen=True)
 class MediationRequest:
     """One request as seen by the whole stack.
+
+    Instances are deeply immutable and hashable: ``attributes`` is frozen
+    into a :class:`FrozenAttributes` at construction, whatever mapping was
+    passed in.
 
     :param user: OS/middleware-level principal.
     :param user_key: trust-management principal (public key name).
@@ -59,7 +111,12 @@ class MediationRequest:
     operation: str
     os_object: str = ""
     os_access: str = "read"
-    attributes: Mapping[str, str] = field(default_factory=dict)
+    attributes: Mapping[str, str] = field(default_factory=FrozenAttributes)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attributes, FrozenAttributes):
+            object.__setattr__(self, "attributes",
+                               FrozenAttributes(self.attributes))
 
 
 @dataclass(frozen=True)
@@ -108,13 +165,21 @@ class AuthorisationStack:
     """
 
     def __init__(self, audit: AuditLog | None = None,
-                 require_some_layer: bool = True) -> None:
+                 require_some_layer: bool = True,
+                 clock: SimulatedClock | None = None,
+                 obs: "Observability | None" = None) -> None:
         self.audit = audit
         self.require_some_layer = require_some_layer
+        self.clock = clock or (obs.clock if obs is not None else None)
+        self.obs = obs
         self._os: OperatingSystemSecurity | None = None
         self._middleware: Middleware | None = None
         self._tm: KeyNoteSession | None = None
         self._app: AppPredicate | None = None
+
+    def _now(self) -> float:
+        """Current simulated time (0.0 when no clock is configured)."""
+        return self.clock.now() if self.clock is not None else 0.0
 
     # -- plugging -------------------------------------------------------------
 
@@ -154,8 +219,53 @@ class AuthorisationStack:
 
     # -- mediation -----------------------------------------------------------------
 
-    def mediate(self, request: MediationRequest) -> StackDecision:
+    def _layer_checks(self, request: MediationRequest):
+        """Yield ``(layer, thunk)`` pairs top-down (L3 → L0) for the
+        configured layers; each thunk returns ``(allowed, detail)``."""
+        if self._app is not None:
+            app = self._app
+            yield Layer.APPLICATION, lambda: (bool(app(request)),
+                                              "application predicate")
+        if self._tm is not None:
+            tm = self._tm
+
+            def check_tm() -> tuple[bool, str]:
+                attributes = dict(request.attributes)
+                attributes.setdefault("op", request.operation)
+                result = tm.query(attributes, [request.user_key])
+                return bool(result), f"compliance={result.compliance_value}"
+
+            yield Layer.TRUST_MANAGEMENT, check_tm
+        if self._middleware is not None:
+            middleware = self._middleware
+
+            def check_middleware() -> tuple[bool, str]:
+                ok = middleware.check_invocation(Invocation(
+                    user=request.user, object_type=request.object_type,
+                    operation=request.operation))
+                return ok, f"middleware={middleware.name}"
+
+            yield Layer.MIDDLEWARE, check_middleware
+        if self._os is not None:
+            os_security = self._os
+
+            def check_os() -> tuple[bool, str]:
+                os_object = request.os_object or request.object_type
+                ok = os_security.check(request.user, os_object,
+                                       request.os_access)
+                return ok, f"os={os_security.platform}"
+
+            yield Layer.OS, check_os
+
+    def mediate(self, request: MediationRequest,
+                correlation_id: str | None = None) -> StackDecision:
         """Run the request down the stack.
+
+        When observability is configured, the whole mediation is one
+        ``stack.mediate`` span with a timed ``stack.layer.<NAME>`` child
+        per consulted layer; ``correlation_id`` ties the trace to the
+        remote scheduling decision that triggered this check (it defaults
+        to whatever trace context is already open).
 
         :raises AuthorisationError: if no layer is configured and
             ``require_some_layer`` is set (an empty stack silently allowing
@@ -163,43 +273,49 @@ class AuthorisationStack:
         """
         if self.require_some_layer and not self.configured_layers():
             raise AuthorisationError("no mediation layer is configured")
+        tracer = self.obs.tracer if self.obs is not None else None
+        if tracer is not None:
+            with tracer.span("stack.mediate", correlation_id=correlation_id,
+                             user=request.user, op=request.operation) as span:
+                decision = self._run_layers(request, tracer)
+                span.status = "allow" if decision.allowed else "deny"
+                denied_by = decision.deciding_layer()
+                if denied_by is not None:
+                    span.set(denied_by=denied_by.name)
+        else:
+            decision = self._run_layers(request, None)
+        if self.obs is not None:
+            outcome = "allow" if decision.allowed else "deny"
+            self.obs.metrics.counter(f"stack.mediate.{outcome}").inc()
+        if self.audit is not None:
+            denied = decision.deciding_layer()
+            self.audit.record(
+                self._now(), "stack.mediate", subject=request.user,
+                outcome="allow" if decision.allowed else "deny",
+                operation=request.operation,
+                layers=[d.layer.name for d in decision.decisions],
+                denied_by=denied.name if denied is not None else None)
+        return decision
+
+    def _run_layers(self, request: MediationRequest, tracer) -> StackDecision:
         decisions: list[LayerDecision] = []
         allowed = True
-
-        def note(layer: Layer, ok: bool, detail: str) -> bool:
-            decisions.append(LayerDecision(layer, ok, detail))
-            return ok
-
-        if self._app is not None:
-            allowed = note(Layer.APPLICATION, self._app(request),
-                           "application predicate")
-        if allowed and self._tm is not None:
-            attributes = dict(request.attributes)
-            attributes.setdefault("op", request.operation)
-            result = self._tm.query(attributes, [request.user_key])
-            allowed = note(Layer.TRUST_MANAGEMENT, bool(result),
-                           f"compliance={result.compliance_value}")
-        if allowed and self._middleware is not None:
-            ok = self._middleware.check_invocation(Invocation(
-                user=request.user, object_type=request.object_type,
-                operation=request.operation))
-            allowed = note(Layer.MIDDLEWARE, ok,
-                           f"middleware={self._middleware.name}")
-        if allowed and self._os is not None:
-            os_object = request.os_object or request.object_type
-            ok = self._os.check(request.user, os_object, request.os_access)
-            allowed = note(Layer.OS, ok, f"os={self._os.platform}")
-
-        decision = StackDecision(allowed=allowed, decisions=tuple(decisions))
-        if self.audit is not None:
-            self.audit.record(
-                0.0, "stack.mediate", subject=request.user,
-                outcome="allow" if allowed else "deny",
-                operation=request.operation,
-                layers=[d.layer.name for d in decisions],
-                denied_by=(decision.deciding_layer().name
-                           if decision.deciding_layer() is not None else None))
-        return decision
+        for layer, check in self._layer_checks(request):
+            if not allowed:
+                break
+            if tracer is not None:
+                with tracer.span(f"stack.layer.{layer.name}") as span:
+                    allowed, detail = check()
+                    span.status = "allow" if allowed else "deny"
+                    span.set(detail=detail)
+            else:
+                allowed, detail = check()
+            if self.obs is not None:
+                verdict = "allow" if allowed else "deny"
+                self.obs.metrics.counter(
+                    f"stack.layer.{layer.name}.{verdict}").inc()
+            decisions.append(LayerDecision(layer, allowed, detail))
+        return StackDecision(allowed=allowed, decisions=tuple(decisions))
 
     def check(self, request: MediationRequest) -> bool:
         """Boolean convenience over :meth:`mediate`."""

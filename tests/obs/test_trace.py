@@ -1,0 +1,137 @@
+"""Span nesting, correlation inheritance and remote parenting."""
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.util.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock()
+
+
+@pytest.fixture
+def tracer(clock: SimulatedClock) -> Tracer:
+    return Tracer(clock)
+
+
+class TestNesting:
+    def test_inner_span_parents_onto_outer(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        assert inner.parent_id == outer.span_id
+        assert inner.correlation_id == outer.correlation_id
+
+    def test_roots_get_fresh_correlations(self, tracer):
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.correlation_id != second.correlation_id
+        assert tracer.correlations() == [first.correlation_id,
+                                         second.correlation_id]
+
+    def test_siblings_share_parent_and_correlation(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == outer.span_id
+        assert a.correlation_id == b.correlation_id == outer.correlation_id
+
+    def test_ids_are_deterministic(self):
+        first = Tracer()
+        second = Tracer()
+        for tr in (first, second):
+            with tr.span("x"):
+                with tr.span("y"):
+                    pass
+        assert [s.span_id for s in first.spans] == \
+               [s.span_id for s in second.spans]
+        assert [s.correlation_id for s in first.spans] == \
+               [s.correlation_id for s in second.spans]
+
+
+class TestTiming:
+    def test_span_bounds_track_the_clock(self, tracer, clock):
+        clock.advance(5.0)
+        with tracer.span("work") as span:
+            clock.advance(2.5)
+        assert span.start == 5.0
+        assert span.end == 7.5
+        assert span.duration == 2.5
+
+    def test_open_span_has_no_duration(self, tracer):
+        span = tracer.start("open")
+        assert span.end is None
+        assert span.duration is None
+        tracer.finish(span)
+        assert span.duration == 0.0
+
+
+class TestRemoteParenting:
+    def test_explicit_ids_stitch_processes_together(self, tracer):
+        # The "master" side opens a span and ships its ids in a payload...
+        with tracer.span("master.schedule") as schedule:
+            payload = {"correlation_id": schedule.correlation_id,
+                       "span_id": schedule.span_id}
+        # ... and the "client" side (no shared stack) parents onto it.
+        with tracer.span("client.execute",
+                         correlation_id=payload["correlation_id"],
+                         parent_id=payload["span_id"]) as execute:
+            pass
+        assert execute.parent_id == schedule.span_id
+        assert execute.correlation_id == schedule.correlation_id
+
+    def test_record_captures_elapsed_flight(self, tracer):
+        flight = tracer.record("net.execute", 1.0, 3.5,
+                               correlation_id="corr-x", parent_id="span-x",
+                               status="ok", sender="master")
+        assert flight.duration == 2.5
+        assert flight.correlation_id == "corr-x"
+        assert flight.attributes["sender"] == "master"
+        assert tracer.current() is None  # record never opens a stack frame
+
+
+class TestStatusAndQueries:
+    def test_escaping_exception_marks_error(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed") as span:
+                raise RuntimeError("boom")
+        assert span.status == "error"
+        assert "boom" in span.attributes["error"]
+        assert span.end is not None
+
+    def test_explicit_status_survives_finish(self, tracer):
+        with tracer.span("mediation") as span:
+            span.status = "deny"
+        assert span.status == "deny"
+
+    def test_attributes_and_set_chaining(self, tracer):
+        with tracer.span("op", node="n0") as span:
+            span.set(verdict="allow").set(layer="L3")
+        assert span.attributes == {"node": "n0", "verdict": "allow",
+                                   "layer": "L3"}
+
+    def test_find_filters_by_name_and_correlation(self, tracer):
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                pass
+        with tracer.span("b") as other_b:
+            pass
+        assert len(tracer.find("b")) == 2
+        assert tracer.find("b", a.correlation_id)[0].parent_id == a.span_id
+        assert tracer.find(correlation_id=other_b.correlation_id) == [other_b]
+
+    def test_reset_keeps_open_spans(self, tracer):
+        open_span = tracer.start("still-running")
+        with tracer.span("done"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 1
+        assert tracer.current() is open_span

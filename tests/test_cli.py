@@ -118,3 +118,56 @@ class TestDemo:
         assert main(["demo", "--emit-policy"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert len(data["has_permission"]) == 4
+
+
+class TestTrace:
+    def test_trace_renders_correlated_tree(self, capsys):
+        assert main(["trace", "--depth", "2", "--clients", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace corr-")
+        for name in ("master.run_graph", "master.schedule", "net.execute",
+                     "client.execute", "stack.mediate",
+                     "stack.layer.TRUST_MANAGEMENT"):
+            assert name in out
+
+    def test_trace_json_bundle(self, capsys):
+        assert main(["trace", "--depth", "2", "--clients", "1",
+                     "--json"]) == 0
+        bundle = json.loads(capsys.readouterr().out)
+        assert set(bundle) == {"clock", "trace", "metrics"}
+        assert any(s["name"] == "master.schedule" for s in bundle["trace"])
+
+    def test_trace_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["trace", "--depth", "2", "--clients", "1", "--json",
+                     "--out", str(target)]) == 0
+        assert f"wrote {target}" in capsys.readouterr().out
+        assert json.loads(target.read_text())["trace"]
+
+
+class TestMetrics:
+    def test_metrics_table(self, capsys):
+        assert main(["metrics", "--depth", "2", "--clients", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("master.schedule.ok", "keynote.memo.miss",
+                     "net.latency", "stack.mediate.allow"):
+            assert name in out
+
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "--depth", "2", "--clients", "1",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["master.schedule.ok"]["value"] == 2
+        assert data["keynote.memo.miss"]["value"] > 0
+
+    def test_metrics_summary_header(self, capsys):
+        assert main(["metrics", "--depth", "2", "--clients", "1",
+                     "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "spans across" in out
+
+    def test_faulted_run_reports_retries(self, capsys):
+        assert main(["metrics", "--faults", "--seed", "7", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["master.retries"]["value"] > 0
+        assert data["net.dropped"]["value"] > 0

@@ -12,6 +12,7 @@ from repro.os_sec.unixlike import UnixSecurity
 from repro.util.events import AuditLog
 from repro.webcom.stack import (
     AuthorisationStack,
+    FrozenAttributes,
     Layer,
     MediationRequest,
 )
@@ -158,3 +159,109 @@ class TestAudit:
         assert records[0].outcome == "allow"
         assert records[1].outcome == "deny"
         assert records[1].detail["denied_by"] == "TRUST_MANAGEMENT"
+
+
+class TestClockStamping:
+    def test_audit_records_real_simulated_time(self, parts):
+        from repro.util.clock import SimulatedClock
+        _osec, _ejb, session, _predicate = parts
+        audit = AuditLog()
+        clock = SimulatedClock()
+        stack = (AuthorisationStack(audit=audit, clock=clock)
+                 .plug_trust_management(session))
+        clock.advance(7.25)
+        stack.check(request("read"))
+        clock.advance(1.75)
+        stack.check(request("write"))
+        stamps = [r.timestamp for r in audit.find(category="stack.mediate")]
+        assert stamps == [7.25, 9.0]
+
+    def test_clock_falls_back_to_observability(self, parts):
+        from repro.obs import Observability
+        _osec, _ejb, session, _predicate = parts
+        audit = AuditLog()
+        obs = Observability()
+        stack = (AuthorisationStack(audit=audit, obs=obs)
+                 .plug_trust_management(session))
+        obs.clock.advance(3.0)
+        stack.check(request("read"))
+        assert audit.last(category="stack.mediate").timestamp == 3.0
+
+    def test_clockless_stack_still_stamps_zero(self, parts):
+        _osec, _ejb, session, _predicate = parts
+        audit = AuditLog()
+        stack = (AuthorisationStack(audit=audit)
+                 .plug_trust_management(session))
+        stack.check(request("read"))
+        assert audit.last(category="stack.mediate").timestamp == 0.0
+
+
+class TestFrozenRequest:
+    def test_requests_are_hashable(self):
+        a = request("read")
+        b = request("read")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1  # usable as cache / audit-dedup keys
+
+    def test_attribute_dicts_are_frozen_on_construction(self):
+        req = MediationRequest(user="alice", user_key="Kalice",
+                               object_type="SalariesDB", operation="read",
+                               attributes={"app_domain": "SalariesDB"})
+        assert isinstance(req.attributes, FrozenAttributes)
+        assert req.attributes["app_domain"] == "SalariesDB"
+        with pytest.raises(TypeError):
+            req.attributes["app_domain"] = "Other"  # type: ignore[index]
+
+    def test_source_mutation_cannot_leak_in(self):
+        source = {"app_domain": "SalariesDB"}
+        req = MediationRequest(user="alice", user_key="Kalice",
+                               object_type="SalariesDB", operation="read",
+                               attributes=source)
+        source["app_domain"] = "Other"
+        source["oper"] = "write"
+        assert dict(req.attributes) == {"app_domain": "SalariesDB"}
+
+    def test_frozen_attributes_mapping_contract(self):
+        frozen = FrozenAttributes({"b": "2", "a": "1"})
+        assert frozen == {"a": "1", "b": "2"}
+        assert sorted(frozen) == ["a", "b"]
+        assert len(frozen) == 2
+        assert frozen.get("missing") is None
+        with pytest.raises(KeyError):
+            frozen["missing"]
+        with pytest.raises(AttributeError):
+            frozen._items = ()
+
+
+class TestStackObservability:
+    def test_mediation_produces_per_layer_spans(self, parts):
+        from repro.obs import Observability
+        osec, ejb, session, predicate = parts
+        obs = Observability()
+        stack = (AuthorisationStack(obs=obs)
+                 .plug_os(osec).plug_middleware(ejb)
+                 .plug_trust_management(session).plug_application(predicate))
+        stack.check(request("read"))
+        mediate = obs.tracer.find("stack.mediate")
+        assert len(mediate) == 1
+        assert mediate[0].status == "allow"
+        layer_spans = [s for s in obs.tracer.spans
+                       if s.name.startswith("stack.layer.")]
+        assert [s.name.removeprefix("stack.layer.") for s in layer_spans] == \
+            ["APPLICATION", "TRUST_MANAGEMENT", "MIDDLEWARE", "OS"]
+        assert all(s.parent_id == mediate[0].span_id for s in layer_spans)
+        assert obs.metrics.counter("stack.mediate.allow").value == 1
+
+    def test_denial_span_names_the_layer(self, parts):
+        from repro.obs import Observability
+        _osec, _ejb, session, _predicate = parts
+        obs = Observability()
+        stack = (AuthorisationStack(obs=obs)
+                 .plug_trust_management(session))
+        stack.check(request("write"))
+        mediate = obs.tracer.find("stack.mediate")[0]
+        assert mediate.status == "deny"
+        assert mediate.attributes["denied_by"] == "TRUST_MANAGEMENT"
+        assert obs.metrics.counter(
+            "stack.layer.TRUST_MANAGEMENT.deny").value == 1
