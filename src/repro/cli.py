@@ -11,7 +11,10 @@ Subcommands mirror the paper's Section-4 services over policy files:
 - ``demo``        — run the built-in Salaries scenario end to end;
 - ``trace``       — run an observed Secure WebCom scenario and dump the
   correlated trace tree (or the full JSON bundle);
-- ``metrics``     — the same scenario, reporting the metrics registry.
+- ``metrics``     — the same scenario, reporting the metrics registry;
+- ``bench``       — machine-readable fast-path numbers (cold vs warm
+  decision cache, batched vs single scheduling flights), the CI perf
+  artifact (``BENCH_3.json``).
 
 Usage examples::
 
@@ -133,9 +136,142 @@ def _emit(args: argparse.Namespace, text: str) -> None:
         print(text)
 
 
+def _bench_decision_cache(iterations: int) -> dict:
+    """Cold vs warm KeyNote decision cache on the Figure-3 trust state.
+
+    The credential set is the master-side policy of the observed scenario
+    (POLICY trusting client keys for the scenario operations); "cold"
+    flushes the decision cache before every query so each one pays the full
+    fixpoint, "warm" lets identical queries hit the cache.
+    """
+    from time import perf_counter
+
+    from repro.translate.common import ATTR_APP_DOMAIN, WEBCOM_APP_DOMAIN
+    from repro.webcom.secure import ATTR_OPERATION, SecureWebComEnvironment
+
+    env = SecureWebComEnvironment()
+    env.create_key("Kmaster")
+    keys = [env.create_key(f"Kc{i}") for i in range(4)]
+    env.trust_clients_for_operations(keys, ["stage", "combine"])
+    checker = env.master_session.checker
+    attributes = {ATTR_APP_DOMAIN: WEBCOM_APP_DOMAIN,
+                  ATTR_OPERATION: "stage"}
+    authorizers = [keys[0]]
+
+    start = perf_counter()
+    for _ in range(iterations):
+        checker.clear_decision_cache()
+        cold_value = checker.query(attributes, authorizers)
+    cold = perf_counter() - start
+
+    checker.query(attributes, authorizers)  # prime
+    start = perf_counter()
+    for _ in range(iterations):
+        warm_value = checker.query(attributes, authorizers)
+    warm = perf_counter() - start
+
+    return {
+        "iterations": iterations,
+        "cold_s": cold,
+        "warm_s": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "cold_value": cold_value,
+        "warm_value": warm_value,
+        "values_agree": cold_value == warm_value,
+        "cache": checker.cache_info(),
+    }
+
+
+def _bench_batched_scheduling(fan: int, clients: int) -> dict:
+    """Batched vs single scheduling flights on a width-``fan`` wavefront."""
+    SCHEDULING_KINDS = ("execute", "execute_batch", "result", "result_batch")
+    out: dict = {"fan": fan, "clients": clients}
+    for batch in (False, True):
+        run = run_observed_scenario(fan=fan, n_clients=clients, batch=batch)
+        network = run.master.network
+        flights = sum(1 for message in network.delivered
+                      if message.kind in SCHEDULING_KINDS)
+        key = "batched" if batch else "single"
+        out[f"flights_{key}"] = flights
+        out[f"result_{key}"] = run.result
+    out["results_agree"] = out["result_single"] == out["result_batched"]
+    return out
+
+
+def _bench_signature_cache(rebuilds: int) -> dict:
+    """Repeated one-shot queries over a signed delegation chain: the
+    process-wide signature cache verifies each credential's bytes once,
+    not once per checker build."""
+    from repro.crypto.keystore import SIGNATURE_CACHE
+    from repro.keynote.compliance import evaluate_query
+    from repro.keynote.credential import Credential
+
+    keystore = Keystore()
+    names = [f"Kb{i}" for i in range(6)]
+    for name in names:
+        keystore.create(name)
+    assertions = [Credential.build("POLICY", f'"{names[0]}"', "true")]
+    for issuer, licensee in zip(names, names[1:]):
+        assertions.append(
+            Credential.build(issuer, f'"{licensee}"', "true").sign(
+                keystore.pair(issuer).private))
+    SIGNATURE_CACHE.clear()
+    for _ in range(rebuilds):
+        value = evaluate_query(assertions, {}, [names[-1]],
+                               keystore=keystore)
+    stats = SIGNATURE_CACHE.stats()
+    return {
+        "rebuilds": rebuilds,
+        "signed_credentials": len(assertions) - 1,
+        "value": value,
+        "verifications_run": stats["misses"],
+        "verifications_served_cached": stats["hits"],
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    report = {
+        "bench": "BENCH_3",
+        "description": "authorisation fast path: decision cache + "
+                       "batched scheduling",
+        "decision_cache": _bench_decision_cache(args.iterations),
+        "batched_scheduling": _bench_batched_scheduling(args.fan,
+                                                        args.clients),
+        "sigverify_cache": _bench_signature_cache(rebuilds=20),
+    }
+    _emit(args, json.dumps(report, indent=2))
+    if not args.check:
+        return 0
+    failures = []
+    cache = report["decision_cache"]
+    batched = report["batched_scheduling"]
+    if not cache["values_agree"]:
+        failures.append("cold and warm compliance values differ")
+    if cache["speedup"] < args.min_speedup:
+        failures.append(
+            f"warm-cache speedup {cache['speedup']:.1f}x is below the "
+            f"required {args.min_speedup:.1f}x")
+    if not batched["results_agree"]:
+        failures.append("batched and single scheduling results differ")
+    if batched["flights_batched"] >= batched["flights_single"]:
+        failures.append(
+            f"batching did not reduce flights "
+            f"({batched['flights_batched']} >= {batched['flights_single']})")
+    sigverify = report["sigverify_cache"]
+    if sigverify["verifications_run"] > sigverify["signed_credentials"]:
+        failures.append(
+            f"signature cache ran {sigverify['verifications_run']} "
+            f"verifications for {sigverify['signed_credentials']} "
+            f"credentials")
+    for failure in failures:
+        print(f"bench check failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
-                                faults=args.faults, seed=args.seed)
+                                faults=args.faults, seed=args.seed,
+                                stack_ttl=args.stack_ttl)
     if args.json:
         _emit(args, export_json(run.obs))
     else:
@@ -145,7 +281,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
-                                faults=args.faults, seed=args.seed)
+                                faults=args.faults, seed=args.seed,
+                                stack_ttl=args.stack_ttl)
     if args.json:
         _emit(args, json.dumps(metrics_to_dict(run.obs.metrics), indent=2))
     elif args.summary:
@@ -164,6 +301,9 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="inject seeded message drops (forces retries)")
     parser.add_argument("--seed", type=int, default=7,
                         help="fault-plan seed (with --faults)")
+    parser.add_argument("--stack-ttl", type=float, default=None,
+                        help="enable the clients' stack mediation cache "
+                             "with this TTL in simulated seconds")
     parser.add_argument("--json", action="store_true",
                         help="emit JSON instead of the text rendering")
     parser.add_argument("--out", default=None,
@@ -226,6 +366,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--summary", action="store_true",
                            help="prepend a one-line trace summary")
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_bench = sub.add_parser(
+        "bench", help="machine-readable authorisation fast-path benchmark")
+    p_bench.add_argument("--iterations", type=int, default=200,
+                         help="queries per timing loop")
+    p_bench.add_argument("--fan", type=int, default=8,
+                         help="wavefront width of the batching comparison")
+    p_bench.add_argument("--clients", type=int, default=2,
+                         help="clients in the batching comparison")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit non-zero unless the warm cache beats "
+                              "cold by --min-speedup and batching reduces "
+                              "flights")
+    p_bench.add_argument("--min-speedup", type=float, default=5.0,
+                         help="required cold/warm speedup with --check")
+    p_bench.add_argument("--out", default=None,
+                         help="write the JSON report to a file")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -18,7 +18,11 @@ Public API::
 
 from repro.crypto.group import DEFAULT_GROUP, SchnorrGroup
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, Signature
-from repro.crypto.keystore import Keystore
+from repro.crypto.keystore import (
+    SIGNATURE_CACHE,
+    Keystore,
+    SignatureVerificationCache,
+)
 from repro.crypto.prime import is_probable_prime, next_prime
 
 __all__ = [
@@ -29,6 +33,8 @@ __all__ = [
     "PublicKey",
     "SchnorrGroup",
     "Signature",
+    "SIGNATURE_CACHE",
+    "SignatureVerificationCache",
     "is_probable_prime",
     "next_prime",
 ]

@@ -1,17 +1,89 @@
-"""A simple PKI: named keys and lookup in both directions.
+"""A simple PKI: named keys, lookup in both directions, and a process-wide
+signature-verification cache.
 
 The paper's figures use symbolic key names (``Kbob``, ``Kalice``,
 ``KWebCom``).  The keystore maps those names to real key pairs and lets
 credentials be written with symbolic names while being signed with real keys.
 It plays the role of the "System PKI" box in Figure 3.
+
+:class:`SignatureVerificationCache` memoises the (deterministic) outcome of
+Schnorr signature verification by ``(key, message digest, signature)``: a
+credential's bytes are verified once per process, not once per
+compliance-checker build.  The shared :data:`SIGNATURE_CACHE` instance is
+what :meth:`Credential.verify <repro.keynote.credential.Credential.verify>`
+consults; bind a metrics registry to surface ``crypto.sigverify.hit`` /
+``crypto.sigverify.miss`` counters.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+import hashlib
+from typing import TYPE_CHECKING, Iterator, Mapping
 
-from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.keys import KeyPair, PublicKey, Signature
 from repro.errors import UnknownKeyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+
+class SignatureVerificationCache:
+    """Memoises signature-verification outcomes.
+
+    Verification is a pure function of (public key, message, signature), so
+    its result can be cached process-wide.  The message is keyed by SHA-256
+    digest to bound memory; both valid and invalid outcomes are cached (an
+    invalid signature stays invalid).
+
+    >>> cache = SignatureVerificationCache()
+    >>> cache.hits, cache.misses
+    (0, 0)
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[int, bytes, str], bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self._metrics: "MetricsRegistry | None" = None
+
+    def bind_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Mirror future hits/misses into ``crypto.sigverify.*`` counters."""
+        self._metrics = metrics
+
+    def verify(self, public: PublicKey, message: bytes,
+               signature: Signature) -> bool:
+        """Cached :meth:`PublicKey.verify`."""
+        key = (public.y, hashlib.sha256(message).digest(),
+               f"{signature.e:x}:{signature.s:x}")
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            if self._metrics is not None:
+                self._metrics.counter("crypto.sigverify.hit").inc()
+            return cached
+        self.misses += 1
+        if self._metrics is not None:
+            self._metrics.counter("crypto.sigverify.miss").inc()
+        result = public.verify(message, signature)
+        self._cache[key] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop every cached outcome and zero the counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._cache), "hits": self.hits,
+                "misses": self.misses}
+
+
+#: the process-wide cache credentials verify through by default
+SIGNATURE_CACHE = SignatureVerificationCache()
 
 
 class Keystore:

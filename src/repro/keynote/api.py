@@ -79,7 +79,7 @@ class KeyNoteSession:
             raise CredentialError(
                 "add_policy requires an 'Authorizer: POLICY' assertion")
         self._policies.append(credential)
-        self._checker = None
+        self._absorb(credential)
         return credential
 
     def add_credential(self, source: str | Credential) -> Credential:
@@ -92,8 +92,30 @@ class KeyNoteSession:
             raise CredentialError(
                 "POLICY assertions must be added with add_policy")
         self._credentials.append(credential)
-        self._checker = None
+        self._absorb(credential)
         return credential
+
+    def revoke_credential(self, credential: Credential) -> bool:
+        """Remove a previously added credential.
+
+        Bumps the live checker's generation, flushing its decision cache —
+        the next query cannot be served a stale ALLOW that relied on the
+        revoked credential.
+        """
+        try:
+            self._credentials.remove(credential)
+        except ValueError:
+            return False
+        if self._checker is not None:
+            self._checker.revoke_assertion(credential)
+        return True
+
+    def _absorb(self, credential: Credential) -> None:
+        """Feed a new assertion to the live checker incrementally (its
+        generation bump flushes cached decisions) instead of discarding it
+        for a full rebuild."""
+        if self._checker is not None:
+            self._checker.add_assertion(credential)
 
     def add_credentials(self, text: str) -> list[Credential]:
         """Parse and add several credentials from one blob."""
@@ -121,7 +143,28 @@ class KeyNoteSession:
         self._credentials.clear()
         self._checker = None
 
+    def state_fingerprint(self) -> tuple[int, int, int]:
+        """A value that changes whenever the assertion set may have changed.
+
+        Callers caching decisions derived from this session (e.g. the
+        authorisation stack's mediation cache) compare fingerprints instead
+        of subscribing to invalidation events.
+        """
+        return (len(self._policies), len(self._credentials),
+                self._checker.generation if self._checker is not None else -1)
+
     # -- queries -----------------------------------------------------------------
+
+    @property
+    def checker(self) -> ComplianceChecker:
+        """The live compliance checker (built lazily on first access).
+
+        The instance persists across queries so its decision cache and
+        precompiled assertions are reused; :meth:`add_policy` /
+        :meth:`add_credential` / :meth:`revoke_credential` feed it
+        incrementally.
+        """
+        return self._checker_instance()
 
     def _checker_instance(self) -> ComplianceChecker:
         if self._checker is None:
@@ -185,3 +228,21 @@ class KeyNoteSession:
                 compliance_value=value,
                 attributes=dict(attributes))
         return result
+
+    def query_many(self, requests: Iterable[tuple[Mapping[str, str],
+                                                  Iterable[str]]],
+                   ) -> list[str]:
+        """Batch evaluation through
+        :meth:`ComplianceChecker.query_many
+        <repro.keynote.compliance.ComplianceChecker.query_many>`: one
+        compliance value per ``(attributes, authorizers)`` pair, with
+        condition programs shared across the batch.  ``_cur_time`` is
+        injected exactly as :meth:`query` does; audit records are not
+        emitted for batch queries.
+        """
+        now = repr(self.clock.now())
+        prepared = [
+            (attrs if "_cur_time" in attrs else {**attrs, "_cur_time": now},
+             tuple(auths))
+            for attrs, auths in requests]
+        return self._checker_instance().query_many(prepared, self.values)

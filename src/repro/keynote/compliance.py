@@ -20,6 +20,22 @@ depth-first search where principals on the current path evaluate to
 
 Both a memoised checker and a deliberately naive exponential-path variant are
 provided; the DESIGN.md ablation compares them.
+
+Hot-path machinery (the authorisation fast path):
+
+- construction precompiles every assertion's Conditions program
+  (:func:`~repro.keynote.eval.compile_conditions`), canonicalises its
+  authorizer once, and verifies its signature through the process-wide
+  signature cache — per-query work is only the fixpoint itself;
+- a *decision cache* memoises full query outcomes by (relevant attribute
+  projection, canonical authorizer set, value set).  ``Generation`` bumps —
+  :meth:`ComplianceChecker.add_assertion` / :meth:`revoke_assertion` — flush
+  it, so a revoked credential can never serve a stale ALLOW.  Values computed
+  under a live cycle-break assumption are never cached (unless maximal,
+  which monotonicity makes safe) — mirroring the in-query memo's taint rule;
+- :meth:`ComplianceChecker.query_many` batches queries, sharing per-assertion
+  condition evaluation across every query with the same attribute
+  projection.
 """
 
 from __future__ import annotations
@@ -30,7 +46,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 from repro.crypto.keystore import Keystore
 from repro.errors import ComplianceError, CredentialError
 from repro.keynote.credential import Credential
-from repro.keynote.eval import ConditionEvaluator
+from repro.keynote.eval import CompiledConditions, compile_conditions
 from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,9 +100,20 @@ class ComplianceStats:
         }
 
 
+class _Prepared:
+    """One admitted assertion with its per-checker precomputed state."""
+
+    __slots__ = ("credential", "compiled")
+
+    def __init__(self, credential: Credential,
+                 compiled: CompiledConditions) -> None:
+        self.credential = credential
+        self.compiled = compiled
+
+
 @dataclass
 class ComplianceChecker:
-    """Evaluates queries against a fixed set of assertions.
+    """Evaluates queries against a (mutable) set of assertions.
 
     :param assertions: policy assertions and signed credentials.
     :param keystore: used to resolve symbolic principals when verifying
@@ -96,14 +123,22 @@ class ComplianceChecker:
     :param strict: if True, a bad signature raises
         :class:`~repro.errors.CredentialError`; if False (RFC behaviour) the
         assertion is silently discarded.
-    :param memoise: disable only for the ablation benchmark.
+    :param memoise: disable only for the ablation benchmark (this also
+        disables the decision cache — naive mode measures the raw search).
+    :param cache_decisions: memoise whole query outcomes until the assertion
+        set changes.  Safe by construction: the cache key covers every
+        attribute any assertion can read, the canonical authorizer set and
+        the value set; :meth:`add_assertion` / :meth:`revoke_assertion` bump
+        :attr:`generation` and flush it.
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
         when set, the per-query profile (memo hits/misses, assertions
-        visited, fixpoint depth) is mirrored into ``keynote.*`` metrics.
+        visited, fixpoint depth) is mirrored into ``keynote.*`` metrics and
+        decision-cache traffic into ``keynote.cache.hit`` / ``.miss``.
 
     Profiling: :attr:`stats` accumulates over the checker's lifetime and
     :attr:`last_query_stats` holds the profile of the most recent
-    :meth:`query` alone.
+    :meth:`query` alone; :attr:`cache_hits` / :attr:`cache_misses` count
+    decision-cache traffic.
     """
 
     assertions: Sequence[Credential]
@@ -111,41 +146,148 @@ class ComplianceChecker:
     verify_signatures: bool = True
     strict: bool = False
     memoise: bool = True
+    cache_decisions: bool = True
     metrics: "MetricsRegistry | None" = None
     stats: ComplianceStats = field(init=False, repr=False,
                                    default_factory=ComplianceStats)
     last_query_stats: "ComplianceStats | None" = field(init=False, repr=False,
                                                        default=None)
-    _by_authorizer: dict[str, list[Credential]] = field(init=False, repr=False)
+    _by_authorizer: dict[str, list[_Prepared]] = field(init=False, repr=False)
     _discarded: list[Credential] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._by_authorizer = {}
         self._discarded = []
+        self._canon_cache: dict[str, str] = {}
+        self._decision_cache: dict[tuple, str] = {}
+        self._generation = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: attributes any assertion may read; None once a ``$`` dereference
+        #: makes the read set dynamic (falls back to full-attribute keys)
+        self._referenced: "set[str] | None" = set()
+        self._referenced_key: "tuple[str, ...] | None" = ()
+        self.assertions = list(self.assertions)
         for assertion in self.assertions:
-            if self.verify_signatures and not assertion.verify(self.keystore):
-                if self.strict:
-                    raise CredentialError(
-                        f"invalid signature on credential by "
-                        f"{assertion.authorizer!r}")
-                self._discarded.append(assertion)
-                continue
-            key = self._canonical(assertion.authorizer)
-            self._by_authorizer.setdefault(key, []).append(assertion)
+            self._admit(assertion)
+
+    # -- assertion-set management ---------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Bumped whenever the assertion set changes; decisions cached under
+        an older generation are unreachable (the cache is flushed)."""
+        return self._generation
 
     @property
     def discarded(self) -> list[Credential]:
         """Assertions dropped for bad signatures (non-strict mode)."""
         return list(self._discarded)
 
+    def add_assertion(self, assertion: Credential) -> bool:
+        """Admit one more assertion; bumps the generation.
+
+        Returns True if the assertion was admitted (False when its signature
+        was rejected in non-strict mode).
+
+        :raises CredentialError: for a bad signature in strict mode.
+        """
+        self.assertions.append(assertion)  # type: ignore[union-attr]
+        admitted = self._admit(assertion)
+        self._bump_generation()
+        return admitted
+
+    def revoke_assertion(self, assertion: Credential) -> bool:
+        """Remove one assertion; bumps the generation on success.
+
+        Cached decisions that relied on the revoked credential are flushed
+        with everything else — a stale ALLOW can never be served.
+        """
+        key = self._canonical(assertion.authorizer)
+        entries = self._by_authorizer.get(key, [])
+        for index, prepared in enumerate(entries):
+            if prepared.credential == assertion:
+                del entries[index]
+                if not entries:
+                    self._by_authorizer.pop(key, None)
+                try:
+                    self.assertions.remove(assertion)  # type: ignore[union-attr]
+                except ValueError:
+                    pass
+                self._rebuild_referenced()
+                self._bump_generation()
+                return True
+        return False
+
+    def _admit(self, assertion: Credential) -> bool:
+        if self.verify_signatures and not assertion.verify(self.keystore):
+            if self.strict:
+                raise CredentialError(
+                    f"invalid signature on credential by "
+                    f"{assertion.authorizer!r}")
+            self._discarded.append(assertion)
+            return False
+        prepared = _Prepared(assertion, compile_conditions(assertion.conditions))
+        key = self._canonical(assertion.authorizer)
+        self._by_authorizer.setdefault(key, []).append(prepared)
+        self._extend_referenced(prepared)
+        return True
+
+    def _extend_referenced(self, prepared: _Prepared) -> None:
+        if self._referenced is None:
+            return
+        names = prepared.compiled.referenced_attributes()
+        if names is None:
+            self._referenced = None
+            self._referenced_key = None
+        else:
+            self._referenced |= names
+            self._referenced_key = tuple(sorted(self._referenced))
+
+    def _rebuild_referenced(self) -> None:
+        self._referenced = set()
+        self._referenced_key = ()
+        for entries in self._by_authorizer.values():
+            for prepared in entries:
+                self._extend_referenced(prepared)
+                if self._referenced is None:
+                    return
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self._decision_cache.clear()
+        # Canonicalisation may change too (e.g. a key registered since).
+        self._canon_cache.clear()
+
+    def clear_decision_cache(self) -> None:
+        """Flush cached decisions without touching the assertion set (cold
+        restart for benchmarks)."""
+        self._decision_cache.clear()
+
+    def cache_info(self) -> dict[str, int]:
+        """Decision-cache statistics: size, generation, hit/miss counts."""
+        return {"entries": len(self._decision_cache),
+                "generation": self._generation,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses}
+
     def _canonical(self, principal: str) -> str:
-        """Canonical principal id: symbolic names resolve to encoded keys when
-        a keystore knows them, so "Kbob" and the encoded key unify."""
-        if principal.upper() == "POLICY":
-            return "POLICY"
-        if self.keystore is not None and principal in self.keystore:
-            return self.keystore.public(principal).encode()
-        return principal
+        """Canonical principal id, memoised per checker: symbolic names
+        resolve to encoded keys when a keystore knows them, so "Kbob" and
+        the encoded key unify.  The memo is flushed on generation bumps (a
+        name may have been registered since)."""
+        cached = self._canon_cache.get(principal)
+        if cached is None:
+            if principal.upper() == "POLICY":
+                cached = "POLICY"
+            elif self.keystore is not None and principal in self.keystore:
+                cached = self.keystore.public(principal).encode()
+            else:
+                cached = principal
+            self._canon_cache[principal] = cached
+        return cached
+
+    # -- queries ---------------------------------------------------------------
 
     def query(self, attributes: Mapping[str, str],
               authorizers: Iterable[str],
@@ -156,11 +298,96 @@ class ComplianceChecker:
         :param authorizers: the key(s) that made the request.
         :param values: the ordered compliance-value set to evaluate against.
         """
-        requesters = {self._canonical(a) for a in authorizers}
+        return self._query(attributes, authorizers, values, None)
+
+    def query_many(self, requests: Sequence[tuple[Mapping[str, str],
+                                                  Iterable[str]]],
+                   values: ComplianceValueSet = DEFAULT_VALUE_SET,
+                   ) -> list[str]:
+        """Evaluate a batch of ``(attributes, authorizers)`` requests.
+
+        Returns one compliance value per request, in order — each identical
+        to what :meth:`query` would return — but condition programs are
+        evaluated once per (assertion, attribute projection) across the
+        whole batch instead of once per request, and decision-cache hits
+        skip the fixpoint entirely.
+        """
+        results: list[str] = []
+        cond_memos: dict[tuple, dict[int, str]] = {}
+        for attributes, authorizers in requests:
+            memo_key = (self._attr_key(attributes), values.values)
+            cond_memo = cond_memos.setdefault(memo_key, {})
+            results.append(self._query(attributes, authorizers, values,
+                                       cond_memo))
+        return results
+
+    def _attr_key(self, attributes: Mapping[str, str]) -> tuple:
+        """The attribute projection that can influence a decision.
+
+        Only attributes some assertion reads are part of the cache key;
+        unreferenced attributes (a ``_cur_time`` no credential tests, say)
+        cannot change the outcome, so they must not fragment the cache.
+        With a ``$`` dereference anywhere the read set is dynamic and the
+        full attribute set is keyed.
+        """
+        if self._referenced_key is None:
+            return tuple(sorted(attributes.items()))
+        return tuple((name, attributes.get(name, ""))
+                     for name in self._referenced_key)
+
+    def _query(self, attributes: Mapping[str, str],
+               authorizers: Iterable[str],
+               values: ComplianceValueSet,
+               cond_memo: "dict[int, str] | None") -> str:
+        requesters = frozenset(self._canonical(a) for a in authorizers)
         if not requesters:
             raise ComplianceError("a query needs at least one action authorizer")
-        evaluator = ConditionEvaluator(attributes, values)
+        # Naive mode exists to measure the raw search; serving it from a
+        # decision cache would defeat the ablation.
+        use_cache = self.cache_decisions and self.memoise
+        cache_key = None
+        if use_cache:
+            cache_key = (self._attr_key(attributes), requesters,
+                         values.values)
+            cached = self._decision_cache.get(cache_key)
+            if cached is not None:
+                self.cache_hits += 1
+                profile = ComplianceStats(queries=1)
+                self.last_query_stats = profile
+                self.stats.merge(profile)
+                if self.metrics is not None:
+                    self.metrics.counter("keynote.queries").inc()
+                    self.metrics.counter("keynote.cache.hit").inc()
+                return cached
+            self.cache_misses += 1
+            if self.metrics is not None:
+                self.metrics.counter("keynote.cache.miss").inc()
         profile = ComplianceStats(queries=1)
+        try:
+            result = self._evaluate(attributes, requesters, values, profile,
+                                    cond_memo)
+        finally:
+            self.last_query_stats = profile
+            self.stats.merge(profile)
+            if self.metrics is not None:
+                self._record_metrics(profile)
+        if use_cache and (profile.cycles_broken == 0
+                          or result == values.maximum):
+            # The taint rule of the in-query memo, applied to whole
+            # decisions: a value computed under a cycle-break assumption may
+            # be an under-approximation and is never cached — unless it is
+            # already the maximum, which monotonicity makes safe.
+            self._decision_cache[cache_key] = result
+        return result
+
+    def _evaluate(self, attributes: Mapping[str, str],
+                  requesters: frozenset, values: ComplianceValueSet,
+                  profile: ComplianceStats,
+                  cond_memo: "dict[int, str] | None") -> str:
+        """One fixpoint run; ``cond_memo`` (shared across a batch) memoises
+        per-assertion condition values for this attribute projection."""
+        if cond_memo is None:
+            cond_memo = {}
         memo: dict[str, str] = {}
         in_progress: set[str] = set()
         # Values computed while a cycle-break assumption was live may be
@@ -188,10 +415,10 @@ class ComplianceChecker:
             profile.max_depth = max(profile.max_depth, len(in_progress))
             try:
                 result = values.minimum
-                for assertion in self._by_authorizer.get(principal, ()):
+                for prepared in self._by_authorizer.get(principal, ()):
                     profile.assertions_visited += 1
                     result = values.join([result,
-                                          assertion_value(assertion)])
+                                          assertion_value(prepared)])
                     if result == values.maximum:
                         break
             finally:
@@ -203,11 +430,14 @@ class ComplianceChecker:
             tainted_flag[0] = outer_taint or subtree_tainted
             return result
 
-        def assertion_value(assertion: Credential) -> str:
-            conditions_value = evaluator.program_value(assertion.conditions)
+        def assertion_value(prepared: _Prepared) -> str:
+            conditions_value = cond_memo.get(id(prepared))
+            if conditions_value is None:
+                conditions_value = prepared.compiled.value(attributes, values)
+                cond_memo[id(prepared)] = conditions_value
             if conditions_value == values.minimum:
                 return values.minimum
-            licensee_value = assertion.licensees.value(
+            licensee_value = prepared.credential.licensees.value(
                 lambda key: licensee_principal_value(key), values)
             return values.meet([conditions_value, licensee_value])
 
@@ -219,13 +449,7 @@ class ComplianceChecker:
             # onward to the requesters.
             return principal_value(canonical)
 
-        try:
-            return principal_value("POLICY")
-        finally:
-            self.last_query_stats = profile
-            self.stats.merge(profile)
-            if self.metrics is not None:
-                self._record_metrics(profile)
+        return principal_value("POLICY")
 
     def _record_metrics(self, profile: ComplianceStats) -> None:
         metrics = self.metrics
@@ -261,7 +485,11 @@ def evaluate_query(assertions: Sequence[Credential],
 
     ``strict`` and ``memoise`` behave exactly as on
     :class:`ComplianceChecker`, so a one-shot query is indistinguishable
-    from an explicitly built checker with the same options.
+    from an explicitly built checker with the same options.  Signature
+    verification rides the process-wide cache
+    (:data:`~repro.crypto.keystore.SIGNATURE_CACHE`): repeated one-shot
+    calls over the same credentials verify each signature once, not once
+    per call.
     """
     checker = ComplianceChecker(assertions=list(assertions), keystore=keystore,
                                 verify_signatures=verify_signatures,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.crypto.keys import PrivateKey, PublicKey, Signature
-from repro.crypto.keystore import Keystore
+from repro.crypto.keystore import SIGNATURE_CACHE, Keystore
 from repro.errors import CredentialError, KeyNoteSyntaxError
 from repro.keynote.ast import ConditionsProgram
 from repro.keynote.licensees import LicenseeExpr, licensees_to_text, parse_licensees
@@ -138,8 +138,17 @@ class Credential:
     def canonical_bytes(self) -> bytes:
         """The bytes covered by the signature: every field except Signature,
         with symbolic principals left as-is (the signature binds the text the
-        authorizer actually uttered)."""
-        return self.to_text(include_signature=False).encode("utf-8")
+        authorizer actually uttered).
+
+        The rendering is memoised: the instance is frozen, so the canonical
+        form cannot change, and the hot authorisation path (signature cache
+        lookups) asks for it repeatedly.
+        """
+        cached = self.__dict__.get("_canonical_bytes")
+        if cached is None:
+            cached = self.to_text(include_signature=False).encode("utf-8")
+            object.__setattr__(self, "_canonical_bytes", cached)
+        return cached
 
     # -- signing ----------------------------------------------------------------
 
@@ -161,12 +170,16 @@ class Credential:
         """
         return self.sign(keystore.pair(keystore_name(self.authorizer, keystore)).private)
 
-    def verify(self, keystore: Keystore | None = None) -> bool:
+    def verify(self, keystore: Keystore | None = None,
+               cache=None) -> bool:
         """Verify the signature.
 
         Policy assertions are vacuously valid.  For signed credentials the
         authorizer must be an encoded key, or resolvable through the
-        keystore.
+        keystore.  The Schnorr verification itself goes through the
+        process-wide :data:`~repro.crypto.keystore.SIGNATURE_CACHE` (or the
+        ``cache`` argument), so a credential's bytes are verified once, not
+        once per compliance-checker build.
         """
         if self.is_policy:
             return True
@@ -177,7 +190,8 @@ class Credential:
             signature = Signature.decode(self.signature)
         except Exception:
             return False
-        return public.verify(self.canonical_bytes(), signature)
+        verifier = cache if cache is not None else SIGNATURE_CACHE
+        return verifier.verify(public, self.canonical_bytes(), signature)
 
     def verify_or_raise(self, keystore: Keystore | None = None) -> None:
         """Like :meth:`verify` but raising.

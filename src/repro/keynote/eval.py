@@ -12,12 +12,20 @@ Semantics follow RFC 2704:
   with an invalid operand fails").
 - A Conditions program evaluates to a compliance value: the join of the
   values of all clauses whose tests hold (``_MIN_TRUST`` when none do).
+
+Two evaluation strategies share these semantics: the tree-walking
+:class:`ConditionEvaluator` (one AST dispatch per node per query) and
+:func:`compile_conditions`, which lowers a program once into a tree of
+Python closures — literal regexes are precompiled, constants are bound —
+so the hot authorisation path pays no ``isinstance`` dispatch per query.
+:class:`ComplianceChecker <repro.keynote.compliance.ComplianceChecker>`
+compiles every assertion's conditions at construction time.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Mapping, Union
+from typing import Callable, Mapping, Union
 
 from repro.errors import KeyNoteEvalError
 from repro.keynote.ast import (
@@ -238,3 +246,235 @@ _STRING_COMPARISONS = {
     "<=": lambda a, b: a <= b,
     ">=": lambda a, b: a >= b,
 }
+
+
+# -- compiled conditions ------------------------------------------------------
+
+#: a compiled expression: action attributes -> value (may raise _SoftFailure)
+_ValueFn = Callable[[Mapping[str, str]], Value]
+#: a compiled boolean test: soft failures are already absorbed into False
+_TestFn = Callable[[Mapping[str, str]], bool]
+
+
+class CompiledConditions:
+    """A Conditions program lowered to closures, evaluated many times.
+
+    Built once (per assertion, at checker construction) and then invoked
+    per query with just the action attribute set and the value set —
+    exactly :meth:`ConditionEvaluator.program_value`, without re-walking
+    the AST.  :meth:`referenced_attributes` reports which action
+    attributes can influence the program's value (``None`` when a ``$``
+    dereference makes the set dynamic), which is what lets the decision
+    cache ignore irrelevant attributes such as an unused ``_cur_time``.
+    """
+
+    __slots__ = ("program", "_clauses", "_referenced")
+
+    def __init__(self, program: ConditionsProgram) -> None:
+        self.program = program
+        self._clauses = tuple(_compile_clause(c) for c in program.clauses)
+        names: set[str] = set()
+        dynamic = _collect_program_attributes(program, names)
+        self._referenced: "frozenset[str] | None" = (
+            None if dynamic else frozenset(names))
+
+    def value(self, attributes: Mapping[str, str],
+              values: ComplianceValueSet) -> str:
+        """Compliance value of the program for one attribute set."""
+        result = values.minimum
+        for clause in self._clauses:
+            result = values.join([result, clause(attributes, values)])
+        return result
+
+    def referenced_attributes(self) -> "frozenset[str] | None":
+        """Attributes the program reads, or None when ``$`` makes the set
+        depend on runtime values."""
+        return self._referenced
+
+
+def compile_conditions(program: ConditionsProgram) -> CompiledConditions:
+    """Lower a Conditions program into a :class:`CompiledConditions`."""
+    return CompiledConditions(program)
+
+
+def _compile_clause(clause: Clause):
+    test = _compile_test(clause.test)
+    if clause.value is None:
+        def run_max(attrs: Mapping[str, str],
+                    values: ComplianceValueSet) -> str:
+            return values.maximum if test(attrs) else values.minimum
+        return run_max
+    if isinstance(clause.value, ConditionsProgram):
+        nested = tuple(_compile_clause(c) for c in clause.value.clauses)
+
+        def run_nested(attrs: Mapping[str, str],
+                       values: ComplianceValueSet) -> str:
+            if not test(attrs):
+                return values.minimum
+            result = values.minimum
+            for fn in nested:
+                result = values.join([result, fn(attrs, values)])
+            return result
+        return run_nested
+    name = clause.value
+
+    def run_named(attrs: Mapping[str, str],
+                  values: ComplianceValueSet) -> str:
+        return values.resolve(name) if test(attrs) else values.minimum
+    return run_named
+
+
+def _compile_test(expr: Expr) -> _TestFn:
+    truth = _compile_truth(expr)
+
+    def test(attrs: Mapping[str, str]) -> bool:
+        try:
+            return truth(attrs)
+        except _SoftFailure:
+            return False
+    return test
+
+
+def _compile_truth(expr: Expr) -> _TestFn:
+    """Boolean interpretation; raises :class:`_SoftFailure` like
+    :meth:`ConditionEvaluator._truth`."""
+    if isinstance(expr, Binary) and expr.op in _BOOL_OPS:
+        left = _compile_truth(expr.left)
+        right = _compile_truth(expr.right)
+        if expr.op == "&&":
+            return lambda attrs: left(attrs) and right(attrs)
+
+        def or_(attrs: Mapping[str, str]) -> bool:
+            try:
+                if left(attrs):
+                    return True
+            except _SoftFailure:
+                pass
+            return right(attrs)
+        return or_
+    if isinstance(expr, Unary) and expr.op == "!":
+        inner = _compile_truth(expr.operand)
+        return lambda attrs: not inner(attrs)
+    if isinstance(expr, Binary) and expr.op in _COMPARE_OPS | {"~="}:
+        return _compile_compare(expr)
+    value = _compile_value(expr)
+
+    def bare(attrs: Mapping[str, str]) -> bool:
+        v = value(attrs)
+        if _is_numeric(v):
+            return _as_number(v) != 0.0
+        return v == "true"
+    return bare
+
+
+def _compile_compare(expr: Binary) -> _TestFn:
+    left = _compile_value(expr.left)
+    right = _compile_value(expr.right)
+    if expr.op == "~=":
+        if isinstance(expr.right, StringLit):
+            try:
+                compiled = re.compile(expr.right.value)
+            except re.error:
+                compiled = None  # defer: raise KeyNoteEvalError at query time
+            if compiled is not None:
+                def match_static(attrs: Mapping[str, str]) -> bool:
+                    return compiled.search(
+                        _as_string(left(attrs))) is not None
+                return match_static
+
+        def match(attrs: Mapping[str, str]) -> bool:
+            subject = _as_string(left(attrs))
+            pattern = _as_string(right(attrs))
+            try:
+                return re.search(pattern, subject) is not None
+            except re.error as exc:
+                raise KeyNoteEvalError(
+                    f"bad regular expression {pattern!r}: {exc}")
+        return match
+    op = expr.op
+    numeric_cmp = _NUMERIC_COMPARISONS[op]
+    string_cmp = _STRING_COMPARISONS[op]
+
+    def compare(attrs: Mapping[str, str]) -> bool:
+        lv = left(attrs)
+        rv = right(attrs)
+        left_numeric, right_numeric = _is_numeric(lv), _is_numeric(rv)
+        if left_numeric and right_numeric:
+            return numeric_cmp(_as_number(lv), _as_number(rv))
+        if left_numeric != right_numeric:
+            if op == "==":
+                return False
+            if op == "!=":
+                return True
+            raise _SoftFailure(
+                f"ordered comparison between {lv!r} and {rv!r}")
+        return string_cmp(_as_string(lv), _as_string(rv))
+    return compare
+
+
+def _compile_value(expr: Expr) -> _ValueFn:
+    if isinstance(expr, StringLit):
+        text = expr.value
+        return lambda attrs: text
+    if isinstance(expr, NumberLit):
+        number = float(expr.literal)
+        return lambda attrs: number
+    if isinstance(expr, Attribute):
+        name = expr.name
+        return lambda attrs: attrs.get(name, "")
+    if isinstance(expr, Deref):
+        inner = _compile_value(expr.inner)
+        return lambda attrs: attrs.get(_as_string(inner(attrs)), "")
+    if isinstance(expr, Unary):
+        if expr.op == "-":
+            operand = _compile_value(expr.operand)
+            return lambda attrs: -_as_number(operand(attrs))
+        if expr.op == "!":
+            truth = _compile_truth(expr.operand)
+            return lambda attrs: "true" if not truth(attrs) else "false"
+        raise KeyNoteEvalError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Binary):
+        if expr.op == ".":
+            left = _compile_value(expr.left)
+            right = _compile_value(expr.right)
+            return lambda attrs: (_as_string(left(attrs))
+                                  + _as_string(right(attrs)))
+        if expr.op in _ARITH_OPS:
+            left = _compile_value(expr.left)
+            right = _compile_value(expr.right)
+            op = expr.op
+            arith = ConditionEvaluator._arith
+            return lambda attrs: arith(op, _as_number(left(attrs)),
+                                       _as_number(right(attrs)))
+        if expr.op in _COMPARE_OPS | {"~="} | _BOOL_OPS:
+            truth = _compile_truth(expr)
+            return lambda attrs: "true" if truth(attrs) else "false"
+        raise KeyNoteEvalError(f"unknown operator {expr.op!r}")
+    raise KeyNoteEvalError(f"cannot evaluate {expr!r}")
+
+
+def _collect_program_attributes(program: ConditionsProgram,
+                                names: set) -> bool:
+    """Accumulate attribute names read by ``program``; True if dynamic."""
+    dynamic = False
+    for clause in program.clauses:
+        dynamic |= _collect_expr_attributes(clause.test, names)
+        if isinstance(clause.value, ConditionsProgram):
+            dynamic |= _collect_program_attributes(clause.value, names)
+    return dynamic
+
+
+def _collect_expr_attributes(expr: Expr, names: set) -> bool:
+    if isinstance(expr, Attribute):
+        names.add(expr.name)
+        return False
+    if isinstance(expr, Deref):
+        _collect_expr_attributes(expr.inner, names)
+        return True
+    if isinstance(expr, Unary):
+        return _collect_expr_attributes(expr.operand, names)
+    if isinstance(expr, Binary):
+        left = _collect_expr_attributes(expr.left, names)
+        right = _collect_expr_attributes(expr.right, names)
+        return left or right
+    return False

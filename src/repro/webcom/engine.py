@@ -29,6 +29,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: executor(node, args) -> result
 Executor = Callable[[GraphNode, tuple], Any]
 
+#: batch_executor([(node, args), ...]) -> [result, ...] in the same order
+BatchExecutor = Callable[[list], list]
+
 
 class EvaluationMode(enum.Enum):
     """The firing discipline."""
@@ -69,12 +72,19 @@ class GraphEngine:
 
     def __init__(self, graph: CondensedGraph, executor: Executor,
                  mode: EvaluationMode = EvaluationMode.AVAILABILITY,
-                 obs: "Observability | None" = None) -> None:
+                 obs: "Observability | None" = None,
+                 batch_executor: "BatchExecutor | None" = None) -> None:
         graph.validate()
         self.graph = graph
         self.executor = executor
         self.mode = mode
         self.obs = obs
+        #: when set, whole wavefronts of plain (non-condensed) nodes are
+        #: handed over in one call instead of one executor call per node —
+        #: safe because every fireable node already holds all its operands,
+        #: so intra-wavefront results cannot change the batch's inputs.
+        #: CONTROL mode never batches (it is strictly one node at a time).
+        self.batch_executor = batch_executor
         self.trace = ExecutionTrace()
 
     def run(self, inputs: Mapping[str, Any], *,
@@ -134,11 +144,15 @@ class GraphEngine:
                     f"execution stalled; unfired needed nodes: {stalled}")
             if self.mode is EvaluationMode.CONTROL:
                 fireable = fireable[:1]  # strictly one at a time
+            batch_results = self._fire_wavefront(fireable, operands)
             for node_id in fireable:
                 node = self.graph.node(node_id)
                 args = tuple(operands[node_id][port]
                              for port in range(node.arity))
-                result = self._fire(node, args)
+                if node_id in batch_results:
+                    result = batch_results[node_id]
+                else:
+                    result = self._fire(node, args)
                 fired.add(node_id)
                 self.trace.fired.append(node_id)
                 self.trace.results[node_id] = result
@@ -147,6 +161,39 @@ class GraphEngine:
                 for dest in node.destinations:
                     operands[dest.node_id][dest.port] = result
         return self.trace.results[exit_id]
+
+    def _fire_wavefront(self, fireable: list[str],
+                        operands: dict[str, dict[int, Any]]) -> dict[str, Any]:
+        """Fire a wavefront's plain nodes through the batch executor.
+
+        Returns {node_id: result} for the nodes it handled; condensed nodes
+        (which evaporate into nested runs) and singleton wavefronts stay on
+        the per-node path.
+        """
+        if (self.batch_executor is None
+                or self.mode is EvaluationMode.CONTROL):
+            return {}
+        plain = [node_id for node_id in fireable
+                 if not self.graph.node(node_id).is_condensed]
+        if len(plain) < 2:
+            return {}
+        items = []
+        for node_id in plain:
+            node = self.graph.node(node_id)
+            items.append((node, tuple(operands[node_id][port]
+                                      for port in range(node.arity))))
+        if self.obs is None:
+            results = self.batch_executor(items)
+        else:
+            with self.obs.tracer.span("engine.fire_batch", size=len(items),
+                                      nodes=",".join(plain)):
+                results = self.batch_executor(items)
+            self.obs.metrics.counter("engine.fired").inc(len(items))
+        if len(results) != len(items):
+            raise SchedulingError(
+                f"batch executor returned {len(results)} results "
+                f"for {len(items)} nodes")
+        return {node_id: result for node_id, result in zip(plain, results)}
 
     def _fire(self, node: GraphNode, args: tuple) -> Any:
         if self.obs is None:
@@ -169,7 +216,8 @@ class GraphEngine:
                     f"condensed node {node.node_id!r}: {len(args)} operands "
                     f"for {len(names)} subgraph entries")
             nested = GraphEngine(subgraph, self.executor, self.mode,
-                                 obs=self.obs)
+                                 obs=self.obs,
+                                 batch_executor=self.batch_executor)
             result = nested.run(dict(zip(names, args)))
             self.trace.fired.extend(
                 f"{node.node_id}/{inner}" for inner in nested.trace.fired)

@@ -98,6 +98,9 @@ class WebComClient:
                 "user": self.user,
             })
             return
+        if message.kind == "execute_batch":
+            self._handle_execute_batch(message)
+            return
         if message.kind != "execute":
             return
         if self.obs is not None:
@@ -111,12 +114,45 @@ class WebComClient:
                     client=self.client_id,
                     op=message.payload.get("op", ""),
                     request_id=message.payload["request_id"]) as span:
-                self._handle_execute(message, span)
+                body = self._execute_payload(message.payload, span)
         else:
-            self._handle_execute(message, None)
+            body = self._execute_payload(message.payload, None)
+        self.network.send(self.client_id, message.sender, "result", body)
 
-    def _handle_execute(self, message: Message, span) -> None:
-        request_id = message.payload["request_id"]
+    def _handle_execute_batch(self, message: Message) -> None:
+        """Run a whole wavefront batch and answer with one ``result_batch``.
+
+        Every sub-request keeps its own request id, reply-cache entry and
+        authorisation check — a retried batch replays cached sub-replies
+        exactly like retried singles.
+        """
+        requests = message.payload["requests"]
+        if self.obs is not None:
+            with self.obs.tracer.span(
+                    "client.execute_batch",
+                    correlation_id=message.payload.get("correlation_id"),
+                    parent_id=message.payload.get("span_id"),
+                    client=self.client_id, size=len(requests)) as span:
+                bodies = [self._execute_payload(request, None)
+                          for request in requests]
+                span.set(statuses=",".join(b["status"] for b in bodies))
+        else:
+            bodies = [self._execute_payload(request, None)
+                      for request in requests]
+        reply: dict[str, Any] = {"results": bodies}
+        if self.obs is not None:
+            span = self.obs.tracer.current()
+            if span is not None:
+                reply["correlation_id"] = span.correlation_id
+                reply["span_id"] = span.span_id
+        self.network.send(self.client_id, message.sender, "result_batch",
+                          reply)
+
+    def _execute_payload(self, payload: Mapping[str, Any],
+                         span) -> dict[str, Any]:
+        """Execute one request payload and return (and cache) its reply
+        body; shared by the single and batched paths."""
+        request_id = payload["request_id"]
         cached = self._reply_cache.get(request_id)
         if cached is not None:
             # Duplicate (retried or network-duplicated) request: replay the
@@ -125,39 +161,34 @@ class WebComClient:
             if span is not None:
                 span.set(cached=True)
                 span.status = cached.get("status", "ok")
-            self.network.send(self.client_id, message.sender, "result",
-                              cached)
-            return
-        op = message.payload["op"]
-        args = tuple(message.payload["args"])
-        context = message.payload.get("context", {})
-        master_key = message.payload.get("master_key", "")
+            return cached
+        op = payload["op"]
+        args = tuple(payload["args"])
+        context = payload.get("context", {})
+        master_key = payload.get("master_key", "")
         if self.authoriser is not None and not self.authoriser(
                 master_key, op, context):
             self._audit("webcom.client.check", op, "deny")
             if span is not None:
                 span.status = "denied"
-            self._reply(message.sender, request_id, status="denied")
-            return
+            return self._build_reply(request_id, status="denied")
         self._audit("webcom.client.check", op, "allow")
         fn = self.operations.get(op)
         if fn is None:
             if span is not None:
                 span.status = "unknown-op"
-            self._reply(message.sender, request_id, status="unknown-op")
-            return
+            return self._build_reply(request_id, status="unknown-op")
         try:
             value = fn(*args)
         except Exception as exc:  # deliberate: remote errors must not kill
             if span is not None:
                 span.status = "error"
-            self._reply(message.sender, request_id, status="error",
-                        error=repr(exc))
-            return
+            return self._build_reply(request_id, status="error",
+                                     error=repr(exc))
         self.executed.append(op)
-        self._reply(message.sender, request_id, status="ok", value=value)
+        return self._build_reply(request_id, status="ok", value=value)
 
-    def _reply(self, master_id: str, request_id: str, **payload: Any) -> None:
+    def _build_reply(self, request_id: str, **payload: Any) -> dict[str, Any]:
         body = {"request_id": request_id, **payload}
         if self.obs is not None:
             span = self.obs.tracer.current()
@@ -167,7 +198,7 @@ class WebComClient:
                 body.setdefault("correlation_id", span.correlation_id)
                 body.setdefault("span_id", span.span_id)
         self._reply_cache[request_id] = body
-        self.network.send(self.client_id, master_id, "result", body)
+        return body
 
     def _audit(self, category: str, op: str, outcome: str) -> None:
         if self.audit is not None:
@@ -252,19 +283,25 @@ class WebComMaster:
                 operations=frozenset(payload["operations"]),
                 user=payload["user"])
         elif message.kind == "result":
-            request_id = message.payload["request_id"]
-            if request_id in self._pending:
-                self._pending.discard(request_id)
-                self._results[request_id] = dict(message.payload)
-            else:
-                # Duplicate of a consumed reply, or a reply that limped in
-                # after its request was abandoned: reject, don't store.
-                self.stale_rejected += 1
+            self._accept_result(message.payload)
+        elif message.kind == "result_batch":
+            for body in message.payload["results"]:
+                self._accept_result(body)
         elif message.kind == "pong":
             info = self.clients.get(message.sender)
             if info is not None and not info.alive:
                 info.alive = True
                 self._audit("webcom.heartbeat", message.sender, "revived")
+
+    def _accept_result(self, body: Mapping[str, Any]) -> None:
+        request_id = body["request_id"]
+        if request_id in self._pending:
+            self._pending.discard(request_id)
+            self._results[request_id] = dict(body)
+        else:
+            # Duplicate of a consumed reply, or a reply that limped in
+            # after its request was abandoned: reject, don't store.
+            self.stale_rejected += 1
 
     # -- liveness ------------------------------------------------------------------
 
@@ -428,9 +465,166 @@ class WebComMaster:
         self._abandoned.add(request_id)
         return None
 
+    # -- batched scheduling ---------------------------------------------------
+
+    def execute_batch(self, items: "list[tuple[GraphNode, tuple]]",
+                      ) -> list[Any]:
+        """Schedule a whole wavefront of nodes in batched flights.
+
+        Nodes are grouped by their selected client; each group travels as
+        one ``execute_batch`` message (answered by one ``result_batch``),
+        so a wavefront costs O(clients) flights instead of O(nodes).  Every
+        sub-request keeps its own request id: dedup, retry (the unresolved
+        subset is resent under the same ids) and stale-reply rejection work
+        exactly as on the single-node path.  Sub-requests that fail, are
+        denied, or whose client dies fall back to
+        :meth:`execute_remote`'s full placement/retry ladder.
+
+        :raises SchedulingError: when a node has no candidate client.
+        :raises AuthorisationError: when every candidate refuses a node.
+        """
+        if self.obs is not None:
+            with self.obs.tracer.span("master.schedule_batch",
+                                      size=len(items)) as span:
+                with self.obs.metrics.time("master.schedule_latency"):
+                    results = self._execute_batch(items)
+                span.set(outcome="ok")
+                return results
+        return self._execute_batch(items)
+
+    def _execute_batch(self, items: "list[tuple[GraphNode, tuple]]",
+                       ) -> list[Any]:
+        self._maybe_probe()
+        results: list[Any] = [None] * len(items)
+        resolved = [False] * len(items)
+        fallback: list[int] = []
+        #: client id -> list of item indices routed to it
+        assignments: dict[str, list[int]] = {}
+        contexts: dict[int, dict[str, Any]] = {}
+        infos: dict[str, ClientInfo] = {}
+        for index, (node, args) in enumerate(items):
+            context: dict[str, Any] = {"args": args}
+            if node.placement is not None:
+                context["placement"] = node.placement
+            contexts[index] = context
+            candidates = self._candidates(node, node.operator_name, context)
+            if not candidates:
+                # No live authorised provider right now; the fallback path
+                # re-probes and raises if that does not help.
+                fallback.append(index)
+                continue
+            chosen = candidates[0]
+            assignments.setdefault(chosen.client_id, []).append(index)
+            infos[chosen.client_id] = chosen
+        for client_id in sorted(assignments):
+            indices = assignments[client_id]
+            info = infos[client_id]
+            replies = self._attempt_batch(
+                info, [items[i] for i in indices],
+                [contexts[i] for i in indices])
+            if all(reply is None for reply in replies):
+                # The whole batch blew its deadline on every retry: same
+                # verdict as a lost single placement — mark the client dead
+                # (heartbeats may revive it) and reschedule elsewhere.
+                info.alive = False
+                self._audit("webcom.schedule.batch", client_id, "lost",
+                            nodes=[items[i][0].node_id for i in indices])
+                self._count("master.schedule.lost")
+            for position, index in enumerate(indices):
+                reply = replies[position]
+                node = items[index][0]
+                if reply is None or reply["status"] != "ok":
+                    if reply is not None:
+                        outcome = ("denied" if reply["status"] == "denied"
+                                   else "error")
+                        self._audit("webcom.schedule", node.node_id, outcome,
+                                    client=client_id, op=node.operator_name,
+                                    batched=True)
+                        self._count(f"master.schedule.{outcome}")
+                    self._count("master.batch.fallback")
+                    fallback.append(index)
+                    continue
+                info.executed += 1
+                self.schedule_log.append((node.node_id, client_id))
+                self._audit("webcom.schedule", node.node_id, "ok",
+                            client=client_id, op=node.operator_name,
+                            batched=True)
+                self._count("master.schedule.ok")
+                results[index] = reply["value"]
+                resolved[index] = True
+        # Unresolved nodes go through the robust single-node ladder (fresh
+        # request ids, full placement retries); it raises when a node truly
+        # cannot run, preserving the unbatched error semantics.
+        for index in sorted(fallback):
+            node, args = items[index]
+            results[index] = self._execute_remote(node, args,
+                                                  contexts[index])
+            resolved[index] = True
+        assert all(resolved)
+        return results
+
+    def _attempt_batch(self, info: ClientInfo,
+                       node_args: "list[tuple[GraphNode, tuple]]",
+                       contexts: "list[dict[str, Any]]",
+                       ) -> "list[dict[str, Any] | None]":
+        """One batched placement: send the group, wait, resend the
+        unresolved subset (same request ids) with backoff.
+
+        Returns one reply payload (or None for abandoned) per item, in
+        order.
+        """
+        requests = []
+        ids: list[str] = []
+        for (node, args), context in zip(node_args, contexts):
+            request_id = self._next_request_id()
+            ids.append(request_id)
+            self._pending.add(request_id)
+            requests.append({
+                "request_id": request_id,
+                "op": node.operator_name,
+                "args": list(args),
+                "context": dict(context),
+                "master_key": self.key_name,
+            })
+        trace_context: dict[str, Any] = {}
+        if self.obs is not None:
+            span = self.obs.tracer.current()
+            if span is not None:
+                trace_context = {"correlation_id": span.correlation_id,
+                                 "span_id": span.span_id}
+            self.obs.metrics.histogram("master.batch.size").observe(
+                len(requests))
+        collected: dict[str, dict[str, Any]] = {}
+        outstanding = list(ids)
+        timeout = self.request_timeout
+        for attempt in range(self.max_retries + 1):
+            if attempt and self.obs is not None:
+                self.obs.metrics.counter("master.retries").inc()
+            send_ids = set(outstanding)
+            self._count("master.batch.flights")
+            self.network.send(self.master_id, info.client_id, "execute_batch",
+                              {"requests": [r for r in requests
+                                            if r["request_id"] in send_ids],
+                               **trace_context})
+            self.network.run_until(
+                self.network.clock.now() + timeout,
+                stop=lambda: all(rid in self._results for rid in outstanding))
+            for rid in list(outstanding):
+                reply = self._results.pop(rid, None)
+                if reply is not None:
+                    collected[rid] = reply
+                    outstanding.remove(rid)
+            if not outstanding:
+                break
+            timeout *= self.backoff
+        for rid in outstanding:
+            self._pending.discard(rid)
+            self._abandoned.add(rid)
+        return [collected.get(rid) for rid in ids]
+
     def run_graph(self, graph: CondensedGraph, inputs: Mapping[str, Any],
                   mode: EvaluationMode = EvaluationMode.AVAILABILITY,
-                  checkpoint=None) -> Any:
+                  checkpoint=None, batch: bool = False) -> Any:
         """Execute a condensed graph across the client pool.
 
         :param checkpoint: optional
@@ -439,6 +633,9 @@ class WebComMaster:
             the graph from its last completed frontier instead of the
             inputs.  A secured master (one with a ``scheduler_filter``)
             re-checks authorisation for every restored node first.
+        :param batch: schedule whole wavefronts through
+            :meth:`execute_batch` (one flight per destination client)
+            instead of one :meth:`execute_remote` round-trip per node.
         """
 
         def executor(node: GraphNode, args: tuple) -> Any:
@@ -450,7 +647,9 @@ class WebComMaster:
         resume = None
         if checkpoint is not None and checkpoint.completed:
             resume = self._authorised_resume(graph, checkpoint)
-        engine = GraphEngine(graph, executor, mode, obs=self.obs)
+        engine = GraphEngine(graph, executor, mode, obs=self.obs,
+                             batch_executor=self.execute_batch if batch
+                             else None)
         on_fired = checkpoint.mark if checkpoint is not None else None
         if self.obs is not None:
             # One fresh correlation per run: every schedule decision,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.keystore import SIGNATURE_CACHE
 from repro.obs import Observability
 from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
 from repro.webcom.graph import CondensedGraph
@@ -22,7 +23,8 @@ from repro.webcom.node import WebComClient, WebComMaster
 from repro.webcom.secure import SecureWebComEnvironment
 
 #: the operations every scenario client advertises
-SCENARIO_OPS = {"stage": lambda v: v + 1}
+SCENARIO_OPS = {"stage": lambda v: v + 1,
+                "combine": lambda *values: sum(values)}
 
 
 @dataclass
@@ -52,20 +54,49 @@ def pipeline_graph(depth: int) -> CondensedGraph:
     return graph
 
 
+def fan_graph(width: int) -> CondensedGraph:
+    """A wide fan: ``width`` parallel ``stage`` nodes feeding one
+    ``combine``.
+
+    The whole fan is fireable at once, so it is the shape where batched
+    scheduling pays: one wavefront of ``width`` nodes travels in one
+    ``execute_batch`` flight per destination client instead of ``width``
+    round trips.
+    """
+    graph = CondensedGraph(f"fan-{width}")
+    graph.add_node("combine", operator="combine", arity=width)
+    for i in range(width):
+        node = f"s{i:03d}"
+        graph.add_node(node, operator="stage", arity=1)
+        graph.entry("x", node, 0)
+        graph.connect(node, "combine", i)
+    graph.set_exit("combine")
+    return graph
+
+
 def run_observed_scenario(depth: int = 4, n_clients: int = 2,
                           faults: bool = False, seed: int = 7,
-                          drop: float = 0.3) -> ObservedRun:
+                          drop: float = 0.3, fan: int | None = None,
+                          batch: bool = False,
+                          stack_ttl: float | None = None) -> ObservedRun:
     """Run the observed secure pipeline and return its artefacts.
 
     :param depth: pipeline length (one master.schedule span per stage).
     :param n_clients: stack-mediated clients in the pool.
     :param faults: install a seeded fault plan that drops ``execute`` and
-        ``result`` messages with probability ``drop``, forcing same-request
-        retries that stay inside the run's correlation.
+        ``result`` messages (batched and single) with probability ``drop``,
+        forcing same-request retries that stay inside the run's correlation.
     :param seed: fault-plan seed (ignored without ``faults``).
     :param drop: per-message drop probability under ``faults``.
+    :param fan: run a width-``fan`` :func:`fan_graph` instead of the linear
+        pipeline (``depth`` is ignored).
+    :param batch: schedule wavefronts through the master's batched path.
+    :param stack_ttl: enable each client stack's mediation cache with this
+        TTL in simulated seconds (repeat requests surface as
+        ``stack.cache.hit`` in the metrics); None leaves stacks uncached.
     """
     obs = Observability()
+    SIGNATURE_CACHE.bind_metrics(obs.metrics)
     env = SecureWebComEnvironment(obs=obs)
     env.audit.bind_metrics(obs.metrics)
     network = SimulatedNetwork(clock=env.clock, obs=obs)
@@ -81,7 +112,8 @@ def run_observed_scenario(depth: int = 4, n_clients: int = 2,
         client = WebComClient(
             client_id, network, SCENARIO_OPS, key_name=key,
             user=f"user{i}",
-            authoriser=env.stack_authoriser(client_id, user=f"user{i}"),
+            authoriser=env.stack_authoriser(client_id, user=f"user{i}",
+                                            cache_ttl=stack_ttl),
             audit=env.audit, obs=obs)
         env.client_trusts_master(client_id, "Kmaster")
         client.register_with("master")
@@ -91,8 +123,11 @@ def run_observed_scenario(depth: int = 4, n_clients: int = 2,
         plan = FaultPlan(seed=seed, rules=(
             FaultRule(kind="execute", drop=drop),
             FaultRule(kind="result", drop=drop),
+            FaultRule(kind="execute_batch", drop=drop),
+            FaultRule(kind="result_batch", drop=drop),
         ))
         FaultInjector(plan).install(network)
-    result = master.run_graph(pipeline_graph(depth), {"x": 0})
+    graph = fan_graph(fan) if fan is not None else pipeline_graph(depth)
+    result = master.run_graph(graph, {"x": 0}, batch=batch)
     return ObservedRun(obs=obs, env=env, master=master, result=result,
                        correlation_id=master.last_correlation_id)

@@ -162,22 +162,27 @@ class SecureWebComEnvironment:
 
         return authorise
 
-    def client_stack(self, client_id: str) -> AuthorisationStack:
+    def client_stack(self, client_id: str,
+                     cache_ttl: "float | None" = None) -> AuthorisationStack:
         """An :class:`AuthorisationStack` for one client with L2 plugged.
 
         The client's KeyNote session becomes the stack's trust-management
         layer; callers may plug further layers (OS, middleware, application
         predicates) onto the returned stack before wiring it into
         :meth:`stack_authoriser`.
+
+        :param cache_ttl: enable the stack's mediation cache with this TTL
+            (simulated seconds); None leaves every mediation uncached.
         """
         stack = AuthorisationStack(audit=self.audit, clock=self.clock,
-                                   obs=self.obs)
+                                   obs=self.obs, cache_ttl=cache_ttl)
         stack.plug_trust_management(self.client_session(client_id))
         return stack
 
     def stack_authoriser(self, client_id: str,
                          stack: AuthorisationStack | None = None,
-                         user: str | None = None):
+                         user: str | None = None,
+                         cache_ttl: "float | None" = None):
         """A client authoriser that mediates through a full L0-L3 stack.
 
         This is the Figure-10 composition of the Figure-3 handshake: the
@@ -188,7 +193,7 @@ class SecureWebComEnvironment:
         """
 
         mediation_stack = stack if stack is not None else self.client_stack(
-            client_id)
+            client_id, cache_ttl=cache_ttl)
 
         def authorise(master_key: str, op: str, _context: Mapping) -> bool:
             if not master_key:

@@ -162,12 +162,23 @@ class AuthorisationStack:
     may be present.  Mediation is top-down (L3 → L0), matching the paper's
     stack diagram: higher layers can veto before lower layers are consulted,
     and the decision trace records the order.
+
+    With ``cache_ttl`` set, identical requests (``MediationRequest`` is
+    deeply immutable and hashable) are served from a mediation cache for
+    that many simulated seconds.  Entries are dropped when the TTL lapses,
+    when a layer is (re)plugged, when the TM session's assertion set
+    changes (its :meth:`~repro.keynote.api.KeyNoteSession.state_fingerprint`
+    is checked on every hit), or explicitly via :meth:`invalidate_cache`;
+    layers with non-idempotent checks opt out via :meth:`mark_uncacheable`.
+    Traffic shows up as ``stack.cache.hit`` / ``stack.cache.miss`` metrics
+    and a ``cached`` span attribute.
     """
 
     def __init__(self, audit: AuditLog | None = None,
                  require_some_layer: bool = True,
                  clock: SimulatedClock | None = None,
-                 obs: "Observability | None" = None) -> None:
+                 obs: "Observability | None" = None,
+                 cache_ttl: float | None = None) -> None:
         self.audit = audit
         self.require_some_layer = require_some_layer
         self.clock = clock or (obs.clock if obs is not None else None)
@@ -176,6 +187,14 @@ class AuthorisationStack:
         self._middleware: Middleware | None = None
         self._tm: KeyNoteSession | None = None
         self._app: AppPredicate | None = None
+        #: mediation cache: None disables; otherwise decisions are served
+        #: for identical requests for ``cache_ttl`` simulated seconds
+        self.cache_ttl = cache_ttl
+        self._cache: dict[MediationRequest,
+                          tuple[float, object, StackDecision]] = {}
+        self._uncacheable: set[Layer] = set()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _now(self) -> float:
         """Current simulated time (0.0 when no clock is configured)."""
@@ -186,23 +205,74 @@ class AuthorisationStack:
     def plug_os(self, os_security: OperatingSystemSecurity) -> "AuthorisationStack":
         """Configure L0."""
         self._os = os_security
+        self.invalidate_cache()
         return self
 
     def plug_middleware(self, middleware: Middleware) -> "AuthorisationStack":
         """Configure L1."""
         self._middleware = middleware
+        self.invalidate_cache()
         return self
 
     def plug_trust_management(self, session: KeyNoteSession,
                               ) -> "AuthorisationStack":
         """Configure L2."""
         self._tm = session
+        self.invalidate_cache()
         return self
 
     def plug_application(self, predicate: AppPredicate) -> "AuthorisationStack":
         """Configure L3."""
         self._app = predicate
+        self.invalidate_cache()
         return self
+
+    # -- mediation cache ------------------------------------------------------
+
+    def mark_uncacheable(self, layer: Layer) -> "AuthorisationStack":
+        """Opt a layer out of mediation caching.
+
+        Decisions whose trace consulted this layer are never cached — use
+        for layers whose checks are not idempotent (rate limiters, one-time
+        tokens, predicates with side effects).  A denial short-circuited
+        *above* the layer never consulted it, so it may still be cached:
+        replaying it reproduces the same short-circuit.
+        """
+        self._uncacheable.add(layer)
+        self.invalidate_cache()
+        return self
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached mediation decision."""
+        self._cache.clear()
+
+    def cache_info(self) -> dict[str, int]:
+        """Mediation-cache statistics."""
+        return {"entries": len(self._cache), "hits": self.cache_hits,
+                "misses": self.cache_misses}
+
+    def _config_fingerprint(self) -> object:
+        """Changes when a plugged layer's decision inputs may have changed
+        (currently: the TM session's assertion set)."""
+        return (self._tm.state_fingerprint()
+                if self._tm is not None else None)
+
+    def _cache_lookup(self, request: MediationRequest) -> StackDecision | None:
+        entry = self._cache.get(request)
+        if entry is None:
+            return None
+        expires, fingerprint, decision = entry
+        if self._now() > expires or fingerprint != self._config_fingerprint():
+            del self._cache[request]
+            return None
+        return decision
+
+    def _cache_store(self, request: MediationRequest,
+                     decision: StackDecision) -> None:
+        if any(d.layer in self._uncacheable for d in decision.decisions):
+            return
+        self._cache[request] = (self._now() + self.cache_ttl,
+                                self._config_fingerprint(), decision)
 
     def configured_layers(self) -> tuple[Layer, ...]:
         """Which layers are present, lowest first."""
@@ -273,17 +343,33 @@ class AuthorisationStack:
         """
         if self.require_some_layer and not self.configured_layers():
             raise AuthorisationError("no mediation layer is configured")
+        cached = None
+        if self.cache_ttl is not None:
+            cached = self._cache_lookup(request)
+            if self.obs is not None:
+                hit_or_miss = "hit" if cached is not None else "miss"
+                self.obs.metrics.counter(f"stack.cache.{hit_or_miss}").inc()
+            if cached is not None:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
         tracer = self.obs.tracer if self.obs is not None else None
         if tracer is not None:
             with tracer.span("stack.mediate", correlation_id=correlation_id,
-                             user=request.user, op=request.operation) as span:
-                decision = self._run_layers(request, tracer)
+                             user=request.user, op=request.operation,
+                             cached=cached is not None) as span:
+                decision = cached if cached is not None \
+                    else self._run_layers(request, tracer)
                 span.status = "allow" if decision.allowed else "deny"
                 denied_by = decision.deciding_layer()
                 if denied_by is not None:
                     span.set(denied_by=denied_by.name)
+        elif cached is not None:
+            decision = cached
         else:
             decision = self._run_layers(request, None)
+        if cached is None and self.cache_ttl is not None:
+            self._cache_store(request, decision)
         if self.obs is not None:
             outcome = "allow" if decision.allowed else "deny"
             self.obs.metrics.counter(f"stack.mediate.{outcome}").inc()
@@ -294,7 +380,8 @@ class AuthorisationStack:
                 outcome="allow" if decision.allowed else "deny",
                 operation=request.operation,
                 layers=[d.layer.name for d in decision.decisions],
-                denied_by=denied.name if denied is not None else None)
+                denied_by=denied.name if denied is not None else None,
+                cached=cached is not None)
         return decision
 
     def _run_layers(self, request: MediationRequest, tracer) -> StackDecision:

@@ -75,7 +75,10 @@ class TestMemoCounters:
         assert profile.assertions_visited > 0
 
     def test_stats_accumulate_across_queries(self, keystore):
-        checker = ComplianceChecker(diamond(keystore), keystore=keystore)
+        # The decision cache would serve the repeat query without running
+        # the fixpoint; disable it — this test measures the search itself.
+        checker = ComplianceChecker(diamond(keystore), keystore=keystore,
+                                    cache_decisions=False)
         checker.query({}, ["Ke"])
         first = checker.last_query_stats
         checker.query({}, ["Ke"])

@@ -1,0 +1,143 @@
+"""Batched wavefront scheduling: one ``execute_batch`` flight per client.
+
+Covers the master's batch path end to end: equivalence with per-node
+scheduling, flight reduction, fault-plan convergence, duplicate-delivery
+dedup, per-sub-request fallback on denial/error, and rerouting around a
+crashed client.
+"""
+
+import pytest
+
+from repro.errors import AuthorisationError
+from repro.webcom.faults import FaultInjector, FaultPlan, FaultRule
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComClient, WebComMaster
+from repro.webcom.scenario import (SCENARIO_OPS, fan_graph, pipeline_graph,
+                                   run_observed_scenario)
+from repro.webcom.secure import SecureWebComEnvironment
+
+FAN = 6
+EXPECTED_NODES = sorted(["combine"] + [f"s{i:03d}" for i in range(FAN)])
+
+
+def scheduling_flights(run):
+    return sum(1 for message in run.master.network.delivered
+               if message.kind in ("execute", "execute_batch",
+                                   "result", "result_batch"))
+
+
+def plain_setup(n_clients=2, authorisers=None, ops=None):
+    """An unsecured master + client pool on a fresh fabric, so tests can
+    plug custom per-client authorisers/operations."""
+    net = SimulatedNetwork()
+    master = WebComMaster("master", net)
+    clients = []
+    for i in range(n_clients):
+        client_id = f"c{i}"
+        client = WebComClient(
+            client_id, net, ops[i] if ops is not None else dict(SCENARIO_OPS),
+            authoriser=(authorisers or {}).get(client_id))
+        client.register_with("master")
+        clients.append(client)
+    net.run_until_quiet()
+    return net, master, clients
+
+
+class TestBatchedScheduling:
+    def test_matches_per_node_scheduling_with_fewer_flights(self):
+        runs = {batch: run_observed_scenario(fan=FAN, n_clients=2,
+                                             batch=batch)
+                for batch in (False, True)}
+        assert runs[True].result == runs[False].result == FAN
+        assert scheduling_flights(runs[True]) < scheduling_flights(
+            runs[False])
+        assert sorted(n for n, _c in runs[True].master.schedule_log) == \
+            EXPECTED_NODES
+
+    def test_batch_metrics_are_emitted(self):
+        run = run_observed_scenario(fan=FAN, n_clients=2, batch=True)
+        metrics = run.obs.metrics
+        assert metrics.counter("master.batch.flights").value >= 1
+        # Every node still counts as fired exactly once.
+        assert metrics.counter("engine.fired").value == FAN + 1
+
+    def test_singleton_wavefronts_bypass_batching(self):
+        # A linear pipeline fires one node per wavefront: the batch path
+        # must not wrap singletons in execute_batch envelopes.
+        run = run_observed_scenario(depth=4, n_clients=2, batch=True)
+        assert run.result == 4
+        kinds = {m.kind for m in run.master.network.delivered}
+        assert "execute_batch" not in kinds
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_converges_under_chaos(self, seed):
+        run = run_observed_scenario(fan=FAN, n_clients=2, batch=True,
+                                    faults=True, seed=seed, drop=0.25)
+        assert run.result == FAN
+        assert sorted(n for n, _c in run.master.schedule_log) == \
+            EXPECTED_NODES
+
+    def test_duplicate_batch_delivery_is_deduplicated(self):
+        env = SecureWebComEnvironment()
+        net = SimulatedNetwork(clock=env.clock)
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(kind="execute_batch", duplicate=1.0),))
+        FaultInjector(plan).install(net)
+        env.create_key("Kmaster")
+        master = WebComMaster("master", net, key_name="Kmaster",
+                              scheduler_filter=env.master_filter(),
+                              audit=env.audit)
+        clients = []
+        keys = []
+        for i in range(2):
+            key = env.create_key(f"Kc{i}")
+            keys.append(key)
+            client = WebComClient(f"c{i}", net, dict(SCENARIO_OPS),
+                                  key_name=key, user=f"user{i}",
+                                  authoriser=env.client_authoriser(f"c{i}"))
+            env.client_trusts_master(f"c{i}", "Kmaster")
+            client.register_with("master")
+            clients.append(client)
+        env.trust_clients_for_operations(keys, list(SCENARIO_OPS))
+        net.run_until_quiet()
+        result = master.run_graph(fan_graph(FAN), {"x": 0}, batch=True)
+        assert result == FAN
+        assert sum(c.duplicates_served for c in clients) > 0
+
+    def test_denied_sub_requests_fall_back_per_request(self):
+        # c0 refuses everything; the batch lands there first but each denied
+        # sub-request is retried individually and lands on c1.
+        net, master, _clients = plain_setup(
+            authorisers={"c0": lambda master_key, op, context: False})
+        result = master.run_graph(fan_graph(FAN), {"x": 0}, batch=True)
+        assert result == FAN
+        assert all(client == "c1" for _node, client in master.schedule_log)
+
+    def test_erroring_sub_requests_fall_back_per_request(self):
+        def boom(value):
+            raise RuntimeError("stage exploded")
+
+        broken_ops = dict(SCENARIO_OPS, stage=boom)
+        net, master, _clients = plain_setup(
+            ops=[broken_ops, dict(SCENARIO_OPS)])
+        result = master.run_graph(fan_graph(FAN), {"x": 0}, batch=True)
+        assert result == FAN
+        stage_placements = {client for node, client in master.schedule_log
+                            if node != "combine"}
+        assert stage_placements == {"c1"}
+
+    def test_every_client_denying_raises(self):
+        deny = lambda master_key, op, context: False  # noqa: E731
+        net, master, _clients = plain_setup(
+            authorisers={"c0": deny, "c1": deny})
+        with pytest.raises(AuthorisationError):
+            master.run_graph(fan_graph(FAN), {"x": 0}, batch=True)
+
+    def test_crashed_client_batch_is_rerouted(self):
+        net, master, _clients = plain_setup()
+        net.crash("c0")
+        result = master.run_graph(fan_graph(FAN), {"x": 0}, batch=True)
+        assert result == FAN
+        assert not master.clients["c0"].alive
+        survivors = {client for _node, client in master.schedule_log}
+        assert survivors == {"c1"}
