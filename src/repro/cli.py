@@ -14,7 +14,10 @@ Subcommands mirror the paper's Section-4 services over policy files:
 - ``metrics``     — the same scenario, reporting the metrics registry;
 - ``bench``       — machine-readable fast-path numbers (cold vs warm
   decision cache, batched vs single scheduling flights), the CI perf
-  artifact (``BENCH_3.json``).
+  artifact (``BENCH_3.json``);
+- ``health``      — seed-swept policy-plane resilience report (circuit
+  breakers, degraded modes, partition/reconcile convergence), the CI
+  chaos artifact (``HEALTH_4.json``).
 
 Usage examples::
 
@@ -268,6 +271,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Seed-swept policy-plane chaos report (the ``chaos-policy-plane`` CI
+    artifact): degraded mediation under layer timeouts plus
+    partition/reconcile convergence."""
+    from repro.webcom.scenario import run_policy_chaos_scenario
+
+    runs = [run_policy_chaos_scenario(seed, rounds=args.rounds)
+            for seed in range(args.seeds)]
+    summaries = [run.summary() for run in runs]
+    converged = sum(1 for s in summaries if s["converged"])
+    report = {
+        "report": "HEALTH_4",
+        "description": "policy-plane resilience: breakers, degraded modes, "
+                       "anti-entropy reconciliation",
+        "seeds": args.seeds,
+        "rounds": args.rounds,
+        "converged": converged,
+        "all_converged": converged == args.seeds,
+        "stale_served_total": sum(s["stale_served"] for s in summaries),
+        "degraded_mediations_total": sum(s["degraded_mediations"]
+                                         for s in summaries),
+        "injected_timeouts_total": sum(s["injected_timeouts"]
+                                       for s in summaries),
+        "runs": summaries,
+    }
+    if args.json:
+        _emit(args, json.dumps(report, indent=2))
+    else:
+        lines = [f"policy-plane health: {converged}/{args.seeds} seeds "
+                 f"converged",
+                 f"  degraded mediations: "
+                 f"{report['degraded_mediations_total']}",
+                 f"  stale decisions served (disclosed): "
+                 f"{report['stale_served_total']}",
+                 f"  injected layer timeouts: "
+                 f"{report['injected_timeouts_total']}"]
+        for s in summaries:
+            if not s["converged"]:
+                lines.append(f"  seed {s['seed']}: NOT converged")
+        _emit(args, "\n".join(lines))
+    if args.check and converged != args.seeds:
+        print(f"health check failed: only {converged}/{args.seeds} seeds "
+              f"converged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
                                 faults=args.faults, seed=args.seed,
@@ -384,6 +434,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default=None,
                          help="write the JSON report to a file")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_health = sub.add_parser(
+        "health", help="policy-plane resilience report (breakers, degraded "
+                       "modes, partition/reconcile)")
+    p_health.add_argument("--seeds", type=int, default=20,
+                          help="chaos seeds to sweep")
+    p_health.add_argument("--rounds", type=int, default=30,
+                          help="mediations per seed (one per simulated "
+                               "second)")
+    p_health.add_argument("--check", action="store_true",
+                          help="exit non-zero unless every seed converges")
+    p_health.add_argument("--json", action="store_true",
+                          help="emit the full JSON report")
+    p_health.add_argument("--out", default=None,
+                          help="write the output to a file instead of stdout")
+    p_health.set_defaults(func=_cmd_health)
     return parser
 
 

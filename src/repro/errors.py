@@ -199,5 +199,9 @@ class FaultPlanError(WebComError):
     crash window)."""
 
 
+class LayerTimeoutError(WebComError):
+    """A mediation layer's backend timed out or is unreachable."""
+
+
 class KeyComError(WebComError):
     """The KeyCOM administration service rejected an update request."""

@@ -9,6 +9,7 @@ of Figure 3.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping
 
@@ -55,7 +56,15 @@ class KeyNoteSession:
                  audit: AuditLog | None = None,
                  clock: SimulatedClock | None = None,
                  verify_signatures: bool = True,
-                 obs: "Observability | None" = None) -> None:
+                 obs: "Observability | None" = None,
+                 clock_skew: float = 0.0,
+                 expiry_grace: float | None = None) -> None:
+        if clock_skew < 0:
+            raise CredentialError(
+                f"clock_skew cannot be negative, got {clock_skew}")
+        if expiry_grace is not None and expiry_grace < 0:
+            raise CredentialError(
+                f"expiry_grace cannot be negative, got {expiry_grace}")
         self.keystore = keystore
         self.values = values
         self.audit = audit
@@ -63,9 +72,18 @@ class KeyNoteSession:
                                else SimulatedClock())
         self.verify_signatures = verify_signatures
         self.obs = obs
+        #: assumed bound on how far any client clock drifts from ours
+        self.clock_skew = clock_skew
+        #: extra simulated seconds a credential stays usable past
+        #: ``expires_at`` (default 2 × ``clock_skew``: the worst-case
+        #: round-trip drift between a fast issuer and a slow verifier)
+        self.expiry_grace = (expiry_grace if expiry_grace is not None
+                             else 2.0 * clock_skew)
         self._policies: list[Credential] = []
         self._credentials: list[Credential] = []
         self._checker: ComplianceChecker | None = None
+        #: credential -> structured expiry instant (simulated seconds)
+        self._expires_at: dict[Credential, float] = {}
 
     # -- assertion management ------------------------------------------------
 
@@ -82,15 +100,32 @@ class KeyNoteSession:
         self._absorb(credential)
         return credential
 
-    def add_credential(self, source: str | Credential) -> Credential:
+    def add_credential(self, source: str | Credential,
+                       expires_at: float | None = None) -> Credential:
         """Add a signed credential supplied by a requester or a PKI.
 
-        :raises CredentialError: if a POLICY assertion is smuggled in.
+        :param expires_at: optional structured expiry instant (simulated
+            seconds).  Unlike a ``_cur_time < T`` condition — which flips a
+            credential's verdict the instant any query's clock crosses T —
+            a structured expiry is only enforced by :meth:`sweep_expired`,
+            and only once the instant is at least :attr:`expiry_grace`
+            seconds in the past.  Between ``expires_at`` and the sweep the
+            credential keeps answering exactly as before, so two clients
+            whose clocks disagree by up to the configured skew cannot
+            observe a PASS/FAIL flap for the same request.
+        :raises CredentialError: if a POLICY assertion is smuggled in, or
+            ``expires_at`` is not a finite number.
         """
         credential = self._coerce(source)
         if credential.is_policy:
             raise CredentialError(
                 "POLICY assertions must be added with add_policy")
+        if expires_at is not None:
+            if not (isinstance(expires_at, (int, float))
+                    and math.isfinite(expires_at)):
+                raise CredentialError(
+                    f"expires_at must be a finite number, got {expires_at!r}")
+            self._expires_at[credential] = float(expires_at)
         self._credentials.append(credential)
         self._absorb(credential)
         return credential
@@ -106,9 +141,42 @@ class KeyNoteSession:
             self._credentials.remove(credential)
         except ValueError:
             return False
+        self._expires_at.pop(credential, None)
         if self._checker is not None:
             self._checker.revoke_assertion(credential)
         return True
+
+    def sweep_expired(self) -> list[Credential]:
+        """Revoke every credential whose expiry is safely in the past.
+
+        A credential with ``expires_at = T`` is removed once
+        ``now >= T + expiry_grace``.  Enforcing expiry only at sweeps (each
+        revocation bumps the checker generation, flushing decision caches)
+        keeps the session deterministic under clock skew: a verdict changes
+        at a sweep boundary, never because one query's clock happened to
+        read a few seconds ahead of another's.  Returns the credentials
+        revoked, and audits each as ``keynote.expire``.
+        """
+        now = self.clock.now()
+        expired = [credential for credential, instant
+                   in self._expires_at.items()
+                   if now >= instant + self.expiry_grace]
+        for credential in expired:
+            instant = self._expires_at[credential]
+            self.revoke_credential(credential)
+            if self.obs is not None:
+                self.obs.metrics.counter("health.credential.expired").inc()
+            if self.audit is not None:
+                self.audit.record(
+                    now, "keynote.expire",
+                    subject=credential.authorizer or "?",
+                    outcome="revoked", expires_at=instant,
+                    grace=self.expiry_grace)
+        return expired
+
+    def expiring(self) -> dict[Credential, float]:
+        """The structured-expiry registry (credential -> instant)."""
+        return dict(self._expires_at)
 
     def _absorb(self, credential: Credential) -> None:
         """Feed a new assertion to the live checker incrementally (its
@@ -141,6 +209,7 @@ class KeyNoteSession:
     def clear_credentials(self) -> None:
         """Drop signed credentials (policies stay)."""
         self._credentials.clear()
+        self._expires_at.clear()
         self._checker = None
 
     def state_fingerprint(self) -> tuple[int, int, int]:

@@ -8,18 +8,70 @@ the overall security policy."*
 The :class:`PropagationEngine` holds the authoritative global policy, accepts
 deltas (or whole new policies), pushes the relevant facts into every
 registered middleware, and re-checks consistency afterwards.
+
+Anti-entropy: real deployments lose propagations — a replica partitions
+away, a delivery is dropped, a retry re-delivers the same change twice.  The
+engine therefore keeps a **versioned update log** and a per-backend
+**applied-version vector**: every delta becomes a :class:`VersionedUpdate`,
+deliveries are retried with backoff and applied idempotently (a version at
+or below the backend's vector entry is a no-op), and :meth:`reconcile`
+replays whatever a healed backend missed and then diff-repairs any residual
+drift through the common RBAC format, until the replica is byte-identical
+with the authoritative slice (:meth:`replica_digest` /
+:meth:`expected_digest`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import InconsistentPolicyError
 from repro.middleware.base import Middleware
 from repro.rbac.diff import PolicyDelta, diff_policies
 from repro.rbac.policy import RBACPolicy
-from repro.translate.consistency import ConsistencyReport, check_consistency
+from repro.rbac.serialize import policy_to_json
+from repro.translate.consistency import (ConsistencyReport, _restrict,
+                                         check_consistency)
+from repro.util.clock import SimulatedClock
 from repro.util.events import AuditLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+
+#: delivery fault hook: (system, version, attempt) -> True to fail this try
+DeliveryFault = Callable[[str, int, int], bool]
+
+
+@dataclass(frozen=True)
+class VersionedUpdate:
+    """One logged policy change: a delta stamped with a monotone version."""
+
+    version: int
+    delta: PolicyDelta
+    update_id: str = ""
+
+
+@dataclass
+class ReconcileReport:
+    """What one anti-entropy pass did, per system."""
+
+    replayed: dict[str, int] = field(default_factory=dict)
+    repaired: dict[str, int] = field(default_factory=dict)
+    #: facts present on a replica that the engine cannot remove (e.g. extra
+    #: grants on middleware without a revoke hook) — surfaced, not hidden
+    residue: dict[str, int] = field(default_factory=dict)
+    unreachable: tuple[str, ...] = ()
+    converged: bool = False
+
+    def total_repaired(self) -> int:
+        return sum(self.repaired.values())
+
+    def summary(self) -> str:
+        return (f"replayed={sum(self.replayed.values())} "
+                f"repaired={self.total_repaired()} "
+                f"residue={sum(self.residue.values())} "
+                f"converged={self.converged}")
 
 
 class PropagationEngine:
@@ -30,19 +82,53 @@ class PropagationEngine:
     """
 
     def __init__(self, global_policy: RBACPolicy,
-                 audit: AuditLog | None = None) -> None:
+                 audit: AuditLog | None = None,
+                 clock: SimulatedClock | None = None,
+                 obs: "Observability | None" = None,
+                 retry_limit: int = 3,
+                 delivery_fault: DeliveryFault | None = None) -> None:
         self.global_policy = global_policy
         self.audit = audit
+        self.clock = clock or (obs.clock if obs is not None else None)
+        self.obs = obs
+        #: delivery attempts per update before a backend is declared missed
+        self.retry_limit = max(1, retry_limit)
+        #: chaos hook consulted per delivery attempt (seeded injectors)
+        self.delivery_fault = delivery_fault
         #: system name -> (middleware, domains it is responsible for)
         self._systems: dict[str, tuple[Middleware, set[str]]] = {}
         #: listeners called with each applied delta (e.g. to refresh KeyNote)
         self._listeners: list[Callable[[PolicyDelta], None]] = []
+        #: the versioned update log anti-entropy replays from
+        self.update_log: list[VersionedUpdate] = []
+        self._version = 0
+        #: system name -> highest update version it has applied
+        self.applied_versions: dict[str, int] = {}
+        self._unreachable: set[str] = set()
 
     # -- registration -------------------------------------------------------
 
     def register(self, middleware: Middleware, domains: set[str]) -> None:
         """Register a middleware as responsible for ``domains``."""
         self._systems[middleware.name] = (middleware, set(domains))
+        self.applied_versions.setdefault(middleware.name, 0)
+
+    # -- partitions -----------------------------------------------------------
+
+    def set_unreachable(self, name: str) -> None:
+        """Mark a backend partitioned: deliveries to it are skipped (and
+        show up as missed versions for :meth:`reconcile` to replay)."""
+        self._unreachable.add(name)
+        self._record("propagate.partition", name, "unreachable")
+
+    def set_reachable(self, name: str) -> None:
+        """Heal a backend's partition (run :meth:`reconcile` to catch up)."""
+        self._unreachable.discard(name)
+        self._record("propagate.partition", name, "reachable")
+
+    def unreachable(self) -> frozenset[str]:
+        """Currently partitioned backends."""
+        return frozenset(self._unreachable)
 
     def subscribe(self, listener: Callable[[PolicyDelta], None]) -> None:
         """Be notified of every applied delta."""
@@ -67,44 +153,167 @@ class PropagationEngine:
                 if assignment.domain in domains:
                     slice_.add_assignment(assignment)
             middleware.apply_rbac(slice_)
+            self.applied_versions[name] = self._version
             self._record("propagate.push", name, "ok",
                          facts=len(slice_))
 
     # -- change application ----------------------------------------------------------
 
-    def apply_delta(self, delta: PolicyDelta) -> ConsistencyReport:
+    def apply_delta(self, delta: PolicyDelta,
+                    update_id: str = "") -> ConsistencyReport:
         """Apply a change to the global policy and propagate it down.
 
-        Removals are propagated where the middleware supports them (role
-        unassignment); structural removals (grants) are applied to stores
-        that expose the hooks, otherwise surfaced through the consistency
-        report.
+        The change is logged as a :class:`VersionedUpdate` and delivered to
+        every reachable backend with up to :attr:`retry_limit` attempts
+        (``delivery_fault`` decides which attempts fail); partitioned or
+        exhausted backends simply miss the version — :meth:`reconcile`
+        replays it after heal.  Removals are propagated where the middleware
+        supports them (role unassignment); structural removals (grants) are
+        applied to stores that expose the hooks, otherwise surfaced through
+        the consistency report.
         """
         delta.apply_to(self.global_policy)
-        for name, (middleware, domains) in self._systems.items():
-            touched = 0
-            for grant in delta.added_grants:
-                if grant.domain in domains:
-                    middleware.apply_grant(grant)
-                    touched += 1
-            for assignment in delta.added_assignments:
-                if assignment.domain in domains:
-                    middleware.apply_assignment(assignment)
-                    touched += 1
-            for assignment in delta.removed_assignments:
-                if assignment.domain in domains:
-                    if middleware.remove_assignment(assignment):
-                        touched += 1
-            if touched:
-                self._record("propagate.delta", name, "ok", facts=touched)
+        self._version += 1
+        update = VersionedUpdate(self._version, delta, update_id)
+        self.update_log.append(update)
+        for name in self._systems:
+            self.deliver_update(name, update)
         for listener in self._listeners:
             listener(delta)
         return self.check()
+
+    def deliver_update(self, name: str, update: VersionedUpdate) -> bool:
+        """Deliver one logged update to one backend, with retries.
+
+        Safe to call repeatedly (duplicate delivery from a flaky network):
+        application is idempotent through the applied-version vector.
+        Returns True when the backend ends up holding the update.
+        """
+        if name in self._unreachable:
+            self._record("propagate.delta", name, "unreachable",
+                         version=update.version)
+            self._count("health.propagate.missed")
+            return False
+        for attempt in range(1, self.retry_limit + 1):
+            if (self.delivery_fault is not None
+                    and self.delivery_fault(name, update.version, attempt)):
+                self._count("health.propagate.retry")
+                continue
+            applied = self._apply_update(name, update)
+            self._record("propagate.delta", name,
+                         "ok" if applied else "duplicate",
+                         version=update.version, attempt=attempt)
+            return True
+        self._record("propagate.delta", name, "lost", version=update.version)
+        self._count("health.propagate.missed")
+        return False
+
+    def _apply_update(self, name: str, update: VersionedUpdate) -> bool:
+        """Idempotently apply one update to one backend.
+
+        A version at or below the backend's applied-version vector entry is
+        a duplicate and must not double-apply; otherwise the delta's facts
+        for the backend's domains are installed and the vector advances.
+        """
+        if self.applied_versions.get(name, 0) >= update.version:
+            return False
+        middleware, domains = self._systems[name]
+        delta = update.delta
+        for grant in delta.added_grants:
+            if grant.domain in domains:
+                middleware.apply_grant(grant)
+        for assignment in delta.added_assignments:
+            if assignment.domain in domains:
+                middleware.apply_assignment(assignment)
+        for assignment in delta.removed_assignments:
+            if assignment.domain in domains:
+                middleware.remove_assignment(assignment)
+        self.applied_versions[name] = update.version
+        return True
 
     def set_policy(self, new_policy: RBACPolicy) -> ConsistencyReport:
         """Replace the global policy, propagating the computed delta."""
         delta = diff_policies(self.global_policy, new_policy)
         return self.apply_delta(delta)
+
+    # -- anti-entropy ---------------------------------------------------------
+
+    def reconcile(self) -> ReconcileReport:
+        """Converge every reachable replica with the authoritative policy.
+
+        Two passes per backend.  First the fast path: replay logged updates
+        the backend's applied-version vector says it missed, in version
+        order.  Then the guarantee: diff the replica against the
+        authoritative slice through the common RBAC format and repair the
+        drift directly — this catches gaps the vector cannot see (a lost
+        v3 under a delivered v4) and any out-of-band mutation of the
+        backend.  Extra grants on middleware without a revoke hook are
+        counted as ``residue`` rather than silently ignored.
+        """
+        report = ReconcileReport(unreachable=tuple(sorted(self._unreachable)))
+        for name, (middleware, domains) in self._systems.items():
+            if name in self._unreachable:
+                continue
+            replayed = 0
+            floor = self.applied_versions.get(name, 0)
+            for update in self.update_log:
+                if update.version > floor:
+                    if self._apply_update(name, update):
+                        replayed += 1
+            report.replayed[name] = replayed
+            repaired = 0
+            residue = 0
+            want = _restrict(self.global_policy, domains, "want")
+            have = _restrict(middleware.extract_rbac(), domains, "have")
+            for grant in want.grants - have.grants:
+                middleware.apply_grant(grant)
+                repaired += 1
+            for assignment in want.assignments - have.assignments:
+                middleware.apply_assignment(assignment)
+                repaired += 1
+            for assignment in have.assignments - want.assignments:
+                if middleware.remove_assignment(assignment):
+                    repaired += 1
+                else:
+                    residue += 1
+            residue += len(have.grants - want.grants)
+            report.repaired[name] = repaired
+            report.residue[name] = residue
+            if repaired:
+                self._count("health.reconcile.repaired", repaired)
+            self._record("propagate.reconcile", name,
+                         "repaired" if repaired else "clean",
+                         replayed=replayed, repaired=repaired,
+                         residue=residue)
+        report.converged = all(
+            self.replica_digest(name) == self.expected_digest(name)
+            for name in self._systems if name not in self._unreachable)
+        if self.obs is not None:
+            now = self.clock.now() if self.clock is not None else 0.0
+            self.obs.tracer.record(
+                "health.reconcile", now, now,
+                repaired=report.total_repaired(),
+                converged=report.converged)
+        return report
+
+    def replica_digest(self, name: str) -> str:
+        """One backend's policy slice in canonical (byte-comparable) form.
+
+        The extraction is restricted to the backend's responsible domains
+        and rebuilt under a fixed policy name, so two replicas holding the
+        same facts serialise byte-identically regardless of middleware
+        flavour or registration order.
+        """
+        middleware, domains = self._systems[name]
+        return policy_to_json(
+            _restrict(middleware.extract_rbac(), domains, "replica"))
+
+    def expected_digest(self, name: str) -> str:
+        """The authoritative policy slice a backend should hold, in the same
+        canonical form as :meth:`replica_digest`."""
+        _middleware, domains = self._systems[name]
+        return policy_to_json(
+            _restrict(self.global_policy, domains, "replica"))
 
     # -- verification ---------------------------------------------------------------------
 
@@ -124,4 +333,18 @@ class PropagationEngine:
     def _record(self, category: str, subject: str, outcome: str,
                 **detail) -> None:
         if self.audit is not None:
-            self.audit.record(0.0, category, subject, outcome, **detail)
+            now = self.clock.now() if self.clock is not None else 0.0
+            self.audit.record(now, category, subject, outcome, **detail)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name).inc(amount)
+
+    def health_snapshot(self) -> dict[str, object]:
+        """Serialisable propagation health for the ``repro health`` report."""
+        return {
+            "version": self._version,
+            "applied_versions": dict(sorted(self.applied_versions.items())),
+            "unreachable": sorted(self._unreachable),
+            "log_entries": len(self.update_log),
+        }

@@ -20,7 +20,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import FaultPlanError
+from repro.errors import FaultPlanError, LayerTimeoutError
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -196,3 +196,100 @@ class FaultInjector:
             # The copy takes its own (slightly lagged) path.
             deliveries.append(effective + 0.5 + self._rng.uniform(0.0, 1.0))
         return deliveries
+
+
+@dataclass(frozen=True)
+class LayerFaultRule:
+    """One policy-plane fault clause: a mediation layer's backend times out.
+
+    Where :class:`FaultRule` attacks messages on the wire, this attacks the
+    *in-process* calls the authorisation stack makes into its layer
+    backends (the OS check, the middleware catalogue, the trust-management
+    checker) — the failure mode circuit breakers exist for.
+
+    :param layer: restrict to one layer by name (``"TRUST_MANAGEMENT"``,
+        ``"APPLICATION"``...), or None for any.
+    :param fail: probability a consulted check times out.
+    :param start: simulated time the fault window opens.
+    :param end: simulated time it closes (default: never).
+    """
+
+    layer: str | None = None
+    fail: float = 0.0
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_probability("fail", self.fail)
+        if self.start < 0:
+            raise FaultPlanError("layer fault window cannot start before "
+                                 "epoch zero")
+        if self.end < self.start:
+            raise FaultPlanError(
+                f"layer fault window ends ({self.end}) before it starts "
+                f"({self.start})")
+
+    def matches(self, layer: str, now: float) -> bool:
+        """True if this rule applies to a check of ``layer`` at ``now``."""
+        if self.layer is not None and self.layer != layer:
+            return False
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class LayerFaultPlan:
+    """A seeded schedule of mediation-layer backend failures.
+
+    :param seed: RNG seed; equal plans replay identical failures.
+    :param rules: fault clauses, first match per check decides.
+    """
+
+    seed: int = 0
+    rules: tuple[LayerFaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @classmethod
+    def chaos(cls, seed: int, layers: tuple[str, ...],
+              max_fail: float = 0.4, window: float = 20.0) -> "LayerFaultPlan":
+        """Derive a bounded-window layer outage from one seed: one of
+        ``layers`` flakes with a seeded probability during ``[start,
+        start + duration)``."""
+        rng = random.Random(seed)
+        layer = layers[seed % len(layers)]
+        start = rng.uniform(1.0, 5.0)
+        duration = rng.uniform(window / 2, window)
+        return cls(seed=seed, rules=(LayerFaultRule(
+            layer=layer, fail=rng.uniform(0.2, max_fail),
+            start=start, end=start + duration),))
+
+
+class LayerFaultInjector:
+    """Executes a :class:`LayerFaultPlan` against an authorisation stack.
+
+    The stack consults :meth:`check` immediately before invoking each
+    layer; a fired fault raises
+    :class:`~repro.errors.LayerTimeoutError`, which the stack's health
+    machinery converts into an ERROR layer decision (never a raw
+    traceback).
+
+    :ivar counts: layer name -> injected timeouts.
+    """
+
+    def __init__(self, plan: LayerFaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.counts: dict[str, int] = {}
+
+    def check(self, layer: str, now: float) -> None:
+        """Raise :class:`~repro.errors.LayerTimeoutError` if the plan fails
+        this layer call; otherwise return normally."""
+        for rule in self.plan.rules:
+            if not rule.matches(layer, now):
+                continue
+            if rule.fail and self._rng.random() < rule.fail:
+                self.counts[layer] = self.counts.get(layer, 0) + 1
+                raise LayerTimeoutError(
+                    f"injected timeout in layer {layer} at t={now}")
+            return

@@ -39,6 +39,12 @@ class PolicyUpdateRequest:
     :param domain: target RBAC domain (an NT domain for COM+).
     :param role: target role.
     :param credentials: the KeyNote credentials presented as proof.
+    :param request_id: client-chosen id making the request idempotent: the
+        service applies each id at most once, so a duplicate delivered by a
+        flaky network (or a client retry) cannot double-apply.  Empty means
+        "not idempotent" (legacy callers).
+    :param version: optional monotone version for anti-entropy replay; 0
+        means unversioned.
     """
 
     user: str
@@ -46,6 +52,36 @@ class PolicyUpdateRequest:
     domain: str
     role: str
     credentials: tuple[Credential, ...]
+    request_id: str = ""
+    version: int = 0
+
+    def validate(self) -> None:
+        """Structural validation, before any credential is evaluated.
+
+        :raises KeyComError: for empty/blank principal, domain or role
+            fields, a non-tuple credential payload, or a negative version —
+            a malformed request must be rejected before it can touch any
+            state.
+        """
+        for name in ("user", "user_key", "domain", "role"):
+            value = getattr(self, name)
+            if not isinstance(value, str) or not value.strip():
+                raise KeyComError(
+                    f"malformed update request: {name} must be a non-empty "
+                    f"string, got {value!r}")
+        if not isinstance(self.credentials, tuple) or not all(
+                isinstance(c, Credential) for c in self.credentials):
+            raise KeyComError(
+                "malformed update request: credentials must be a tuple of "
+                "Credential instances")
+        if not isinstance(self.request_id, str):
+            raise KeyComError(
+                f"malformed update request: request_id must be a string, "
+                f"got {self.request_id!r}")
+        if not isinstance(self.version, int) or self.version < 0:
+            raise KeyComError(
+                f"malformed update request: version must be a non-negative "
+                f"integer, got {self.version!r}")
 
 
 class KeyComService:
@@ -63,16 +99,34 @@ class KeyComService:
         self.session = session
         self.audit = audit
         self.processed: list[tuple[PolicyUpdateRequest, bool]] = []
+        #: request ids already applied successfully — re-delivery of the
+        #: same id is acknowledged without touching the middleware again
+        self.applied_ids: set[str] = set()
+        self.duplicates = 0
 
     def submit(self, request: PolicyUpdateRequest) -> bool:
         """Validate and apply one update request.
 
-        Returns True if the middleware policy was updated.
+        Returns True if the middleware policy was updated (or the request id
+        was already applied — duplicate delivery is acknowledged, not
+        re-applied).
 
-        :raises KeyComError: if the credentials do not authorise the
-            requested membership (invalid requests are *rejected*, not
-            silently dropped — the caller is a remote client).
+        :raises KeyComError: if the request is structurally malformed or the
+            credentials do not authorise the requested membership (invalid
+            requests are *rejected*, not silently dropped — the caller is a
+            remote client).  A malformed request is rejected before any
+            query or middleware state change.
         """
+        request.validate()
+        if request.request_id and request.request_id in self.applied_ids:
+            self.duplicates += 1
+            if self.audit is not None:
+                self.audit.record(
+                    self.session.clock.now(), "keycom.update",
+                    subject=request.user_key, outcome="duplicate",
+                    user=request.user, domain=request.domain,
+                    role=request.role, request_id=request.request_id)
+            return True
         attributes = membership_attributes(request.domain, request.role)
         result = self.session.query(attributes, [request.user_key],
                                     extra_credentials=list(request.credentials))
@@ -90,6 +144,8 @@ class KeyComService:
                 f"{request.domain}/{request.role}")
         self.middleware.apply_assignment(Assignment(
             user=request.user, domain=request.domain, role=request.role))
+        if request.request_id:
+            self.applied_ids.add(request.request_id)
         return True
 
     def submit_quietly(self, request: PolicyUpdateRequest) -> bool:

@@ -56,9 +56,11 @@ class WebComClient:
     :param operations: op name -> implementation.
     :param key_name: the client's public-key name (used by Secure WebCom).
     :param user: the principal client-side executions run as.
-    :param authoriser: optional hook ``(master_key, op, context) -> bool``;
-        refusing makes the client reply ``denied`` (the client-side TM check
-        of Figure 3).
+    :param authoriser: optional hook ``(master_key, op, context) ->
+        verdict`` where the verdict is truthy to allow — a plain bool, or a
+        :class:`~repro.webcom.stack.StackDecision` whose ``stale`` flag is
+        disclosed in the reply; refusing makes the client reply ``denied``
+        (the client-side TM check of Figure 3).
     """
 
     def __init__(self, client_id: str, network: SimulatedNetwork,
@@ -166,13 +168,22 @@ class WebComClient:
         args = tuple(payload["args"])
         context = payload.get("context", {})
         master_key = payload.get("master_key", "")
-        if self.authoriser is not None and not self.authoriser(
-                master_key, op, context):
-            self._audit("webcom.client.check", op, "deny")
-            if span is not None:
-                span.status = "denied"
-            return self._build_reply(request_id, status="denied")
-        self._audit("webcom.client.check", op, "allow")
+        stale = False
+        if self.authoriser is not None:
+            verdict = self.authoriser(master_key, op, context)
+            if not verdict:
+                self._audit("webcom.client.check", op, "deny")
+                if span is not None:
+                    span.status = "denied"
+                return self._build_reply(request_id, status="denied")
+            # Stack authorisers return the full StackDecision (truthy on
+            # allow); a fail-static layer may have served it stale, which
+            # the reply must disclose to the master.
+            stale = bool(getattr(verdict, "stale", False))
+            self._audit("webcom.client.check", op,
+                        "allow-stale" if stale else "allow")
+        else:
+            self._audit("webcom.client.check", op, "allow")
         fn = self.operations.get(op)
         if fn is None:
             if span is not None:
@@ -186,6 +197,11 @@ class WebComClient:
             return self._build_reply(request_id, status="error",
                                      error=repr(exc))
         self.executed.append(op)
+        if span is not None and stale:
+            span.set(stale=True)
+        if stale:
+            return self._build_reply(request_id, status="ok", value=value,
+                                     stale=True)
         return self._build_reply(request_id, status="ok", value=value)
 
     def _build_reply(self, request_id: str, **payload: Any) -> dict[str, Any]:
@@ -267,6 +283,9 @@ class WebComMaster:
         self._rr_counter = 0
         self._next_probe_at = 0.0
         self.stale_rejected = 0
+        #: completed placements whose client-side verdict was served stale
+        #: by a fail-static mediation layer (degraded but disclosed)
+        self.stale_accepted = 0
         self.schedule_log: list[tuple[str, str]] = []  # (node_id, client_id)
         #: trace of the most recent :meth:`run_graph` (fired vs restored)
         self.last_trace = None
@@ -408,8 +427,12 @@ class WebComMaster:
                 continue
             info.executed += 1
             self.schedule_log.append((node.node_id, info.client_id))
+            stale = bool(result.get("stale"))
+            if stale:
+                self.stale_accepted += 1
+                self._count("master.schedule.stale")
             self._audit("webcom.schedule", node.node_id, "ok",
-                        client=info.client_id, op=op)
+                        client=info.client_id, op=op, stale=stale)
             self._count("master.schedule.ok")
             return result["value"]
         if last_denied:
@@ -546,9 +569,13 @@ class WebComMaster:
                     continue
                 info.executed += 1
                 self.schedule_log.append((node.node_id, client_id))
+                stale = bool(reply.get("stale"))
+                if stale:
+                    self.stale_accepted += 1
+                    self._count("master.schedule.stale")
                 self._audit("webcom.schedule", node.node_id, "ok",
                             client=client_id, op=node.operator_name,
-                            batched=True)
+                            batched=True, stale=stale)
                 self._count("master.schedule.ok")
                 results[index] = reply["value"]
                 resolved[index] = True

@@ -163,7 +163,10 @@ class SecureWebComEnvironment:
         return authorise
 
     def client_stack(self, client_id: str,
-                     cache_ttl: "float | None" = None) -> AuthorisationStack:
+                     cache_ttl: "float | None" = None,
+                     breaker_threshold: int = 3,
+                     breaker_cooldown: float = 30.0,
+                     layer_faults=None) -> AuthorisationStack:
         """An :class:`AuthorisationStack` for one client with L2 plugged.
 
         The client's KeyNote session becomes the stack's trust-management
@@ -173,9 +176,18 @@ class SecureWebComEnvironment:
 
         :param cache_ttl: enable the stack's mediation cache with this TTL
             (simulated seconds); None leaves every mediation uncached.
+        :param breaker_threshold: consecutive failures that trip a layer's
+            circuit breaker.
+        :param breaker_cooldown: simulated seconds a breaker stays open.
+        :param layer_faults: optional
+            :class:`~repro.webcom.faults.LayerFaultInjector` so chaos
+            schedules can time out the client's mediation layers.
         """
         stack = AuthorisationStack(audit=self.audit, clock=self.clock,
-                                   obs=self.obs, cache_ttl=cache_ttl)
+                                   obs=self.obs, cache_ttl=cache_ttl,
+                                   breaker_threshold=breaker_threshold,
+                                   breaker_cooldown=breaker_cooldown,
+                                   layer_faults=layer_faults)
         stack.plug_trust_management(self.client_session(client_id))
         return stack
 
@@ -195,13 +207,15 @@ class SecureWebComEnvironment:
         mediation_stack = stack if stack is not None else self.client_stack(
             client_id, cache_ttl=cache_ttl)
 
-        def authorise(master_key: str, op: str, _context: Mapping) -> bool:
+        def authorise(master_key: str, op: str, _context: Mapping):
             if not master_key:
                 return False
             request = MediationRequest(
                 user=user or client_id, user_key=master_key,
                 object_type=WEBCOM_APP_DOMAIN, operation=op,
                 attributes={ATTR_APP_DOMAIN: WEBCOM_APP_DOMAIN})
-            return mediation_stack.check(request)
+            # The full StackDecision (truthy on allow) is returned so the
+            # client can surface stale / degraded flags in its reply.
+            return mediation_stack.mediate(request)
 
         return authorise

@@ -20,7 +20,7 @@ object access, middleware invocation, TM query, application predicate).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
 from repro.errors import AuthorisationError
@@ -29,9 +29,11 @@ from repro.middleware.base import Invocation, Middleware
 from repro.os_sec.base import OperatingSystemSecurity
 from repro.util.clock import SimulatedClock
 from repro.util.events import AuditLog
+from repro.webcom.health import BreakerState, CircuitBreaker, DegradedMode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
+    from repro.webcom.faults import LayerFaultInjector
 
 
 class Layer(enum.IntEnum):
@@ -121,19 +123,37 @@ class MediationRequest:
 
 @dataclass(frozen=True)
 class LayerDecision:
-    """One layer's verdict."""
+    """One layer's verdict.
+
+    ``error`` marks a verdict the layer never actually produced: its check
+    raised or timed out (or its breaker was open) and the stack resolved
+    the layer through its configured
+    :class:`~repro.webcom.health.DegradedMode` instead.
+    """
 
     layer: Layer
     allowed: bool
     detail: str = ""
+    error: bool = False
 
 
 @dataclass(frozen=True)
 class StackDecision:
-    """The stack's combined verdict with the per-layer trace."""
+    """The stack's combined verdict with the per-layer trace.
+
+    ``stale`` marks a decision served from the last-known-good store by a
+    fail-static layer during an outage — it was once fully mediated, but
+    not at this simulated instant.  ``degraded`` lists the layers that
+    could not be consulted live (whatever their degraded mode resolved to).
+    """
 
     allowed: bool
     decisions: tuple[LayerDecision, ...]
+    stale: bool = False
+    degraded: tuple[Layer, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.allowed
 
     def layer(self, layer: Layer) -> LayerDecision | None:
         """The verdict of one layer, or None if it was not configured."""
@@ -148,6 +168,11 @@ class StackDecision:
             if not decision.allowed:
                 return decision.layer
         return None
+
+    def is_degraded(self) -> bool:
+        """True when any layer was resolved without a live check."""
+        return self.stale or bool(self.degraded) \
+            or any(d.error for d in self.decisions)
 
 
 #: application-layer predicate (L3): request -> allowed
@@ -172,13 +197,31 @@ class AuthorisationStack:
     layers with non-idempotent checks opt out via :meth:`mark_uncacheable`.
     Traffic shows up as ``stack.cache.hit`` / ``stack.cache.miss`` metrics
     and a ``cached`` span attribute.
+
+    Health (degraded-mode mediation): a layer whose check raises or times
+    out never aborts mediation with a raw traceback — it is recorded as an
+    ERROR :class:`LayerDecision` and resolved through the layer's
+    :class:`~repro.webcom.health.DegradedMode` (:meth:`set_degraded_mode`;
+    the default is fail-closed).  A per-layer
+    :class:`~repro.webcom.health.CircuitBreaker` trips OPEN after
+    ``breaker_threshold`` consecutive failures; while open the layer is not
+    called at all, and after ``breaker_cooldown`` simulated seconds one
+    half-open probe decides recovery.  Fail-static layers serve the
+    last-known-good decision for the identical request, marked
+    ``stale=True`` — and no degraded decision is ever stored in the fresh
+    mediation cache.  ``layer_faults`` accepts a
+    :class:`~repro.webcom.faults.LayerFaultInjector` so chaos schedules can
+    time out layers deterministically.
     """
 
     def __init__(self, audit: AuditLog | None = None,
                  require_some_layer: bool = True,
                  clock: SimulatedClock | None = None,
                  obs: "Observability | None" = None,
-                 cache_ttl: float | None = None) -> None:
+                 cache_ttl: float | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0,
+                 layer_faults: "LayerFaultInjector | None" = None) -> None:
         self.audit = audit
         self.require_some_layer = require_some_layer
         self.clock = clock or (obs.clock if obs is not None else None)
@@ -195,6 +238,15 @@ class AuthorisationStack:
         self._uncacheable: set[Layer] = set()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.layer_faults = layer_faults
+        self._breakers: dict[Layer, CircuitBreaker] = {}
+        self._degraded_modes: dict[Layer, DegradedMode] = {}
+        #: request -> the last fully mediated (non-degraded) decision;
+        #: the store fail-static layers serve from during an outage
+        self._last_good: dict[MediationRequest, StackDecision] = {}
+        self.stale_served = 0
 
     def _now(self) -> float:
         """Current simulated time (0.0 when no clock is configured)."""
@@ -226,6 +278,46 @@ class AuthorisationStack:
         self._app = predicate
         self.invalidate_cache()
         return self
+
+    # -- health ---------------------------------------------------------------
+
+    def set_degraded_mode(self, layer: Layer,
+                          mode: DegradedMode) -> "AuthorisationStack":
+        """Choose how ``layer`` resolves while its backend is unavailable.
+
+        Unset layers fail closed — the paper's Section-5 stance for trust
+        management: a request that cannot be *proven* authorised is denied.
+        """
+        self._degraded_modes[layer] = DegradedMode(mode)
+        return self
+
+    def degraded_mode(self, layer: Layer) -> DegradedMode:
+        """The effective degraded mode of one layer."""
+        return self._degraded_modes.get(layer, DegradedMode.FAIL_CLOSED)
+
+    def breaker(self, layer: Layer) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one layer."""
+        breaker = self._breakers.get(layer)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                f"stack.{layer.name}", clock=self.clock,
+                failure_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown, obs=self.obs,
+                audit=self.audit)
+            self._breakers[layer] = breaker
+        return breaker
+
+    def health_snapshot(self) -> dict[str, object]:
+        """Serialisable health state for the ``repro health`` report."""
+        return {
+            "breakers": {layer.name: breaker.snapshot()
+                         for layer, breaker in sorted(self._breakers.items())},
+            "degraded_modes": {layer.name: mode.value
+                               for layer, mode
+                               in sorted(self._degraded_modes.items())},
+            "stale_served": self.stale_served,
+            "last_good_entries": len(self._last_good),
+        }
 
     # -- mediation cache ------------------------------------------------------
 
@@ -269,6 +361,10 @@ class AuthorisationStack:
 
     def _cache_store(self, request: MediationRequest,
                      decision: StackDecision) -> None:
+        if decision.is_degraded():
+            # A degraded decision is never cached as fresh: the next
+            # request must re-probe the layers (or be re-marked stale).
+            return
         if any(d.layer in self._uncacheable for d in decision.decisions):
             return
         self._cache[request] = (self._now() + self.cache_ttl,
@@ -364,10 +460,19 @@ class AuthorisationStack:
                 denied_by = decision.deciding_layer()
                 if denied_by is not None:
                     span.set(denied_by=denied_by.name)
+                if decision.stale:
+                    span.set(stale=True)
+                if decision.degraded:
+                    span.set(degraded=",".join(layer.name for layer
+                                               in decision.degraded))
         elif cached is not None:
             decision = cached
         else:
             decision = self._run_layers(request, None)
+        if cached is None and not decision.is_degraded():
+            # Only a fully, freshly mediated decision may seed the
+            # last-known-good store fail-static layers serve from.
+            self._last_good[request] = decision
         if cached is None and self.cache_ttl is not None:
             self._cache_store(request, decision)
         if self.obs is not None:
@@ -381,28 +486,97 @@ class AuthorisationStack:
                 operation=request.operation,
                 layers=[d.layer.name for d in decision.decisions],
                 denied_by=denied.name if denied is not None else None,
-                cached=cached is not None)
+                cached=cached is not None, stale=decision.stale,
+                degraded=[layer.name for layer in decision.degraded])
         return decision
 
     def _run_layers(self, request: MediationRequest, tracer) -> StackDecision:
         decisions: list[LayerDecision] = []
+        degraded: list[Layer] = []
         allowed = True
         for layer, check in self._layer_checks(request):
             if not allowed:
                 break
-            if tracer is not None:
-                with tracer.span(f"stack.layer.{layer.name}") as span:
-                    allowed, detail = check()
-                    span.status = "allow" if allowed else "deny"
-                    span.set(detail=detail)
-            else:
-                allowed, detail = check()
+            breaker = self.breaker(layer)
+            if not breaker.allow():
+                # Breaker OPEN and still cooling down: resolve through the
+                # degraded mode without touching the backend at all.
+                static = self._degrade(layer, request, "breaker open",
+                                       decisions, degraded)
+                if static is not None:
+                    return static
+                allowed = decisions[-1].allowed
+                continue
+            probing = breaker.state is BreakerState.HALF_OPEN
+            try:
+                if tracer is not None:
+                    with tracer.span(f"stack.layer.{layer.name}",
+                                     probe=probing) as span:
+                        allowed, detail = self._checked(layer, check)
+                        span.status = "allow" if allowed else "deny"
+                        span.set(detail=detail)
+                else:
+                    allowed, detail = self._checked(layer, check)
+            except Exception as exc:  # deliberate: a flaky backend must
+                # degrade explicitly, never abort mediation mid-stack
+                breaker.record_failure()
+                if self.obs is not None:
+                    self.obs.metrics.counter(
+                        f"health.layer.{layer.name}.error").inc()
+                static = self._degrade(layer, request, repr(exc),
+                                       decisions, degraded)
+                if static is not None:
+                    return static
+                allowed = decisions[-1].allowed
+                continue
+            breaker.record_success()
             if self.obs is not None:
                 verdict = "allow" if allowed else "deny"
                 self.obs.metrics.counter(
                     f"stack.layer.{layer.name}.{verdict}").inc()
             decisions.append(LayerDecision(layer, allowed, detail))
-        return StackDecision(allowed=allowed, decisions=tuple(decisions))
+        return StackDecision(allowed=allowed, decisions=tuple(decisions),
+                             degraded=tuple(degraded))
+
+    def _checked(self, layer: Layer, check) -> tuple[bool, str]:
+        """Run one layer check, injecting planned backend timeouts first."""
+        if self.layer_faults is not None:
+            self.layer_faults.check(layer.name, self._now())
+        return check()
+
+    def _degrade(self, layer: Layer, request: MediationRequest, reason: str,
+                 decisions: list[LayerDecision],
+                 degraded: list[Layer]) -> StackDecision | None:
+        """Resolve an unavailable layer through its degraded mode.
+
+        Appends an ERROR :class:`LayerDecision` (fail-closed / fail-open)
+        and returns None, or returns the whole stale last-known-good
+        :class:`StackDecision` (fail-static).  A fail-static layer with no
+        last-known-good decision for this request falls back to
+        fail-closed — degradation must never *widen* authorisation.
+        """
+        mode = self.degraded_mode(layer)
+        degraded.append(layer)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                f"health.degraded.{layer.name}.{mode.value}").inc()
+        if mode is DegradedMode.FAIL_STATIC:
+            last_good = self._last_good.get(request)
+            if last_good is not None:
+                self.stale_served += 1
+                if self.obs is not None:
+                    self.obs.metrics.counter("health.stale_served").inc()
+                    now = self._now()
+                    self.obs.tracer.record(
+                        "health.stale_served", now, now, layer=layer.name,
+                        user=request.user, op=request.operation)
+                return replace(last_good, stale=True,
+                               degraded=tuple(degraded))
+            mode = DegradedMode.FAIL_CLOSED
+        decisions.append(LayerDecision(
+            layer, allowed=mode is DegradedMode.FAIL_OPEN,
+            detail=f"degraded[{mode.value}]: {reason}", error=True))
+        return None
 
     def check(self, request: MediationRequest) -> bool:
         """Boolean convenience over :meth:`mediate`."""

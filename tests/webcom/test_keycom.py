@@ -132,3 +132,88 @@ class TestKeyCom:
         assert len(audit.find(category="keycom.update", outcome="allow")) == 1
         assert len(audit.find(category="keycom.update", outcome="deny")) == 1
         assert len(service.processed) == 2
+
+
+class TestIdempotency:
+    """Re-delivered update requests (duplicates from a flaky network) must
+    not double-apply."""
+
+    def test_duplicate_request_id_not_reapplied(self, setup):
+        keystore, catalogue, service, audit = setup
+        cred = membership_credential(keystore, "KWebCom", "Kuser",
+                                     "DomainA", "Clerk")
+        request = PolicyUpdateRequest(
+            user="userB", user_key="Kuser", domain="DomainA", role="Clerk",
+            credentials=(cred,), request_id="req-1")
+        assert service.submit(request)
+        before = catalogue.extract_rbac()
+        assert service.submit(request)  # duplicate: acknowledged
+        assert service.duplicates == 1
+        assert catalogue.extract_rbac() == before
+        assert len(audit.find(category="keycom.update",
+                              outcome="duplicate")) == 1
+        # Only the first delivery evaluated credentials.
+        assert len(service.processed) == 1
+
+    def test_distinct_ids_apply_separately(self, setup):
+        keystore, catalogue, service, _audit = setup
+        cred = membership_credential(keystore, "KWebCom", "Kuser",
+                                     "DomainA", "Clerk")
+        for request_id, user in (("r1", "userB"), ("r2", "userC")):
+            assert service.submit(PolicyUpdateRequest(
+                user=user, user_key="Kuser", domain="DomainA", role="Clerk",
+                credentials=(cred,), request_id=request_id))
+        assert service.duplicates == 0
+        assert catalogue.invoke("DomainA\\userB", "SalariesDB", "Access")
+        assert catalogue.invoke("DomainA\\userC", "SalariesDB", "Access")
+
+    def test_failed_request_id_may_be_retried(self, setup):
+        keystore, catalogue, service, _audit = setup
+        bad = PolicyUpdateRequest(
+            user="userB", user_key="Kuser", domain="DomainA", role="Clerk",
+            credentials=(), request_id="retry-1")
+        with pytest.raises(KeyComError):
+            service.submit(bad)
+        # The id was not consumed by the failure: a corrected retry under
+        # the same id applies normally.
+        cred = membership_credential(keystore, "KWebCom", "Kuser",
+                                     "DomainA", "Clerk")
+        assert service.submit(PolicyUpdateRequest(
+            user="userB", user_key="Kuser", domain="DomainA", role="Clerk",
+            credentials=(cred,), request_id="retry-1"))
+        assert catalogue.invoke("DomainA\\userB", "SalariesDB", "Access")
+
+
+class TestMalformedRequests:
+    """Malformed requests are rejected before any state is touched."""
+
+    @pytest.mark.parametrize("field,value", [
+        ("user", ""), ("user", "   "), ("user_key", ""),
+        ("domain", ""), ("role", ""),
+    ])
+    def test_blank_fields_rejected(self, setup, field, value):
+        keystore, catalogue, service, _audit = setup
+        before = catalogue.extract_rbac()
+        kwargs = dict(user="userB", user_key="Kuser", domain="DomainA",
+                      role="Clerk", credentials=())
+        kwargs[field] = value
+        with pytest.raises(KeyComError, match="malformed"):
+            service.submit(PolicyUpdateRequest(**kwargs))
+        assert catalogue.extract_rbac() == before
+        assert service.processed == []  # rejected before evaluation
+
+    def test_non_tuple_credentials_rejected(self, setup):
+        keystore, _catalogue, service, _audit = setup
+        request = PolicyUpdateRequest(
+            user="userB", user_key="Kuser", domain="DomainA", role="Clerk",
+            credentials=["not", "credentials"])
+        with pytest.raises(KeyComError, match="malformed"):
+            service.submit(request)
+
+    def test_negative_version_rejected(self, setup):
+        keystore, _catalogue, service, _audit = setup
+        request = PolicyUpdateRequest(
+            user="userB", user_key="Kuser", domain="DomainA", role="Clerk",
+            credentials=(), version=-1)
+        with pytest.raises(KeyComError, match="malformed"):
+            service.submit(request)

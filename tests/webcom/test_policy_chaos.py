@@ -1,0 +1,141 @@
+"""Policy-plane chaos: degraded mediation + partition/reconcile convergence.
+
+The sweep counterpart of ``tests/webcom/test_chaos.py``: instead of
+attacking the network under the scheduling protocol, each seed attacks the
+*policy plane* — times out mediation-layer backends and partitions a policy
+replica — and asserts the degraded-mode invariants hold and anti-entropy
+reconciliation converges the replicas byte-identically.
+"""
+
+import pytest
+
+from repro.webcom.scenario import (CHAOS_DOMAIN_B, PolicyChaosRun,
+                                   run_policy_chaos_scenario)
+
+SWEEP_SEEDS = range(20)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One chaos run per seed (module-scoped: the sweep is the expensive
+    part, every test below reads it)."""
+    return {seed: run_policy_chaos_scenario(seed) for seed in SWEEP_SEEDS}
+
+
+class TestPolicyChaosSweep:
+    def test_every_seed_converges(self, sweep):
+        not_converged = [seed for seed, run in sweep.items()
+                         if not run.converged]
+        assert not_converged == []
+
+    def test_sweep_exercises_degradation(self, sweep):
+        # The sweep must actually attack the stack: injected timeouts,
+        # degraded mediations and stale serves all occur across the seeds.
+        assert sum(r.injected_timeouts for r in sweep.values()) > 10
+        assert sum(len([d for d in r.decisions if d["degraded"]])
+                   for r in sweep.values()) > 10
+        assert sum(r.stack_health["stale_served"]
+                   for r in sweep.values()) > 0
+
+    def test_fail_closed_layer_denies_while_degraded(self, sweep):
+        # TRUST_MANAGEMENT is fail-closed: any mediation degraded on TM
+        # (and not rescued by a higher fail-static layer) must deny.
+        for run in sweep.values():
+            for d in run.decisions:
+                if "TRUST_MANAGEMENT" in d["degraded"] and not d["stale"]:
+                    assert not d["allowed"], (run.seed, d)
+
+    def test_fail_static_serves_are_marked_stale(self, sweep):
+        # Every allowed degraded decision must be disclosed: stale-marked
+        # (the scenario configures no fail-open layer).
+        for run in sweep.values():
+            for d in run.decisions:
+                if d["degraded"] and d["allowed"]:
+                    assert d["stale"], (run.seed, d)
+
+    def test_replicas_byte_identical_after_reconcile(self, sweep):
+        for run in sweep.values():
+            for name in ("hostA:ejb", "hostB:ejb"):
+                assert (run.engine.replica_digest(name)
+                        == run.engine.expected_digest(name)), (run.seed, name)
+
+    def test_partitioned_replica_missed_versions_then_caught_up(self, sweep):
+        # At least one seed must have routed updates to the partitioned
+        # DomB replica, forcing reconcile to replay them after heal.
+        replayed_b = sum(r.reconcile_report.replayed.get("hostB:ejb", 0)
+                         for r in sweep.values())
+        assert replayed_b > 0
+        for run in sweep.values():
+            vector = run.propagation_health["applied_versions"]
+            assert vector["hostB:ejb"] == run.propagation_health["version"]
+
+    def test_duplicate_delivery_does_not_double_apply(self, sweep):
+        # Each run re-delivers one already-applied update to hostA; the
+        # applied-version vector must swallow it (digests already asserted
+        # identical, so a double-apply would have to corrupt state to show;
+        # check the audit trail records the duplicate explicitly).
+        for run in sweep.values():
+            if not run.redelivered:
+                continue
+            duplicates = [
+                r for r in run.env.audit.find(category="propagate.delta")
+                if r.outcome == "duplicate" and r.subject == "hostA:ejb"]
+            assert duplicates, run.seed
+
+    def test_breaker_transitions_surface_in_metrics(self, sweep):
+        for run in sweep.values():
+            transitions = sum(
+                len(snap["transitions"])
+                for snap in run.stack_health["breakers"].values())
+            if not transitions:
+                continue
+            exported = sum(
+                run.obs.metrics.counter(f"health.breaker.{state}").value
+                for state in ("open", "half_open", "closed"))
+            assert exported == transitions, run.seed
+
+    def test_stale_serves_surface_in_metrics_and_spans(self, sweep):
+        for run in sweep.values():
+            stale = run.stack_health["stale_served"]
+            assert run.obs.metrics.counter(
+                "health.stale_served").value == stale
+            spans = [s for s in run.obs.tracer.spans
+                     if s.name == "health.stale_served"]
+            assert len(spans) == stale, run.seed
+
+    def test_reconcile_emits_health_metrics(self, sweep):
+        for run in sweep.values():
+            repaired = run.reconcile_report.total_repaired()
+            assert run.obs.metrics.counter(
+                "health.reconcile.repaired").value == repaired
+
+    def test_deterministic_replay(self):
+        a = run_policy_chaos_scenario(5)
+        b = run_policy_chaos_scenario(5)
+        assert a.summary() == b.summary()
+        assert a.decisions == b.decisions
+
+
+class TestPolicyChaosShape:
+    def test_summary_is_json_able(self):
+        import json
+
+        run = run_policy_chaos_scenario(0, rounds=10, updates=3)
+        text = json.dumps(run.summary())
+        assert '"seed": 0' in text
+
+    def test_partition_blocks_delivery_until_heal(self):
+        run = run_policy_chaos_scenario(1, rounds=5, updates=4)
+        assert isinstance(run, PolicyChaosRun)
+        unreachable = [
+            r for r in run.env.audit.find(category="propagate.delta")
+            if r.outcome == "unreachable" and r.subject == "hostB:ejb"]
+        routed_b = [u for u in run.engine.update_log
+                    if any(g.domain == CHAOS_DOMAIN_B
+                           for g in u.delta.added_grants)
+                    or any(a.domain == CHAOS_DOMAIN_B
+                           for a in u.delta.added_assignments)]
+        # Every update was attempted while hostB was partitioned, so each
+        # one shows up as an unreachable delivery.
+        assert len(unreachable) == len(run.engine.update_log)
+        assert run.reconcile_report.replayed["hostB:ejb"] >= len(routed_b)
