@@ -17,7 +17,10 @@ Subcommands mirror the paper's Section-4 services over policy files:
   artifact (``BENCH_3.json``);
 - ``health``      — seed-swept policy-plane resilience report (circuit
   breakers, degraded modes, partition/reconcile convergence), the CI
-  chaos artifact (``HEALTH_4.json``).
+  chaos artifact (``HEALTH_4.json``);
+- ``conformance`` — differential testing of backends, caches, translators
+  and stack mediation against the naive oracle
+  (:mod:`repro.oracle`), the CI artifact (``CONFORMANCE_5.json``).
 
 Usage examples::
 
@@ -318,6 +321,26 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    """Seeded differential sweep against the conformance oracle (the
+    ``CONFORMANCE_5.json`` CI artifact)."""
+    from repro.oracle.differ import run_conformance
+    from repro.report import conformance_report
+
+    report = run_conformance(args.seed, args.cases,
+                             shrink=not args.no_shrink)
+    if args.json:
+        _emit(args, json.dumps(report, indent=2))
+    else:
+        _emit(args, conformance_report(report))
+    if args.check and report["counterexamples"]:
+        print(f"conformance check failed: "
+              f"{len(report['counterexamples'])} counterexample(s) found "
+              f"(known-lossy cases excluded)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
                                 faults=args.faults, seed=args.seed,
@@ -450,6 +473,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_health.add_argument("--out", default=None,
                           help="write the output to a file instead of stdout")
     p_health.set_defaults(func=_cmd_health)
+
+    p_conf = sub.add_parser(
+        "conformance", help="differential testing against the naive oracle")
+    p_conf.add_argument("--seed", type=int, default=0,
+                        help="generator seed for the case sweep")
+    p_conf.add_argument("--cases", type=int, default=200,
+                        help="number of generated cases (cycled over the "
+                             "four check families)")
+    p_conf.add_argument("--check", action="store_true",
+                        help="exit non-zero on any non-lossy disagreement")
+    p_conf.add_argument("--no-shrink", action="store_true",
+                        help="report raw counterexamples without shrinking")
+    p_conf.add_argument("--json", action="store_true",
+                        help="emit the full JSON report")
+    p_conf.add_argument("--out", default=None,
+                        help="write the output to a file instead of stdout")
+    p_conf.set_defaults(func=_cmd_conformance)
     return parser
 
 

@@ -1,0 +1,289 @@
+"""Seeded generators for differential-testing cases.
+
+Every generator takes a :class:`random.Random` and returns a plain-JSON
+*case dict*: a self-contained description from which
+:mod:`repro.oracle.differ` rebuilds every subject under test.  Keeping
+cases as data (relation tuples, credential texts, probe lists) is what
+makes shrinking and replay trivial — a counterexample is just a smaller
+case dict, serialisable as-is.
+
+Vocabulary notes:
+
+- User names are chosen ``capitalize()``-stable (``"Alice"``,
+  ``"Bob"``...) so the Figure-6 key-name convention (``Kalice`` ↔
+  ``Alice``) round-trips exactly through policy comprehension.
+- COM+ cases use a single NT domain: a COM+ invocation principal is
+  ``"DOMAIN\\user"`` while the Section-2 interpretation keeps the bare
+  user, so with one domain the two readings are a bijection (multi-domain
+  structure is exercised through the EJB cases instead).
+- EJB cases may mark methods ``<unchecked/>``: the backend then allows any
+  principal while the RBAC reading names no role — the differ classifies
+  such mismatches as known-lossy, mirroring the ``extract_rbac`` caveat.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.keynote.credential import Credential
+from repro.middleware.complus import COM_PERMISSIONS
+
+USERS = ("Alice", "Bob", "Carol", "Dave", "Eve", "Frank", "Grace", "Heidi")
+ROLES = ("Manager", "Clerk", "Auditor", "Engineer", "Operator")
+OBJECTS = ("SalariesDB", "AccountsDB", "ReportSvc", "PrintSvc", "BuildFarm")
+PERMISSIONS = ("read", "write", "execute", "approve", "view")
+
+#: attribute vocabulary for generated KeyNote conditions
+ATTR_VOCAB = {
+    "app_domain": ("db", "web", "batch"),
+    "op": ("read", "write", "execute", "approve", "view"),
+    "level": ("1", "2", "3", "4"),
+}
+
+
+# -- relation generators ------------------------------------------------------
+
+def gen_relations(rng: random.Random, domains: list[str],
+                  permissions: tuple[str, ...] = PERMISSIONS,
+                  ) -> tuple[list[list[str]], list[list[str]]]:
+    """Random HasPermission / UserAssignment tuples over the vocabulary."""
+    grants = {(rng.choice(domains), rng.choice(ROLES), rng.choice(OBJECTS),
+               rng.choice(permissions))
+              for _ in range(rng.randint(2, 6))}
+    assignments = {(rng.choice(USERS), rng.choice(domains), rng.choice(ROLES))
+                   for _ in range(rng.randint(2, 6))}
+    return ([list(g) for g in sorted(grants)],
+            [list(a) for a in sorted(assignments)])
+
+
+def gen_probes(rng: random.Random, grants: list[list[str]],
+               assignments: list[list[str]],
+               permissions: tuple[str, ...] = PERMISSIONS,
+               count: int | None = None) -> list[list[str]]:
+    """A request workload mixing likely-allowed joins with random misses."""
+    probes = []
+    for _ in range(count if count is not None else rng.randint(6, 10)):
+        if grants and assignments and rng.random() < 0.6:
+            user = rng.choice(assignments)[0]
+            _d, _r, object_type, permission = rng.choice(grants)
+            probes.append([user, object_type, permission])
+        else:
+            probes.append([rng.choice(USERS + ("Mallory",)),
+                           rng.choice(OBJECTS), rng.choice(permissions)])
+    return probes
+
+
+# -- middleware cases ---------------------------------------------------------
+
+def gen_middleware_case(rng: random.Random, label: str = "") -> dict:
+    """A random deployment of one backend kind plus an invocation workload."""
+    kind = rng.choice(("corba", "ejb", "complus"))
+    case: dict = {"check": "middleware", "kind": kind, "label": label}
+    if kind == "corba":
+        case["machine"], case["orb"] = "orbhost", "orb1"
+        domains = [f"{case['machine']}/{case['orb']}"]
+        permissions = PERMISSIONS
+    elif kind == "ejb":
+        case["host"], case["server"] = "ejbhost", "ejb1"
+        containers = rng.sample(("Payroll", "Accounts"), rng.randint(1, 2))
+        case["containers"] = containers
+        domains = [f"{case['host']}:{case['server']}/{c}" for c in containers]
+        permissions = PERMISSIONS
+    else:
+        case["machine"] = "winbox"
+        domains = [rng.choice(("CORP", "FINANCE"))]
+        permissions = COM_PERMISSIONS
+    case["domains"] = domains
+    grants, assignments = gen_relations(rng, domains, permissions)
+    case["grants"], case["assignments"] = grants, assignments
+    case["unchecked"], case["excluded"] = [], []
+    if kind == "ejb" and grants:
+        # Native descriptor features with no clean RBAC reading.
+        if rng.random() < 0.5:
+            domain, _role, bean, method = rng.choice(grants)
+            case["unchecked"].append([domain, bean, method])
+        if rng.random() < 0.3:
+            domain, _role, bean, method = rng.choice(grants)
+            case["excluded"].append([domain, bean, method])
+    case["probes"] = gen_probes(rng, grants, assignments, permissions)
+    for _domain, bean, method in case["unchecked"]:
+        case["probes"].append([rng.choice(USERS), bean, method])
+    return case
+
+
+# -- KeyNote cases ------------------------------------------------------------
+
+def _gen_conditions(rng: random.Random) -> str:
+    """A small random Conditions body over :data:`ATTR_VOCAB`."""
+    if rng.random() < 0.15:
+        return "true"
+    terms = []
+    for attribute in rng.sample(sorted(ATTR_VOCAB), rng.randint(1, 2)):
+        choices = ATTR_VOCAB[attribute]
+        if attribute == "level" and rng.random() < 0.5:
+            terms.append(f"{attribute} <= {rng.choice(choices)}")
+        elif rng.random() < 0.3:
+            pair = rng.sample(choices, 2)
+            terms.append(f'({attribute}=="{pair[0]}" || '
+                         f'{attribute}=="{pair[1]}")')
+        else:
+            terms.append(f'{attribute}=="{rng.choice(choices)}"')
+    return " && ".join(terms)
+
+
+def _licensees_text(rng: random.Random, keys: list[str]) -> str:
+    """A random licensee expression over the given keys."""
+    if len(keys) >= 3 and rng.random() < 0.2:
+        chosen = rng.sample(keys, 3)
+        quoted = ", ".join(f'"{k}"' for k in chosen)
+        return f"2-of({quoted})"
+    if len(keys) >= 2 and rng.random() < 0.3:
+        pair = rng.sample(keys, 2)
+        return f'"{pair[0]}" || "{pair[1]}"'
+    return f'"{rng.choice(keys)}"'
+
+
+def _credential_text(rng: random.Random, authorizer: str,
+                     keys: list[str]) -> str:
+    return Credential.build(
+        authorizer=authorizer,
+        licensees=_licensees_text(rng, keys),
+        conditions=_gen_conditions(rng)).to_text()
+
+
+def gen_compliance_case(rng: random.Random, label: str = "") -> dict:
+    """A random delegation graph (chains, cycles, thresholds) plus a query
+    workload and two phases of add/revoke churn."""
+    n = rng.randint(3, 6)
+    keys = [f"K{i}" for i in range(n)]
+    credentials = [_credential_text(rng, "POLICY", keys[:max(2, n - 1)])]
+    if rng.random() < 0.4:
+        credentials.append(_credential_text(rng, "POLICY", keys))
+    for i in range(n - 1):
+        if rng.random() < 0.7:
+            credentials.append(
+                _credential_text(rng, keys[i], [keys[i + 1]]))
+    for _ in range(rng.randint(0, 2)):
+        # Random extra delegation edges; cycles are deliberately possible.
+        author = rng.choice(keys)
+        credentials.append(_credential_text(rng, author, keys))
+
+    queries = []
+    for _ in range(rng.randint(4, 7)):
+        attributes = {attribute: rng.choice(values)
+                      for attribute, values in ATTR_VOCAB.items()
+                      if rng.random() < 0.8}
+        authorizers = rng.sample(keys + ["Kstranger"], rng.randint(1, 2))
+        queries.append([attributes, authorizers])
+
+    churn = []
+    for _ in range(2):
+        ops = []
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < 0.5:
+                ops.append({"op": "revoke", "index": rng.randrange(16)})
+            else:
+                ops.append({"op": "add", "credential": _credential_text(
+                    rng, rng.choice(keys + ["POLICY"]), keys)})
+        churn.append(ops)
+
+    return {"check": "compliance", "label": label,
+            "credentials": credentials, "queries": queries, "churn": churn}
+
+
+# -- round-trip / migration cases ---------------------------------------------
+
+#: migration directions whose domain mappings are decision-preserving by
+#: construction (single-domain sources for single-domain targets)
+DIRECTIONS = (("corba", "ejb"), ("complus", "corba"), ("ejb", "complus"))
+
+
+def gen_roundtrip_case(rng: random.Random, label: str = "") -> dict:
+    """A policy plus a (source kind, target kind) translation direction."""
+    src_kind, dst_kind = rng.choice(DIRECTIONS)
+    case: dict = {"check": "roundtrip", "label": label,
+                  "src_kind": src_kind, "dst_kind": dst_kind}
+    if src_kind == "corba":
+        domains = ["orbhost/orb1"]
+        permissions = PERMISSIONS
+    elif src_kind == "ejb":
+        containers = rng.sample(("Payroll", "Accounts"), rng.randint(1, 2))
+        case["containers"] = containers
+        domains = [f"ejbhost:ejb1/{c}" for c in containers]
+        # Mix COM and foreign permissions so the closed-vocabulary remap
+        # (the known-lossy leg) actually fires sometimes.
+        permissions = PERMISSIONS + COM_PERMISSIONS
+    else:
+        domains = [rng.choice(("CORP", "FINANCE"))]
+        permissions = COM_PERMISSIONS
+    case["domains"] = domains
+    grants, assignments = gen_relations(rng, domains, permissions)
+    case["grants"], case["assignments"] = grants, assignments
+    case["probes"] = gen_probes(rng, grants, assignments, permissions)
+    return case
+
+
+# -- stack cases --------------------------------------------------------------
+
+def gen_stack_case(rng: random.Random, label: str = "") -> dict:
+    """A full Figure-10 configuration: application predicate, TM credential
+    graph, CORBA backend, request workload and TM churn."""
+    domains = ["orbhost/orb1"]
+    grants, assignments = gen_relations(rng, domains)
+    users = sorted({a[0] for a in assignments}) or ["Alice"]
+    user_keys = [f"K{u.lower()}" for u in users]
+
+    credentials = []
+    if rng.random() < 0.5:
+        # POLICY licenses user keys directly.
+        for _ in range(rng.randint(1, 2)):
+            credentials.append(Credential.build(
+                "POLICY", _licensees_text(rng, user_keys),
+                _stack_conditions(rng)).to_text())
+    else:
+        # POLICY -> Kadmin -> user keys delegation chain.
+        credentials.append(Credential.build(
+            "POLICY", '"Kadmin"', _stack_conditions(rng)).to_text())
+        for _ in range(rng.randint(1, 2)):
+            credentials.append(Credential.build(
+                "Kadmin", _licensees_text(rng, user_keys),
+                _stack_conditions(rng)).to_text())
+
+    operations = sorted({g[3] for g in grants}) or list(PERMISSIONS)
+    denied = rng.sample(operations, rng.randint(0, min(1, len(operations))))
+
+    requests = []
+    for _ in range(rng.randint(4, 7)):
+        if rng.random() < 0.7 and grants:
+            user = rng.choice(users)
+            _d, _r, object_type, operation = rng.choice(grants)
+        else:
+            user = rng.choice(USERS)
+            object_type = rng.choice(OBJECTS)
+            operation = rng.choice(PERMISSIONS)
+        requests.append([user, f"K{user.lower()}", object_type, operation])
+
+    churn = [{"op": "revoke", "index": rng.randrange(16)}
+             for _ in range(rng.randint(0, 2))]
+
+    return {"check": "stack", "label": label,
+            "grants": grants, "assignments": assignments,
+            "credentials": credentials, "denied_ops": denied,
+            "requests": requests, "churn": churn}
+
+
+def _stack_conditions(rng: random.Random) -> str:
+    """Conditions over the one attribute stack mediation always sends."""
+    if rng.random() < 0.2:
+        return "true"
+    operations = rng.sample(PERMISSIONS, rng.randint(1, 3))
+    return "(" + " || ".join(f'op=="{o}"' for o in operations) + ")"
+
+
+#: check name -> generator, the differ's dispatch table
+GENERATORS = {
+    "middleware": gen_middleware_case,
+    "compliance": gen_compliance_case,
+    "roundtrip": gen_roundtrip_case,
+    "stack": gen_stack_case,
+}

@@ -1,0 +1,141 @@
+"""A naive, set-theoretic reference for the extended RBAC model (Section 2).
+
+This is the executable version of the paper's relational reading — the
+λ-RBAC idea of a small reference semantics one can check by inspection:
+
+- ``HasPermission``  ⊆ Domain × Role × ObjectType × Permission
+- ``UserAssignment`` ⊆ User × Domain × Role
+- ``≥`` (RBAC1)      ⊆ (Domain × Role) × (Domain × Role), senior → junior
+
+and the decision::
+
+    check_access(u, ot, p)  ⇔  ∃ (d, r) ∈ roles*(u) .
+                                   (d, r, ot, p) ∈ HasPermission
+
+where ``roles*`` closes the user's direct assignments downward over the
+hierarchy.  Everything is computed from the raw relation tuples on every
+call: no indexes, no memoisation, no derived structures kept in sync.  The
+transitive closure is an iterate-until-stable loop rather than a graph
+search, so it is correct for any (even cyclic) edge set the differ throws
+at it.  Slowness is the point — this module is the spec the fast paths in
+:mod:`repro.rbac.policy` and the middleware interpretations are diffed
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.rbac.policy import RBACPolicy
+
+#: (domain, role)
+DomainRolePair = Tuple[str, str]
+#: (domain, role, object_type, permission)
+GrantTuple = Tuple[str, str, str, str]
+#: (user, domain, role)
+AssignmentTuple = Tuple[str, str, str]
+#: ((senior domain, senior role), (junior domain, junior role))
+EdgeTuple = Tuple[DomainRolePair, DomainRolePair]
+
+
+class RBACOracle:
+    """Reference decisions over plain relation tuples.
+
+    >>> oracle = RBACOracle(
+    ...     grants=[("Finance", "Clerk", "SalariesDB", "write")],
+    ...     assignments=[("Alice", "Finance", "Manager")],
+    ...     hierarchy=[(("Finance", "Manager"), ("Finance", "Clerk"))])
+    >>> oracle.check_access("Alice", "SalariesDB", "write")
+    True
+    >>> oracle.check_access("Alice", "SalariesDB", "read")
+    False
+    """
+
+    def __init__(self, grants: Iterable[Sequence[str]] = (),
+                 assignments: Iterable[Sequence[str]] = (),
+                 hierarchy: Iterable[Sequence[Sequence[str]]] = ()) -> None:
+        self.grants: list[GrantTuple] = [
+            (g[0], g[1], g[2], g[3]) for g in grants]
+        self.assignments: list[AssignmentTuple] = [
+            (a[0], a[1], a[2]) for a in assignments]
+        self.hierarchy: list[EdgeTuple] = [
+            ((e[0][0], e[0][1]), (e[1][0], e[1][1])) for e in hierarchy]
+
+    @classmethod
+    def from_policy(cls, policy: RBACPolicy) -> "RBACOracle":
+        """Flatten a production :class:`~repro.rbac.policy.RBACPolicy` into
+        oracle tuples (hierarchy edges included)."""
+        return cls(
+            grants=[(g.domain, g.role, g.object_type, g.permission)
+                    for g in policy.sorted_grants()],
+            assignments=[(a.user, a.domain, a.role)
+                         for a in policy.sorted_assignments()],
+            hierarchy=[((s.domain, s.role), (j.domain, j.role))
+                       for s, j in policy.hierarchy.edges()])
+
+    # -- hierarchy closure (iterate until stable) ---------------------------
+
+    def juniors_of(self, domain: str, role: str) -> set[DomainRolePair]:
+        """All (domain, role) pairs dominated by the given pair, exclusive."""
+        closed: set[DomainRolePair] = set()
+        changed = True
+        while changed:
+            changed = False
+            for senior, junior in self.hierarchy:
+                if senior == (domain, role) or senior in closed:
+                    if junior not in closed and junior != (domain, role):
+                        closed.add(junior)
+                        changed = True
+        return closed
+
+    def seniors_of(self, domain: str, role: str) -> set[DomainRolePair]:
+        """All (domain, role) pairs dominating the given pair, exclusive."""
+        return {pair for pair in self._all_pairs()
+                if pair != (domain, role)
+                and (domain, role) in self.juniors_of(*pair)}
+
+    def _all_pairs(self) -> set[DomainRolePair]:
+        pairs = {(g[0], g[1]) for g in self.grants}
+        pairs |= {(a[1], a[2]) for a in self.assignments}
+        for senior, junior in self.hierarchy:
+            pairs.add(senior)
+            pairs.add(junior)
+        return pairs
+
+    # -- derived relations --------------------------------------------------
+
+    def roles_of(self, user: str) -> set[DomainRolePair]:
+        """Direct assignments of ``user``, closed downward over ``≥``."""
+        closed: set[DomainRolePair] = set()
+        for assigned_user, domain, role in self.assignments:
+            if assigned_user == user:
+                closed.add((domain, role))
+                closed |= self.juniors_of(domain, role)
+        return closed
+
+    def members_of(self, domain: str, role: str) -> set[str]:
+        """Users holding (domain, role) directly or via a senior role."""
+        qualifying = {(domain, role)} | self.seniors_of(domain, role)
+        return {user for user, d, r in self.assignments
+                if (d, r) in qualifying}
+
+    def role_has_permission(self, domain: str, role: str, object_type: str,
+                            permission: str) -> bool:
+        """True if (domain, role) holds the grant directly or via a junior."""
+        qualifying = {(domain, role)} | self.juniors_of(domain, role)
+        return any((d, r) in qualifying and ot == object_type
+                   and p == permission for d, r, ot, p in self.grants)
+
+    # -- decisions ----------------------------------------------------------
+
+    def check_access(self, user: str, object_type: str,
+                     permission: str) -> bool:
+        """The Section-2 decision, spelled as the set comprehension above."""
+        roles = self.roles_of(user)
+        return any((d, r) in roles and ot == object_type and p == permission
+                   for d, r, ot, p in self.grants)
+
+    def authorised_users(self, object_type: str, permission: str) -> set[str]:
+        """Every user the oracle would allow for (object_type, permission)."""
+        return {user for user, _d, _r in self.assignments
+                if self.check_access(user, object_type, permission)}

@@ -106,6 +106,28 @@ def observability_report(obs: "Observability") -> str:
     return header + "\n\n" + metrics_report(obs.metrics)
 
 
+def conformance_report(report: dict) -> str:
+    """Text rendering of a ``CONFORMANCE_5`` differential-testing report."""
+    lines = [f"conformance: {report['agreements']}/{report['comparisons']} "
+             f"comparisons agree over {report['cases']} cases "
+             f"(seed {report['seed']})",
+             f"  known-lossy disagreements: {report['known_lossy']}",
+             f"  counterexamples: {len(report['counterexamples'])}"]
+    rows = [(check, stats["cases"], stats["comparisons"],
+             stats["agreements"], stats["known_lossy"],
+             stats["counterexamples"])
+            for check, stats in sorted(report["per_check"].items())]
+    lines.append("")
+    lines.append(format_table(["check", "cases", "comparisons", "agreements",
+                               "known-lossy", "counterexamples"], rows))
+    for example in report["counterexamples"]:
+        first = example["disagreements"][0] if example["disagreements"] else {}
+        lines.append(f"  FAIL {example['check']} case {example['index']}: "
+                     f"{first.get('comparison', '?')} expected "
+                     f"{first.get('expected')!r} got {first.get('actual')!r}")
+    return "\n".join(lines)
+
+
 def delegation_graph_dot(credentials: list[Credential]) -> str:
     """Graphviz DOT text for the delegation graph."""
     graph = delegation_graph(credentials)

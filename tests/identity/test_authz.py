@@ -1,0 +1,142 @@
+"""Direct unit tests for identity/authz.py: the AuthorisationDatabase and
+the IdentityAuthoriser pipeline mechanics.
+
+The baseline suite (test_identity_baseline.py) reads the paper's Section-3
+contrast; this file pins the module's own contract — database semantics,
+decision flags, truthiness, the quiet/raising split, and timing.
+"""
+
+import pytest
+
+from repro.crypto import KeyPair
+from repro.errors import CredentialError
+from repro.identity.authz import (
+    AuthorisationDatabase,
+    IdentityAuthoriser,
+    IdentityDecision,
+)
+from repro.identity.certs import CertificateAuthority
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("TestCA")
+
+
+@pytest.fixture
+def db():
+    return AuthorisationDatabase()
+
+
+@pytest.fixture
+def authoriser(ca, db):
+    return IdentityAuthoriser(ca, db)
+
+
+def issue(ca, name, seed=None, **kwargs):
+    key = KeyPair.generate(seed or name).public.encode()
+    return ca.issue(name, key, **kwargs)
+
+
+class TestAuthorisationDatabase:
+    def test_grant_is_idempotent(self, db):
+        db.grant("n", "T", "op")
+        db.grant("n", "T", "op")
+        assert db.lookup("n", "T", "op")
+        assert db.revoke("n", "T", "op")
+        assert not db.lookup("n", "T", "op")
+
+    def test_rights_are_per_pair(self, db):
+        db.grant("n", "T", "read")
+        assert not db.lookup("n", "T", "write")
+        assert not db.lookup("n", "U", "read")
+        assert not db.lookup("m", "T", "read")
+
+    def test_revoke_missing_right_returns_false(self, db):
+        assert not db.revoke("ghost", "T", "op")
+        db.grant("n", "T", "op")
+        assert not db.revoke("n", "T", "other")
+
+    def test_names_reflects_grants_not_revocations(self, db):
+        db.grant("a", "T", "op")
+        db.grant("b", "T", "op")
+        assert db.names() == {"a", "b"}
+        db.revoke("a", "T", "op")
+        # A name with an (empty) entry still appears: the table keys it.
+        assert "b" in db.names()
+
+
+class TestIdentityDecision:
+    def test_truthiness_follows_allowed(self):
+        assert IdentityDecision(allowed=True, subject_name="n",
+                                ambiguous=False)
+        assert not IdentityDecision(allowed=False, subject_name="n",
+                                    ambiguous=True)
+
+
+class TestAuthorisePipeline:
+    def test_denied_name_is_not_an_error(self, ca, authoriser):
+        decision = authoriser.authorise(issue(ca, "Nobody"), "T", "op")
+        assert not decision.allowed
+        assert decision.subject_name == "Nobody"
+        assert not decision.ambiguous
+
+    def test_allowed_with_subject_name(self, ca, db, authoriser):
+        db.grant("Alice", "SalariesDB", "read")
+        decision = authoriser.authorise(issue(ca, "Alice"),
+                                        "SalariesDB", "read")
+        assert decision.allowed and decision.subject_name == "Alice"
+
+    def test_validation_runs_before_the_database(self, ca, db, authoriser):
+        db.grant("Alice", "T", "op")
+        cert = issue(ca, "Alice")
+        ca.revoke(cert.serial)
+        with pytest.raises(CredentialError):
+            authoriser.authorise(cert, "T", "op")
+
+    def test_validity_window_uses_at_time(self, ca, db, authoriser):
+        db.grant("Alice", "T", "op")
+        cert = issue(ca, "Alice", not_before=10.0, not_after=20.0)
+        assert authoriser.authorise(cert, "T", "op", at_time=15.0)
+        with pytest.raises(CredentialError):
+            authoriser.authorise(cert, "T", "op", at_time=25.0)
+
+    def test_ambiguity_flag_requires_a_distinct_live_key(self, ca, db,
+                                                         authoriser):
+        db.grant("Alice", "T", "op")
+        first = issue(ca, "Alice", seed="alice-1")
+        assert not authoriser.authorise(first, "T", "op").ambiguous
+        twin = issue(ca, "Alice", seed="alice-2")
+        assert authoriser.authorise(first, "T", "op").ambiguous
+        assert authoriser.authorise(twin, "T", "op").ambiguous
+        # Revoking the twin resolves the ambiguity: revoked binds no longer
+        # count.
+        ca.revoke(twin.serial)
+        assert not authoriser.authorise(first, "T", "op").ambiguous
+
+    def test_same_key_reissue_is_not_ambiguous(self, ca, authoriser):
+        key = KeyPair.generate("alice").public.encode()
+        first = ca.issue("Alice", key)
+        ca.issue("Alice", key)  # renewal: same name, same key
+        assert not authoriser.authorise(first, "T", "op").ambiguous
+
+
+class TestAuthoriseQuietly:
+    def test_maps_validation_failure_to_deny(self, ca, db, authoriser):
+        db.grant("Alice", "T", "op")
+        cert = issue(ca, "Alice")
+        ca.revoke(cert.serial)
+        decision = authoriser.authorise_quietly(cert, "T", "op")
+        assert not decision.allowed
+        assert decision.subject_name == "Alice"
+        assert not decision.ambiguous
+
+    def test_passes_through_a_valid_decision(self, ca, db, authoriser):
+        db.grant("Alice", "T", "op")
+        assert authoriser.authorise_quietly(issue(ca, "Alice"), "T", "op")
+
+    def test_foreign_ca_maps_to_deny(self, db, authoriser):
+        other = CertificateAuthority("OtherCA")
+        db.grant("Alice", "T", "op")
+        assert not authoriser.authorise_quietly(issue(other, "Alice"),
+                                                "T", "op")

@@ -245,6 +245,7 @@ class TestCachedUncachedEquivalence:
     CONDITIONS = ('x=="1"', 'y=="2"', "true", 'x=="1" && y=="2"',
                   'x=="1" || y=="2"')
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(12))
     def test_cached_matches_uncached(self, seed):
         rng = random.Random(seed)

@@ -1,0 +1,59 @@
+"""Checked-in counterexample fixtures replay clean against every path.
+
+Each JSON file under ``cases/`` is a shrunk or synthetic case dict exactly
+as the differ serialises counterexamples; replaying one re-runs every
+subject the case describes (backends, checkers, translators, the stack).
+A fixture that starts producing a non-lossy disagreement means a
+regression escaped somewhere in the authorisation plane.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.oracle.differ import replay_case, shrink_case
+
+CASES_DIR = Path(__file__).parent / "cases"
+CASE_FILES = sorted(CASES_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def test_fixture_directory_is_populated():
+    assert len(CASE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", CASE_FILES, ids=lambda p: p.stem)
+def test_fixture_replays_without_non_lossy_disagreement(path):
+    result = replay_case(_load(path))
+    assert result["comparisons"] > 0
+    real = [d for d in result["disagreements"] if not d["lossy"]]
+    assert real == []
+
+
+def test_ejb_unchecked_fixture_pins_the_lossy_classification():
+    """The <unchecked/> fixture must keep producing exactly its documented
+    known-lossy mismatch: the roleless principal is allowed by the backend
+    but denied by the RBAC reading."""
+    result = replay_case(_load(CASES_DIR / "ejb_unchecked_lossy.json"))
+    lossy = [d for d in result["disagreements"] if d["lossy"]]
+    assert len(lossy) == 1
+    assert lossy[0]["comparison"] == "backend-vs-oracle"
+    assert lossy[0]["probe"] == ["Mallory", "SalariesDB", "read"]
+    assert lossy[0]["actual"] is True and lossy[0]["expected"] is False
+
+
+def test_cycle_fixture_exercises_revocation_churn():
+    case = _load(CASES_DIR / "delegation_cycle.json")
+    assert case["churn"], "fixture must keep its churn phase"
+    assert replay_case(case)["disagreements"] == []
+
+
+def test_stack_fixture_survives_shrinking():
+    """A passing fixture is already minimal for the shrinker: no element
+    can be dropped to *create* a disagreement."""
+    case = _load(CASES_DIR / "stack_static_stale.json")
+    assert shrink_case(case) == case

@@ -1,0 +1,135 @@
+"""The differential harness: per-family conformance, shrinking, replay."""
+
+import json
+import random
+
+import pytest
+
+from repro.oracle import differ
+from repro.oracle.differ import (
+    evaluate_case,
+    replay_case,
+    run_conformance,
+    shrink_case,
+)
+from repro.oracle.gen import GENERATORS
+
+
+class TestPerFamilyConformance:
+    @pytest.mark.parametrize("check", sorted(GENERATORS))
+    def test_family_has_no_counterexamples(self, check):
+        for seed in range(4):
+            rng = random.Random(f"differ:{check}:{seed}")
+            case = GENERATORS[check](rng, label=f"{check}-{seed}")
+            result = evaluate_case(case)
+            assert result["comparisons"] > 0
+            real = [d for d in result["disagreements"] if not d["lossy"]]
+            assert real == []
+
+    def test_run_conformance_report_shape(self):
+        report = run_conformance(seed=0, cases=8)
+        assert report["report"] == "CONFORMANCE_5"
+        assert report["cases"] == 8
+        assert report["counterexamples"] == []
+        assert set(report["per_check"]) == set(GENERATORS)
+        for stats in report["per_check"].values():
+            assert stats["cases"] == 2
+            assert (stats["agreements"] + stats["known_lossy"]
+                    == stats["comparisons"])
+        assert report["comparisons"] == sum(
+            s["comparisons"] for s in report["per_check"].values())
+
+    def test_report_is_json_serialisable(self):
+        report = run_conformance(seed=3, cases=4)
+        assert json.loads(json.dumps(report)) == report
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(1, 5))
+def test_multi_seed_sweep(seed):
+    report = run_conformance(seed=seed, cases=40)
+    assert report["counterexamples"] == []
+
+
+class TestShrinker:
+    """A synthetic check whose failure is caused by exactly one element
+    lets us pin the shrinker's minimality."""
+
+    @pytest.fixture
+    def synthetic(self):
+        def evaluator(case):
+            disagreements = []
+            if ["poison"] in case["grants"]:
+                disagreements.append({
+                    "comparison": "synthetic", "expected": False,
+                    "actual": True, "lossy": False})
+            return {"comparisons": len(case["grants"]) + len(case["probes"]),
+                    "disagreements": disagreements}
+        differ.EVALUATORS["synthetic"] = evaluator
+        yield
+        del differ.EVALUATORS["synthetic"]
+
+    def test_shrinks_to_the_single_cause(self, synthetic):
+        case = {"check": "synthetic",
+                "grants": [["a"], ["b"], ["poison"], ["c"], ["d"]],
+                "probes": [["p1"], ["p2"], ["p3"]]}
+        minimal = shrink_case(case)
+        assert minimal["grants"] == [["poison"]]
+        assert minimal["probes"] == []
+
+    def test_shrinking_leaves_passing_cases_alone(self, synthetic):
+        case = {"check": "synthetic", "grants": [["a"]], "probes": [["p"]]}
+        assert shrink_case(case) == case
+
+    def test_shrink_does_not_mutate_the_input(self, synthetic):
+        case = {"check": "synthetic", "grants": [["poison"], ["a"]],
+                "probes": []}
+        snapshot = json.loads(json.dumps(case))
+        shrink_case(case)
+        assert case == snapshot
+
+    def test_crashing_candidate_is_not_taken(self, synthetic):
+        # Removing "keep" makes the evaluator crash; the shrinker must treat
+        # that as "removal not allowed", not as a smaller counterexample.
+        def fragile(case):
+            if ["keep"] not in case["grants"]:
+                raise RuntimeError("unbuildable case")
+            return {"comparisons": 1, "disagreements": [
+                {"comparison": "x", "expected": 0, "actual": 1,
+                 "lossy": False}]}
+        differ.EVALUATORS["synthetic"] = fragile
+        minimal = shrink_case({"check": "synthetic",
+                               "grants": [["keep"], ["a"]], "probes": []})
+        assert ["keep"] in minimal["grants"]
+
+
+class TestReplay:
+    def test_serialised_case_replays_identically(self):
+        rng = random.Random("replay:0")
+        case = GENERATORS["middleware"](rng, label="replay")
+        first = evaluate_case(case)
+        wire = json.dumps(case)
+        second = replay_case(json.loads(wire))
+        assert first == second
+
+    def test_counterexample_entries_carry_replayable_cases(self, monkeypatch):
+        # Force a disagreement by breaking the oracle for one probe, then
+        # check the report's counterexample replays under the real differ.
+        real_eval = differ.EVALUATORS["middleware"]
+
+        def broken(case):
+            result = real_eval(case)
+            result["disagreements"].append({
+                "comparison": "injected", "expected": True, "actual": False,
+                "lossy": False})
+            return result
+
+        monkeypatch.setitem(differ.EVALUATORS, "middleware", broken)
+        report = run_conformance(seed=0, cases=1, shrink=False)
+        assert len(report["counterexamples"]) == 1
+        entry = report["counterexamples"][0]
+        assert entry["check"] == "middleware"
+        assert entry["disagreements"]
+        monkeypatch.undo()
+        clean = replay_case(entry["case"])
+        assert [d for d in clean["disagreements"] if not d["lossy"]] == []

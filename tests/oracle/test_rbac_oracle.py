@@ -1,0 +1,112 @@
+"""The naive RBAC oracle against handcrafted cases and the production
+:class:`~repro.rbac.policy.RBACPolicy` (hierarchy included)."""
+
+import random
+
+import pytest
+
+from repro.oracle.gen import ROLES, gen_probes, gen_relations
+from repro.oracle.rbac_oracle import RBACOracle
+from repro.rbac.model import DomainRole
+from repro.rbac.policy import RBACPolicy
+
+
+class TestHandcrafted:
+    def test_direct_grant(self):
+        oracle = RBACOracle(
+            grants=[("Finance", "Clerk", "SalariesDB", "read")],
+            assignments=[("Alice", "Finance", "Clerk")])
+        assert oracle.check_access("Alice", "SalariesDB", "read")
+        assert not oracle.check_access("Alice", "SalariesDB", "write")
+        assert not oracle.check_access("Bob", "SalariesDB", "read")
+
+    def test_senior_inherits_junior_permission(self):
+        oracle = RBACOracle(
+            grants=[("Finance", "Clerk", "SalariesDB", "read")],
+            assignments=[("Alice", "Finance", "Manager")],
+            hierarchy=[(("Finance", "Manager"), ("Finance", "Clerk"))])
+        assert oracle.check_access("Alice", "SalariesDB", "read")
+        assert oracle.roles_of("Alice") == {("Finance", "Manager"),
+                                            ("Finance", "Clerk")}
+
+    def test_junior_does_not_inherit_upward(self):
+        oracle = RBACOracle(
+            grants=[("Finance", "Manager", "SalariesDB", "write")],
+            assignments=[("Bob", "Finance", "Clerk")],
+            hierarchy=[(("Finance", "Manager"), ("Finance", "Clerk"))])
+        assert not oracle.check_access("Bob", "SalariesDB", "write")
+
+    def test_transitive_hierarchy(self):
+        oracle = RBACOracle(
+            grants=[("D", "C", "T", "p")],
+            assignments=[("Alice", "D", "A")],
+            hierarchy=[(("D", "A"), ("D", "B")), (("D", "B"), ("D", "C"))])
+        assert oracle.juniors_of("D", "A") == {("D", "B"), ("D", "C")}
+        assert oracle.seniors_of("D", "C") == {("D", "A"), ("D", "B")}
+        assert oracle.check_access("Alice", "T", "p")
+
+    def test_cyclic_edges_terminate(self):
+        # The production hierarchy refuses cycles; the oracle must stay
+        # total (and sane) on any edge set the differ could construct.
+        oracle = RBACOracle(
+            grants=[("D", "B", "T", "p")],
+            assignments=[("Alice", "D", "A")],
+            hierarchy=[(("D", "A"), ("D", "B")), (("D", "B"), ("D", "A"))])
+        assert oracle.check_access("Alice", "T", "p")
+        assert oracle.juniors_of("D", "A") == {("D", "B")}
+
+    def test_members_of_includes_seniors(self):
+        oracle = RBACOracle(
+            assignments=[("Alice", "D", "Manager"), ("Bob", "D", "Clerk")],
+            hierarchy=[(("D", "Manager"), ("D", "Clerk"))])
+        assert oracle.members_of("D", "Clerk") == {"Alice", "Bob"}
+        assert oracle.members_of("D", "Manager") == {"Alice"}
+
+    def test_role_has_permission_via_junior(self):
+        oracle = RBACOracle(
+            grants=[("D", "Clerk", "T", "p")],
+            hierarchy=[(("D", "Manager"), ("D", "Clerk"))])
+        assert oracle.role_has_permission("D", "Manager", "T", "p")
+        assert not oracle.role_has_permission("D", "Clerk", "T", "q")
+
+    def test_authorised_users(self):
+        oracle = RBACOracle(
+            grants=[("D", "Clerk", "T", "p")],
+            assignments=[("Alice", "D", "Clerk"), ("Bob", "D", "Auditor")])
+        assert oracle.authorised_users("T", "p") == {"Alice"}
+
+
+def _policy_with_hierarchy(rng: random.Random) -> RBACPolicy:
+    domains = ["Finance", "Engineering"]
+    grants, assignments = gen_relations(rng, domains)
+    policy = RBACPolicy.from_relations(
+        "seeded", [tuple(g) for g in grants], [tuple(a) for a in assignments])
+    # A random forest of acyclic edges over the role vocabulary.
+    pairs = [DomainRole(d, r) for d in domains for r in ROLES]
+    for _ in range(rng.randint(0, 4)):
+        senior, junior = rng.sample(pairs, 2)
+        if junior not in policy.hierarchy.seniors(senior) | {senior}:
+            policy.hierarchy.add_inheritance(senior, junior)
+    return policy
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_from_policy_agrees_with_production(seed):
+    """Every (user, object, permission) decision, membership set and role
+    set must agree between RBACPolicy and its flattened oracle."""
+    rng = random.Random(f"rbac-oracle:{seed}")
+    policy = _policy_with_hierarchy(rng)
+    oracle = RBACOracle.from_policy(policy)
+    probes = gen_probes(rng, [[g.domain, g.role, g.object_type, g.permission]
+                              for g in policy.sorted_grants()],
+                        [[a.user, a.domain, a.role]
+                         for a in policy.sorted_assignments()], count=15)
+    for user, object_type, permission in probes:
+        assert (policy.check_access(user, object_type, permission)
+                == oracle.check_access(user, object_type, permission))
+    for user in {a.user for a in policy.assignments}:
+        assert ({(dr.domain, dr.role) for dr in policy.roles_of(user)}
+                == oracle.roles_of(user))
+    for grant in policy.sorted_grants():
+        assert (policy.members_of(grant.domain, grant.role)
+                == oracle.members_of(grant.domain, grant.role))

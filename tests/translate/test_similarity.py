@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.rbac.policy import RBACPolicy
 from repro.translate.similarity import (
     best_match,
     jaccard,
@@ -11,6 +12,11 @@ from repro.translate.similarity import (
     match_vocabulary,
     name_similarity,
 )
+
+#: identifier-shaped names for the hypothesis properties below
+identifiers = st.text(
+    alphabet="abcdefgXYZ0123_", min_size=1, max_size=12).filter(
+        lambda s: s.strip("_"))
 
 
 class TestLevenshtein:
@@ -101,3 +107,67 @@ class TestMatching:
     def test_empty_inputs(self):
         assert match_vocabulary([], ["a"]) == {}
         assert match_vocabulary(["a"], []) == {}
+
+
+class TestSelfSimilarity:
+    @settings(max_examples=80, deadline=None)
+    @given(identifiers)
+    def test_every_name_is_similar_to_itself(self, name):
+        assert name_similarity(name, name) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(identifiers, min_size=1, max_size=6))
+    def test_vocabulary_self_match_is_total_and_exact(self, names):
+        """Matching a vocabulary against itself covers every source, and
+        every assigned pair is an exact (1.0) match — identity up to
+        similarity ties."""
+        mapping = match_vocabulary(sorted(names), sorted(names))
+        assert set(mapping) == names
+        assert all(name_similarity(source, target) == 1.0
+                   for source, target in mapping.items())
+
+    @settings(max_examples=40, deadline=None)
+    @given(identifiers, st.sets(identifiers, min_size=1, max_size=5))
+    def test_best_match_prefers_self(self, name, others):
+        candidates = sorted(others | {name})
+        match = best_match(name, candidates)
+        assert match is not None
+        assert name_similarity(name, match) == 1.0
+
+
+class TestPolicyEdgeCases:
+    def test_empty_policies_match_to_nothing(self):
+        """Two empty policies have empty vocabularies: every direction of
+        matching is the empty mapping, not an error."""
+        a = RBACPolicy.from_relations("a", [], [])
+        b = RBACPolicy.from_relations("b", [], [])
+        for source, target in ((a, b), (b, a)):
+            roles = sorted({g.role for g in source.grants})
+            permissions = sorted({g.permission for g in source.grants})
+            assert roles == [] and permissions == []
+            assert match_vocabulary(
+                roles, sorted({g.role for g in target.grants})) == {}
+            assert match_vocabulary(
+                permissions,
+                sorted({g.permission for g in target.grants})) == {}
+
+    def test_one_empty_side(self):
+        policy = RBACPolicy.from_relations(
+            "p", [("D", "Manager", "T", "read")], [("Alice", "D", "Manager")])
+        roles = sorted({g.role for g in policy.grants})
+        assert match_vocabulary(roles, []) == {}
+        assert match_vocabulary([], roles) == {}
+        assert best_match("Manager", []) is None
+
+    def test_disjoint_role_sets_yield_no_confident_match(self):
+        """Role vocabularies with nothing in common must not be force-mapped
+        once the threshold asks for real similarity."""
+        ours = ["Manager", "Clerk", "Auditor"]
+        theirs = ["Xylophone", "Quasar", "Bzzt"]
+        assert match_vocabulary(ours, theirs, threshold=0.8) == {}
+        for role in ours:
+            assert best_match(role, theirs, threshold=0.8) is None
+
+    def test_disjoint_sets_below_default_threshold_stay_unmapped(self):
+        mapping = match_vocabulary(["Manager"], ["Qx"], threshold=0.5)
+        assert mapping == {}

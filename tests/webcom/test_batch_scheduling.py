@@ -69,6 +69,7 @@ class TestBatchedScheduling:
         kinds = {m.kind for m in run.master.network.delivered}
         assert "execute_batch" not in kinds
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(15))
     def test_converges_under_chaos(self, seed):
         run = run_observed_scenario(fan=FAN, n_clients=2, batch=True,

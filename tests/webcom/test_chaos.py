@@ -85,6 +85,7 @@ class TestChaosConvergence:
     def baseline(self):
         return fault_free_run()
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", SEEDS)
     def test_secure_workflow_converges(self, seed, baseline):
         plan = FaultPlan.chaos(seed, crash_peers=("c1",))
@@ -121,6 +122,7 @@ class TestChaosConvergence:
         assert all(count > 0 for count in totals.values()), totals
         assert crash_seeds >= 5
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(8))
     def test_denial_converges_under_chaos(self, seed):
         # An untrusted master is refused under every schedule, and the
@@ -182,6 +184,7 @@ class TestCheckpointedFailover:
             category="webcom.schedule", outcome="ok"))
         assert executions == [f"stage{i:03d}" for i in range(5)]
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(6))
     def test_failover_converges_under_chaos(self, seed):
         # Master crash window plus message-level chaos: the group still

@@ -12,6 +12,8 @@ import pytest
 from repro.webcom.scenario import (CHAOS_DOMAIN_B, PolicyChaosRun,
                                    run_policy_chaos_scenario)
 
+pytestmark = pytest.mark.slow  # 20-seed module-scoped chaos sweep
+
 SWEEP_SEEDS = range(20)
 
 

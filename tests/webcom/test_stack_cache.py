@@ -7,6 +7,9 @@ from repro.keynote.api import KeyNoteSession
 from repro.keynote.credential import Credential
 from repro.obs import Observability
 from repro.util.clock import SimulatedClock
+from repro.webcom.faults import (LayerFaultInjector, LayerFaultPlan,
+                                 LayerFaultRule)
+from repro.webcom.health import DegradedMode
 from repro.webcom.stack import AuthorisationStack, Layer, MediationRequest
 
 
@@ -165,6 +168,43 @@ class TestTrustManagementInvalidation:
             Credential.build("Kdelegate", '"Kalice"', "true").sign(
                 keystore.pair("Kdelegate").private))
         assert stack.mediate(REQUEST).allowed
+
+    def test_fail_static_stale_serve_is_never_recached_as_fresh(self, clock):
+        """The staleness edge at the cache/breaker boundary: a fail-static
+        decision served from the last-known-good store during an outage must
+        never be returned by the TTL cache as *fresh* once the layer
+        recovers and the breaker closes."""
+        session, _credential = self.build_session(clock)
+        injector = LayerFaultInjector(LayerFaultPlan(seed=0, rules=(
+            LayerFaultRule(layer="TRUST_MANAGEMENT", fail=1.0,
+                           start=10.0, end=50.0),)))
+        stack = AuthorisationStack(clock=clock, cache_ttl=5.0,
+                                   layer_faults=injector,
+                                   breaker_threshold=1,
+                                   breaker_cooldown=20.0)
+        stack.set_degraded_mode(Layer.TRUST_MANAGEMENT,
+                                DegradedMode.FAIL_STATIC)
+        stack.plug_trust_management(session)
+
+        healthy = stack.mediate(REQUEST)
+        assert healthy.allowed and not healthy.stale
+
+        clock.advance(15.0)  # t=15: TTL lapsed, fault window open
+        stale = stack.mediate(REQUEST)
+        assert stale.allowed == healthy.allowed
+        assert stale.stale and stale.is_degraded()
+        # The degraded decision must not have been stored: the cache holds
+        # nothing (the healthy entry expired, the stale one was skipped).
+        assert stack.cache_info()["entries"] == 0
+        assert stack.mediate(REQUEST).stale  # still degraded, still marked
+
+        clock.advance(45.0)  # t=60: fault over, breaker cooldown passed
+        fresh = stack.mediate(REQUEST)
+        assert fresh.allowed and not fresh.stale and not fresh.is_degraded()
+        # The fresh decision is cached; a hit must not resurrect staleness.
+        cached = stack.mediate(REQUEST)
+        assert not cached.stale and not cached.is_degraded()
+        assert stack.cache_info()["entries"] == 1
 
     def test_invalidate_cache_is_explicit_flush(self, clock):
         session, _credential = self.build_session(clock)
