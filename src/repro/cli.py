@@ -341,6 +341,27 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_durability(args: argparse.Namespace) -> int:
+    """Seeded kill-at-every-write-site crash-recovery sweep (the
+    ``DURABILITY_6.json`` CI artifact)."""
+    from repro.report import durability_report
+    from repro.store.harness import run_durability_sweep
+
+    report = run_durability_sweep(args.seeds, args.ops)
+    if args.json:
+        _emit(args, json.dumps(report, indent=2))
+    else:
+        _emit(args, durability_report(report))
+    if args.check and not report["ok"]:
+        print(f"durability check failed: "
+              f"{report['acked_loss_total']} acknowledged update(s) lost, "
+              f"{report['oracle_disagreements_total']} oracle "
+              f"disagreement(s), {len(report['failures'])} failure(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
                                 faults=args.faults, seed=args.seed,
@@ -490,6 +511,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_conf.add_argument("--out", default=None,
                         help="write the output to a file instead of stdout")
     p_conf.set_defaults(func=_cmd_conformance)
+
+    p_dur = sub.add_parser(
+        "durability", help="kill-at-every-write-site crash-recovery sweep")
+    p_dur.add_argument("--seeds", type=int, default=10,
+                       help="workload seeds to sweep (each kills every "
+                            "write site once)")
+    p_dur.add_argument("--ops", type=int, default=24,
+                       help="mutation ops per workload run")
+    p_dur.add_argument("--check", action="store_true",
+                       help="exit non-zero on any acknowledged-update loss "
+                            "or post-recovery oracle disagreement")
+    p_dur.add_argument("--json", action="store_true",
+                       help="emit the full JSON report")
+    p_dur.add_argument("--out", default=None,
+                       help="write the output to a file instead of stdout")
+    p_dur.set_defaults(func=_cmd_durability)
     return parser
 
 

@@ -205,3 +205,56 @@ class LayerTimeoutError(WebComError):
 
 class KeyComError(WebComError):
     """The KeyCOM administration service rejected an update request."""
+
+
+# ---------------------------------------------------------------------------
+# Durable store
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for durability-subsystem errors."""
+
+
+class CorruptLogError(StoreError):
+    """A write-ahead log record in the *middle* of the log failed its
+    checksum or could not be decoded.
+
+    Torn or bit-flipped **trailing** records are expected after a crash and
+    are cleanly truncated by recovery; a corrupt record with valid records
+    *after* it means the medium (not a crash) damaged acknowledged history,
+    which recovery must refuse to paper over.
+
+    :ivar path: the log file.
+    :ivar offset: byte offset of the bad record.
+    :ivar reason: what failed (``"checksum"``, ``"decode"``, ``"header"``).
+    """
+
+    def __init__(self, message: str, path: str = "", offset: int = -1,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+        self.reason = reason
+
+
+class RecoveryError(StoreError):
+    """Recovery could not reassemble a consistent state (e.g. every
+    snapshot is unreadable and the log was compacted past the tail)."""
+
+
+class SimulatedCrashError(StoreError):
+    """A seeded crash point fired: the simulated process dies here.
+
+    Raised by :class:`~repro.webcom.faults.CrashPointInjector` at a store
+    write site; the durability harness treats it as the process being
+    killed, restarts from disk, and verifies recovery.
+
+    :ivar site: the write site that fired.
+    :ivar hit: which visit of the site fired.
+    """
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"simulated crash at {site} (hit {hit})")
+        self.site = site
+        self.hit = hit

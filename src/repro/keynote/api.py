@@ -24,6 +24,7 @@ from repro.util.events import AuditLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
+    from repro.store.durable import DurableStore
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,8 @@ class KeyNoteSession:
                  verify_signatures: bool = True,
                  obs: "Observability | None" = None,
                  clock_skew: float = 0.0,
-                 expiry_grace: float | None = None) -> None:
+                 expiry_grace: float | None = None,
+                 store: "DurableStore | None" = None) -> None:
         if clock_skew < 0:
             raise CredentialError(
                 f"clock_skew cannot be negative, got {clock_skew}")
@@ -79,11 +81,20 @@ class KeyNoteSession:
         #: round-trip drift between a fast issuer and a slow verifier)
         self.expiry_grace = (expiry_grace if expiry_grace is not None
                              else 2.0 * clock_skew)
+        #: optional durable store — assertion-set mutations (add, revoke,
+        #: expiry sweeps) are written ahead to it before they touch the
+        #: session, so a crashed node recovers exactly its acknowledged
+        #: trust state (:mod:`repro.store.durable` replays the records)
+        self.store = store
         self._policies: list[Credential] = []
         self._credentials: list[Credential] = []
         self._checker: ComplianceChecker | None = None
         #: credential -> structured expiry instant (simulated seconds)
         self._expires_at: dict[Credential, float] = {}
+
+    def _journal(self, kind: str, **payload) -> None:
+        if self.store is not None:
+            self.store.append(kind, **payload)
 
     # -- assertion management ------------------------------------------------
 
@@ -96,6 +107,7 @@ class KeyNoteSession:
         if not credential.is_policy:
             raise CredentialError(
                 "add_policy requires an 'Authorizer: POLICY' assertion")
+        self._journal("keynote.policy", text=credential.to_text())
         self._policies.append(credential)
         self._absorb(credential)
         return credential
@@ -125,6 +137,10 @@ class KeyNoteSession:
                     and math.isfinite(expires_at)):
                 raise CredentialError(
                     f"expires_at must be a finite number, got {expires_at!r}")
+        self._journal("keynote.credential", text=credential.to_text(),
+                      expires_at=(float(expires_at)
+                                  if expires_at is not None else None))
+        if expires_at is not None:
             self._expires_at[credential] = float(expires_at)
         self._credentials.append(credential)
         self._absorb(credential)
@@ -137,10 +153,10 @@ class KeyNoteSession:
         the next query cannot be served a stale ALLOW that relied on the
         revoked credential.
         """
-        try:
-            self._credentials.remove(credential)
-        except ValueError:
+        if credential not in self._credentials:
             return False
+        self._journal("keynote.revoke", text=credential.to_text())
+        self._credentials.remove(credential)
         self._expires_at.pop(credential, None)
         if self._checker is not None:
             self._checker.revoke_assertion(credential)

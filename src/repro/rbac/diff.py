@@ -60,6 +60,47 @@ class PolicyDelta:
                 f"+{len(self.added_assignments)}a -{len(self.removed_assignments)}a")
 
 
+def delta_to_dict(delta: PolicyDelta) -> dict:
+    """Serialise a delta as plain JSON-able lists (stable ordering) — the
+    form versioned updates take in the durable store's write-ahead log."""
+    def _grant(g: Grant) -> list[str]:
+        return [g.domain, g.role, g.object_type, g.permission]
+
+    def _assignment(a: Assignment) -> list[str]:
+        return [a.user, a.domain, a.role]
+
+    return {
+        "added_grants": [_grant(g) for g in sorted(delta.added_grants)],
+        "removed_grants": [_grant(g) for g in sorted(delta.removed_grants)],
+        "added_assignments": [_assignment(a) for a
+                              in sorted(delta.added_assignments)],
+        "removed_assignments": [_assignment(a) for a
+                                in sorted(delta.removed_assignments)],
+    }
+
+
+def delta_from_dict(data: dict) -> PolicyDelta:
+    """Inverse of :func:`delta_to_dict`.
+
+    :raises ValueError: on malformed entries (wrong arity rows).
+    """
+    try:
+        return PolicyDelta(
+            added_grants=frozenset(Grant(*row)
+                                   for row in data.get("added_grants", [])),
+            removed_grants=frozenset(
+                Grant(*row) for row in data.get("removed_grants", [])),
+            added_assignments=frozenset(
+                Assignment(*row)
+                for row in data.get("added_assignments", [])),
+            removed_assignments=frozenset(
+                Assignment(*row)
+                for row in data.get("removed_assignments", [])),
+        )
+    except TypeError as exc:
+        raise ValueError(f"malformed delta dict: {exc}") from exc
+
+
 def diff_policies(old: RBACPolicy, new: RBACPolicy) -> PolicyDelta:
     """Compute the delta that transforms ``old`` into ``new``."""
     return PolicyDelta(

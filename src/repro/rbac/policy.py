@@ -32,31 +32,50 @@ class RBACPolicy:
         self._grants: set[Grant] = set()
         self._assignments: set[Assignment] = set()
         self.hierarchy = hierarchy if hierarchy is not None else RoleHierarchy()
+        #: optional durability hook ``journal(kind, **payload)`` — when
+        #: bound (see :mod:`repro.store.durable`), every relation delta is
+        #: written ahead to the store *before* it mutates the in-memory
+        #: sets, so a crashed node replays exactly its acknowledged facts
+        self.journal = None
 
     # -- mutation ----------------------------------------------------------
+
+    def _log(self, kind: str, **payload: str) -> None:
+        if self.journal is not None:
+            self.journal(kind, **payload)
 
     def grant(self, domain: str, role: str, object_type: str,
               permission: str) -> None:
         """Add a ``HasPermission`` fact."""
-        self._grants.add(Grant(domain, role, object_type, permission))
+        g = Grant(domain, role, object_type, permission)
+        if g not in self._grants:
+            self._log("rbac.grant", domain=domain, role=role,
+                      object_type=object_type, permission=permission)
+        self._grants.add(g)
 
     def revoke_grant(self, domain: str, role: str, object_type: str,
                      permission: str) -> bool:
         """Remove a ``HasPermission`` fact; return True if it was present."""
         g = Grant(domain, role, object_type, permission)
         if g in self._grants:
+            self._log("rbac.revoke_grant", domain=domain, role=role,
+                      object_type=object_type, permission=permission)
             self._grants.remove(g)
             return True
         return False
 
     def assign(self, user: str, domain: str, role: str) -> None:
         """Add a ``UserAssignment`` fact."""
-        self._assignments.add(Assignment(user, domain, role))
+        a = Assignment(user, domain, role)
+        if a not in self._assignments:
+            self._log("rbac.assign", user=user, domain=domain, role=role)
+        self._assignments.add(a)
 
     def unassign(self, user: str, domain: str, role: str) -> bool:
         """Remove a ``UserAssignment`` fact; return True if it was present."""
         a = Assignment(user, domain, role)
         if a in self._assignments:
+            self._log("rbac.unassign", user=user, domain=domain, role=role)
             self._assignments.remove(a)
             return True
         return False
@@ -68,15 +87,24 @@ class RBACPolicy:
         revoking a user's rights without touching object permissions.
         """
         doomed = {a for a in self._assignments if a.user == user}
+        if doomed:
+            self._log("rbac.revoke_user", user=user)
         self._assignments -= doomed
         return len(doomed)
 
     def add_grant(self, grant: Grant) -> None:
         """Add a pre-built :class:`Grant`."""
+        if grant not in self._grants:
+            self._log("rbac.grant", domain=grant.domain, role=grant.role,
+                      object_type=grant.object_type,
+                      permission=grant.permission)
         self._grants.add(grant)
 
     def add_assignment(self, assignment: Assignment) -> None:
         """Add a pre-built :class:`Assignment`."""
+        if assignment not in self._assignments:
+            self._log("rbac.assign", user=assignment.user,
+                      domain=assignment.domain, role=assignment.role)
         self._assignments.add(assignment)
 
     # -- relations ---------------------------------------------------------

@@ -128,6 +128,29 @@ def conformance_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def durability_report(report: dict) -> str:
+    """Text rendering of a ``DURABILITY_6`` crash-recovery sweep report."""
+    lines = [f"durability: {report['crashes']}/{report['crash_runs']} "
+             f"injected crashes recovered over {report['seeds']} seeds "
+             f"({len(report['write_sites'])} write sites)",
+             f"  acknowledged updates lost: {report['acked_loss_total']}",
+             f"  post-recovery oracle disagreements: "
+             f"{report['oracle_disagreements_total']}"]
+    rows = [(site, stats["visits"], stats["crashes"],
+             stats["matched_inflight"], stats["acked_loss"],
+             stats["oracle_disagreements"])
+            for site, stats in sorted(report["sites"].items())]
+    lines.append("")
+    lines.append(format_table(
+        ["write site", "visits", "crashes", "in-flight survived",
+         "acked loss", "oracle diffs"], rows))
+    for failure in report["failures"]:
+        lines.append(f"  FAIL seed {failure['seed']} at "
+                     f"{failure['site']} (hit {failure['hit']}): "
+                     f"{failure['kind']}")
+    return "\n".join(lines)
+
+
 def delegation_graph_dot(credentials: list[Credential]) -> str:
     """Graphviz DOT text for the delegation graph."""
     graph = delegation_graph(credentials)

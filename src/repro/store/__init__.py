@@ -1,0 +1,22 @@
+"""Durable, crash-recoverable storage for the policy plane (PR 6).
+
+- :mod:`repro.store.wal` — checksummed, length-prefixed append-only log;
+- :mod:`repro.store.snapshot` — periodic snapshots with atomic rename;
+- :mod:`repro.store.recovery` — snapshot + tail-replay recovery path;
+- :mod:`repro.store.durable` — the :class:`DurableStore` facade, component
+  restore functions and the :class:`DurablePolicyNode` composition;
+- :mod:`repro.store.harness` — the seeded kill-at-every-write-site sweep
+  behind ``repro durability``.
+"""
+
+from repro.store.durable import DurablePolicyNode, DurableStore
+from repro.store.recovery import RecoveredState, recover
+from repro.store.snapshot import LoadedSnapshot, SnapshotStore
+from repro.store.wal import ScanResult, WriteAheadLog, scan_records
+
+__all__ = [
+    "DurablePolicyNode", "DurableStore",
+    "RecoveredState", "recover",
+    "LoadedSnapshot", "SnapshotStore",
+    "ScanResult", "WriteAheadLog", "scan_records",
+]

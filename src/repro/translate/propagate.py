@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import InconsistentPolicyError
 from repro.middleware.base import Middleware
-from repro.rbac.diff import PolicyDelta, diff_policies
+from repro.rbac.diff import PolicyDelta, delta_to_dict, diff_policies
 from repro.rbac.policy import RBACPolicy
 from repro.rbac.serialize import policy_to_json
 from repro.translate.consistency import (ConsistencyReport, _restrict,
@@ -38,6 +38,7 @@ from repro.util.events import AuditLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
+    from repro.store.durable import DurableStore
 
 #: delivery fault hook: (system, version, attempt) -> True to fail this try
 DeliveryFault = Callable[[str, int, int], bool]
@@ -86,11 +87,18 @@ class PropagationEngine:
                  clock: SimulatedClock | None = None,
                  obs: "Observability | None" = None,
                  retry_limit: int = 3,
-                 delivery_fault: DeliveryFault | None = None) -> None:
+                 delivery_fault: DeliveryFault | None = None,
+                 store: "DurableStore | None" = None) -> None:
         self.global_policy = global_policy
         self.audit = audit
         self.clock = clock or (obs.clock if obs is not None else None)
         self.obs = obs
+        #: optional durable store: every versioned update is written ahead
+        #: as a ``propagate.update`` record and every per-backend vector
+        #: advance as ``propagate.applied``, so :meth:`reconcile` converges
+        #: across *restarts* (the replayed log still knows what a healed
+        #: backend missed), not just across partitions
+        self.store = store
         #: delivery attempts per update before a backend is declared missed
         self.retry_limit = max(1, retry_limit)
         #: chaos hook consulted per delivery attempt (seeded injectors)
@@ -153,6 +161,9 @@ class PropagationEngine:
                 if assignment.domain in domains:
                     slice_.add_assignment(assignment)
             middleware.apply_rbac(slice_)
+            if self.store is not None:
+                self.store.append("propagate.applied", system=name,
+                                  version=self._version)
             self.applied_versions[name] = self._version
             self._record("propagate.push", name, "ok",
                          facts=len(slice_))
@@ -172,9 +183,17 @@ class PropagationEngine:
         applied to stores that expose the hooks, otherwise surfaced through
         the consistency report.
         """
-        delta.apply_to(self.global_policy)
         self._version += 1
         update = VersionedUpdate(self._version, delta, update_id)
+        if self.store is not None:
+            # Write-ahead: the logged update is durable before any state
+            # (global or replica) reflects it.  Restore replays the record
+            # into the update log *and* the global policy
+            # (:func:`repro.store.durable.restore_engine`).
+            self.store.append("propagate.update", version=update.version,
+                              delta=delta_to_dict(delta),
+                              update_id=update_id)
+        delta.apply_to(self.global_policy)
         self.update_log.append(update)
         for name in self._systems:
             self.deliver_update(name, update)
@@ -217,6 +236,9 @@ class PropagationEngine:
         """
         if self.applied_versions.get(name, 0) >= update.version:
             return False
+        if self.store is not None:
+            self.store.append("propagate.applied", system=name,
+                              version=update.version)
         middleware, domains = self._systems[name]
         delta = update.delta
         for grant in delta.added_grants:

@@ -31,18 +31,50 @@ class GraphCheckpoint:
     """The completed frontier of one graph execution.
 
     Masters call :meth:`mark` as nodes fire; a resuming master reads
-    :attr:`completed` to skip nodes that already ran.
+    :attr:`completed` to skip nodes that already ran.  Binding a durable
+    store (:attr:`store`) journals each completion as a ``checkpoint.mark``
+    record *before* it enters the frontier, so a standby recovering from a
+    crashed master's log resumes from exactly the acknowledged frontier.
     """
 
     graph_name: str
     completed: dict[str, Any] = field(default_factory=dict)
+    #: optional durable store (``repro.store.durable.DurableStore``)
+    store: Any = None
 
     def mark(self, node_id: str, result: Any) -> None:
         """Record one completed node."""
+        if self.store is not None:
+            self.store.append("checkpoint.mark", graph=self.graph_name,
+                              node_id=node_id, result=result)
         self.completed[node_id] = result
 
     def __len__(self) -> int:
         return len(self.completed)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-able dict (snapshot state form).
+
+        Results must themselves be JSON-able — graph node results in this
+        simulation are plain values, so the frontier round-trips exactly.
+        """
+        return {"graph_name": self.graph_name,
+                "completed": dict(self.completed)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  store: Any = None) -> "GraphCheckpoint":
+        """Inverse of :meth:`to_dict`.
+
+        :raises WebComError: if the dict is missing fields or mistyped.
+        """
+        graph_name = data.get("graph_name")
+        completed = data.get("completed")
+        if not isinstance(graph_name, str) or not isinstance(completed, dict):
+            raise WebComError(
+                f"malformed checkpoint dict: {dict(data)!r}")
+        return cls(graph_name=graph_name, completed=dict(completed),
+                   store=store)
 
 
 class MasterGroup:

@@ -20,7 +20,8 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import FaultPlanError, LayerTimeoutError
+from repro.errors import (FaultPlanError, LayerTimeoutError,
+                          SimulatedCrashError)
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -293,3 +294,94 @@ class LayerFaultInjector:
                 raise LayerTimeoutError(
                     f"injected timeout in layer {layer} at t={now}")
             return
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One scheduled process death: die at the ``hit``-th visit of a store
+    write site.
+
+    Where :class:`CrashWindow` takes a *peer* off the simulated network for
+    an interval, a crash point kills the *process itself* between two bytes
+    reaching the durable medium — the failure mode write-ahead logging
+    exists for.  Sites are the instrumented writes of
+    :mod:`repro.store` (``wal.append.header``, ``snapshot.tmp_partial``,
+    ``wal.compact.tmp``, ...).
+
+    :param site: the write-site name to die at.
+    :param hit: which visit of the site fires (1-based).
+    """
+
+    site: str
+    hit: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise FaultPlanError("a crash point needs a site name")
+        if self.hit < 1:
+            raise FaultPlanError(
+                f"crash point hit counts are 1-based, got {self.hit}")
+
+
+@dataclass(frozen=True)
+class CrashPointPlan:
+    """A seeded schedule of process deaths at store write sites.
+
+    :param seed: identifies the schedule (recorded in reports; the plan
+        itself is deterministic by construction).
+    :param points: the deaths; each fires at most once.
+    """
+
+    seed: int = 0
+    points: tuple[CrashPoint, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+
+    @classmethod
+    def kill_at(cls, site: str, hit: int = 1, seed: int = 0,
+                ) -> "CrashPointPlan":
+        """The single-death plan the kill-at-every-write-site sweep runs."""
+        return cls(seed=seed, points=(CrashPoint(site, hit),))
+
+    @classmethod
+    def seeded_hit(cls, seed: int, site: str, visits: int,
+                   ) -> "CrashPointPlan":
+        """Kill at a seeded visit of ``site``, drawn uniformly from the
+        ``visits`` the profiling run observed."""
+        if visits < 1:
+            raise FaultPlanError(
+                f"site {site!r} was never visited; cannot place a crash")
+        rng = random.Random(f"{seed}:{site}")
+        return cls.kill_at(site, rng.randint(1, visits), seed=seed)
+
+
+class CrashPointInjector:
+    """Executes a :class:`CrashPointPlan` against the durable store.
+
+    The store calls :meth:`reached` at every write site (it is the store's
+    ``crash`` hook); when a planned (site, hit) matches, the injector
+    raises :class:`~repro.errors.SimulatedCrashError` — the process dies
+    with whatever bytes had reached the medium.  With no plan (or after
+    firing) the injector only counts, which is how the sweep profiles the
+    write sites of a workload.
+
+    :ivar counts: site -> visits observed.
+    :ivar fired: the :class:`CrashPoint` that killed the process, if any.
+    """
+
+    def __init__(self, plan: CrashPointPlan | None = None) -> None:
+        self.plan = plan or CrashPointPlan()
+        self.counts: dict[str, int] = {}
+        self.fired: CrashPoint | None = None
+
+    def reached(self, site: str) -> None:
+        """The store's crash hook: count the visit, die if planned."""
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        if self.fired is not None:
+            return
+        for point in self.plan.points:
+            if point.site == site and point.hit == count:
+                self.fired = point
+                raise SimulatedCrashError(site, count)

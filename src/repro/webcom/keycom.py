@@ -20,6 +20,7 @@ human administrator.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import KeyComError
 from repro.keynote.api import KeyNoteSession
@@ -28,6 +29,9 @@ from repro.middleware.base import Middleware
 from repro.rbac.model import Assignment
 from repro.translate.common import membership_attributes
 from repro.util.events import AuditLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.durable import DurableStore
 
 
 @dataclass(frozen=True)
@@ -94,10 +98,18 @@ class KeyComService:
     """
 
     def __init__(self, middleware: Middleware, session: KeyNoteSession,
-                 audit: AuditLog | None = None) -> None:
+                 audit: AuditLog | None = None,
+                 store: "DurableStore | None" = None) -> None:
         self.middleware = middleware
         self.session = session
         self.audit = audit
+        #: optional durable store: each *authorised* install is written
+        #: ahead as a ``keycom.apply`` record (user, domain, role,
+        #: request_id) before the middleware is touched, so recovery
+        #: replays exactly the acknowledged installs — and the request-id
+        #: dedup below holds across restarts because replay rebuilds
+        #: :attr:`applied_ids` from the same records
+        self.store = store
         self.processed: list[tuple[PolicyUpdateRequest, bool]] = []
         #: request ids already applied successfully — re-delivery of the
         #: same id is acknowledged without touching the middleware again
@@ -142,6 +154,10 @@ class KeyComService:
             raise KeyComError(
                 f"credentials do not authorise {request.user!r} for "
                 f"{request.domain}/{request.role}")
+        if self.store is not None:
+            self.store.append("keycom.apply", user=request.user,
+                              domain=request.domain, role=request.role,
+                              request_id=request.request_id)
         self.middleware.apply_assignment(Assignment(
             user=request.user, domain=request.domain, role=request.role))
         if request.request_id:

@@ -1,0 +1,49 @@
+"""Checked-in shrunk recovery fixtures replay to their pinned verdicts.
+
+Each JSON file under ``cases/`` describes a byte-level on-disk scenario
+(WAL records, injected damage, snapshot documents) plus the recovery
+verdict it must produce.  A fixture that stops matching means the recovery
+contract regressed: acknowledged history silently dropped, damage silently
+accepted, or a fallback path broken.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.store.harness import replay_recovery_case
+
+CASES_DIR = Path(__file__).parent / "cases"
+CASE_FILES = sorted(CASES_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def test_fixture_directory_is_populated():
+    assert len(CASE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", CASE_FILES, ids=lambda p: p.stem)
+def test_fixture_replays_to_its_pinned_verdict(path):
+    result = replay_recovery_case(_load(path))
+    assert result["ok"], (f"{result['name']}: expected "
+                          f"{result['expected']}, observed "
+                          f"{result['observed']}")
+
+
+def test_midlog_fixture_pins_the_refusal():
+    """The mid-log damage fixture must keep *refusing* (CorruptLogError),
+    never degrade into silent truncation."""
+    result = replay_recovery_case(
+        _load(CASES_DIR / "midlog_corruption_refused.json"))
+    assert result["observed"]["error"] == "CorruptLogError"
+
+
+def test_fallback_fixture_pins_the_skip_count():
+    result = replay_recovery_case(
+        _load(CASES_DIR / "corrupt_snapshot_fallback.json"))
+    assert result["observed"]["skipped_snapshots"] == 1
+    assert result["observed"]["state"] == {"gen": 1}

@@ -1,0 +1,100 @@
+"""Snapshots: atomic rename, corrupt-fallback, retention and the
+compaction floor."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulatedCrashError
+from repro.store.snapshot import SnapshotStore
+from repro.webcom.faults import CrashPointInjector, CrashPointPlan
+
+
+def test_save_load_roundtrip(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    path = store.save({"a": 1, "nested": {"b": [1, 2]}}, wal_lsn=7)
+    assert path.name == "snapshot-0000000001.json"
+    loaded = store.load_latest()
+    assert loaded.state == {"a": 1, "nested": {"b": [1, 2]}}
+    assert loaded.wal_lsn == 7
+    assert loaded.seq == 1
+    assert store.skipped == 0
+
+
+def test_latest_wins_and_retention_prunes(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps", keep=2)
+    for i in range(4):
+        store.save({"i": i}, wal_lsn=i * 10)
+    assert store.load_latest().state == {"i": 3}
+    names = sorted(p.name for p in (tmp_path / "snaps").iterdir())
+    assert names == ["snapshot-0000000003.json", "snapshot-0000000004.json"]
+
+
+def test_corrupt_latest_falls_back(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps", keep=3)
+    store.save({"i": 0}, wal_lsn=0)
+    newest = store.save({"i": 1}, wal_lsn=5)
+    doc = json.loads(newest.read_text())
+    doc["state"]["i"] = 999  # state no longer matches the checksum
+    newest.write_text(json.dumps(doc))
+    loaded = store.load_latest()
+    assert loaded.state == {"i": 0}
+    assert store.skipped == 1
+
+
+def test_unparseable_latest_falls_back(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps", keep=3)
+    store.save({"i": 0}, wal_lsn=0)
+    newest = store.save({"i": 1}, wal_lsn=5)
+    newest.write_text('{"half a docum')
+    assert store.load_latest().state == {"i": 0}
+
+
+def test_retained_floor_is_oldest_valid(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps", keep=2)
+    store.save({"i": 0}, wal_lsn=3)
+    store.save({"i": 1}, wal_lsn=9)
+    assert store.retained_floor() == 3
+    # corrupt the older one: the floor moves up to the newest valid
+    older = tmp_path / "snaps" / "snapshot-0000000001.json"
+    older.write_text("junk")
+    assert store.retained_floor() == 9
+
+
+def test_no_snapshots(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    assert store.load_latest() is None
+    assert store.retained_floor() is None
+
+
+@pytest.mark.parametrize("site", ["snapshot.begin", "snapshot.tmp_partial",
+                                  "snapshot.tmp_written"])
+def test_crash_before_rename_leaves_previous_snapshot(tmp_path, site):
+    clean = SnapshotStore(tmp_path / "snaps")
+    clean.save({"i": 0}, wal_lsn=0)
+    injector = CrashPointInjector(CrashPointPlan.kill_at(site))
+    store = SnapshotStore(tmp_path / "snaps", crash=injector.reached)
+    with pytest.raises(SimulatedCrashError):
+        store.save({"i": 1}, wal_lsn=5)
+    assert clean.load_latest().state == {"i": 0}
+
+
+def test_crash_after_rename_keeps_new_snapshot(tmp_path):
+    injector = CrashPointInjector(CrashPointPlan.kill_at("snapshot.renamed"))
+    store = SnapshotStore(tmp_path / "snaps", crash=injector.reached)
+    with pytest.raises(SimulatedCrashError):
+        store.save({"i": 1}, wal_lsn=5)
+    assert SnapshotStore(tmp_path / "snaps").load_latest().state == {"i": 1}
+
+
+def test_half_written_tmp_is_never_loaded_and_gets_pruned(tmp_path):
+    injector = CrashPointInjector(
+        CrashPointPlan.kill_at("snapshot.tmp_partial"))
+    store = SnapshotStore(tmp_path / "snaps", crash=injector.reached)
+    with pytest.raises(SimulatedCrashError):
+        store.save({"i": 1}, wal_lsn=5)
+    assert list((tmp_path / "snaps").glob("*.json.tmp"))
+    clean = SnapshotStore(tmp_path / "snaps")
+    assert clean.load_latest() is None
+    clean.save({"i": 2}, wal_lsn=9)  # save prunes stale tmps
+    assert not list((tmp_path / "snaps").glob("*.json.tmp"))

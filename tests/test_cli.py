@@ -171,3 +171,53 @@ class TestMetrics:
         data = json.loads(capsys.readouterr().out)
         assert data["master.retries"]["value"] > 0
         assert data["net.dropped"]["value"] > 0
+
+
+class TestDurability:
+    def test_renders_site_table(self, capsys):
+        assert main(["durability", "--seeds", "2", "--ops", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "injected crashes recovered" in out
+        assert "write site" in out
+        assert "wal.append.synced" in out
+        assert "snapshot.renamed" in out
+        assert "acknowledged updates lost: 0" in out
+
+    def test_json_report_shape(self, capsys):
+        assert main(["durability", "--seeds", "2", "--ops", "18",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["report"] == "DURABILITY_6"
+        assert report["ok"] is True
+        assert report["seeds"] == 2
+        assert report["crashes"] == report["crash_runs"] > 0
+        assert "wal.append.body" in report["sites"]
+
+    def test_check_passes_on_clean_sweep(self, capsys):
+        assert main(["durability", "--seeds", "2", "--ops", "18",
+                     "--check"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_check_fails_on_lossy_sweep(self, monkeypatch, capsys):
+        import repro.store.harness as harness
+        real_sweep = harness.run_durability_sweep
+
+        def lossy(seeds, ops, base_dir=None):
+            report = real_sweep(1, 18, base_dir=base_dir)
+            report["ok"] = False
+            report["acked_loss_total"] = 3
+            return report
+
+        monkeypatch.setattr(harness, "run_durability_sweep", lossy)
+        assert main(["durability", "--seeds", "1", "--json",
+                     "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "durability check failed" in err
+        assert "3 acknowledged update(s) lost" in err
+
+    def test_out_writes_report_file(self, tmp_path, capsys):
+        target = tmp_path / "DURABILITY_6.json"
+        assert main(["durability", "--seeds", "2", "--ops", "18", "--json",
+                     "--out", str(target)]) == 0
+        assert f"wrote {target}" in capsys.readouterr().out
+        assert json.loads(target.read_text())["report"] == "DURABILITY_6"
