@@ -362,6 +362,57 @@ def _cmd_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on authorisation daemon until interrupted."""
+    import asyncio
+
+    from repro.serve.plane import ServePolicyPlane
+    from repro.serve.server import ReproServer
+
+    async def _serve() -> int:
+        plane = ServePolicyPlane(root=args.root, cache_ttl=args.cache_ttl)
+        server = ReproServer(plane, host=args.host, port=args.port,
+                             pidfile=args.pidfile)
+        await server.start()
+        print(f"repro serve listening on {server.host}:{server.port}"
+              + (f" (durable root {args.root})" if args.root else
+                 " (in-memory)"))
+        try:
+            await server.serve_until_shutdown()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            pass
+        finally:
+            report = await server.shutdown("operator")
+            print(f"drained: {report['requests_served']} requests served, "
+                  f"WAL flushed: {report['wal_flushed']}")
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Wall-clock concurrency benchmark of the serve daemon (the
+    ``BENCH_7.json`` CI artifact)."""
+    from repro.report import serve_bench_report
+    from repro.serve.bench import check_bench, run_serve_bench
+
+    report = run_serve_bench(clients=args.clients, requests=args.requests,
+                             probe_every=args.probe_every, root=args.root)
+    if args.json:
+        _emit(args, json.dumps(report, indent=2))
+    else:
+        _emit(args, serve_bench_report(report))
+    if not args.check:
+        return 0
+    failures = check_bench(report, min_clients=args.min_clients)
+    for failure in failures:
+        print(f"serve-bench check failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
                                 faults=args.faults, seed=args.seed,
@@ -527,6 +578,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_dur.add_argument("--out", default=None,
                        help="write the output to a file instead of stdout")
     p_dur.set_defaults(func=_cmd_durability)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on authorisation daemon")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind")
+    p_serve.add_argument("--port", type=int, default=4774,
+                         help="TCP port (0 picks a free port)")
+    p_serve.add_argument("--root", default=None,
+                         help="durability root directory (WAL + snapshots); "
+                              "omit for an in-memory plane")
+    p_serve.add_argument("--pidfile", default=None,
+                         help="PID file enforcing one daemon per root")
+    p_serve.add_argument("--cache-ttl", type=float, default=30.0,
+                         help="mediation-cache TTL in wall seconds")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sbench = sub.add_parser(
+        "serve-bench", help="wall-clock concurrency benchmark of the serve "
+                            "daemon")
+    p_sbench.add_argument("--clients", type=int, default=32,
+                          help="concurrent client connections")
+    p_sbench.add_argument("--requests", type=int, default=12,
+                          help="requests per client per pass")
+    p_sbench.add_argument("--probe-every", type=int, default=4,
+                          help="every Nth request is an oracle probe "
+                               "(0 disables probing)")
+    p_sbench.add_argument("--min-clients", type=int, default=32,
+                          help="concurrency floor enforced with --check")
+    p_sbench.add_argument("--root", default=None,
+                          help="durability root (default: a fresh temp dir)")
+    p_sbench.add_argument("--check", action="store_true",
+                          help="exit non-zero unless every correctness gate "
+                               "passes (concurrency floor, zero oracle "
+                               "disagreements, clean drain)")
+    p_sbench.add_argument("--json", action="store_true",
+                          help="emit the full JSON report")
+    p_sbench.add_argument("--out", default=None,
+                          help="write the output to a file instead of stdout")
+    p_sbench.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

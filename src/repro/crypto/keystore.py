@@ -18,6 +18,7 @@ consults; bind a metrics registry to surface ``crypto.sigverify.hit`` /
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.crypto.keys import KeyPair, PublicKey, Signature
@@ -35,6 +36,13 @@ class SignatureVerificationCache:
     digest to bound memory; both valid and invalid outcomes are cached (an
     invalid signature stays invalid).
 
+    The shared process-wide instance is consulted by every concurrent serve
+    handler (and by test harnesses running checkers from worker threads), so
+    lookups, inserts, counter bumps and :meth:`clear` are serialised under
+    one lock.  The Schnorr verification itself runs *outside* the lock —
+    it is pure, so two racing misses at worst both verify and store the
+    same value.
+
     >>> cache = SignatureVerificationCache()
     >>> cache.hits, cache.misses
     (0, 0)
@@ -45,6 +53,7 @@ class SignatureVerificationCache:
         self.hits = 0
         self.misses = 0
         self._metrics: "MetricsRegistry | None" = None
+        self._lock = threading.Lock()
 
     def bind_metrics(self, metrics: "MetricsRegistry | None") -> None:
         """Mirror future hits/misses into ``crypto.sigverify.*`` counters."""
@@ -55,31 +64,40 @@ class SignatureVerificationCache:
         """Cached :meth:`PublicKey.verify`."""
         key = (public.y, hashlib.sha256(message).digest(),
                f"{signature.e:x}:{signature.s:x}")
-        cached = self._cache.get(key)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                metrics = self._metrics
+            else:
+                self.misses += 1
+                metrics = self._metrics
         if cached is not None:
-            self.hits += 1
-            if self._metrics is not None:
-                self._metrics.counter("crypto.sigverify.hit").inc()
+            if metrics is not None:
+                metrics.counter("crypto.sigverify.hit").inc()
             return cached
-        self.misses += 1
-        if self._metrics is not None:
-            self._metrics.counter("crypto.sigverify.miss").inc()
+        if metrics is not None:
+            metrics.counter("crypto.sigverify.miss").inc()
         result = public.verify(message, signature)
-        self._cache[key] = result
+        with self._lock:
+            self._cache[key] = result
         return result
 
     def clear(self) -> None:
         """Drop every cached outcome and zero the counters."""
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._cache), "hits": self.hits,
-                "misses": self.misses}
+        with self._lock:
+            return {"entries": len(self._cache), "hits": self.hits,
+                    "misses": self.misses}
 
 
 #: the process-wide cache credentials verify through by default

@@ -258,3 +258,24 @@ class SimulatedCrashError(StoreError):
         super().__init__(f"simulated crash at {site} (hit {hit})")
         self.site = site
         self.hit = hit
+
+
+# ---------------------------------------------------------------------------
+# Service plane
+# ---------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """Base class for service-plane (``repro serve``) errors."""
+
+
+class ProtocolError(ServeError):
+    """A wire message violated the newline-delimited-JSON protocol."""
+
+
+class AlreadyRunningError(ServeError):
+    """A live server already owns the PID file (machine-wide singleton)."""
+
+    def __init__(self, pid: int, path: str) -> None:
+        super().__init__(f"server already running (pid {pid}, {path})")
+        self.pid = pid
+        self.path = path

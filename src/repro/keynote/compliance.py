@@ -40,6 +40,7 @@ Hot-path machinery (the authorisation fast path):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
@@ -160,6 +161,11 @@ class ComplianceChecker:
         self._discarded = []
         self._canon_cache: dict[str, str] = {}
         self._decision_cache: dict[tuple, str] = {}
+        #: serialises assertion-set mutation against decision-cache traffic;
+        #: concurrent serve handlers (or threaded harnesses) may interleave
+        #: query with add/revoke, and a torn generation bump could otherwise
+        #: let a stale ALLOW be re-cached as fresh
+        self._mutation_lock = threading.RLock()
         self._generation = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -192,10 +198,11 @@ class ComplianceChecker:
 
         :raises CredentialError: for a bad signature in strict mode.
         """
-        self.assertions.append(assertion)  # type: ignore[union-attr]
-        admitted = self._admit(assertion)
-        self._bump_generation()
-        return admitted
+        with self._mutation_lock:
+            self.assertions.append(assertion)  # type: ignore[union-attr]
+            admitted = self._admit(assertion)
+            self._bump_generation()
+            return admitted
 
     def revoke_assertion(self, assertion: Credential) -> bool:
         """Remove one assertion; bumps the generation on success.
@@ -203,21 +210,22 @@ class ComplianceChecker:
         Cached decisions that relied on the revoked credential are flushed
         with everything else — a stale ALLOW can never be served.
         """
-        key = self._canonical(assertion.authorizer)
-        entries = self._by_authorizer.get(key, [])
-        for index, prepared in enumerate(entries):
-            if prepared.credential == assertion:
-                del entries[index]
-                if not entries:
-                    self._by_authorizer.pop(key, None)
-                try:
-                    self.assertions.remove(assertion)  # type: ignore[union-attr]
-                except ValueError:
-                    pass
-                self._rebuild_referenced()
-                self._bump_generation()
-                return True
-        return False
+        with self._mutation_lock:
+            key = self._canonical(assertion.authorizer)
+            entries = self._by_authorizer.get(key, [])
+            for index, prepared in enumerate(entries):
+                if prepared.credential == assertion:
+                    del entries[index]
+                    if not entries:
+                        self._by_authorizer.pop(key, None)
+                    try:
+                        self.assertions.remove(assertion)  # type: ignore[union-attr]
+                    except ValueError:
+                        pass
+                    self._rebuild_referenced()
+                    self._bump_generation()
+                    return True
+            return False
 
     def _admit(self, assertion: Credential) -> bool:
         if self.verify_signatures and not assertion.verify(self.keystore):
@@ -254,38 +262,42 @@ class ComplianceChecker:
                     return
 
     def _bump_generation(self) -> None:
-        self._generation += 1
-        self._decision_cache.clear()
-        # Canonicalisation may change too (e.g. a key registered since).
-        self._canon_cache.clear()
+        with self._mutation_lock:
+            self._generation += 1
+            self._decision_cache.clear()
+            # Canonicalisation may change too (e.g. a key registered since).
+            self._canon_cache.clear()
 
     def clear_decision_cache(self) -> None:
         """Flush cached decisions without touching the assertion set (cold
         restart for benchmarks)."""
-        self._decision_cache.clear()
+        with self._mutation_lock:
+            self._decision_cache.clear()
 
     def cache_info(self) -> dict[str, int]:
         """Decision-cache statistics: size, generation, hit/miss counts."""
-        return {"entries": len(self._decision_cache),
-                "generation": self._generation,
-                "hits": self.cache_hits,
-                "misses": self.cache_misses}
+        with self._mutation_lock:
+            return {"entries": len(self._decision_cache),
+                    "generation": self._generation,
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses}
 
     def _canonical(self, principal: str) -> str:
         """Canonical principal id, memoised per checker: symbolic names
         resolve to encoded keys when a keystore knows them, so "Kbob" and
         the encoded key unify.  The memo is flushed on generation bumps (a
         name may have been registered since)."""
-        cached = self._canon_cache.get(principal)
-        if cached is None:
-            if principal.upper() == "POLICY":
-                cached = "POLICY"
-            elif self.keystore is not None and principal in self.keystore:
-                cached = self.keystore.public(principal).encode()
-            else:
-                cached = principal
-            self._canon_cache[principal] = cached
-        return cached
+        with self._mutation_lock:
+            cached = self._canon_cache.get(principal)
+            if cached is None:
+                if principal.upper() == "POLICY":
+                    cached = "POLICY"
+                elif self.keystore is not None and principal in self.keystore:
+                    cached = self.keystore.public(principal).encode()
+                else:
+                    cached = principal
+                self._canon_cache[principal] = cached
+            return cached
 
     # -- queries ---------------------------------------------------------------
 
@@ -346,10 +358,13 @@ class ComplianceChecker:
         # decision cache would defeat the ablation.
         use_cache = self.cache_decisions and self.memoise
         cache_key = None
+        cached_generation = None
         if use_cache:
-            cache_key = (self._attr_key(attributes), requesters,
-                         values.values)
-            cached = self._decision_cache.get(cache_key)
+            with self._mutation_lock:
+                cache_key = (self._attr_key(attributes), requesters,
+                             values.values)
+                cached = self._decision_cache.get(cache_key)
+                cached_generation = self._generation
             if cached is not None:
                 self.cache_hits += 1
                 profile = ComplianceStats(queries=1)
@@ -377,7 +392,13 @@ class ComplianceChecker:
             # decisions: a value computed under a cycle-break assumption may
             # be an under-approximation and is never cached — unless it is
             # already the maximum, which monotonicity makes safe.
-            self._decision_cache[cache_key] = result
+            with self._mutation_lock:
+                if self._generation == cached_generation:
+                    # A concurrent add/revoke bumped the generation while
+                    # this fixpoint ran: the value was computed over an
+                    # assertion set that no longer exists, so it must not
+                    # seed the *fresh* cache.
+                    self._decision_cache[cache_key] = result
         return result
 
     def _evaluate(self, attributes: Mapping[str, str],

@@ -151,6 +151,34 @@ def durability_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def serve_bench_report(report: dict) -> str:
+    """Text rendering of a ``BENCH_7`` wall-clock serve benchmark report."""
+    lines = [f"serve-bench: {report['clients']} concurrent clients, "
+             f"{report['requests_per_client']} requests each "
+             f"({report['timescale']} clock)"]
+    rows = [(label, report[label]["requests"],
+             f"{report[label]['requests_per_sec']:.0f}",
+             f"{report[label]['p50_ms']:.2f}",
+             f"{report[label]['p99_ms']:.2f}",
+             report[label]["denials"])
+            for label in ("cold", "warm")]
+    lines.append("")
+    lines.append(format_table(
+        ["pass", "requests", "req/s", "p50 ms", "p99 ms", "denials"], rows))
+    oracle = report["oracle"]
+    drain = report["drain"]
+    lines.append("")
+    lines.append(f"  oracle probes: {oracle['probes']}, disagreements: "
+                 f"{oracle['disagreements']}")
+    lines.append(f"  mediation cache: {report['cache']['hits']} hits / "
+                 f"{report['cache']['misses']} misses")
+    lines.append(f"  drain: {drain['completed']} completed + "
+                 f"{drain['refused']} refused of {drain['wave']} in-flight "
+                 f"({drain['lost']} lost), WAL flushed: "
+                 f"{drain['wal_flushed']}")
+    return "\n".join(lines)
+
+
 def delegation_graph_dot(credentials: list[Credential]) -> str:
     """Graphviz DOT text for the delegation graph."""
     graph = delegation_graph(credentials)

@@ -1,0 +1,154 @@
+"""Asyncio client for the ``repro serve`` daemon.
+
+:class:`ServeClient` multiplexes calls over one connection: requests carry
+monotonically numbered ids, a background reader task resolves each response
+into the matching pending future, and unsolicited events are queued for
+whoever subscribed.  ``call`` retries nothing by itself — but because the
+server deduplicates request ids, :meth:`call` with an explicit ``request_id``
+is safe to reissue after a lost reply (the reply cache replays the recorded
+response instead of re-executing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    classify,
+    decode_frame,
+    encode_frame,
+    make_request,
+)
+
+
+class ServeCallError(ServeError):
+    """A server-side error response, re-raised client-side.
+
+    :attr:`error_type` carries the server's exception class name
+    (``KeyComError``, ``ProtocolError``, ...) so callers can branch without
+    string-matching messages.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+
+
+class ServeClient:
+    """One connection to a serve daemon.
+
+    >>> # client = await ServeClient("bench-1").connect("127.0.0.1", 4747)
+    >>> # await client.call("mediate", {...})
+    """
+
+    def __init__(self, name: str = "client") -> None:
+        self.name = name
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[str, asyncio.Future] = {}
+        self._seq = 0
+        self.events: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+        self.closed = asyncio.Event()
+
+    async def connect(self, host: str, port: int) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(host,
+                                                                   port)
+        self._reader_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_frame(line)
+                    shape = classify(message)
+                except ServeError:
+                    continue  # a broken frame fails its caller by timeout
+                if shape == "event":
+                    self.events.put_nowait(message)
+                    continue
+                future = self._pending.pop(message.get("id", ""), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            self.closed.set()
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServeError("connection closed mid-call"))
+            self._pending.clear()
+
+    def next_request_id(self) -> str:
+        self._seq += 1
+        return f"{self.name}-{self._seq}"
+
+    async def call_raw(self, method: str,
+                       params: Mapping[str, Any] | None = None,
+                       request_id: str | None = None,
+                       timeout: float = 30.0) -> dict[str, Any]:
+        """Send one request and return the full response frame."""
+        if self._writer is None:
+            raise ServeError("client is not connected")
+        request_id = request_id or self.next_request_id()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_frame(make_request(request_id, method,
+                                                     params)))
+        await self._writer.drain()
+        return await asyncio.wait_for(future, timeout)
+
+    async def call(self, method: str,
+                   params: Mapping[str, Any] | None = None,
+                   request_id: str | None = None,
+                   timeout: float = 30.0) -> Any:
+        """Send one request and return its result.
+
+        :raises ServeCallError: for an error response.
+        """
+        response = await self.call_raw(method, params,
+                                       request_id=request_id,
+                                       timeout=timeout)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeCallError(error.get("type", "ServeError"),
+                                 error.get("message", "unknown error"))
+        return response["result"]
+
+    async def hello(self, role: str = "client") -> dict[str, Any]:
+        return await self.call("hello", {"name": self.name, "role": role})
+
+    async def subscribe(self, *topics: str) -> dict[str, Any]:
+        return await self.call("subscribe", {"topics": list(topics)})
+
+    async def next_event(self, timeout: float = 5.0) -> dict[str, Any]:
+        """The next queued event (FIFO)."""
+        return await asyncio.wait_for(self.events.get(), timeout)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

@@ -1,0 +1,94 @@
+"""PID-file singleton guard for the ``repro serve`` daemon.
+
+An always-on authorisation plane owns durable state (the WAL root): two
+daemons journalling to the same root would interleave their write-ahead
+records and corrupt the acknowledged history.  The guard is the classic
+Unix one — write our PID to a well-known file, and refuse to start while
+the recorded PID names a live process.  A stale file (dead PID, e.g. after
+a crash) is reclaimed silently: crash recovery is the WAL's job, not the
+pidfile's.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import AlreadyRunningError
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal 0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, just not ours to signal
+    except OSError:
+        return False
+    return True
+
+
+class PidFile:
+    """Exclusive-run guard around one pidfile path.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "serve.pid")
+    >>> guard = PidFile(path).acquire()
+    >>> int(open(path).read()) == os.getpid()
+    True
+    >>> guard.release()
+    >>> os.path.exists(path)
+    False
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+        self._held = False
+
+    def acquire(self) -> "PidFile":
+        """Claim the pidfile for this process.
+
+        :raises AlreadyRunningError: when the file records a live PID.
+        """
+        other = self.stale_pid()
+        if other is not None:
+            raise AlreadyRunningError(other, str(self.path))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(f"{os.getpid()}\n", encoding="utf-8")
+        self._held = True
+        return self
+
+    def stale_pid(self) -> int | None:
+        """The live PID recorded in the file, or None if absent/stale."""
+        try:
+            recorded = int(self.path.read_text(encoding="utf-8").strip())
+        except (FileNotFoundError, ValueError):
+            return None
+        if recorded != os.getpid() and _pid_alive(recorded):
+            return recorded
+        return None
+
+    def release(self) -> None:
+        """Drop the claim (removing the file if it still records our PID)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            recorded = int(self.path.read_text(encoding="utf-8").strip())
+        except (FileNotFoundError, ValueError):
+            return
+        if recorded == os.getpid():
+            try:
+                self.path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "PidFile":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

@@ -1,0 +1,122 @@
+"""The ``repro serve`` wire protocol: newline-delimited JSON.
+
+One TCP connection carries a stream of UTF-8 lines, each a JSON object.
+Three shapes travel on the wire:
+
+- **request** (client → server)::
+
+      {"id": "cli-7", "method": "mediate", "params": {...}}
+
+- **response** (server → client), matched to the request by ``id``::
+
+      {"id": "cli-7", "ok": true, "result": {...}}
+      {"id": "cli-7", "ok": false, "error": {"type": "...", "message": "..."}}
+
+- **event** (server → subscribed clients, unsolicited)::
+
+      {"event": "decision", "data": {...}}
+
+Request ids double as idempotency tokens, mirroring the simulated network's
+result-dedup semantics (``WebComClient`` keeps a reply cache and replays the
+recorded reply for a duplicate request id instead of re-executing — see
+:mod:`repro.webcom.node`): the server caches each response per connection
+and replays it verbatim when the same id arrives again, so a client retry
+after a lost reply cannot double-apply an update.
+
+Framing is deliberately line-based: any language with a socket and a JSON
+parser can speak it, which is the point of an always-on heterogeneous
+middleware plane.  A line longer than :data:`MAX_LINE_BYTES` is a protocol
+error — the peer is buggy or hostile, not just chatty.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError
+
+#: protocol revision spoken by this build; ``hello`` echoes it so clients
+#: can refuse to talk across incompatible revisions
+PROTOCOL_VERSION = 1
+
+#: upper bound on one frame (1 MiB) — beyond this the peer is misbehaving
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_frame(message: Mapping[str, Any]) -> bytes:
+    """Serialise one message to its wire form (JSON + newline)."""
+    line = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds "
+                            f"MAX_LINE_BYTES ({MAX_LINE_BYTES})")
+    return data
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one received line back into a message.
+
+    :raises ProtocolError: for oversized, non-JSON or non-object frames.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds "
+                            f"MAX_LINE_BYTES ({MAX_LINE_BYTES})")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def make_request(request_id: str, method: str,
+                 params: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """Build a request message."""
+    return {"id": request_id, "method": method, "params": dict(params or {})}
+
+
+def ok_response(request_id: str, result: Any) -> dict[str, Any]:
+    """Build a success response."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: str, error_type: str,
+                   message: str) -> dict[str, Any]:
+    """Build a failure response (the error *type* travels so clients can
+    re-raise something meaningful, e.g. ``KeyComError``)."""
+    return {"id": request_id, "ok": False,
+            "error": {"type": error_type, "message": message}}
+
+
+def make_event(topic: str, data: Mapping[str, Any]) -> dict[str, Any]:
+    """Build an unsolicited event message."""
+    return {"event": topic, "data": dict(data)}
+
+
+def classify(message: Mapping[str, Any]) -> str:
+    """Which of the three wire shapes a decoded message is.
+
+    :returns: ``"request"``, ``"response"`` or ``"event"``.
+    :raises ProtocolError: if the message fits none of them.
+    """
+    if "event" in message:
+        return "event"
+    if "method" in message:
+        if not isinstance(message.get("id"), str) or not message["id"]:
+            raise ProtocolError("request frames need a non-empty string id")
+        if not isinstance(message["method"], str):
+            raise ProtocolError("request method must be a string")
+        params = message.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("request params must be an object")
+        return "request"
+    if "ok" in message:
+        if not isinstance(message.get("id"), str):
+            raise ProtocolError("response frames need a string id")
+        return "response"
+    raise ProtocolError(
+        f"frame is neither request, response nor event: "
+        f"{sorted(message.keys())!r}")

@@ -15,10 +15,11 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.crypto.keystore import Keystore
-from repro.errors import ComprehensionError
+from repro.errors import ComprehensionError, UnknownKeyError
 from repro.keynote.credential import Credential
 from repro.keynote.licensees import Principal
 from repro.rbac.policy import RBACPolicy
+from repro.util.events import AuditLog
 from repro.translate.common import (
     ATTR_APP_DOMAIN,
     ATTR_DOMAIN,
@@ -55,12 +56,20 @@ def comprehend_policy(credential: Credential, policy: RBACPolicy,
 
 
 def _licensee_users(credential: Credential, keystore: Keystore | None,
-                    ) -> list[str]:
+                    audit: AuditLog | None = None) -> list[str]:
     """Map licensee principals back to user names.
 
     The Figure-6 convention is one principal per membership credential; the
     key name ``Kclaire`` maps back to user ``Claire`` when the keystore (or
     the comment) doesn't say otherwise.
+
+    A principal the keystore cannot resolve falls back to its literal key
+    name — but *only* for genuine lookup failures
+    (:class:`~repro.errors.UnknownKeyError` / :class:`LookupError`), each
+    disclosed as a ``translate.resolve_failed`` audit event.  Anything else
+    (a TypeError from a malformed keystore, an attribute error from a stub)
+    is a programming error and propagates: silently mapping it to the raw
+    key would mistranslate the principal into a ghost user.
     """
     users: list[str] = []
     for key in sorted(credential.principals()):
@@ -68,7 +77,12 @@ def _licensee_users(credential: Credential, keystore: Keystore | None,
         if keystore is not None:
             try:
                 name = keystore.name_of(keystore.resolve(key))
-            except Exception:
+            except (UnknownKeyError, LookupError):
+                if audit is not None:
+                    audit.record(
+                        0.0, "translate.resolve_failed", subject=key,
+                        outcome="fallback",
+                        credential=credential.authorizer or "?")
                 name = key
         if name.startswith("K") and len(name) > 1:
             name = name[1:].capitalize()
@@ -78,9 +92,12 @@ def _licensee_users(credential: Credential, keystore: Keystore | None,
 
 def comprehend_membership(credential: Credential, policy: RBACPolicy,
                           keystore: Keystore | None = None,
-                          app_domain: str = WEBCOM_APP_DOMAIN) -> int:
+                          app_domain: str = WEBCOM_APP_DOMAIN,
+                          audit: AuditLog | None = None) -> int:
     """Read UserAssignment rows out of a Figure-6 style credential.
 
+    :param audit: optional log receiving ``translate.resolve_failed``
+        events for principals the keystore cannot resolve.
     :raises ComprehensionError: if the credential has compound licensees
         (memberships are per-user).
     """
@@ -95,7 +112,7 @@ def comprehend_membership(credential: Credential, policy: RBACPolicy,
             continue
         if ATTR_PERMISSION in conjunct or ATTR_OBJECT_TYPE in conjunct:
             continue  # that's a grant fragment, not a membership
-        for user in _licensee_users(credential, keystore):
+        for user in _licensee_users(credential, keystore, audit):
             policy.assign(user, conjunct[ATTR_DOMAIN], conjunct[ATTR_ROLE])
             rows += 1
     return rows
@@ -105,12 +122,14 @@ def comprehend_credentials(credentials: Iterable[Credential],
                            keystore: Keystore | None = None,
                            app_domain: str = WEBCOM_APP_DOMAIN,
                            name: str = "comprehended",
-                           verify_signatures: bool = True) -> RBACPolicy:
+                           verify_signatures: bool = True,
+                           audit: AuditLog | None = None) -> RBACPolicy:
     """Synthesise one RBAC policy from a mixed bag of credentials.
 
     POLICY assertions contribute grants; signed membership credentials
     contribute assignments.  Credentials with invalid signatures are skipped
-    (matching the compliance checker's behaviour).
+    (matching the compliance checker's behaviour).  Pass ``audit`` to
+    surface ``translate.resolve_failed`` events for unresolvable licensees.
     """
     policy = RBACPolicy(name)
     for credential in credentials:
@@ -120,7 +139,8 @@ def comprehend_credentials(credentials: Iterable[Credential],
             comprehend_policy(credential, policy, app_domain)
         else:
             try:
-                comprehend_membership(credential, policy, keystore, app_domain)
+                comprehend_membership(credential, policy, keystore,
+                                      app_domain, audit=audit)
             except ComprehensionError:
                 continue  # not a membership credential; nothing to read
     return policy

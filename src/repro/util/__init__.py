@@ -1,6 +1,6 @@
-"""Shared utilities: deterministic ids, simulated clock, audit log, text helpers."""
+"""Shared utilities: deterministic ids, clocks, audit log, text helpers."""
 
-from repro.util.clock import SimulatedClock
+from repro.util.clock import Clock, SimulatedClock, WallClock
 from repro.util.events import AuditLog, AuditRecord
 from repro.util.ids import IdGenerator, stable_digest
 from repro.util.text import format_table, indent_block, quote, unquote
@@ -8,8 +8,10 @@ from repro.util.text import format_table, indent_block, quote, unquote
 __all__ = [
     "AuditLog",
     "AuditRecord",
+    "Clock",
     "IdGenerator",
     "SimulatedClock",
+    "WallClock",
     "format_table",
     "indent_block",
     "quote",

@@ -1,11 +1,61 @@
-"""A simulated clock.
+"""Clocks: the simulated test clock and the wall clock of the serve plane.
 
-Certificate validity periods and network latency need a notion of time that is
-fully controlled by the tests, so nothing in the framework reads the wall
-clock.  Time is a float number of simulated seconds since epoch zero.
+Certificate validity periods, network latency, cache TTLs and heartbeat
+liveness all need a notion of time.  Historically everything ran on the
+:class:`SimulatedClock` so tests fully control time; the always-on service
+plane (:mod:`repro.serve`) additionally needs real wall-clock time for
+liveness and latency measurement.  Both implement the same :class:`Clock`
+protocol — ``now()`` returning float seconds — so every consumer (sessions,
+stacks, breakers, masters, the serve daemon) is written against the
+abstraction and works on either timescale.
+
+Each clock also carries the **scheduling defaults** appropriate to its
+timescale (:meth:`Clock.scheduling_defaults`).  The WebCom master's
+heartbeat and request-timeout constants were historically hardcoded at
+simulated-clock scale (tens of simulated seconds); applying those same
+numbers on top of real time would make the serve path wait tens of *wall*
+seconds per probe.  Routing the defaults through the clock keeps the
+simulated path byte-identical while giving the wall-clock path sane
+real-time values.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What every time consumer in the framework requires of a clock."""
+
+    #: "simulated" or "wall" — which timescale ``now()`` ticks on
+    timescale: str
+
+    def now(self) -> float:
+        """Current time in float seconds."""
+        ...
+
+    def scheduling_defaults(self) -> dict[str, float]:
+        """Timescale-appropriate defaults for schedulers and liveness
+        monitors: ``request_timeout``, ``heartbeat_interval`` and
+        ``heartbeat_timeout`` in this clock's seconds."""
+        ...
+
+
+#: the historical master-side constants, defined at simulated-clock scale
+SIMULATED_SCHEDULING_DEFAULTS: dict[str, float] = {
+    "request_timeout": 10.0,
+    "heartbeat_interval": 15.0,
+    "heartbeat_timeout": 5.0,
+}
+
+#: the same knobs at wall-clock scale (a live daemon probes sub-second)
+WALL_SCHEDULING_DEFAULTS: dict[str, float] = {
+    "request_timeout": 2.0,
+    "heartbeat_interval": 5.0,
+    "heartbeat_timeout": 1.0,
+}
 
 
 class SimulatedClock:
@@ -19,6 +69,8 @@ class SimulatedClock:
     >>> clock.now()
     5.0
     """
+
+    timescale = "simulated"
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
@@ -41,3 +93,35 @@ class SimulatedClock:
         if timestamp > self._now:
             self._now = float(timestamp)
         return self._now
+
+    def scheduling_defaults(self) -> dict[str, float]:
+        """The historical simulated-scale master constants."""
+        return dict(SIMULATED_SCHEDULING_DEFAULTS)
+
+
+class WallClock:
+    """Real time for the always-on service plane.
+
+    ``now()`` is monotonic (it can never move backwards across NTP steps),
+    offset so the epoch is the moment the clock was created — matching the
+    simulated clock's "seconds since epoch zero" convention, which keeps
+    audit timestamps and TTL arithmetic meaningful on either timescale.
+
+    >>> clock = WallClock()
+    >>> a = clock.now(); b = clock.now()
+    >>> b >= a >= 0.0
+    True
+    """
+
+    timescale = "wall"
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        """Wall seconds elapsed since this clock was created."""
+        return time.monotonic() - self._origin
+
+    def scheduling_defaults(self) -> dict[str, float]:
+        """Real-time defaults: sub-second probes, short timeouts."""
+        return dict(WALL_SCHEDULING_DEFAULTS)

@@ -229,11 +229,19 @@ class WebComMaster:
         ``(node, context, candidates) -> candidates`` applied before
         selection — Secure WebCom's master-side TM check plugs in here.
     :param max_attempts: distinct client placements tried per node.
-    :param request_timeout: simulated seconds to wait for the first reply.
+    :param request_timeout: clock seconds to wait for the first reply.
     :param max_retries: resends (same request id) per placement after the
         first send; each waits ``backoff`` times longer than the last.
     :param heartbeat_interval: how often dead clients are re-probed.
     :param heartbeat_timeout: how long to wait for heartbeat answers.
+
+    ``request_timeout``, ``heartbeat_interval`` and ``heartbeat_timeout``
+    default to ``None``, which resolves them from the network clock's
+    :meth:`~repro.util.clock.Clock.scheduling_defaults` — the historical
+    constants on a :class:`~repro.util.clock.SimulatedClock`, real-time
+    values on a :class:`~repro.util.clock.WallClock`.  Hardcoding the
+    simulated-scale constants here would make a wall-clock deployment wait
+    tens of real seconds per probe.
     """
 
     #: placement orders: try candidates in sorted id order, spread load to
@@ -246,16 +254,23 @@ class WebComMaster:
                  audit: AuditLog | None = None,
                  max_attempts: int = 3,
                  selection_policy: str = "first",
-                 request_timeout: float = 10.0,
+                 request_timeout: "float | None" = None,
                  max_retries: int = 2,
                  backoff: float = 2.0,
-                 heartbeat_interval: float = 15.0,
-                 heartbeat_timeout: float = 5.0,
+                 heartbeat_interval: "float | None" = None,
+                 heartbeat_timeout: "float | None" = None,
                  obs: "Observability | None" = None) -> None:
         if selection_policy not in self.SELECTION_POLICIES:
             raise SchedulingError(
                 f"unknown selection policy {selection_policy!r}; "
                 f"choose from {self.SELECTION_POLICIES}")
+        defaults = network.clock.scheduling_defaults()
+        if request_timeout is None:
+            request_timeout = defaults["request_timeout"]
+        if heartbeat_interval is None:
+            heartbeat_interval = defaults["heartbeat_interval"]
+        if heartbeat_timeout is None:
+            heartbeat_timeout = defaults["heartbeat_timeout"]
         if request_timeout <= 0 or heartbeat_timeout <= 0:
             raise SchedulingError("timeouts must be positive")
         if backoff < 1.0:

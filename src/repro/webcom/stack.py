@@ -20,6 +20,7 @@ object access, middleware invocation, TM query, application predicate).
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
@@ -235,6 +236,10 @@ class AuthorisationStack:
         self.cache_ttl = cache_ttl
         self._cache: dict[MediationRequest,
                           tuple[float, object, StackDecision]] = {}
+        #: serialises mediation-cache / last-known-good mutation against
+        #: concurrent serve handlers (and threaded harnesses); without it a
+        #: mediation racing a revocation could re-cache a stale decision
+        self._cache_lock = threading.RLock()
         self._uncacheable: set[Layer] = set()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -336,12 +341,14 @@ class AuthorisationStack:
 
     def invalidate_cache(self) -> None:
         """Drop every cached mediation decision."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def cache_info(self) -> dict[str, int]:
         """Mediation-cache statistics."""
-        return {"entries": len(self._cache), "hits": self.cache_hits,
-                "misses": self.cache_misses}
+        with self._cache_lock:
+            return {"entries": len(self._cache), "hits": self.cache_hits,
+                    "misses": self.cache_misses}
 
     def _config_fingerprint(self) -> object:
         """Changes when a plugged layer's decision inputs may have changed
@@ -350,25 +357,31 @@ class AuthorisationStack:
                 if self._tm is not None else None)
 
     def _cache_lookup(self, request: MediationRequest) -> StackDecision | None:
-        entry = self._cache.get(request)
-        if entry is None:
-            return None
-        expires, fingerprint, decision = entry
-        if self._now() > expires or fingerprint != self._config_fingerprint():
-            del self._cache[request]
-            return None
-        return decision
+        with self._cache_lock:
+            entry = self._cache.get(request)
+            if entry is None:
+                return None
+            expires, fingerprint, decision = entry
+            if (self._now() > expires
+                    or fingerprint != self._config_fingerprint()):
+                self._cache.pop(request, None)
+                return None
+            return decision
 
     def _cache_store(self, request: MediationRequest,
-                     decision: StackDecision) -> None:
+                     decision: StackDecision, fingerprint: object) -> None:
+        """Store a fresh decision under the fingerprint captured *before*
+        mediation ran — if the TM state changed mid-mediation the stored
+        entry self-invalidates at the next lookup's fingerprint check."""
         if decision.is_degraded():
             # A degraded decision is never cached as fresh: the next
             # request must re-probe the layers (or be re-marked stale).
             return
         if any(d.layer in self._uncacheable for d in decision.decisions):
             return
-        self._cache[request] = (self._now() + self.cache_ttl,
-                                self._config_fingerprint(), decision)
+        with self._cache_lock:
+            self._cache[request] = (self._now() + self.cache_ttl,
+                                    fingerprint, decision)
 
     def configured_layers(self) -> tuple[Layer, ...]:
         """Which layers are present, lowest first."""
@@ -449,6 +462,15 @@ class AuthorisationStack:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+        # Fingerprint of the decision inputs *before* any layer runs: a
+        # concurrent revocation mid-mediation changes the live fingerprint,
+        # and the stored entry must be keyed to what was actually consulted.
+        # The TM checker is forced into existence first — its lazy build
+        # during the first query would otherwise move the fingerprint
+        # mid-mediation with no state change.
+        if cached is None and self._tm is not None:
+            self._tm.checker
+        fingerprint = self._config_fingerprint()
         tracer = self.obs.tracer if self.obs is not None else None
         if tracer is not None:
             with tracer.span("stack.mediate", correlation_id=correlation_id,
@@ -472,9 +494,10 @@ class AuthorisationStack:
         if cached is None and not decision.is_degraded():
             # Only a fully, freshly mediated decision may seed the
             # last-known-good store fail-static layers serve from.
-            self._last_good[request] = decision
+            with self._cache_lock:
+                self._last_good[request] = decision
         if cached is None and self.cache_ttl is not None:
-            self._cache_store(request, decision)
+            self._cache_store(request, decision, fingerprint)
         if self.obs is not None:
             outcome = "allow" if decision.allowed else "deny"
             self.obs.metrics.counter(f"stack.mediate.{outcome}").inc()
@@ -561,7 +584,8 @@ class AuthorisationStack:
             self.obs.metrics.counter(
                 f"health.degraded.{layer.name}.{mode.value}").inc()
         if mode is DegradedMode.FAIL_STATIC:
-            last_good = self._last_good.get(request)
+            with self._cache_lock:
+                last_good = self._last_good.get(request)
             if last_good is not None:
                 self.stale_served += 1
                 if self.obs is not None:

@@ -1,0 +1,59 @@
+"""The PID-file singleton guard."""
+
+import os
+
+import pytest
+
+from repro.errors import AlreadyRunningError
+from repro.serve.pidfile import PidFile
+
+
+class TestPidFile:
+    def test_acquire_writes_our_pid(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        guard = PidFile(path).acquire()
+        assert int(path.read_text()) == os.getpid()
+        guard.release()
+        assert not path.exists()
+
+    def test_live_foreign_pid_blocks_acquisition(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        # PID 1 is always alive (and never us).
+        path.write_text("1\n")
+        with pytest.raises(AlreadyRunningError) as excinfo:
+            PidFile(path).acquire()
+        assert excinfo.value.pid == 1
+
+    def test_stale_pid_is_reclaimed(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        # A PID far beyond pid_max: certainly dead.
+        path.write_text("99999999\n")
+        guard = PidFile(path).acquire()
+        assert int(path.read_text()) == os.getpid()
+        guard.release()
+
+    def test_garbage_content_is_reclaimed(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        path.write_text("not-a-pid\n")
+        PidFile(path).acquire().release()
+
+    def test_release_is_idempotent_and_respects_takeover(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        guard = PidFile(path).acquire()
+        # Another daemon took the file over (e.g. we were deemed stale):
+        # our release must not delete their claim.
+        path.write_text("1\n")
+        guard.release()
+        assert path.read_text() == "1\n"
+        guard.release()  # idempotent
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        with PidFile(path):
+            assert path.exists()
+        assert not path.exists()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "run" / "serve.pid"
+        with PidFile(path):
+            assert path.exists()

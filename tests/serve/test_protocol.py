@@ -1,0 +1,75 @@
+"""The NDJSON wire protocol: framing, shapes, malformed-frame rejection."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    classify,
+    decode_frame,
+    encode_frame,
+    error_response,
+    make_event,
+    make_request,
+    ok_response,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = make_request("c-1", "mediate", {"user": "alice"})
+        assert decode_frame(encode_frame(message).rstrip(b"\n")) == message
+
+    def test_frames_are_single_lines(self):
+        data = encode_frame(make_event("decision", {"allowed": True}))
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+
+    def test_deterministic_encoding(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+    def test_oversized_frame_rejected_both_ways(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * MAX_LINE_BYTES})
+        with pytest.raises(ProtocolError):
+            decode_frame(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"not json at all")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(json.dumps([1, 2, 3]).encode())
+
+
+class TestShapes:
+    def test_classify_the_three_shapes(self):
+        assert classify(make_request("r-1", "ping")) == "request"
+        assert classify(ok_response("r-1", {})) == "response"
+        assert classify(error_response("r-1", "ServeError", "no")) \
+            == "response"
+        assert classify(make_event("server", {})) == "event"
+
+    def test_request_needs_nonempty_id(self):
+        with pytest.raises(ProtocolError):
+            classify({"id": "", "method": "ping"})
+        with pytest.raises(ProtocolError):
+            classify({"id": 7, "method": "ping"})
+
+    def test_request_params_must_be_object(self):
+        with pytest.raises(ProtocolError):
+            classify({"id": "r-1", "method": "ping", "params": [1]})
+
+    def test_unclassifiable_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            classify({"hello": "world"})
+
+    def test_error_response_carries_the_type(self):
+        response = error_response("r-9", "KeyComError", "denied")
+        assert response["error"]["type"] == "KeyComError"
+        assert not response["ok"]

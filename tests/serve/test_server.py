@@ -1,0 +1,322 @@
+"""The serve daemon: registry, dispatch, dedup, pub/sub, drain, liveness.
+
+Tests drive a real asyncio server over real loopback sockets (the harness
+has no pytest-asyncio; each test wraps its scenario in ``asyncio.run``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import AlreadyRunningError
+from repro.keynote.credential import Credential
+from repro.serve.client import ServeCallError, ServeClient
+from repro.serve.plane import ServePolicyPlane
+from repro.serve.server import ReproServer
+from repro.store.durable import DurablePolicyNode
+from repro.middleware.corba import CorbaOrb
+from repro.translate.to_keynote import membership_conditions
+from repro.util.clock import SimulatedClock
+
+TRUST_ROOT = ('Authorizer: POLICY\nLicensees: "KWebCom"\n'
+              'Conditions: app_domain=="WebCom";')
+
+
+def _plane(**kwargs):
+    plane = ServePolicyPlane(**kwargs)
+    plane.keystore.create("KWebCom")
+    plane.keystore.create("Kuser")
+    return plane
+
+
+def _grant(plane, operations=("run",)):
+    plane.session.add_policy(
+        'Authorizer: POLICY\nLicensees: "Kuser"\n'
+        'Conditions: app_domain=="WebCom" && ('
+        + " || ".join(f'op=="{op}"' for op in operations) + ');')
+
+
+MEDIATE = {"user": "alice", "user_key": "Kuser", "object_type": "graph",
+           "operation": "run", "attributes": {"app_domain": "WebCom"}}
+
+
+async def _boot(plane, **server_kwargs):
+    server = await ReproServer(plane, **server_kwargs).start()
+    client = await ServeClient("t").connect(server.host, server.port)
+    return server, client
+
+
+class TestServerCore:
+    def test_hello_registers_and_status_reports(self):
+        async def scenario():
+            server, client = await _boot(_plane())
+            hello = await client.hello(role="tester")
+            status = await client.call("status")
+            await client.close()
+            await server.shutdown()
+            return hello, status
+
+        hello, status = asyncio.run(scenario())
+        assert hello["protocol_version"] == 1
+        assert hello["timescale"] == "wall"
+        peers = {p["name"]: p for p in status["peers"]}
+        assert peers["t"]["role"] == "tester"
+        assert status["plane"]["durable"] is False
+
+    def test_mediate_allows_and_denies_per_policy(self):
+        async def scenario():
+            plane = _plane()
+            _grant(plane)
+            server, client = await _boot(plane)
+            allowed = await client.call("mediate", MEDIATE)
+            denied = await client.call("mediate",
+                                       {**MEDIATE, "operation": "drop"})
+            await client.close()
+            await server.shutdown()
+            return allowed, denied
+
+        allowed, denied = asyncio.run(scenario())
+        assert allowed["allowed"] and not denied["allowed"]
+        assert denied["denied_by"] == "TRUST_MANAGEMENT"
+        assert allowed["correlation_id"]
+
+    def test_probe_agrees_with_oracle_both_ways(self):
+        async def scenario():
+            plane = _plane()
+            _grant(plane)
+            server, client = await _boot(plane)
+            results = [await client.call("probe", MEDIATE),
+                       await client.call("probe",
+                                         {**MEDIATE, "operation": "drop"})]
+            await client.close()
+            await server.shutdown()
+            return results
+
+        allow, deny = asyncio.run(scenario())
+        assert allow["agree"] and allow["allowed"] and allow["oracle_allowed"]
+        assert deny["agree"] and not deny["allowed"] \
+            and not deny["oracle_allowed"]
+
+    def test_malformed_and_unknown_requests_get_error_responses(self):
+        async def scenario():
+            server, client = await _boot(_plane())
+            outcomes = {}
+            try:
+                await client.call("frobnicate")
+            except ServeCallError as exc:
+                outcomes["unknown"] = exc.error_type
+            try:
+                await client.call("mediate", {"user": "alice"})
+            except ServeCallError as exc:
+                outcomes["missing"] = exc.error_type
+            # The connection survived both errors.
+            outcomes["alive"] = (await client.call("ping"))["pong"]
+            await client.close()
+            await server.shutdown()
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert outcomes["unknown"] == "ProtocolError"
+        assert outcomes["missing"] == "ServeError"
+        assert outcomes["alive"] is True
+
+    def test_decision_events_carry_span_trees(self):
+        async def scenario():
+            plane = _plane()
+            _grant(plane)
+            server, client = await _boot(plane)
+            observer = await ServeClient("obs").connect(server.host,
+                                                        server.port)
+            await observer.hello(role="observer")
+            await observer.subscribe("decision")
+            await client.call("mediate", MEDIATE)
+            event = await observer.next_event()
+            await observer.close()
+            await client.close()
+            await server.shutdown()
+            return event
+
+        event = asyncio.run(scenario())
+        assert event["event"] == "decision"
+        assert event["data"]["allowed"] is True
+        names = {span["name"] for span in event["data"]["spans"]}
+        assert "stack.mediate" in names
+        assert any(name.startswith("stack.layer.") for name in names)
+
+
+class TestRequestIdDedup:
+    def test_duplicate_update_is_replayed_not_reapplied(self):
+        async def scenario():
+            plane = _plane()
+            plane.session.add_policy(TRUST_ROOT)
+            membership = Credential.build(
+                "KWebCom", '"Kuser"',
+                membership_conditions(plane.middleware.domain, "Clerk"),
+            ).sign(plane.keystore.pair("KWebCom").private)
+            server, client = await _boot(plane)
+            params = {"user": "alice", "user_key": "Kuser",
+                      "domain": plane.middleware.domain, "role": "Clerk",
+                      "credentials": [membership.to_text()],
+                      "request_id": "install-1"}
+            first = await client.call("update", params,
+                                      request_id="wire-1")
+            # The retry reuses the *wire* id: the server must replay the
+            # recorded response without re-executing the handler.
+            second = await client.call("update", params,
+                                       request_id="wire-1")
+            await client.close()
+            await server.shutdown()
+            return first, second, server, plane
+
+        first, second, server, plane = asyncio.run(scenario())
+        assert first == second
+        assert server.duplicates_served == 1
+        assert len(plane.keycom.processed) == 1
+
+    def test_application_level_request_id_also_dedups(self):
+        async def scenario():
+            plane = _plane()
+            plane.session.add_policy(TRUST_ROOT)
+            membership = Credential.build(
+                "KWebCom", '"Kuser"',
+                membership_conditions(plane.middleware.domain, "Clerk"),
+            ).sign(plane.keystore.pair("KWebCom").private)
+            server, client = await _boot(plane)
+            params = {"user": "alice", "user_key": "Kuser",
+                      "domain": plane.middleware.domain, "role": "Clerk",
+                      "credentials": [membership.to_text()],
+                      "request_id": "install-1"}
+            # Distinct wire ids (a reconnecting client), same KeyCom
+            # request id: the service's idempotency layer catches it.
+            first = await client.call("update", params)
+            second = await client.call("update", params)
+            await client.close()
+            await server.shutdown()
+            return first, second, plane
+
+        first, second, plane = asyncio.run(scenario())
+        assert first["applied"] and second["applied"]
+        assert not first["duplicate"] and second["duplicate"]
+        assert plane.keycom.duplicates == 1
+
+
+class TestDurabilityAndDrain:
+    def test_shutdown_drains_and_flushes_the_wal(self, tmp_path):
+        async def scenario():
+            plane = _plane(root=tmp_path)
+            _grant(plane)
+            server, client = await _boot(plane)
+            await client.call("add_credential", {"text": Credential.build(
+                "Kuser", '"Kuser"', "false").sign(
+                    plane.keystore.pair("Kuser").private).to_text()})
+            await client.call("mediate", MEDIATE)
+            ack = await client.call("shutdown", {"reason": "test"})
+            report = await server.serve_until_shutdown()
+            await client.close()
+            return ack, report
+
+        ack, report = asyncio.run(scenario())
+        assert ack["draining"] is True
+        assert report["wal_flushed"] is True
+        assert report["inflight_after_drain"] == 0
+        assert report["snapshot"]
+        # The daemon's acknowledged trust state survives a restart.
+        node = DurablePolicyNode.recover(
+            tmp_path, keycom_middleware=CorbaOrb("serve", "orb"),
+            verify_signatures=False)
+        try:
+            assert len(node.session.policies) == 1
+            assert len(node.session.credentials) == 1
+        finally:
+            node.close()
+
+    def test_draining_server_refuses_new_work(self):
+        async def scenario():
+            plane = _plane()
+            _grant(plane)
+            server, client = await _boot(plane)
+            server.draining = True
+            try:
+                await client.call("mediate", MEDIATE)
+                refused = None
+            except ServeCallError as exc:
+                refused = str(exc)
+            status = await client.call("status")
+            await client.close()
+            server.draining = False
+            await server.shutdown()
+            return refused, status
+
+        refused, status = asyncio.run(scenario())
+        assert refused is not None and "draining" in refused
+        assert status["draining"] is True
+
+    def test_pidfile_blocks_a_second_daemon(self, tmp_path):
+        pidfile = tmp_path / "serve.pid"
+        pidfile.write_text("1\n")  # PID 1: alive, not us
+
+        async def scenario():
+            server = ReproServer(_plane(), pidfile=str(pidfile))
+            with pytest.raises(AlreadyRunningError):
+                await server.start()
+
+        asyncio.run(scenario())
+
+
+class TestLiveness:
+    def test_simulated_clock_plane_heartbeats_at_simulated_scale(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            server, client = await _boot(plane)
+            await client.hello()
+            # Defaults resolved from the simulated clock's schedule.
+            assert server.heartbeat_interval == 15.0
+            assert server.heartbeat_timeout == 5.0
+            peer = next(iter(server.registry.values()))
+            assert peer.alive
+            # Silence past timeout x max_missed: the reaper marks it dead.
+            clock.advance(16.0)
+            reaped = server.reap_once()
+            assert reaped == [peer.peer_id]
+            assert not peer.alive
+            # Any request revives it.
+            await client.call("ping")
+            assert peer.alive
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_wall_clock_plane_resolves_subsecond_defaults(self):
+        async def scenario():
+            server, client = await _boot(_plane())
+            hello = await client.hello()
+            await client.close()
+            await server.shutdown()
+            return hello, server
+
+        hello, server = asyncio.run(scenario())
+        assert server.heartbeat_interval == 5.0
+        assert server.heartbeat_timeout == 1.0
+        assert hello["heartbeat_interval"] == 5.0
+
+
+class TestTranslateApi:
+    def test_translate_comprehends_credentials_over_the_wire(self):
+        async def scenario():
+            plane = _plane()
+            membership = Credential.build(
+                "KWebCom", '"Kuser"',
+                membership_conditions("Payroll", "Clerk"),
+            ).sign(plane.keystore.pair("KWebCom").private)
+            server, client = await _boot(plane)
+            result = await client.call(
+                "translate", {"credentials": [membership.to_text()]})
+            await client.close()
+            await server.shutdown()
+            return result
+
+        result = asyncio.run(scenario())
+        assert result["assignments"] == 1
+        assert result["policy"]["user_assignment"]

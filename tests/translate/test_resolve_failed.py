@@ -1,0 +1,90 @@
+"""Regression: comprehension discloses keystore resolution failures.
+
+``_licensee_users`` used to swallow *every* exception from the keystore
+with a bare ``except Exception`` — a genuine lookup miss and a programming
+error (a broken keystore stub) were both silently mapped to the raw key
+name.  Now only :class:`~repro.errors.UnknownKeyError` / :class:`LookupError`
+fall back, each disclosed as a ``translate.resolve_failed`` audit event;
+anything else propagates.
+"""
+
+import pytest
+
+from repro.crypto.keystore import Keystore
+from repro.keynote.credential import Credential
+from repro.translate.from_keynote import (
+    comprehend_credentials,
+    comprehend_membership,
+)
+from repro.translate.to_keynote import membership_conditions
+from repro.rbac.policy import RBACPolicy
+from repro.util.events import AuditLog
+
+
+def _membership(keystore, authorizer, user_key, domain="Payroll",
+                role="Clerk"):
+    return Credential.build(
+        authorizer=authorizer, licensees=f'"{user_key}"',
+        conditions=membership_conditions(domain, role),
+    ).sign(keystore.pair(authorizer).private)
+
+
+class TestResolveFailedDisclosure:
+    def test_unknown_licensee_falls_back_and_audits(self):
+        keystore = Keystore()
+        keystore.create("KWebCom")
+        # The licensee key is *not* registered: resolution must fail.
+        credential = Credential.build(
+            authorizer="KWebCom", licensees='"Kghost"',
+            conditions=membership_conditions("Payroll", "Clerk"))
+        audit = AuditLog()
+        policy = RBACPolicy("p")
+        rows = comprehend_membership(credential, policy, keystore,
+                                     audit=audit)
+        assert rows == 1
+        assert policy.assignments  # the fallback user was still assigned
+        events = audit.find(category="translate.resolve_failed")
+        assert len(events) == 1
+        assert events[0].subject == "Kghost"
+        assert events[0].outcome == "fallback"
+
+    def test_resolvable_licensees_emit_no_event(self):
+        keystore = Keystore()
+        keystore.create("KWebCom")
+        keystore.create("Kclaire")
+        audit = AuditLog()
+        policy = RBACPolicy("p")
+        comprehend_membership(_membership(keystore, "KWebCom", "Kclaire"),
+                              policy, keystore, audit=audit)
+        assert not audit.find(category="translate.resolve_failed")
+        assert any(a.user == "Claire" for a in policy.assignments)
+
+    def test_programming_errors_propagate(self):
+        class BrokenKeystore(Keystore):
+            def resolve(self, symbol):
+                raise TypeError("stub keystore wired up wrong")
+
+        keystore = BrokenKeystore()
+        keystore.create("KWebCom")
+        credential = Credential.build(
+            authorizer="KWebCom", licensees='"Kuser"',
+            conditions=membership_conditions("Payroll", "Clerk"))
+        with pytest.raises(TypeError):
+            comprehend_membership(credential, RBACPolicy("p"), keystore)
+
+    def test_comprehend_credentials_threads_the_audit_through(self):
+        keystore = Keystore()
+        keystore.create("KWebCom")
+        policy_cred = Credential.from_text(
+            'Authorizer: POLICY\nLicensees: "KWebCom"\n'
+            'Conditions: app_domain=="WebCom";')
+        ghost = Credential.build(
+            authorizer="KWebCom", licensees='"Kghost"',
+            conditions=membership_conditions("Payroll", "Clerk"),
+        ).sign(keystore.pair("KWebCom").private)
+        audit = AuditLog()
+        comprehend_credentials([policy_cred, ghost], keystore=keystore,
+                               audit=audit)
+        assert [e.subject for e
+                in audit.find(category="translate.resolve_failed")] \
+            == ["Kghost"]

@@ -1,0 +1,65 @@
+"""The Clock abstraction: simulated and wall timescales, shared defaults."""
+
+import time
+
+from repro.util.clock import (
+    SIMULATED_SCHEDULING_DEFAULTS,
+    WALL_SCHEDULING_DEFAULTS,
+    Clock,
+    SimulatedClock,
+    WallClock,
+)
+
+
+class TestClockProtocol:
+    def test_both_clocks_satisfy_the_protocol(self):
+        assert isinstance(SimulatedClock(), Clock)
+        assert isinstance(WallClock(), Clock)
+
+    def test_timescales_are_distinct(self):
+        assert SimulatedClock().timescale == "simulated"
+        assert WallClock().timescale == "wall"
+
+
+class TestWallClock:
+    def test_starts_at_epoch_zero(self):
+        assert 0.0 <= WallClock().now() < 1.0
+
+    def test_is_monotonic(self):
+        clock = WallClock()
+        samples = [clock.now() for _ in range(100)]
+        assert samples == sorted(samples)
+
+    def test_actually_tracks_real_time(self):
+        clock = WallClock()
+        before = clock.now()
+        time.sleep(0.01)
+        assert clock.now() - before >= 0.005
+
+    def test_two_clocks_have_independent_origins(self):
+        first = WallClock()
+        time.sleep(0.01)
+        second = WallClock()
+        assert first.now() > second.now()
+
+
+class TestSchedulingDefaults:
+    def test_simulated_defaults_are_the_historical_constants(self):
+        # The exact numbers the master hardcoded before the Clock routing:
+        # changing them would silently change every simulated scenario.
+        assert SimulatedClock().scheduling_defaults() == {
+            "request_timeout": 10.0,
+            "heartbeat_interval": 15.0,
+            "heartbeat_timeout": 5.0,
+        }
+
+    def test_wall_defaults_are_subseconds_to_seconds(self):
+        defaults = WallClock().scheduling_defaults()
+        assert set(defaults) == set(SIMULATED_SCHEDULING_DEFAULTS)
+        assert all(0.0 < value <= 5.0 for value in defaults.values())
+
+    def test_defaults_are_copies(self):
+        clock = SimulatedClock()
+        clock.scheduling_defaults()["request_timeout"] = 999.0
+        assert clock.scheduling_defaults() == SIMULATED_SCHEDULING_DEFAULTS
+        assert WALL_SCHEDULING_DEFAULTS["heartbeat_timeout"] == 1.0

@@ -1,0 +1,52 @@
+"""Regression: the master's scheduling constants follow the network clock.
+
+The heartbeat/request-timeout defaults were hardcoded at simulated-clock
+scale; a master driven by a wall clock would wait tens of *real* seconds
+per liveness probe.  They now resolve through the shared
+:class:`~repro.util.clock.Clock` abstraction's scheduling defaults, in both
+clock modes, with explicit arguments still winning.
+"""
+
+from repro.util.clock import (
+    SIMULATED_SCHEDULING_DEFAULTS,
+    WALL_SCHEDULING_DEFAULTS,
+    SimulatedClock,
+    WallClock,
+)
+from repro.webcom.network import SimulatedNetwork
+from repro.webcom.node import WebComMaster
+
+
+class TestHeartbeatDefaults:
+    def test_simulated_clock_resolves_the_historical_constants(self):
+        master = WebComMaster("m", SimulatedNetwork(clock=SimulatedClock()))
+        assert master.request_timeout == \
+            SIMULATED_SCHEDULING_DEFAULTS["request_timeout"]
+        assert master.heartbeat_interval == \
+            SIMULATED_SCHEDULING_DEFAULTS["heartbeat_interval"]
+        assert master.heartbeat_timeout == \
+            SIMULATED_SCHEDULING_DEFAULTS["heartbeat_timeout"]
+
+    def test_wall_clock_resolves_realtime_scale(self):
+        master = WebComMaster("m", SimulatedNetwork(clock=WallClock()))
+        assert master.request_timeout == \
+            WALL_SCHEDULING_DEFAULTS["request_timeout"]
+        assert master.heartbeat_interval == \
+            WALL_SCHEDULING_DEFAULTS["heartbeat_interval"]
+        assert master.heartbeat_timeout == \
+            WALL_SCHEDULING_DEFAULTS["heartbeat_timeout"]
+
+    def test_explicit_arguments_override_either_mode(self):
+        for clock in (SimulatedClock(), WallClock()):
+            master = WebComMaster("m", SimulatedNetwork(clock=clock),
+                                  request_timeout=3.5,
+                                  heartbeat_interval=7.0,
+                                  heartbeat_timeout=2.0)
+            assert (master.request_timeout, master.heartbeat_interval,
+                    master.heartbeat_timeout) == (3.5, 7.0, 2.0)
+
+    def test_simulated_network_default_clock_unchanged(self):
+        # A bare network (no clock argument) must behave exactly as before
+        # the Clock routing: simulated scale.
+        master = WebComMaster("m", SimulatedNetwork())
+        assert master.heartbeat_interval == 15.0
