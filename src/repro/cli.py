@@ -413,6 +413,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    """Compiled bitset-engine benchmark (the ``BENCH_8.json`` CI
+    artifact): cold/warm check latency and batch throughput, compiled vs
+    set-based, plus a three-way oracle equivalence sweep."""
+    from repro.rbac.bench import check_engine_bench, run_engine_bench
+    from repro.report import engine_bench_report
+
+    report = run_engine_bench(users=args.users, roles=args.roles,
+                              batch=args.batch,
+                              set_based_sample=args.set_based_sample,
+                              seed=args.seed)
+    if args.json:
+        _emit(args, json.dumps(report, indent=2))
+    else:
+        _emit(args, engine_bench_report(report))
+    if not args.check:
+        return 0
+    failures = check_engine_bench(report, min_speedup=args.min_speedup)
+    for failure in failures:
+        print(f"bench-engine check failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
                                 faults=args.faults, seed=args.seed,
@@ -617,6 +640,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_sbench.add_argument("--out", default=None,
                           help="write the output to a file instead of stdout")
     p_sbench.set_defaults(func=_cmd_serve_bench)
+
+    p_ebench = sub.add_parser(
+        "bench-engine", help="compiled bitset RBAC engine benchmark "
+                             "(cold/warm vs set-based + oracle sweep)")
+    p_ebench.add_argument("--users", type=int, default=100_000,
+                          help="synthetic user universe size")
+    p_ebench.add_argument("--roles", type=int, default=10_000,
+                          help="synthetic role universe size")
+    p_ebench.add_argument("--batch", type=int, default=20_000,
+                          help="check_access_many batch size (Zipfian mix)")
+    p_ebench.add_argument("--set-based-sample", type=int, default=150,
+                          help="cold checks answered by the set-based "
+                               "comparator (extrapolated per-check)")
+    p_ebench.add_argument("--seed", type=int, default=8,
+                          help="universe/workload seed")
+    p_ebench.add_argument("--min-speedup", type=float, default=5.0,
+                          help="cold-path speedup floor enforced "
+                               "with --check")
+    p_ebench.add_argument("--check", action="store_true",
+                          help="exit non-zero unless every gate passes "
+                               "(speedup floor, answer agreement, zero "
+                               "oracle disagreements)")
+    p_ebench.add_argument("--json", action="store_true",
+                          help="emit the full JSON report")
+    p_ebench.add_argument("--out", default=None,
+                          help="write the output to a file instead of "
+                               "stdout")
+    p_ebench.set_defaults(func=_cmd_bench_engine)
     return parser
 
 

@@ -14,10 +14,16 @@ Semantics follow RFC 2704:
   values of all clauses whose tests hold (``_MIN_TRUST`` when none do).
 
 Two evaluation strategies share these semantics: the tree-walking
-:class:`ConditionEvaluator` (one AST dispatch per node per query) and
-:func:`compile_conditions`, which lowers a program once into a tree of
-Python closures — literal regexes are precompiled, constants are bound —
-so the hot authorisation path pays no ``isinstance`` dispatch per query.
+:class:`ConditionEvaluator` (one AST dispatch per node per query — the
+readable reference the oracle uses) and :func:`compile_conditions`, which
+lowers a program once into a **flat postfix bytecode** evaluated by a
+small stack VM — no ``isinstance`` dispatch and no Python call tree per
+query.  The compiler constant-folds every attribute-free subexpression
+(including whole clauses whose tests are statically decided), precompiles
+literal regexes, and emits explicit short-circuit jumps for ``&&``/``||``
+and for RFC 2704's invalid-operand rule: a soft failure is a *sentinel
+value* (:data:`FAIL`) that jump instructions route past the unevaluated
+operand, byte-for-byte matching the tree walker's exception semantics.
 :class:`ComplianceChecker <repro.keynote.compliance.ComplianceChecker>`
 compiles every assertion's conditions at construction time.
 """
@@ -39,7 +45,7 @@ from repro.keynote.ast import (
     StringLit,
     Unary,
 )
-from repro.keynote.values import ComplianceValueSet
+from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
 
 Value = Union[str, float]
 
@@ -223,8 +229,11 @@ class ConditionEvaluator:
             return left % right
         if op == "^":
             try:
+                # A negative base with a fractional exponent yields a
+                # complex result in python; KeyNote has no complex
+                # numbers, so it is an invalid operand (test fails).
                 return float(left ** right)
-            except (OverflowError, ZeroDivisionError) as exc:
+            except (OverflowError, ZeroDivisionError, TypeError) as exc:
                 raise _SoftFailure(str(exc)) from None
         raise KeyNoteEvalError(f"unknown arithmetic operator {op!r}")
 
@@ -248,16 +257,378 @@ _STRING_COMPARISONS = {
 }
 
 
-# -- compiled conditions ------------------------------------------------------
+# -- compiled conditions: flat postfix bytecode -------------------------------
 
-#: a compiled expression: action attributes -> value (may raise _SoftFailure)
-_ValueFn = Callable[[Mapping[str, str]], Value]
-#: a compiled boolean test: soft failures are already absorbed into False
-_TestFn = Callable[[Mapping[str, str]], bool]
+class _Failure:
+    """The soft-failure sentinel the VM routes instead of raising.
+
+    RFC 2704's invalid-operand rule is an *exception* in the tree walker;
+    in the bytecode it is a stack value, so the flat instruction stream
+    needs no Python try/except per node.  Jump instructions propagate it
+    past unevaluated operands exactly where the tree walker's exception
+    would have unwound, and the test boundary converts it to False.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "FAIL"
+
+
+#: the singleton soft-failure sentinel
+FAIL = _Failure()
+
+# Opcodes.  arg meaning in brackets; stack effect after the dash.
+OP_CONST = 0        # [value]        — push constant
+OP_FAIL = 1         # []             — push FAIL (folded soft failure)
+OP_ATTR = 2         # [name]         — push attrs.get(name, "")
+OP_DEREF = 3        # []             — pop v; push attrs.get(str(v), "")
+OP_NEG = 4          # []             — pop v; push -number(v)
+OP_NOT = 5          # []             — pop t; push not t
+OP_TRUTH = 6        # []             — pop v; push bare-value truth of v
+OP_BOOL2STR = 7     # []             — pop t; push "true"/"false"
+OP_CONCAT = 8       # []             — pop b, a; push str(a) + str(b)
+OP_ARITH = 9        # [op]           — pop b, a; push a <op> b
+OP_CMP = 10         # [op]           — pop b, a; push comparison truth
+OP_MATCH = 11       # []             — pop pattern, subject; regex search
+OP_MATCH_CONST = 12  # [compiled re] — pop subject; precompiled search
+OP_JFALSE = 13      # [target]       — top False/FAIL: jump (keep); else pop
+OP_JTRUE = 14       # [target]       — top True: jump (keep); else pop
+OP_JFAIL = 15       # [target]       — top FAIL: jump (keep); else continue
+
+OP_NAMES = {
+    OP_CONST: "CONST", OP_FAIL: "PUSH_FAIL", OP_ATTR: "ATTR",
+    OP_DEREF: "DEREF", OP_NEG: "NEG", OP_NOT: "NOT", OP_TRUTH: "TRUTH",
+    OP_BOOL2STR: "BOOL2STR", OP_CONCAT: "CONCAT", OP_ARITH: "ARITH",
+    OP_CMP: "CMP", OP_MATCH: "MATCH", OP_MATCH_CONST: "MATCH_CONST",
+    OP_JFALSE: "JFALSE", OP_JTRUE: "JTRUE", OP_JFAIL: "JFAIL",
+}
+
+#: bytecode: a tuple of (opcode, arg) pairs
+Code = "tuple[tuple[int, object], ...]"
+
+_ARITH_FN = ConditionEvaluator._arith
+
+
+def _run(code, attrs: Mapping[str, str]):
+    """Execute one test's bytecode; returns True, False or :data:`FAIL`.
+
+    :raises KeyNoteEvalError: for a malformed *dynamic* regex pattern —
+        the one hard error the tree walker also raises at query time.
+    """
+    stack: list = []
+    push = stack.append
+    pop = stack.pop
+    pc = 0
+    size = len(code)
+    while pc < size:
+        op, arg = code[pc]
+        pc += 1
+        if op == OP_ATTR:
+            push(attrs.get(arg, ""))
+        elif op == OP_CONST:
+            push(arg)
+        elif op == OP_CMP:
+            b = pop()
+            a = pop()
+            if b is FAIL:
+                push(FAIL)
+                continue
+            a_num = _num_or_none(a)
+            b_num = _num_or_none(b)
+            if a_num is not None and b_num is not None:
+                push(_NUMERIC_COMPARISONS[arg](a_num, b_num))
+            elif (a_num is None) != (b_num is None):
+                # Mixed numeric/non-numeric: (in)equality is a meaningful
+                # string test, ordered comparison soft-fails (RFC 2704).
+                if arg == "==":
+                    push(False)
+                elif arg == "!=":
+                    push(True)
+                else:
+                    push(FAIL)
+            else:
+                push(_STRING_COMPARISONS[arg](_as_string(a), _as_string(b)))
+        elif op == OP_JFALSE:
+            if stack[-1] is False or stack[-1] is FAIL:
+                pc = arg
+            else:
+                pop()
+        elif op == OP_JTRUE:
+            if stack[-1] is True:
+                pc = arg
+            else:
+                pop()  # discard False *or FAIL*: || protects its left arm
+        elif op == OP_JFAIL:
+            if stack[-1] is FAIL:
+                pc = arg
+        elif op == OP_MATCH_CONST:
+            a = pop()
+            push(FAIL if a is FAIL
+                 else arg.search(_as_string(a)) is not None)
+        elif op == OP_MATCH:
+            b = pop()
+            a = pop()
+            if b is FAIL:
+                push(FAIL)
+                continue
+            pattern = _as_string(b)
+            try:
+                push(re.search(pattern, _as_string(a)) is not None)
+            except re.error as exc:
+                raise KeyNoteEvalError(
+                    f"bad regular expression {pattern!r}: {exc}")
+        elif op == OP_TRUTH:
+            v = pop()
+            if v is FAIL:
+                push(FAIL)
+            else:
+                v_num = _num_or_none(v)
+                push(v == "true" if v_num is None else v_num != 0.0)
+        elif op == OP_NOT:
+            t = pop()
+            push(FAIL if t is FAIL else not t)
+        elif op == OP_BOOL2STR:
+            t = pop()
+            push(FAIL if t is FAIL else ("true" if t else "false"))
+        elif op == OP_ARITH:
+            b = pop()
+            a = pop()
+            if b is FAIL:
+                push(FAIL)
+                continue
+            try:
+                push(_ARITH_FN(arg, _as_number(a), _as_number(b)))
+            except _SoftFailure:
+                push(FAIL)
+        elif op == OP_CONCAT:
+            b = pop()
+            a = pop()
+            push(FAIL if b is FAIL else _as_string(a) + _as_string(b))
+        elif op == OP_NEG:
+            v = pop()
+            if v is FAIL:
+                push(FAIL)
+            else:
+                v_num = _num_or_none(v)
+                push(FAIL if v_num is None else -v_num)
+        elif op == OP_DEREF:
+            v = pop()
+            push(FAIL if v is FAIL else attrs.get(_as_string(v), ""))
+        else:  # OP_FAIL
+            push(FAIL)
+    return stack[-1]
+
+
+def _num_or_none(value):
+    """float(value) or None — one conversion where the tree walker pays
+    two (_is_numeric then _as_number)."""
+    if type(value) is float:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+# -- compiler -----------------------------------------------------------------
+
+#: stateless tree-walking evaluator used for compile-time constant folding
+_CONST_EVAL = ConditionEvaluator({}, DEFAULT_VALUE_SET)
+
+
+def _is_const(expr: Expr) -> bool:
+    """True when no attribute (direct or dereferenced) can influence
+    ``expr`` — the subtree folds to a constant at compile time."""
+    if isinstance(expr, (StringLit, NumberLit)):
+        return True
+    if isinstance(expr, (Attribute, Deref)):
+        return False
+    if isinstance(expr, Unary):
+        return _is_const(expr.operand)
+    if isinstance(expr, Binary):
+        return _is_const(expr.left) and _is_const(expr.right)
+    return False
+
+
+def _emit_truth(expr: Expr, code: list) -> None:
+    """Emit bytecode leaving the *truth* of ``expr`` (bool or FAIL)."""
+    if _is_const(expr):
+        try:
+            code.append([OP_CONST, _CONST_EVAL._truth(expr)])
+            return
+        except _SoftFailure:
+            code.append([OP_FAIL, None])
+            return
+        except KeyNoteEvalError:
+            pass  # e.g. bad literal regex: defer the hard error to runtime
+    if isinstance(expr, Binary) and expr.op in _BOOL_OPS:
+        mark = len(code)
+        _emit_truth(expr.left, code)
+        if len(code) == mark + 1 and code[mark][0] in (OP_CONST, OP_FAIL):
+            # Constant left arm with a dynamic right arm: either the left
+            # arm decides (keep it as the result) or it is transparent
+            # (drop it, the right arm alone remains).  A FAIL left arm
+            # decides && (propagates) and is absorbed by ||.
+            left_true = (code[mark][0] == OP_CONST
+                         and code[mark][1] is True)
+            if left_true if expr.op == "||" else not left_true:
+                return
+            code.pop()
+            _emit_truth(expr.right, code)
+            return
+        jump = [OP_JFALSE if expr.op == "&&" else OP_JTRUE, None]
+        code.append(jump)
+        _emit_truth(expr.right, code)
+        jump[1] = len(code)
+        return
+    if isinstance(expr, Unary) and expr.op == "!":
+        _emit_truth(expr.operand, code)
+        code.append([OP_NOT, None])
+        return
+    if isinstance(expr, Binary) and (expr.op in _COMPARE_OPS
+                                     or expr.op == "~="):
+        _emit_compare(expr, code)
+        return
+    _emit_value(expr, code)
+    code.append([OP_TRUTH, None])
+
+
+def _emit_compare(expr: Binary, code: list) -> None:
+    _emit_value(expr.left, code)
+    if expr.op == "~=" and isinstance(expr.right, StringLit):
+        try:
+            compiled = re.compile(expr.right.value)
+        except re.error:
+            compiled = None  # defer: KeyNoteEvalError at query time
+        if compiled is not None:
+            code.append([OP_MATCH_CONST, compiled])
+            return
+    # Strict left-to-right: a soft-failed left operand must skip the
+    # right operand entirely (its evaluation could raise a hard error the
+    # tree walker would never reach).
+    jump = [OP_JFAIL, None]
+    code.append(jump)
+    _emit_value(expr.right, code)
+    code.append([OP_MATCH if expr.op == "~=" else OP_CMP,
+                 None if expr.op == "~=" else expr.op])
+    jump[1] = len(code)
+
+
+def _emit_value(expr: Expr, code: list) -> None:
+    """Emit bytecode leaving the *value* of ``expr`` (str, float or FAIL)."""
+    if isinstance(expr, StringLit):
+        code.append([OP_CONST, expr.value])
+        return
+    if isinstance(expr, NumberLit):
+        code.append([OP_CONST, float(expr.literal)])
+        return
+    if isinstance(expr, Attribute):
+        code.append([OP_ATTR, expr.name])
+        return
+    if _is_const(expr):
+        try:
+            code.append([OP_CONST, _CONST_EVAL._value(expr)])
+            return
+        except _SoftFailure:
+            code.append([OP_FAIL, None])
+            return
+        except KeyNoteEvalError:
+            pass
+    if isinstance(expr, Deref):
+        _emit_value(expr.inner, code)
+        code.append([OP_DEREF, None])
+        return
+    if isinstance(expr, Unary):
+        if expr.op == "-":
+            _emit_value(expr.operand, code)
+            code.append([OP_NEG, None])
+            return
+        if expr.op == "!":
+            _emit_truth(expr.operand, code)
+            code.append([OP_NOT, None])
+            code.append([OP_BOOL2STR, None])
+            return
+        raise KeyNoteEvalError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Binary):
+        if expr.op == "." or expr.op in _ARITH_OPS:
+            _emit_value(expr.left, code)
+            jump = [OP_JFAIL, None]
+            code.append(jump)
+            _emit_value(expr.right, code)
+            code.append([OP_CONCAT, None] if expr.op == "."
+                        else [OP_ARITH, expr.op])
+            jump[1] = len(code)
+            return
+        if expr.op in _COMPARE_OPS | {"~="} | _BOOL_OPS:
+            _emit_truth(expr, code)
+            code.append([OP_BOOL2STR, None])
+            return
+        raise KeyNoteEvalError(f"unknown operator {expr.op!r}")
+    raise KeyNoteEvalError(f"cannot evaluate {expr!r}")
+
+
+def compile_test(expr: Expr) -> "Code | None":
+    """Compile one clause test to bytecode.
+
+    Returns ``None`` when the test folds to a static True (the caller
+    skips the VM), and ``()`` when it folds to static False/FAIL (the
+    caller drops the clause).
+    """
+    code: list = []
+    _emit_truth(expr, code)
+    if len(code) == 1 and code[0][0] == OP_CONST:
+        return None if code[0][1] is True else ()
+    if len(code) == 1 and code[0][0] == OP_FAIL:
+        return ()
+    return tuple((op, arg) for op, arg in code)
+
+
+class _CompiledClause:
+    """One clause: compiled test + its value form.
+
+    ``kind`` 0 yields ``_MAX_TRUST``, 1 a named value (resolved against
+    the query's value set when the test passes — unknown names must keep
+    raising exactly then), 2 a nested tuple of compiled clauses.
+    """
+
+    __slots__ = ("code", "kind", "payload")
+
+    def __init__(self, code, kind: int, payload) -> None:
+        self.code = code
+        self.kind = kind
+        self.payload = payload
+
+
+def _compile_clause(clause: Clause) -> "_CompiledClause | None":
+    code = compile_test(clause.test)
+    if code == ():
+        return None  # statically false test: the clause can never fire
+    if clause.value is None:
+        return _CompiledClause(code, 0, None)
+    if isinstance(clause.value, ConditionsProgram):
+        nested = tuple(c for c in map(_compile_clause, clause.value.clauses)
+                       if c is not None)
+        return _CompiledClause(code, 2, nested)
+    return _CompiledClause(code, 1, clause.value)
+
+
+def _clause_value(clause: _CompiledClause, attrs: Mapping[str, str],
+                  values: ComplianceValueSet) -> str:
+    if clause.code is not None and _run(clause.code, attrs) is not True:
+        return values.minimum
+    if clause.kind == 0:
+        return values.maximum
+    if clause.kind == 1:
+        return values.resolve(clause.payload)
+    result = values.minimum
+    for sub in clause.payload:
+        result = values.join([result, _clause_value(sub, attrs, values)])
+    return result
 
 
 class CompiledConditions:
-    """A Conditions program lowered to closures, evaluated many times.
+    """A Conditions program lowered to bytecode, evaluated many times.
 
     Built once (per assertion, at checker construction) and then invoked
     per query with just the action attribute set and the value set —
@@ -272,7 +643,9 @@ class CompiledConditions:
 
     def __init__(self, program: ConditionsProgram) -> None:
         self.program = program
-        self._clauses = tuple(_compile_clause(c) for c in program.clauses)
+        self._clauses = tuple(
+            c for c in map(_compile_clause, program.clauses)
+            if c is not None)
         names: set[str] = set()
         dynamic = _collect_program_attributes(program, names)
         self._referenced: "frozenset[str] | None" = (
@@ -283,7 +656,8 @@ class CompiledConditions:
         """Compliance value of the program for one attribute set."""
         result = values.minimum
         for clause in self._clauses:
-            result = values.join([result, clause(attributes, values)])
+            result = values.join([result,
+                                  _clause_value(clause, attributes, values)])
         return result
 
     def referenced_attributes(self) -> "frozenset[str] | None":
@@ -291,166 +665,43 @@ class CompiledConditions:
         depend on runtime values."""
         return self._referenced
 
+    def instruction_count(self) -> int:
+        """Total emitted instructions (0 for a fully folded program)."""
+        def count(clauses) -> int:
+            total = 0
+            for clause in clauses:
+                total += len(clause.code or ())
+                if clause.kind == 2:
+                    total += count(clause.payload)
+            return total
+        return count(self._clauses)
+
+    def disassemble(self) -> list[str]:
+        """Human-readable listing of every clause's bytecode."""
+        lines: list[str] = []
+
+        def dump(clauses, indent: str) -> None:
+            for index, clause in enumerate(clauses):
+                value = {0: "-> _MAX_TRUST",
+                         1: f"-> {clause.payload!r}",
+                         2: "-> {...}"}[clause.kind]
+                lines.append(f"{indent}clause {index} {value}")
+                if clause.code is None:
+                    lines.append(f"{indent}  <static true>")
+                else:
+                    for addr, (op, arg) in enumerate(clause.code):
+                        suffix = "" if arg is None else f" {arg!r}"
+                        lines.append(
+                            f"{indent}  {addr:3d} {OP_NAMES[op]}{suffix}")
+                if clause.kind == 2:
+                    dump(clause.payload, indent + "  ")
+        dump(self._clauses, "")
+        return lines
+
 
 def compile_conditions(program: ConditionsProgram) -> CompiledConditions:
     """Lower a Conditions program into a :class:`CompiledConditions`."""
     return CompiledConditions(program)
-
-
-def _compile_clause(clause: Clause):
-    test = _compile_test(clause.test)
-    if clause.value is None:
-        def run_max(attrs: Mapping[str, str],
-                    values: ComplianceValueSet) -> str:
-            return values.maximum if test(attrs) else values.minimum
-        return run_max
-    if isinstance(clause.value, ConditionsProgram):
-        nested = tuple(_compile_clause(c) for c in clause.value.clauses)
-
-        def run_nested(attrs: Mapping[str, str],
-                       values: ComplianceValueSet) -> str:
-            if not test(attrs):
-                return values.minimum
-            result = values.minimum
-            for fn in nested:
-                result = values.join([result, fn(attrs, values)])
-            return result
-        return run_nested
-    name = clause.value
-
-    def run_named(attrs: Mapping[str, str],
-                  values: ComplianceValueSet) -> str:
-        return values.resolve(name) if test(attrs) else values.minimum
-    return run_named
-
-
-def _compile_test(expr: Expr) -> _TestFn:
-    truth = _compile_truth(expr)
-
-    def test(attrs: Mapping[str, str]) -> bool:
-        try:
-            return truth(attrs)
-        except _SoftFailure:
-            return False
-    return test
-
-
-def _compile_truth(expr: Expr) -> _TestFn:
-    """Boolean interpretation; raises :class:`_SoftFailure` like
-    :meth:`ConditionEvaluator._truth`."""
-    if isinstance(expr, Binary) and expr.op in _BOOL_OPS:
-        left = _compile_truth(expr.left)
-        right = _compile_truth(expr.right)
-        if expr.op == "&&":
-            return lambda attrs: left(attrs) and right(attrs)
-
-        def or_(attrs: Mapping[str, str]) -> bool:
-            try:
-                if left(attrs):
-                    return True
-            except _SoftFailure:
-                pass
-            return right(attrs)
-        return or_
-    if isinstance(expr, Unary) and expr.op == "!":
-        inner = _compile_truth(expr.operand)
-        return lambda attrs: not inner(attrs)
-    if isinstance(expr, Binary) and expr.op in _COMPARE_OPS | {"~="}:
-        return _compile_compare(expr)
-    value = _compile_value(expr)
-
-    def bare(attrs: Mapping[str, str]) -> bool:
-        v = value(attrs)
-        if _is_numeric(v):
-            return _as_number(v) != 0.0
-        return v == "true"
-    return bare
-
-
-def _compile_compare(expr: Binary) -> _TestFn:
-    left = _compile_value(expr.left)
-    right = _compile_value(expr.right)
-    if expr.op == "~=":
-        if isinstance(expr.right, StringLit):
-            try:
-                compiled = re.compile(expr.right.value)
-            except re.error:
-                compiled = None  # defer: raise KeyNoteEvalError at query time
-            if compiled is not None:
-                def match_static(attrs: Mapping[str, str]) -> bool:
-                    return compiled.search(
-                        _as_string(left(attrs))) is not None
-                return match_static
-
-        def match(attrs: Mapping[str, str]) -> bool:
-            subject = _as_string(left(attrs))
-            pattern = _as_string(right(attrs))
-            try:
-                return re.search(pattern, subject) is not None
-            except re.error as exc:
-                raise KeyNoteEvalError(
-                    f"bad regular expression {pattern!r}: {exc}")
-        return match
-    op = expr.op
-    numeric_cmp = _NUMERIC_COMPARISONS[op]
-    string_cmp = _STRING_COMPARISONS[op]
-
-    def compare(attrs: Mapping[str, str]) -> bool:
-        lv = left(attrs)
-        rv = right(attrs)
-        left_numeric, right_numeric = _is_numeric(lv), _is_numeric(rv)
-        if left_numeric and right_numeric:
-            return numeric_cmp(_as_number(lv), _as_number(rv))
-        if left_numeric != right_numeric:
-            if op == "==":
-                return False
-            if op == "!=":
-                return True
-            raise _SoftFailure(
-                f"ordered comparison between {lv!r} and {rv!r}")
-        return string_cmp(_as_string(lv), _as_string(rv))
-    return compare
-
-
-def _compile_value(expr: Expr) -> _ValueFn:
-    if isinstance(expr, StringLit):
-        text = expr.value
-        return lambda attrs: text
-    if isinstance(expr, NumberLit):
-        number = float(expr.literal)
-        return lambda attrs: number
-    if isinstance(expr, Attribute):
-        name = expr.name
-        return lambda attrs: attrs.get(name, "")
-    if isinstance(expr, Deref):
-        inner = _compile_value(expr.inner)
-        return lambda attrs: attrs.get(_as_string(inner(attrs)), "")
-    if isinstance(expr, Unary):
-        if expr.op == "-":
-            operand = _compile_value(expr.operand)
-            return lambda attrs: -_as_number(operand(attrs))
-        if expr.op == "!":
-            truth = _compile_truth(expr.operand)
-            return lambda attrs: "true" if not truth(attrs) else "false"
-        raise KeyNoteEvalError(f"unknown unary operator {expr.op!r}")
-    if isinstance(expr, Binary):
-        if expr.op == ".":
-            left = _compile_value(expr.left)
-            right = _compile_value(expr.right)
-            return lambda attrs: (_as_string(left(attrs))
-                                  + _as_string(right(attrs)))
-        if expr.op in _ARITH_OPS:
-            left = _compile_value(expr.left)
-            right = _compile_value(expr.right)
-            op = expr.op
-            arith = ConditionEvaluator._arith
-            return lambda attrs: arith(op, _as_number(left(attrs)),
-                                       _as_number(right(attrs)))
-        if expr.op in _COMPARE_OPS | {"~="} | _BOOL_OPS:
-            truth = _compile_truth(expr)
-            return lambda attrs: "true" if truth(attrs) else "false"
-        raise KeyNoteEvalError(f"unknown operator {expr.op!r}")
-    raise KeyNoteEvalError(f"cannot evaluate {expr!r}")
 
 
 def _collect_program_attributes(program: ConditionsProgram,

@@ -1,0 +1,436 @@
+"""A compiled, columnar RBAC engine (bitset evaluation).
+
+The set-based query paths of :class:`~repro.rbac.policy.RBACPolicy` scan the
+raw ``HasPermission`` / ``UserAssignment`` relations per decision —
+``roles_of`` walks every assignment, ``check_access`` every grant.  That is
+the executable spec, but it caps cold-path throughput at large universes.
+This module is the engine swap ROADMAP item 3 calls for: the *service
+interface stays stable* (the policy's method signatures are unchanged; it
+routes here when ``compiled`` is on) while the representation underneath is
+columnar:
+
+- users, domain-roles and ``(object_type, permission)`` pairs are interned
+  into dense integer ids (interning is append-only — ids never move);
+- each relation row becomes one set bit: ``_role_direct_perms[rid]`` is an
+  int bitmask over permission ids, ``_user_direct_roles[uid]`` and
+  ``_role_members[rid]`` bitmasks over role/user ids;
+- the RBAC1 hierarchy closure is two bitmask columns (``_down`` /``_up``,
+  inclusive) computed once per hierarchy version in topological order
+  (O(edges) big-int ORs, no per-bit iteration);
+- the derived column ``_role_closed_perms[rid]`` — the permissions a role
+  holds *including its juniors* — is maintained **incrementally**: a grant
+  delta ORs/rebuilds only the rows of the affected role's senior cone, an
+  assignment delta touches two bitmasks, and nothing recomputes the world.
+
+Every decision is then bitwise: ``check_access`` is one AND+shift, batch
+``check_access_many`` reuses a per-user effective mask cache across the
+batch, and ``authorised_users`` ORs the member masks of the qualifying
+roles instead of re-deriving ``roles_of`` per user.
+
+The engine is *decision-identical* to the set-based path by construction
+and by test: the PR 5 oracle differ and the hypothesis churn suite compare
+the three implementations (engine, sets, naive oracle) answer by answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.model import Assignment, DomainRole, Grant
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class RBACEngine:
+    """Bitset-compiled view of one policy's relations and hierarchy.
+
+    Built lazily by :class:`~repro.rbac.policy.RBACPolicy` on first
+    compiled query, then kept in sync by O(delta) mutation calls.  The
+    hierarchy is owned by the policy and may be mutated (or replaced)
+    behind the engine's back, so every query entry point goes through
+    :meth:`sync_hierarchy`, which recompiles the closure columns only when
+    the hierarchy object or its :attr:`~RoleHierarchy.version` changed.
+    """
+
+    def __init__(self) -> None:
+        # -- interning tables (append-only: ids are stable) ---------------
+        self._role_ids: dict[DomainRole, int] = {}
+        self._roles: list[DomainRole] = []
+        self._user_ids: dict[str, int] = {}
+        self._users: list[str] = []
+        self._perm_ids: dict[tuple[str, str], int] = {}
+        self._perms: list[tuple[str, str]] = []
+        # -- relation columns (index = interned id) -----------------------
+        self._role_direct_perms: list[int] = []   # rid -> perm-id bitmask
+        self._user_direct_roles: list[int] = []   # uid -> role-id bitmask
+        self._role_members: list[int] = []        # rid -> user-id bitmask
+        # -- hierarchy closure columns (inclusive of the role itself) -----
+        self._down: list[int] = []                # rid -> dominated cone
+        self._up: list[int] = []                  # rid -> dominating cone
+        # -- derived column: direct perms ORed over the downward cone -----
+        self._role_closed_perms: list[int] = []
+        self._hierarchy: RoleHierarchy | None = None
+        self._hierarchy_version = -1
+        #: per-user effective permission mask, flushed on any mutation —
+        #: the warm path of a Zipfian batch is one dict hit + one AND
+        self._user_perm_cache: dict[int, int] = {}
+        # -- observability -------------------------------------------------
+        self.builds = 0
+        self.hierarchy_rebuilds = 0
+        self.deltas = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_relations(cls, grants: Iterable[Grant],
+                       assignments: Iterable[Assignment],
+                       hierarchy: RoleHierarchy) -> "RBACEngine":
+        """Compile a relation snapshot (one pass, no closure yet)."""
+        engine = cls()
+        engine.builds += 1
+        for grant in grants:
+            engine._set_grant_bit(grant.domain_role,
+                                  (grant.object_type, grant.permission))
+        for assignment in assignments:
+            engine._set_assignment_bits(assignment.user,
+                                        assignment.domain_role)
+        engine.sync_hierarchy(hierarchy)
+        return engine
+
+    # -- interning ---------------------------------------------------------
+
+    def _role_id(self, role: DomainRole) -> int:
+        rid = self._role_ids.get(role)
+        if rid is None:
+            rid = len(self._roles)
+            self._role_ids[role] = rid
+            self._roles.append(role)
+            self._role_direct_perms.append(0)
+            self._role_members.append(0)
+            # A fresh role has no edges yet: its cones are itself.
+            self._down.append(1 << rid)
+            self._up.append(1 << rid)
+            self._role_closed_perms.append(0)
+        return rid
+
+    def _user_id(self, user: str) -> int:
+        uid = self._user_ids.get(user)
+        if uid is None:
+            uid = len(self._users)
+            self._user_ids[user] = uid
+            self._users.append(user)
+            self._user_direct_roles.append(0)
+        return uid
+
+    def _perm_id(self, perm: tuple[str, str]) -> int:
+        pid = self._perm_ids.get(perm)
+        if pid is None:
+            pid = len(self._perms)
+            self._perm_ids[perm] = pid
+            self._perms.append(perm)
+        return pid
+
+    # -- raw bit plumbing (no closure maintenance) -------------------------
+
+    def _set_grant_bit(self, role: DomainRole, perm: tuple[str, str]) -> None:
+        rid = self._role_id(role)
+        self._role_direct_perms[rid] |= 1 << self._perm_id(perm)
+
+    def _set_assignment_bits(self, user: str, role: DomainRole) -> None:
+        uid = self._user_id(user)
+        rid = self._role_id(role)
+        self._user_direct_roles[uid] |= 1 << rid
+        self._role_members[rid] |= 1 << uid
+
+    # -- hierarchy compilation ---------------------------------------------
+
+    def sync_hierarchy(self, hierarchy: RoleHierarchy) -> None:
+        """Recompile the closure columns iff the hierarchy changed.
+
+        Cheap in the common case: one identity check plus one integer
+        compare.  On change, the closure is rebuilt in topological order —
+        O(edges) big-int ORs — and the derived closed-permission column is
+        re-derived the same way; relation columns are untouched.
+        """
+        if (self._hierarchy is hierarchy
+                and self._hierarchy_version == hierarchy.version):
+            return
+        self._hierarchy = hierarchy
+        self._hierarchy_version = hierarchy.version
+        self.hierarchy_rebuilds += 1
+        # Roles mentioned only in hierarchy edges still shape closures
+        # (roles_of must surface junior roles that hold no grants).
+        for senior, junior in hierarchy.edges():
+            self._role_id(senior)
+            self._role_id(junior)
+        n = len(self._roles)
+        down = [1 << rid for rid in range(n)]
+        up = [1 << rid for rid in range(n)]
+        children: list[list[int]] = [[] for _ in range(n)]
+        parents: list[list[int]] = [[] for _ in range(n)]
+        for senior, junior in hierarchy.edges():
+            s, j = self._role_ids[senior], self._role_ids[junior]
+            children[s].append(j)
+            parents[j].append(s)
+        for rid in self._topological(children):
+            mask = down[rid]
+            for child in children[rid]:
+                mask |= down[child]
+            down[rid] = mask
+        for rid in self._topological(parents):
+            mask = up[rid]
+            for parent in parents[rid]:
+                mask |= up[parent]
+            up[rid] = mask
+        self._down = down
+        self._up = up
+        direct = self._role_direct_perms
+        closed = [0] * n
+        for rid in self._topological(children):
+            mask = direct[rid]
+            for child in children[rid]:
+                mask |= closed[child]
+            closed[rid] = mask
+        self._role_closed_perms = closed
+        self._user_perm_cache.clear()
+
+    @staticmethod
+    def _topological(successors: list[list[int]]) -> list[int]:
+        """Reverse-post-order over a DAG, iterative (hierarchies can be
+        deep chains; recursion would overflow)."""
+        n = len(successors)
+        order: list[int] = []
+        state = bytearray(n)  # 0 unvisited, 1 on stack, 2 done
+        for root in range(n):
+            if state[root]:
+                continue
+            stack: list[tuple[int, int]] = [(root, 0)]
+            state[root] = 1
+            while stack:
+                node, index = stack[-1]
+                if index < len(successors[node]):
+                    stack[-1] = (node, index + 1)
+                    succ = successors[node][index]
+                    if not state[succ]:
+                        state[succ] = 1
+                        stack.append((succ, 0))
+                else:
+                    stack.pop()
+                    state[node] = 2
+                    order.append(node)
+        return order  # successors of a node always precede it
+
+    # -- incremental mutation (O(delta)) -----------------------------------
+
+    def add_grant(self, grant: Grant) -> None:
+        """One new ``HasPermission`` bit: OR it into the affected role and
+        every role in its senior cone (monotone — no recompute)."""
+        rid = self._role_id(grant.domain_role)
+        bit = 1 << self._perm_id((grant.object_type, grant.permission))
+        self._role_direct_perms[rid] |= bit
+        for senior in _iter_bits(self._up[rid]):
+            self._role_closed_perms[senior] |= bit
+        self._user_perm_cache.clear()
+        self.deltas += 1
+
+    def remove_grant(self, grant: Grant) -> None:
+        """Revocation is not monotone: re-derive the closed column for the
+        senior cone of the affected role only (everything else is
+        untouched)."""
+        rid = self._role_ids.get(grant.domain_role)
+        pid = self._perm_ids.get((grant.object_type, grant.permission))
+        if rid is None or pid is None:
+            return
+        self._role_direct_perms[rid] &= ~(1 << pid)
+        direct = self._role_direct_perms
+        down = self._down
+        for senior in _iter_bits(self._up[rid]):
+            mask = 0
+            for member in _iter_bits(down[senior]):
+                mask |= direct[member]
+            self._role_closed_perms[senior] = mask
+        self._user_perm_cache.clear()
+        self.deltas += 1
+
+    def add_assignment(self, assignment: Assignment) -> None:
+        """One new ``UserAssignment`` bit (two bitmask ORs)."""
+        self._set_assignment_bits(assignment.user, assignment.domain_role)
+        uid = self._user_ids[assignment.user]
+        self._user_perm_cache.pop(uid, None)
+        self.deltas += 1
+
+    def remove_assignment(self, assignment: Assignment) -> None:
+        """Clear one ``UserAssignment`` bit."""
+        uid = self._user_ids.get(assignment.user)
+        rid = self._role_ids.get(assignment.domain_role)
+        if uid is None or rid is None:
+            return
+        self._user_direct_roles[uid] &= ~(1 << rid)
+        self._role_members[rid] &= ~(1 << uid)
+        self._user_perm_cache.pop(uid, None)
+        self.deltas += 1
+
+    def remove_user(self, user: str) -> None:
+        """Drop every assignment of ``user`` (the paper's revocation op)."""
+        uid = self._user_ids.get(user)
+        if uid is None:
+            return
+        mask = self._user_direct_roles[uid]
+        for rid in _iter_bits(mask):
+            self._role_members[rid] &= ~(1 << uid)
+        self._user_direct_roles[uid] = 0
+        self._user_perm_cache.pop(uid, None)
+        self.deltas += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def _user_perm_mask(self, uid: int) -> int:
+        """Effective permission mask of a user (memoised per mutation
+        epoch): OR of the closed columns of the directly assigned roles."""
+        cached = self._user_perm_cache.get(uid)
+        if cached is not None:
+            return cached
+        mask = 0
+        closed = self._role_closed_perms
+        for rid in _iter_bits(self._user_direct_roles[uid]):
+            mask |= closed[rid]
+        self._user_perm_cache[uid] = mask
+        return mask
+
+    def check_access(self, user: str, object_type: str, permission: str,
+                     use_hierarchy: bool = True) -> bool:
+        """The fundamental decision as one AND+shift."""
+        uid = self._user_ids.get(user)
+        pid = self._perm_ids.get((object_type, permission))
+        if uid is None or pid is None:
+            return False
+        if use_hierarchy:
+            return (self._user_perm_mask(uid) >> pid) & 1 == 1
+        mask = 0
+        direct = self._role_direct_perms
+        for rid in _iter_bits(self._user_direct_roles[uid]):
+            mask |= direct[rid]
+        return (mask >> pid) & 1 == 1
+
+    def check_access_many(self, requests: Sequence[tuple[str, str, str]],
+                          use_hierarchy: bool = True) -> list[bool]:
+        """Batch decisions; the per-user mask cache is shared across the
+        batch, so repeated (Zipfian) users pay the OR once."""
+        if not use_hierarchy:
+            return [self.check_access(u, ot, p, use_hierarchy=False)
+                    for u, ot, p in requests]
+        user_ids = self._user_ids
+        perm_ids = self._perm_ids
+        perm_mask = self._user_perm_mask
+        results: list[bool] = []
+        append = results.append
+        for user, object_type, permission in requests:
+            uid = user_ids.get(user)
+            pid = perm_ids.get((object_type, permission))
+            if uid is None or pid is None:
+                append(False)
+            else:
+                append((perm_mask(uid) >> pid) & 1 == 1)
+        return results
+
+    def roles_of(self, user: str, use_hierarchy: bool = True
+                 ) -> set[DomainRole]:
+        """Direct assignments, optionally closed downward."""
+        uid = self._user_ids.get(user)
+        if uid is None:
+            return set()
+        mask = self._user_direct_roles[uid]
+        if use_hierarchy:
+            closed = 0
+            down = self._down
+            for rid in _iter_bits(mask):
+                closed |= down[rid]
+            mask = closed
+        roles = self._roles
+        return {roles[rid] for rid in _iter_bits(mask)}
+
+    def permissions_of(self, domain: str, role: str,
+                       use_hierarchy: bool = True) -> set[Grant]:
+        """Grant rows held by (domain, role), optionally via juniors.
+
+        Rows keep their *own* domain/role (a senior sees the junior's
+        grant as the junior's row), matching the set-based semantics.
+        """
+        rid = self._role_ids.get(DomainRole(domain, role))
+        if rid is None:
+            return set()
+        cone = self._down[rid] if use_hierarchy else (1 << rid)
+        grants: set[Grant] = set()
+        roles = self._roles
+        perms = self._perms
+        direct = self._role_direct_perms
+        for member in _iter_bits(cone):
+            holder = roles[member]
+            for pid in _iter_bits(direct[member]):
+                object_type, permission = perms[pid]
+                grants.add(Grant(holder.domain, holder.role,
+                                 object_type, permission))
+        return grants
+
+    def role_has_permission(self, domain: str, role: str, object_type: str,
+                            permission: str,
+                            use_hierarchy: bool = True) -> bool:
+        """Single-bit probe of the (closed) role-permission column."""
+        rid = self._role_ids.get(DomainRole(domain, role))
+        pid = self._perm_ids.get((object_type, permission))
+        if rid is None or pid is None:
+            return False
+        column = (self._role_closed_perms if use_hierarchy
+                  else self._role_direct_perms)
+        return (column[rid] >> pid) & 1 == 1
+
+    def members_of(self, domain: str, role: str,
+                   use_hierarchy: bool = True) -> set[str]:
+        """Users assigned to (domain, role) or (optionally) a senior."""
+        rid = self._role_ids.get(DomainRole(domain, role))
+        if rid is None:
+            return set()
+        cone = self._up[rid] if use_hierarchy else (1 << rid)
+        mask = 0
+        members = self._role_members
+        for senior in _iter_bits(cone):
+            mask |= members[senior]
+        users = self._users
+        return {users[uid] for uid in _iter_bits(mask)}
+
+    def authorised_users(self, object_type: str, permission: str) -> set[str]:
+        """All users allowed (object_type, permission): OR the member masks
+        of every role whose closed column holds the bit — one pass over
+        roles, no per-user closure."""
+        pid = self._perm_ids.get((object_type, permission))
+        if pid is None:
+            return set()
+        mask = 0
+        members = self._role_members
+        for rid, closed in enumerate(self._role_closed_perms):
+            if (closed >> pid) & 1:
+                mask |= members[rid]
+        users = self._users
+        return {users[uid] for uid in _iter_bits(mask)}
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Interning sizes and maintenance counters (for ``status`` and
+        the bench artifact)."""
+        return {
+            "users": len(self._users),
+            "roles": len(self._roles),
+            "perms": len(self._perms),
+            "builds": self.builds,
+            "hierarchy_rebuilds": self.hierarchy_rebuilds,
+            "deltas": self.deltas,
+            "cached_user_masks": len(self._user_perm_cache),
+        }

@@ -2,16 +2,46 @@
 
 An :class:`RBACPolicy` is the paper's canonical policy form — the common
 format every middleware policy is interpreted into and translated out of.
+
+Two query engines answer the same method signatures:
+
+- the **set-based path** — direct comprehensions over the relation sets,
+  kept as the readable reference and the differential baseline;
+- the **compiled path** (default) — a lazily built
+  :class:`~repro.rbac.engine.RBACEngine` that interns users/roles/
+  permissions into dense ids and answers every decision with bitmask
+  operations, maintained incrementally by the mutators below (O(delta)
+  per grant/assign/revoke, no rebuild).
+
+``compiled=False`` (or environment ``REPRO_COMPILED_ENGINE=0``) selects
+the set-based path; the conformance differ and the engine test suites run
+both and require identical answers.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import os
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.errors import UnknownRoleError
 from repro.rbac.hierarchy import RoleHierarchy
 from repro.rbac.model import Assignment, DomainRole, Grant
 from repro.util.text import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rbac.engine import RBACEngine
+
+
+def compiled_default() -> bool:
+    """Resolve the process-wide engine default.
+
+    ``REPRO_COMPILED_ENGINE`` forces the choice (``0``/``false``/``no``/
+    ``off`` disable, anything else enables); unset means compiled on.
+    """
+    flag = os.environ.get("REPRO_COMPILED_ENGINE")
+    if flag is None:
+        return True
+    return flag.strip().lower() not in ("0", "false", "no", "off", "")
 
 
 class RBACPolicy:
@@ -27,7 +57,8 @@ class RBACPolicy:
     """
 
     def __init__(self, name: str = "policy",
-                 hierarchy: RoleHierarchy | None = None) -> None:
+                 hierarchy: RoleHierarchy | None = None,
+                 compiled: bool | None = None) -> None:
         self.name = name
         self._grants: set[Grant] = set()
         self._assignments: set[Assignment] = set()
@@ -37,6 +68,32 @@ class RBACPolicy:
         #: written ahead to the store *before* it mutates the in-memory
         #: sets, so a crashed node replays exactly its acknowledged facts
         self.journal = None
+        #: route queries through the bitset engine (set-based fallback off)
+        self.compiled = compiled_default() if compiled is None else compiled
+        self._engine: "RBACEngine | None" = None
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def engine(self) -> "RBACEngine | None":
+        """The live engine, built on first compiled query and kept in sync
+        with the (possibly externally mutated) hierarchy; None when the
+        set-based path is selected."""
+        if not self.compiled:
+            return None
+        if self._engine is None:
+            from repro.rbac.engine import RBACEngine
+            self._engine = RBACEngine.from_relations(
+                self._grants, self._assignments, self.hierarchy)
+        else:
+            self._engine.sync_hierarchy(self.hierarchy)
+        return self._engine
+
+    def engine_stats(self) -> "dict[str, int] | None":
+        """Interning/maintenance counters of the live engine (None when
+        set-based or not yet built) — no build is forced."""
+        if self._engine is None:
+            return None
+        return self._engine.stats()
 
     # -- mutation ----------------------------------------------------------
 
@@ -51,7 +108,9 @@ class RBACPolicy:
         if g not in self._grants:
             self._log("rbac.grant", domain=domain, role=role,
                       object_type=object_type, permission=permission)
-        self._grants.add(g)
+            self._grants.add(g)
+            if self._engine is not None:
+                self._engine.add_grant(g)
 
     def revoke_grant(self, domain: str, role: str, object_type: str,
                      permission: str) -> bool:
@@ -61,6 +120,8 @@ class RBACPolicy:
             self._log("rbac.revoke_grant", domain=domain, role=role,
                       object_type=object_type, permission=permission)
             self._grants.remove(g)
+            if self._engine is not None:
+                self._engine.remove_grant(g)
             return True
         return False
 
@@ -69,7 +130,9 @@ class RBACPolicy:
         a = Assignment(user, domain, role)
         if a not in self._assignments:
             self._log("rbac.assign", user=user, domain=domain, role=role)
-        self._assignments.add(a)
+            self._assignments.add(a)
+            if self._engine is not None:
+                self._engine.add_assignment(a)
 
     def unassign(self, user: str, domain: str, role: str) -> bool:
         """Remove a ``UserAssignment`` fact; return True if it was present."""
@@ -77,6 +140,8 @@ class RBACPolicy:
         if a in self._assignments:
             self._log("rbac.unassign", user=user, domain=domain, role=role)
             self._assignments.remove(a)
+            if self._engine is not None:
+                self._engine.remove_assignment(a)
             return True
         return False
 
@@ -89,7 +154,9 @@ class RBACPolicy:
         doomed = {a for a in self._assignments if a.user == user}
         if doomed:
             self._log("rbac.revoke_user", user=user)
-        self._assignments -= doomed
+            self._assignments -= doomed
+            if self._engine is not None:
+                self._engine.remove_user(user)
         return len(doomed)
 
     def add_grant(self, grant: Grant) -> None:
@@ -98,14 +165,18 @@ class RBACPolicy:
             self._log("rbac.grant", domain=grant.domain, role=grant.role,
                       object_type=grant.object_type,
                       permission=grant.permission)
-        self._grants.add(grant)
+            self._grants.add(grant)
+            if self._engine is not None:
+                self._engine.add_grant(grant)
 
     def add_assignment(self, assignment: Assignment) -> None:
         """Add a pre-built :class:`Assignment`."""
         if assignment not in self._assignments:
             self._log("rbac.assign", user=assignment.user,
                       domain=assignment.domain, role=assignment.role)
-        self._assignments.add(assignment)
+            self._assignments.add(assignment)
+            if self._engine is not None:
+                self._engine.add_assignment(assignment)
 
     # -- relations ---------------------------------------------------------
 
@@ -150,6 +221,10 @@ class RBACPolicy:
     def permissions_of(self, domain: str, role: str,
                        *, use_hierarchy: bool = True) -> set[Grant]:
         """Grants held by (domain, role), optionally via the role hierarchy."""
+        engine = self.engine()
+        if engine is not None:
+            return engine.permissions_of(domain, role,
+                                         use_hierarchy=use_hierarchy)
         pairs = {DomainRole(domain, role)}
         if use_hierarchy:
             pairs |= self.hierarchy.juniors(DomainRole(domain, role))
@@ -157,6 +232,9 @@ class RBACPolicy:
 
     def roles_of(self, user: str, *, use_hierarchy: bool = True) -> set[DomainRole]:
         """Domain-roles ``user`` is a member of (direct plus inherited)."""
+        engine = self.engine()
+        if engine is not None:
+            return engine.roles_of(user, use_hierarchy=use_hierarchy)
         direct = {a.domain_role for a in self._assignments if a.user == user}
         if not use_hierarchy:
             return direct
@@ -169,6 +247,10 @@ class RBACPolicy:
     def members_of(self, domain: str, role: str,
                    *, use_hierarchy: bool = True) -> set[str]:
         """Users assigned to (domain, role), including via senior roles."""
+        engine = self.engine()
+        if engine is not None:
+            return engine.members_of(domain, role,
+                                     use_hierarchy=use_hierarchy)
         target = DomainRole(domain, role)
         pairs = {target}
         if use_hierarchy:
@@ -180,22 +262,69 @@ class RBACPolicy:
     def role_has_permission(self, domain: str, role: str, object_type: str,
                             permission: str, *, use_hierarchy: bool = True) -> bool:
         """True if (domain, role) holds ``permission`` on ``object_type``."""
+        engine = self.engine()
+        if engine is not None:
+            return engine.role_has_permission(domain, role, object_type,
+                                              permission,
+                                              use_hierarchy=use_hierarchy)
         return any(g.object_type == object_type and g.permission == permission
-                   for g in self.permissions_of(domain, role,
-                                                use_hierarchy=use_hierarchy))
+                   for g in self._set_permissions_of(
+                       domain, role, use_hierarchy=use_hierarchy))
+
+    def _set_permissions_of(self, domain: str, role: str,
+                            *, use_hierarchy: bool = True) -> set[Grant]:
+        pairs = {DomainRole(domain, role)}
+        if use_hierarchy:
+            pairs |= self.hierarchy.juniors(DomainRole(domain, role))
+        return {g for g in self._grants if g.domain_role in pairs}
 
     def check_access(self, user: str, object_type: str, permission: str,
                      *, use_hierarchy: bool = True) -> bool:
         """The fundamental RBAC decision: may ``user`` exercise
         ``permission`` on objects of ``object_type``?"""
+        engine = self.engine()
+        if engine is not None:
+            return engine.check_access(user, object_type, permission,
+                                       use_hierarchy=use_hierarchy)
         roles = self.roles_of(user, use_hierarchy=use_hierarchy)
         return any(g.domain_role in roles and g.object_type == object_type
                    and g.permission == permission for g in self._grants)
 
+    def check_access_many(self, requests: Sequence[tuple[str, str, str]],
+                          *, use_hierarchy: bool = True) -> list[bool]:
+        """Batch form of :meth:`check_access`: one decision per
+        ``(user, object_type, permission)`` triple, in order.
+
+        The compiled engine shares its per-user effective-permission masks
+        across the whole batch; the set-based path simply loops (it is the
+        differential baseline, not a fast path).
+        """
+        engine = self.engine()
+        if engine is not None:
+            return engine.check_access_many(requests,
+                                            use_hierarchy=use_hierarchy)
+        return [self.check_access(user, object_type, permission,
+                                  use_hierarchy=use_hierarchy)
+                for user, object_type, permission in requests]
+
     def authorised_users(self, object_type: str, permission: str) -> set[str]:
-        """All users who may exercise ``permission`` on ``object_type``."""
-        return {u for u in self.users()
-                if self.check_access(u, object_type, permission)}
+        """All users who may exercise ``permission`` on ``object_type``.
+
+        One hierarchy closure per call: the qualifying role set (grant
+        holders plus their senior cones) is computed once and assignments
+        are filtered against it — not one ``roles_of`` walk per user.
+        """
+        engine = self.engine()
+        if engine is not None:
+            return engine.authorised_users(object_type, permission)
+        holders = {g.domain_role for g in self._grants
+                   if g.object_type == object_type
+                   and g.permission == permission}
+        qualifying = set(holders)
+        for dr in holders:
+            qualifying |= self.hierarchy.seniors(dr)
+        return {a.user for a in self._assignments
+                if a.domain_role in qualifying}
 
     def require_role(self, domain: str, role: str) -> DomainRole:
         """Return the (domain, role) pair, raising if unknown.
@@ -211,7 +340,8 @@ class RBACPolicy:
 
     def copy(self, name: str | None = None) -> "RBACPolicy":
         """Deep copy (hierarchy included)."""
-        other = RBACPolicy(name or self.name, hierarchy=self.hierarchy.copy())
+        other = RBACPolicy(name or self.name, hierarchy=self.hierarchy.copy(),
+                           compiled=self.compiled)
         other._grants = set(self._grants)
         other._assignments = set(self._assignments)
         return other
@@ -241,9 +371,10 @@ class RBACPolicy:
     @classmethod
     def from_relations(cls, name: str,
                        grants: Iterable[tuple[str, str, str, str]],
-                       assignments: Iterable[tuple[str, str, str]]) -> "RBACPolicy":
+                       assignments: Iterable[tuple[str, str, str]],
+                       compiled: bool | None = None) -> "RBACPolicy":
         """Build a policy from plain tuples (as the paper's tables read)."""
-        policy = cls(name)
+        policy = cls(name, compiled=compiled)
         for domain, role, object_type, permission in grants:
             policy.grant(domain, role, object_type, permission)
         for user, domain, role in assignments:

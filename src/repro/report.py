@@ -179,6 +179,42 @@ def serve_bench_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def engine_bench_report(report: dict) -> str:
+    """Text rendering of a ``BENCH_8`` compiled-engine benchmark report."""
+    universe = report["universe"]
+    cold = report["cold"]
+    warm = report["warm"]
+    oracle = report["oracle"]
+    lines = [f"bench-engine: {universe['users']} users, "
+             f"{universe['roles']} roles, {universe['grants']} grants, "
+             f"{universe['hierarchy_edges']} hierarchy edges",
+             ""]
+    lines.append(format_table(
+        ["path", "checks", "per-check us", "note"],
+        [("compiled cold", report["batch"]["requests"],
+          f"{cold['compiled_per_check_us']:.2f}",
+          "includes engine build"),
+         ("set-based cold", cold["set_based_sampled_checks"],
+          f"{cold['set_based_per_check_us']:.2f}", "sampled"),
+         ("compiled warm", report["batch"]["requests"],
+          f"{warm['per_check_us']:.3f}",
+          f"{warm['checks_per_s']:.0f} checks/s")]))
+    lines.append("")
+    lines.append(f"  cold speedup: {cold['speedup']:.1f}x "
+                 f"(answers agree: {cold['sampled_answers_agree']})")
+    lines.append(f"  oracle sweep: {oracle['check_cases']} checks + "
+                 f"{oracle['roles_of_cases']} roles_of + "
+                 f"{oracle['authorised_users_cases']} authorised_users, "
+                 f"disagreements: {oracle['disagreements']}")
+    engine = report.get("engine") or {}
+    if engine:
+        lines.append(f"  engine: builds={engine.get('builds')} "
+                     f"hierarchy_rebuilds={engine.get('hierarchy_rebuilds')} "
+                     f"deltas={engine.get('deltas')} "
+                     f"cached_user_masks={engine.get('cached_user_masks')}")
+    return "\n".join(lines)
+
+
 def delegation_graph_dot(credentials: list[Credential]) -> str:
     """Graphviz DOT text for the delegation graph."""
     graph = delegation_graph(credentials)

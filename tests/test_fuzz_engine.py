@@ -1,0 +1,109 @@
+"""Property-based churn fuzzing of the compiled RBAC engine (PR 8).
+
+Hypothesis drives arbitrary interleavings of grant/assign/revoke and
+hierarchy edge addition/removal against a compiled policy, then asserts
+the bitset engine, the retained set-based path, and the naive PR 5
+:class:`RBACOracle` all agree on every decision surface.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HierarchyError
+from repro.oracle.rbac_oracle import RBACOracle
+from repro.rbac.model import DomainRole
+from repro.rbac.policy import RBACPolicy
+
+_USERS = [f"u{i}" for i in range(6)]
+_ROLES = [DomainRole("d", f"r{i}") for i in range(5)]
+_OBJECTS = ["invoice", "queue"]
+_PERMS = ["read", "write"]
+
+_OPS = st.one_of(
+    st.tuples(st.just("grant"), st.sampled_from(_ROLES),
+              st.sampled_from(_OBJECTS), st.sampled_from(_PERMS)),
+    st.tuples(st.just("revoke_grant"), st.sampled_from(_ROLES),
+              st.sampled_from(_OBJECTS), st.sampled_from(_PERMS)),
+    st.tuples(st.just("assign"), st.sampled_from(_USERS),
+              st.sampled_from(_ROLES)),
+    st.tuples(st.just("unassign"), st.sampled_from(_USERS),
+              st.sampled_from(_ROLES)),
+    st.tuples(st.just("revoke_user"), st.sampled_from(_USERS)),
+    st.tuples(st.just("add_edge"), st.sampled_from(_ROLES),
+              st.sampled_from(_ROLES)),
+    st.tuples(st.just("remove_edge"), st.sampled_from(_ROLES),
+              st.sampled_from(_ROLES)),
+)
+
+
+def _apply(policy: RBACPolicy, op: tuple) -> None:
+    kind = op[0]
+    if kind == "grant":
+        policy.grant(op[1].domain, op[1].role, op[2], op[3])
+    elif kind == "revoke_grant":
+        policy.revoke_grant(op[1].domain, op[1].role, op[2], op[3])
+    elif kind == "assign":
+        policy.assign(op[1], op[2].domain, op[2].role)
+    elif kind == "unassign":
+        policy.unassign(op[1], op[2].domain, op[2].role)
+    elif kind == "revoke_user":
+        policy.revoke_user(op[1])
+    elif kind == "add_edge":
+        try:
+            policy.hierarchy.add_inheritance(op[1], op[2])
+        except HierarchyError:
+            pass  # self-loop or cycle: legitimately rejected
+    else:
+        policy.hierarchy.remove_inheritance(op[1], op[2])
+
+
+class TestEngineChurnProperties:
+    @given(ops=st.lists(_OPS, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_three_way_agreement(self, ops):
+        policy = RBACPolicy("fuzz", compiled=True)
+        policy.check_access(_USERS[0], _OBJECTS[0], _PERMS[0])  # build early
+        for op in ops:
+            _apply(policy, op)
+        oracle = RBACOracle.from_policy(policy)
+        plain = policy.copy()
+        plain.compiled = False
+        requests = [(u, o, p)
+                    for u in _USERS for o in _OBJECTS for p in _PERMS]
+        batch = policy.check_access_many(requests)
+        assert batch == plain.check_access_many(requests)
+        assert batch == [oracle.check_access(u, o, p)
+                         for u, o, p in requests]
+        for user in _USERS:
+            compiled_roles = {(dr.domain, dr.role)
+                              for dr in policy.roles_of(user)}
+            assert compiled_roles == oracle.roles_of(user)
+        for obj in _OBJECTS:
+            for perm in _PERMS:
+                assert (policy.authorised_users(obj, perm)
+                        == oracle.authorised_users(obj, perm)
+                        == plain.authorised_users(obj, perm))
+        stats = policy.engine_stats()
+        assert stats is not None and stats["builds"] == 1
+
+    @given(ops=st.lists(_OPS, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_equals_rebuilt(self, ops):
+        """A policy maintained by deltas answers like one rebuilt from
+        scratch over the same final relations."""
+        policy = RBACPolicy("fuzz", compiled=True)
+        policy.check_access(_USERS[0], _OBJECTS[0], _PERMS[0])
+        for op in ops:
+            _apply(policy, op)
+        rebuilt = RBACPolicy("rebuilt", hierarchy=policy.hierarchy.copy(),
+                             compiled=True)
+        for grant in policy.grants:
+            rebuilt.add_grant(grant)
+        for assignment in policy.assignments:
+            rebuilt.add_assignment(assignment)
+        for user in _USERS:
+            assert policy.roles_of(user) == rebuilt.roles_of(user)
+            for obj in _OBJECTS:
+                for perm in _PERMS:
+                    assert (policy.check_access(user, obj, perm)
+                            == rebuilt.check_access(user, obj, perm))
