@@ -366,13 +366,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the always-on authorisation daemon until interrupted."""
     import asyncio
 
+    from repro.serve.admission import AdmissionController, BrownoutController
     from repro.serve.plane import ServePolicyPlane
     from repro.serve.server import ReproServer
 
     async def _serve() -> int:
         plane = ServePolicyPlane(root=args.root, cache_ttl=args.cache_ttl)
+        admission = AdmissionController(
+            clock=plane.clock, max_inflight=args.max_inflight,
+            peer_rate=args.peer_rate, peer_burst=args.peer_burst,
+            obs=plane.obs,
+            brownout=BrownoutController(clock=plane.clock, obs=plane.obs))
         server = ReproServer(plane, host=args.host, port=args.port,
-                             pidfile=args.pidfile)
+                             pidfile=args.pidfile, admission=admission)
         await server.start()
         print(f"repro serve listening on {server.host}:{server.port}"
               + (f" (durable root {args.root})" if args.root else
@@ -410,6 +416,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     failures = check_bench(report, min_clients=args.min_clients)
     for failure in failures:
         print(f"serve-bench check failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_overload_bench(args: argparse.Namespace) -> int:
+    """Hostile-traffic overload benchmark (the ``OVERLOAD_9.json`` CI
+    artifact): flash crowd, cache busting and a revocation storm against
+    a daemon under tight admission limits."""
+    from repro.report import overload_bench_report
+    from repro.serve.overload import check_overload, run_overload_bench
+
+    report = run_overload_bench(clients=args.clients,
+                                requests=args.requests,
+                                probe_every=args.probe_every,
+                                max_inflight=args.max_inflight,
+                                peer_rate=args.peer_rate,
+                                peer_burst=args.peer_burst, seed=args.seed,
+                                root=args.root)
+    if args.json:
+        _emit(args, json.dumps(report, indent=2))
+    else:
+        _emit(args, overload_bench_report(report))
+    if not args.check:
+        return 0
+    failures = check_overload(report, goodput_floor=args.goodput_floor,
+                              p99_ceiling_ms=args.p99_ceiling_ms)
+    for failure in failures:
+        print(f"overload-bench check failed: {failure}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -615,6 +648,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="PID file enforcing one daemon per root")
     p_serve.add_argument("--cache-ttl", type=float, default=30.0,
                          help="mediation-cache TTL in wall seconds")
+    p_serve.add_argument("--max-inflight", type=int, default=256,
+                         help="global in-flight budget for non-control "
+                              "requests (admission control)")
+    p_serve.add_argument("--peer-rate", type=float, default=None,
+                         help="per-peer admitted requests/second "
+                              "(default: no per-peer rate limit)")
+    p_serve.add_argument("--peer-burst", type=float, default=None,
+                         help="per-peer burst allowance (default 2x rate)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_sbench = sub.add_parser(
@@ -640,6 +681,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_sbench.add_argument("--out", default=None,
                           help="write the output to a file instead of stdout")
     p_sbench.set_defaults(func=_cmd_serve_bench)
+
+    p_obench = sub.add_parser(
+        "overload-bench", help="hostile-traffic overload benchmark of the "
+                               "serve daemon (flash crowd, cache busting, "
+                               "revocation storm)")
+    p_obench.add_argument("--clients", type=int, default=16,
+                          help="flood clients (4x the baseline population)")
+    p_obench.add_argument("--requests", type=int, default=40,
+                          help="requests per flood client per scenario")
+    p_obench.add_argument("--probe-every", type=int, default=5,
+                          help="every Nth request is an oracle probe "
+                               "(0 disables probing)")
+    p_obench.add_argument("--max-inflight", type=int, default=4,
+                          help="deliberately tight in-flight budget")
+    p_obench.add_argument("--peer-rate", type=float, default=10.0,
+                          help="deliberately tight per-peer rate limit")
+    p_obench.add_argument("--peer-burst", type=float, default=5.0,
+                          help="deliberately small per-peer burst (the "
+                               "flood must outlast it)")
+    p_obench.add_argument("--seed", type=int, default=9,
+                          help="traffic/jitter seed")
+    p_obench.add_argument("--goodput-floor", type=float, default=0.5,
+                          help="worst-scenario/baseline goodput ratio "
+                               "floor enforced with --check")
+    p_obench.add_argument("--p99-ceiling-ms", type=float, default=2500.0,
+                          help="accepted-request p99 ceiling (ms) enforced "
+                               "with --check")
+    p_obench.add_argument("--root", default=None,
+                          help="durability root (default: a fresh temp dir)")
+    p_obench.add_argument("--check", action="store_true",
+                          help="exit non-zero unless every robustness gate "
+                               "passes (goodput floor, bounded p99, zero "
+                               "lost requests, accounting identity, "
+                               "control plane never shed, zero oracle "
+                               "disagreements)")
+    p_obench.add_argument("--json", action="store_true",
+                          help="emit the full JSON report")
+    p_obench.add_argument("--out", default=None,
+                          help="write the output to a file instead of "
+                               "stdout")
+    p_obench.set_defaults(func=_cmd_overload_bench)
 
     p_ebench = sub.add_parser(
         "bench-engine", help="compiled bitset RBAC engine benchmark "

@@ -279,3 +279,21 @@ class AlreadyRunningError(ServeError):
         super().__init__(f"server already running (pid {pid}, {path})")
         self.pid = pid
         self.path = path
+
+
+class OverloadedError(ServeError):
+    """Admission control shed the request (in-flight budget exhausted or
+    brownout shedding).  A shed authorisation request is a *refusal*, never
+    an allow and never a silent drop; the response carries a
+    ``retry_after`` hint."""
+
+
+class RateLimitedError(ServeError):
+    """The per-peer token bucket refused the request; the response carries
+    a ``retry_after`` hint (seconds until the next token exists)."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's propagated absolute deadline expired — before
+    dispatch (the work was never run) or before response write (the work
+    ran, its recorded reply is replayable under the same request id)."""

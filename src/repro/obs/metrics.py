@@ -121,7 +121,7 @@ class Histogram:
             summary.update(
                 total=self.total(), min=self.minimum(), max=self.maximum(),
                 mean=self.mean(), p50=self.percentile(50),
-                p95=self.percentile(95),
+                p95=self.percentile(95), p99=self.percentile(99),
                 samples=[{"at": t, "value": v} for t, v in self.samples])
         return summary
 

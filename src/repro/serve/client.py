@@ -7,14 +7,25 @@ whoever subscribed.  ``call`` retries nothing by itself — but because the
 server deduplicates request ids, :meth:`call` with an explicit ``request_id``
 is safe to reissue after a lost reply (the reply cache replays the recorded
 response instead of re-executing).
+
+:meth:`call_with_retry` layers the disciplined retry on top: jittered
+exponential backoff between attempts, the server's ``retry_after`` hint
+honoured as a floor, the *same* request id across attempts (so the server's
+dedup makes the retry idempotent), and a per-client
+:class:`~repro.serve.admission.RetryBudget` so a fleet of misbehaving
+clients cannot amplify an overload into a retry storm — when the budget is
+spent, the refusal propagates instead of another attempt.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import random
 from typing import Any, Mapping
 
 from repro.errors import ServeError
+from repro.serve.admission import RetryBudget, backoff_delay
 from repro.serve.protocol import (
     classify,
     decode_frame,
@@ -22,18 +33,36 @@ from repro.serve.protocol import (
     make_request,
 )
 
+#: default bound on the client event queue; beyond it the *oldest* queued
+#: event is dropped (and counted) so a slow consumer lags, never leaks
+DEFAULT_EVENT_LIMIT = 4096
+
+#: server error types a retry can help with — anything else (authz denial,
+#: protocol error, deadline expiry) will fail identically on reissue
+RETRYABLE = frozenset({"OverloadedError", "RateLimitedError"})
+
+# indirection so tests can observe/neutralise backoff sleeps
+_sleep = asyncio.sleep
+
 
 class ServeCallError(ServeError):
     """A server-side error response, re-raised client-side.
 
     :attr:`error_type` carries the server's exception class name
     (``KeyComError``, ``ProtocolError``, ...) so callers can branch without
-    string-matching messages.
+    string-matching messages; :attr:`retry_after` carries the server's
+    backoff hint (seconds) when the error was an admission refusal.
     """
 
-    def __init__(self, error_type: str, message: str) -> None:
+    def __init__(self, error_type: str, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(f"{error_type}: {message}")
         self.error_type = error_type
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        return self.error_type in RETRYABLE
 
 
 class ServeClient:
@@ -43,14 +72,34 @@ class ServeClient:
     >>> # await client.call("mediate", {...})
     """
 
-    def __init__(self, name: str = "client") -> None:
+    def __init__(self, name: str = "client",
+                 event_limit: int = DEFAULT_EVENT_LIMIT,
+                 retry_budget: RetryBudget | None = None,
+                 rng: random.Random | None = None) -> None:
+        if event_limit < 1:
+            raise ServeError("event_limit must be >= 1")
         self.name = name
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
         self._pending: dict[str, asyncio.Future] = {}
         self._seq = 0
+        self.event_limit = event_limit
         self.events: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+        #: events discarded because the queue was full (drop-oldest)
+        self.events_dropped = 0
+        #: frames that failed to decode/classify (surfaced, not swallowed)
+        self.decode_failures = 0
+        #: admission refusals observed (overloaded / rate_limited / brownout)
+        self.refusals_seen = 0
+        #: request frames written to the wire, retries included
+        self.attempts_sent = 0
+        self.retry_budget = retry_budget or RetryBudget()
+        self._rng = rng or random.Random()
+        #: (server_now, local_now) from the last hello/ping — lets
+        #: :meth:`deadline` compute absolute deadlines in the *server's*
+        #: clock domain, which is where the server evaluates them
+        self._server_sync: tuple[float, float] | None = None
         self.closed = asyncio.Event()
 
     async def connect(self, host: str, port: int) -> "ServeClient":
@@ -68,11 +117,25 @@ class ServeClient:
                     break
                 try:
                     message = decode_frame(line)
+                except ServeError:
+                    # A frame too broken to parse at all: count it, and if
+                    # it still carries a recognisable request id, fail that
+                    # caller *now* rather than leaving it to time out.
+                    self.decode_failures += 1
+                    self._fail_pending_from_broken(line)
+                    continue
+                try:
                     shape = classify(message)
                 except ServeError:
-                    continue  # a broken frame fails its caller by timeout
+                    self.decode_failures += 1
+                    request_id = message.get("id")
+                    if isinstance(request_id, str):
+                        self._fail_pending(request_id,
+                                           "server sent a malformed frame "
+                                           "for this request")
+                    continue
                 if shape == "event":
-                    self.events.put_nowait(message)
+                    self._enqueue_event(message)
                     continue
                 future = self._pending.pop(message.get("id", ""), None)
                 if future is not None and not future.done():
@@ -87,41 +150,146 @@ class ServeClient:
                         ServeError("connection closed mid-call"))
             self._pending.clear()
 
+    def _enqueue_event(self, message: dict[str, Any]) -> None:
+        """Queue an event, dropping the oldest beyond the bound."""
+        while self.events.qsize() >= self.event_limit:
+            try:
+                self.events.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - race guard
+                break
+            self.events_dropped += 1
+        self.events.put_nowait(message)
+
+    def _fail_pending(self, request_id: str, reason: str) -> None:
+        future = self._pending.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_exception(ServeError(reason))
+
+    def _fail_pending_from_broken(self, line: bytes) -> None:
+        """Best-effort id recovery from an undecodable frame."""
+        try:
+            payload = json.loads(line.decode("utf-8", errors="replace"))
+        except ValueError:
+            return
+        if isinstance(payload, dict) and isinstance(payload.get("id"), str):
+            self._fail_pending(payload["id"],
+                               "server sent an undecodable frame for this "
+                               "request")
+
     def next_request_id(self) -> str:
         self._seq += 1
         return f"{self.name}-{self._seq}"
 
+    # -- server time / deadlines ------------------------------------------
+
+    def _note_server_time(self, server_now: Any) -> None:
+        if isinstance(server_now, (int, float)) \
+                and not isinstance(server_now, bool):
+            loop = asyncio.get_running_loop()
+            self._server_sync = (float(server_now), loop.time())
+
+    def server_time(self) -> float | None:
+        """Estimated current time on the *server's* clock, or ``None``
+        before the first ``hello``/``ping`` response carried one."""
+        if self._server_sync is None:
+            return None
+        server_now, local_then = self._server_sync
+        return server_now + (asyncio.get_running_loop().time() - local_then)
+
+    def deadline(self, seconds: float) -> float | None:
+        """Absolute deadline ``seconds`` from now, in the server's clock
+        domain (``None`` when no server time sync exists yet)."""
+        now = self.server_time()
+        return None if now is None else now + seconds
+
+    # -- calls -------------------------------------------------------------
+
     async def call_raw(self, method: str,
                        params: Mapping[str, Any] | None = None,
                        request_id: str | None = None,
-                       timeout: float = 30.0) -> dict[str, Any]:
+                       timeout: float = 30.0,
+                       deadline: float | None = None) -> dict[str, Any]:
         """Send one request and return the full response frame."""
         if self._writer is None:
             raise ServeError("client is not connected")
         request_id = request_id or self.next_request_id()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
+        self.attempts_sent += 1
         self._writer.write(encode_frame(make_request(request_id, method,
-                                                     params)))
+                                                     params,
+                                                     deadline=deadline)))
         await self._writer.drain()
         return await asyncio.wait_for(future, timeout)
 
     async def call(self, method: str,
                    params: Mapping[str, Any] | None = None,
                    request_id: str | None = None,
-                   timeout: float = 30.0) -> Any:
+                   timeout: float = 30.0,
+                   deadline: float | None = None) -> Any:
         """Send one request and return its result.
 
         :raises ServeCallError: for an error response.
         """
         response = await self.call_raw(method, params,
                                        request_id=request_id,
-                                       timeout=timeout)
+                                       timeout=timeout, deadline=deadline)
         if not response.get("ok"):
             error = response.get("error") or {}
-            raise ServeCallError(error.get("type", "ServeError"),
-                                 error.get("message", "unknown error"))
-        return response["result"]
+            error_type = error.get("type", "ServeError")
+            if error_type in RETRYABLE:
+                self.refusals_seen += 1
+            raise ServeCallError(error_type,
+                                 error.get("message", "unknown error"),
+                                 retry_after=error.get("retry_after"))
+        result = response["result"]
+        if method in ("hello", "ping") and isinstance(result, dict):
+            self._note_server_time(result.get("now"))
+        return result
+
+    async def call_with_retry(self, method: str,
+                              params: Mapping[str, Any] | None = None,
+                              max_attempts: int = 4,
+                              timeout: float = 30.0,
+                              deadline: float | None = None,
+                              base_delay: float = 0.05,
+                              max_delay: float = 2.0) -> Any:
+        """``call`` with budgeted, jittered, hint-honouring retries.
+
+        Reuses one request id across attempts, so a retry that races a
+        late first reply is replayed from the server's reply cache instead
+        of re-executed.  Retries only admission refusals
+        (:data:`RETRYABLE`); the retry budget is consulted before every
+        retry and refilled a little on every success.
+        """
+        if max_attempts < 1:
+            raise ServeError("max_attempts must be >= 1")
+        request_id = self.next_request_id()
+        last_error: ServeCallError | None = None
+        for attempt in range(max_attempts):
+            if attempt > 0:
+                if not self.retry_budget.allow_retry():
+                    break  # budget spent: propagate, don't amplify
+                self.retry_budget.on_retry()
+                retry_after = (last_error.retry_after
+                               if last_error is not None else None)
+                await _sleep(backoff_delay(attempt - 1, base=base_delay,
+                                           cap=max_delay, rng=self._rng,
+                                           retry_after=retry_after))
+            try:
+                result = await self.call(method, params,
+                                         request_id=request_id,
+                                         timeout=timeout,
+                                         deadline=deadline)
+            except ServeCallError as exc:
+                if not exc.retryable:
+                    raise
+                last_error = exc
+                continue
+            self.retry_budget.on_success()
+            return result
+        assert last_error is not None
+        raise last_error
 
     async def hello(self, role: str = "client") -> dict[str, Any]:
         return await self.call("hello", {"name": self.name, "role": role})

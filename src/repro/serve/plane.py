@@ -118,6 +118,7 @@ class ServePolicyPlane:
         if plug_middleware:
             self.stack.plug_middleware(self.middleware)
         self.mediations = 0
+        self.stale_mediations = 0
         self.probes = 0
         self.oracle_disagreements = 0
         self._closed = False
@@ -184,11 +185,26 @@ class ServePolicyPlane:
 
     # -- serve APIs --------------------------------------------------------
 
-    def mediate(self, params: Mapping[str, Any]) -> dict[str, Any]:
-        """Run one request down the authorisation stack."""
+    def mediate(self, params: Mapping[str, Any],
+                stale_ok: float | None = None) -> dict[str, Any]:
+        """Run one request down the authorisation stack.
+
+        ``stale_ok`` is the brownout path (tier 2): when set, a cached
+        decision within that many clock seconds past its freshness bound
+        is served marked ``stale=True`` instead of re-mediating — the
+        overloaded plane trades bounded, *disclosed* staleness for not
+        collapsing.  Cache misses still mediate for real.
+        """
         request = self._request(params)
         correlation_id = self.obs.tracer.new_correlation_id()
-        decision = self.stack.mediate(request, correlation_id=correlation_id)
+        decision = None
+        if stale_ok is not None:
+            decision = self.stack.serve_stale(request, stale_ok)
+            if decision is not None and decision.stale:
+                self.stale_mediations += 1
+        if decision is None:
+            decision = self.stack.mediate(request,
+                                          correlation_id=correlation_id)
         self.mediations += 1
         result = decision_to_dict(decision)
         result["correlation_id"] = correlation_id
@@ -317,6 +333,7 @@ class ServePolicyPlane:
             "wal": self.wal_info(),
             "fingerprint": list(self.session.state_fingerprint()),
             "mediations": self.mediations,
+            "stale_mediations": self.stale_mediations,
             "probes": self.probes,
             "oracle_disagreements": self.oracle_disagreements,
             "cache": self.stack.cache_info(),

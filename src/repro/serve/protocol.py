@@ -73,9 +73,22 @@ def decode_frame(line: bytes) -> dict[str, Any]:
 
 
 def make_request(request_id: str, method: str,
-                 params: Mapping[str, Any] | None = None) -> dict[str, Any]:
-    """Build a request message."""
-    return {"id": request_id, "method": method, "params": dict(params or {})}
+                 params: Mapping[str, Any] | None = None,
+                 deadline: float | None = None) -> dict[str, Any]:
+    """Build a request message.
+
+    ``deadline`` is an absolute instant on the *server's* clock (clients
+    learn the server's time from ``hello``/``ping``): work that would start
+    or finish after it is pointless, and the server drops it pre-dispatch
+    or pre-response-write with an explicit ``DeadlineExceededError``
+    refusal instead of burning capacity on an answer nobody is waiting
+    for.
+    """
+    message = {"id": request_id, "method": method,
+               "params": dict(params or {})}
+    if deadline is not None:
+        message["deadline"] = float(deadline)
+    return message
 
 
 def ok_response(request_id: str, result: Any) -> dict[str, Any]:
@@ -89,6 +102,24 @@ def error_response(request_id: str, error_type: str,
     re-raise something meaningful, e.g. ``KeyComError``)."""
     return {"id": request_id, "ok": False,
             "error": {"type": error_type, "message": message}}
+
+
+def refusal_response(request_id: str, error_type: str, message: str,
+                     retry_after: float | None = None,
+                     **detail: Any) -> dict[str, Any]:
+    """Build a structured admission/deadline refusal.
+
+    The same shape as :func:`error_response` plus machine-readable fields:
+    ``retry_after`` (seconds — the backoff lower bound a well-behaved
+    retrier honours) and any extra detail (``kind``, ``phase``).  A refusal
+    is still ``ok: false`` — a shed authorisation request can never read as
+    an allow.
+    """
+    response = error_response(request_id, error_type, message)
+    if retry_after is not None:
+        response["error"]["retry_after"] = round(float(retry_after), 6)
+    response["error"].update(detail)
+    return response
 
 
 def make_event(topic: str, data: Mapping[str, Any]) -> dict[str, Any]:
@@ -112,6 +143,11 @@ def classify(message: Mapping[str, Any]) -> str:
         params = message.get("params", {})
         if not isinstance(params, dict):
             raise ProtocolError("request params must be an object")
+        deadline = message.get("deadline")
+        if deadline is not None and (isinstance(deadline, bool)
+                                     or not isinstance(deadline,
+                                                       (int, float))):
+            raise ProtocolError("request deadline must be a number")
         return "request"
     if "ok" in message:
         if not isinstance(message.get("id"), str):

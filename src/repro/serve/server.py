@@ -29,10 +29,16 @@ Three properties an always-on plane needs beyond the request/response core:
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.errors import ProtocolError, ReproError, ServeError
+from repro.serve.admission import (
+    AdmissionController,
+    BrownoutController,
+    Refusal,
+)
 from repro.serve.pidfile import PidFile
 from repro.serve.plane import ServePolicyPlane
 from repro.serve.protocol import (
@@ -44,6 +50,7 @@ from repro.serve.protocol import (
     error_response,
     make_event,
     ok_response,
+    refusal_response,
 )
 
 #: event topics clients may subscribe to
@@ -51,6 +58,10 @@ TOPICS = ("decision", "server")
 
 #: consecutive missed heartbeat windows before a peer is marked dead
 DEFAULT_MAX_MISSED = 3
+
+#: per-connection reply-cache entries kept for idempotent retry replay; a
+#: long-lived connection's cache is an LRU, not an unbounded transcript
+DEFAULT_REPLY_CACHE_LIMIT = 256
 
 
 @dataclass
@@ -85,6 +96,12 @@ class ReproServer:
     :param heartbeat_timeout: seconds of silence per missed window;
         defaults likewise (wall: 1 s).
     :param pidfile: optional path enforcing one daemon per durability root.
+    :param admission: overload protection; a default controller (generous
+        in-flight budget, no per-peer rate limit, brownout enabled) is
+        built when omitted — admission control is always on, only its
+        limits vary.
+    :param reply_cache_limit: per-connection reply-cache entries kept for
+        idempotent retry replay (LRU eviction beyond it).
     """
 
     def __init__(self, plane: ServePolicyPlane | None = None,
@@ -92,9 +109,24 @@ class ReproServer:
                  heartbeat_interval: float | None = None,
                  heartbeat_timeout: float | None = None,
                  max_missed: int = DEFAULT_MAX_MISSED,
-                 pidfile: str | None = None) -> None:
+                 pidfile: str | None = None,
+                 admission: AdmissionController | None = None,
+                 reply_cache_limit: int = DEFAULT_REPLY_CACHE_LIMIT) -> None:
         self.plane = plane or ServePolicyPlane()
         self.clock = self.plane.clock
+        if admission is None:
+            admission = AdmissionController(
+                clock=self.clock, max_inflight=256, obs=self.plane.obs,
+                brownout=BrownoutController(clock=self.clock,
+                                            obs=self.plane.obs))
+        self.admission = admission
+        if self.admission.brownout is not None \
+                and self.admission.brownout.on_transition is None:
+            self.admission.brownout.on_transition = \
+                self._on_brownout_transition
+        if reply_cache_limit < 1:
+            raise ServeError("reply_cache_limit must be >= 1")
+        self.reply_cache_limit = reply_cache_limit
         defaults = self.clock.scheduling_defaults()
         self.heartbeat_interval = (heartbeat_interval
                                    if heartbeat_interval is not None
@@ -110,8 +142,9 @@ class ReproServer:
         self._reaper: asyncio.Task | None = None
         self.registry: dict[str, PeerInfo] = {}
         self._writers: dict[str, asyncio.StreamWriter] = {}
-        #: per-connection request-id reply caches (node.py dedup semantics)
-        self._replies: dict[str, dict[str, dict[str, Any]]] = {}
+        #: per-connection request-id reply caches (node.py dedup semantics),
+        #: LRU-bounded at ``reply_cache_limit`` entries each
+        self._replies: dict[str, OrderedDict[str, dict[str, Any]]] = {}
         self._next_peer = 0
         #: requests currently being handled — the in-flight wavefront a
         #: graceful shutdown must drain before the WAL goes down
@@ -122,6 +155,13 @@ class ReproServer:
         self.requests_served = 0
         self.duplicates_served = 0
         self.events_broadcast = 0
+        self.events_shed = 0
+        self.reply_cache_evictions = 0
+        #: expired work dropped *before dispatch* (never run) vs expired
+        #: work whose response write was refused — accounted separately
+        #: from admission sheds, as the issue demands
+        self.deadline_expired_pre = 0
+        self.deadline_expired_post = 0
         self.started_at = 0.0
         self.drain_report: dict[str, Any] | None = None
         self._shutdown_done = asyncio.Event()
@@ -132,7 +172,8 @@ class ReproServer:
             "subscribe": self._on_subscribe,
             "unsubscribe": self._on_unsubscribe,
             "status": self._on_status,
-            "mediate": lambda peer, p: self.plane.mediate(p),
+            "mediate": lambda peer, p: self.plane.mediate(
+                p, stale_ok=self._stale_ok()),
             "probe": lambda peer, p: self.plane.probe(p),
             "translate": lambda peer, p: self.plane.translate(p),
             "update": lambda peer, p: self.plane.keycom_update(p),
@@ -238,7 +279,7 @@ class ReproServer:
                         last_seen=self.clock.now())
         self.registry[peer.peer_id] = peer
         self._writers[peer.peer_id] = writer
-        self._replies[peer.peer_id] = {}
+        self._replies[peer.peer_id] = OrderedDict()
         try:
             while True:
                 try:
@@ -265,6 +306,7 @@ class ReproServer:
             peer.alive = False
             self._writers.pop(peer.peer_id, None)
             self._replies.pop(peer.peer_id, None)
+            self.admission.forget_peer(peer.peer_id)
             peer.subscriptions.clear()
             try:
                 writer.close()
@@ -273,7 +315,15 @@ class ReproServer:
 
     async def _handle_line(self, peer: PeerInfo,
                            line: bytes) -> dict[str, Any] | None:
-        """Decode, dedup and dispatch one frame; returns the response."""
+        """Decode, dedup, admit and dispatch one frame.
+
+        The order is deliberate: dedup replay first (idempotency is free
+        and must survive overload), then drain refusal, then the deadline
+        check (expired work is dropped before any budget is spent on it,
+        accounted apart from sheds), then admission.  Every refused path
+        returns a structured response — a request that made it through the
+        decoder is *always* answered, never silently dropped.
+        """
         try:
             message = decode_frame(line)
             shape = classify(message)
@@ -286,21 +336,76 @@ class ReproServer:
         request_id = message["id"]
         peer.last_seen = self.clock.now()
         peer.alive = True
-        cached = self._replies[peer.peer_id].get(request_id)
+        replies = self._replies[peer.peer_id]
+        cached = replies.get(request_id)
         if cached is not None:
             # Same discipline as the simulated network's result dedup:
             # replay the recorded reply, never re-execute the request.
+            replies.move_to_end(request_id)
             peer.duplicates += 1
             self.duplicates_served += 1
             return cached
         if self.draining and message["method"] != "status":
             return error_response(request_id, "ServeError",
                                   "server is draining")
-        response = await self._dispatch(peer, request_id,
-                                        message["method"],
-                                        message.get("params", {}))
-        self._replies[peer.peer_id][request_id] = response
+        deadline = message.get("deadline")
+        if deadline is not None and self.clock.now() > deadline:
+            self.deadline_expired_pre += 1
+            self.plane.obs.metrics.counter(
+                "serve.deadline.expired_pre_dispatch").inc()
+            return refusal_response(
+                request_id, "DeadlineExceededError",
+                f"deadline {deadline:g} expired before dispatch "
+                f"(now {self.clock.now():g})", phase="pre_dispatch")
+        admitted = self.admission.admit(peer.peer_id, message["method"])
+        if isinstance(admitted, Refusal):
+            # Shed = refuse, explicitly: never an allow, never silence.
+            # Refusals are not cached — a retried id must be re-admitted.
+            return refusal_response(
+                request_id, admitted.error_type, admitted.message,
+                retry_after=admitted.retry_after, kind=admitted.kind)
+        try:
+            response = await self._dispatch(peer, request_id,
+                                            message["method"],
+                                            message.get("params", {}))
+        finally:
+            self.admission.release(admitted)
+        replies[request_id] = response
+        while len(replies) > self.reply_cache_limit:
+            replies.popitem(last=False)
+            self.reply_cache_evictions += 1
+        if deadline is not None and self.clock.now() > deadline:
+            # The work ran, but its caller's deadline passed while it did:
+            # answer with a refusal instead of a result nobody is waiting
+            # for.  The real response stays recorded above, so an
+            # idempotent retry under the same id replays it.
+            self.deadline_expired_post += 1
+            self.plane.obs.metrics.counter(
+                "serve.deadline.expired_before_write").inc()
+            return refusal_response(
+                request_id, "DeadlineExceededError",
+                f"deadline {deadline:g} expired before response write",
+                phase="response_write")
         return response
+
+    def _stale_ok(self) -> float | None:
+        """TTL'd-stale cache window for mediate, when brownout tier 2 is
+        active (``None`` otherwise — full mediation)."""
+        brownout = self.admission.brownout
+        if brownout is not None and brownout.serve_stale():
+            return brownout.stale_ttl
+        return None
+
+    def _on_brownout_transition(self, old: int, new: int,
+                                pressure: float) -> None:
+        """Announce every brownout tier change on the ``server`` topic."""
+        data = {"state": "brownout", "from_level": old, "to_level": new,
+                "pressure": round(pressure, 4), "at": self.clock.now()}
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:  # pragma: no cover - no loop (direct use)
+            return
+        asyncio.ensure_future(self.broadcast("server", data))
 
     async def _dispatch(self, peer: PeerInfo, request_id: str, method: str,
                         params: Mapping[str, Any]) -> dict[str, Any]:
@@ -341,6 +446,7 @@ class ReproServer:
         return {"peer_id": peer.peer_id,
                 "protocol_version": PROTOCOL_VERSION,
                 "timescale": self.clock.timescale,
+                "now": self.clock.now(),
                 "heartbeat_interval": self.heartbeat_interval,
                 "heartbeat_timeout": self.heartbeat_timeout}
 
@@ -365,13 +471,26 @@ class ReproServer:
 
     def _on_status(self, peer: PeerInfo,
                    params: Mapping[str, Any]) -> dict[str, Any]:
+        brownout = self.admission.brownout
         return {
             "uptime": self.clock.now() - self.started_at,
             "draining": self.draining,
             "requests_served": self.requests_served,
             "duplicates_served": self.duplicates_served,
             "events_broadcast": self.events_broadcast,
+            "events_shed": self.events_shed,
             "inflight": self._inflight,
+            "admission": self.admission.snapshot(),
+            "brownout": brownout.snapshot() if brownout else None,
+            "deadlines": {
+                "expired_pre_dispatch": self.deadline_expired_pre,
+                "expired_before_write": self.deadline_expired_post,
+            },
+            "reply_cache": {
+                "entries": sum(len(r) for r in self._replies.values()),
+                "evictions": self.reply_cache_evictions,
+                "limit": self.reply_cache_limit,
+            },
             "peers": [p.to_dict() for p in self.registry.values()],
             "plane": self.plane.status(),
         }
@@ -387,6 +506,13 @@ class ReproServer:
 
     async def _broadcast_decision(self, peer: PeerInfo,
                                   result: Mapping[str, Any]) -> None:
+        brownout = self.admission.brownout
+        if brownout is not None and brownout.shed_broadcast():
+            # Brownout tier 1: span/event broadcasting is the first load to
+            # go — counted, never silent.
+            self.events_shed += 1
+            self.plane.obs.metrics.counter("serve.events.shed").inc()
+            return
         if not any("decision" in p.subscriptions
                    for p in self.registry.values()):
             return  # don't assemble span trees nobody will receive
@@ -440,5 +566,9 @@ class ReproServer:
             while True:
                 await asyncio.sleep(self.heartbeat_interval)
                 self.reap_once()
+                if self.admission.brownout is not None:
+                    # Idle cool-down: with no requests arriving the
+                    # pressure window drains and tiers step back down.
+                    self.admission.brownout.poll()
         except asyncio.CancelledError:  # pragma: no cover - shutdown path
             pass

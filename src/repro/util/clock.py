@@ -44,10 +44,13 @@ class Clock(Protocol):
 
 
 #: the historical master-side constants, defined at simulated-clock scale
+#: (``request_deadline`` is the serve plane's default end-to-end deadline
+#: budget — how long a propagated request deadline extends past "now")
 SIMULATED_SCHEDULING_DEFAULTS: dict[str, float] = {
     "request_timeout": 10.0,
     "heartbeat_interval": 15.0,
     "heartbeat_timeout": 5.0,
+    "request_deadline": 30.0,
 }
 
 #: the same knobs at wall-clock scale (a live daemon probes sub-second)
@@ -55,6 +58,7 @@ WALL_SCHEDULING_DEFAULTS: dict[str, float] = {
     "request_timeout": 2.0,
     "heartbeat_interval": 5.0,
     "heartbeat_timeout": 1.0,
+    "request_deadline": 5.0,
 }
 
 

@@ -37,9 +37,10 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import deque
 from typing import TYPE_CHECKING
 
-from repro.util.clock import SimulatedClock
+from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import AuditLog
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -205,3 +206,69 @@ class CircuitBreaker:
     def __repr__(self) -> str:
         return (f"CircuitBreaker({self.name!r}, state={self.state.value}, "
                 f"failures={self._consecutive_failures})")
+
+
+class PressureWindow:
+    """Windowed overload-pressure estimator on the shared clock.
+
+    The circuit breaker above watches one *backend*; this watches the
+    plane's own *load*.  Callers record each admission outcome — shed or
+    admitted, plus the in-flight utilisation observed at that instant —
+    and :meth:`pressure` reports the worse of two trailing-``window``
+    signals:
+
+    - the **shed ratio** (refusals / outcomes): high when demand already
+      exceeds what admission lets through;
+    - the **peak utilisation** of the in-flight budget: high *before* the
+      first shed, which is what lets a brownout engage early.
+
+    Samples older than ``window`` clock seconds fall out, so a burst's
+    pressure decays by itself once traffic subsides.
+
+    >>> from repro.util.clock import SimulatedClock
+    >>> clock = SimulatedClock()
+    >>> window = PressureWindow(clock=clock, window=1.0)
+    >>> window.record(shed=False, utilization=0.25)
+    >>> window.record(shed=True, utilization=1.0)
+    >>> window.pressure()
+    1.0
+    >>> _ = clock.advance(2.0)
+    >>> window.pressure()
+    0.0
+    """
+
+    def __init__(self, clock: Clock | None = None,
+                 window: float = 1.0) -> None:
+        if not (window > 0 and math.isfinite(window)):
+            raise ValueError(
+                f"window must be a positive finite number, got {window!r}")
+        self.clock: Clock = clock or SimulatedClock()
+        self.window = float(window)
+        #: (recorded_at, shed, utilization) trailing samples
+        self._samples: deque[tuple[float, bool, float]] = deque()
+
+    def _prune(self) -> None:
+        horizon = self.clock.now() - self.window
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def record(self, shed: bool, utilization: float) -> None:
+        """One admission outcome at the current clock instant."""
+        self._prune()
+        self._samples.append((self.clock.now(), bool(shed),
+                              float(utilization)))
+
+    def pressure(self) -> float:
+        """max(windowed shed ratio, windowed peak utilisation), in [0, 1]."""
+        self._prune()
+        if not self._samples:
+            return 0.0
+        sheds = sum(1 for _at, shed, _util in self._samples if shed)
+        ratio = sheds / len(self._samples)
+        peak = max(util for _at, _shed, util in self._samples)
+        return min(1.0, max(ratio, peak))
+
+    def snapshot(self) -> dict[str, object]:
+        self._prune()
+        return {"window": self.window, "samples": len(self._samples),
+                "pressure": round(self.pressure(), 4)}

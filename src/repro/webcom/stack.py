@@ -383,6 +383,47 @@ class AuthorisationStack:
             self._cache[request] = (self._now() + self.cache_ttl,
                                     fingerprint, decision)
 
+    def serve_stale(self, request: MediationRequest,
+                    stale_ttl: float) -> StackDecision | None:
+        """Brownout lookup: a cached decision within ``stale_ttl`` past its
+        freshness bound is served marked ``stale=True``.
+
+        This is the fail-static discipline applied to *overload* instead of
+        backend outage: the decision was once fully mediated, the plane is
+        too pressed to re-derive it, and the ``stale`` mark keeps the
+        disclosure in every response and audit record.  A still-fresh entry
+        is returned as-is (a normal hit); an entry expired or
+        fingerprint-invalidated longer than ``stale_ttl`` ago is dropped
+        and None means the caller must mediate for real.  The stale copy is
+        never re-cached as fresh (:meth:`_cache_store` refuses degraded
+        decisions).
+        """
+        if self.cache_ttl is None:
+            return None
+        now = self._now()
+        with self._cache_lock:
+            entry = self._cache.get(request)
+            if entry is None:
+                return None
+            expires, fingerprint, decision = entry
+            if now > expires + stale_ttl:
+                self._cache.pop(request, None)
+                return None
+            if now <= expires and fingerprint == self._config_fingerprint():
+                self.cache_hits += 1
+                if self.obs is not None:
+                    self.obs.metrics.counter("stack.cache.hit").inc()
+                return decision
+        self.stale_served += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("stack.cache.stale_served").inc()
+        if self.audit is not None:
+            self.audit.record(now, "stack.stale_served",
+                              subject=request.user,
+                              outcome="allow" if decision.allowed
+                              else "deny", operation=request.operation)
+        return replace(decision, stale=True)
+
     def configured_layers(self) -> tuple[Layer, ...]:
         """Which layers are present, lowest first."""
         layers = []

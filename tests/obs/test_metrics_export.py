@@ -55,6 +55,9 @@ class TestHistogram:
         assert (h.minimum(), h.maximum(), h.mean()) == (1.0, 4.0, 2.5)
         assert h.percentile(50) == 2.0
         assert h.percentile(100) == 4.0
+        summary = h.as_dict()
+        assert summary["p95"] == 4.0
+        assert summary["p99"] == 4.0
 
     def test_empty_histogram_is_nan(self):
         h = Histogram("latency")

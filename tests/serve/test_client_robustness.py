@@ -1,0 +1,280 @@
+"""Client-side robustness: the bounded event queue, surfaced decode
+failures, and the budgeted retry loop — all against a scripted fake
+server so every hostile frame is exact."""
+
+import asyncio
+import json
+
+import pytest
+
+import repro.serve.client as client_module
+from repro.errors import ServeError
+from repro.serve.admission import RetryBudget
+from repro.serve.client import ServeCallError, ServeClient
+
+
+def _ok(request, result=None):
+    return (json.dumps({"id": request["id"], "ok": True,
+                        "result": result if result is not None
+                        else {"pong": True}}) + "\n").encode()
+
+
+def _refusal(request, error_type="OverloadedError", retry_after=0.7):
+    return (json.dumps({"id": request["id"], "ok": False,
+                        "error": {"type": error_type,
+                                  "message": "shed",
+                                  "retry_after": retry_after,
+                                  "kind": "overloaded"}}) + "\n").encode()
+
+
+class _ScriptedServer:
+    """A wire-level stand-in: replies come from a scriptable responder,
+    so tests can send exactly the broken frames they want."""
+
+    def __init__(self, responder=None):
+        self.responder = responder or _ok
+        self.received = []
+        self._writer = None
+        self._ready = asyncio.Event()
+
+    async def start(self):
+        self._server = await asyncio.start_server(self._handle,
+                                                  "127.0.0.1", 0)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def _handle(self, reader, writer):
+        self._writer = writer
+        self._ready.set()
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            request = json.loads(line)
+            self.received.append(request)
+            reply = self.responder(request)
+            if reply is not None:
+                writer.write(reply)
+                await writer.drain()
+
+    async def push(self, raw: bytes):
+        """Write an unsolicited frame (events, garbage) to the client."""
+        await self._ready.wait()
+        self._writer.write(raw)
+        await self._writer.drain()
+
+    async def close(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+async def _settle():
+    """Give the client's reader task a few loop turns to drain frames."""
+    for _ in range(5):
+        await asyncio.sleep(0)
+
+
+class TestBoundedEventQueue:
+    def test_drop_oldest_beyond_the_bound(self):
+        async def scenario():
+            server = await _ScriptedServer().start()
+            client = await ServeClient("t", event_limit=3).connect(
+                server.host, server.port)
+            for n in range(5):
+                await server.push(
+                    (json.dumps({"event": "decision",
+                                 "data": {"n": n}}) + "\n").encode())
+            await _settle()
+            kept = [client.events.get_nowait()["data"]["n"]
+                    for _ in range(client.events.qsize())]
+            dropped = client.events_dropped
+            await client.close()
+            await server.close()
+            return kept, dropped
+
+        kept, dropped = asyncio.run(scenario())
+        assert kept == [2, 3, 4]  # newest survive; oldest were dropped
+        assert dropped == 2
+
+    def test_event_limit_validated(self):
+        with pytest.raises(ServeError):
+            ServeClient("t", event_limit=0)
+
+
+class TestDecodeFailureSurfacing:
+    def test_classify_failure_fails_the_matching_pending_call_fast(self):
+        async def scenario():
+            # A frame that *parses* but is neither request, response nor
+            # event — the reader must fail the waiting caller now, not
+            # leave it to a timeout.
+            server = await _ScriptedServer(
+                responder=lambda req: (json.dumps({"id": req["id"]})
+                                       + "\n").encode()).start()
+            client = await ServeClient("t").connect(server.host,
+                                                    server.port)
+            error = None
+            try:
+                await client.call("ping", {}, timeout=5.0)
+            except ServeError as exc:
+                error = exc
+            failures = client.decode_failures
+            await client.close()
+            await server.close()
+            return error, failures
+
+        error, failures = asyncio.run(scenario())
+        assert error is not None and "malformed" in str(error)
+        assert failures == 1
+
+    def test_undecodable_frame_with_recoverable_id_fails_the_call(self):
+        async def scenario():
+            # Invalid UTF-8 inside the frame: decode_frame rejects it, but
+            # a lossy re-parse still recovers the request id.
+            server = await _ScriptedServer(
+                responder=lambda req: (
+                    b'{"id": "' + req["id"].encode() +
+                    b'", "ok": false, "error": {"type": "X", '
+                    b'"message": "\xff"}}\n')).start()
+            client = await ServeClient("t").connect(server.host,
+                                                    server.port)
+            error = None
+            try:
+                await client.call("ping", {}, timeout=5.0)
+            except ServeError as exc:
+                error = exc
+            failures = client.decode_failures
+            await client.close()
+            await server.close()
+            return error, failures
+
+        error, failures = asyncio.run(scenario())
+        assert error is not None and "undecodable" in str(error)
+        assert failures == 1
+
+    def test_garbage_frames_are_counted_and_skipped(self):
+        async def scenario():
+            server = await _ScriptedServer(
+                responder=lambda req: b"this is not json\n" + _ok(req)
+            ).start()
+            client = await ServeClient("t").connect(server.host,
+                                                    server.port)
+            result = await client.call("ping", {})
+            failures = client.decode_failures
+            await client.close()
+            await server.close()
+            return result, failures
+
+        result, failures = asyncio.run(scenario())
+        assert result["pong"] is True  # the real reply still lands
+        assert failures == 1
+
+
+class TestCallWithRetry:
+    def _patch_sleep(self, monkeypatch, sleeps):
+        async def fake_sleep(delay):
+            sleeps.append(delay)
+        monkeypatch.setattr(client_module, "_sleep", fake_sleep)
+
+    def test_retries_honour_hint_and_reuse_one_request_id(self, monkeypatch):
+        sleeps = []
+        self._patch_sleep(monkeypatch, sleeps)
+
+        def responder(request):
+            if len([r for r in _seen if r == request["id"]]) < 2:
+                _seen.append(request["id"])
+                return _refusal(request, retry_after=0.7)
+            return _ok(request)
+
+        _seen = []
+
+        async def scenario():
+            server = await _ScriptedServer(responder=responder).start()
+            client = await ServeClient("t").connect(server.host,
+                                                    server.port)
+            result = await client.call_with_retry("ping", {})
+            ids = [r["id"] for r in server.received]
+            snapshot = client.retry_budget.snapshot()
+            refusals = client.refusals_seen
+            await client.close()
+            await server.close()
+            return result, ids, snapshot, refusals
+
+        result, ids, snapshot, refusals = asyncio.run(scenario())
+        assert result["pong"] is True
+        assert len(ids) == 3 and len(set(ids)) == 1  # one id, 3 attempts
+        assert len(sleeps) == 2
+        for delay in sleeps:
+            assert delay >= 0.7  # retry_after is a floor, never undercut
+        assert snapshot["retries"] == 2
+        assert refusals == 2
+
+    def test_budget_exhaustion_propagates_the_refusal(self, monkeypatch):
+        sleeps = []
+        self._patch_sleep(monkeypatch, sleeps)
+
+        async def scenario():
+            server = await _ScriptedServer(responder=_refusal).start()
+            budget = RetryBudget(capacity=1.0, refill=0.5)
+            client = await ServeClient("t", retry_budget=budget).connect(
+                server.host, server.port)
+            error = None
+            try:
+                await client.call_with_retry("ping", {}, max_attempts=6)
+            except ServeCallError as exc:
+                error = exc
+            attempts = len(server.received)
+            exhausted = budget.exhausted
+            await client.close()
+            await server.close()
+            return error, attempts, exhausted
+
+        error, attempts, exhausted = asyncio.run(scenario())
+        assert error is not None
+        assert error.error_type == "OverloadedError"
+        assert attempts == 2  # initial + the single budgeted retry
+        assert exhausted >= 1
+
+    def test_non_retryable_errors_raise_immediately(self, monkeypatch):
+        sleeps = []
+        self._patch_sleep(monkeypatch, sleeps)
+
+        async def scenario():
+            server = await _ScriptedServer(
+                responder=lambda req: _refusal(
+                    req, error_type="MediationError")).start()
+            client = await ServeClient("t").connect(server.host,
+                                                    server.port)
+            error = None
+            try:
+                await client.call_with_retry("ping", {}, max_attempts=6)
+            except ServeCallError as exc:
+                error = exc
+            attempts = len(server.received)
+            await client.close()
+            await server.close()
+            return error, attempts
+
+        error, attempts = asyncio.run(scenario())
+        assert error.error_type == "MediationError"
+        assert attempts == 1
+        assert sleeps == []  # no backoff for an error a retry cannot fix
+
+
+class TestServerTimeSync:
+    def test_deadline_requires_a_sync_and_tracks_server_clock(self):
+        async def scenario():
+            server = await _ScriptedServer(
+                responder=lambda req: _ok(req, {"pong": True,
+                                                "now": 5000.0})).start()
+            client = await ServeClient("t").connect(server.host,
+                                                    server.port)
+            before = client.deadline(10.0)
+            await client.call("ping", {})
+            after = client.deadline(10.0)
+            await client.close()
+            await server.close()
+            return before, after
+
+        before, after = asyncio.run(scenario())
+        assert before is None  # no sync yet: caller must not guess
+        assert after == pytest.approx(5010.0, abs=1.0)

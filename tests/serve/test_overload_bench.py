@@ -1,0 +1,37 @@
+"""The OVERLOAD_9 hostile-traffic chaos pack, end to end: a full seeded
+run against the real daemon must pass its own acceptance gates."""
+
+import pytest
+
+from repro.report import overload_bench_report
+from repro.serve.overload import SCENARIOS, check_overload, run_overload_bench
+
+
+@pytest.mark.slow
+class TestOverloadBench:
+    def test_full_run_passes_its_own_gates(self, tmp_path):
+        report = run_overload_bench(seed=9, root=tmp_path)
+        failures = check_overload(report)
+        assert failures == []
+
+        # Structure the CI artifact and renderer depend on.
+        assert set(report["scenarios"]) == set(SCENARIOS)
+        for scenario in report["scenarios"].values():
+            accounting = scenario["accounting"]
+            assert accounting["refusals_match_sheds"]
+            assert scenario["traffic"]["lost"] == 0
+            assert scenario["traffic"]["disagreements"] == 0
+            assert scenario["server"]["admission"]["shed"]["by_priority"][
+                "control"] == 0
+        # The flash crowd must actually hurt: sheds flowed and the
+        # brownout engaged — otherwise the bench proves nothing.
+        flash = report["scenarios"]["flash_crowd"]
+        assert flash["server"]["admission"]["shed"]["total"] > 0
+        assert flash["server"]["brownout"]["max_level"] >= 1
+        assert report["scenarios"]["revocation_storm"]["storm"]["cycles"] > 0
+        deadlines = report["deadlines"]
+        assert deadlines["expired_refused"] == deadlines["sent_expired"]
+        assert deadlines["generous_answered"] == deadlines["sent_generous"]
+
+        rendered = overload_bench_report(report)
+        assert "goodput" in rendered and "flash_crowd" in rendered

@@ -1,0 +1,370 @@
+"""Overload behaviour of the daemon itself: admission refusals on the
+wire, deadline propagation, brownout tiers, the bounded reply cache and
+the reaper's interaction with in-flight work.
+
+Real loopback sockets; planes run on the simulated clock wherever timing
+matters, so every deadline and hysteresis assertion is exact.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import AdmissionController, BrownoutController
+from repro.serve.client import ServeCallError, ServeClient
+from repro.serve.plane import ServePolicyPlane
+from repro.serve.server import ReproServer
+from repro.util.clock import SimulatedClock
+
+MEDIATE = {"user": "alice", "user_key": "Kuser", "object_type": "graph",
+           "operation": "run", "attributes": {"app_domain": "WebCom"}}
+
+
+def _plane(clock=None, **kwargs):
+    plane = ServePolicyPlane(clock=clock, **kwargs)
+    plane.keystore.create("KWebCom")
+    plane.keystore.create("Kuser")
+    plane.session.add_policy(
+        'Authorizer: POLICY\nLicensees: "Kuser"\n'
+        'Conditions: app_domain=="WebCom" && op=="run";')
+    return plane
+
+
+async def _boot(plane, **server_kwargs):
+    server = await ReproServer(plane, **server_kwargs).start()
+    client = await ServeClient("t").connect(server.host, server.port)
+    return server, client
+
+
+def _escalate(server, level):
+    """Feed sustained synthetic pressure until the brownout reaches
+    ``level`` (simulated clock only)."""
+    brownout = server.admission.brownout
+    clock = brownout.clock
+    while brownout.level < level:
+        for _ in range(10):
+            brownout.record(shed=True, utilization=1.0)
+        clock.advance(0.2)
+        brownout.poll()
+
+
+class TestAdmissionOnTheWire:
+    def test_overloaded_mediate_is_refused_but_control_is_not(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            admission = AdmissionController(clock=clock, max_inflight=0)
+            server, client = await _boot(plane, admission=admission)
+            outcomes = {}
+            try:
+                await client.call("mediate", MEDIATE)
+            except ServeCallError as exc:
+                outcomes["error_type"] = exc.error_type
+                outcomes["retry_after"] = exc.retry_after
+                outcomes["retryable"] = exc.retryable
+            outcomes["ping"] = (await client.call("ping"))["pong"]
+            status = await client.call("status")
+            outcomes["shed"] = status["admission"]["shed"]
+            await client.close()
+            await server.shutdown()
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert outcomes["error_type"] == "OverloadedError"
+        assert outcomes["retry_after"] > 0
+        assert outcomes["retryable"]
+        assert outcomes["ping"] is True  # CONTROL rides through
+        assert outcomes["shed"]["overloaded"] == 1
+        assert outcomes["shed"]["by_priority"]["control"] == 0
+
+    def test_rate_limited_peer_gets_hint_and_other_peer_rides(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            admission = AdmissionController(clock=clock, max_inflight=16,
+                                            peer_rate=1.0, peer_burst=1.0)
+            server, client = await _boot(plane, admission=admission)
+            other = await ServeClient("o").connect(server.host, server.port)
+            first = await client.call("mediate", MEDIATE)
+            with pytest.raises(ServeCallError) as excinfo:
+                await client.call("mediate", MEDIATE)
+            fresh_peer = await other.call("mediate", MEDIATE)
+            await client.close()
+            await other.close()
+            await server.shutdown()
+            return first, excinfo.value, fresh_peer
+
+        first, error, fresh_peer = asyncio.run(scenario())
+        assert first["allowed"] and fresh_peer["allowed"]
+        assert error.error_type == "RateLimitedError"
+        assert error.retry_after == pytest.approx(1.0)
+
+    def test_refusals_are_not_cached_for_replay(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            admission = AdmissionController(clock=clock, max_inflight=16,
+                                            peer_rate=1.0, peer_burst=1.0)
+            server, client = await _boot(plane, admission=admission)
+            await client.call("mediate", MEDIATE)
+            request_id = client.next_request_id()
+            refused = None
+            try:
+                await client.call("mediate", MEDIATE,
+                                  request_id=request_id)
+            except ServeCallError as exc:
+                refused = exc.error_type
+            # The bucket refills; the *same id* must be re-admitted and
+            # executed, not replayed from the reply cache as a refusal.
+            clock.advance(2.0)
+            retried = await client.call("mediate", MEDIATE,
+                                        request_id=request_id)
+            duplicates = server.duplicates_served
+            await client.close()
+            await server.shutdown()
+            return refused, retried, duplicates
+
+        refused, retried, duplicates = asyncio.run(scenario())
+        assert refused == "RateLimitedError"
+        assert retried["allowed"]
+        assert duplicates == 0
+
+
+class TestDeadlinePropagation:
+    def test_expired_deadline_is_dropped_before_dispatch(self):
+        async def scenario():
+            clock = SimulatedClock(start=100.0)
+            plane = _plane(clock=clock)
+            server, client = await _boot(plane)
+            mediations_before = plane.mediations
+            with pytest.raises(ServeCallError) as excinfo:
+                await client.call("mediate", MEDIATE, deadline=99.0)
+            status = await client.call("status")
+            await client.close()
+            await server.shutdown()
+            return (excinfo.value, plane.mediations - mediations_before,
+                    status["deadlines"])
+
+        error, mediations, deadlines = asyncio.run(scenario())
+        assert error.error_type == "DeadlineExceededError"
+        assert mediations == 0  # never dispatched
+        assert deadlines["expired_pre_dispatch"] == 1
+        assert deadlines["expired_before_write"] == 0
+
+    def test_deadline_passing_mid_dispatch_refuses_but_caches_result(self):
+        async def scenario():
+            clock = SimulatedClock(start=0.0)
+            plane = _plane(clock=clock)
+            server, client = await _boot(plane)
+            # A handler that takes 10 simulated seconds to run.
+            server._methods["slow"] = (
+                lambda peer, p: {"done": clock.advance(10.0) > 0})
+            request_id = client.next_request_id()
+            refused = None
+            try:
+                await client.call("slow", {}, request_id=request_id,
+                                  deadline=5.0)
+            except ServeCallError as exc:
+                refused = exc.error_type
+            # An idempotent retry under the same id replays the *real*
+            # recorded response — the work was done, only its first
+            # delivery was refused.
+            replay = await client.call("slow", {}, request_id=request_id)
+            status = await client.call("status")
+            await client.close()
+            await server.shutdown()
+            return refused, replay, status["deadlines"]
+
+        refused, replay, deadlines = asyncio.run(scenario())
+        assert refused == "DeadlineExceededError"
+        assert replay == {"done": True}
+        assert deadlines["expired_before_write"] == 1
+        assert deadlines["expired_pre_dispatch"] == 0
+
+    def test_fresh_deadline_is_honoured(self):
+        async def scenario():
+            clock = SimulatedClock(start=100.0)
+            plane = _plane(clock=clock)
+            server, client = await _boot(plane)
+            result = await client.call("mediate", MEDIATE, deadline=200.0)
+            await client.close()
+            await server.shutdown()
+            return result
+
+        assert asyncio.run(scenario())["allowed"]
+
+
+class TestBrownoutOnTheServer:
+    def test_tier1_sheds_decision_broadcasts_counted(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            admission = AdmissionController(
+                clock=clock, max_inflight=64,
+                brownout=BrownoutController(clock=clock, window=1.0,
+                                            sustain=0.5, cool=1.0))
+            server, client = await _boot(plane, admission=admission)
+            observer = await ServeClient("obs").connect(server.host,
+                                                        server.port)
+            await observer.subscribe("decision", "server")
+            before = await client.call("mediate", MEDIATE)
+            decision_event = await observer.next_event(timeout=5.0)
+            _escalate(server, 1)
+            await client.call("mediate",
+                              {**MEDIATE, "attributes":
+                               {"app_domain": "WebCom", "n": "2"}})
+            # The brownout transition itself is announced on "server".
+            server_event = await observer.next_event(timeout=5.0)
+            status = await client.call("status")
+            await client.close()
+            await observer.close()
+            await server.shutdown()
+            return before, decision_event, server_event, status
+
+        before, decision_event, server_event, status = asyncio.run(scenario())
+        assert before["allowed"]
+        assert decision_event["event"] == "decision"
+        assert server_event["event"] == "server"
+        assert server_event["data"]["state"] == "brownout"
+        assert server_event["data"]["to_level"] == 1
+        assert status["events_shed"] >= 1
+        assert status["brownout"]["level"] == 1
+
+    def test_tier2_serves_ttl_stale_decisions_with_disclosure(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock, cache_ttl=1.0)
+            admission = AdmissionController(
+                clock=clock, max_inflight=64,
+                brownout=BrownoutController(clock=clock, window=1.0,
+                                            sustain=0.5, cool=1.0,
+                                            stale_ttl=60.0))
+            server, client = await _boot(plane, admission=admission)
+            fresh = await client.call("mediate", MEDIATE)
+            clock.advance(5.0)  # the cached decision is now past its TTL
+            _escalate(server, 2)
+            stale = await client.call("mediate", MEDIATE)
+            # Probes never take the stale path: the oracle comparison
+            # stays honest under brownout.
+            probe = await client.call("probe", MEDIATE)
+            status = await client.call("status")
+            await client.close()
+            await server.shutdown()
+            return fresh, stale, probe, status
+
+        fresh, stale, probe, status = asyncio.run(scenario())
+        assert fresh["allowed"] and not fresh["stale"]
+        assert stale["allowed"] and stale["stale"]  # disclosed, never silent
+        assert probe["agree"] and not probe["stale"]
+        assert status["plane"]["stale_mediations"] == 1
+
+    def test_tier3_sheds_bulk_but_not_data(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            admission = AdmissionController(
+                clock=clock, max_inflight=64,
+                brownout=BrownoutController(clock=clock, window=1.0,
+                                            sustain=0.5, cool=1.0))
+            server, client = await _boot(plane, admission=admission)
+            _escalate(server, 3)
+            bulk_error = None
+            try:
+                await client.call("spans", {"correlation_id": "corr-1"})
+            except ServeCallError as exc:
+                bulk_error = exc
+            data = await client.call("mediate", MEDIATE)
+            await client.close()
+            await server.shutdown()
+            return bulk_error, data
+
+        bulk_error, data = asyncio.run(scenario())
+        assert bulk_error is not None
+        assert bulk_error.error_type == "OverloadedError"
+        assert bulk_error.retry_after > 0
+        assert data["allowed"]  # DATA still served at tier 3
+
+
+class TestReplyCacheBound:
+    def test_lru_eviction_keeps_recent_ids_replayable(self):
+        async def scenario():
+            plane = _plane(clock=SimulatedClock())
+            server, client = await _boot(plane, reply_cache_limit=3)
+            ids = [client.next_request_id() for _ in range(4)]
+            for request_id in ids:
+                await client.call("ping", {}, request_id=request_id)
+            # The three newest ids replay from the cache...
+            for request_id in ids[1:]:
+                await client.call("ping", {}, request_id=request_id)
+            replayed = server.duplicates_served
+            # ...but the evicted oldest id is re-executed, not replayed.
+            await client.call("ping", {}, request_id=ids[0])
+            replayed_after_evicted = server.duplicates_served
+            status = await client.call("status")
+            await client.close()
+            await server.shutdown()
+            return replayed, replayed_after_evicted, status["reply_cache"]
+
+        replayed, after, cache = asyncio.run(scenario())
+        assert replayed == 3
+        assert after == 3  # the evicted id was handled fresh
+        assert cache["limit"] == 3
+        assert cache["evictions"] >= 2
+        assert cache["entries"] <= 3
+
+    def test_reply_cache_limit_validated(self):
+        with pytest.raises(Exception):
+            ReproServer(_plane(clock=SimulatedClock()), reply_cache_limit=0)
+
+
+class TestReaperVersusInflight:
+    def test_dead_marked_peer_still_gets_responses(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            server, client = await _boot(plane, heartbeat_timeout=1.0,
+                                         max_missed=2)
+            await client.hello()
+            # Silence long past the allowed windows: the reaper marks the
+            # peer dead...
+            clock.advance(10.0)
+            reaped = server.reap_once()
+            dead = {p.peer_id: p.alive for p in server.registry.values()}
+            # ...but an in-flight request from that very peer must still
+            # be answered (a response, never a torn socket), and answering
+            # proves liveness again.
+            result = await client.call("mediate", MEDIATE)
+            alive = {p.peer_id: p.alive for p in server.registry.values()}
+            await client.close()
+            await server.shutdown()
+            return reaped, dead, result, alive
+
+        reaped, dead, result, alive = asyncio.run(scenario())
+        assert len(reaped) == 1
+        assert dead[reaped[0]] is False
+        assert result["allowed"]
+        assert alive[reaped[0]] is True
+
+    def test_reconnect_does_not_resurrect_old_reply_cache(self):
+        async def scenario():
+            clock = SimulatedClock()
+            plane = _plane(clock=clock)
+            server = await ReproServer(plane).start()
+            first = await ServeClient("t").connect(server.host, server.port)
+            await first.call("ping", {}, request_id="shared-id")
+            await first.close()
+            await asyncio.sleep(0.05)  # let the disconnect finalise
+            stale_caches = len(server._replies)
+            # A new connection re-using the same request id is a *new*
+            # request for a new peer — the old peer's cache (and its
+            # admission bucket) died with its connection.
+            second = await ServeClient("t").connect(server.host, server.port)
+            await second.call("ping", {}, request_id="shared-id")
+            duplicates = server.duplicates_served
+            await second.close()
+            await server.shutdown()
+            return stale_caches, duplicates
+
+        stale_caches, duplicates = asyncio.run(scenario())
+        assert stale_caches == 0
+        assert duplicates == 0

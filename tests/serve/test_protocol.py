@@ -14,6 +14,7 @@ from repro.serve.protocol import (
     make_event,
     make_request,
     ok_response,
+    refusal_response,
 )
 
 
@@ -73,3 +74,37 @@ class TestShapes:
         response = error_response("r-9", "KeyComError", "denied")
         assert response["error"]["type"] == "KeyComError"
         assert not response["ok"]
+
+
+class TestDeadlines:
+    def test_deadline_travels_on_the_request(self):
+        message = make_request("r-1", "mediate", {"user": "a"},
+                               deadline=123.5)
+        assert message["deadline"] == 123.5
+        assert classify(message) == "request"
+        # No deadline, no field — old peers see the old wire format.
+        assert "deadline" not in make_request("r-2", "ping")
+
+    def test_deadline_must_be_a_real_number(self):
+        with pytest.raises(ProtocolError):
+            classify({"id": "r-1", "method": "ping", "deadline": "soon"})
+        with pytest.raises(ProtocolError):
+            classify({"id": "r-1", "method": "ping", "deadline": True})
+
+
+class TestRefusals:
+    def test_refusal_is_an_error_response_with_backoff_hint(self):
+        response = refusal_response("r-3", "OverloadedError", "shed",
+                                    retry_after=0.123456789,
+                                    kind="overloaded")
+        assert classify(response) == "response"
+        assert not response["ok"]
+        assert response["error"]["type"] == "OverloadedError"
+        assert response["error"]["retry_after"] == 0.123457  # rounded
+        assert response["error"]["kind"] == "overloaded"
+
+    def test_refusal_detail_merges_and_hint_is_optional(self):
+        response = refusal_response("r-4", "DeadlineExceededError",
+                                    "too late", phase="pre_dispatch")
+        assert "retry_after" not in response["error"]
+        assert response["error"]["phase"] == "pre_dispatch"

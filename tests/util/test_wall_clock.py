@@ -51,6 +51,7 @@ class TestSchedulingDefaults:
             "request_timeout": 10.0,
             "heartbeat_interval": 15.0,
             "heartbeat_timeout": 5.0,
+            "request_deadline": 30.0,
         }
 
     def test_wall_defaults_are_subseconds_to_seconds(self):
