@@ -469,6 +469,33 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_churn(args: argparse.Namespace) -> int:
+    """Incremental-invalidation churn benchmark (the ``BENCH_10.json`` CI
+    artifact): warm-hit ratio and per-update cost under a churn-heavy
+    Zipfian mix, dependency-indexed eviction vs generation-flush, plus
+    oracle cross-checks, RBAC edge-delta churn and mediation-cache
+    survival."""
+    from repro.keynote.bench import check_churn_bench, run_churn_bench
+    from repro.report import churn_bench_report
+
+    report = run_churn_bench(users=args.users, teams=args.teams,
+                             orgs=args.orgs, steps=args.steps,
+                             queries_per_step=args.queries_per_step,
+                             oracle_samples=args.oracle_samples,
+                             seed=args.seed)
+    if args.json:
+        _emit(args, json.dumps(report, indent=2))
+    else:
+        _emit(args, churn_bench_report(report))
+    if not args.check:
+        return 0
+    failures = check_churn_bench(
+        report, min_hit_improvement=args.min_hit_improvement)
+    for failure in failures:
+        print(f"bench-churn check failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed_scenario(depth=args.depth, n_clients=args.clients,
                                 faults=args.faults, seed=args.seed,
@@ -750,6 +777,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the output to a file instead of "
                                "stdout")
     p_ebench.set_defaults(func=_cmd_bench_engine)
+
+    p_cbench = sub.add_parser(
+        "bench-churn", help="incremental invalidation vs generation-flush "
+                            "under churn-heavy Zipfian traffic")
+    p_cbench.add_argument("--users", type=int, default=400,
+                          help="delegation-universe user count")
+    p_cbench.add_argument("--teams", type=int, default=20,
+                          help="delegation-universe team count")
+    p_cbench.add_argument("--orgs", type=int, default=4,
+                          help="delegation-universe org count")
+    p_cbench.add_argument("--steps", type=int, default=60,
+                          help="proxy-renewal churn steps")
+    p_cbench.add_argument("--queries-per-step", type=int, default=8,
+                          help="Zipfian queries interleaved per churn step")
+    p_cbench.add_argument("--oracle-samples", type=int, default=60,
+                          help="post-churn decisions replayed against the "
+                               "naive oracle and a cold checker")
+    p_cbench.add_argument("--seed", type=int, default=10,
+                          help="universe/workload seed")
+    p_cbench.add_argument("--min-hit-improvement", type=float, default=5.0,
+                          help="warm-hit ratio improvement floor enforced "
+                               "with --check")
+    p_cbench.add_argument("--check", action="store_true",
+                          help="exit non-zero unless every gate passes "
+                               "(hit-ratio floor, cost bound, zero "
+                               "disagreements, no rebuilds, cache "
+                               "survival)")
+    p_cbench.add_argument("--json", action="store_true",
+                          help="emit the full JSON report")
+    p_cbench.add_argument("--out", default=None,
+                          help="write the output to a file instead of "
+                               "stdout")
+    p_cbench.set_defaults(func=_cmd_bench_churn)
     return parser
 
 

@@ -238,6 +238,37 @@ class KeyNoteSession:
         return (len(self._policies), len(self._credentials),
                 self._checker.generation if self._checker is not None else -1)
 
+    def decision_fingerprint(self, attributes: Mapping[str, str],
+                             authorizers: Iterable[str],
+                             ) -> "tuple[object, str | None]":
+        """The decision key a :meth:`query` with these arguments would use
+        and the checker's currently cached value for it (None when absent).
+
+        ``_cur_time`` is injected exactly as :meth:`query` does, so the
+        key matches what the query actually computed (the checker's
+        attribute projection drops ``_cur_time`` unless some assertion
+        references it).  A session whose checker is not built — cold after
+        recovery, or after :meth:`clear_credentials` — reports a sentinel
+        key and no value, so no externally cached decision can validate
+        against it.  The authorisation stack scopes its per-entry cache
+        fingerprints to this instead of :meth:`state_fingerprint`, letting
+        warm mediation decisions survive unrelated assertion churn.
+        """
+        if self._checker is None:
+            return ("cold",), None
+        if "_cur_time" not in attributes:
+            attributes = {**attributes, "_cur_time": repr(self.clock.now())}
+        return self._checker.cached_decision(attributes, tuple(authorizers),
+                                             self.values)
+
+    def checker_cache_info(self) -> "dict[str, int] | None":
+        """Decision-cache statistics of the live checker, or None while the
+        checker is cold (never forces a build — status probes must not
+        side-effect the session)."""
+        if self._checker is None:
+            return None
+        return self._checker.cache_info()
+
     # -- queries -----------------------------------------------------------------
 
     @property

@@ -28,11 +28,26 @@ Hot-path machinery (the authorisation fast path):
   authorizer once, and verifies its signature through the process-wide
   signature cache — per-query work is only the fixpoint itself;
 - a *decision cache* memoises full query outcomes by (relevant attribute
-  projection, canonical authorizer set, value set).  ``Generation`` bumps —
-  :meth:`ComplianceChecker.add_assertion` / :meth:`revoke_assertion` — flush
-  it, so a revoked credential can never serve a stale ALLOW.  Values computed
-  under a live cycle-break assumption are never cached (unless maximal,
-  which monotonicity makes safe) — mirroring the in-query memo's taint rule;
+  projection, canonical authorizer set, value set).  Values computed under a
+  live cycle-break assumption are never cached (unless maximal, which
+  monotonicity makes safe) — mirroring the in-query memo's taint rule;
+- *incremental invalidation* (the default; ``incremental=False`` restores
+  the PR 3 generation-flush behaviour for ablation): every cached decision
+  records the set of canonical principals whose delegation sub-graphs the
+  fixpoint actually descended and the set of assertions whose conditions it
+  evaluated.  :meth:`ComplianceChecker.add_assertion` evicts only the
+  decisions that visited the new assertion's authorizer;
+  :meth:`ComplianceChecker.revoke_assertion` only the decisions that read
+  the revoked assertion.  Soundness rests on monotonicity: an assertion
+  authored by principal ``P`` can influence a decision only through
+  ``principal_value(P)``, so a decision whose fixpoint never touched ``P``
+  is unchanged by any mutation of ``P``'s assertions.  Every short-circuit
+  in the search (max-join break, minimum-conditions skip, licensee
+  early-outs) only *prunes* assertions of principals that were already
+  visited, so the recorded principal set over-approximates the true read
+  set.  When a mutation changes the shape of the referenced-attribute
+  projection (the cache key function itself), the checker falls back to a
+  conservative full flush (counted as ``full_flushes``);
 - :meth:`ComplianceChecker.query_many` batches queries, sharing per-assertion
   condition evaluation across every query with the same attribute
   projection.
@@ -40,6 +55,7 @@ Hot-path machinery (the authorisation fast path):
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
@@ -52,6 +68,19 @@ from repro.keynote.values import DEFAULT_VALUE_SET, ComplianceValueSet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
+
+
+def incremental_default() -> bool:
+    """Resolve the process-wide invalidation default.
+
+    ``REPRO_INCREMENTAL_INVALIDATION`` forces the choice (``0``/``false``/
+    ``no``/``off`` restore generation-flush, anything else enables
+    dependency-indexed selective eviction); unset means incremental on.
+    """
+    flag = os.environ.get("REPRO_INCREMENTAL_INVALIDATION")
+    if flag is None:
+        return True
+    return flag.strip().lower() not in ("0", "false", "no", "off")
 
 
 @dataclass
@@ -130,7 +159,12 @@ class ComplianceChecker:
         set changes.  Safe by construction: the cache key covers every
         attribute any assertion can read, the canonical authorizer set and
         the value set; :meth:`add_assertion` / :meth:`revoke_assertion` bump
-        :attr:`generation` and flush it.
+        :attr:`generation` and evict the dependent entries.
+    :param incremental: when True (the default, overridable with
+        ``REPRO_INCREMENTAL_INVALIDATION``), mutations evict only the
+        decisions whose recorded dependency sets intersect the delta; when
+        False every mutation flushes the whole decision cache (the PR 3
+        generation-flush baseline, kept as the ablation reference).
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
         when set, the per-query profile (memo hits/misses, assertions
         visited, fixpoint depth) is mirrored into ``keynote.*`` metrics and
@@ -148,6 +182,7 @@ class ComplianceChecker:
     strict: bool = False
     memoise: bool = True
     cache_decisions: bool = True
+    incremental: bool = field(default_factory=incremental_default)
     metrics: "MetricsRegistry | None" = None
     stats: ComplianceStats = field(init=False, repr=False,
                                    default_factory=ComplianceStats)
@@ -169,6 +204,16 @@ class ComplianceChecker:
         self._generation = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: dependency index: decision key -> (canonical principals whose
+        #: sub-graphs the fixpoint descended, ids of prepared assertions
+        #: whose conditions it evaluated), plus the two inverted indexes
+        #: mutations consult to find their dependents
+        self._decision_deps: dict[tuple, tuple[frozenset, frozenset]] = {}
+        self._principal_index: dict[str, set[tuple]] = {}
+        self._assertion_index: dict[int, set[tuple]] = {}
+        self.selective_evictions = 0
+        self.survived_churn = 0
+        self.full_flushes = 0
         #: attributes any assertion may read; None once a ``$`` dereference
         #: makes the read set dynamic (falls back to full-attribute keys)
         self._referenced: "set[str] | None" = set()
@@ -181,8 +226,10 @@ class ComplianceChecker:
 
     @property
     def generation(self) -> int:
-        """Bumped whenever the assertion set changes; decisions cached under
-        an older generation are unreachable (the cache is flushed)."""
+        """Bumped whenever the assertion set changes.  Under incremental
+        invalidation it is a pure mutation epoch (the in-flight store guard
+        and session fingerprints key on it); under ``incremental=False``
+        it additionally marks a full cache flush."""
         return self._generation
 
     @property
@@ -194,27 +241,53 @@ class ComplianceChecker:
         """Admit one more assertion; bumps the generation.
 
         Returns True if the assertion was admitted (False when its signature
-        was rejected in non-strict mode).
+        was rejected in non-strict mode).  Under incremental invalidation
+        only the cached decisions whose fixpoint visited the new assertion's
+        authorizer are evicted — decisions that never descended into that
+        principal's sub-graph cannot change (monotonicity) and survive.
 
         :raises CredentialError: for a bad signature in strict mode.
         """
         with self._mutation_lock:
+            old_shape = self._referenced_key
             self.assertions.append(assertion)  # type: ignore[union-attr]
             admitted = self._admit(assertion)
+            if self.incremental and admitted:
+                if self._referenced_key != old_shape:
+                    # The cache key function itself changed; selective
+                    # eviction cannot address old-projection entries.
+                    self._full_flush_on_churn()
+                else:
+                    self._evict_dependents(
+                        principals=(self._canonical(assertion.authorizer),))
             self._bump_generation()
             return admitted
 
     def revoke_assertion(self, assertion: Credential) -> bool:
         """Remove one assertion; bumps the generation on success.
 
-        Cached decisions that relied on the revoked credential are flushed
-        with everything else — a stale ALLOW can never be served.
+        Under incremental invalidation only the decisions whose fixpoint
+        evaluated the revoked assertion are evicted — revocation propagates
+        through the delegation graph exactly as far as the dependency index
+        recorded, and unrelated warm decisions survive.
+
+        Eviction ordering (pinned by test): dependents are evicted and the
+        generation bumped *before* the prepared entry leaves
+        ``_by_authorizer`` and before the memoised ``_canonical`` /
+        referenced-attribute state is rebuilt, all inside the mutation
+        lock — a concurrent :meth:`query` either sees the fully-old state
+        (and its epoch-guarded store refuses to cache) or the fully-new
+        one; it can never hit a stale entry for a half-applied delta.
         """
         with self._mutation_lock:
             key = self._canonical(assertion.authorizer)
             entries = self._by_authorizer.get(key, [])
             for index, prepared in enumerate(entries):
                 if prepared.credential == assertion:
+                    old_shape = self._referenced_key
+                    if self.incremental:
+                        self._evict_dependents(assertion_ids=(id(prepared),))
+                    self._bump_generation()
                     del entries[index]
                     if not entries:
                         self._by_authorizer.pop(key, None)
@@ -223,7 +296,8 @@ class ComplianceChecker:
                     except ValueError:
                         pass
                     self._rebuild_referenced()
-                    self._bump_generation()
+                    if self.incremental and self._referenced_key != old_shape:
+                        self._full_flush_on_churn()
                     return True
             return False
 
@@ -264,23 +338,99 @@ class ComplianceChecker:
     def _bump_generation(self) -> None:
         with self._mutation_lock:
             self._generation += 1
-            self._decision_cache.clear()
             # Canonicalisation may change too (e.g. a key registered since).
             self._canon_cache.clear()
+            if not self.incremental:
+                # Generation-flush baseline: every mutation clears the
+                # whole decision cache.
+                self._flush_decisions()
+
+    def _flush_decisions(self) -> None:
+        self._decision_cache.clear()
+        self._decision_deps.clear()
+        self._principal_index.clear()
+        self._assertion_index.clear()
+
+    def _full_flush_on_churn(self) -> None:
+        """Conservative fallback when a delta invalidates the cache *key
+        function* (referenced-attribute projection shape changed)."""
+        self.full_flushes += 1
+        if self.metrics is not None:
+            self.metrics.counter("keynote.cache.full_flush").inc()
+        self._flush_decisions()
+
+    def _evict_dependents(self, principals: Iterable[str] = (),
+                          assertion_ids: Iterable[int] = ()) -> int:
+        """Drop every cached decision whose dependency sets intersect the
+        delta; returns the eviction count.  Entries that survive are, by
+        the monotonicity argument in the module docstring, still equal to
+        a cold recompute."""
+        victims: set[tuple] = set()
+        for principal in principals:
+            victims |= self._principal_index.get(principal, set())
+        for assertion_id in assertion_ids:
+            victims |= self._assertion_index.get(assertion_id, set())
+        for key in victims:
+            self._drop_entry(key)
+        survived = len(self._decision_cache)
+        self.selective_evictions += len(victims)
+        self.survived_churn += survived
+        if self.metrics is not None:
+            self.metrics.counter(
+                "keynote.cache.selective_evictions").inc(len(victims))
+            self.metrics.counter(
+                "keynote.cache.survived_churn").inc(survived)
+        return len(victims)
+
+    def _drop_entry(self, key: tuple) -> None:
+        self._decision_cache.pop(key, None)
+        principals, assertion_ids = self._decision_deps.pop(
+            key, ((), ()))
+        for principal in principals:
+            bucket = self._principal_index.get(principal)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._principal_index[principal]
+        for assertion_id in assertion_ids:
+            bucket = self._assertion_index.get(assertion_id)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._assertion_index[assertion_id]
 
     def clear_decision_cache(self) -> None:
         """Flush cached decisions without touching the assertion set (cold
         restart for benchmarks)."""
         with self._mutation_lock:
-            self._decision_cache.clear()
+            self._flush_decisions()
 
     def cache_info(self) -> dict[str, int]:
-        """Decision-cache statistics: size, generation, hit/miss counts."""
+        """Decision-cache statistics: size, generation, hit/miss counts and
+        the churn-survival counters the bench artifact reports."""
         with self._mutation_lock:
             return {"entries": len(self._decision_cache),
                     "generation": self._generation,
                     "hits": self.cache_hits,
-                    "misses": self.cache_misses}
+                    "misses": self.cache_misses,
+                    "incremental": int(self.incremental),
+                    "selective_evictions": self.selective_evictions,
+                    "survived_churn": self.survived_churn,
+                    "full_flushes": self.full_flushes}
+
+    def cached_decision(self, attributes: Mapping[str, str],
+                        authorizers: Iterable[str],
+                        values: ComplianceValueSet = DEFAULT_VALUE_SET,
+                        ) -> "tuple[tuple, str | None]":
+        """The decision key for a request and its currently cached value
+        (None when absent).  Does not run the fixpoint and does not count
+        as cache traffic — the stack-mediation cache uses this to scope
+        its entry fingerprints to one decision instead of the whole
+        assertion set."""
+        with self._mutation_lock:
+            requesters = frozenset(self._canonical(a) for a in authorizers)
+            key = (self._attr_key(attributes), requesters, values.values)
+            return key, self._decision_cache.get(key)
 
     def _canonical(self, principal: str) -> str:
         """Canonical principal id, memoised per checker: symbolic names
@@ -378,9 +528,10 @@ class ComplianceChecker:
             if self.metrics is not None:
                 self.metrics.counter("keynote.cache.miss").inc()
         profile = ComplianceStats(queries=1)
+        deps = ((set(), set()) if use_cache and self.incremental else None)
         try:
             result = self._evaluate(attributes, requesters, values, profile,
-                                    cond_memo)
+                                    cond_memo, deps)
         finally:
             self.last_query_stats = profile
             self.stats.merge(profile)
@@ -397,16 +548,39 @@ class ComplianceChecker:
                     # A concurrent add/revoke bumped the generation while
                     # this fixpoint ran: the value was computed over an
                     # assertion set that no longer exists, so it must not
-                    # seed the *fresh* cache.
+                    # seed the *fresh* cache.  (This also guarantees the
+                    # dependency sets below refer to live prepared
+                    # assertions.)
                     self._decision_cache[cache_key] = result
+                    if deps is not None:
+                        self._remember_deps(cache_key, deps)
         return result
+
+    def _remember_deps(self, key: tuple,
+                       deps: "tuple[set, set]") -> None:
+        principals, assertion_ids = deps
+        self._decision_deps[key] = (frozenset(principals),
+                                    frozenset(assertion_ids))
+        for principal in principals:
+            self._principal_index.setdefault(principal, set()).add(key)
+        for assertion_id in assertion_ids:
+            self._assertion_index.setdefault(assertion_id, set()).add(key)
 
     def _evaluate(self, attributes: Mapping[str, str],
                   requesters: frozenset, values: ComplianceValueSet,
                   profile: ComplianceStats,
-                  cond_memo: "dict[int, str] | None") -> str:
+                  cond_memo: "dict[int, str] | None",
+                  deps: "tuple[set, set] | None" = None) -> str:
         """One fixpoint run; ``cond_memo`` (shared across a batch) memoises
-        per-assertion condition values for this attribute projection."""
+        per-assertion condition values for this attribute projection.
+
+        When ``deps`` is given, the search records into it every canonical
+        principal whose sub-graph it descended (``deps[0]``) and the id of
+        every prepared assertion whose value it read (``deps[1]``) — the
+        dependency sets selective eviction later consults.  Requester
+        short-circuits are deliberately *not* recorded: a requester's own
+        assertions are never read, so mutations of them cannot change this
+        decision."""
         if cond_memo is None:
             cond_memo = {}
         memo: dict[str, str] = {}
@@ -421,6 +595,10 @@ class ComplianceChecker:
         def principal_value(principal: str) -> str:
             if principal in requesters:
                 return values.maximum
+            if deps is not None:
+                # Recorded before the memo check: the first (miss) visit
+                # records the principal, so later memo hits are covered.
+                deps[0].add(principal)
             if self.memoise:
                 if principal in memo:
                     profile.memo_hits += 1
@@ -452,6 +630,8 @@ class ComplianceChecker:
             return result
 
         def assertion_value(prepared: _Prepared) -> str:
+            if deps is not None:
+                deps[1].add(id(prepared))
             conditions_value = cond_memo.get(id(prepared))
             if conditions_value is None:
                 conditions_value = prepared.compiled.value(attributes, values)

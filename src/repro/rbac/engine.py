@@ -15,12 +15,16 @@ columnar:
   int bitmask over permission ids, ``_user_direct_roles[uid]`` and
   ``_role_members[rid]`` bitmasks over role/user ids;
 - the RBAC1 hierarchy closure is two bitmask columns (``_down`` /``_up``,
-  inclusive) computed once per hierarchy version in topological order
-  (O(edges) big-int ORs, no per-bit iteration);
+  inclusive) computed in topological order (O(edges) big-int ORs, no
+  per-bit iteration) and then maintained **per edge delta**: the
+  hierarchy's bounded delta log is replayed so an edge change touches only
+  the cones it connects, not the world;
 - the derived column ``_role_closed_perms[rid]`` — the permissions a role
   holds *including its juniors* — is maintained **incrementally**: a grant
   delta ORs/rebuilds only the rows of the affected role's senior cone, an
-  assignment delta touches two bitmasks, and nothing recomputes the world.
+  assignment delta touches two bitmasks, an edge delta only the affected
+  cones, and every mutation evicts only the cached user masks of users
+  holding an affected role.
 
 Every decision is then bitwise: ``check_access`` is one AND+shift, batch
 ``check_access_many`` reuses a per-user effective mask cache across the
@@ -74,17 +78,25 @@ class RBACEngine:
         # -- hierarchy closure columns (inclusive of the role itself) -----
         self._down: list[int] = []                # rid -> dominated cone
         self._up: list[int] = []                  # rid -> dominating cone
+        # -- direct hierarchy adjacency (kept so edge deltas can replay
+        #    without re-reading the whole edge set) ------------------------
+        self._children: list[list[int]] = []
+        self._parents: list[list[int]] = []
         # -- derived column: direct perms ORed over the downward cone -----
         self._role_closed_perms: list[int] = []
         self._hierarchy: RoleHierarchy | None = None
         self._hierarchy_version = -1
-        #: per-user effective permission mask, flushed on any mutation —
-        #: the warm path of a Zipfian batch is one dict hit + one AND
+        #: per-user effective permission mask; mutations evict only the
+        #: masks of users holding an affected role — the warm path of a
+        #: Zipfian batch is one dict hit + one AND, and it survives
+        #: unrelated churn
         self._user_perm_cache: dict[int, int] = {}
         # -- observability -------------------------------------------------
         self.builds = 0
         self.hierarchy_rebuilds = 0
         self.deltas = 0
+        self.edge_deltas = 0
+        self.mask_evictions = 0
 
     # -- construction ------------------------------------------------------
 
@@ -117,6 +129,8 @@ class RBACEngine:
             # A fresh role has no edges yet: its cones are itself.
             self._down.append(1 << rid)
             self._up.append(1 << rid)
+            self._children.append([])
+            self._parents.append([])
             self._role_closed_perms.append(0)
         return rid
 
@@ -152,16 +166,30 @@ class RBACEngine:
     # -- hierarchy compilation ---------------------------------------------
 
     def sync_hierarchy(self, hierarchy: RoleHierarchy) -> None:
-        """Recompile the closure columns iff the hierarchy changed.
+        """Bring the closure columns up to date with the hierarchy.
 
         Cheap in the common case: one identity check plus one integer
-        compare.  On change, the closure is rebuilt in topological order —
-        O(edges) big-int ORs — and the derived closed-permission column is
-        re-derived the same way; relation columns are untouched.
+        compare.  When the same hierarchy object advanced by a few
+        versions, its bounded delta log is replayed edge-by-edge —
+        O(delta) cone updates, and only the user masks of affected roles
+        are evicted.  Only when the hierarchy object was swapped out (or
+        the log no longer reaches back) is the closure rebuilt in
+        topological order — O(edges) big-int ORs; relation columns are
+        untouched either way.
         """
         if (self._hierarchy is hierarchy
                 and self._hierarchy_version == hierarchy.version):
             return
+        if self._hierarchy is hierarchy:
+            deltas = hierarchy.deltas_since(self._hierarchy_version)
+            if deltas is not None:
+                for _version, op, senior, junior in deltas:
+                    if op == "add":
+                        self._apply_edge_add(senior, junior)
+                    else:
+                        self._apply_edge_remove(senior, junior)
+                self._hierarchy_version = hierarchy.version
+                return
         self._hierarchy = hierarchy
         self._hierarchy_version = hierarchy.version
         self.hierarchy_rebuilds += 1
@@ -191,6 +219,8 @@ class RBACEngine:
             up[rid] = mask
         self._down = down
         self._up = up
+        self._children = children
+        self._parents = parents
         direct = self._role_direct_perms
         closed = [0] * n
         for rid in self._topological(children):
@@ -200,6 +230,75 @@ class RBACEngine:
             closed[rid] = mask
         self._role_closed_perms = closed
         self._user_perm_cache.clear()
+
+    def _apply_edge_add(self, senior: DomainRole, junior: DomainRole) -> None:
+        """Incremental closure under one new edge ``senior -> junior``: the
+        new domination pairs are exactly up(senior) x down(junior), so the
+        down cones and closed-permission rows of senior's up-cone absorb
+        junior's, and the up cones of junior's down-cone absorb senior's.
+        The two cones are disjoint (the hierarchy rejected cycles), so the
+        absorbed masks are stable while the loops run."""
+        s = self._role_id(senior)
+        j = self._role_id(junior)
+        if j in self._children[s]:
+            # Re-declared edge: the hierarchy bumped its version but the
+            # closure is already correct.
+            return
+        self._children[s].append(j)
+        self._parents[j].append(s)
+        up_s = self._up[s]
+        down_j = self._down[j]
+        closed_j = self._role_closed_perms[j]
+        down = self._down
+        up = self._up
+        closed = self._role_closed_perms
+        for ancestor in _iter_bits(up_s):
+            down[ancestor] |= down_j
+            closed[ancestor] |= closed_j
+        for descendant in _iter_bits(down_j):
+            up[descendant] |= up_s
+        self._evict_user_masks(up_s)
+        self.edge_deltas += 1
+        self.deltas += 1
+
+    def _apply_edge_remove(self, senior: DomainRole,
+                           junior: DomainRole) -> None:
+        """Incremental closure under one removed edge: re-derive the down
+        cones and closed rows of senior's (old) up-cone and the up cones of
+        junior's (old) down-cone, in topological order over the affected
+        set only.  Both affected sets are path-closed (any node on a
+        hierarchy path between two affected nodes is itself affected), so
+        cone values of non-affected neighbours are already final."""
+        s = self._role_ids.get(senior)
+        j = self._role_ids.get(junior)
+        if s is None or j is None or j not in self._children[s]:
+            return
+        self._children[s].remove(j)
+        self._parents[j].remove(s)
+        ancestors = self._up[s]      # old up-cone of senior, inclusive
+        descendants = self._down[j]  # old down-cone of junior, inclusive
+        down = self._down
+        closed = self._role_closed_perms
+        direct = self._role_direct_perms
+        children = self._children
+        for rid in self._topological_subset(children, ancestors):
+            down_mask = 1 << rid
+            closed_mask = direct[rid]
+            for child in children[rid]:
+                down_mask |= down[child]
+                closed_mask |= closed[child]
+            down[rid] = down_mask
+            closed[rid] = closed_mask
+        up = self._up
+        parents = self._parents
+        for rid in self._topological_subset(parents, descendants):
+            mask = 1 << rid
+            for parent in parents[rid]:
+                mask |= up[parent]
+            up[rid] = mask
+        self._evict_user_masks(ancestors)
+        self.edge_deltas += 1
+        self.deltas += 1
 
     @staticmethod
     def _topological(successors: list[list[int]]) -> list[int]:
@@ -227,6 +326,63 @@ class RBACEngine:
                     order.append(node)
         return order  # successors of a node always precede it
 
+    def _topological_subset(self, successors: list[list[int]],
+                            member_mask: int) -> list[int]:
+        """Reverse-post-order over the subgraph induced by ``member_mask``
+        (successors outside the set are skipped — their values are final).
+        Same iterative shape as :meth:`_topological`, but O(affected cone)
+        instead of O(roles)."""
+        order: list[int] = []
+        state: dict[int, int] = {}
+        for root in _iter_bits(member_mask):
+            if root in state:
+                continue
+            stack: list[tuple[int, int]] = [(root, 0)]
+            state[root] = 1
+            while stack:
+                node, index = stack[-1]
+                succs = successors[node]
+                while (index < len(succs)
+                       and not (member_mask >> succs[index]) & 1):
+                    index += 1
+                if index < len(succs):
+                    stack[-1] = (node, index + 1)
+                    succ = succs[index]
+                    if succ not in state:
+                        state[succ] = 1
+                        stack.append((succ, 0))
+                else:
+                    stack.pop()
+                    state[node] = 2
+                    order.append(node)
+        return order
+
+    def _evict_user_masks(self, role_mask: int) -> None:
+        """Selective `_user_perm_cache` eviction: only users directly
+        assigned to a role whose closed row changed can have a stale
+        mask.  Iterates whichever side is smaller — the affected-user
+        bitset or the cache itself."""
+        cache = self._user_perm_cache
+        if not cache:
+            return
+        affected = 0
+        members = self._role_members
+        for rid in _iter_bits(role_mask):
+            affected |= members[rid]
+        if not affected:
+            return
+        evicted = 0
+        if affected.bit_count() < len(cache):
+            for uid in _iter_bits(affected):
+                if cache.pop(uid, None) is not None:
+                    evicted += 1
+        else:
+            stale = [uid for uid in cache if (affected >> uid) & 1]
+            for uid in stale:
+                del cache[uid]
+            evicted = len(stale)
+        self.mask_evictions += evicted
+
     # -- incremental mutation (O(delta)) -----------------------------------
 
     def add_grant(self, grant: Grant) -> None:
@@ -237,7 +393,7 @@ class RBACEngine:
         self._role_direct_perms[rid] |= bit
         for senior in _iter_bits(self._up[rid]):
             self._role_closed_perms[senior] |= bit
-        self._user_perm_cache.clear()
+        self._evict_user_masks(self._up[rid])
         self.deltas += 1
 
     def remove_grant(self, grant: Grant) -> None:
@@ -256,7 +412,7 @@ class RBACEngine:
             for member in _iter_bits(down[senior]):
                 mask |= direct[member]
             self._role_closed_perms[senior] = mask
-        self._user_perm_cache.clear()
+        self._evict_user_masks(self._up[rid])
         self.deltas += 1
 
     def add_assignment(self, assignment: Assignment) -> None:
@@ -432,5 +588,7 @@ class RBACEngine:
             "builds": self.builds,
             "hierarchy_rebuilds": self.hierarchy_rebuilds,
             "deltas": self.deltas,
+            "edge_deltas": self.edge_deltas,
+            "mask_evictions": self.mask_evictions,
             "cached_user_masks": len(self._user_perm_cache),
         }

@@ -268,6 +268,55 @@ def engine_bench_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def churn_bench_report(report: dict) -> str:
+    """Text rendering of a ``BENCH_10`` churn benchmark report."""
+    universe = report["universe"]
+    incremental = report["incremental"]
+    baseline = report["baseline"]
+    lines = [f"bench-churn: {universe['assertions']} assertions "
+             f"({universe['orgs']} orgs / {universe['teams']} teams / "
+             f"{universe['users']} users), {universe['churn_steps']} "
+             f"proxy renewals x {universe['queries_per_step']} Zipfian "
+             f"queries",
+             ""]
+    lines.append(format_table(
+        ["invalidation", "hits", "misses", "hit ratio", "phase s",
+         "evicted", "flushes"],
+        [("incremental", incremental["hits"], incremental["misses"],
+          f"{incremental['hit_ratio']:.3f}",
+          f"{incremental['phase_s']:.3f}",
+          incremental["cache"]["selective_evictions"],
+          incremental["cache"]["full_flushes"]),
+         ("generation-flush", baseline["hits"], baseline["misses"],
+          f"{baseline['hit_ratio']:.3f}", f"{baseline['phase_s']:.3f}",
+          "-", "-")]))
+    lines.append("")
+    improvement = report["hit_ratio_improvement"]
+    lines.append(f"  warm-hit ratio under churn: "
+                 f"{improvement:.2f}x over generation-flush"
+                 if improvement is not None else
+                 "  warm-hit ratio under churn: baseline had no hits")
+    lines.append(f"  lock-step agreement: {report['lockstep']['queries']} "
+                 f"queries, {report['lockstep']['disagreements']} "
+                 f"disagreements; oracle sample: "
+                 f"{report['oracle']['samples']} decisions, "
+                 f"{report['oracle']['disagreements']} disagreements")
+    edges = report["rbac_edge_churn"]
+    lines.append(f"  rbac edge churn: {edges['edge_deltas']} edge deltas, "
+                 f"{edges['hierarchy_rebuilds']} rebuilds, "
+                 f"{edges['mask_evictions']} mask evictions, "
+                 f"{edges['set_based_disagreements']} set-based + "
+                 f"{edges['oracle']['disagreements']} oracle disagreements")
+    survival = report["stack_survival"]
+    lines.append(f"  mediation cache: {survival['survived_churn']}/"
+                 f"{survival['warm_entries']} warm entries survived "
+                 f"{survival['unrelated_revocations']} unrelated "
+                 f"revocations, {survival['invalidated']} invalidated by "
+                 f"the dependent one, {survival['stale_serves']} stale "
+                 f"serves")
+    return "\n".join(lines)
+
+
 def delegation_graph_dot(credentials: list[Credential]) -> str:
     """Graphviz DOT text for the delegation graph."""
     graph = delegation_graph(credentials)

@@ -337,6 +337,7 @@ class ServePolicyPlane:
             "probes": self.probes,
             "oracle_disagreements": self.oracle_disagreements,
             "cache": self.stack.cache_info(),
+            "tm_cache": self.session.checker_cache_info(),
             "health": self.stack.health_snapshot(),
             "keycom": {"applied_ids": len(self.keycom.applied_ids),
                        "duplicates": self.keycom.duplicates},

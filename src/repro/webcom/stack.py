@@ -192,12 +192,22 @@ class AuthorisationStack:
     With ``cache_ttl`` set, identical requests (``MediationRequest`` is
     deeply immutable and hashable) are served from a mediation cache for
     that many simulated seconds.  Entries are dropped when the TTL lapses,
-    when a layer is (re)plugged, when the TM session's assertion set
-    changes (its :meth:`~repro.keynote.api.KeyNoteSession.state_fingerprint`
-    is checked on every hit), or explicitly via :meth:`invalidate_cache`;
-    layers with non-idempotent checks opt out via :meth:`mark_uncacheable`.
-    Traffic shows up as ``stack.cache.hit`` / ``stack.cache.miss`` metrics
-    and a ``cached`` span attribute.
+    when a layer is (re)plugged, when the *decision they depend on*
+    changes, or explicitly via :meth:`invalidate_cache`; layers with
+    non-idempotent checks opt out via :meth:`mark_uncacheable`.  Entry
+    invalidation is scoped per decision, not per assertion set: each entry
+    whose trace consulted trust management carries the TM decision key and
+    value it observed (:meth:`~repro.keynote.api.KeyNoteSession.
+    decision_fingerprint`), and a hit revalidates only that one decision
+    against the checker's dependency-indexed cache — so a revocation
+    invalidates exactly the mediation entries whose TM decision it
+    evicted, and unrelated warm entries survive churn (counted as
+    ``stack.cache.survived_churn``).  An entry that could not capture its
+    TM decision at store time — e.g. a revocation landed mid-mediation and
+    the checker's epoch guard refused the decision — is never cached, so a
+    stale-fresh decision cannot be resurrected.  Traffic shows up as
+    ``stack.cache.hit`` / ``stack.cache.miss`` metrics and a ``cached``
+    span attribute; churn-driven drops as ``stack.cache.invalidated``.
 
     Health (degraded-mode mediation): a layer whose check raises or times
     out never aborts mediation with a raw traceback — it is recorded as an
@@ -234,8 +244,10 @@ class AuthorisationStack:
         #: mediation cache: None disables; otherwise decisions are served
         #: for identical requests for ``cache_ttl`` simulated seconds
         self.cache_ttl = cache_ttl
+        #: request -> (expires, decision-scoped fingerprint, TM state
+        #: snapshot at store time, decision)
         self._cache: dict[MediationRequest,
-                          tuple[float, object, StackDecision]] = {}
+                          tuple[float, object, object, StackDecision]] = {}
         #: serialises mediation-cache / last-known-good mutation against
         #: concurrent serve handlers (and threaded harnesses); without it a
         #: mediation racing a revocation could re-cache a stale decision
@@ -243,6 +255,11 @@ class AuthorisationStack:
         self._uncacheable: set[Layer] = set()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: entries dropped because their TM decision changed underneath them
+        self.cache_invalidated = 0
+        #: fresh hits served although the TM state changed since the entry
+        #: was stored — each one is a hit generation-flush would have missed
+        self.cache_survived_churn = 0
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
         self.layer_faults = layer_faults
@@ -348,31 +365,80 @@ class AuthorisationStack:
         """Mediation-cache statistics."""
         with self._cache_lock:
             return {"entries": len(self._cache), "hits": self.cache_hits,
-                    "misses": self.cache_misses}
+                    "misses": self.cache_misses,
+                    "invalidated": self.cache_invalidated,
+                    "survived_churn": self.cache_survived_churn}
 
     def _config_fingerprint(self) -> object:
         """Changes when a plugged layer's decision inputs may have changed
-        (currently: the TM session's assertion set)."""
+        (currently: the TM session's assertion set).  No longer used to
+        invalidate entries — only to *detect* that churn happened between
+        store and hit, for the ``survived_churn`` accounting."""
         return (self._tm.state_fingerprint()
                 if self._tm is not None else None)
+
+    def _entry_fingerprint(self, request: MediationRequest,
+                           decision: StackDecision) -> object:
+        """The decision-scoped fingerprint of one cache entry.
+
+        A decision whose trace consulted trust management is pinned to the
+        (TM decision key, value) it observed; one that never consulted TM
+        (denied above L2, or no TM plugged) gets a static sentinel — no
+        assertion churn can change what it never read.  Returns None when
+        the checker holds no cached value for the key: the decision cannot
+        be fingerprinted right now, so the caller must not cache (store)
+        or must drop (lookup).  That absence is exactly the mid-mediation
+        revocation signature — the checker's epoch guard refused the
+        in-flight decision — so a stale-fresh entry can never be stored.
+        """
+        tm_decision = decision.layer(Layer.TRUST_MANAGEMENT)
+        if self._tm is None or tm_decision is None:
+            return ("tm-not-consulted",)
+        attributes = dict(request.attributes)
+        attributes.setdefault("op", request.operation)
+        key, value = self._tm.decision_fingerprint(attributes,
+                                                   [request.user_key])
+        if value is None or tm_decision.detail != f"compliance={value}":
+            # No cached checker value for this key, or the checker's
+            # current value differs from what this decision's trace
+            # actually observed (a concurrent mutation recomputed it
+            # mid-flight) — either way the decision cannot be vouched for.
+            return None
+        return ("tm-decision", key, value)
 
     def _cache_lookup(self, request: MediationRequest) -> StackDecision | None:
         with self._cache_lock:
             entry = self._cache.get(request)
             if entry is None:
                 return None
-            expires, fingerprint, decision = entry
-            if (self._now() > expires
-                    or fingerprint != self._config_fingerprint()):
+            expires, fingerprint, state, decision = entry
+            if self._now() > expires:
                 self._cache.pop(request, None)
                 return None
+            if fingerprint != self._entry_fingerprint(request, decision):
+                # The one decision this entry depends on changed (or was
+                # evicted and not recomputed): drop just this entry.
+                self._cache.pop(request, None)
+                self.cache_invalidated += 1
+                if self.obs is not None:
+                    self.obs.metrics.counter("stack.cache.invalidated").inc()
+                return None
+            if state != self._config_fingerprint():
+                # The assertion set churned since this entry was stored,
+                # but its own decision is untouched: a hit the old
+                # generation-flush scheme would have missed.
+                self.cache_survived_churn += 1
+                if self.obs is not None:
+                    self.obs.metrics.counter(
+                        "stack.cache.survived_churn").inc()
             return decision
 
     def _cache_store(self, request: MediationRequest,
-                     decision: StackDecision, fingerprint: object) -> None:
-        """Store a fresh decision under the fingerprint captured *before*
-        mediation ran — if the TM state changed mid-mediation the stored
-        entry self-invalidates at the next lookup's fingerprint check."""
+                     decision: StackDecision) -> None:
+        """Store a fresh decision under its decision-scoped fingerprint,
+        captured *after* mediation ran — when the TM decision it depends
+        on is absent from the checker cache (a concurrent mutation's epoch
+        guard refused it), the decision is not cached at all."""
         if decision.is_degraded():
             # A degraded decision is never cached as fresh: the next
             # request must re-probe the layers (or be re-marked stale).
@@ -380,8 +446,12 @@ class AuthorisationStack:
         if any(d.layer in self._uncacheable for d in decision.decisions):
             return
         with self._cache_lock:
+            fingerprint = self._entry_fingerprint(request, decision)
+            if fingerprint is None:
+                return
             self._cache[request] = (self._now() + self.cache_ttl,
-                                    fingerprint, decision)
+                                    fingerprint,
+                                    self._config_fingerprint(), decision)
 
     def serve_stale(self, request: MediationRequest,
                     stale_ttl: float) -> StackDecision | None:
@@ -405,14 +475,21 @@ class AuthorisationStack:
             entry = self._cache.get(request)
             if entry is None:
                 return None
-            expires, fingerprint, decision = entry
+            expires, fingerprint, state, decision = entry
             if now > expires + stale_ttl:
                 self._cache.pop(request, None)
                 return None
-            if now <= expires and fingerprint == self._config_fingerprint():
+            if (now <= expires
+                    and fingerprint == self._entry_fingerprint(request,
+                                                               decision)):
                 self.cache_hits += 1
                 if self.obs is not None:
                     self.obs.metrics.counter("stack.cache.hit").inc()
+                if state != self._config_fingerprint():
+                    self.cache_survived_churn += 1
+                    if self.obs is not None:
+                        self.obs.metrics.counter(
+                            "stack.cache.survived_churn").inc()
                 return decision
         self.stale_served += 1
         if self.obs is not None:
@@ -503,15 +580,6 @@ class AuthorisationStack:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
-        # Fingerprint of the decision inputs *before* any layer runs: a
-        # concurrent revocation mid-mediation changes the live fingerprint,
-        # and the stored entry must be keyed to what was actually consulted.
-        # The TM checker is forced into existence first — its lazy build
-        # during the first query would otherwise move the fingerprint
-        # mid-mediation with no state change.
-        if cached is None and self._tm is not None:
-            self._tm.checker
-        fingerprint = self._config_fingerprint()
         tracer = self.obs.tracer if self.obs is not None else None
         if tracer is not None:
             with tracer.span("stack.mediate", correlation_id=correlation_id,
@@ -538,7 +606,11 @@ class AuthorisationStack:
             with self._cache_lock:
                 self._last_good[request] = decision
         if cached is None and self.cache_ttl is not None:
-            self._cache_store(request, decision, fingerprint)
+            # The decision-scoped fingerprint is captured *after* mediation:
+            # if a revocation landed mid-mediation, the checker's epoch
+            # guard refused the in-flight TM decision, the fingerprint
+            # comes back None, and this decision is simply never cached.
+            self._cache_store(request, decision)
         if self.obs is not None:
             outcome = "allow" if decision.allowed else "deny"
             self.obs.metrics.counter(f"stack.mediate.{outcome}").inc()

@@ -1,0 +1,216 @@
+"""Churn-metamorphic suite for dependency-indexed invalidation.
+
+The metamorphic relation under test: after ANY mutation of the assertion
+set, every decision the warm checker returns must equal what a cold
+checker built from the post-mutation assertions computes — selective
+eviction may keep or drop whatever it likes, but it must never change an
+answer.  The companion direction: decisions whose recorded dependency
+sets do not intersect a delta must *survive* it (entries retained, served
+as hits), while dependent decisions are evicted.
+"""
+
+import random
+
+import pytest
+
+from repro.keynote.bench import _OPS, _attrs, build_delegation_universe
+from repro.keynote.compliance import ComplianceChecker, incremental_default
+from repro.keynote.credential import Credential
+from repro.oracle.keynote_oracle import oracle_compliance_value
+
+
+def small_universe():
+    return build_delegation_universe(orgs=2, teams=4, users=24, seed=3)
+
+
+def fresh_checker(universe, incremental=True, extra=()):
+    assertions = (universe["policy_creds"] + universe["org_creds"]
+                  + universe["team_creds"] + universe["proxy_creds"]
+                  + list(extra))
+    return ComplianceChecker(assertions=list(assertions),
+                             verify_signatures=False,
+                             incremental=incremental)
+
+
+def probe(checker, universe, user, op="submit"):
+    return checker.query(_attrs(universe, user, op),
+                         [universe["proxy_keys"][user]])
+
+
+class TestMetamorphicEquivalence:
+    """cached == cold recompute after every mutation, for every probe."""
+
+    def assert_agrees_with_cold(self, checker, universe):
+        cold = ComplianceChecker(assertions=list(checker.assertions),
+                                 verify_signatures=False, incremental=True)
+        for user in range(universe["users"]):
+            for op in _OPS:
+                assert probe(checker, universe, user, op) == \
+                    probe(cold, universe, user, op), \
+                    f"user {user} op {op} diverged from cold recompute"
+
+    def test_seeded_churn_never_changes_an_answer(self):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        proxy_creds = list(universe["proxy_creds"])
+        for user in range(universe["users"]):  # warm every decision
+            for op in _OPS:
+                probe(checker, universe, user, op)
+        rng = random.Random(99)
+        for step in range(12):
+            user = rng.randrange(universe["users"])
+            if rng.random() < 0.5:
+                checker.revoke_assertion(proxy_creds[user])
+            else:
+                renewed = Credential.build(
+                    f"Kuser{user}", f'"Kproxy{user}"', 'app=="grid"',
+                    local_constants={"renewal": str(step)})
+                checker.add_assertion(renewed)
+                proxy_creds[user] = renewed
+            self.assert_agrees_with_cold(checker, universe)
+        assert checker.full_flushes == 0  # the vocabulary never changed
+
+    def test_post_churn_sample_agrees_with_oracle(self):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        for user in range(universe["users"]):
+            probe(checker, universe, user)
+        checker.revoke_assertion(universe["proxy_creds"][5])
+        checker.revoke_assertion(universe["team_creds"][11])
+        rng = random.Random(7)
+        for _ in range(20):
+            user = rng.randrange(universe["users"])
+            op = rng.choice(_OPS)
+            attributes = _attrs(universe, user, op)
+            authorizers = [universe["proxy_keys"][user]]
+            assert checker.query(attributes, authorizers) == \
+                oracle_compliance_value(list(checker.assertions),
+                                        attributes, authorizers)
+
+
+class TestSelectiveEviction:
+    """Dependent decisions are evicted, non-dependent ones survive and
+    keep serving hits."""
+
+    def test_unrelated_revocation_keeps_the_entry_and_the_hit(self):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        # user 0 (team 0) and user 1 (team 1): disjoint delegation cones.
+        allow = probe(checker, universe, 0)
+        probe(checker, universe, 1)
+        key, cached = checker.cached_decision(
+            _attrs(universe, 0, "submit"), [universe["proxy_keys"][0]])
+        assert cached == allow
+        hits = checker.cache_hits
+        checker.revoke_assertion(universe["proxy_creds"][1])
+        _key, still = checker.cached_decision(
+            _attrs(universe, 0, "submit"), [universe["proxy_keys"][0]])
+        assert still == allow, "non-dependent entry was evicted"
+        assert probe(checker, universe, 0) == allow
+        assert checker.cache_hits == hits + 1
+
+    def test_dependent_decision_is_evicted_and_recomputed(self):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        assert probe(checker, universe, 2) == "true"
+        checker.revoke_assertion(universe["proxy_creds"][2])
+        _key, cached = checker.cached_decision(
+            _attrs(universe, 2, "submit"), [universe["proxy_keys"][2]])
+        assert cached is None, "dependent entry survived its own delta"
+        assert checker.selective_evictions >= 1
+        assert probe(checker, universe, 2) == "false"
+
+    def test_new_credential_evicts_only_the_authorizers_cone(self):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        probe(checker, universe, 0)   # team 0
+        probe(checker, universe, 3)   # team 3
+        evicted_before = checker.selective_evictions
+        # A second proxy credential for user 3 touches Kuser3's cone only.
+        checker.add_assertion(Credential.build(
+            "Kuser3", '"Kproxy3b"', 'app=="grid"'))
+        _key, survivor = checker.cached_decision(
+            _attrs(universe, 0, "submit"), [universe["proxy_keys"][0]])
+        assert survivor is not None
+        assert checker.selective_evictions >= evicted_before
+        assert checker.full_flushes == 0
+
+    def test_referenced_shape_change_falls_back_to_full_flush(self):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        probe(checker, universe, 0)
+        probe(checker, universe, 1)
+        assert checker.cache_info()["entries"] == 2
+        # A brand-new attribute name changes the cache-key projection:
+        # selective eviction cannot address old-projection entries.
+        checker.add_assertion(Credential.build(
+            "Kuser0", '"Kproxy0"', 'vo=="atlas"'))
+        assert checker.full_flushes == 1
+        assert checker.cache_info()["entries"] == 0
+
+    def test_generation_flush_baseline_still_drops_everything(self):
+        universe = small_universe()
+        checker = fresh_checker(universe, incremental=False)
+        probe(checker, universe, 0)
+        probe(checker, universe, 1)
+        checker.revoke_assertion(universe["proxy_creds"][23])  # unrelated
+        assert checker.cache_info()["entries"] == 0
+        assert checker.selective_evictions == 0
+
+    def test_env_flag_selects_the_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL_INVALIDATION", "0")
+        assert incremental_default() is False
+        monkeypatch.setenv("REPRO_INCREMENTAL_INVALIDATION", "1")
+        assert incremental_default() is True
+
+
+class TestRevokeEvictionOrdering:
+    """Pins the revoke_assertion contract: dependents are evicted and the
+    generation bumped BEFORE the prepared entry is structurally removed
+    and the referenced-attribute state rebuilt.  A concurrent query that
+    raced the old order could recompute against half-applied state and be
+    cached under a stale dependency record."""
+
+    def test_evict_then_bump_then_remove(self, monkeypatch):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        probe(checker, universe, 4)
+        events = []
+
+        real_evict = checker._evict_dependents
+        real_bump = checker._bump_generation
+        real_rebuild = checker._rebuild_referenced
+
+        def spy_evict(*args, **kwargs):
+            events.append("evict")
+            return real_evict(*args, **kwargs)
+
+        def spy_bump(*args, **kwargs):
+            events.append("bump")
+            return real_bump(*args, **kwargs)
+
+        def spy_rebuild(*args, **kwargs):
+            # Structural removal happens immediately before the rebuild;
+            # record what the structures say at this point.
+            key = checker._canonical("Kuser4")
+            events.append(("rebuild", key in checker._by_authorizer))
+            return real_rebuild(*args, **kwargs)
+
+        monkeypatch.setattr(checker, "_evict_dependents", spy_evict)
+        monkeypatch.setattr(checker, "_bump_generation", spy_bump)
+        monkeypatch.setattr(checker, "_rebuild_referenced", spy_rebuild)
+
+        assert checker.revoke_assertion(universe["proxy_creds"][4])
+        assert events == ["evict", "bump", ("rebuild", False)]
+
+    def test_failed_revoke_neither_evicts_nor_bumps(self):
+        universe = small_universe()
+        checker = fresh_checker(universe)
+        probe(checker, universe, 4)
+        info = checker.cache_info()
+        stranger = Credential.build("Knobody", '"Kno-one"', 'app=="grid"')
+        assert not checker.revoke_assertion(stranger)
+        after = checker.cache_info()
+        assert after["entries"] == info["entries"]
+        assert after["generation"] == info["generation"]
+        assert after["selective_evictions"] == info["selective_evictions"]

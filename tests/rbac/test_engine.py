@@ -93,17 +93,23 @@ class TestChurnEquivalence:
         assert stats["builds"] == 1  # mutations were deltas, not rebuilds
         assert stats["deltas"] > 0
 
-    def test_hierarchy_removal_forces_closure_rebuild(self):
+    def test_hierarchy_removal_is_an_edge_delta_not_a_rebuild(self):
         policy = RBACPolicy("h", compiled=True)
         senior, junior = ROLES[0], ROLES[1]
         policy.hierarchy.add_inheritance(senior, junior)
         policy.grant(junior.domain, junior.role, "invoice", "read")
         policy.assign("alice", senior.domain, senior.role)
         assert policy.check_access("alice", "invoice", "read")
-        rebuilds = policy.engine_stats()["hierarchy_rebuilds"]
+        stats = policy.engine_stats()
+        rebuilds = stats["hierarchy_rebuilds"]
+        edge_deltas = stats["edge_deltas"]
         policy.hierarchy.remove_inheritance(senior, junior)
+        # The revoked inheritance takes effect...
         assert not policy.check_access("alice", "invoice", "read")
-        assert policy.engine_stats()["hierarchy_rebuilds"] > rebuilds
+        stats = policy.engine_stats()
+        # ...through delta replay of the hierarchy log, not a full resync.
+        assert stats["hierarchy_rebuilds"] == rebuilds
+        assert stats["edge_deltas"] == edge_deltas + 1
 
 
 class TestBatchAPI:

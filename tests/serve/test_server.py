@@ -144,6 +144,60 @@ class TestServerCore:
         assert any(name.startswith("stack.layer.") for name in names)
 
 
+class TestSelectiveInvalidationOverTheWire:
+    def test_unrelated_revocation_keeps_warm_mediations(self, monkeypatch):
+        """PR 10, over the serve plane: revoking one principal's credential
+        invalidates exactly that principal's warm mediation entry; other
+        clients keep their cache hits (counted as ``survived_churn``) and
+        nobody is ever served a stale ALLOW."""
+        # The property under test is the selective path — pin the mode on
+        # even when the suite runs under the generation-flush ablation.
+        monkeypatch.setenv("REPRO_INCREMENTAL_INVALIDATION", "1")
+
+        async def scenario():
+            plane = _plane(cache_ttl=60.0)
+            plane.keystore.create("Kother")
+            plane.session.add_policy(TRUST_ROOT)
+            signer = plane.keystore.pair("KWebCom").private
+            # Bob's credential first: his fixpoint short-circuits at max
+            # before reading Alice's, so her revocation is outside his cone.
+            plane.session.add_credential(Credential.build(
+                "KWebCom", '"Kother"',
+                'app_domain=="WebCom" && op=="run"').sign(signer))
+            alice_cred = Credential.build(
+                "KWebCom", '"Kuser"',
+                'app_domain=="WebCom" && op=="run"').sign(signer)
+            plane.session.add_credential(alice_cred)
+            server, client = await _boot(plane)
+            bob = {**MEDIATE, "user": "bob", "user_key": "Kother"}
+            first_bob = await client.call("mediate", bob)
+            first_alice = await client.call("mediate", MEDIATE)
+            revoked = await client.call("revoke",
+                                        {"text": alice_cred.to_text()})
+            warm_bob = await client.call("mediate", bob)
+            cold_alice = await client.call("mediate", MEDIATE)
+            status = await client.call("status")
+            await client.close()
+            await server.shutdown()
+            return (first_bob, first_alice, revoked, warm_bob, cold_alice,
+                    status)
+
+        (first_bob, first_alice, revoked, warm_bob, cold_alice,
+         status) = asyncio.run(scenario())
+        assert first_bob["allowed"] and first_alice["allowed"]
+        assert revoked["revoked"]
+        assert warm_bob["allowed"]
+        assert not cold_alice["allowed"]
+        assert cold_alice["denied_by"] == "TRUST_MANAGEMENT"
+        cache = status["plane"]["cache"]
+        assert cache["survived_churn"] >= 1   # Bob's entry outlived the churn
+        assert cache["invalidated"] >= 1      # Alice's did not
+        tm_cache = status["plane"]["tm_cache"]
+        assert tm_cache["incremental"] == 1
+        assert tm_cache["selective_evictions"] >= 1
+        assert tm_cache["full_flushes"] == 0
+
+
 class TestRequestIdDedup:
     def test_duplicate_update_is_replayed_not_reapplied(self):
         async def scenario():

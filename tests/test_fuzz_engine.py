@@ -3,7 +3,10 @@
 Hypothesis drives arbitrary interleavings of grant/assign/revoke and
 hierarchy edge addition/removal against a compiled policy, then asserts
 the bitset engine, the retained set-based path, and the naive PR 5
-:class:`RBACOracle` all agree on every decision surface.
+:class:`RBACOracle` all agree on every decision surface — both at the
+end of the interleaving and (PR 10) after EVERY single operation, while
+the engine absorbs hierarchy edge changes as O(delta) cone updates
+rather than closure rebuilds.
 """
 
 from hypothesis import given, settings
@@ -107,3 +110,38 @@ class TestEngineChurnProperties:
                 for perm in _PERMS:
                     assert (policy.check_access(user, obj, perm)
                             == rebuilt.check_access(user, obj, perm))
+
+    @given(ops=st.lists(_OPS, max_size=15))
+    @settings(max_examples=25, deadline=None)
+    def test_every_intermediate_state_agrees_without_rebuilds(self, ops):
+        """The PR 10 incremental-maintenance property: after EVERY
+        mutation — including hierarchy edge add/remove — the
+        delta-maintained engine agrees with a from-scratch rebuild and
+        with the naive oracle, and the whole interleaving is absorbed
+        without a single closure rebuild (``hierarchy_rebuilds`` stays at
+        its initial value; edge changes surface as ``edge_deltas``)."""
+        policy = RBACPolicy("fuzz", compiled=True)
+        policy.check_access(_USERS[0], _OBJECTS[0], _PERMS[0])  # build
+        stats = policy.engine_stats()
+        assert stats is not None
+        rebuilds0 = stats["hierarchy_rebuilds"]
+        requests = [(u, o, p)
+                    for u in _USERS for o in _OBJECTS for p in _PERMS]
+        for op in ops:
+            _apply(policy, op)
+            batch = policy.check_access_many(requests)
+            rebuilt = RBACPolicy("rebuilt",
+                                 hierarchy=policy.hierarchy.copy(),
+                                 compiled=True)
+            for grant in policy.grants:
+                rebuilt.add_grant(grant)
+            for assignment in policy.assignments:
+                rebuilt.add_assignment(assignment)
+            assert batch == rebuilt.check_access_many(requests)
+            oracle = RBACOracle.from_policy(policy)
+            assert batch == [oracle.check_access(u, o, p)
+                             for u, o, p in requests]
+        stats = policy.engine_stats()
+        assert stats is not None
+        assert stats["builds"] == 1
+        assert stats["hierarchy_rebuilds"] == rebuilds0

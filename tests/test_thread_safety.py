@@ -151,6 +151,62 @@ class TestStackStaleFreshConfusion:
         assert not second.allowed
         assert stack.cache_hits == 0
 
+    def test_mid_mediation_revocation_on_the_selective_eviction_path(
+            self, monkeypatch):
+        """PR 10 regression: dependency-indexed invalidation narrows what a
+        revocation evicts — but a revocation landing *mid-mediation* must
+        still never let the dependent decision be cached as fresh, while a
+        non-dependent principal's warm entry survives the same churn."""
+        # Pin the selective mode on even under the generation-flush ablation.
+        monkeypatch.setenv("REPRO_INCREMENTAL_INVALIDATION", "1")
+        keystore = Keystore()
+        keystore.create("Kroot")
+        keystore.create("Kuser")
+        keystore.create("Kother")
+        session = KeyNoteSession(keystore=keystore)
+        session.add_policy(
+            'Authorizer: POLICY\nLicensees: "Kroot"\n'
+            'Conditions: app_domain=="WebCom";')
+        # Bob's credential first: his fixpoint short-circuits at max value
+        # before ever reading Alice's, so his decision does not depend on it.
+        session.add_credential(Credential.build(
+            "Kroot", '"Kother"', 'app_domain=="WebCom"',
+        ).sign(keystore.pair("Kroot").private))
+        grant = session.add_credential(Credential.build(
+            "Kroot", '"Kuser"', 'app_domain=="WebCom"',
+        ).sign(keystore.pair("Kroot").private))
+        stack = AuthorisationStack(cache_ttl=60.0)
+        stack.plug_trust_management(session)
+        alice = MediationRequest(
+            user="alice", user_key="Kuser", object_type="graph",
+            operation="run", attributes={"app_domain": "WebCom"})
+        bob = MediationRequest(
+            user="bob", user_key="Kother", object_type="graph",
+            operation="run", attributes={"app_domain": "WebCom"})
+
+        class _AliceTriggeredOS:
+            platform = "revoking-test-os"
+            fired = False
+
+            def check(self, user, os_object, access):
+                if user == "alice" and not self.fired:
+                    self.fired = True
+                    assert session.revoke_credential(grant)
+                return True
+
+        stack.plug_os(_AliceTriggeredOS())
+        assert stack.mediate(bob).allowed      # warm the independent entry
+        assert stack.mediate(alice).allowed    # revoked mid-flight
+        # The stale ALLOW was never stored: the checker's dependency index
+        # evicted Alice's decision, so the store-time fingerprint refused it.
+        assert not stack.mediate(alice).allowed
+        # Bob's entry was NOT collateral damage of Alice's revocation — it
+        # serves a hit, counted as having survived the churn.
+        hits = stack.cache_hits
+        assert stack.mediate(bob).allowed
+        assert stack.cache_hits == hits + 1
+        assert stack.cache_survived_churn >= 1
+
     def test_threads_mediating_against_revocations_end_consistent(self):
         session, grant, stack = self._stack()
         request = MediationRequest(

@@ -48,7 +48,8 @@ class TestMediationCache:
         second = stack.mediate(REQUEST)
         assert first.allowed and second.allowed
         assert predicate.calls == 1
-        assert stack.cache_info() == {"entries": 1, "hits": 1, "misses": 1}
+        assert stack.cache_info() == {"entries": 1, "hits": 1, "misses": 1,
+                                      "invalidated": 0, "survived_churn": 0}
 
     def test_denials_are_cached_too(self, clock):
         stack, predicate = app_stack(clock, allow=False)
@@ -81,7 +82,8 @@ class TestMediationCache:
         stack.mediate(REQUEST)
         stack.mediate(REQUEST)
         assert predicate.calls == 2
-        assert stack.cache_info() == {"entries": 0, "hits": 0, "misses": 0}
+        assert stack.cache_info() == {"entries": 0, "hits": 0, "misses": 0,
+                                      "invalidated": 0, "survived_churn": 0}
 
     def test_replugging_invalidates(self, clock):
         stack, predicate = app_stack(clock)
